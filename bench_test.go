@@ -1,0 +1,349 @@
+// Benchmarks regenerating the paper's figures at reduced scale, one
+// benchmark per table/figure panel plus the DESIGN.md ablations. Use
+// cmd/gaussbench for full-scale paper-sized runs; these testing.B harnesses
+// keep `go test -bench=.` to a few minutes while exercising the identical
+// code paths. Custom metrics: pages/query is the paper's "page accesses".
+package gausstree_test
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/gauss-tree/gausstree/internal/dataset"
+	"github.com/gauss-tree/gausstree/internal/eval"
+	"github.com/gauss-tree/gausstree/internal/gaussian"
+	"github.com/gauss-tree/gausstree/internal/pagefile"
+	"github.com/gauss-tree/gausstree/internal/pfv"
+	"github.com/gauss-tree/gausstree/internal/scan"
+	"github.com/gauss-tree/gausstree/internal/vafile"
+
+	"github.com/gauss-tree/gausstree/internal/core"
+)
+
+// benchDS1N / benchDS2N are the reduced bench scales (paper: 10987/100000).
+const (
+	benchDS1N = 3000
+	benchDS2N = 10000
+	benchQ    = 50
+)
+
+type world struct {
+	ds *dataset.Dataset
+	qs []dataset.Query
+	e  *eval.Engines
+}
+
+var (
+	ds1Once, ds2Once sync.Once
+	ds1W, ds2W       world
+)
+
+func benchDS1(b *testing.B) *world {
+	b.Helper()
+	ds1Once.Do(func() {
+		p := dataset.DefaultHistogramParams()
+		p.N = benchDS1N
+		ds, err := dataset.ColorHistograms(p)
+		if err != nil {
+			panic(err)
+		}
+		qs, err := dataset.MakeQueries(ds, dataset.QueryParams{Count: benchQ, Sigma: p.Sigma, Seed: 101})
+		if err != nil {
+			panic(err)
+		}
+		e, err := eval.Build(ds, eval.Setup{})
+		if err != nil {
+			panic(err)
+		}
+		ds1W = world{ds, qs, e}
+	})
+	return &ds1W
+}
+
+func benchDS2(b *testing.B) *world {
+	b.Helper()
+	ds2Once.Do(func() {
+		p := dataset.DefaultSyntheticParams()
+		p.N = benchDS2N
+		ds, err := dataset.Synthetic(p)
+		if err != nil {
+			panic(err)
+		}
+		qs, err := dataset.MakeQueries(ds, dataset.QueryParams{Count: benchQ, Sigma: p.Sigma, Seed: 102})
+		if err != nil {
+			panic(err)
+		}
+		e, err := eval.Build(ds, eval.Setup{})
+		if err != nil {
+			panic(err)
+		}
+		ds2W = world{ds, qs, e}
+	})
+	return &ds2W
+}
+
+// BenchmarkFigure1Posterior regenerates the §3.1 worked example (E1).
+func BenchmarkFigure1Posterior(b *testing.B) {
+	q := pfv.MustNew(0, []float64{0, 0}, []float64{0.0617, 0.9401})
+	db := []pfv.Vector{
+		pfv.MustNew(1, []float64{1.1503, 1.0088}, []float64{0.3579, 0.2864}),
+		pfv.MustNew(2, []float64{1.8674, 0.6274}, []float64{0.8130, 1.8051}),
+		pfv.MustNew(3, []float64{1.3597, 1.0857}, []float64{1.3154, 0.1790}),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ps := pfv.Posterior(gaussian.CombineAdditive, db, q)
+		if ps[2] < 0.7 {
+			b.Fatal("posterior drifted")
+		}
+	}
+}
+
+// benchFig6 measures one Figure 6 panel: 27-NN on means plus 27-MLIQ on the
+// Gauss-tree per query (the harness computes all multipliers from one run).
+func benchFig6(b *testing.B, w *world) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q := w.qs[i%len(w.qs)]
+		if _, err := w.e.Scan.NearestNeighbors(q.Vector, 27); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := w.e.Tree.KMLIQRanked(q.Vector, 27); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6DS1 regenerates Figure 6(a) per-query work (E2).
+func BenchmarkFig6DS1(b *testing.B) { benchFig6(b, benchDS1(b)) }
+
+// BenchmarkFig6DS2 regenerates Figure 6(b) per-query work (E3).
+func BenchmarkFig6DS2(b *testing.B) { benchFig6(b, benchDS2(b)) }
+
+// benchFig7 runs one engine × query-type cell of Figure 7 and reports the
+// paper's page-access metric.
+func benchFig7(b *testing.B, mgr *pagefile.Manager, run func(q pfv.Vector) error, qs []dataset.Query) {
+	b.Helper()
+	mgr.ResetStats()
+	mgr.DropCache()
+	start := mgr.Stats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := run(qs[i%len(qs)].Vector); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	delta := mgr.Stats().Sub(start)
+	b.ReportMetric(float64(delta.LogicalReads)/float64(b.N), "pages/query")
+}
+
+func fig7Cells(b *testing.B, w *world) {
+	cases := []struct {
+		name string
+		mgr  func() *pagefile.Manager
+		run  func(q pfv.Vector) error
+	}{
+		{"Scan/MLIQ", func() *pagefile.Manager { return w.e.ScanMgr }, func(q pfv.Vector) error {
+			_, err := w.e.Scan.KMLIQ(q, 1, gaussian.CombineAdditive)
+			return err
+		}},
+		{"Scan/TIQ08", func() *pagefile.Manager { return w.e.ScanMgr }, func(q pfv.Vector) error {
+			_, err := w.e.Scan.TIQ(q, 0.8, gaussian.CombineAdditive)
+			return err
+		}},
+		{"Scan/TIQ02", func() *pagefile.Manager { return w.e.ScanMgr }, func(q pfv.Vector) error {
+			_, err := w.e.Scan.TIQ(q, 0.2, gaussian.CombineAdditive)
+			return err
+		}},
+		{"XTree/MLIQ", func() *pagefile.Manager { return w.e.XMgr }, func(q pfv.Vector) error {
+			_, err := w.e.X.KMLIQ(q, 1)
+			return err
+		}},
+		{"XTree/TIQ08", func() *pagefile.Manager { return w.e.XMgr }, func(q pfv.Vector) error {
+			_, err := w.e.X.TIQ(q, 0.8)
+			return err
+		}},
+		{"XTree/TIQ02", func() *pagefile.Manager { return w.e.XMgr }, func(q pfv.Vector) error {
+			_, err := w.e.X.TIQ(q, 0.2)
+			return err
+		}},
+		{"GaussTree/MLIQ", func() *pagefile.Manager { return w.e.TreeMgr }, func(q pfv.Vector) error {
+			_, err := w.e.Tree.KMLIQRanked(q, 1)
+			return err
+		}},
+		{"GaussTree/TIQ08", func() *pagefile.Manager { return w.e.TreeMgr }, func(q pfv.Vector) error {
+			_, err := w.e.Tree.TIQ(q, 0.8, 0)
+			return err
+		}},
+		{"GaussTree/TIQ02", func() *pagefile.Manager { return w.e.TreeMgr }, func(q pfv.Vector) error {
+			_, err := w.e.Tree.TIQ(q, 0.2, 0)
+			return err
+		}},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			benchFig7(b, c.mgr(), c.run, w.qs)
+		})
+	}
+}
+
+// BenchmarkFig7DS1 regenerates the Figure 7 top row (E4): all engines and
+// query types on the histogram data set.
+func BenchmarkFig7DS1(b *testing.B) { fig7Cells(b, benchDS1(b)) }
+
+// BenchmarkFig7DS2 regenerates the Figure 7 bottom row (E5).
+func BenchmarkFig7DS2(b *testing.B) { fig7Cells(b, benchDS2(b)) }
+
+// BenchmarkAblationCombiner compares the paper's additive σ-combination with
+// the exact convolution rule (A1).
+func BenchmarkAblationCombiner(b *testing.B) {
+	w := benchDS2(b)
+	for _, comb := range []gaussian.Combiner{gaussian.CombineAdditive, gaussian.CombineConvolution} {
+		comb := comb
+		b.Run(comb.String(), func(b *testing.B) {
+			mgr, err := pagefile.NewManager(pagefile.NewMemBackend(8192), 8192)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tr, err := core.New(mgr, w.ds.Dim, core.Config{Combiner: comb})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := tr.BulkLoad(w.ds.Vectors); err != nil {
+				b.Fatal(err)
+			}
+			benchFig7(b, mgr, func(q pfv.Vector) error {
+				_, err := tr.KMLIQRanked(q, 1)
+				return err
+			}, w.qs)
+		})
+	}
+}
+
+// BenchmarkAblationSplit compares the split objectives (A2).
+func BenchmarkAblationSplit(b *testing.B) {
+	w := benchDS2(b)
+	for _, split := range []core.SplitObjective{core.SplitHullIntegral, core.SplitHullIntegralSum, core.SplitVolume} {
+		split := split
+		b.Run(split.String(), func(b *testing.B) {
+			mgr, err := pagefile.NewManager(pagefile.NewMemBackend(8192), 8192)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tr, err := core.New(mgr, w.ds.Dim, core.Config{Split: split})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := tr.BulkLoad(w.ds.Vectors); err != nil {
+				b.Fatal(err)
+			}
+			benchFig7(b, mgr, func(q pfv.Vector) error {
+				_, err := tr.KMLIQRanked(q, 1)
+				return err
+			}, w.qs)
+		})
+	}
+}
+
+// BenchmarkAblationIntegral compares the erf-exact hull integral with the
+// paper's degree-5 polynomial sigmoid approximation (A3).
+func BenchmarkAblationIntegral(b *testing.B) {
+	mu := gaussian.Interval{Lo: -1, Hi: 2}
+	sigma := gaussian.Interval{Lo: 0.3, Hi: 1.7}
+	b.Run("erf", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			gaussian.HullIntegralOn(mu, sigma, -6, 6, gaussian.StdCDF)
+		}
+	})
+	b.Run("poly5", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			gaussian.HullIntegralOn(mu, sigma, -6, 6, gaussian.StdCDFPoly5)
+		}
+	})
+	b.Run("closed-form", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			gaussian.HullIntegral(mu, sigma)
+		}
+	})
+}
+
+// BenchmarkVAFile measures the future-work VA-file filter (A4).
+func BenchmarkVAFile(b *testing.B) {
+	w := benchDS2(b)
+	mgr, err := pagefile.NewManager(pagefile.NewMemBackend(8192), 8192)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, err := scan.Create(mgr, w.ds.Dim)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := data.AppendAll(w.ds.Vectors); err != nil {
+		b.Fatal(err)
+	}
+	va, err := vafile.Build(mgr, data, gaussian.CombineAdditive)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("KMLIQ", func(b *testing.B) {
+		benchFig7(b, mgr, func(q pfv.Vector) error {
+			_, err := va.KMLIQ(q, 1)
+			return err
+		}, w.qs)
+	})
+	b.Run("TIQ08", func(b *testing.B) {
+		benchFig7(b, mgr, func(q pfv.Vector) error {
+			_, err := va.TIQ(q, 0.8)
+			return err
+		}, w.qs)
+	})
+}
+
+// BenchmarkBuild compares construction paths at bench scale.
+func BenchmarkBuild(b *testing.B) {
+	w := benchDS2(b)
+	b.Run("BulkLoad", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mgr, _ := pagefile.NewManager(pagefile.NewMemBackend(8192), 8192)
+			tr, _ := core.New(mgr, w.ds.Dim, core.Config{})
+			if err := tr.BulkLoad(w.ds.Vectors); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("InsertAll", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mgr, _ := pagefile.NewManager(pagefile.NewMemBackend(8192), 8192)
+			tr, _ := core.New(mgr, w.ds.Dim, core.Config{})
+			if err := tr.InsertAll(w.ds.Vectors); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkKMLIQRefined measures the §5.2.2 probability-refinement variant
+// against the ranked algorithm (context for Figure 7's MLIQ column).
+func BenchmarkKMLIQRefined(b *testing.B) {
+	w := benchDS2(b)
+	b.Run("ranked", func(b *testing.B) {
+		benchFig7(b, w.e.TreeMgr, func(q pfv.Vector) error {
+			_, err := w.e.Tree.KMLIQRanked(q, 1)
+			return err
+		}, w.qs)
+	})
+	b.Run("accuracy-1e2", func(b *testing.B) {
+		benchFig7(b, w.e.TreeMgr, func(q pfv.Vector) error {
+			_, err := w.e.Tree.KMLIQ(q, 1, 1e-2)
+			return err
+		}, w.qs)
+	})
+	b.Run("accuracy-1e6", func(b *testing.B) {
+		benchFig7(b, w.e.TreeMgr, func(q pfv.Vector) error {
+			_, err := w.e.Tree.KMLIQ(q, 1, 1e-6)
+			return err
+		}, w.qs)
+	})
+}

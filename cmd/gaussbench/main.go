@@ -1,0 +1,336 @@
+// Command gaussbench regenerates every table and figure of the paper's
+// evaluation (§6) plus this repository's ablations. Each experiment prints
+// an aligned text table; EXPERIMENTS.md records the paper-vs-measured
+// comparison produced by this tool.
+//
+// Usage:
+//
+//	gaussbench -exp all                 # everything (several minutes)
+//	gaussbench -exp fig6a,fig7ds2       # selected experiments
+//	gaussbench -exp headline -quick     # reduced data sizes for smoke runs
+//
+// Experiments: fig1, fig6a, fig6b, fig7ds1, fig7ds2, headline, ablations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/gauss-tree/gausstree/internal/core"
+	"github.com/gauss-tree/gausstree/internal/dataset"
+	"github.com/gauss-tree/gausstree/internal/eval"
+	"github.com/gauss-tree/gausstree/internal/gaussian"
+	"github.com/gauss-tree/gausstree/internal/pagefile"
+	"github.com/gauss-tree/gausstree/internal/pfv"
+	"github.com/gauss-tree/gausstree/internal/query"
+	"github.com/gauss-tree/gausstree/internal/scan"
+	"github.com/gauss-tree/gausstree/internal/vafile"
+)
+
+func main() {
+	var (
+		exps   = flag.String("exp", "all", "comma-separated experiments: fig1,fig6a,fig6b,fig7ds1,fig7ds2,headline,ablations,all")
+		quick  = flag.Bool("quick", false, "reduced data sizes (for smoke testing)")
+		n1     = flag.Int("n1", 10987, "data set 1 size (paper: 10987)")
+		n2     = flag.Int("n2", 100000, "data set 2 size (paper: 100000)")
+		q1     = flag.Int("q1", 100, "data set 1 query count (paper: 100)")
+		q2     = flag.Int("q2", 500, "data set 2 query count (paper: 500)")
+		pageSz = flag.Int("pagesize", pagefile.DefaultPageSize, "page size in bytes")
+		seek   = flag.Duration("seek", 0, "override cost-model seek time (0 = default)")
+		seed1  = flag.Int64("seed1", 1, "data set 1 seed")
+		seed2  = flag.Int64("seed2", 2, "data set 2 seed")
+	)
+	flag.Parse()
+	if *quick {
+		*n1, *n2, *q1, *q2 = 3000, 10000, 40, 60
+	}
+	_ = seek // the default model is used; kept for operator experiments
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exps, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	run := func(name string) bool { return all || want[name] }
+
+	b := &bench{
+		n1: *n1, n2: *n2, q1: *q1, q2: *q2,
+		pageSize: *pageSz, seed1: *seed1, seed2: *seed2,
+	}
+
+	if run("fig1") {
+		b.figure1()
+	}
+	if run("fig6a") || run("fig7ds1") || run("headline") || run("ablations") {
+		b.loadDS1()
+	}
+	if run("fig6b") || run("fig7ds2") || run("headline") || run("ablations") {
+		b.loadDS2()
+	}
+	if run("fig6a") {
+		b.figure6(b.e1, b.ds1, b.qs1, "fig6a")
+	}
+	if run("fig6b") {
+		b.figure6(b.e2, b.ds2, b.qs2, "fig6b")
+	}
+	if run("fig7ds1") {
+		b.figure7(b.e1, b.ds1, b.qs1, "fig7ds1")
+	}
+	if run("fig7ds2") {
+		b.figure7(b.e2, b.ds2, b.qs2, "fig7ds2")
+	}
+	if run("headline") {
+		b.headline()
+	}
+	if run("ablations") {
+		b.ablations()
+	}
+}
+
+type bench struct {
+	n1, n2, q1, q2   int
+	pageSize         int
+	seed1, seed2     int64
+	ds1, ds2         *dataset.Dataset
+	qs1, qs2         []dataset.Query
+	e1, e2           *eval.Engines
+	fig6a, fig6b     *eval.Fig6Report
+	fig7ds1, fig7ds2 *eval.Fig7Report
+}
+
+func (b *bench) loadDS1() {
+	if b.ds1 != nil {
+		return
+	}
+	p := dataset.DefaultHistogramParams()
+	p.N = b.n1
+	p.Seed = b.seed1
+	ds, err := dataset.ColorHistograms(p)
+	check(err)
+	qs, err := dataset.MakeQueries(ds, dataset.QueryParams{Count: b.q1, Sigma: p.Sigma, Seed: b.seed1 + 100})
+	check(err)
+	fmt.Printf("# data set 1: %d histogram pfv, %d-d, %d queries\n", len(ds.Vectors), ds.Dim, len(qs))
+	start := time.Now()
+	e, err := eval.Build(ds, eval.Setup{PageSize: b.pageSize})
+	check(err)
+	fmt.Printf("# built gauss-tree(h=%d), x-tree(h=%d), scan file in %v\n\n",
+		e.Tree.Height(), e.X.Height(), time.Since(start).Round(time.Millisecond))
+	b.ds1, b.qs1, b.e1 = ds, qs, e
+}
+
+func (b *bench) loadDS2() {
+	if b.ds2 != nil {
+		return
+	}
+	p := dataset.DefaultSyntheticParams()
+	p.N = b.n2
+	p.Seed = b.seed2
+	ds, err := dataset.Synthetic(p)
+	check(err)
+	qs, err := dataset.MakeQueries(ds, dataset.QueryParams{Count: b.q2, Sigma: p.Sigma, Seed: b.seed2 + 100})
+	check(err)
+	fmt.Printf("# data set 2: %d synthetic pfv, %d-d, %d queries\n", len(ds.Vectors), ds.Dim, len(qs))
+	start := time.Now()
+	e, err := eval.Build(ds, eval.Setup{PageSize: b.pageSize})
+	check(err)
+	fmt.Printf("# built gauss-tree(h=%d), x-tree(h=%d), scan file in %v\n\n",
+		e.Tree.Height(), e.X.Height(), time.Since(start).Round(time.Millisecond))
+	b.ds2, b.qs2, b.e2 = ds, qs, e
+}
+
+// figure1 reproduces the worked example of paper Figure 1 / §3.1.
+func (b *bench) figure1() {
+	fmt.Println("=== Figure 1 / §3.1 worked example ===")
+	q := pfv.MustNew(0, []float64{0, 0}, []float64{0.0617, 0.9401})
+	db := []pfv.Vector{
+		pfv.MustNew(1, []float64{1.1503, 1.0088}, []float64{0.3579, 0.2864}),
+		pfv.MustNew(2, []float64{1.8674, 0.6274}, []float64{0.8130, 1.8051}),
+		pfv.MustNew(3, []float64{1.3597, 1.0857}, []float64{1.3154, 0.1790}),
+	}
+	ps := pfv.Posterior(gaussian.CombineAdditive, db, q)
+	fmt.Println("object  euclidean-dist  P(v|q)   paper")
+	paper := []string{"10%", "13%", "77%"}
+	for i, v := range db {
+		fmt.Printf("O%d      %14.2f  %5.1f%%   %s\n", i+1, pfv.EuclideanDistance(q, v), 100*ps[i], paper[i])
+	}
+	fmt.Println("Euclidean NN picks O1; the Gaussian uncertainty model identifies O3.")
+	fmt.Println()
+}
+
+func (b *bench) figure6(e *eval.Engines, ds *dataset.Dataset, qs []dataset.Query, name string) {
+	fmt.Printf("=== %s ===\n", name)
+	rep, err := eval.Figure6(e, ds, qs, []int{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	check(err)
+	fmt.Print(rep.Format())
+	fmt.Println()
+	if name == "fig6a" {
+		b.fig6a = rep
+	} else {
+		b.fig6b = rep
+	}
+}
+
+func (b *bench) figure7(e *eval.Engines, ds *dataset.Dataset, qs []dataset.Query, name string) {
+	fmt.Printf("=== %s ===\n", name)
+	rep, err := eval.Figure7(e, ds, qs)
+	check(err)
+	fmt.Print(rep.Format())
+	fmt.Println()
+	if name == "fig7ds1" {
+		b.fig7ds1 = rep
+	} else {
+		b.fig7ds2 = rep
+	}
+}
+
+// headline prints the §6 headline numbers next to the paper's.
+func (b *bench) headline() {
+	fmt.Println("=== Headline numbers (paper §6 vs measured) ===")
+	if b.fig6a == nil {
+		b.figure6(b.e1, b.ds1, b.qs1, "fig6a")
+	}
+	if b.fig6b == nil {
+		b.figure6(b.e2, b.ds2, b.qs2, "fig6b")
+	}
+	if b.fig7ds1 == nil {
+		b.figure7(b.e1, b.ds1, b.qs1, "fig7ds1")
+	}
+	if b.fig7ds2 == nil {
+		b.figure7(b.e2, b.ds2, b.qs2, "fig7ds2")
+	}
+	row := func(metric, paper string, measured float64, unit string) {
+		fmt.Printf("%-44s %10s %9.1f%s\n", metric, paper, measured, unit)
+	}
+	fmt.Printf("%-44s %10s %10s\n", "metric", "paper", "measured")
+	row("DS1 3-MLIQ recall (x1)", "98%", 100*b.fig6a.Rows[0].RecallMLIQ, "%")
+	row("DS1 3-NN recall (x1)", "42%", 100*b.fig6a.Rows[0].RecallNN, "%")
+	row("DS2 3-MLIQ recall (x1)", "99%", 100*b.fig6b.Rows[0].RecallMLIQ, "%")
+	row("DS2 3-NN recall (x1)", "61%", 100*b.fig6b.Rows[0].RecallNN, "%")
+	row("DS1 G-tree page speedup, 1-MLIQ", "4.2x", b.fig7ds1.SpeedupOver("Gauss-Tree", "1-MLIQ"), "x")
+	row("DS1 G-tree page speedup, TIQ(0.8)", "4.2x", b.fig7ds1.SpeedupOver("Gauss-Tree", "TIQ(P=0.8)"), "x")
+	row("DS2 G-tree page speedup, 1-MLIQ", "4.3x", b.fig7ds2.SpeedupOver("Gauss-Tree", "1-MLIQ"), "x")
+	row("DS2 G-tree page speedup, TIQ(0.8)", "35.7-43.2x", b.fig7ds2.SpeedupOver("Gauss-Tree", "TIQ(P=0.8)"), "x")
+	row("DS2 G-tree page speedup, TIQ(0.2)", "35.7-43.2x", b.fig7ds2.SpeedupOver("Gauss-Tree", "TIQ(P=0.2)"), "x")
+	row("DS2 X-tree page speedup, 1-MLIQ", "~1x", b.fig7ds2.SpeedupOver("X-Tree", "1-MLIQ"), "x")
+	fmt.Println()
+}
+
+// ablations runs the design-choice comparisons of DESIGN.md (A1-A4).
+func (b *bench) ablations() {
+	fmt.Println("=== Ablation A1: σ-combination rule (DS2 subset) ===")
+	b.ablateCombiner()
+	fmt.Println("=== Ablation A2: split/insert objectives (DS2 subset) ===")
+	b.ablateSplit()
+	fmt.Println("=== Ablation A4: VA-file filter vs Gauss-tree vs scan (DS2 subset) ===")
+	b.ablateVAFile()
+}
+
+func (b *bench) subset(n, nq int) (*dataset.Dataset, []dataset.Query) {
+	p := dataset.DefaultSyntheticParams()
+	p.N = n
+	p.Seed = b.seed2
+	ds, err := dataset.Synthetic(p)
+	check(err)
+	qs, err := dataset.MakeQueries(ds, dataset.QueryParams{Count: nq, Sigma: p.Sigma, Seed: b.seed2 + 7})
+	check(err)
+	return ds, qs
+}
+
+func (b *bench) ablateCombiner() {
+	ds, qs := b.subset(min(b.n2, 20000), 100)
+	fmt.Printf("%-14s %12s %14s\n", "combiner", "MLIQ recall", "pages/query")
+	for _, comb := range []gaussian.Combiner{gaussian.CombineAdditive, gaussian.CombineConvolution} {
+		e, err := eval.Build(ds, eval.Setup{PageSize: b.pageSize, Combiner: comb})
+		check(err)
+		hits := 0
+		e.TreeMgr.ResetStats()
+		e.TreeMgr.DropCache()
+		for _, q := range qs {
+			res, err := e.Tree.KMLIQRanked(q.Vector, 1)
+			check(err)
+			if len(res) > 0 && res[0].Vector.ID == q.TruthID {
+				hits++
+			}
+		}
+		pages := float64(e.TreeMgr.Stats().LogicalReads) / float64(len(qs))
+		fmt.Printf("%-14s %11.0f%% %14.1f\n", comb, 100*float64(hits)/float64(len(qs)), pages)
+	}
+	fmt.Println()
+}
+
+func (b *bench) ablateSplit() {
+	ds, qs := b.subset(min(b.n2, 20000), 100)
+	fmt.Printf("%-20s %14s\n", "split objective", "pages/query")
+	for _, split := range []core.SplitObjective{core.SplitHullIntegral, core.SplitHullIntegralSum, core.SplitVolume} {
+		mgr, err := pagefile.NewManager(pagefile.NewMemBackend(b.pageSize), b.pageSize)
+		check(err)
+		tr, err := core.New(mgr, ds.Dim, core.Config{Split: split})
+		check(err)
+		check(tr.BulkLoad(ds.Vectors))
+		mgr.ResetStats()
+		mgr.DropCache()
+		for _, q := range qs {
+			_, err := tr.KMLIQRanked(q.Vector, 1)
+			check(err)
+		}
+		fmt.Printf("%-20s %14.1f\n", split, float64(mgr.Stats().LogicalReads)/float64(len(qs)))
+	}
+	fmt.Println()
+}
+
+func (b *bench) ablateVAFile() {
+	ds, qs := b.subset(min(b.n2, 20000), 100)
+	mgr, err := pagefile.NewManager(pagefile.NewMemBackend(b.pageSize), b.pageSize)
+	check(err)
+	data, err := scan.Create(mgr, ds.Dim)
+	check(err)
+	check(data.AppendAll(ds.Vectors))
+	va, err := vafile.Build(mgr, data, gaussian.CombineAdditive)
+	check(err)
+	e, err := eval.Build(ds, eval.Setup{PageSize: b.pageSize})
+	check(err)
+
+	fmt.Printf("%-12s %14s %12s\n", "engine", "pages/query", "recall@1")
+	report := func(name string, m *pagefile.Manager, run func(q pfv.Vector) ([]query.Result, error)) {
+		m.ResetStats()
+		m.DropCache()
+		hits := 0
+		for _, q := range qs {
+			res, err := run(q.Vector)
+			check(err)
+			if len(res) > 0 && res[0].Vector.ID == q.TruthID {
+				hits++
+			}
+		}
+		fmt.Printf("%-12s %14.1f %11.0f%%\n", name,
+			float64(m.Stats().LogicalReads)/float64(len(qs)),
+			100*float64(hits)/float64(len(qs)))
+	}
+	report("seq-scan", mgr, func(q pfv.Vector) ([]query.Result, error) {
+		return data.KMLIQ(q, 1, gaussian.CombineAdditive)
+	})
+	report("va-file", mgr, func(q pfv.Vector) ([]query.Result, error) {
+		return va.KMLIQ(q, 1)
+	})
+	report("gauss-tree", e.TreeMgr, func(q pfv.Vector) ([]query.Result, error) {
+		return e.Tree.KMLIQRanked(q, 1)
+	})
+	fmt.Println()
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gaussbench:", err)
+		os.Exit(1)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,105 @@
+// Command gausscli loads a CSV of probabilistic feature vectors into a
+// Gauss-tree and answers identification queries from the command line.
+//
+// Usage:
+//
+//	gausscli -data faces.csv -kmliq "0.52,0.05,0.33,0.08" -k 5
+//	gausscli -data faces.csv -tiq "0.52,0.05,0.33,0.08" -p 0.1
+//
+// Query vectors are given as comma-separated mu,sigma pairs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	gausstree "github.com/gauss-tree/gausstree"
+	"github.com/gauss-tree/gausstree/internal/pfv"
+)
+
+func main() {
+	var (
+		data  = flag.String("data", "", "CSV of database pfv (required)")
+		kmliq = flag.String("kmliq", "", "k-MLIQ query: mu_1,sigma_1,...")
+		tiq   = flag.String("tiq", "", "TIQ query: mu_1,sigma_1,...")
+		k     = flag.Int("k", 3, "result count for -kmliq")
+		p     = flag.Float64("p", 0.1, "probability threshold for -tiq")
+	)
+	flag.Parse()
+	if *data == "" || (*kmliq == "" && *tiq == "") {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*data)
+	fail(err)
+	vectors, err := pfv.ReadCSV(f)
+	fail(f.Close())
+	fail(err)
+	if len(vectors) == 0 {
+		fail(fmt.Errorf("no vectors in %s", *data))
+	}
+	dim := vectors[0].Dim()
+
+	tree, err := gausstree.New(dim)
+	fail(err)
+	defer tree.Close()
+	fail(tree.BulkLoad(vectors))
+	fmt.Printf("loaded %d vectors (%d-d), tree height %d\n", tree.Len(), dim, tree.Height())
+
+	if *kmliq != "" {
+		q := parseQuery(*kmliq, dim)
+		matches, err := tree.KMostLikely(q, *k)
+		fail(err)
+		fmt.Printf("%d most likely objects:\n", *k)
+		printMatches(matches)
+	}
+	if *tiq != "" {
+		q := parseQuery(*tiq, dim)
+		matches, err := tree.Threshold(q, *p)
+		fail(err)
+		fmt.Printf("objects with P(v|q) >= %v:\n", *p)
+		printMatches(matches)
+	}
+}
+
+func parseQuery(s string, dim int) gausstree.Vector {
+	fields := strings.Split(s, ",")
+	if len(fields) != 2*dim {
+		fail(fmt.Errorf("query needs %d comma-separated values (mu,sigma pairs for %d dimensions), got %d",
+			2*dim, dim, len(fields)))
+	}
+	mean := make([]float64, dim)
+	sigma := make([]float64, dim)
+	for i := 0; i < dim; i++ {
+		var err error
+		mean[i], err = strconv.ParseFloat(strings.TrimSpace(fields[2*i]), 64)
+		fail(err)
+		sigma[i], err = strconv.ParseFloat(strings.TrimSpace(fields[2*i+1]), 64)
+		fail(err)
+	}
+	q, err := gausstree.NewVector(0, mean, sigma)
+	fail(err)
+	return q
+}
+
+func printMatches(ms []gausstree.Match) {
+	if len(ms) == 0 {
+		fmt.Println("  (none)")
+		return
+	}
+	for i, m := range ms {
+		fmt.Printf("  %2d. object %-8d P=%6.2f%%  (certified [%.2f%%, %.2f%%])\n",
+			i+1, m.Vector.ID, 100*m.Probability, 100*m.ProbLow, 100*m.ProbHigh)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gausscli:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,105 @@
+// Command gaussgen writes the paper's evaluation data sets (or custom-sized
+// variants) to CSV files in the interchange format of the pfv package
+// (id,mu_1,sigma_1,...), together with a matching query workload whose first
+// column is the ground-truth object id.
+//
+// Usage:
+//
+//	gaussgen -set ds1 -out ds1.csv -queries ds1-queries.csv
+//	gaussgen -set ds2 -n 50000 -out ds2.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"github.com/gauss-tree/gausstree/internal/dataset"
+	"github.com/gauss-tree/gausstree/internal/pfv"
+)
+
+func main() {
+	var (
+		set     = flag.String("set", "ds2", "data set: ds1 (27-d histograms) or ds2 (10-d synthetic)")
+		n       = flag.Int("n", 0, "number of objects (0 = paper default)")
+		out     = flag.String("out", "", "output CSV path (required)")
+		queries = flag.String("queries", "", "optional query workload CSV path")
+		nq      = flag.Int("nq", 0, "number of queries (0 = paper default)")
+		seed    = flag.Int64("seed", 0, "seed override (0 = default)")
+	)
+	flag.Parse()
+	if *out == "" {
+		fail(fmt.Errorf("-out is required"))
+	}
+
+	var ds *dataset.Dataset
+	var qsigma dataset.SigmaModel
+	var defaultQ int
+	switch *set {
+	case "ds1":
+		p := dataset.DefaultHistogramParams()
+		if *n > 0 {
+			p.N = *n
+		}
+		if *seed != 0 {
+			p.Seed = *seed
+		}
+		d, err := dataset.ColorHistograms(p)
+		fail(err)
+		ds, qsigma, defaultQ = d, p.Sigma, 100
+	case "ds2":
+		p := dataset.DefaultSyntheticParams()
+		if *n > 0 {
+			p.N = *n
+		}
+		if *seed != 0 {
+			p.Seed = *seed
+		}
+		d, err := dataset.Synthetic(p)
+		fail(err)
+		ds, qsigma, defaultQ = d, p.Sigma, 500
+	default:
+		fail(fmt.Errorf("unknown data set %q", *set))
+	}
+
+	f, err := os.Create(*out)
+	fail(err)
+	fail(pfv.WriteCSV(f, ds.Vectors))
+	fail(f.Close())
+	fmt.Printf("wrote %d vectors (%d-d) to %s\n", len(ds.Vectors), ds.Dim, *out)
+
+	if *queries == "" {
+		return
+	}
+	count := defaultQ
+	if *nq > 0 {
+		count = *nq
+	}
+	qs, err := dataset.MakeQueries(ds, dataset.QueryParams{Count: count, Sigma: qsigma, Seed: 4242})
+	fail(err)
+	qf, err := os.Create(*queries)
+	fail(err)
+	w := bufio.NewWriter(qf)
+	fmt.Fprintln(w, "# truth_id,mu_1,sigma_1,...")
+	for _, q := range qs {
+		fmt.Fprintf(w, "%d", q.TruthID)
+		for j := range q.Vector.Mean {
+			fmt.Fprintf(w, ",%s,%s",
+				strconv.FormatFloat(q.Vector.Mean[j], 'g', -1, 64),
+				strconv.FormatFloat(q.Vector.Sigma[j], 'g', -1, 64))
+		}
+		fmt.Fprintln(w)
+	}
+	fail(w.Flush())
+	fail(qf.Close())
+	fmt.Printf("wrote %d queries to %s\n", count, *queries)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gaussgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,93 @@
+// Command tune is a development utility: it reports brute-force recall@3 of
+// conventional NN search vs the Bayesian MLIQ under the data-set generator
+// defaults (optionally sweeping the sigma model), used to calibrate against
+// the paper's Figure 6 operating points (NN 42%/61%, MLIQ 98%/99%).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+
+	"github.com/gauss-tree/gausstree/internal/dataset"
+	"github.com/gauss-tree/gausstree/internal/gaussian"
+	"github.com/gauss-tree/gausstree/internal/pfv"
+)
+
+func measure(ds *dataset.Dataset, qs []dataset.Query) (nn3, ml3 float64) {
+	type sc struct {
+		id uint64
+		v  float64
+	}
+	nnH, mlH := 0, 0
+	for _, q := range qs {
+		d := make([]sc, len(ds.Vectors))
+		l := make([]sc, len(ds.Vectors))
+		for i, v := range ds.Vectors {
+			d[i] = sc{v.ID, pfv.EuclideanDistance(v, q.Vector)}
+			l[i] = sc{v.ID, pfv.JointLogDensity(gaussian.CombineAdditive, v, q.Vector)}
+		}
+		sort.Slice(d, func(a, b int) bool { return d[a].v < d[b].v })
+		sort.Slice(l, func(a, b int) bool { return l[a].v > l[b].v })
+		for i := 0; i < 3 && i < len(d); i++ {
+			if d[i].id == q.TruthID {
+				nnH++
+				break
+			}
+		}
+		for i := 0; i < 3 && i < len(l); i++ {
+			if l[i].id == q.TruthID {
+				mlH++
+				break
+			}
+		}
+	}
+	return float64(nnH) / float64(len(qs)), float64(mlH) / float64(len(qs))
+}
+
+func main() {
+	sweep := flag.Bool("sweep", false, "sweep sigma model")
+	n2 := flag.Int("n2", 100000, "data set 2 size")
+	queries := flag.Int("queries", 120, "query count")
+	flag.Parse()
+
+	if *sweep {
+		for _, bm := range []float64{0.015, 0.02} {
+			for _, ff := range []float64{0.10, 0.15, 0.20} {
+				p1 := dataset.DefaultHistogramParams()
+				p1.Clusters = 150
+				p1.Sigma.BaseMax = bm
+				p1.Sigma.FeatureNoisyFraction = ff
+				ds1, _ := dataset.ColorHistograms(p1)
+				qs1, _ := dataset.MakeQueries(ds1, dataset.QueryParams{Count: *queries, Sigma: p1.Sigma, Seed: 43})
+				nn, ml := measure(ds1, qs1)
+				fmt.Printf("DS1 baseMax=%.3f feat=%.2f: NN@3=%.0f%% MLIQ@3=%.0f%% (42/98)\n", bm, ff, nn*100, ml*100)
+			}
+		}
+		for _, bm := range []float64{1.2, 1.5} {
+			for _, ff := range []float64{0.10, 0.15, 0.20} {
+				p2 := dataset.DefaultSyntheticParams()
+				p2.N = *n2
+				p2.Sigma.BaseMax = bm
+				p2.Sigma.FeatureNoisyFraction = ff
+				ds2, _ := dataset.Synthetic(p2)
+				qs2, _ := dataset.MakeQueries(ds2, dataset.QueryParams{Count: *queries, Sigma: p2.Sigma, Seed: 42})
+				nn, ml := measure(ds2, qs2)
+				fmt.Printf("DS2 baseMax=%.1f feat=%.2f: NN@3=%.0f%% MLIQ@3=%.0f%% (61/99)\n", bm, ff, nn*100, ml*100)
+			}
+		}
+		return
+	}
+	p2 := dataset.DefaultSyntheticParams()
+	p2.N = *n2
+	ds2, _ := dataset.Synthetic(p2)
+	qs2, _ := dataset.MakeQueries(ds2, dataset.QueryParams{Count: *queries, Sigma: p2.Sigma, Seed: 42})
+	nn, ml := measure(ds2, qs2)
+	fmt.Printf("DS2 defaults (n=%d): NN@3=%.0f%% MLIQ@3=%.0f%% (paper: 61/99)\n", p2.N, nn*100, ml*100)
+
+	p1 := dataset.DefaultHistogramParams()
+	ds1, _ := dataset.ColorHistograms(p1)
+	qs1, _ := dataset.MakeQueries(ds1, dataset.QueryParams{Count: *queries, Sigma: p1.Sigma, Seed: 43})
+	nn, ml = measure(ds1, qs1)
+	fmt.Printf("DS1 defaults (n=%d): NN@3=%.0f%% MLIQ@3=%.0f%% (paper: 42/98)\n", p1.N, nn*100, ml*100)
+}

@@ -1,0 +1,32 @@
+// Package gausstree implements the Gauss-tree of Böhm, Pryakhin and
+// Schubert ("The Gauss-Tree: Efficient Object Identification in Databases of
+// Probabilistic Feature Vectors", ICDE 2006): a balanced R-tree-family index
+// over the parameter space (μᵢ, σᵢ) of probabilistic feature vectors,
+// supporting the paper's two identification query types —
+//
+//   - k-most-likely identification queries (k-MLIQ): the k database objects
+//     with the highest Bayesian probability P(v|q) of describing the same
+//     real-world object as the probabilistic query vector q;
+//   - threshold identification queries (TIQ): every database object whose
+//     identification probability reaches a threshold Pθ.
+//
+// A probabilistic feature vector (pfv) models an uncertain observation: each
+// feature value μᵢ carries a standard deviation σᵢ, turning the object into
+// an axis-aligned multivariate Gaussian. Identification probabilities follow
+// from Bayes' rule over the joint densities p(q|v) = ∏ᵢ N(μv,ᵢ, σv,ᵢ⊕σq,ᵢ)(μq,ᵢ)
+// (the paper's Lemma 1). Queries are answered exactly — the index prunes
+// with conservative hull/floor bounds and guarantees no false dismissals.
+//
+// # Quick start
+//
+//	tree, _ := gausstree.New(2)
+//	tree.Insert(gausstree.MustVector(1, []float64{1.0, 2.0}, []float64{0.1, 0.2}))
+//	tree.Insert(gausstree.MustVector(2, []float64{4.0, 0.5}, []float64{0.3, 0.1}))
+//
+//	q := gausstree.MustVector(0, []float64{1.1, 1.9}, []float64{0.2, 0.2})
+//	matches, _ := tree.KMostLikely(q, 1)
+//	fmt.Println(matches[0].Vector.ID, matches[0].Probability)
+//
+// The package is safe for concurrent use: readers proceed in parallel,
+// writers are exclusive.
+package gausstree

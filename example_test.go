@@ -1,0 +1,55 @@
+package gausstree_test
+
+import (
+	"fmt"
+
+	gausstree "github.com/gauss-tree/gausstree"
+)
+
+// ExampleTree_KMostLikely builds a tiny index and identifies the object an
+// uncertain observation most likely describes.
+func ExampleTree_KMostLikely() {
+	tree, _ := gausstree.New(2)
+	defer tree.Close()
+
+	tree.Insert(gausstree.MustVector(1, []float64{1.0, 2.0}, []float64{0.1, 0.2}))
+	tree.Insert(gausstree.MustVector(2, []float64{4.0, 0.5}, []float64{0.3, 0.1}))
+
+	q := gausstree.MustVector(0, []float64{1.1, 1.9}, []float64{0.2, 0.2})
+	matches, _ := tree.KMostLikely(q, 1)
+	fmt.Printf("object %d (P=%.2f)\n", matches[0].Vector.ID, matches[0].Probability)
+	// Output: object 1 (P=1.00)
+}
+
+// ExampleTree_Threshold reproduces the paper's §3.1 threshold query: with
+// Pθ = 12% the query of Figure 1 returns O3 (77%) and O2 (13%) but not O1.
+func ExampleTree_Threshold() {
+	tree, _ := gausstree.New(2)
+	defer tree.Close()
+
+	tree.Insert(gausstree.MustVector(1, []float64{1.1503, 1.0088}, []float64{0.3579, 0.2864}))
+	tree.Insert(gausstree.MustVector(2, []float64{1.8674, 0.6274}, []float64{0.8130, 1.8051}))
+	tree.Insert(gausstree.MustVector(3, []float64{1.3597, 1.0857}, []float64{1.3154, 0.1790}))
+
+	q := gausstree.MustVector(0, []float64{0, 0}, []float64{0.0617, 0.9401})
+	hits, _ := tree.Threshold(q, 0.12)
+	for _, m := range hits {
+		fmt.Printf("O%d %.0f%%\n", m.Vector.ID, 100*m.Probability)
+	}
+	// Output:
+	// O3 77%
+	// O2 13%
+}
+
+// ExamplePosterior evaluates identification probabilities without an index
+// (the paper's general solution over a sequential scan).
+func ExamplePosterior() {
+	db := []gausstree.Vector{
+		gausstree.MustVector(1, []float64{0}, []float64{0.5}),
+		gausstree.MustVector(2, []float64{3}, []float64{0.5}),
+	}
+	q := gausstree.MustVector(0, []float64{0.2}, []float64{0.5})
+	ps := gausstree.Posterior(gausstree.CombineAdditive, db, q)
+	fmt.Printf("%.3f %.3f\n", ps[0], ps[1])
+	// Output: 0.980 0.020
+}

@@ -1,0 +1,81 @@
+// Imagesearch runs the paper's data-set-1 scenario end to end: a database
+// of color-histogram probabilistic feature vectors (27 bins, per-feature
+// uncertainty from varying imaging conditions), re-observed images as
+// queries, and a side-by-side comparison of conventional nearest-neighbor
+// search against the Gauss-tree's most-likely identification — the
+// difference Figure 6 of the paper quantifies.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	gausstree "github.com/gauss-tree/gausstree"
+	"github.com/gauss-tree/gausstree/internal/dataset"
+)
+
+func main() {
+	// A reduced data-set-1: 2,000 images, 27-d histograms.
+	params := dataset.DefaultHistogramParams()
+	params.N = 2000
+	ds, err := dataset.ColorHistograms(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	queries, err := dataset.MakeQueries(ds, dataset.QueryParams{
+		Count: 60, Sigma: params.Sigma, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tree, err := gausstree.New(ds.Dim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tree.Close()
+	if err := tree.BulkLoad(ds.Vectors); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d histogram pfv (%d-d), tree height %d\n\n", tree.Len(), ds.Dim, tree.Height())
+
+	nnHits, mliqHits := 0, 0
+	for _, q := range queries {
+		// Conventional 1-NN on the raw feature values.
+		type scored struct {
+			id uint64
+			d  float64
+		}
+		dists := make([]scored, len(ds.Vectors))
+		for i, v := range ds.Vectors {
+			sum := 0.0
+			for j := range v.Mean {
+				diff := v.Mean[j] - q.Vector.Mean[j]
+				sum += diff * diff
+			}
+			dists[i] = scored{v.ID, math.Sqrt(sum)}
+		}
+		sort.Slice(dists, func(a, b int) bool { return dists[a].d < dists[b].d })
+		if dists[0].id == q.TruthID {
+			nnHits++
+		}
+
+		// Most-likely identification on the Gauss-tree.
+		matches, err := tree.KMostLikelyRanked(q.Vector, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(matches) > 0 && matches[0].Vector.ID == q.TruthID {
+			mliqHits++
+		}
+	}
+	n := len(queries)
+	fmt.Printf("conventional 1-NN on feature values:  %d/%d correct (%.0f%%)\n",
+		nnHits, n, 100*float64(nnHits)/float64(n))
+	fmt.Printf("1-MLIQ on probabilistic vectors:      %d/%d correct (%.0f%%)\n",
+		mliqHits, n, 100*float64(mliqHits)/float64(n))
+	fmt.Println("\nthe Gaussian uncertainty model absorbs the heteroscedastic")
+	fmt.Println("imaging noise that defeats plain Euclidean matching (paper Figure 6).")
+}

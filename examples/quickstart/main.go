@@ -1,0 +1,53 @@
+// Quickstart: build a Gauss-tree over a handful of probabilistic feature
+// vectors and run both identification query types.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	gausstree "github.com/gauss-tree/gausstree"
+)
+
+func main() {
+	// A tiny database of 2-dimensional uncertain observations. Each object
+	// carries per-feature standard deviations expressing how precisely its
+	// features were measured.
+	tree, err := gausstree.New(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tree.Close()
+
+	observations := []gausstree.Vector{
+		gausstree.MustVector(1, []float64{1.0, 2.0}, []float64{0.10, 0.20}),
+		gausstree.MustVector(2, []float64{1.2, 1.8}, []float64{0.40, 0.35}),
+		gausstree.MustVector(3, []float64{4.0, 0.5}, []float64{0.15, 0.10}),
+		gausstree.MustVector(4, []float64{3.9, 0.6}, []float64{0.90, 0.80}),
+		gausstree.MustVector(5, []float64{-2.0, 3.5}, []float64{0.25, 0.25}),
+	}
+	if err := tree.InsertAll(observations); err != nil {
+		log.Fatal(err)
+	}
+
+	// A new uncertain observation: which stored object does it describe?
+	q := gausstree.MustVector(0, []float64{1.05, 1.95}, []float64{0.2, 0.2})
+
+	fmt.Println("k-most-likely identification (k=3):")
+	matches, err := tree.KMostLikely(q, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range matches {
+		fmt.Printf("  object %d with probability %.1f%%\n", m.Vector.ID, 100*m.Probability)
+	}
+
+	fmt.Println("threshold identification (P >= 10%):")
+	hits, err := tree.Threshold(q, 0.10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range hits {
+		fmt.Printf("  object %d with probability %.1f%%\n", m.Vector.ID, 100*m.Probability)
+	}
+}

@@ -1,0 +1,119 @@
+// Sensornet demonstrates identification over heterogeneous sensors: a fleet
+// of machines is fingerprinted by temperature, vibration and power-draw
+// readings, but different monitoring stations measure with very different
+// precision. A reading taken by a cheap station must still be matched to
+// the right machine — a threshold identification query with calibrated
+// probabilities, exactly the paper's TIQ use case.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	gausstree "github.com/gauss-tree/gausstree"
+)
+
+const dims = 3 // temperature [°C], vibration [mm/s], power [kW]
+
+type station struct {
+	name  string
+	sigma []float64 // measurement precision per channel
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	// The fleet: each machine has a true operating fingerprint.
+	type machine struct {
+		id   uint64
+		true []float64
+	}
+	var fleet []machine
+	for i := 1; i <= 150; i++ {
+		fleet = append(fleet, machine{
+			id: uint64(i),
+			true: []float64{
+				55 + rng.NormFloat64()*12, // temperature
+				2.5 + rng.NormFloat64()*2, // vibration
+				12 + rng.NormFloat64()*5,  // power draw
+			},
+		})
+	}
+
+	stations := []station{
+		{"lab-grade", []float64{0.2, 0.05, 0.1}},
+		{"standard", []float64{1.0, 0.2, 0.5}},
+		{"handheld", []float64{4.0, 0.8, 2.0}},
+	}
+
+	// Enrollment: every machine was fingerprinted once, by whichever
+	// station happened to be available — so the database itself mixes
+	// precision levels, and every record carries its own uncertainty.
+	tree, err := gausstree.New(dims)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tree.Close()
+	enrollment := make([]gausstree.Vector, 0, len(fleet))
+	for _, m := range fleet {
+		st := stations[rng.Intn(len(stations))]
+		mean := make([]float64, dims)
+		for j := range mean {
+			mean[j] = m.true[j] + rng.NormFloat64()*st.sigma[j]
+		}
+		enrollment = append(enrollment, gausstree.MustVector(m.id, mean, st.sigma))
+	}
+	if err := tree.BulkLoad(enrollment); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("enrolled %d machines (tree height %d)\n\n", tree.Len(), tree.Height())
+
+	// Field readings from each station type; identify the machine.
+	correct := 0
+	trials := 0
+	for _, st := range stations {
+		hits := 0
+		const n = 50
+		for t := 0; t < n; t++ {
+			m := fleet[rng.Intn(len(fleet))]
+			mean := make([]float64, dims)
+			for j := range mean {
+				mean[j] = m.true[j] + rng.NormFloat64()*st.sigma[j]
+			}
+			q := gausstree.MustVector(0, mean, st.sigma)
+			matches, err := tree.KMostLikely(q, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if len(matches) > 0 && matches[0].Vector.ID == m.id {
+				hits++
+			}
+		}
+		fmt.Printf("station %-10s identified %d/%d readings correctly\n", st.name, hits, n)
+		correct += hits
+		trials += n
+	}
+
+	// A handheld reading with a probability demand: report every machine
+	// the reading could plausibly belong to.
+	m := fleet[17]
+	st := stations[2]
+	mean := make([]float64, dims)
+	for j := range mean {
+		mean[j] = m.true[j] + rng.NormFloat64()*st.sigma[j]
+	}
+	q := gausstree.MustVector(0, mean, st.sigma)
+	candidates, err := tree.Threshold(q, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nhandheld reading near machine %d: %d candidates with P >= 5%%:\n", m.id, len(candidates))
+	for _, c := range candidates {
+		marker := " "
+		if c.Vector.ID == m.id {
+			marker = "*"
+		}
+		fmt.Printf("  %s machine %-4d P=%5.1f%%\n", marker, c.Vector.ID, 100*c.Probability)
+	}
+	fmt.Printf("\noverall identification rate: %.0f%%\n", 100*float64(correct)/float64(trials))
+}

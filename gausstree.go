@@ -1,0 +1,300 @@
+package gausstree
+
+import (
+	"errors"
+	"sync"
+
+	"github.com/gauss-tree/gausstree/internal/core"
+	"github.com/gauss-tree/gausstree/internal/gaussian"
+	"github.com/gauss-tree/gausstree/internal/pagefile"
+	"github.com/gauss-tree/gausstree/internal/pfv"
+	"github.com/gauss-tree/gausstree/internal/query"
+)
+
+// Vector is a probabilistic feature vector: an object id plus per-dimension
+// observed values (Mean) and their uncertainties (Sigma).
+type Vector = pfv.Vector
+
+// NewVector validates and constructs a probabilistic feature vector.
+func NewVector(id uint64, mean, sigma []float64) (Vector, error) {
+	return pfv.New(id, mean, sigma)
+}
+
+// MustVector is NewVector but panics on invalid input.
+func MustVector(id uint64, mean, sigma []float64) Vector {
+	return pfv.MustNew(id, mean, sigma)
+}
+
+// Combiner selects the σ-combination rule of the joint-probability lemma.
+type Combiner = gaussian.Combiner
+
+// Available σ-combination rules: the paper's additive σv+σq (default) and
+// the exact convolution √(σv²+σq²). See the gaussian package for the
+// mathematical background; index correctness holds under either.
+const (
+	CombineAdditive    = gaussian.CombineAdditive
+	CombineConvolution = gaussian.CombineConvolution
+)
+
+// Match is one answer of an identification query.
+type Match struct {
+	// Vector is the matching database object.
+	Vector Vector
+	// Probability is the Bayesian identification probability P(v|q); NaN
+	// for ranked-only queries.
+	Probability float64
+	// ProbLow and ProbHigh are the certified bounds on Probability.
+	ProbLow, ProbHigh float64
+	// LogDensity is the joint log density ln p(q|v) (a relative score).
+	LogDensity float64
+}
+
+// Options configure a Tree.
+type Options struct {
+	// PageSize is the storage page size in bytes (default 8192).
+	PageSize int
+	// CacheBytes is the buffer cache budget (default 50 MB).
+	CacheBytes int
+	// Combiner is the σ-combination rule (default CombineAdditive).
+	Combiner Combiner
+	// Path, when non-empty, stores the index in a file instead of memory.
+	Path string
+	// Accuracy is the default absolute accuracy of reported probabilities
+	// (default 1e-6). Lower accuracy (larger values) lets queries stop
+	// earlier; 0 keeps whatever interval the traversal certified.
+	Accuracy float64
+}
+
+func (o *Options) fillDefaults() {
+	if o.PageSize <= 0 {
+		o.PageSize = pagefile.DefaultPageSize
+	}
+	if o.CacheBytes <= 0 {
+		o.CacheBytes = 50 << 20
+	}
+	if o.Accuracy == 0 {
+		o.Accuracy = 1e-6
+	}
+}
+
+// Tree is a Gauss-tree index over probabilistic feature vectors. It is safe
+// for concurrent use by multiple goroutines.
+type Tree struct {
+	mu   sync.RWMutex
+	tree *core.Tree
+	mgr  *pagefile.Manager
+	opts Options
+}
+
+// ErrClosed is returned by operations on a closed tree.
+var ErrClosed = errors.New("gausstree: tree is closed")
+
+// New creates an empty Gauss-tree for vectors of the given dimension.
+func New(dim int, opts ...Options) (*Tree, error) {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	o.fillDefaults()
+
+	var backend pagefile.Backend
+	if o.Path != "" {
+		fb, err := pagefile.OpenFile(o.Path, o.PageSize)
+		if err != nil {
+			return nil, err
+		}
+		backend = fb
+	} else {
+		backend = pagefile.NewMemBackend(o.PageSize)
+	}
+	mgr, err := pagefile.NewManager(backend, o.PageSize, pagefile.WithCacheBytes(o.CacheBytes))
+	if err != nil {
+		return nil, err
+	}
+	tr, err := core.New(mgr, dim, core.Config{Combiner: o.Combiner})
+	if err != nil {
+		mgr.Close()
+		return nil, err
+	}
+	return &Tree{tree: tr, mgr: mgr, opts: o}, nil
+}
+
+// Dim returns the feature dimensionality of the index.
+func (t *Tree) Dim() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.tree.Dim()
+}
+
+// Len returns the number of stored vectors.
+func (t *Tree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.tree.Len()
+}
+
+// Height returns the tree height (1 = the root is a leaf).
+func (t *Tree) Height() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.tree.Height()
+}
+
+// Insert adds a probabilistic feature vector to the index. Duplicate ids are
+// permitted (several observations of the same object may coexist); Delete
+// removes one matching copy.
+func (t *Tree) Insert(v Vector) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.tree == nil {
+		return ErrClosed
+	}
+	return t.tree.Insert(v)
+}
+
+// InsertAll adds a batch of vectors.
+func (t *Tree) InsertAll(vs []Vector) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.tree == nil {
+		return ErrClosed
+	}
+	return t.tree.InsertAll(vs)
+}
+
+// BulkLoad builds the index from a vector set in one pass (the tree must be
+// empty). Bulk-loaded trees have near-full pages and are both faster to
+// build and faster to query than insertion-built ones.
+func (t *Tree) BulkLoad(vs []Vector) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.tree == nil {
+		return ErrClosed
+	}
+	return t.tree.BulkLoad(vs)
+}
+
+// Delete removes one stored copy of the exact vector (id, means and sigmas
+// must all match) and reports whether one was found.
+func (t *Tree) Delete(v Vector) (bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.tree == nil {
+		return false, ErrClosed
+	}
+	return t.tree.Delete(v)
+}
+
+// KMostLikely answers a k-most-likely identification query (the paper's
+// k-MLIQ, Definition 3): the k objects with the highest identification
+// probability P(v|q), with probabilities certified to the tree's configured
+// accuracy. Results are ordered by descending probability.
+func (t *Tree) KMostLikely(q Vector, k int) ([]Match, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.tree == nil {
+		return nil, ErrClosed
+	}
+	res, err := t.tree.KMLIQ(q, k, t.opts.Accuracy)
+	return toMatches(res), err
+}
+
+// KMostLikelyRanked answers a k-MLIQ without computing probability values
+// (the paper's basic algorithm, §5.2.1). It touches the fewest pages; the
+// returned matches carry log densities and NaN probabilities.
+func (t *Tree) KMostLikelyRanked(q Vector, k int) ([]Match, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.tree == nil {
+		return nil, ErrClosed
+	}
+	res, err := t.tree.KMLIQRanked(q, k)
+	return toMatches(res), err
+}
+
+// Threshold answers a threshold identification query (the paper's TIQ,
+// Definition 2): every object with P(v|q) ≥ pTheta. Results are ordered by
+// descending probability.
+func (t *Tree) Threshold(q Vector, pTheta float64) ([]Match, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.tree == nil {
+		return nil, ErrClosed
+	}
+	res, err := t.tree.TIQ(q, pTheta, t.opts.Accuracy)
+	return toMatches(res), err
+}
+
+// Stats reports the I/O counters of the underlying page manager.
+func (t *Tree) Stats() pagefile.Stats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.mgr.Stats()
+}
+
+// ResetStats zeroes the I/O counters.
+func (t *Tree) ResetStats() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.mgr.ResetStats()
+}
+
+// CheckInvariants verifies the structural invariants of the index; intended
+// for tests and debugging.
+func (t *Tree) CheckInvariants() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.tree == nil {
+		return ErrClosed
+	}
+	return t.tree.CheckInvariants()
+}
+
+// ForEach visits every stored vector.
+func (t *Tree) ForEach(fn func(Vector) error) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.tree == nil {
+		return ErrClosed
+	}
+	return t.tree.ForEach(fn)
+}
+
+// Close releases the underlying storage. The tree is unusable afterwards.
+func (t *Tree) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.tree == nil {
+		return nil
+	}
+	t.tree = nil
+	return t.mgr.Close()
+}
+
+// Posterior computes the exact identification probabilities P(vᵢ|q) of a
+// candidate-complete vector set under uniform priors, without an index —
+// the paper's general solution (§4). It is the reference implementation the
+// index is tested against.
+func Posterior(c Combiner, db []Vector, q Vector) []float64 {
+	return pfv.Posterior(c, db, q)
+}
+
+// JointLogDensity returns ln p(q|v), the joint log density of the paper's
+// Lemma 1 for two probabilistic feature vectors.
+func JointLogDensity(c Combiner, v, q Vector) float64 {
+	return pfv.JointLogDensity(c, v, q)
+}
+
+func toMatches(rs []query.Result) []Match {
+	out := make([]Match, len(rs))
+	for i, r := range rs {
+		out[i] = Match{
+			Vector:      r.Vector,
+			Probability: r.Probability,
+			ProbLow:     r.ProbLow,
+			ProbHigh:    r.ProbHigh,
+			LogDensity:  r.LogDensity,
+		}
+	}
+	return out
+}

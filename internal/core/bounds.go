@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math"
+
+	"github.com/gauss-tree/gausstree/internal/pagefile"
+)
+
+// activeNode is one unexplored subtree in the best-first priority queue.
+// logFloorN and logHullN are the log-space lower and upper bounds of the
+// subtree's total contribution to the Bayes denominator: ln(n·ˇN(q)) and
+// ln(n·ˆN(q)) respectively (§5.2.2).
+type activeNode struct {
+	page                pagefile.PageID
+	count               int
+	logFloorN, logHullN float64
+}
+
+// scaledAccum maintains Σ exp(xᵢ) over a dynamic multiset of log-space terms
+// with O(1) add and remove, staying accurate across the enormous dynamic
+// range of multi-dimensional Gaussian densities by carrying an explicit
+// log-space reference exponent. Floating-point drift from removals is
+// repaired by periodic rebuilds (see denomTracker).
+type scaledAccum struct {
+	ref float64 // log-space reference; contributions are exp(x − ref)
+	sum float64 // Σ exp(xᵢ − ref)
+}
+
+func (a *scaledAccum) add(x float64) {
+	if math.IsInf(x, -1) {
+		return
+	}
+	if a.sum <= 0 {
+		a.ref = x
+		a.sum = 1
+		return
+	}
+	if x-a.ref > 600 {
+		// Rescale so the new dominant term cannot overflow.
+		a.sum = a.sum*math.Exp(a.ref-x) + 1
+		a.ref = x
+		return
+	}
+	a.sum += math.Exp(x - a.ref)
+}
+
+func (a *scaledAccum) remove(x float64) {
+	if math.IsInf(x, -1) || a.sum <= 0 {
+		return
+	}
+	a.sum -= math.Exp(x - a.ref)
+	if a.sum < 0 {
+		a.sum = 0
+	}
+}
+
+func (a *scaledAccum) log() float64 {
+	if a.sum <= 0 {
+		return math.Inf(-1)
+	}
+	return a.ref + math.Log(a.sum)
+}
+
+func (a *scaledAccum) reset() { *a = scaledAccum{} }
+
+// denomTracker maintains the certified interval around the Bayes denominator
+// Σ_w p(q|w) during a best-first traversal: the exact log-sum of all scored
+// leaf objects plus, per §5.2.2, the floor/hull sum bounds of every subtree
+// still waiting in the priority queue. Bounds are updated whenever a node is
+// pushed or popped; every rebuildEvery mutations the accumulators are
+// recomputed from the queue to cancel floating-point drift.
+type denomTracker struct {
+	exact     scaledAccum // Σ p(q|v) over individually scored objects
+	floorPQ   scaledAccum // Σ n·ˇN over queued subtrees
+	hullPQ    scaledAccum // Σ n·ˆN over queued subtrees
+	mutations int
+}
+
+const rebuildEvery = 256
+
+func (d *denomTracker) addExact(logDensity float64) { d.exact.add(logDensity) }
+
+func (d *denomTracker) push(a activeNode) {
+	d.floorPQ.add(a.logFloorN)
+	d.hullPQ.add(a.logHullN)
+	d.mutations++
+}
+
+func (d *denomTracker) pop(a activeNode) {
+	d.floorPQ.remove(a.logFloorN)
+	d.hullPQ.remove(a.logHullN)
+	d.mutations++
+}
+
+// maybeRebuild recomputes the queue-bound accumulators from the live queue
+// contents when enough mutations have accumulated.
+func (d *denomTracker) maybeRebuild(items func(func(activeNode, float64))) {
+	if d.mutations < rebuildEvery {
+		return
+	}
+	d.mutations = 0
+	d.floorPQ.reset()
+	d.hullPQ.reset()
+	items(func(a activeNode, _ float64) {
+		d.floorPQ.add(a.logFloorN)
+		d.hullPQ.add(a.logHullN)
+	})
+}
+
+// logLow returns the log of the certified lower denominator bound.
+func (d *denomTracker) logLow() float64 { return logAddExp(d.exact.log(), d.floorPQ.log()) }
+
+// logHigh returns the log of the certified upper denominator bound.
+func (d *denomTracker) logHigh() float64 { return logAddExp(d.exact.log(), d.hullPQ.log()) }
+
+// probInterval converts a candidate's log density into its certified
+// probability interval [ld/denomHigh, ld/denomLow], clamped to [0,1].
+func (d *denomTracker) probInterval(logDensity float64) (lo, hi float64) {
+	lo = clamp01(math.Exp(logDensity - d.logHigh()))
+	hi = clamp01(math.Exp(logDensity - d.logLow()))
+	if hi < lo { // defensive: drift could invert a razor-thin interval
+		lo, hi = hi, lo
+	}
+	return lo, hi
+}
+
+func clamp01(x float64) float64 {
+	switch {
+	case math.IsNaN(x):
+		return 1 // 0/0: no information, the conservative upper bound is 1
+	case x < 0:
+		return 0
+	case x > 1:
+		return 1
+	}
+	return x
+}
+
+// logAddExp returns ln(exp(a)+exp(b)) without overflow.
+func logAddExp(a, b float64) float64 {
+	if math.IsInf(a, -1) {
+		return b
+	}
+	if math.IsInf(b, -1) {
+		return a
+	}
+	if a < b {
+		a, b = b, a
+	}
+	return a + math.Log1p(math.Exp(b-a))
+}

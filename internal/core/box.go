@@ -1,0 +1,264 @@
+// Package core implements the Gauss-tree (paper §5): a balanced,
+// R-tree-family index over the *parameter space* (μᵢ, σᵢ) of probabilistic
+// feature vectors rather than over the Gaussian curves as spatial objects.
+// Inner nodes store, per child, a 2d-dimensional minimum bounding rectangle
+// [μ̌ᵢ,μ̂ᵢ]×[σ̌ᵢ,σ̂ᵢ] plus the subtree's object count; leaves store the pfv
+// themselves. Query processing prunes with the conservative hull ˆN
+// (Lemma 2), the floor ˇN (Lemma 3) and the node-sum bounds n·ˇN ≤ Σ ≤ n·ˆN,
+// and the split strategy minimizes the hull integral ∫ˆN (§5.3).
+package core
+
+import (
+	"math"
+
+	"github.com/gauss-tree/gausstree/internal/gaussian"
+	"github.com/gauss-tree/gausstree/internal/pfv"
+)
+
+// ParamBox is a minimum bounding rectangle in the 2d-dimensional parameter
+// space of a Gauss-tree node: per feature dimension one μ interval and one
+// σ interval (Definition 4).
+type ParamBox struct {
+	Mu    []gaussian.Interval
+	Sigma []gaussian.Interval
+}
+
+// NewParamBox returns an "empty" box of the given dimension, prepared for
+// extension: all intervals are inverted (+Inf, −Inf) so the first Extend
+// snaps them to a point.
+func NewParamBox(dim int) ParamBox {
+	b := ParamBox{
+		Mu:    make([]gaussian.Interval, dim),
+		Sigma: make([]gaussian.Interval, dim),
+	}
+	for i := 0; i < dim; i++ {
+		b.Mu[i] = gaussian.Interval{Lo: math.Inf(1), Hi: math.Inf(-1)}
+		b.Sigma[i] = gaussian.Interval{Lo: math.Inf(1), Hi: math.Inf(-1)}
+	}
+	return b
+}
+
+// BoxOf returns the degenerate box covering exactly one vector's parameters.
+func BoxOf(v pfv.Vector) ParamBox {
+	b := ParamBox{
+		Mu:    make([]gaussian.Interval, v.Dim()),
+		Sigma: make([]gaussian.Interval, v.Dim()),
+	}
+	for i := range v.Mean {
+		b.Mu[i] = gaussian.Interval{Lo: v.Mean[i], Hi: v.Mean[i]}
+		b.Sigma[i] = gaussian.Interval{Lo: v.Sigma[i], Hi: v.Sigma[i]}
+	}
+	return b
+}
+
+// BoxOfVectors returns the minimum bounding box of a non-empty vector set.
+func BoxOfVectors(vs []pfv.Vector) ParamBox {
+	if len(vs) == 0 {
+		panic("core: BoxOfVectors of empty set")
+	}
+	b := BoxOf(vs[0])
+	for _, v := range vs[1:] {
+		b.ExtendVector(v)
+	}
+	return b
+}
+
+// Dim returns the feature dimensionality of the box.
+func (b ParamBox) Dim() int { return len(b.Mu) }
+
+// Clone returns a deep copy.
+func (b ParamBox) Clone() ParamBox {
+	return ParamBox{
+		Mu:    append([]gaussian.Interval(nil), b.Mu...),
+		Sigma: append([]gaussian.Interval(nil), b.Sigma...),
+	}
+}
+
+// Equal reports exact bound equality.
+func (b ParamBox) Equal(o ParamBox) bool {
+	if len(b.Mu) != len(o.Mu) {
+		return false
+	}
+	for i := range b.Mu {
+		if b.Mu[i] != o.Mu[i] || b.Sigma[i] != o.Sigma[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsVector reports whether the vector's (μ,σ) parameters lie inside
+// the box in every dimension.
+func (b ParamBox) ContainsVector(v pfv.Vector) bool {
+	for i := range b.Mu {
+		if !b.Mu[i].Contains(v.Mean[i]) || !b.Sigma[i].Contains(v.Sigma[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsBox reports whether o lies fully inside b.
+func (b ParamBox) ContainsBox(o ParamBox) bool {
+	for i := range b.Mu {
+		if o.Mu[i].Lo < b.Mu[i].Lo || o.Mu[i].Hi > b.Mu[i].Hi ||
+			o.Sigma[i].Lo < b.Sigma[i].Lo || o.Sigma[i].Hi > b.Sigma[i].Hi {
+			return false
+		}
+	}
+	return true
+}
+
+// ExtendVector grows the box in place to cover the vector's parameters.
+func (b *ParamBox) ExtendVector(v pfv.Vector) {
+	for i := range b.Mu {
+		b.Mu[i] = b.Mu[i].Extend(v.Mean[i])
+		b.Sigma[i] = b.Sigma[i].Extend(v.Sigma[i])
+	}
+}
+
+// ExtendBox grows the box in place to cover another box.
+func (b *ParamBox) ExtendBox(o ParamBox) {
+	for i := range b.Mu {
+		b.Mu[i] = b.Mu[i].Union(o.Mu[i])
+		b.Sigma[i] = b.Sigma[i].Union(o.Sigma[i])
+	}
+}
+
+// Volume returns the 2d-dimensional volume of the box, the measure used by
+// the paper's least-volume-increase insertion rule.
+func (b ParamBox) Volume() float64 {
+	v := 1.0
+	for i := range b.Mu {
+		v *= b.Mu[i].Width() * b.Sigma[i].Width()
+	}
+	return v
+}
+
+// Margin returns the sum of all 2d side lengths, used to break ties between
+// volume enlargements when boxes are degenerate (zero volume).
+func (b ParamBox) Margin() float64 {
+	m := 0.0
+	for i := range b.Mu {
+		m += b.Mu[i].Width() + b.Sigma[i].Width()
+	}
+	return m
+}
+
+// VolumeEnlargement returns Volume(b ∪ point(v)) − Volume(b).
+func (b ParamBox) VolumeEnlargement(v pfv.Vector) float64 {
+	grown := 1.0
+	for i := range b.Mu {
+		grown *= b.Mu[i].Extend(v.Mean[i]).Width() * b.Sigma[i].Extend(v.Sigma[i]).Width()
+	}
+	return grown - b.Volume()
+}
+
+// MarginEnlargement returns Margin(b ∪ point(v)) − Margin(b).
+func (b ParamBox) MarginEnlargement(v pfv.Vector) float64 {
+	grown := 0.0
+	for i := range b.Mu {
+		grown += b.Mu[i].Extend(v.Mean[i]).Width() + b.Sigma[i].Extend(v.Sigma[i]).Width()
+	}
+	return grown - b.Margin()
+}
+
+// LogHullAt returns ln ˆN(q) for the whole box against a probabilistic query
+// vector: the sum over dimensions of the log hull with the σ interval
+// shifted by the query's per-dimension uncertainty (§5.2, "the conservative
+// approximations ... can be determined by ˆN_{μ̌,μ̂,σ̌+σq,σ̂+σq}(μq)"). It is
+// the priority of the node in the best-first traversal: the maximum
+// (relative) joint log density any pfv inside the box could reach.
+func (b ParamBox) LogHullAt(c gaussian.Combiner, q pfv.Vector) float64 {
+	sum := 0.0
+	for i := range b.Mu {
+		sig := c.CombineInterval(b.Sigma[i], q.Sigma[i])
+		sum += gaussian.LogHull(b.Mu[i], sig, q.Mean[i])
+	}
+	return sum
+}
+
+// LogFloorAt returns ln ˇN(q) for the whole box against a probabilistic
+// query vector: the minimum joint log density any pfv inside the box could
+// have. Together with the subtree count it lower-bounds the node's
+// contribution to the Bayes denominator.
+func (b ParamBox) LogFloorAt(c gaussian.Combiner, q pfv.Vector) float64 {
+	sum := 0.0
+	for i := range b.Mu {
+		sig := c.CombineInterval(b.Sigma[i], q.Sigma[i])
+		sum += gaussian.LogFloor(b.Mu[i], sig, q.Mean[i])
+	}
+	return sum
+}
+
+// AccessCost returns the split objective of §5.3 for the box: the product
+// over dimensions of the per-dimension hull integrals ∫ˆN(x)dx. Each factor
+// is ≥ 1 (see gaussian.HullIntegral), so the product is a monotone
+// multivariate surrogate for the probability that an arbitrary query must
+// access a node with this bounding box.
+func (b ParamBox) AccessCost() float64 {
+	cost := 1.0
+	for i := range b.Mu {
+		cost *= gaussian.HullIntegral(b.Mu[i], b.Sigma[i])
+	}
+	return cost
+}
+
+// LogAccessCost returns ln AccessCost, immune to overflow in high
+// dimensionalities (27-dimensional boxes reach products near 1e66).
+func (b ParamBox) LogAccessCost() float64 {
+	cost := 0.0
+	for i := range b.Mu {
+		cost += math.Log(gaussian.HullIntegral(b.Mu[i], b.Sigma[i]))
+	}
+	return cost
+}
+
+// LogAccessCostWith returns ln AccessCost of the box extended by the
+// vector's parameters, without materializing the extended box.
+func (b ParamBox) LogAccessCostWith(v pfv.Vector) float64 {
+	cost := 0.0
+	for i := range b.Mu {
+		cost += math.Log(gaussian.HullIntegral(
+			b.Mu[i].Extend(v.Mean[i]), b.Sigma[i].Extend(v.Sigma[i])))
+	}
+	return cost
+}
+
+// minWidth floors interval widths in log-volume computations so degenerate
+// (zero-width) dimensions do not collapse the whole product to −Inf, which
+// would erase all ordering information between candidate boxes.
+const minWidth = 1e-12
+
+// LogVolume returns Σ ln(widthμ·widthσ) with widths floored at minWidth:
+// an overflow/underflow-safe ordering-equivalent of Volume for
+// high-dimensional parameter spaces (54 factors for d=27 underflow float64
+// almost immediately).
+func (b ParamBox) LogVolume() float64 {
+	v := 0.0
+	for i := range b.Mu {
+		v += math.Log(math.Max(b.Mu[i].Width(), minWidth)) +
+			math.Log(math.Max(b.Sigma[i].Width(), minWidth))
+	}
+	return v
+}
+
+// LogVolumeWith returns the LogVolume of the box extended by the vector.
+func (b ParamBox) LogVolumeWith(v pfv.Vector) float64 {
+	out := 0.0
+	for i := range b.Mu {
+		out += math.Log(math.Max(b.Mu[i].Extend(v.Mean[i]).Width(), minWidth)) +
+			math.Log(math.Max(b.Sigma[i].Extend(v.Sigma[i]).Width(), minWidth))
+	}
+	return out
+}
+
+// AccessCostSum returns the alternative split objective that adds the
+// per-dimension hull integrals instead of multiplying them (ablation A2).
+func (b ParamBox) AccessCostSum() float64 {
+	cost := 0.0
+	for i := range b.Mu {
+		cost += gaussian.HullIntegral(b.Mu[i], b.Sigma[i])
+	}
+	return cost
+}

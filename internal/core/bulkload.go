@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/gauss-tree/gausstree/internal/pfv"
+)
+
+// BulkLoad builds the tree bottom-up from a vector set, replacing the
+// paper's one-by-one insertion for offline construction. The set is
+// recursively median-split along the parameter axis that minimizes the same
+// hull-integral objective the online split strategy uses (§5.3), until
+// pieces fit into single leaves; leaves are packed full and upper levels are
+// assembled by grouping consecutive partitions, preserving the recursive
+// locality. Compared to repeated Insert this yields ~100% leaf utilization
+// and a fraction of the build time. The tree must be empty.
+func (t *Tree) BulkLoad(vs []pfv.Vector) error {
+	if t.count != 0 {
+		return fmt.Errorf("core: BulkLoad requires an empty tree (have %d vectors)", t.count)
+	}
+	for i, v := range vs {
+		if v.Dim() != t.dim {
+			return fmt.Errorf("%w: vector %d has dimension %d, tree dimension %d", ErrDimension, i, v.Dim(), t.dim)
+		}
+	}
+	if len(vs) == 0 {
+		return nil
+	}
+	work := append([]pfv.Vector(nil), vs...)
+
+	// Recursively partition into k near-full leaf runs: splitting by target
+	// leaf count (instead of plain medians) keeps every leaf at ~n/k ≈ full
+	// capacity rather than the ~62% a pure halving recursion converges to.
+	var leaves []*node
+	var partition func(part []pfv.Vector, k int) error
+	partition = func(part []pfv.Vector, k int) error {
+		if k <= 1 || len(part) <= t.capLeaf {
+			id, err := t.mgr.Allocate()
+			if err != nil {
+				return err
+			}
+			leaf := &node{id: id, leaf: true, vectors: append([]pfv.Vector(nil), part...)}
+			if err := t.writeNode(leaf); err != nil {
+				return err
+			}
+			leaves = append(leaves, leaf)
+			return nil
+		}
+		axis := t.bestBulkAxis(part)
+		dim, isSigma := axis/2, axis%2 == 1
+		sort.SliceStable(part, func(a, b int) bool {
+			if isSigma {
+				return part[a].Sigma[dim] < part[b].Sigma[dim]
+			}
+			return part[a].Mean[dim] < part[b].Mean[dim]
+		})
+		k1 := k / 2
+		splitAt := len(part) * k1 / k
+		if err := partition(part[:splitAt], k1); err != nil {
+			return err
+		}
+		return partition(part[splitAt:], k-k1)
+	}
+	leafCount := (len(work) + t.capLeaf - 1) / t.capLeaf
+	if err := partition(work, leafCount); err != nil {
+		return err
+	}
+
+	// Assemble upper levels from consecutive runs.
+	level := make([]childEntry, len(leaves))
+	for i, leaf := range leaves {
+		level[i] = childEntry{page: leaf.id, count: len(leaf.vectors), box: leaf.computeBox(t.dim)}
+	}
+	height := 1
+	for len(level) > 1 {
+		groups := chunkEntries(level, t.capInner, t.minInner)
+		next := make([]childEntry, 0, len(groups))
+		for _, g := range groups {
+			id, err := t.mgr.Allocate()
+			if err != nil {
+				return err
+			}
+			n := &node{id: id, children: g}
+			if err := t.writeNode(n); err != nil {
+				return err
+			}
+			next = append(next, childEntry{page: id, count: n.subtreeCount(), box: n.computeBox(t.dim)})
+		}
+		level = next
+		height++
+	}
+
+	// The previous (empty) root page is superseded.
+	t.mgr.Free(t.root)
+	delete(t.decoded, t.root)
+	t.root = level[0].page
+	t.height = height
+	t.count = len(vs)
+	return nil
+}
+
+// bestBulkAxis picks the split axis for a partition by evaluating the
+// configured split objective on a sample, exactly like the online median
+// split but subsampled for speed.
+func (t *Tree) bestBulkAxis(part []pfv.Vector) int {
+	const sampleCap = 512
+	sample := part
+	if len(part) > sampleCap {
+		stride := len(part) / sampleCap
+		sample = make([]pfv.Vector, 0, sampleCap)
+		for i := 0; i < len(part); i += stride {
+			sample = append(sample, part[i])
+		}
+	}
+	keys := make([]float64, len(sample))
+	order := make([]int, len(sample))
+	probe := &node{leaf: true, vectors: sample}
+	bestAxis, bestCost := 0, 0.0
+	for axis := 0; axis < 2*t.dim; axis++ {
+		dim, isSigma := axis/2, axis%2 == 1
+		for i := range sample {
+			if isSigma {
+				keys[i] = sample[i].Sigma[dim]
+			} else {
+				keys[i] = sample[i].Mean[dim]
+			}
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+		cost := t.splitCost(probe, order)
+		if axis == 0 || cost < bestCost {
+			bestAxis, bestCost = axis, cost
+		}
+	}
+	return bestAxis
+}
+
+// chunkEntries groups a level's entries into inner-node-sized chunks,
+// borrowing from the previous chunk when the tail would underflow.
+func chunkEntries(entries []childEntry, capacity, minimum int) [][]childEntry {
+	var out [][]childEntry
+	for len(entries) > 0 {
+		n := capacity
+		if n > len(entries) {
+			n = len(entries)
+		}
+		// Avoid leaving an underfull tail.
+		if rest := len(entries) - n; rest > 0 && rest < minimum {
+			n = len(entries) - minimum
+		}
+		out = append(out, entries[:n:n])
+		entries = entries[n:]
+	}
+	return out
+}

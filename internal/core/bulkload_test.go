@@ -1,0 +1,198 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/gauss-tree/gausstree/internal/gaussian"
+	"github.com/gauss-tree/gausstree/internal/pagefile"
+	"github.com/gauss-tree/gausstree/internal/pfv"
+)
+
+func TestBulkLoadInvariantsAndContent(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 50, 500, 3000} {
+		tr := newTree(t, 3, 1024, Config{})
+		rng := rand.New(rand.NewSource(int64(n) + 1))
+		vs := clusteredVectors(rng, n, 3, 5)
+		if err := tr.BulkLoad(vs); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if tr.Len() != n {
+			t.Fatalf("n=%d: Len=%d", n, tr.Len())
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		got, err := tr.CollectAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Slice(got, func(a, b int) bool { return got[a].ID < got[b].ID })
+		if len(got) != n {
+			t.Fatalf("n=%d: collected %d", n, len(got))
+		}
+		for i := range vs {
+			if !vs[i].Equal(got[i]) {
+				t.Fatalf("n=%d: vector %d mismatch", n, i)
+			}
+		}
+	}
+}
+
+func TestBulkLoadRejectsNonEmptyAndBadDims(t *testing.T) {
+	tr := newTree(t, 2, 512, Config{})
+	rng := rand.New(rand.NewSource(2))
+	vs := clusteredVectors(rng, 10, 2, 1)
+	if err := tr.Insert(vs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.BulkLoad(vs); err == nil {
+		t.Error("BulkLoad on non-empty tree should fail")
+	}
+	tr2 := newTree(t, 2, 512, Config{})
+	if err := tr2.BulkLoad([]pfv.Vector{pfv.MustNew(1, []float64{1}, []float64{1})}); err == nil {
+		t.Error("dimension mismatch should fail")
+	}
+}
+
+func TestBulkLoadPacksLeaves(t *testing.T) {
+	tr := newTree(t, 2, 1024, Config{})
+	rng := rand.New(rand.NewSource(3))
+	vs := clusteredVectors(rng, 2000, 2, 6)
+	if err := tr.BulkLoad(vs); err != nil {
+		t.Fatal(err)
+	}
+	leaves, _, err := tr.NodeCounts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill := float64(2000) / float64(leaves*tr.LeafCapacity())
+	if fill < 0.8 {
+		t.Errorf("bulk-loaded leaf fill = %.0f%%, want ≥80%%", fill*100)
+	}
+
+	// Insert-built tree for comparison must be valid but less packed.
+	tr2 := newTree(t, 2, 1024, Config{})
+	if err := tr2.InsertAll(vs); err != nil {
+		t.Fatal(err)
+	}
+	leaves2, _, _ := tr2.NodeCounts()
+	if leaves >= leaves2 {
+		t.Errorf("bulk load should use fewer leaves: %d vs %d", leaves, leaves2)
+	}
+}
+
+func TestBulkLoadedTreeAnswersQueriesExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	vs := clusteredVectors(rng, 1200, 3, 8)
+
+	bulk := newTree(t, 3, 1024, Config{})
+	if err := bulk.BulkLoad(vs); err != nil {
+		t.Fatal(err)
+	}
+	mgrS, _ := pagefile.NewManager(pagefile.NewMemBackend(1024), 1024)
+	ins, err := New(mgrS, 3, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ins.InsertAll(vs); err != nil {
+		t.Fatal(err)
+	}
+
+	for trial := 0; trial < 15; trial++ {
+		q := reobserved(rng, vs[rng.Intn(len(vs))])
+		a, err := bulk.KMLIQ(q, 4, 1e-9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ins.KMLIQ(q, 4, 1e-9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("trial %d: %d vs %d results", trial, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Vector.ID != b[i].Vector.ID {
+				t.Errorf("trial %d rank %d: bulk %d vs insert %d", trial, i, a[i].Vector.ID, b[i].Vector.ID)
+			}
+		}
+	}
+}
+
+func TestBulkLoadedTreeSupportsMutation(t *testing.T) {
+	tr := newTree(t, 2, 512, Config{})
+	rng := rand.New(rand.NewSource(5))
+	vs := clusteredVectors(rng, 800, 2, 4)
+	if err := tr.BulkLoad(vs); err != nil {
+		t.Fatal(err)
+	}
+	extra := clusteredVectors(rng, 100, 2, 4)
+	for i := range extra {
+		extra[i].ID += 10000
+	}
+	if err := tr.InsertAll(extra); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vs[:50] {
+		ok, err := tr.Delete(v)
+		if err != nil || !ok {
+			t.Fatalf("delete: ok=%v err=%v", ok, err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 850 {
+		t.Errorf("Len = %d, want 850", tr.Len())
+	}
+}
+
+func TestChunkEntriesRespectsBounds(t *testing.T) {
+	mk := func(n int) []childEntry { return make([]childEntry, n) }
+	for _, tc := range []struct {
+		n, cap, min int
+	}{
+		{1, 10, 2}, {9, 10, 2}, {10, 10, 2}, {11, 10, 2}, {12, 10, 2},
+		{19, 10, 5}, {21, 10, 5}, {100, 7, 3},
+	} {
+		got := chunkEntries(mk(tc.n), tc.cap, tc.min)
+		total := 0
+		for i, g := range got {
+			total += len(g)
+			if len(g) > tc.cap {
+				t.Errorf("n=%d: chunk %d oversize %d", tc.n, i, len(g))
+			}
+			if len(got) > 1 && len(g) < tc.min {
+				t.Errorf("n=%d: chunk %d undersize %d", tc.n, i, len(g))
+			}
+		}
+		if total != tc.n {
+			t.Errorf("n=%d: chunks total %d", tc.n, total)
+		}
+	}
+}
+
+func BenchmarkBulkLoadVsInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	vs := clusteredVectors(rng, 5000, 4, 10)
+	b.Run("bulk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mgr, _ := pagefile.NewManager(pagefile.NewMemBackend(4096), 4096)
+			tr, _ := New(mgr, 4, Config{Combiner: gaussian.CombineAdditive})
+			if err := tr.BulkLoad(vs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("insert", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mgr, _ := pagefile.NewManager(pagefile.NewMemBackend(4096), 4096)
+			tr, _ := New(mgr, 4, Config{Combiner: gaussian.CombineAdditive})
+			if err := tr.InsertAll(vs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

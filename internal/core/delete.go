@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/gauss-tree/gausstree/internal/pfv"
+)
+
+// Delete removes one stored copy of the given probabilistic feature vector
+// (matched by id, means and sigmas) and reports whether a copy was found.
+// As in classical R-trees the full vector is required, because the descent
+// is guided by parameter-space containment. Leaf underflows are resolved by
+// the condense-and-reinsert strategy: the underflowing node's remaining
+// objects (or the whole subtree's objects for a cascading inner underflow)
+// are collected and re-inserted through the normal insertion path.
+//
+// Deletion is not described in the paper; this is the standard R-tree-family
+// algorithm adapted to the Gauss-tree's parameter-space boxes, provided for
+// production completeness.
+func (t *Tree) Delete(v pfv.Vector) (bool, error) {
+	if v.Dim() != t.dim {
+		return false, fmt.Errorf("%w: vector dimension %d, tree dimension %d", ErrDimension, v.Dim(), t.dim)
+	}
+	path, found, err := t.findPath(v)
+	if err != nil || !found {
+		return false, err
+	}
+
+	// Remove the vector from its leaf.
+	leaf := path[len(path)-1].node
+	for i, w := range leaf.vectors {
+		if w.Equal(v) {
+			leaf.vectors = append(leaf.vectors[:i], leaf.vectors[i+1:]...)
+			break
+		}
+	}
+	t.count--
+
+	var reinsert []pfv.Vector
+	child := leaf
+	for i := len(path) - 2; i >= 0; i-- {
+		parent := path[i].node
+		idx := path[i].childIdx
+		if child.entryCount() < t.minEntries(child) {
+			// Underflow: orphan the whole subtree and schedule its objects
+			// for re-insertion.
+			vs, err := t.collectVectors(child)
+			if err != nil {
+				return false, err
+			}
+			reinsert = append(reinsert, vs...)
+			if err := t.freeNodeSubtree(child); err != nil {
+				return false, err
+			}
+			parent.children = append(parent.children[:idx], parent.children[idx+1:]...)
+		} else {
+			if err := t.writeNode(child); err != nil {
+				return false, err
+			}
+			parent.children[idx].box = child.computeBox(t.dim)
+			parent.children[idx].count = child.subtreeCount()
+		}
+		child = parent
+	}
+
+	// child is now the root. Shrink it while it is an inner node with a
+	// single child.
+	root := child
+	if err := t.writeNode(root); err != nil {
+		return false, err
+	}
+	for !root.leaf && len(root.children) == 1 {
+		oldID := root.id
+		next, err := t.readNode(root.children[0].page)
+		if err != nil {
+			return false, err
+		}
+		delete(t.decoded, oldID)
+		t.mgr.Free(oldID)
+		root = next
+		t.root = root.id
+		t.height--
+	}
+	if !root.leaf && len(root.children) == 0 {
+		// The tree emptied out entirely: restart with an empty leaf root.
+		root = &node{id: root.id, leaf: true}
+		t.height = 1
+		if err := t.writeNode(root); err != nil {
+			return false, err
+		}
+	}
+
+	// Re-insert orphans through the regular path.
+	t.count -= len(reinsert)
+	for _, w := range reinsert {
+		if err := t.Insert(w); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// minEntries returns the minimum fill of a non-root node.
+func (t *Tree) minEntries(n *node) int {
+	if n.id == t.root {
+		return 0
+	}
+	if n.leaf {
+		return t.minLeaf
+	}
+	return t.minInner
+}
+
+// findPath locates the exact vector, returning the root-to-leaf path whose
+// final leaf holds it. The descent explores only containment paths.
+func (t *Tree) findPath(v pfv.Vector) ([]pathStep, bool, error) {
+	root, err := t.readNode(t.root)
+	if err != nil {
+		return nil, false, err
+	}
+	var dfs func(n *node, path []pathStep) ([]pathStep, bool, error)
+	dfs = func(n *node, path []pathStep) ([]pathStep, bool, error) {
+		if n.leaf {
+			for _, w := range n.vectors {
+				if w.Equal(v) {
+					return append(path, pathStep{node: n, childIdx: -1}), true, nil
+				}
+			}
+			return nil, false, nil
+		}
+		for i, c := range n.children {
+			if !c.box.ContainsVector(v) {
+				continue
+			}
+			child, err := t.readNode(c.page)
+			if err != nil {
+				return nil, false, err
+			}
+			got, ok, err := dfs(child, append(path, pathStep{node: n, childIdx: i}))
+			if err != nil || ok {
+				return got, ok, err
+			}
+		}
+		return nil, false, nil
+	}
+	return dfs(root, nil)
+}
+
+// collectVectors gathers every pfv stored in the (already loaded) node's
+// subtree.
+func (t *Tree) collectVectors(n *node) ([]pfv.Vector, error) {
+	if n.leaf {
+		return append([]pfv.Vector(nil), n.vectors...), nil
+	}
+	var out []pfv.Vector
+	for _, c := range n.children {
+		child, err := t.readNode(c.page)
+		if err != nil {
+			return nil, err
+		}
+		vs, err := t.collectVectors(child)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vs...)
+	}
+	return out, nil
+}
+
+// freeNodeSubtree frees the pages of an already loaded node and all its
+// descendants.
+func (t *Tree) freeNodeSubtree(n *node) error {
+	if !n.leaf {
+		for _, c := range n.children {
+			if err := t.freeSubtree(c.page); err != nil {
+				return err
+			}
+		}
+	}
+	delete(t.decoded, n.id)
+	t.mgr.Free(n.id)
+	return nil
+}

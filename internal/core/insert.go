@@ -1,0 +1,340 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/gauss-tree/gausstree/internal/pagefile"
+	"github.com/gauss-tree/gausstree/internal/pfv"
+)
+
+// pathStep records one node on the root-to-leaf descent together with the
+// index of the child entry the descent followed.
+type pathStep struct {
+	node     *node
+	childIdx int // index into node.children of the next step; -1 at the leaf
+}
+
+// Insert adds a probabilistic feature vector to the tree, applying the
+// paper's path-selection rules (§5.3): follow the unique containing child if
+// there is exactly one; choose the least-volume-increase child if there is
+// none; and when several children contain the new vector, probe the
+// containment paths for a leaf the vector fits into exactly. Node overflows
+// are resolved by the median split minimizing the configured objective.
+func (t *Tree) Insert(v pfv.Vector) error {
+	if v.Dim() != t.dim {
+		return fmt.Errorf("%w: vector dimension %d, tree dimension %d", ErrDimension, v.Dim(), t.dim)
+	}
+	path, err := t.choosePath(v)
+	if err != nil {
+		return err
+	}
+	leaf := path[len(path)-1].node
+	leaf.vectors = append(leaf.vectors, v)
+	t.count++
+
+	// Resolve a possible leaf overflow, then propagate box/count updates and
+	// splits toward the root.
+	var splitOff *childEntry // the new sibling produced by a split, if any
+	if len(leaf.vectors) > t.capLeaf {
+		splitOff, err = t.splitNode(leaf)
+	} else {
+		err = t.writeNode(leaf)
+	}
+	if err != nil {
+		return err
+	}
+
+	for i := len(path) - 2; i >= 0; i-- {
+		parent := path[i].node
+		idx := path[i].childIdx
+		child := path[i+1].node
+		parent.children[idx].box = child.computeBox(t.dim)
+		parent.children[idx].count = child.subtreeCount()
+		if splitOff != nil {
+			parent.children = append(parent.children, *splitOff)
+			splitOff = nil
+		}
+		if len(parent.children) > t.capInner {
+			splitOff, err = t.splitNode(parent)
+		} else {
+			err = t.writeNode(parent)
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	if splitOff != nil {
+		// The root itself split: grow the tree by one level.
+		oldRoot := path[0].node
+		newRootID, err := t.mgr.Allocate()
+		if err != nil {
+			return err
+		}
+		newRoot := &node{
+			id: newRootID,
+			children: []childEntry{
+				{page: oldRoot.id, count: oldRoot.subtreeCount(), box: oldRoot.computeBox(t.dim)},
+				*splitOff,
+			},
+		}
+		if err := t.writeNode(newRoot); err != nil {
+			return err
+		}
+		t.root = newRootID
+		t.height++
+	}
+	return nil
+}
+
+// InsertAll inserts a batch of vectors one by one.
+func (t *Tree) InsertAll(vs []pfv.Vector) error {
+	for _, v := range vs {
+		if err := t.Insert(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// choosePath selects the root-to-leaf insertion path.
+func (t *Tree) choosePath(v pfv.Vector) ([]pathStep, error) {
+	n, err := t.readNode(t.root)
+	if err != nil {
+		return nil, err
+	}
+	path := []pathStep{}
+	for !n.leaf {
+		idx, err := t.chooseChild(n, v)
+		if err != nil {
+			return nil, err
+		}
+		path = append(path, pathStep{node: n, childIdx: idx})
+		if n, err = t.readNode(n.children[idx].page); err != nil {
+			return nil, err
+		}
+	}
+	return append(path, pathStep{node: n, childIdx: -1}), nil
+}
+
+// chooseChild applies the paper's three insertion rules at one inner node.
+func (t *Tree) chooseChild(n *node, v pfv.Vector) (int, error) {
+	containing := make([]int, 0, 4)
+	for i, c := range n.children {
+		if c.box.ContainsVector(v) {
+			containing = append(containing, i)
+		}
+	}
+	switch len(containing) {
+	case 1:
+		return containing[0], nil
+	case 0:
+		return t.leastEnlargementChild(n.children, v), nil
+	}
+	// Several children contain the vector: probe each containment path for
+	// the best-fitting leaf. The probe fanout is capped (smallest-volume
+	// candidates first) to bound the cost of pathological overlap.
+	if len(containing) > t.cfg.ProbeFanout {
+		sort.Slice(containing, func(a, b int) bool {
+			return t.boxCost(n.children[containing[a]].box) < t.boxCost(n.children[containing[b]].box)
+		})
+		containing = containing[:t.cfg.ProbeFanout]
+	}
+	bestIdx, bestEnl, bestCost := -1, math.Inf(1), math.Inf(1)
+	for _, i := range containing {
+		enl, cost, err := t.probeLeafCost(n.children[i].page, v)
+		if err != nil {
+			return 0, err
+		}
+		if enl < bestEnl || (enl == bestEnl && cost < bestCost) {
+			bestIdx, bestEnl, bestCost = i, enl, cost
+		}
+	}
+	return bestIdx, nil
+}
+
+// boxCost evaluates the configured insertion objective for a box, in log
+// space so high-dimensional products keep their ordering.
+func (t *Tree) boxCost(b ParamBox) float64 {
+	if t.cfg.Insert == InsertVolume {
+		return b.LogVolume()
+	}
+	return b.LogAccessCost()
+}
+
+// boxCostWith evaluates the objective for the box extended by v.
+func (t *Tree) boxCostWith(b ParamBox, v pfv.Vector) float64 {
+	if t.cfg.Insert == InsertVolume {
+		return b.LogVolumeWith(v)
+	}
+	return b.LogAccessCostWith(v)
+}
+
+// leastEnlargementChild returns the index of the child whose box needs the
+// least objective increase to absorb v, breaking ties by margin increase
+// and then by absolute objective (preferring the more selective box).
+func (t *Tree) leastEnlargementChild(children []childEntry, v pfv.Vector) int {
+	best := 0
+	bestEnl, bestMargin, bestCost := math.Inf(1), math.Inf(1), math.Inf(1)
+	for i, c := range children {
+		cost := t.boxCost(c.box)
+		enl := t.boxCostWith(c.box, v) - cost
+		mrg := c.box.MarginEnlargement(v)
+		if enl < bestEnl ||
+			(enl == bestEnl && mrg < bestMargin) ||
+			(enl == bestEnl && mrg == bestMargin && cost < bestCost) {
+			best, bestEnl, bestMargin, bestCost = i, enl, mrg, cost
+		}
+	}
+	return best
+}
+
+// probeLeafCost descends the subtree under page following the same rules and
+// returns the (objective enlargement, objective) of the leaf the descent
+// would reach: enlargement 0 when the vector fits exactly.
+func (t *Tree) probeLeafCost(page pagefile.PageID, v pfv.Vector) (enl, cost float64, err error) {
+	n, err := t.readNode(page)
+	if err != nil {
+		return 0, 0, err
+	}
+	if n.leaf {
+		if len(n.vectors) == 0 {
+			return 0, math.Inf(-1), nil
+		}
+		box := n.computeBox(t.dim)
+		c := t.boxCost(box)
+		return t.boxCostWith(box, v) - c, c, nil
+	}
+	idx, err := t.chooseChild(n, v)
+	if err != nil {
+		return 0, 0, err
+	}
+	return t.probeLeafCost(n.children[idx].page, v)
+}
+
+// splitNode performs the §5.3 median split: for every μ-dimension and every
+// σ-dimension the entries are sorted and halved at the median; the tentative
+// split minimizing the configured objective over the two resulting bounding
+// boxes is made permanent. The receiver keeps the left half (and its page);
+// the returned child entry describes the freshly allocated right half.
+func (t *Tree) splitNode(n *node) (*childEntry, error) {
+	count := n.entryCount()
+	keys := make([]float64, count)
+	order := make([]int, count)
+	bestCost := math.Inf(1)
+	var bestOrder []int
+
+	for axis := 0; axis < 2*t.dim; axis++ {
+		dim, isSigma := axis/2, axis%2 == 1
+		for i := 0; i < count; i++ {
+			keys[i] = t.splitKey(n, i, dim, isSigma)
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+		cost := t.splitCost(n, order)
+		if cost < bestCost {
+			bestCost = cost
+			bestOrder = append(bestOrder[:0], order...)
+		}
+	}
+
+	mid := count / 2
+	right := &node{leaf: n.leaf}
+	if n.leaf {
+		leftV := make([]pfv.Vector, 0, mid)
+		rightV := make([]pfv.Vector, 0, count-mid)
+		for _, i := range bestOrder[:mid] {
+			leftV = append(leftV, n.vectors[i])
+		}
+		for _, i := range bestOrder[mid:] {
+			rightV = append(rightV, n.vectors[i])
+		}
+		n.vectors = leftV
+		right.vectors = rightV
+	} else {
+		leftC := make([]childEntry, 0, mid)
+		rightC := make([]childEntry, 0, count-mid)
+		for _, i := range bestOrder[:mid] {
+			leftC = append(leftC, n.children[i])
+		}
+		for _, i := range bestOrder[mid:] {
+			rightC = append(rightC, n.children[i])
+		}
+		n.children = leftC
+		right.children = rightC
+	}
+
+	rightID, err := t.mgr.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	right.id = rightID
+	if err := t.writeNode(n); err != nil {
+		return nil, err
+	}
+	if err := t.writeNode(right); err != nil {
+		return nil, err
+	}
+	return &childEntry{
+		page:  rightID,
+		count: right.subtreeCount(),
+		box:   right.computeBox(t.dim),
+	}, nil
+}
+
+// splitKey returns the sort key of entry i along the given axis: the value
+// itself for leaves, the interval center for inner entries.
+func (t *Tree) splitKey(n *node, i, dim int, isSigma bool) float64 {
+	if n.leaf {
+		if isSigma {
+			return n.vectors[i].Sigma[dim]
+		}
+		return n.vectors[i].Mean[dim]
+	}
+	if isSigma {
+		iv := n.children[i].box.Sigma[dim]
+		return (iv.Lo + iv.Hi) / 2
+	}
+	iv := n.children[i].box.Mu[dim]
+	return (iv.Lo + iv.Hi) / 2
+}
+
+// splitCost evaluates the configured objective for the median split of the
+// entries in the given order. Product-style objectives are combined in log
+// space (ln(A+B) via logAddExp) so 27-dimensional cost products cannot
+// overflow the comparison.
+func (t *Tree) splitCost(n *node, order []int) float64 {
+	mid := len(order) / 2
+	left := t.boxOfEntries(n, order[:mid])
+	right := t.boxOfEntries(n, order[mid:])
+	switch t.cfg.Split {
+	case SplitHullIntegralSum:
+		return left.AccessCostSum() + right.AccessCostSum()
+	case SplitVolume:
+		return logAddExp(left.LogVolume(), right.LogVolume())
+	default:
+		return logAddExp(left.LogAccessCost(), right.LogAccessCost())
+	}
+}
+
+func (t *Tree) boxOfEntries(n *node, idxs []int) ParamBox {
+	var b ParamBox
+	for k, i := range idxs {
+		if n.leaf {
+			if k == 0 {
+				b = BoxOf(n.vectors[i])
+			} else {
+				b.ExtendVector(n.vectors[i])
+			}
+		} else {
+			if k == 0 {
+				b = n.children[i].box.Clone()
+			} else {
+				b.ExtendBox(n.children[i].box)
+			}
+		}
+	}
+	return b
+}

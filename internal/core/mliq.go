@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/gauss-tree/gausstree/internal/pfv"
+	"github.com/gauss-tree/gausstree/internal/pqueue"
+	"github.com/gauss-tree/gausstree/internal/query"
+)
+
+// KMLIQRanked answers a k-most-likely identification query without
+// computing the actual probability values — the basic algorithm of §5.2.1
+// (paper Figure 4). It performs a best-first traversal ordered by the node
+// hull priority ˆN(q) and stops as soon as all k candidates score at least
+// as high as the best unexplored node, guaranteeing no false dismissals.
+// The returned results carry the joint log densities; Probability fields
+// are NaN.
+func (t *Tree) KMLIQRanked(q pfv.Vector, k int) ([]query.Result, error) {
+	if err := t.checkQuery(q, k); err != nil {
+		return nil, err
+	}
+	top := pqueue.NewTopK[pfv.Vector](k)
+	active := pqueue.NewMax[activeNode]()
+	active.Push(activeNode{page: t.root, count: t.count}, math.Inf(1))
+
+	for active.Len() > 0 {
+		if bound, ok := top.Bound(); ok {
+			if _, topPrio, _ := active.Peek(); bound >= topPrio {
+				break
+			}
+		}
+		a, _, _ := active.Pop()
+		n, err := t.readNode(a.page)
+		if err != nil {
+			return nil, err
+		}
+		if n.leaf {
+			for _, v := range n.vectors {
+				top.Offer(v, pfv.JointLogDensity(t.cfg.Combiner, v, q))
+			}
+			continue
+		}
+		for _, c := range n.children {
+			active.Push(activeNode{page: c.page, count: c.count}, c.box.LogHullAt(t.cfg.Combiner, q))
+		}
+	}
+
+	out := make([]query.Result, 0, top.Len())
+	for _, v := range top.Sorted() {
+		out = append(out, query.Result{
+			Vector:      v,
+			LogDensity:  pfv.JointLogDensity(t.cfg.Combiner, v, q),
+			Probability: math.NaN(),
+			ProbLow:     math.NaN(),
+			ProbHigh:    math.NaN(),
+		})
+	}
+	return out, nil
+}
+
+// KMLIQ answers a k-most-likely identification query including the actual
+// identification probabilities (§5.2.2). Beyond the ranked traversal it
+// maintains certified lower and upper bounds on the Bayes denominator from
+// the n·ˇN / n·ˆN sum bounds of every unexplored subtree, and keeps
+// expanding nodes until (a) the k best objects are determined and (b) each
+// reported probability is certified within the requested absolute accuracy.
+// accuracy ≤ 0 skips condition (b): results then carry whatever probability
+// interval the traversal happened to certify.
+func (t *Tree) KMLIQ(q pfv.Vector, k int, accuracy float64) ([]query.Result, error) {
+	if err := t.checkQuery(q, k); err != nil {
+		return nil, err
+	}
+	if t.count == 0 {
+		return nil, nil
+	}
+	top := pqueue.NewTopK[pfv.Vector](k)
+	active := pqueue.NewMax[activeNode]()
+	var denom denomTracker
+
+	// Seed with the root's children (the root page itself carries no
+	// bounding box; reading it here is the traversal's first page access).
+	if err := t.expand(activeNode{page: t.root, count: t.count}, q, active, &denom, func(v pfv.Vector, ld float64) {
+		top.Offer(v, ld)
+	}); err != nil {
+		return nil, err
+	}
+
+	for active.Len() > 0 {
+		if t.mliqDone(top, active, &denom, accuracy) {
+			break
+		}
+		a, _, _ := active.Pop()
+		denom.pop(a)
+		if err := t.expand(a, q, active, &denom, func(v pfv.Vector, ld float64) {
+			top.Offer(v, ld)
+		}); err != nil {
+			return nil, err
+		}
+		denom.maybeRebuild(active.Items)
+	}
+
+	out := make([]query.Result, 0, top.Len())
+	for _, v := range top.Sorted() {
+		ld := pfv.JointLogDensity(t.cfg.Combiner, v, q)
+		lo, hi := denom.probInterval(ld)
+		out = append(out, query.Result{
+			Vector:      v,
+			LogDensity:  ld,
+			Probability: (lo + hi) / 2,
+			ProbLow:     lo,
+			ProbHigh:    hi,
+		})
+	}
+	query.SortByProbability(out)
+	return out, nil
+}
+
+// mliqDone evaluates the two-part §5.2.2 stop condition.
+func (t *Tree) mliqDone(top *pqueue.TopK[pfv.Vector], active *pqueue.Queue[activeNode], denom *denomTracker, accuracy float64) bool {
+	bound, full := top.Bound()
+	if !full && top.Len() < t.count {
+		return false
+	}
+	if full {
+		if _, topPrio, ok := active.Peek(); ok && bound < topPrio {
+			return false
+		}
+	}
+	if accuracy <= 0 {
+		return true
+	}
+	tight := true
+	top.Items(func(_ pfv.Vector, ld float64) {
+		lo, hi := denom.probInterval(ld)
+		if hi-lo > accuracy {
+			tight = false
+		}
+	})
+	return tight
+}
+
+// expand loads one queued subtree root. Leaf objects are scored exactly
+// (feeding both the candidate collector and the exact denominator part);
+// inner children are pushed with their hull priorities and registered with
+// the denominator tracker.
+func (t *Tree) expand(a activeNode, q pfv.Vector, active *pqueue.Queue[activeNode], denom *denomTracker, onVector func(pfv.Vector, float64)) error {
+	n, err := t.readNode(a.page)
+	if err != nil {
+		return err
+	}
+	if n.leaf {
+		for _, v := range n.vectors {
+			ld := pfv.JointLogDensity(t.cfg.Combiner, v, q)
+			denom.addExact(ld)
+			onVector(v, ld)
+		}
+		return nil
+	}
+	logN := func(c childEntry) float64 { return math.Log(float64(c.count)) }
+	for _, c := range n.children {
+		prio := c.box.LogHullAt(t.cfg.Combiner, q)
+		child := activeNode{
+			page:      c.page,
+			count:     c.count,
+			logFloorN: c.box.LogFloorAt(t.cfg.Combiner, q) + logN(c),
+			logHullN:  prio + logN(c),
+		}
+		active.Push(child, prio)
+		denom.push(child)
+	}
+	return nil
+}
+
+func (t *Tree) checkQuery(q pfv.Vector, k int) error {
+	if q.Dim() != t.dim {
+		return fmt.Errorf("%w: query dimension %d, tree dimension %d", ErrDimension, q.Dim(), t.dim)
+	}
+	if k <= 0 {
+		return fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	return nil
+}

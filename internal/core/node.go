@@ -1,0 +1,173 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/gauss-tree/gausstree/internal/gaussian"
+	"github.com/gauss-tree/gausstree/internal/pagefile"
+	"github.com/gauss-tree/gausstree/internal/pfv"
+)
+
+// Node kinds in the on-page encoding.
+const (
+	kindLeaf  = 1
+	kindInner = 2
+)
+
+// nodeHeaderSize is kind (1 byte) + entry count (2 bytes).
+const nodeHeaderSize = 3
+
+// childEntry is one routing entry of an inner node: the child page, the
+// number of probabilistic feature vectors stored in the child's subtree
+// (needed for the sum bounds n·ˇN and n·ˆN of §5.2.2), and the child's
+// parameter-space bounding box.
+type childEntry struct {
+	page  pagefile.PageID
+	count int
+	box   ParamBox
+}
+
+// node is the in-memory form of one Gauss-tree page.
+type node struct {
+	id       pagefile.PageID
+	leaf     bool
+	vectors  []pfv.Vector // leaf payload
+	children []childEntry // inner payload
+}
+
+// entryCount returns the number of entries regardless of node kind.
+func (n *node) entryCount() int {
+	if n.leaf {
+		return len(n.vectors)
+	}
+	return len(n.children)
+}
+
+// subtreeCount returns the number of pfv stored in the node's subtree.
+func (n *node) subtreeCount() int {
+	if n.leaf {
+		return len(n.vectors)
+	}
+	total := 0
+	for _, c := range n.children {
+		total += c.count
+	}
+	return total
+}
+
+// computeBox returns the minimum bounding parameter box of the node's
+// entries. Empty nodes (only the root may be empty) return an inverted box.
+func (n *node) computeBox(dim int) ParamBox {
+	if n.leaf {
+		if len(n.vectors) == 0 {
+			return NewParamBox(dim)
+		}
+		return BoxOfVectors(n.vectors)
+	}
+	if len(n.children) == 0 {
+		return NewParamBox(dim)
+	}
+	b := n.children[0].box.Clone()
+	for _, c := range n.children[1:] {
+		b.ExtendBox(c.box)
+	}
+	return b
+}
+
+// leafEntrySize returns the encoded size of one leaf entry.
+func leafEntrySize(dim int) int { return pfv.EncodedSize(dim) }
+
+// innerEntrySize returns the encoded size of one inner entry: child page id
+// (4) + subtree count (4) + 4 float64 bounds per dimension.
+func innerEntrySize(dim int) int { return 8 + 32*dim }
+
+// encodeNode serializes a node into a page image.
+func encodeNode(n *node, dim int) []byte {
+	if n.leaf {
+		buf := make([]byte, nodeHeaderSize, nodeHeaderSize+len(n.vectors)*leafEntrySize(dim))
+		buf[0] = kindLeaf
+		binary.LittleEndian.PutUint16(buf[1:], uint16(len(n.vectors)))
+		for _, v := range n.vectors {
+			buf = pfv.AppendBinary(buf, v)
+		}
+		return buf
+	}
+	buf := make([]byte, nodeHeaderSize, nodeHeaderSize+len(n.children)*innerEntrySize(dim))
+	buf[0] = kindInner
+	binary.LittleEndian.PutUint16(buf[1:], uint16(len(n.children)))
+	for _, c := range n.children {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(c.page))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(c.count))
+		for i := 0; i < dim; i++ {
+			buf = appendFloat(buf, c.box.Mu[i].Lo)
+			buf = appendFloat(buf, c.box.Mu[i].Hi)
+			buf = appendFloat(buf, c.box.Sigma[i].Lo)
+			buf = appendFloat(buf, c.box.Sigma[i].Hi)
+		}
+	}
+	return buf
+}
+
+// decodeNode parses a page image into a node.
+func decodeNode(id pagefile.PageID, page []byte, dim int) (*node, error) {
+	if len(page) < nodeHeaderSize {
+		return nil, fmt.Errorf("core: truncated node page %d", id)
+	}
+	kind := page[0]
+	count := int(binary.LittleEndian.Uint16(page[1:]))
+	n := &node{id: id}
+	switch kind {
+	case kindLeaf:
+		n.leaf = true
+		n.vectors = make([]pfv.Vector, 0, count)
+		off := nodeHeaderSize
+		for i := 0; i < count; i++ {
+			v, used, err := pfv.DecodeBinary(page[off:], dim)
+			if err != nil {
+				return nil, fmt.Errorf("core: page %d entry %d: %w", id, i, err)
+			}
+			n.vectors = append(n.vectors, v)
+			off += used
+		}
+	case kindInner:
+		n.children = make([]childEntry, 0, count)
+		off := nodeHeaderSize
+		esz := innerEntrySize(dim)
+		for i := 0; i < count; i++ {
+			if off+esz > len(page) {
+				return nil, fmt.Errorf("core: page %d entry %d: short page", id, i)
+			}
+			c := childEntry{
+				page:  pagefile.PageID(binary.LittleEndian.Uint32(page[off:])),
+				count: int(binary.LittleEndian.Uint32(page[off+4:])),
+				box: ParamBox{
+					Mu:    make([]gaussian.Interval, dim),
+					Sigma: make([]gaussian.Interval, dim),
+				},
+			}
+			p := off + 8
+			for j := 0; j < dim; j++ {
+				c.box.Mu[j].Lo = readFloat(page[p:])
+				c.box.Mu[j].Hi = readFloat(page[p+8:])
+				c.box.Sigma[j].Lo = readFloat(page[p+16:])
+				c.box.Sigma[j].Hi = readFloat(page[p+24:])
+				p += 32
+			}
+			n.children = append(n.children, c)
+			off += esz
+		}
+	default:
+		return nil, fmt.Errorf("core: page %d has unknown node kind %d", id, kind)
+	}
+	return n, nil
+}
+
+func appendFloat(dst []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+}
+
+func readFloat(src []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(src))
+}

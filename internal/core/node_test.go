@@ -1,0 +1,212 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/gauss-tree/gausstree/internal/gaussian"
+	"github.com/gauss-tree/gausstree/internal/pagefile"
+	"github.com/gauss-tree/gausstree/internal/pfv"
+)
+
+func randomVec(rng *rand.Rand, id uint64, dim int) pfv.Vector {
+	mean := make([]float64, dim)
+	sigma := make([]float64, dim)
+	for i := range mean {
+		mean[i] = rng.NormFloat64() * 5
+		sigma[i] = rng.Float64()*2 + 0.01
+	}
+	return pfv.MustNew(id, mean, sigma)
+}
+
+func TestLeafNodeCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dim := range []int{1, 3, 10, 27} {
+		n := &node{id: 7, leaf: true}
+		for i := 0; i < 5; i++ {
+			n.vectors = append(n.vectors, randomVec(rng, uint64(i), dim))
+		}
+		page := encodeNode(n, dim)
+		got, err := decodeNode(7, page, dim)
+		if err != nil {
+			t.Fatalf("dim %d: %v", dim, err)
+		}
+		if !got.leaf || got.id != 7 || len(got.vectors) != 5 {
+			t.Fatalf("dim %d: decoded %+v", dim, got)
+		}
+		for i := range n.vectors {
+			if !n.vectors[i].Equal(got.vectors[i]) {
+				t.Errorf("dim %d vector %d mismatch", dim, i)
+			}
+		}
+	}
+}
+
+func TestInnerNodeCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	dim := 4
+	n := &node{id: 3}
+	for i := 0; i < 6; i++ {
+		vs := []pfv.Vector{randomVec(rng, uint64(i*2), dim), randomVec(rng, uint64(i*2+1), dim)}
+		n.children = append(n.children, childEntry{
+			page:  pagefile.PageID(i + 100),
+			count: i + 1,
+			box:   BoxOfVectors(vs),
+		})
+	}
+	page := encodeNode(n, dim)
+	got, err := decodeNode(3, page, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.leaf || len(got.children) != 6 {
+		t.Fatalf("decoded %+v", got)
+	}
+	for i := range n.children {
+		if got.children[i].page != n.children[i].page ||
+			got.children[i].count != n.children[i].count ||
+			!got.children[i].box.Equal(n.children[i].box) {
+			t.Errorf("child %d mismatch", i)
+		}
+	}
+}
+
+func TestDecodeNodeErrors(t *testing.T) {
+	if _, err := decodeNode(1, []byte{1}, 2); err == nil {
+		t.Error("truncated header should fail")
+	}
+	if _, err := decodeNode(1, []byte{9, 0, 0}, 2); err == nil {
+		t.Error("unknown kind should fail")
+	}
+	// Leaf claiming 3 entries with no payload.
+	if _, err := decodeNode(1, []byte{1, 3, 0}, 2); err == nil {
+		t.Error("short leaf payload should fail")
+	}
+	// Inner claiming 2 entries with no payload.
+	if _, err := decodeNode(1, []byte{2, 2, 0}, 2); err == nil {
+		t.Error("short inner payload should fail")
+	}
+}
+
+func TestEmptyLeafCodec(t *testing.T) {
+	n := &node{id: 9, leaf: true}
+	got, err := decodeNode(9, encodeNode(n, 5), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.leaf || len(got.vectors) != 0 {
+		t.Errorf("decoded %+v", got)
+	}
+}
+
+func TestBoxOfAndContains(t *testing.T) {
+	v := pfv.MustNew(1, []float64{1, 2}, []float64{0.1, 0.2})
+	b := BoxOf(v)
+	if !b.ContainsVector(v) {
+		t.Error("degenerate box must contain its vector")
+	}
+	w := pfv.MustNew(2, []float64{1.5, 2}, []float64{0.1, 0.2})
+	if b.ContainsVector(w) {
+		t.Error("box must not contain other vectors")
+	}
+	b.ExtendVector(w)
+	if !b.ContainsVector(v) || !b.ContainsVector(w) {
+		t.Error("extended box must contain both")
+	}
+	if b.Mu[0].Lo != 1 || b.Mu[0].Hi != 1.5 {
+		t.Errorf("mu interval = %+v", b.Mu[0])
+	}
+}
+
+func TestBoxVolumeAndMargin(t *testing.T) {
+	vs := []pfv.Vector{
+		pfv.MustNew(1, []float64{0, 0}, []float64{1, 1}),
+		pfv.MustNew(2, []float64{2, 1}, []float64{3, 2}),
+	}
+	b := BoxOfVectors(vs)
+	// Mu widths: 2, 1; sigma widths: 2, 1 → volume = 2·2·1·1 = 4.
+	if b.Volume() != 4 {
+		t.Errorf("Volume = %v", b.Volume())
+	}
+	if b.Margin() != 6 {
+		t.Errorf("Margin = %v", b.Margin())
+	}
+	v := pfv.MustNew(3, []float64{4, 0.5}, []float64{1, 1.5})
+	enl := b.VolumeEnlargement(v)
+	// New mu widths: 4, 1; sigma widths 2, 1 → 8; enlargement 4.
+	if enl != 4 {
+		t.Errorf("VolumeEnlargement = %v", enl)
+	}
+	if b.MarginEnlargement(v) != 2 {
+		t.Errorf("MarginEnlargement = %v", b.MarginEnlargement(v))
+	}
+}
+
+func TestBoxContainsBox(t *testing.T) {
+	a := BoxOfVectors([]pfv.Vector{
+		pfv.MustNew(1, []float64{0}, []float64{1}),
+		pfv.MustNew(2, []float64{10}, []float64{3}),
+	})
+	b := BoxOfVectors([]pfv.Vector{
+		pfv.MustNew(3, []float64{2}, []float64{1.5}),
+		pfv.MustNew(4, []float64{5}, []float64{2}),
+	})
+	if !a.ContainsBox(b) || b.ContainsBox(a) {
+		t.Error("ContainsBox wrong")
+	}
+}
+
+func TestBoxHullDominatesMembers(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	dim := 3
+	vs := make([]pfv.Vector, 20)
+	for i := range vs {
+		vs[i] = randomVec(rng, uint64(i), dim)
+	}
+	b := BoxOfVectors(vs)
+	for _, comb := range []gaussian.Combiner{gaussian.CombineAdditive, gaussian.CombineConvolution} {
+		for trial := 0; trial < 200; trial++ {
+			q := randomVec(rng, 999, dim)
+			hull := b.LogHullAt(comb, q)
+			floor := b.LogFloorAt(comb, q)
+			if floor > hull+1e-9 {
+				t.Fatalf("floor %v above hull %v", floor, hull)
+			}
+			for _, v := range vs {
+				ld := pfv.JointLogDensity(comb, v, q)
+				if ld > hull+1e-9 {
+					t.Fatalf("%v: member density %v above hull %v", comb, ld, hull)
+				}
+				if ld < floor-1e-9 {
+					t.Fatalf("%v: member density %v below floor %v", comb, ld, floor)
+				}
+			}
+		}
+	}
+}
+
+func TestBoxAccessCost(t *testing.T) {
+	v := pfv.MustNew(1, []float64{0, 0}, []float64{1, 1})
+	point := BoxOf(v)
+	// A degenerate box has cost 1 per dimension (the constant term).
+	if got := point.AccessCost(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("point box AccessCost = %v, want 1", got)
+	}
+	if got := point.AccessCostSum(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("point box AccessCostSum = %v, want 2", got)
+	}
+	wide := BoxOfVectors([]pfv.Vector{v, pfv.MustNew(2, []float64{5, 5}, []float64{2, 2})})
+	if wide.AccessCost() <= point.AccessCost() {
+		t.Error("wider box must cost more")
+	}
+}
+
+func TestNewParamBoxExtendFromEmpty(t *testing.T) {
+	b := NewParamBox(2)
+	v := pfv.MustNew(1, []float64{3, -1}, []float64{0.5, 0.25})
+	b.ExtendVector(v)
+	if !b.Equal(BoxOf(v)) {
+		t.Errorf("extend-from-empty = %+v", b)
+	}
+}

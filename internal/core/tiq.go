@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/gauss-tree/gausstree/internal/pfv"
+	"github.com/gauss-tree/gausstree/internal/pqueue"
+	"github.com/gauss-tree/gausstree/internal/query"
+)
+
+// TIQ answers a threshold identification query (§5.2.3, paper Figure 5):
+// it returns every database object whose Bayesian identification probability
+// P(v|q) reaches pTheta. The best-first traversal maintains a candidate set
+// ordered by joint density plus certified denominator bounds; a candidate is
+// discarded as soon as its best-case probability (against the lower
+// denominator bound) falls below the threshold, and the traversal stops when
+// no unexplored subtree can still contribute a qualifying object and every
+// remaining candidate is certified above the threshold. If accuracy > 0 the
+// traversal additionally continues until each reported probability is
+// certified within that absolute accuracy.
+func (t *Tree) TIQ(q pfv.Vector, pTheta float64, accuracy float64) ([]query.Result, error) {
+	if q.Dim() != t.dim {
+		return nil, fmt.Errorf("%w: query dimension %d, tree dimension %d", ErrDimension, q.Dim(), t.dim)
+	}
+	if pTheta < 0 || pTheta > 1 {
+		return nil, fmt.Errorf("core: threshold %v outside [0,1]", pTheta)
+	}
+	if t.count == 0 {
+		return nil, nil
+	}
+
+	active := pqueue.NewMax[activeNode]()
+	candidates := pqueue.NewMin[pfv.Vector]() // ordered by log density: cheap removal of the weakest
+	var denom denomTracker
+	maxLd := math.Inf(-1) // highest candidate density seen (for the accuracy stop)
+
+	onVector := func(v pfv.Vector, ld float64) {
+		candidates.Push(v, ld)
+		if ld > maxLd {
+			maxLd = ld
+		}
+	}
+	if err := t.expand(activeNode{page: t.root, count: t.count}, q, active, &denom, onVector); err != nil {
+		return nil, err
+	}
+
+	prune := func() {
+		// Drop candidates whose best-case probability is already below the
+		// threshold; the lower denominator bound only grows, so discarding
+		// is final (Figure 5's "delete unnecessary candidates" loop).
+		for candidates.Len() > 0 {
+			_, ld, _ := candidates.Peek()
+			if _, hi := denom.probInterval(ld); hi >= pTheta {
+				return
+			}
+			candidates.Pop()
+		}
+	}
+	done := func() bool {
+		if _, topPrio, ok := active.Peek(); ok {
+			if _, hi := denom.probInterval(topPrio); hi >= pTheta {
+				return false // an unexplored subtree could still qualify
+			}
+		}
+		if candidates.Len() > 0 {
+			_, minLd, _ := candidates.Peek()
+			if lo, _ := denom.probInterval(minLd); lo < pTheta {
+				return false // weakest candidate not yet certified
+			}
+			if accuracy > 0 {
+				lo, hi := denom.probInterval(maxLd)
+				if hi-lo > accuracy {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	prune()
+	for active.Len() > 0 && !done() {
+		a, _, _ := active.Pop()
+		denom.pop(a)
+		if err := t.expand(a, q, active, &denom, onVector); err != nil {
+			return nil, err
+		}
+		denom.maybeRebuild(active.Items)
+		prune()
+	}
+
+	var out []query.Result
+	candidates.Items(func(v pfv.Vector, ld float64) {
+		lo, hi := denom.probInterval(ld)
+		if hi < pTheta {
+			return // not certified; prune() may simply not have run since the bound moved
+		}
+		out = append(out, query.Result{
+			Vector:      v,
+			LogDensity:  ld,
+			Probability: (lo + hi) / 2,
+			ProbLow:     lo,
+			ProbHigh:    hi,
+		})
+	})
+	query.SortByProbability(out)
+	return out, nil
+}

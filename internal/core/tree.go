@@ -1,0 +1,264 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/gauss-tree/gausstree/internal/gaussian"
+	"github.com/gauss-tree/gausstree/internal/pagefile"
+)
+
+// SplitObjective selects the cost function minimized by the median-split
+// strategy of §5.3.
+type SplitObjective uint8
+
+const (
+	// SplitHullIntegral minimizes the product over dimensions of the hull
+	// integrals ∫ˆN(x)dx of the two resulting nodes — the paper's objective
+	// extended multiplicatively to d dimensions (each factor is ≥ 1).
+	SplitHullIntegral SplitObjective = iota
+	// SplitHullIntegralSum adds the per-dimension integrals instead
+	// (ablation A2a).
+	SplitHullIntegralSum
+	// SplitVolume minimizes the plain parameter-space volume, the
+	// conventional R-tree objective (ablation A2b). It ignores the
+	// asymmetry between μ and σ the paper's analysis motivates.
+	SplitVolume
+)
+
+// String returns the objective's name.
+func (s SplitObjective) String() string {
+	switch s {
+	case SplitHullIntegral:
+		return "hull-integral"
+	case SplitHullIntegralSum:
+		return "hull-integral-sum"
+	case SplitVolume:
+		return "volume"
+	default:
+		return "unknown"
+	}
+}
+
+// InsertObjective selects the cost a descending insert minimizes when no
+// child box contains the new vector (and when ranking exact-fit leaves).
+type InsertObjective uint8
+
+const (
+	// InsertAccessCost minimizes the increase of the node's access-cost
+	// surrogate ln ∏ᵢ∫ˆNᵢ — the same quantity the split strategy minimizes.
+	// This is the default: it remains discriminative in high-dimensional
+	// parameter spaces where 2d-volume products degenerate.
+	InsertAccessCost InsertObjective = iota
+	// InsertVolume minimizes the increase of the parameter-space volume,
+	// the paper's literal rule (§5.3), evaluated in log space for numeric
+	// robustness (ablation A2c).
+	InsertVolume
+)
+
+// String returns the objective's name.
+func (o InsertObjective) String() string {
+	switch o {
+	case InsertAccessCost:
+		return "access-cost"
+	case InsertVolume:
+		return "volume"
+	default:
+		return "unknown"
+	}
+}
+
+// Config carries the tunable policies of a Gauss-tree.
+type Config struct {
+	// Combiner is the σ-combination rule for Lemma 1 (default: the paper's
+	// additive rule).
+	Combiner gaussian.Combiner
+	// Split is the split objective (default: hull-integral product).
+	Split SplitObjective
+	// Insert is the insertion path objective (default: access cost).
+	Insert InsertObjective
+	// ProbeFanout caps how many containment paths the insertion descent
+	// explores per node when several children contain the new vector
+	// (paper: "we follow all paths"). 0 means the default of 3.
+	ProbeFanout int
+}
+
+const defaultProbeFanout = 3
+
+// Meta is the persistent description of a tree, sufficient to reattach it
+// to a page manager with Open.
+type Meta struct {
+	Root   pagefile.PageID
+	Dim    int
+	Height int // 1 = the root is a leaf
+	Count  int
+}
+
+// Tree is a Gauss-tree over a page manager. It is not safe for concurrent
+// use; the public façade package adds locking.
+type Tree struct {
+	mgr    *pagefile.Manager
+	dim    int
+	cfg    Config
+	root   pagefile.PageID
+	height int
+	count  int
+
+	capLeaf, minLeaf   int
+	capInner, minInner int
+
+	// decoded caches parsed nodes by page id. Page accesses are still
+	// charged against the page manager on every logical read; the cache
+	// only avoids re-parsing identical page bytes. Entries are invalidated
+	// on write and free.
+	decoded map[pagefile.PageID]*node
+}
+
+// maxDecodedNodes bounds the decoded-node cache; beyond it the cache is
+// reset wholesale (simple and adequate: trees this large hold millions of
+// vectors).
+const maxDecodedNodes = 1 << 17
+
+// ErrDimension is returned when a vector's dimensionality does not match
+// the tree's.
+var ErrDimension = errors.New("core: dimension mismatch")
+
+// New creates an empty Gauss-tree for vectors of the given dimension.
+func New(mgr *pagefile.Manager, dim int, cfg Config) (*Tree, error) {
+	t, err := prepare(mgr, dim, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rootID, err := mgr.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	t.root = rootID
+	t.height = 1
+	if err := t.writeNode(&node{id: rootID, leaf: true}); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Open reattaches a tree previously described by Meta.
+func Open(mgr *pagefile.Manager, meta Meta, cfg Config) (*Tree, error) {
+	t, err := prepare(mgr, meta.Dim, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t.root = meta.Root
+	t.height = meta.Height
+	t.count = meta.Count
+	return t, nil
+}
+
+func prepare(mgr *pagefile.Manager, dim int, cfg Config) (*Tree, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("core: invalid dimension %d", dim)
+	}
+	if cfg.ProbeFanout <= 0 {
+		cfg.ProbeFanout = defaultProbeFanout
+	}
+	capLeaf := (mgr.PageSize() - nodeHeaderSize) / leafEntrySize(dim)
+	capInner := (mgr.PageSize() - nodeHeaderSize) / innerEntrySize(dim)
+	if capLeaf < 2 || capInner < 2 {
+		return nil, fmt.Errorf("core: page size %d too small for dimension %d (leaf capacity %d, inner capacity %d)",
+			mgr.PageSize(), dim, capLeaf, capInner)
+	}
+	return &Tree{
+		mgr:      mgr,
+		dim:      dim,
+		cfg:      cfg,
+		capLeaf:  capLeaf,
+		minLeaf:  max(1, capLeaf/2),
+		capInner: capInner,
+		minInner: max(2, capInner/2),
+		decoded:  make(map[pagefile.PageID]*node),
+	}, nil
+}
+
+// Meta returns the tree's persistent metadata.
+func (t *Tree) Meta() Meta {
+	return Meta{Root: t.root, Dim: t.dim, Height: t.height, Count: t.count}
+}
+
+// Dim returns the feature dimensionality.
+func (t *Tree) Dim() int { return t.dim }
+
+// Len returns the number of stored probabilistic feature vectors.
+func (t *Tree) Len() int { return t.count }
+
+// Height returns the tree height (1 = the root is a leaf).
+func (t *Tree) Height() int { return t.height }
+
+// Config returns the tree's configuration.
+func (t *Tree) Config() Config { return t.cfg }
+
+// LeafCapacity returns the maximum number of pfv per leaf page.
+func (t *Tree) LeafCapacity() int { return t.capLeaf }
+
+// InnerCapacity returns the maximum number of routing entries per inner page.
+func (t *Tree) InnerCapacity() int { return t.capInner }
+
+// Manager exposes the underlying page manager (for statistics).
+func (t *Tree) Manager() *pagefile.Manager { return t.mgr }
+
+func (t *Tree) readNode(id pagefile.PageID) (*node, error) {
+	// The logical read is always charged (and keeps the buffer manager's
+	// recency information accurate), even when the decoded form is cached.
+	page, err := t.mgr.Read(id)
+	if err != nil {
+		return nil, err
+	}
+	if n, ok := t.decoded[id]; ok {
+		return n, nil
+	}
+	n, err := decodeNode(id, page, t.dim)
+	if err != nil {
+		return nil, err
+	}
+	t.cacheNode(n)
+	return n, nil
+}
+
+func (t *Tree) writeNode(n *node) error {
+	if err := t.mgr.Write(n.id, encodeNode(n, t.dim)); err != nil {
+		return err
+	}
+	t.cacheNode(n)
+	return nil
+}
+
+func (t *Tree) cacheNode(n *node) {
+	if len(t.decoded) >= maxDecodedNodes {
+		t.decoded = make(map[pagefile.PageID]*node)
+	}
+	t.decoded[n.id] = n
+}
+
+// freeSubtree returns every page of the subtree rooted at id to the
+// allocator.
+func (t *Tree) freeSubtree(id pagefile.PageID) error {
+	n, err := t.readNode(id)
+	if err != nil {
+		return err
+	}
+	if !n.leaf {
+		for _, c := range n.children {
+			if err := t.freeSubtree(c.page); err != nil {
+				return err
+			}
+		}
+	}
+	delete(t.decoded, id)
+	t.mgr.Free(id)
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/gauss-tree/gausstree/internal/pagefile"
+	"github.com/gauss-tree/gausstree/internal/pfv"
+)
+
+// CheckInvariants walks the whole tree and verifies the structural
+// guarantees of Definition 4 plus the bookkeeping the query algorithms rely
+// on. It returns the first violation found:
+//
+//   - all leaves are at the same level;
+//   - non-root leaves hold between minLeaf and capLeaf vectors, non-root
+//     inner nodes between minInner and capInner entries; the root is either
+//     a leaf or an inner node with ≥ 1 entry (≥ 2 when it has children of
+//     its own, since a 1-child root would have been collapsed);
+//   - every routing entry's box is exactly the minimum bounding box of its
+//     child (tightness), and its count is exactly the child's subtree count;
+//   - the tree's Len matches the root's subtree count;
+//   - every stored vector has the tree's dimensionality and valid sigmas.
+func (t *Tree) CheckInvariants() error {
+	root, err := t.readNode(t.root)
+	if err != nil {
+		return err
+	}
+	leafDepth := -1
+	var walk func(n *node, depth int, isRoot bool) (int, ParamBox, error)
+	walk = func(n *node, depth int, isRoot bool) (int, ParamBox, error) {
+		if n.leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if depth != leafDepth {
+				return 0, ParamBox{}, fmt.Errorf("core: leaf %d at depth %d, expected %d", n.id, depth, leafDepth)
+			}
+			if depth+1 != t.height {
+				return 0, ParamBox{}, fmt.Errorf("core: leaf depth %d inconsistent with height %d", depth, t.height)
+			}
+			if !isRoot && (len(n.vectors) < t.minLeaf || len(n.vectors) > t.capLeaf) {
+				return 0, ParamBox{}, fmt.Errorf("core: leaf %d fill %d outside [%d,%d]", n.id, len(n.vectors), t.minLeaf, t.capLeaf)
+			}
+			if isRoot && len(n.vectors) > t.capLeaf {
+				return 0, ParamBox{}, fmt.Errorf("core: root leaf overfull: %d > %d", len(n.vectors), t.capLeaf)
+			}
+			for _, v := range n.vectors {
+				if v.Dim() != t.dim {
+					return 0, ParamBox{}, fmt.Errorf("core: vector %d has dimension %d, tree %d", v.ID, v.Dim(), t.dim)
+				}
+				if _, err := pfv.New(v.ID, v.Mean, v.Sigma); err != nil {
+					return 0, ParamBox{}, fmt.Errorf("core: vector %d invalid: %w", v.ID, err)
+				}
+			}
+			return len(n.vectors), n.computeBox(t.dim), nil
+		}
+		if !isRoot && (len(n.children) < t.minInner || len(n.children) > t.capInner) {
+			return 0, ParamBox{}, fmt.Errorf("core: inner %d fill %d outside [%d,%d]", n.id, len(n.children), t.minInner, t.capInner)
+		}
+		if isRoot && (len(n.children) < 2 || len(n.children) > t.capInner) {
+			return 0, ParamBox{}, fmt.Errorf("core: inner root fill %d outside [2,%d]", len(n.children), t.capInner)
+		}
+		total := 0
+		var box ParamBox
+		for i, c := range n.children {
+			child, err := t.readNode(c.page)
+			if err != nil {
+				return 0, ParamBox{}, err
+			}
+			cnt, cbox, err := walk(child, depth+1, false)
+			if err != nil {
+				return 0, ParamBox{}, err
+			}
+			if cnt != c.count {
+				return 0, ParamBox{}, fmt.Errorf("core: inner %d entry %d count %d, subtree has %d", n.id, i, c.count, cnt)
+			}
+			if !cbox.Equal(c.box) {
+				return 0, ParamBox{}, fmt.Errorf("core: inner %d entry %d box not tight", n.id, i)
+			}
+			total += cnt
+			if i == 0 {
+				box = cbox.Clone()
+			} else {
+				box.ExtendBox(cbox)
+			}
+		}
+		return total, box, nil
+	}
+	total, _, err := walk(root, 0, true)
+	if err != nil {
+		return err
+	}
+	if total != t.count {
+		return fmt.Errorf("core: tree Len %d, but subtrees hold %d vectors", t.count, total)
+	}
+	return nil
+}
+
+// ForEach visits every stored vector in depth-first leaf order.
+func (t *Tree) ForEach(fn func(pfv.Vector) error) error {
+	var walk func(id pagefile.PageID) error
+	walk = func(id pagefile.PageID) error {
+		n, err := t.readNode(id)
+		if err != nil {
+			return err
+		}
+		if n.leaf {
+			for _, v := range n.vectors {
+				if err := fn(v); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for _, c := range n.children {
+			if err := walk(c.page); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(t.root)
+}
+
+// CollectAll returns every stored vector (test and export helper).
+func (t *Tree) CollectAll() ([]pfv.Vector, error) {
+	out := make([]pfv.Vector, 0, t.count)
+	err := t.ForEach(func(v pfv.Vector) error {
+		out = append(out, v)
+		return nil
+	})
+	return out, err
+}
+
+// WalkLeafBoxes visits every leaf's bounding parameter box and entry count,
+// an introspection hook for diagnosing clustering quality and bound
+// tightness.
+func (t *Tree) WalkLeafBoxes(fn func(box ParamBox, count int)) error {
+	var walk func(id pagefile.PageID) error
+	walk = func(id pagefile.PageID) error {
+		n, err := t.readNode(id)
+		if err != nil {
+			return err
+		}
+		if n.leaf {
+			if len(n.vectors) > 0 {
+				fn(n.computeBox(t.dim), len(n.vectors))
+			}
+			return nil
+		}
+		for _, c := range n.children {
+			if err := walk(c.page); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(t.root)
+}
+
+// NodeCounts returns the number of leaf and inner pages of the tree.
+func (t *Tree) NodeCounts() (leaves, inners int, err error) {
+	var walk func(id pagefile.PageID) error
+	walk = func(id pagefile.PageID) error {
+		n, e := t.readNode(id)
+		if e != nil {
+			return e
+		}
+		if n.leaf {
+			leaves++
+			return nil
+		}
+		inners++
+		for _, c := range n.children {
+			if e := walk(c.page); e != nil {
+				return e
+			}
+		}
+		return nil
+	}
+	err = walk(t.root)
+	return leaves, inners, err
+}

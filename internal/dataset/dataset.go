@@ -1,0 +1,392 @@
+// Package dataset generates the two evaluation data sets of the paper's §6
+// and their identification query workloads.
+//
+// Data set 1 of the paper is "10,987 27-dimensional color histograms of an
+// image database". The original image collection is not available, so this
+// package synthesizes color-histogram-like probabilistic feature vectors: a
+// Dirichlet mixture produces clustered, sparse, simplex-normalized vectors
+// with the value distribution characteristics of real color histograms
+// (many near-empty bins, a few dominant ones, clustered by image motif), and
+// every dimension is complemented with a randomly drawn standard deviation,
+// exactly as the paper describes. Data set 2 ("100,000 randomly generated
+// probabilistic feature vectors in a 10-dimensional feature space") is
+// generated as a clustered Gaussian mixture; the paper does not state its
+// distribution, and a mild cluster structure is what makes any index —
+// theirs or ours — able to beat a sequential scan. A uniform variant is
+// provided for ablations.
+//
+// The query protocol follows §6 verbatim: a query selects a random database
+// object, draws a new observed mean from the object's own Gaussian (per
+// dimension), and receives freshly drawn standard deviations. The selected
+// object's id is the query's ground truth.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/gauss-tree/gausstree/internal/pfv"
+)
+
+// Dataset is a generated collection of probabilistic feature vectors.
+//
+// Every object has a latent true feature vector; the stored pfv's mean is a
+// noisy observation of it (error drawn from the stored per-feature σ), and
+// queries are independent noisy re-observations of the same latent — the
+// exact generative model behind Lemma 1's joint probability (two
+// observations of one unknown true vector).
+type Dataset struct {
+	Name    string
+	Vectors []pfv.Vector
+	Dim     int
+	// Latents holds the true feature vectors, aligned with Vectors.
+	Latents [][]float64
+}
+
+// SigmaModel describes how the per-feature standard deviations of one
+// observation are drawn. Following the paper's motivation (and its Figure 1
+// example: O1 accurate in both features, O2 inaccurate in both, O3 and the
+// query mixed), uncertainty is dominated by the per-observation conditions
+// ("the circumstances in which a given data object is transformed into a
+// feature vector may strongly vary"): every observation has a base quality
+// level drawn from [BaseMin, BaseMax] that all its features share up to a
+// multiplicative jitter, and individual features are additionally outliers
+// with probability FeatureNoisyFraction (a particular feature spoiled by,
+// say, rotation or illumination), drawing from [NoisyMin, NoisyMax] instead.
+//
+// This correlated heteroscedasticity is what conventional Euclidean search
+// cannot exploit and the Gaussian uncertainty model can; the per-object
+// correlation is also what makes the Gauss-tree's σ-dimension splits
+// effective (poor observations separate from sharp ones, leaving tightly
+// bounded nodes).
+type SigmaModel struct {
+	// BaseMin and BaseMax bound the per-observation base quality level.
+	BaseMin, BaseMax float64
+	// Jitter is the relative spread of features around the base level:
+	// each feature scales the base by U(1−Jitter, 1+Jitter). Values in
+	// [0, 1); 0 means all features share the base level exactly.
+	Jitter float64
+	// FeatureNoisyFraction is the probability that a single feature is an
+	// outlier drawing from the noisy range regardless of the base level.
+	FeatureNoisyFraction float64
+	// NoisyMin and NoisyMax bound outlier feature deviations. Unused when
+	// FeatureNoisyFraction is 0.
+	NoisyMin, NoisyMax float64
+}
+
+// Validate reports whether the model is usable.
+func (m SigmaModel) Validate() error {
+	if m.BaseMin <= 0 || m.BaseMax < m.BaseMin {
+		return fmt.Errorf("dataset: invalid base sigma range [%v,%v]", m.BaseMin, m.BaseMax)
+	}
+	if m.Jitter < 0 || m.Jitter >= 1 {
+		return fmt.Errorf("dataset: jitter %v outside [0,1)", m.Jitter)
+	}
+	if m.FeatureNoisyFraction < 0 || m.FeatureNoisyFraction > 1 {
+		return fmt.Errorf("dataset: feature noisy fraction %v outside [0,1]", m.FeatureNoisyFraction)
+	}
+	if m.FeatureNoisyFraction > 0 && (m.NoisyMin <= 0 || m.NoisyMax < m.NoisyMin) {
+		return fmt.Errorf("dataset: invalid noisy sigma range [%v,%v]", m.NoisyMin, m.NoisyMax)
+	}
+	return nil
+}
+
+// DrawVector samples the σ vector of one observation of dim features.
+func (m SigmaModel) DrawVector(rng *rand.Rand, dim int) []float64 {
+	base := m.BaseMin + rng.Float64()*(m.BaseMax-m.BaseMin)
+	out := make([]float64, dim)
+	for j := range out {
+		if rng.Float64() < m.FeatureNoisyFraction {
+			out[j] = m.NoisyMin + rng.Float64()*(m.NoisyMax-m.NoisyMin)
+		} else {
+			out[j] = base * (1 - m.Jitter + 2*m.Jitter*rng.Float64())
+		}
+	}
+	return out
+}
+
+// Query is one identification query: a probabilistic query vector plus the
+// id of the database object it re-observes.
+type Query struct {
+	Vector  pfv.Vector
+	TruthID uint64
+}
+
+// HistogramParams configures the Data-set-1-style generator.
+type HistogramParams struct {
+	// N is the number of objects (paper: 10,987).
+	N int
+	// Dim is the histogram resolution (paper: 27).
+	Dim int
+	// Clusters is the number of image-motif prototypes.
+	Clusters int
+	// Concentration controls how tightly objects follow their prototype
+	// (larger = tighter clusters).
+	Concentration float64
+	// Sigma describes the per-feature uncertainty distribution, on the
+	// histogram scale (bins average 1/Dim ≈ 0.037).
+	Sigma SigmaModel
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultHistogramParams returns the parameters used to reproduce data set 1.
+func DefaultHistogramParams() HistogramParams {
+	return HistogramParams{
+		N:             10987,
+		Dim:           27,
+		Clusters:      150,
+		Concentration: 40,
+		// Calibrated against the paper's Figure 6 operating point for data
+		// set 1 (3-NN recall ≈ 42%, 3-MLIQ recall ≈ 98%); see cmd/tune.
+		Sigma: SigmaModel{
+			BaseMin:              0.002,
+			BaseMax:              0.015,
+			Jitter:               0.3,
+			FeatureNoisyFraction: 0.12,
+			NoisyMin:             0.05,
+			NoisyMax:             0.15,
+		},
+		Seed: 1,
+	}
+}
+
+// ColorHistograms generates a Data-set-1-style collection.
+func ColorHistograms(p HistogramParams) (*Dataset, error) {
+	if p.N <= 0 || p.Dim <= 0 || p.Clusters <= 0 {
+		return nil, fmt.Errorf("dataset: invalid histogram params %+v", p)
+	}
+	if err := p.Sigma.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	// Sparse Dirichlet prototypes: most bins near zero, a few dominant.
+	protos := make([][]float64, p.Clusters)
+	for c := range protos {
+		protos[c] = dirichlet(rng, p.Dim, 0.35)
+	}
+	vectors := make([]pfv.Vector, p.N)
+	latents := make([][]float64, p.N)
+	for i := range vectors {
+		proto := protos[rng.Intn(p.Clusters)]
+		latent := dirichletAround(rng, proto, p.Concentration)
+		sigma := p.Sigma.DrawVector(rng, p.Dim)
+		mean := make([]float64, p.Dim)
+		for j := range sigma {
+			mean[j] = latent[j] + rng.NormFloat64()*sigma[j]
+		}
+		latents[i] = latent
+		vectors[i] = pfv.MustNew(uint64(i+1), mean, sigma)
+	}
+	return &Dataset{Name: "histograms", Vectors: vectors, Dim: p.Dim, Latents: latents}, nil
+}
+
+// SyntheticParams configures the Data-set-2-style generator.
+type SyntheticParams struct {
+	// N is the number of objects (paper: 100,000).
+	N int
+	// Dim is the feature dimensionality (paper: 10).
+	Dim int
+	// Clusters is the number of mixture components; 0 produces uniform data
+	// (ablation).
+	Clusters int
+	// ClusterSpread is the standard deviation of objects around their
+	// cluster center, on a [0,100] domain.
+	ClusterSpread float64
+	// Sigma describes the per-feature uncertainty distribution.
+	Sigma SigmaModel
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultSyntheticParams returns the parameters used to reproduce data set 2.
+func DefaultSyntheticParams() SyntheticParams {
+	return SyntheticParams{
+		N:             100000,
+		Dim:           10,
+		Clusters:      50,
+		ClusterSpread: 3,
+		// Calibrated against the paper's Figure 6 operating point for data
+		// set 2 (3-NN recall ≈ 61%, 3-MLIQ recall ≈ 99%); see cmd/tune.
+		Sigma: SigmaModel{
+			BaseMin:              0.05,
+			BaseMax:              1.2,
+			Jitter:               0.3,
+			FeatureNoisyFraction: 0.15,
+			NoisyMin:             2,
+			NoisyMax:             6,
+		},
+		Seed: 2,
+	}
+}
+
+// Synthetic generates a Data-set-2-style collection.
+func Synthetic(p SyntheticParams) (*Dataset, error) {
+	if p.N <= 0 || p.Dim <= 0 {
+		return nil, fmt.Errorf("dataset: invalid synthetic params %+v", p)
+	}
+	if err := p.Sigma.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	var centers [][]float64
+	if p.Clusters > 0 {
+		centers = make([][]float64, p.Clusters)
+		for c := range centers {
+			centers[c] = make([]float64, p.Dim)
+			for j := range centers[c] {
+				centers[c][j] = rng.Float64() * 100
+			}
+		}
+	}
+	vectors := make([]pfv.Vector, p.N)
+	latents := make([][]float64, p.N)
+	for i := range vectors {
+		latent := make([]float64, p.Dim)
+		if centers != nil {
+			c := centers[rng.Intn(len(centers))]
+			for j := range latent {
+				latent[j] = c[j] + rng.NormFloat64()*p.ClusterSpread
+			}
+		} else {
+			for j := range latent {
+				latent[j] = rng.Float64() * 100
+			}
+		}
+		sigma := p.Sigma.DrawVector(rng, p.Dim)
+		mean := make([]float64, p.Dim)
+		for j := range sigma {
+			mean[j] = latent[j] + rng.NormFloat64()*sigma[j]
+		}
+		latents[i] = latent
+		vectors[i] = pfv.MustNew(uint64(i+1), mean, sigma)
+	}
+	name := "synthetic-clustered"
+	if p.Clusters == 0 {
+		name = "synthetic-uniform"
+	}
+	return &Dataset{Name: name, Vectors: vectors, Dim: p.Dim, Latents: latents}, nil
+}
+
+// QueryParams configures the §6 query workload generator.
+type QueryParams struct {
+	// Count is the number of queries (paper: 100 for DS1, 500 for DS2).
+	Count int
+	// Sigma describes the freshly drawn query uncertainties. The query's
+	// observed means are drawn with these σ (the measurement error of the
+	// query observation), matching the generative identification model in
+	// which both the stored and the query observation are independent noisy
+	// measurements of the same true object.
+	Sigma SigmaModel
+	// Seed makes the workload deterministic.
+	Seed int64
+}
+
+// MakeQueries derives an identification workload from a data set, following
+// the paper's protocol: pick a random object, generate a new observed mean
+// w.r.t. the corresponding Gaussian per dimension, attach freshly drawn
+// standard deviations, and record the source object as ground truth. The
+// fresh per-dimension σ are drawn first and the observation error is drawn
+// from them, so the query's declared uncertainty describes its actual error
+// — the same reading of "generated w.r.t. the corresponding Gaussian" that
+// makes the stored σ of the source object describe the stored mean's error.
+func MakeQueries(ds *Dataset, p QueryParams) ([]Query, error) {
+	if p.Count <= 0 {
+		return nil, fmt.Errorf("dataset: invalid query count %d", p.Count)
+	}
+	if err := p.Sigma.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ds.Vectors) == 0 {
+		return nil, fmt.Errorf("dataset: empty data set")
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	out := make([]Query, p.Count)
+	for i := range out {
+		idx := rng.Intn(len(ds.Vectors))
+		src := ds.Vectors[idx]
+		truth := src.Mean
+		if ds.Latents != nil {
+			truth = ds.Latents[idx]
+		}
+		sigma := p.Sigma.DrawVector(rng, ds.Dim)
+		mean := make([]float64, ds.Dim)
+		for j := 0; j < ds.Dim; j++ {
+			mean[j] = truth[j] + rng.NormFloat64()*sigma[j]
+		}
+		out[i] = Query{
+			Vector:  pfv.MustNew(0, mean, sigma),
+			TruthID: src.ID,
+		}
+	}
+	return out, nil
+}
+
+// dirichlet draws a symmetric Dirichlet(α) sample of the given dimension.
+func dirichlet(rng *rand.Rand, dim int, alpha float64) []float64 {
+	out := make([]float64, dim)
+	sum := 0.0
+	for i := range out {
+		out[i] = gammaSample(rng, alpha)
+		sum += out[i]
+	}
+	if sum == 0 {
+		out[rng.Intn(dim)] = 1
+		return out
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// dirichletAround draws Dirichlet(concentration·base + ε), i.e. a simplex
+// point clustered around the base distribution.
+func dirichletAround(rng *rand.Rand, base []float64, concentration float64) []float64 {
+	out := make([]float64, len(base))
+	sum := 0.0
+	for i := range out {
+		out[i] = gammaSample(rng, concentration*base[i]+0.05)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// gammaSample draws Gamma(shape, 1) with the Marsaglia–Tsang method,
+// boosting shapes below 1 with the standard U^(1/shape) trick.
+func gammaSample(rng *rand.Rand, shape float64) float64 {
+	if shape <= 0 {
+		return 0
+	}
+	if shape < 1 {
+		// Gamma(a) = Gamma(a+1) · U^(1/a)
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return gammaSample(rng, shape+1) * pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / (3 * sqrt(d))
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u == 0 {
+			continue
+		}
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if ln(u) < 0.5*x*x+d*(1-v+ln(v)) {
+			return d * v
+		}
+	}
+}

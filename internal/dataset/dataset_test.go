@@ -1,0 +1,341 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/gauss-tree/gausstree/internal/gaussian"
+	"github.com/gauss-tree/gausstree/internal/pfv"
+)
+
+func TestSigmaModelValidateAndDraw(t *testing.T) {
+	good := SigmaModel{
+		BaseMin: 0.1, BaseMax: 0.5, Jitter: 0.3,
+		FeatureNoisyFraction: 0.1, NoisyMin: 2, NoisyMax: 8,
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+	bads := []SigmaModel{
+		{BaseMin: 0, BaseMax: 0.5},
+		{BaseMin: 0.5, BaseMax: 0.1},
+		{BaseMin: 0.1, BaseMax: 0.5, Jitter: -0.1},
+		{BaseMin: 0.1, BaseMax: 0.5, Jitter: 1},
+		{BaseMin: 0.1, BaseMax: 0.5, FeatureNoisyFraction: -0.2, NoisyMin: 2, NoisyMax: 8},
+		{BaseMin: 0.1, BaseMax: 0.5, FeatureNoisyFraction: 1.2, NoisyMin: 2, NoisyMax: 8},
+		{BaseMin: 0.1, BaseMax: 0.5, FeatureNoisyFraction: 0.3, NoisyMin: 0, NoisyMax: 8},
+		{BaseMin: 0.1, BaseMax: 0.5, FeatureNoisyFraction: 0.3, NoisyMin: 8, NoisyMax: 2},
+	}
+	for i, m := range bads {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad model %d accepted", i)
+		}
+	}
+	// Outlier-free models never need the noisy range.
+	zero := SigmaModel{BaseMin: 0.1, BaseMax: 0.5, Jitter: 0.2}
+	if err := zero.Validate(); err != nil {
+		t.Errorf("outlier-free model rejected: %v", err)
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	const trials = 3000
+	dim := 16
+	outliers, total := 0, 0
+	for i := 0; i < trials; i++ {
+		sv := good.DrawVector(rng, dim)
+		if len(sv) != dim {
+			t.Fatalf("DrawVector length %d", len(sv))
+		}
+		// Recover the base level from the non-outlier median: all base
+		// features lie within base·(1±Jitter) ⊂ [0.07, 0.65].
+		for _, sg := range sv {
+			total++
+			switch {
+			case sg >= good.NoisyMin && sg <= good.NoisyMax:
+				outliers++
+			case sg >= good.BaseMin*(1-good.Jitter) && sg <= good.BaseMax*(1+good.Jitter):
+			default:
+				t.Fatalf("draw %v outside both envelopes", sg)
+			}
+		}
+	}
+	if rate := float64(outliers) / float64(total); math.Abs(rate-good.FeatureNoisyFraction) > 0.02 {
+		t.Errorf("outlier rate = %v, want ~%v", rate, good.FeatureNoisyFraction)
+	}
+
+	// Per-object correlation: within one vector, non-outlier features share
+	// the base level, so their max/min ratio is bounded by (1+J)/(1-J).
+	for i := 0; i < 200; i++ {
+		sv := SigmaModel{BaseMin: 0.1, BaseMax: 10, Jitter: 0.2}.DrawVector(rng, 12)
+		lo, hi := sv[0], sv[0]
+		for _, x := range sv {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		if hi/lo > 1.2/0.8+1e-9 {
+			t.Fatalf("within-vector sigma ratio %v exceeds jitter envelope", hi/lo)
+		}
+	}
+}
+
+func TestColorHistogramsShape(t *testing.T) {
+	p := DefaultHistogramParams()
+	p.N = 500 // keep the test fast
+	ds, err := ColorHistograms(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Vectors) != 500 || ds.Dim != 27 || len(ds.Latents) != 500 {
+		t.Fatalf("got %d vectors of dim %d with %d latents", len(ds.Vectors), ds.Dim, len(ds.Latents))
+	}
+	for i, v := range ds.Vectors {
+		// The latent is on the simplex; the stored mean is the latent plus
+		// per-feature observation noise of the declared magnitude.
+		latSum := 0.0
+		for j, l := range ds.Latents[i] {
+			if l < 0 {
+				t.Fatalf("latent bin %d negative: %v", j, l)
+			}
+			latSum += l
+		}
+		if math.Abs(latSum-1) > 1e-9 {
+			t.Fatalf("latent sums to %v, want 1 (simplex)", latSum)
+		}
+		for j := range v.Mean {
+			dev := math.Abs(v.Mean[j] - ds.Latents[i][j])
+			if dev > 6*v.Sigma[j] {
+				t.Fatalf("observation noise %v is %v sigmas", dev, dev/v.Sigma[j])
+			}
+		}
+	}
+}
+
+func TestColorHistogramsSparseAndClustered(t *testing.T) {
+	p := DefaultHistogramParams()
+	p.N = 400
+	ds, err := ColorHistograms(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Color-histogram character: a sizable share of near-empty bins in the
+	// latent histograms.
+	small, total := 0, 0
+	for _, lat := range ds.Latents {
+		for _, m := range lat {
+			total++
+			if m < 0.01 {
+				small++
+			}
+		}
+	}
+	if frac := float64(small) / float64(total); frac < 0.3 {
+		t.Errorf("only %.0f%% near-empty bins; histograms should be sparse", frac*100)
+	}
+}
+
+func TestColorHistogramsDeterministic(t *testing.T) {
+	p := DefaultHistogramParams()
+	p.N = 50
+	a, _ := ColorHistograms(p)
+	b, _ := ColorHistograms(p)
+	for i := range a.Vectors {
+		if !a.Vectors[i].Equal(b.Vectors[i]) {
+			t.Fatal("same seed must reproduce the same data")
+		}
+	}
+	p.Seed = 99
+	c, _ := ColorHistograms(p)
+	same := true
+	for i := range a.Vectors {
+		if !a.Vectors[i].Equal(c.Vectors[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestSyntheticShape(t *testing.T) {
+	p := DefaultSyntheticParams()
+	p.N = 1000
+	ds, err := Synthetic(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Vectors) != 1000 || ds.Dim != 10 {
+		t.Fatalf("got %d vectors of dim %d", len(ds.Vectors), ds.Dim)
+	}
+	for i, v := range ds.Vectors {
+		for j := range v.Mean {
+			okBase := v.Sigma[j] >= p.Sigma.BaseMin*(1-p.Sigma.Jitter) &&
+				v.Sigma[j] <= p.Sigma.BaseMax*(1+p.Sigma.Jitter)
+			okNoisy := v.Sigma[j] >= p.Sigma.NoisyMin && v.Sigma[j] <= p.Sigma.NoisyMax
+			if !okBase && !okNoisy {
+				t.Fatalf("sigma %v outside both envelopes", v.Sigma[j])
+			}
+			dev := math.Abs(v.Mean[j] - ds.Latents[i][j])
+			if dev > 6*v.Sigma[j] {
+				t.Fatalf("observation noise %v is %v sigmas", dev, dev/v.Sigma[j])
+			}
+		}
+	}
+}
+
+func TestSyntheticUniformVariant(t *testing.T) {
+	p := DefaultSyntheticParams()
+	p.N = 500
+	p.Clusters = 0
+	ds, err := Synthetic(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Name != "synthetic-uniform" {
+		t.Errorf("name = %q", ds.Name)
+	}
+	// Uniform latents should fill the domain roughly evenly: mean ≈ 50.
+	sum := 0.0
+	for _, lat := range ds.Latents {
+		sum += lat[0]
+	}
+	if m := sum / float64(len(ds.Latents)); m < 40 || m > 60 {
+		t.Errorf("uniform mean = %v, want ≈50", m)
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	hp := DefaultHistogramParams()
+	hp.N = 0
+	if _, err := ColorHistograms(hp); err == nil {
+		t.Error("N=0 should fail")
+	}
+	hp = DefaultHistogramParams()
+	hp.Sigma.BaseMin = 0
+	if _, err := ColorHistograms(hp); err == nil {
+		t.Error("sigma 0 should fail")
+	}
+	sp := DefaultSyntheticParams()
+	sp.Sigma.NoisyMax = sp.Sigma.NoisyMin / 2
+	if _, err := Synthetic(sp); err == nil {
+		t.Error("reversed sigma range should fail")
+	}
+	ds := &Dataset{Vectors: []pfv.Vector{pfv.MustNew(1, []float64{0}, []float64{1})}, Dim: 1}
+	if _, err := MakeQueries(ds, QueryParams{Count: 0, Sigma: SigmaModel{BaseMin: 1, BaseMax: 2}}); err == nil {
+		t.Error("count 0 should fail")
+	}
+	if _, err := MakeQueries(&Dataset{}, QueryParams{Count: 1, Sigma: SigmaModel{BaseMin: 1, BaseMax: 2}}); err == nil {
+		t.Error("empty data set should fail")
+	}
+}
+
+func TestMakeQueriesProtocol(t *testing.T) {
+	p := DefaultSyntheticParams()
+	p.N = 2000
+	ds, _ := Synthetic(p)
+	qs, err := MakeQueries(ds, QueryParams{Count: 300, Sigma: p.Sigma, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 300 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	latentByID := map[uint64][]float64{}
+	for i, v := range ds.Vectors {
+		latentByID[v.ID] = ds.Latents[i]
+	}
+	// Each query re-observes its source latent with its own declared σ:
+	// normalized residuals must be ≈ N(0,1).
+	sumSq, n := 0.0, 0
+	for _, q := range qs {
+		lat, ok := latentByID[q.TruthID]
+		if !ok {
+			t.Fatalf("truth id %d not in data set", q.TruthID)
+		}
+		for j := range lat {
+			z := (q.Vector.Mean[j] - lat[j]) / q.Vector.Sigma[j]
+			sumSq += z * z
+			n++
+		}
+	}
+	std := math.Sqrt(sumSq / float64(n))
+	if std < 0.9 || std > 1.1 {
+		t.Errorf("normalized query residual std = %v, want ≈1", std)
+	}
+}
+
+func TestQueriesIdentifiableByPosterior(t *testing.T) {
+	// End-to-end sanity: on a small data set, the Bayesian posterior should
+	// identify the query's source object most of the time, dramatically
+	// better than chance.
+	p := DefaultSyntheticParams()
+	p.N = 500
+	ds, _ := Synthetic(p)
+	qs, _ := MakeQueries(ds, QueryParams{Count: 60, Sigma: p.Sigma, Seed: 8})
+	hits := 0
+	for _, q := range qs {
+		ps := pfv.Posterior(gaussian.CombineAdditive, ds.Vectors, q.Vector)
+		best := 0
+		for i := range ps {
+			if ps[i] > ps[best] {
+				best = i
+			}
+		}
+		if ds.Vectors[best].ID == q.TruthID {
+			hits++
+		}
+	}
+	if hits < 45 {
+		t.Errorf("posterior identified only %d/60 queries", hits)
+	}
+}
+
+func TestGammaSamplerMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, shape := range []float64{0.3, 0.5, 1, 2.5, 10} {
+		const n = 60000
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			x := gammaSample(rng, shape)
+			if x < 0 {
+				t.Fatalf("negative gamma sample %v", x)
+			}
+			sum += x
+			sumSq += x * x
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		// Gamma(shape,1): mean = shape, var = shape.
+		if math.Abs(mean-shape) > 0.05*shape+0.02 {
+			t.Errorf("shape %v: mean %v", shape, mean)
+		}
+		if math.Abs(variance-shape) > 0.1*shape+0.05 {
+			t.Errorf("shape %v: variance %v", shape, variance)
+		}
+	}
+	if gammaSample(rng, 0) != 0 || gammaSample(rng, -1) != 0 {
+		t.Error("non-positive shapes must return 0")
+	}
+}
+
+func TestDirichletOnSimplex(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 100; trial++ {
+		d := dirichlet(rng, 8, 0.4)
+		sum := 0.0
+		for _, x := range d {
+			if x < 0 {
+				t.Fatal("negative component")
+			}
+			sum += x
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("dirichlet sums to %v", sum)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+package dataset
+
+import "math"
+
+// Thin wrappers keep the sampler readable.
+func sqrt(x float64) float64   { return math.Sqrt(x) }
+func ln(x float64) float64     { return math.Log(x) }
+func pow(x, y float64) float64 { return math.Pow(x, y) }

@@ -1,0 +1,137 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/gauss-tree/gausstree/internal/dataset"
+)
+
+// smallWorld builds a reduced data-set-2-style world for fast tests.
+func smallWorld(t *testing.T, n, queries int) (*Engines, *dataset.Dataset, []dataset.Query) {
+	t.Helper()
+	p := dataset.DefaultSyntheticParams()
+	p.N = n
+	ds, err := dataset.Synthetic(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := dataset.MakeQueries(ds, dataset.QueryParams{
+		Count: queries, Sigma: p.Sigma, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Build(ds, Setup{PageSize: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, ds, qs
+}
+
+func TestBuildEnginesConsistent(t *testing.T) {
+	e, ds, _ := smallWorld(t, 1500, 1)
+	if e.Tree.Len() != len(ds.Vectors) || e.Scan.Len() != len(ds.Vectors) || e.X.Len() != len(ds.Vectors) {
+		t.Errorf("engine sizes: tree=%d scan=%d x=%d want %d",
+			e.Tree.Len(), e.Scan.Len(), e.X.Len(), len(ds.Vectors))
+	}
+	if err := e.Tree.CheckInvariants(); err != nil {
+		t.Errorf("tree: %v", err)
+	}
+	if err := e.X.CheckInvariants(); err != nil {
+		t.Errorf("xtree: %v", err)
+	}
+}
+
+func TestFigure6ShapeAndBounds(t *testing.T) {
+	e, ds, qs := smallWorld(t, 1500, 40)
+	rep, err := Figure6(e, ds, qs, []int{1, 3, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	prevNN := 0.0
+	for i, row := range rep.Rows {
+		for _, v := range []float64{row.RecallNN, row.PrecisionNN, row.RecallMLIQ, row.PrecisionMLIQ} {
+			if v < 0 || v > 1 {
+				t.Errorf("row %d: metric out of range: %+v", i, row)
+			}
+		}
+		// Recall grows (weakly) with the result size; precision = recall/x.
+		if row.RecallNN+1e-12 < prevNN {
+			t.Errorf("NN recall decreased: %+v", rep.Rows)
+		}
+		prevNN = row.RecallNN
+		if diff := row.PrecisionNN - row.RecallNN/float64(row.Multiplier); diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("precision definition violated: %+v", row)
+		}
+	}
+	// At x1 precision equals recall by construction.
+	if rep.Rows[0].PrecisionNN != rep.Rows[0].RecallNN {
+		t.Error("x1 precision must equal recall")
+	}
+	// The paper's core claim: the probabilistic model identifies far better
+	// than plain NN on means.
+	if rep.Rows[0].RecallMLIQ <= rep.Rows[0].RecallNN {
+		t.Errorf("MLIQ recall %.2f should beat NN recall %.2f",
+			rep.Rows[0].RecallMLIQ, rep.Rows[0].RecallNN)
+	}
+	out := rep.Format()
+	if !strings.Contains(out, "Figure 6") || !strings.Contains(out, "x1") {
+		t.Errorf("Format output malformed:\n%s", out)
+	}
+}
+
+func TestFigure7ShapeAndBounds(t *testing.T) {
+	e, ds, qs := smallWorld(t, 2000, 10)
+	rep, err := Figure7(e, ds, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 9 { // 3 engines × 3 query types
+		t.Fatalf("cells = %d", len(rep.Cells))
+	}
+	var scanMLIQ, treeMLIQ *Fig7Cell
+	for i := range rep.Cells {
+		c := &rep.Cells[i]
+		if c.Pages <= 0 {
+			t.Errorf("cell %s/%s: zero pages", c.Engine, c.QueryType)
+		}
+		if c.Engine == "Seq. Scan" && c.QueryType == "1-MLIQ" {
+			scanMLIQ = c
+		}
+		if c.Engine == "Gauss-Tree" && c.QueryType == "1-MLIQ" {
+			treeMLIQ = c
+		}
+	}
+	if scanMLIQ == nil || treeMLIQ == nil {
+		t.Fatal("missing cells")
+	}
+	// Scan page count is exactly the file size for one scan.
+	if int(scanMLIQ.Pages) != len(e.Scan.Pages()) {
+		t.Errorf("scan MLIQ pages = %v, file has %d", scanMLIQ.Pages, len(e.Scan.Pages()))
+	}
+	// The headline efficiency claim, in shape: fewer pages for the tree.
+	if treeMLIQ.Pages >= scanMLIQ.Pages {
+		t.Errorf("Gauss-tree MLIQ pages %v should undercut scan %v", treeMLIQ.Pages, scanMLIQ.Pages)
+	}
+	if sp := rep.SpeedupOver("Gauss-Tree", "1-MLIQ"); sp <= 1 {
+		t.Errorf("speedup = %v, want > 1", sp)
+	}
+	if sp := rep.SpeedupOver("No-Such", "1-MLIQ"); sp != 0 {
+		t.Errorf("missing engine speedup = %v, want 0", sp)
+	}
+	out := rep.Format()
+	if !strings.Contains(out, "Gauss-Tree") || !strings.Contains(out, "TIQ(P=0.8)") {
+		t.Errorf("Format output malformed:\n%s", out)
+	}
+}
+
+func TestFigure6NoMultipliers(t *testing.T) {
+	e, ds, qs := smallWorld(t, 500, 2)
+	if _, err := Figure6(e, ds, qs, nil); err == nil {
+		t.Error("empty multipliers should fail")
+	}
+}

@@ -1,0 +1,60 @@
+package gaussian
+
+import "math"
+
+// Combiner selects the rule for combining the uncertainty of a database
+// feature (σv) with the uncertainty of the corresponding query feature (σq)
+// when evaluating the joint probability of Lemma 1,
+//
+//	p(qᵢ|vᵢ) = ∫ N(μv,σv)(x)·N(μq,σq)(x) dx = N(μv, σv⊕σq)(μq).
+//
+// The paper's Lemma 1 states the combination as the plain sum σv+σq, which
+// follows from a variance-style parameterization in its proof; under the
+// standard-deviation parameterization of Definition 1 the exact Gaussian
+// product integral yields √(σv²+σq²). Both rules are strictly increasing in
+// σv, so all Gauss-tree bounds (Lemmas 2 and 3 applied to the transformed
+// σ interval) remain conservative under either choice; which one is used is
+// purely a modeling decision. CombineAdditive is the default for
+// reproduction fidelity.
+type Combiner uint8
+
+const (
+	// CombineAdditive uses the paper's literal rule σv+σq.
+	CombineAdditive Combiner = iota
+	// CombineConvolution uses the exact convolution rule √(σv²+σq²).
+	CombineConvolution
+)
+
+// String returns the combiner's name.
+func (c Combiner) String() string {
+	switch c {
+	case CombineAdditive:
+		return "additive"
+	case CombineConvolution:
+		return "convolution"
+	default:
+		return "unknown"
+	}
+}
+
+// Combine returns the effective standard deviation σv⊕σq.
+func (c Combiner) Combine(sigmaV, sigmaQ float64) float64 {
+	if c == CombineConvolution {
+		return math.Hypot(sigmaV, sigmaQ)
+	}
+	return sigmaV + sigmaQ
+}
+
+// CombineInterval maps a stored σ interval [σ̌, σ̂] to the effective interval
+// [σ̌⊕σq, σ̂⊕σq]. Monotonicity of both rules guarantees the image of the
+// interval is again an interval, so hull and floor bounds stay exact.
+func (c Combiner) CombineInterval(sigma Interval, sigmaQ float64) Interval {
+	return Interval{Lo: c.Combine(sigma.Lo, sigmaQ), Hi: c.Combine(sigma.Hi, sigmaQ)}
+}
+
+// JointLogDensity returns ln p(q|v) for a single probabilistic feature pair:
+// the log of N(μv, σv⊕σq)(μq) per Lemma 1. It is symmetric in the two
+// arguments for both combination rules.
+func (c Combiner) JointLogDensity(muV, sigmaV, muQ, sigmaQ float64) float64 {
+	return LogPDF(muV, c.Combine(sigmaV, sigmaQ), muQ)
+}

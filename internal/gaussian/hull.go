@@ -1,0 +1,166 @@
+package gaussian
+
+import "math"
+
+// Hull evaluates the conservative approximation ˆN_{μ̌,μ̂,σ̌,σ̂}(x) of Lemma 2:
+// the pointwise maximum over all Gaussians N(μ,σ) with μ∈[mu.Lo,mu.Hi] and
+// σ∈[sigma.Lo,sigma.Hi]. The result upper-bounds the density of every
+// probabilistic feature stored in a Gauss-tree node whose minimum bounding
+// rectangle is (mu, sigma).
+//
+// The seven sectors of the piecewise closed form (paper Figure 3):
+//
+//	(I)   x <  μ̌−σ̂          N(μ̌, σ̂)(x)
+//	(II)  μ̌−σ̂ ≤ x < μ̌−σ̌     N(μ̌, μ̌−x)(x)   — the 45° sloped sector
+//	(III) μ̌−σ̌ ≤ x < μ̌        N(μ̌, σ̌)(x)
+//	(IV)  μ̌ ≤ x < μ̂          N(x, σ̌)(x) = 1/(√(2π)σ̌) — the flat plateau
+//	(V)   μ̂ ≤ x < μ̂+σ̌       N(μ̂, σ̌)(x)
+//	(VI)  μ̂+σ̌ ≤ x < μ̂+σ̂     N(μ̂, x−μ̂)(x)
+//	(VII) μ̂+σ̂ ≤ x            N(μ̂, σ̂)(x)
+func Hull(mu, sigma Interval, x float64) float64 {
+	return math.Exp(LogHull(mu, sigma, x))
+}
+
+// LogHull returns ln ˆN_{μ̌,μ̂,σ̌,σ̂}(x). See Hull.
+func LogHull(mu, sigma Interval, x float64) float64 {
+	switch {
+	case x < mu.Lo:
+		d := mu.Lo - x // distance to the left μ border
+		switch {
+		case d > sigma.Hi: // sector (I)
+			return LogPDF(mu.Lo, sigma.Hi, x)
+		case d > sigma.Lo: // sector (II): maximizing σ equals the distance
+			return -0.5*Ln2Pi - 0.5 - math.Log(d)
+		default: // sector (III)
+			return LogPDF(mu.Lo, sigma.Lo, x)
+		}
+	case x <= mu.Hi: // sector (IV): some μ coincides with x
+		return -0.5*Ln2Pi - math.Log(sigma.Lo)
+	default:
+		d := x - mu.Hi // distance to the right μ border
+		switch {
+		case d < sigma.Lo: // sector (V)
+			return LogPDF(mu.Hi, sigma.Lo, x)
+		case d < sigma.Hi: // sector (VI)
+			return -0.5*Ln2Pi - 0.5 - math.Log(d)
+		default: // sector (VII)
+			return LogPDF(mu.Hi, sigma.Hi, x)
+		}
+	}
+}
+
+// Floor evaluates the lower bound ˇN_{μ̌,μ̂,σ̌,σ̂}(x) of Lemma 3: the pointwise
+// minimum over all Gaussians with parameters inside the rectangle. Because
+// N(μ,σ)(x) has a single local maximum and no local minimum in (μ,σ), the
+// minimum is attained at one of the four corners of the rectangle.
+func Floor(mu, sigma Interval, x float64) float64 {
+	return math.Exp(LogFloor(mu, sigma, x))
+}
+
+// LogFloor returns ln ˇN_{μ̌,μ̂,σ̌,σ̂}(x). See Floor.
+func LogFloor(mu, sigma Interval, x float64) float64 {
+	// The farther μ border always yields the smaller density for fixed σ,
+	// so only the two σ corners of that border need to be tested (the
+	// "even easier method" the paper notes after Lemma 3).
+	m := mu.Lo
+	if x-mu.Lo < mu.Hi-x {
+		m = mu.Hi
+	}
+	a := LogPDF(m, sigma.Lo, x)
+	b := LogPDF(m, sigma.Hi, x)
+	return math.Min(a, b)
+}
+
+// HullIntegral returns ∫ ˆN_{μ̌,μ̂,σ̌,σ̂}(x) dx over the whole real line: the
+// access-probability surrogate minimized by the Gauss-tree split strategy.
+// Summing the seven sectors in closed form, the Gaussian tail sectors (I),
+// (III), (V), (VII) jointly contribute exactly 1, leaving
+//
+//	∫ˆN = 1 + (μ̂−μ̌)/(√(2π)·σ̌) + 2·ln(σ̂/σ̌)/√(2πe).
+//
+// The integral is always ≥ 1, so per-dimension integrals can be multiplied
+// to form a meaningful multivariate access-probability surrogate.
+func HullIntegral(mu, sigma Interval) float64 {
+	return 1 +
+		mu.Width()*InvSqrt2Pi/sigma.Lo +
+		2*math.Log(sigma.Hi/sigma.Lo)*InvSqrt2PiE
+}
+
+// HullIntegralOn returns ∫_a^b ˆN_{μ̌,μ̂,σ̌,σ̂}(x) dx for an arbitrary finite
+// interval [a, b], assembled from the sector-wise antiderivatives. cdf is the
+// standard normal CDF to use: StdCDF for the erf-exact result or StdCDFPoly5
+// for the degree-5 polynomial sigmoid approximation the paper applies.
+func HullIntegralOn(mu, sigma Interval, a, b float64, cdf func(float64) float64) float64 {
+	if b <= a {
+		return 0
+	}
+	// Sector boundaries from left to right.
+	cuts := [6]float64{
+		mu.Lo - sigma.Hi,
+		mu.Lo - sigma.Lo,
+		mu.Lo,
+		mu.Hi,
+		mu.Hi + sigma.Lo,
+		mu.Hi + sigma.Hi,
+	}
+	total := 0.0
+	lo := a
+	for i := 0; i <= len(cuts); i++ {
+		hi := b
+		if i < len(cuts) && cuts[i] < b {
+			hi = cuts[i]
+		}
+		if hi > lo {
+			total += hullSectorIntegral(mu, sigma, i, lo, hi, cdf)
+			lo = hi
+		}
+		if lo >= b {
+			break
+		}
+	}
+	return total
+}
+
+// hullSectorIntegral integrates the sector-i piece of the hull over [lo, hi],
+// where [lo, hi] is fully contained in sector i (0-based: sector 0 = (I)).
+func hullSectorIntegral(mu, sigma Interval, sector int, lo, hi float64, cdf func(float64) float64) float64 {
+	gauss := func(m, s float64) float64 {
+		return cdf((hi-m)/s) - cdf((lo-m)/s)
+	}
+	switch sector {
+	case 0: // (I): Gaussian N(μ̌, σ̂)
+		return gauss(mu.Lo, sigma.Hi)
+	case 1: // (II): ∫ 1/(√(2πe)(μ̌−x)) dx = ln((μ̌−lo)/(μ̌−hi))/√(2πe)
+		return InvSqrt2PiE * math.Log((mu.Lo-lo)/(mu.Lo-hi))
+	case 2: // (III): Gaussian N(μ̌, σ̌)
+		return gauss(mu.Lo, sigma.Lo)
+	case 3: // (IV): constant plateau
+		return (hi - lo) * InvSqrt2Pi / sigma.Lo
+	case 4: // (V): Gaussian N(μ̂, σ̌)
+		return gauss(mu.Hi, sigma.Lo)
+	case 5: // (VI): ∫ 1/(√(2πe)(x−μ̂)) dx
+		return InvSqrt2PiE * math.Log((hi-mu.Hi)/(lo-mu.Hi))
+	default: // (VII): Gaussian N(μ̂, σ̂)
+		return gauss(mu.Hi, sigma.Hi)
+	}
+}
+
+// StdCDFPoly5 approximates the standard normal CDF with the degree-5
+// polynomial sigmoid approximation of Zelen & Severo (Abramowitz & Stegun,
+// formula 26.2.17; absolute error < 7.5e-8). The paper applies exactly this
+// family of approximations when integrating the hull during splits; it is
+// exposed so the split-quality ablation can compare it against the
+// erf-exact StdCDF.
+func StdCDFPoly5(z float64) float64 {
+	neg := z < 0
+	if neg {
+		z = -z
+	}
+	t := 1 / (1 + 0.2316419*z)
+	poly := t * (0.319381530 + t*(-0.356563782+t*(1.781477937+t*(-1.821255978+t*1.330274429))))
+	p := 1 - InvSqrt2Pi*math.Exp(-0.5*z*z)*poly
+	if neg {
+		return 1 - p
+	}
+	return p
+}

@@ -1,0 +1,107 @@
+package gaussian
+
+import "math"
+
+// LogSum is a streaming log-sum-exp accumulator: it maintains
+// ln Σᵢ exp(xᵢ) for a sequence of log-space terms xᵢ without ever leaving
+// log space, so Bayes denominators Σ_w p(q|w) can be evaluated for
+// arbitrarily small densities (e.g. 27-dimensional products) that would
+// underflow a linear-space sum.
+//
+// The zero value is an empty sum (logically ln 0 = −Inf) and is ready to use.
+type LogSum struct {
+	max float64 // running maximum exponent
+	sum float64 // Σ exp(xᵢ − max)
+	n   int
+}
+
+// Add accumulates one log-space term.
+func (s *LogSum) Add(logX float64) {
+	if math.IsInf(logX, -1) {
+		return // exp(−Inf) = 0 contributes nothing
+	}
+	if s.n == 0 || logX > s.max {
+		if s.n == 0 {
+			s.sum = 1
+		} else {
+			s.sum = s.sum*math.Exp(s.max-logX) + 1
+		}
+		s.max = logX
+	} else {
+		s.sum += math.Exp(logX - s.max)
+	}
+	s.n++
+}
+
+// AddScaled accumulates count·exp(logX), i.e. the same log-space term
+// repeated count times (used for node-granularity sum bounds n·ˇN, n·ˆN).
+func (s *LogSum) AddScaled(logX float64, count int) {
+	if count <= 0 || math.IsInf(logX, -1) {
+		return
+	}
+	s.Add(logX + math.Log(float64(count)))
+}
+
+// Merge adds the contents of another accumulator.
+func (s *LogSum) Merge(other LogSum) {
+	if other.n == 0 {
+		return
+	}
+	s.Add(other.Log())
+}
+
+// Log returns ln Σ exp(xᵢ), or −Inf if nothing was added.
+func (s *LogSum) Log() float64 {
+	if s.n == 0 {
+		return math.Inf(-1)
+	}
+	return s.max + math.Log(s.sum)
+}
+
+// Terms returns the number of accumulated terms.
+func (s *LogSum) Terms() int { return s.n }
+
+// Reset empties the accumulator.
+func (s *LogSum) Reset() { *s = LogSum{} }
+
+// LogSumExpSlice returns ln Σ exp(xs[i]) computed in one pass over the slice;
+// it returns −Inf for an empty slice.
+func LogSumExpSlice(xs []float64) float64 {
+	maxX := math.Inf(-1)
+	for _, x := range xs {
+		if x > maxX {
+			maxX = x
+		}
+	}
+	if math.IsInf(maxX, -1) {
+		return maxX
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Exp(x - maxX)
+	}
+	return maxX + math.Log(sum)
+}
+
+// NormalizeLog converts log-space scores into probabilities that sum to 1:
+// pᵢ = exp(xᵢ − logSumExp(xs)). It writes into dst if it has sufficient
+// capacity and returns the slice of probabilities. An empty input returns
+// an empty slice.
+func NormalizeLog(dst, xs []float64) []float64 {
+	if cap(dst) < len(xs) {
+		dst = make([]float64, len(xs))
+	}
+	dst = dst[:len(xs)]
+	total := LogSumExpSlice(xs)
+	if math.IsInf(total, -1) {
+		// All scores are −Inf: maximal indifference, uniform posterior.
+		for i := range dst {
+			dst[i] = 1 / float64(len(xs))
+		}
+		return dst
+	}
+	for i, x := range xs {
+		dst[i] = math.Exp(x - total)
+	}
+	return dst
+}

@@ -1,0 +1,200 @@
+package gaussian
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogSumEmpty(t *testing.T) {
+	var s LogSum
+	if !math.IsInf(s.Log(), -1) {
+		t.Errorf("empty LogSum.Log() = %v, want -Inf", s.Log())
+	}
+	if s.Terms() != 0 {
+		t.Errorf("Terms = %d", s.Terms())
+	}
+}
+
+func TestLogSumSingle(t *testing.T) {
+	var s LogSum
+	s.Add(-3.5)
+	if !almostEqual(s.Log(), -3.5, 1e-15) {
+		t.Errorf("single term Log = %v", s.Log())
+	}
+}
+
+func TestLogSumMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(50) + 1
+		xs := make([]float64, n)
+		direct := 0.0
+		var s LogSum
+		for i := range xs {
+			xs[i] = rng.Float64()*20 - 10
+			direct += math.Exp(xs[i])
+			s.Add(xs[i])
+		}
+		want := math.Log(direct)
+		if !almostEqual(s.Log(), want, 1e-12) {
+			t.Fatalf("LogSum=%v direct=%v", s.Log(), want)
+		}
+		if !almostEqual(LogSumExpSlice(xs), want, 1e-12) {
+			t.Fatalf("LogSumExpSlice=%v direct=%v", LogSumExpSlice(xs), want)
+		}
+	}
+}
+
+func TestLogSumExtremeRange(t *testing.T) {
+	// Terms spanning 2000 orders of magnitude must not over/underflow.
+	var s LogSum
+	s.Add(-4000)
+	s.Add(600)
+	s.Add(-100)
+	want := 600.0 // exp(600) dominates utterly
+	if !almostEqual(s.Log(), want, 1e-12) {
+		t.Errorf("extreme-range Log = %v, want ~%v", s.Log(), want)
+	}
+}
+
+func TestLogSumNegInfIgnored(t *testing.T) {
+	var s LogSum
+	s.Add(math.Inf(-1))
+	if s.Terms() != 0 {
+		t.Error("-Inf should contribute nothing")
+	}
+	s.Add(1)
+	s.Add(math.Inf(-1))
+	if !almostEqual(s.Log(), 1, 1e-15) {
+		t.Errorf("Log = %v, want 1", s.Log())
+	}
+}
+
+func TestLogSumAddScaled(t *testing.T) {
+	var a, b LogSum
+	for i := 0; i < 7; i++ {
+		a.Add(-2.25)
+	}
+	b.AddScaled(-2.25, 7)
+	if !almostEqual(a.Log(), b.Log(), 1e-12) {
+		t.Errorf("AddScaled %v vs repeated Add %v", b.Log(), a.Log())
+	}
+	var c LogSum
+	c.AddScaled(5, 0)
+	c.AddScaled(5, -3)
+	if c.Terms() != 0 {
+		t.Error("non-positive counts must be ignored")
+	}
+}
+
+func TestLogSumMerge(t *testing.T) {
+	var a, b, all LogSum
+	xs := []float64{-1, 2, 0.5, -7, 3.25}
+	for i, x := range xs {
+		all.Add(x)
+		if i < 2 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if !almostEqual(a.Log(), all.Log(), 1e-12) {
+		t.Errorf("merged %v vs direct %v", a.Log(), all.Log())
+	}
+	var empty LogSum
+	a.Merge(empty) // must be a no-op
+	if !almostEqual(a.Log(), all.Log(), 1e-12) {
+		t.Errorf("merge with empty changed value: %v", a.Log())
+	}
+}
+
+func TestLogSumReset(t *testing.T) {
+	var s LogSum
+	s.Add(3)
+	s.Reset()
+	if s.Terms() != 0 || !math.IsInf(s.Log(), -1) {
+		t.Error("Reset did not clear accumulator")
+	}
+}
+
+func TestNormalizeLogSumsToOne(t *testing.T) {
+	prop := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			xs = append(xs, math.Mod(v, 300)) // keep exponents sane
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		ps := NormalizeLog(nil, xs)
+		sum := 0.0
+		for _, p := range ps {
+			if p < 0 || p > 1 {
+				return false
+			}
+			sum += p
+		}
+		return almostEqual(sum, 1, 1e-9)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizeLogAllNegInf(t *testing.T) {
+	xs := []float64{math.Inf(-1), math.Inf(-1), math.Inf(-1), math.Inf(-1)}
+	ps := NormalizeLog(nil, xs)
+	for _, p := range ps {
+		if !almostEqual(p, 0.25, 1e-15) {
+			t.Errorf("uniform fallback expected, got %v", ps)
+		}
+	}
+}
+
+func TestNormalizeLogReusesDst(t *testing.T) {
+	dst := make([]float64, 8)
+	xs := []float64{0, 0}
+	out := NormalizeLog(dst, xs)
+	if len(out) != 2 {
+		t.Fatalf("len(out) = %d", len(out))
+	}
+	if &out[0] != &dst[0] {
+		t.Error("dst with capacity should be reused")
+	}
+	if !almostEqual(out[0], 0.5, 1e-15) || !almostEqual(out[1], 0.5, 1e-15) {
+		t.Errorf("out = %v", out)
+	}
+	if got := NormalizeLog(nil, nil); len(got) != 0 {
+		t.Errorf("empty input should give empty output, got %v", got)
+	}
+}
+
+func TestNormalizeLogPosteriorIntuition(t *testing.T) {
+	// Paper §4 properties 2-4: widening uncertainty drives posteriors toward
+	// uniform 1/n; disjoint steep Gaussians drive them toward 0/1.
+	comb := CombineAdditive
+	score := func(sigma float64) []float64 {
+		// 4 database objects at means 0, 1, 5, 9; query at 0.9.
+		out := make([]float64, 0, 4)
+		for _, m := range []float64{0, 1, 5, 9} {
+			out = append(out, comb.JointLogDensity(m, sigma, 0.9, sigma))
+		}
+		return out
+	}
+	sharp := NormalizeLog(nil, score(0.05))
+	if sharp[1] < 0.999 {
+		t.Errorf("sharp posterior for the matching object = %v, want ~1", sharp[1])
+	}
+	vague := NormalizeLog(nil, score(500))
+	for i, p := range vague {
+		if !almostEqual(p, 0.25, 1e-3) {
+			t.Errorf("vague posterior[%d] = %v, want ~0.25", i, p)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package pagefile
+
+import (
+	"fmt"
+	"os"
+)
+
+// MemBackend keeps pages in memory. It is the default substrate for tests
+// and benchmarks: physical reads and seeks are still counted by the Manager,
+// so the disk cost model applies identically, just without real I/O latency.
+type MemBackend struct {
+	pageSize int
+	pages    [][]byte
+	closed   bool
+}
+
+// NewMemBackend returns an empty in-memory backend.
+func NewMemBackend(pageSize int) *MemBackend {
+	return &MemBackend{pageSize: pageSize}
+}
+
+// ReadPage implements Backend.
+func (b *MemBackend) ReadPage(id PageID, buf []byte) error {
+	if b.closed {
+		return ErrClosed
+	}
+	if int(id) >= len(b.pages) || b.pages[id] == nil {
+		// Reading a never-written page yields zeroes, like a sparse file.
+		for i := range buf {
+			buf[i] = 0
+		}
+		return nil
+	}
+	copy(buf, b.pages[id])
+	return nil
+}
+
+// WritePage implements Backend.
+func (b *MemBackend) WritePage(id PageID, data []byte) error {
+	if b.closed {
+		return ErrClosed
+	}
+	if len(data) != b.pageSize {
+		return fmt.Errorf("pagefile: mem write of %d bytes, want page size %d", len(data), b.pageSize)
+	}
+	for int(id) >= len(b.pages) {
+		b.pages = append(b.pages, nil)
+	}
+	b.pages[id] = append([]byte(nil), data...)
+	return nil
+}
+
+// NumPages implements Backend.
+func (b *MemBackend) NumPages() int { return len(b.pages) }
+
+// Close implements Backend.
+func (b *MemBackend) Close() error {
+	b.closed = true
+	b.pages = nil
+	return nil
+}
+
+// FileBackend stores pages in an ordinary file at offset id·pageSize.
+type FileBackend struct {
+	f        *os.File
+	pageSize int
+	pages    int
+}
+
+// OpenFile opens (or creates) a page file. An existing file must have a size
+// that is a multiple of the page size.
+func OpenFile(path string, pageSize int) (*FileBackend, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if info.Size()%int64(pageSize) != 0 {
+		f.Close()
+		return nil, fmt.Errorf("pagefile: %s has size %d, not a multiple of page size %d",
+			path, info.Size(), pageSize)
+	}
+	return &FileBackend{f: f, pageSize: pageSize, pages: int(info.Size() / int64(pageSize))}, nil
+}
+
+// ReadPage implements Backend.
+func (b *FileBackend) ReadPage(id PageID, buf []byte) error {
+	if b.f == nil {
+		return ErrClosed
+	}
+	if int(id) >= b.pages {
+		for i := range buf {
+			buf[i] = 0
+		}
+		return nil
+	}
+	_, err := b.f.ReadAt(buf[:b.pageSize], int64(id)*int64(b.pageSize))
+	return err
+}
+
+// WritePage implements Backend.
+func (b *FileBackend) WritePage(id PageID, data []byte) error {
+	if b.f == nil {
+		return ErrClosed
+	}
+	if len(data) != b.pageSize {
+		return fmt.Errorf("pagefile: file write of %d bytes, want page size %d", len(data), b.pageSize)
+	}
+	if _, err := b.f.WriteAt(data, int64(id)*int64(b.pageSize)); err != nil {
+		return err
+	}
+	if int(id) >= b.pages {
+		b.pages = int(id) + 1
+	}
+	return nil
+}
+
+// NumPages implements Backend.
+func (b *FileBackend) NumPages() int { return b.pages }
+
+// Sync flushes the file to stable storage.
+func (b *FileBackend) Sync() error {
+	if b.f == nil {
+		return ErrClosed
+	}
+	return b.f.Sync()
+}
+
+// Close implements Backend.
+func (b *FileBackend) Close() error {
+	if b.f == nil {
+		return nil
+	}
+	err := b.f.Close()
+	b.f = nil
+	return err
+}

@@ -1,0 +1,299 @@
+// Package pagefile provides the paged storage substrate shared by every
+// access method in this repository (Gauss-tree, X-tree, sequential scan), so
+// that their page-access counts are directly comparable, as in the paper's
+// efficiency experiments (Figure 7).
+//
+// A Manager mediates access to fixed-size pages held by a Backend (in-memory
+// for tests and benchmarks, an ordinary file for persistence) through an LRU
+// buffer cache with a configurable byte budget — the paper uses a 50 MB
+// cache that is cold-started before each experiment. The Manager counts
+// logical page accesses, cache hits, physical reads, writes and disk seeks
+// (non-contiguous physical reads), and converts them into an estimated I/O
+// time under a classical seek+transfer disk cost model, which is how the
+// paper's "overall time" metric is reproduced without 2006 disk hardware.
+package pagefile
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// PageID identifies a page within a Manager. Pages are allocated densely
+// starting at 0.
+type PageID uint32
+
+// NilPage is the sentinel for "no page".
+const NilPage PageID = 0xFFFFFFFF
+
+// DefaultPageSize is the page size used when none is configured.
+const DefaultPageSize = 8192
+
+// ErrClosed is returned after a Manager or Backend has been closed.
+var ErrClosed = errors.New("pagefile: closed")
+
+// Stats aggregates the I/O counters of a Manager. LogicalReads is the
+// paper's "page accesses" metric; PhysicalReads and Seeks feed the disk
+// cost model.
+type Stats struct {
+	// LogicalReads counts every page request, cached or not.
+	LogicalReads uint64
+	// CacheHits counts logical reads served from the buffer cache.
+	CacheHits uint64
+	// PhysicalReads counts reads that had to touch the backend.
+	PhysicalReads uint64
+	// Writes counts physical page writes.
+	Writes uint64
+	// Seeks counts physical reads whose page was not the immediate
+	// successor of the previously read page (disk arm movement).
+	Seeks uint64
+}
+
+// Add returns the elementwise sum of two stat snapshots.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		LogicalReads:  s.LogicalReads + o.LogicalReads,
+		CacheHits:     s.CacheHits + o.CacheHits,
+		PhysicalReads: s.PhysicalReads + o.PhysicalReads,
+		Writes:        s.Writes + o.Writes,
+		Seeks:         s.Seeks + o.Seeks,
+	}
+}
+
+// Sub returns the elementwise difference s−o (for deltas between snapshots).
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		LogicalReads:  s.LogicalReads - o.LogicalReads,
+		CacheHits:     s.CacheHits - o.CacheHits,
+		PhysicalReads: s.PhysicalReads - o.PhysicalReads,
+		Writes:        s.Writes - o.Writes,
+		Seeks:         s.Seeks - o.Seeks,
+	}
+}
+
+// CostModel converts I/O counters into time under the classical magnetic
+// disk model: each seek pays SeekTime, each transferred page pays
+// TransferTime.
+type CostModel struct {
+	SeekTime     time.Duration
+	TransferTime time.Duration
+}
+
+// DefaultCostModel models a disk whose speed *relative to this
+// implementation's CPU* matches the paper's 2006 testbed (dual Opteron +
+// SCSI disk running Java: ~8 ms seeks, 0.2 ms transfers). This Go
+// implementation evaluates densities roughly an order of magnitude faster
+// than the 2006 system, so the modeled disk is scaled by the same factor —
+// the reproduction target is the relative CPU/IO economics of the paper's
+// "overall time" metric, not 2006 wall-clock numbers. Experiments that want
+// literal 2006 hardware can pass WithCostModel{8ms, 200µs}.
+func DefaultCostModel() CostModel {
+	return CostModel{SeekTime: 500 * time.Microsecond, TransferTime: 12500 * time.Nanosecond}
+}
+
+// IOTime returns the modeled I/O time for the counted physical operations.
+func (cm CostModel) IOTime(s Stats) time.Duration {
+	return time.Duration(s.Seeks)*cm.SeekTime +
+		time.Duration(s.PhysicalReads+s.Writes)*cm.TransferTime
+}
+
+// Backend stores raw pages. Implementations need not be safe for concurrent
+// use; the Manager serializes access.
+type Backend interface {
+	// ReadPage fills buf (exactly one page) with the page's content.
+	ReadPage(id PageID, buf []byte) error
+	// WritePage persists one page of data.
+	WritePage(id PageID, data []byte) error
+	// NumPages returns the number of pages ever allocated.
+	NumPages() int
+	// Close releases resources.
+	Close() error
+}
+
+// Manager is a buffer-managed page store. It is not safe for concurrent use.
+type Manager struct {
+	backend   Backend
+	pageSize  int
+	capacity  int // cache capacity in pages; 0 disables caching
+	cache     map[PageID]*list.Element
+	lru       *list.List // front = most recently used
+	stats     Stats
+	next      PageID
+	freelist  []PageID
+	lastRead  PageID
+	haveLast  bool
+	costModel CostModel
+	closed    bool
+}
+
+type cacheEntry struct {
+	id   PageID
+	data []byte
+}
+
+// Option configures a Manager.
+type Option func(*Manager)
+
+// WithCacheBytes sets the buffer cache budget in bytes (default 50 MB,
+// matching the paper's setup). A budget of 0 disables caching entirely.
+func WithCacheBytes(n int) Option {
+	return func(m *Manager) { m.capacity = n / m.pageSize }
+}
+
+// WithCostModel overrides the disk cost model used by IOTime.
+func WithCostModel(cm CostModel) Option {
+	return func(m *Manager) { m.costModel = cm }
+}
+
+// NewManager wraps a backend with a buffer cache. pageSize must be positive.
+func NewManager(backend Backend, pageSize int, opts ...Option) (*Manager, error) {
+	if pageSize <= 0 {
+		return nil, fmt.Errorf("pagefile: invalid page size %d", pageSize)
+	}
+	m := &Manager{
+		backend:   backend,
+		pageSize:  pageSize,
+		cache:     make(map[PageID]*list.Element),
+		lru:       list.New(),
+		next:      PageID(backend.NumPages()),
+		costModel: DefaultCostModel(),
+	}
+	m.capacity = 50 << 20 / pageSize
+	for _, o := range opts {
+		o(m)
+	}
+	return m, nil
+}
+
+// PageSize returns the configured page size in bytes.
+func (m *Manager) PageSize() int { return m.pageSize }
+
+// NumPages returns the number of allocated pages (including freed ones).
+func (m *Manager) NumPages() int { return int(m.next) }
+
+// CostModel returns the configured disk cost model.
+func (m *Manager) CostModel() CostModel { return m.costModel }
+
+// Allocate reserves a fresh page (reusing freed pages first) and returns its
+// id. The page's initial content is unspecified until the first Write.
+func (m *Manager) Allocate() (PageID, error) {
+	if m.closed {
+		return NilPage, ErrClosed
+	}
+	if n := len(m.freelist); n > 0 {
+		id := m.freelist[n-1]
+		m.freelist = m.freelist[:n-1]
+		return id, nil
+	}
+	id := m.next
+	m.next++
+	return id, nil
+}
+
+// Free returns a page to the allocator. The page's content becomes invalid.
+func (m *Manager) Free(id PageID) {
+	if e, ok := m.cache[id]; ok {
+		m.lru.Remove(e)
+		delete(m.cache, id)
+	}
+	m.freelist = append(m.freelist, id)
+}
+
+// Read returns the content of a page. The returned slice is owned by the
+// cache: it is valid only until the next Manager call and must not be
+// modified. Callers decode immediately.
+func (m *Manager) Read(id PageID) ([]byte, error) {
+	if m.closed {
+		return nil, ErrClosed
+	}
+	if id >= m.next {
+		return nil, fmt.Errorf("pagefile: read of unallocated page %d (have %d)", id, m.next)
+	}
+	m.stats.LogicalReads++
+	if e, ok := m.cache[id]; ok {
+		m.stats.CacheHits++
+		m.lru.MoveToFront(e)
+		return e.Value.(*cacheEntry).data, nil
+	}
+	buf := make([]byte, m.pageSize)
+	if err := m.backend.ReadPage(id, buf); err != nil {
+		return nil, err
+	}
+	m.stats.PhysicalReads++
+	if !m.haveLast || id != m.lastRead+1 {
+		m.stats.Seeks++
+	}
+	m.lastRead, m.haveLast = id, true
+	m.insertCache(id, buf)
+	return buf, nil
+}
+
+// Write persists a page. data must be at most one page long; shorter data is
+// zero-padded to the page size. The write is write-through: the backend and
+// the cache are updated together.
+func (m *Manager) Write(id PageID, data []byte) error {
+	if m.closed {
+		return ErrClosed
+	}
+	if id >= m.next {
+		return fmt.Errorf("pagefile: write of unallocated page %d (have %d)", id, m.next)
+	}
+	if len(data) > m.pageSize {
+		return fmt.Errorf("pagefile: page overflow: %d bytes > page size %d", len(data), m.pageSize)
+	}
+	page := make([]byte, m.pageSize)
+	copy(page, data)
+	if err := m.backend.WritePage(id, page); err != nil {
+		return err
+	}
+	m.stats.Writes++
+	m.insertCache(id, page)
+	return nil
+}
+
+func (m *Manager) insertCache(id PageID, data []byte) {
+	if m.capacity <= 0 {
+		return
+	}
+	if e, ok := m.cache[id]; ok {
+		e.Value.(*cacheEntry).data = data
+		m.lru.MoveToFront(e)
+		return
+	}
+	for m.lru.Len() >= m.capacity {
+		oldest := m.lru.Back()
+		m.lru.Remove(oldest)
+		delete(m.cache, oldest.Value.(*cacheEntry).id)
+	}
+	m.cache[id] = m.lru.PushFront(&cacheEntry{id: id, data: data})
+}
+
+// DropCache empties the buffer cache (the paper's cold start) and forgets
+// disk-arm position so the next physical read counts as a seek.
+func (m *Manager) DropCache() {
+	m.cache = make(map[PageID]*list.Element)
+	m.lru.Init()
+	m.haveLast = false
+}
+
+// Stats returns a snapshot of the I/O counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// ResetStats zeroes the I/O counters.
+func (m *Manager) ResetStats() { m.stats = Stats{} }
+
+// IOTime returns the modeled I/O time of the counters accumulated so far.
+func (m *Manager) IOTime() time.Duration { return m.costModel.IOTime(m.stats) }
+
+// CachedPages returns the number of pages currently held in the cache.
+func (m *Manager) CachedPages() int { return m.lru.Len() }
+
+// Close closes the underlying backend. Subsequent calls fail with ErrClosed.
+func (m *Manager) Close() error {
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	return m.backend.Close()
+}

@@ -1,0 +1,361 @@
+package pagefile
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func newMemManager(t *testing.T, pageSize int, opts ...Option) *Manager {
+	t.Helper()
+	m, err := NewManager(NewMemBackend(pageSize), pageSize, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestAllocateWriteRead(t *testing.T) {
+	m := newMemManager(t, 128)
+	id, err := m.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 0 {
+		t.Errorf("first page id = %d", id)
+	}
+	payload := []byte("hello pages")
+	if err := m.Write(id, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 128 {
+		t.Errorf("page length %d", len(got))
+	}
+	if !bytes.Equal(got[:len(payload)], payload) {
+		t.Errorf("content mismatch: %q", got[:len(payload)])
+	}
+	// Remainder must be zero padded.
+	for _, b := range got[len(payload):] {
+		if b != 0 {
+			t.Error("page not zero padded")
+			break
+		}
+	}
+}
+
+func TestReadUnallocatedFails(t *testing.T) {
+	m := newMemManager(t, 64)
+	if _, err := m.Read(0); err == nil {
+		t.Error("reading unallocated page should fail")
+	}
+	if err := m.Write(5, []byte("x")); err == nil {
+		t.Error("writing unallocated page should fail")
+	}
+}
+
+func TestWriteOverflowFails(t *testing.T) {
+	m := newMemManager(t, 16)
+	id, _ := m.Allocate()
+	if err := m.Write(id, make([]byte, 17)); err == nil {
+		t.Error("oversized write should fail")
+	}
+}
+
+func TestFreelistReuse(t *testing.T) {
+	m := newMemManager(t, 64)
+	a, _ := m.Allocate()
+	b, _ := m.Allocate()
+	m.Free(a)
+	c, _ := m.Allocate()
+	if c != a {
+		t.Errorf("freed page not reused: got %d, want %d", c, a)
+	}
+	d, _ := m.Allocate()
+	if d == b || d == c {
+		t.Errorf("fresh allocation collided: %d", d)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	m := newMemManager(t, 64)
+	var ids []PageID
+	for i := 0; i < 10; i++ {
+		id, _ := m.Allocate()
+		ids = append(ids, id)
+		if err := m.Write(id, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.ResetStats()
+	m.DropCache()
+
+	// Sequential scan: every page physical, one seek at the start.
+	for _, id := range ids {
+		if _, err := m.Read(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := m.Stats()
+	if s.LogicalReads != 10 || s.PhysicalReads != 10 || s.CacheHits != 0 {
+		t.Errorf("cold sequential: %+v", s)
+	}
+	if s.Seeks != 1 {
+		t.Errorf("sequential scan should cost exactly 1 seek, got %d", s.Seeks)
+	}
+
+	// Re-read: everything cached now.
+	m.ResetStats()
+	for _, id := range ids {
+		m.Read(id)
+	}
+	s = m.Stats()
+	if s.CacheHits != 10 || s.PhysicalReads != 0 {
+		t.Errorf("warm reads: %+v", s)
+	}
+
+	// Random access pattern after cache drop: seeks on discontinuities.
+	m.DropCache()
+	m.ResetStats()
+	m.Read(ids[7])
+	m.Read(ids[2])
+	m.Read(ids[3]) // contiguous with previous: no seek
+	s = m.Stats()
+	if s.Seeks != 2 {
+		t.Errorf("random reads: seeks = %d, want 2 (%+v)", s.Seeks, s)
+	}
+}
+
+func TestStatsAddSub(t *testing.T) {
+	a := Stats{LogicalReads: 10, CacheHits: 4, PhysicalReads: 6, Writes: 2, Seeks: 3}
+	b := Stats{LogicalReads: 1, CacheHits: 1, PhysicalReads: 1, Writes: 1, Seeks: 1}
+	sum := a.Add(b)
+	if sum.LogicalReads != 11 || sum.Seeks != 4 {
+		t.Errorf("Add = %+v", sum)
+	}
+	diff := sum.Sub(b)
+	if diff != a {
+		t.Errorf("Sub = %+v, want %+v", diff, a)
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	cm := CostModel{SeekTime: 10 * time.Millisecond, TransferTime: time.Millisecond}
+	s := Stats{PhysicalReads: 5, Writes: 2, Seeks: 3}
+	want := 3*10*time.Millisecond + 7*time.Millisecond
+	if got := cm.IOTime(s); got != want {
+		t.Errorf("IOTime = %v, want %v", got, want)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	// Cache of 4 pages; touching 8 pages must evict the least recently used.
+	m := newMemManager(t, 64, WithCacheBytes(4*64))
+	var ids []PageID
+	for i := 0; i < 8; i++ {
+		id, _ := m.Allocate()
+		ids = append(ids, id)
+		m.Write(id, []byte{byte(i)})
+	}
+	m.DropCache()
+	m.ResetStats()
+	for _, id := range ids {
+		m.Read(id)
+	}
+	if m.CachedPages() != 4 {
+		t.Errorf("cached pages = %d, want 4", m.CachedPages())
+	}
+	// Pages 4..7 are cached; 0..3 evicted.
+	m.ResetStats()
+	m.Read(ids[7])
+	if m.Stats().CacheHits != 1 {
+		t.Error("recently used page should be cached")
+	}
+	m.ResetStats()
+	m.Read(ids[0])
+	if m.Stats().CacheHits != 0 {
+		t.Error("evicted page should not be cached")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	m := newMemManager(t, 64, WithCacheBytes(0))
+	id, _ := m.Allocate()
+	m.Write(id, []byte("x"))
+	m.ResetStats()
+	m.Read(id)
+	m.Read(id)
+	s := m.Stats()
+	if s.CacheHits != 0 || s.PhysicalReads != 2 {
+		t.Errorf("uncached: %+v", s)
+	}
+}
+
+func TestLRURecencyOrder(t *testing.T) {
+	m := newMemManager(t, 64, WithCacheBytes(2*64))
+	a, _ := m.Allocate()
+	b, _ := m.Allocate()
+	c, _ := m.Allocate()
+	for i, id := range []PageID{a, b, c} {
+		m.Write(id, []byte{byte(i)})
+	}
+	m.DropCache()
+	m.Read(a)
+	m.Read(b)
+	m.Read(a) // refresh a; b is now LRU
+	m.Read(c) // evicts b
+	m.ResetStats()
+	m.Read(a)
+	if m.Stats().CacheHits != 1 {
+		t.Error("page a should have survived (recency refreshed)")
+	}
+	m.ResetStats()
+	m.Read(b)
+	if m.Stats().CacheHits != 0 {
+		t.Error("page b should have been evicted")
+	}
+}
+
+func TestClosedManager(t *testing.T) {
+	m := newMemManager(t, 64)
+	id, _ := m.Allocate()
+	m.Write(id, []byte("x"))
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Read(id); err == nil {
+		t.Error("read after close should fail")
+	}
+	if err := m.Write(id, []byte("y")); err == nil {
+		t.Error("write after close should fail")
+	}
+	if _, err := m.Allocate(); err == nil {
+		t.Error("allocate after close should fail")
+	}
+	if err := m.Close(); err != nil {
+		t.Error("double close should be a no-op")
+	}
+}
+
+func TestInvalidPageSize(t *testing.T) {
+	if _, err := NewManager(NewMemBackend(0), 0); err == nil {
+		t.Error("page size 0 should be rejected")
+	}
+}
+
+func TestFileBackendRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	fb, err := OpenFile(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(fb, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	content := map[PageID][]byte{}
+	for i := 0; i < 20; i++ {
+		id, _ := m.Allocate()
+		data := make([]byte, 256)
+		rng.Read(data)
+		content[id] = data
+		if err := m.Write(id, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fb.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen and verify persistence.
+	fb2, err := OpenFile(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb2.NumPages() != 20 {
+		t.Errorf("reopened file has %d pages, want 20", fb2.NumPages())
+	}
+	m2, err := NewManager(fb2, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	for id, want := range content {
+		got, err := m2.Read(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("page %d content mismatch after reopen", id)
+		}
+	}
+}
+
+func TestFileBackendSizeValidation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "odd.db")
+	fb, err := OpenFile(path, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb.WritePage(0, make([]byte, 128))
+	fb.Close()
+	if _, err := OpenFile(path, 100); err == nil {
+		t.Error("page size mismatch with file size should fail")
+	}
+}
+
+func TestMemBackendZeroFillUnwritten(t *testing.T) {
+	m := newMemManager(t, 32)
+	id, _ := m.Allocate()
+	// Never written: reads as zeroes (sparse-file semantics).
+	got, err := m.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("unwritten page should read as zeroes")
+		}
+	}
+}
+
+func TestManagerManyPagesStress(t *testing.T) {
+	m := newMemManager(t, 512, WithCacheBytes(64*512))
+	rng := rand.New(rand.NewSource(77))
+	const n = 1000
+	pages := make(map[PageID]byte, n)
+	for i := 0; i < n; i++ {
+		id, _ := m.Allocate()
+		v := byte(rng.Intn(256))
+		pages[id] = v
+		if err := m.Write(id, []byte{v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for trial := 0; trial < 5000; trial++ {
+		id := PageID(rng.Intn(n))
+		got, err := m.Read(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != pages[id] {
+			t.Fatalf("page %d corrupted: got %d want %d", id, got[0], pages[id])
+		}
+	}
+	s := m.Stats()
+	if s.LogicalReads != 5000 {
+		t.Errorf("logical reads = %d", s.LogicalReads)
+	}
+	if s.CacheHits == 0 || s.CacheHits == s.LogicalReads {
+		t.Errorf("expected a mix of hits and misses with a small cache: %+v", s)
+	}
+}

@@ -1,0 +1,130 @@
+package pfv
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// EncodedSize returns the number of bytes a vector of the given dimension
+// occupies in the fixed-width binary encoding: 8 bytes of object id followed
+// by d little-endian float64 means and d float64 sigmas.
+func EncodedSize(dim int) int { return 8 + 16*dim }
+
+// AppendBinary appends the fixed-width binary encoding of v to dst and
+// returns the extended slice. The dimension is not encoded; page formats
+// store it once in their headers.
+func AppendBinary(dst []byte, v Vector) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, v.ID)
+	for _, m := range v.Mean {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(m))
+	}
+	for _, s := range v.Sigma {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(s))
+	}
+	return dst
+}
+
+// DecodeBinary decodes one vector of the given dimension from the front of
+// src. It returns the decoded vector and the number of bytes consumed.
+func DecodeBinary(src []byte, dim int) (Vector, int, error) {
+	need := EncodedSize(dim)
+	if len(src) < need {
+		return Vector{}, 0, fmt.Errorf("pfv: short buffer: have %d bytes, need %d", len(src), need)
+	}
+	v := Vector{
+		ID:    binary.LittleEndian.Uint64(src),
+		Mean:  make([]float64, dim),
+		Sigma: make([]float64, dim),
+	}
+	off := 8
+	for i := 0; i < dim; i++ {
+		v.Mean[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[off:]))
+		off += 8
+	}
+	for i := 0; i < dim; i++ {
+		v.Sigma[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[off:]))
+		off += 8
+	}
+	return v, need, nil
+}
+
+// WriteCSV writes vectors in the textual interchange format
+//
+//	id,mu_1,sigma_1,mu_2,sigma_2,...,mu_d,sigma_d
+//
+// one vector per line, suitable for the command-line tools.
+func WriteCSV(w io.Writer, vectors []Vector) error {
+	bw := bufio.NewWriter(w)
+	for _, v := range vectors {
+		if _, err := fmt.Fprintf(bw, "%d", v.ID); err != nil {
+			return err
+		}
+		for i := range v.Mean {
+			if _, err := fmt.Fprintf(bw, ",%s,%s",
+				strconv.FormatFloat(v.Mean[i], 'g', -1, 64),
+				strconv.FormatFloat(v.Sigma[i], 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses the format written by WriteCSV. Blank lines and lines
+// starting with '#' are skipped. Every record must describe the same
+// dimensionality and pass New's validation.
+func ReadCSV(r io.Reader) ([]Vector, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var out []Vector
+	dim := -1
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) < 3 || len(fields)%2 == 0 {
+			return nil, fmt.Errorf("pfv: line %d: want id followed by (mu,sigma) pairs, got %d fields", lineNo, len(fields))
+		}
+		d := (len(fields) - 1) / 2
+		if dim == -1 {
+			dim = d
+		} else if d != dim {
+			return nil, fmt.Errorf("pfv: line %d: dimension %d differs from first record's %d", lineNo, d, dim)
+		}
+		id, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("pfv: line %d: bad id %q: %w", lineNo, fields[0], err)
+		}
+		mean := make([]float64, d)
+		sigma := make([]float64, d)
+		for i := 0; i < d; i++ {
+			if mean[i], err = strconv.ParseFloat(fields[1+2*i], 64); err != nil {
+				return nil, fmt.Errorf("pfv: line %d: bad mean %q: %w", lineNo, fields[1+2*i], err)
+			}
+			if sigma[i], err = strconv.ParseFloat(fields[2+2*i], 64); err != nil {
+				return nil, fmt.Errorf("pfv: line %d: bad sigma %q: %w", lineNo, fields[2+2*i], err)
+			}
+		}
+		v, err := New(id, mean, sigma)
+		if err != nil {
+			return nil, fmt.Errorf("pfv: line %d: %w", lineNo, err)
+		}
+		out = append(out, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,163 @@
+package pfv
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func randomVector(rng *rand.Rand, id uint64, dim int) Vector {
+	mean := make([]float64, dim)
+	sigma := make([]float64, dim)
+	for i := range mean {
+		mean[i] = rng.NormFloat64() * 100
+		sigma[i] = rng.Float64()*10 + 1e-6
+	}
+	return MustNew(id, mean, sigma)
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dim := range []int{1, 2, 10, 27} {
+		v := randomVector(rng, rng.Uint64(), dim)
+		buf := AppendBinary(nil, v)
+		if len(buf) != EncodedSize(dim) {
+			t.Fatalf("dim %d: encoded %d bytes, want %d", dim, len(buf), EncodedSize(dim))
+		}
+		got, n, err := DecodeBinary(buf, dim)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if n != len(buf) {
+			t.Errorf("consumed %d, want %d", n, len(buf))
+		}
+		if !v.Equal(got) {
+			t.Errorf("round trip mismatch: %+v vs %+v", v, got)
+		}
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	prop := func(seed int64, dRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := int(dRaw%30) + 1
+		v := randomVector(rng, rng.Uint64(), dim)
+		got, _, err := DecodeBinary(AppendBinary(nil, v), dim)
+		return err == nil && v.Equal(got)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryAppendsConcatenate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vs := []Vector{randomVector(rng, 1, 4), randomVector(rng, 2, 4), randomVector(rng, 3, 4)}
+	var buf []byte
+	for _, v := range vs {
+		buf = AppendBinary(buf, v)
+	}
+	off := 0
+	for i, want := range vs {
+		got, n, err := DecodeBinary(buf[off:], 4)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !want.Equal(got) {
+			t.Errorf("record %d mismatch", i)
+		}
+		off += n
+	}
+	if off != len(buf) {
+		t.Errorf("consumed %d of %d bytes", off, len(buf))
+	}
+}
+
+func TestDecodeBinaryShortBuffer(t *testing.T) {
+	if _, _, err := DecodeBinary(make([]byte, 10), 2); err == nil {
+		t.Error("short buffer should fail")
+	}
+}
+
+func TestBinarySpecialFloats(t *testing.T) {
+	// The codec must be bit-exact, including negative zero.
+	v := Vector{ID: 5, Mean: []float64{math.Copysign(0, -1), 1e-300}, Sigma: []float64{1e300, 4}}
+	got, _, err := DecodeBinary(AppendBinary(nil, v), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(got.Mean[0]) != math.Float64bits(v.Mean[0]) {
+		t.Error("negative zero not preserved")
+	}
+	if got.Mean[1] != 1e-300 || got.Sigma[0] != 1e300 {
+		t.Error("extreme magnitudes not preserved")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vs := make([]Vector, 25)
+	for i := range vs {
+		vs[i] = randomVector(rng, uint64(i*7), 5)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, vs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(vs) {
+		t.Fatalf("got %d records, want %d", len(got), len(vs))
+	}
+	for i := range vs {
+		if !vs[i].Equal(got[i]) {
+			t.Errorf("record %d mismatch:\n%+v\n%+v", i, vs[i], got[i])
+		}
+	}
+}
+
+func TestCSVSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header comment\n\n1,0.5,0.1\n  \n# another\n2,0.75,0.2\n"
+	got, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 2 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"bad id", "x,1,1\n"},
+		{"bad mean", "1,zzz,1\n"},
+		{"bad sigma", "1,1,zzz\n"},
+		{"even fields", "1,1\n"},
+		{"too few fields", "1\n"},
+		{"dim change", "1,1,1\n2,1,1,2,1\n"},
+		{"invalid sigma", "1,1,-3\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestCSVEmptyInput(t *testing.T) {
+	got, err := ReadCSV(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("got %d records from empty input", len(got))
+	}
+}

@@ -1,0 +1,173 @@
+// Package pfv implements probabilistic feature vectors (pfv), the data model
+// of the Gaussian uncertainty model (paper §3): a d-dimensional object whose
+// i-th feature is an observed value μᵢ together with a standard deviation σᵢ
+// expressing the measurement uncertainty of that observation. A pfv is
+// therefore a d-variate axis-aligned Gaussian N(μ, diag(σ²)).
+//
+// The package provides construction and validation, multivariate log
+// densities, the joint density p(q|v) of Lemma 1 and the Bayesian posterior
+// P(v|q) used by both identification query types, plus binary and CSV codecs.
+package pfv
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/gauss-tree/gausstree/internal/gaussian"
+)
+
+// Common validation errors.
+var (
+	ErrDimensionMismatch = errors.New("pfv: mean and sigma slices have different lengths")
+	ErrEmpty             = errors.New("pfv: a probabilistic feature vector needs at least one dimension")
+	ErrNotFinite         = errors.New("pfv: feature values must be finite")
+)
+
+// Vector is a probabilistic feature vector: an object identifier plus d
+// (μᵢ, σᵢ) pairs. Mean and Sigma always have equal length; every σᵢ is
+// strictly positive. Vectors are treated as immutable once constructed.
+type Vector struct {
+	// ID identifies the database object the observation belongs to.
+	ID uint64
+	// Mean holds the observed feature values μᵢ.
+	Mean []float64
+	// Sigma holds the per-feature standard deviations σᵢ.
+	Sigma []float64
+}
+
+// New validates and constructs a probabilistic feature vector. The slices
+// are retained, not copied; callers must not mutate them afterwards.
+func New(id uint64, mean, sigma []float64) (Vector, error) {
+	if len(mean) != len(sigma) {
+		return Vector{}, fmt.Errorf("%w: %d means vs %d sigmas", ErrDimensionMismatch, len(mean), len(sigma))
+	}
+	if len(mean) == 0 {
+		return Vector{}, ErrEmpty
+	}
+	for i, m := range mean {
+		if math.IsNaN(m) || math.IsInf(m, 0) {
+			return Vector{}, fmt.Errorf("%w: mean[%d] = %v", ErrNotFinite, i, m)
+		}
+		if err := gaussian.ValidateSigma(sigma[i]); err != nil {
+			return Vector{}, fmt.Errorf("dimension %d: %w (got %v)", i, err, sigma[i])
+		}
+	}
+	return Vector{ID: id, Mean: mean, Sigma: sigma}, nil
+}
+
+// MustNew is New but panics on invalid input; intended for tests, examples
+// and generators whose inputs are correct by construction.
+func MustNew(id uint64, mean, sigma []float64) Vector {
+	v, err := New(id, mean, sigma)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Dim returns the number of probabilistic features.
+func (v Vector) Dim() int { return len(v.Mean) }
+
+// Clone returns a deep copy of the vector.
+func (v Vector) Clone() Vector {
+	return Vector{
+		ID:    v.ID,
+		Mean:  append([]float64(nil), v.Mean...),
+		Sigma: append([]float64(nil), v.Sigma...),
+	}
+}
+
+// Equal reports whether two vectors have identical id, means and sigmas.
+func (v Vector) Equal(w Vector) bool {
+	if v.ID != w.ID || len(v.Mean) != len(w.Mean) {
+		return false
+	}
+	for i := range v.Mean {
+		if v.Mean[i] != w.Mean[i] || v.Sigma[i] != w.Sigma[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact human-readable form.
+func (v Vector) String() string {
+	return fmt.Sprintf("pfv{id=%d d=%d}", v.ID, v.Dim())
+}
+
+// LogDensityAt returns ln p(x|v) = Σᵢ ln N(μᵢ,σᵢ)(xᵢ): the log density of
+// the true feature vector x under the object's uncertainty model
+// (Definition 1). It panics if len(x) differs from the vector's dimension.
+func (v Vector) LogDensityAt(x []float64) float64 {
+	if len(x) != len(v.Mean) {
+		panic(fmt.Sprintf("pfv: LogDensityAt dimension mismatch: %d vs %d", len(x), len(v.Mean)))
+	}
+	sum := 0.0
+	for i, xi := range x {
+		sum += gaussian.LogPDF(v.Mean[i], v.Sigma[i], xi)
+	}
+	return sum
+}
+
+// JointLogDensity returns ln p(q|v) = Σᵢ ln N(μv,ᵢ, σv,ᵢ⊕σq,ᵢ)(μq,ᵢ), the
+// d-dimensional joint probability density of Lemma 1 that the query pfv q
+// and the database pfv v describe the same real-world object, under the
+// given σ-combination rule. It panics on dimension mismatch.
+func JointLogDensity(c gaussian.Combiner, v, q Vector) float64 {
+	if len(v.Mean) != len(q.Mean) {
+		panic(fmt.Sprintf("pfv: JointLogDensity dimension mismatch: %d vs %d", len(v.Mean), len(q.Mean)))
+	}
+	sum := 0.0
+	for i := range v.Mean {
+		sum += c.JointLogDensity(v.Mean[i], v.Sigma[i], q.Mean[i], q.Sigma[i])
+	}
+	return sum
+}
+
+// Posterior computes the Bayesian identification probabilities P(vᵢ|q) for a
+// candidate-complete set of database vectors (paper §3.1): assuming uniform
+// priors, P(vᵢ|q) = p(q|vᵢ) / Σ_w p(q|w). The returned slice is aligned with
+// db. An empty db yields an empty slice.
+func Posterior(c gaussian.Combiner, db []Vector, q Vector) []float64 {
+	scores := make([]float64, len(db))
+	for i, v := range db {
+		scores[i] = JointLogDensity(c, v, q)
+	}
+	return gaussian.NormalizeLog(scores, scores)
+}
+
+// QuantileBox returns the per-dimension interval [μᵢ − z·σᵢ, μᵢ + z·σᵢ] that
+// contains a fresh observation of each feature with probability coverage
+// (e.g. 0.95), the hyper-rectangle approximation the paper's X-tree baseline
+// indexes. lo and hi are filled and returned; they may be nil.
+func (v Vector) QuantileBox(coverage float64, lo, hi []float64) ([]float64, []float64) {
+	z := gaussian.StdQuantile(0.5 + coverage/2)
+	if cap(lo) < v.Dim() {
+		lo = make([]float64, v.Dim())
+	}
+	if cap(hi) < v.Dim() {
+		hi = make([]float64, v.Dim())
+	}
+	lo, hi = lo[:v.Dim()], hi[:v.Dim()]
+	for i := range v.Mean {
+		lo[i] = v.Mean[i] - z*v.Sigma[i]
+		hi[i] = v.Mean[i] + z*v.Sigma[i]
+	}
+	return lo, hi
+}
+
+// EuclideanDistance returns the plain Euclidean distance between the mean
+// vectors of v and w, ignoring all uncertainty information. This is the
+// conventional-feature-vector baseline the paper's Figure 6 compares against.
+func EuclideanDistance(v, w Vector) float64 {
+	if len(v.Mean) != len(w.Mean) {
+		panic("pfv: EuclideanDistance dimension mismatch")
+	}
+	sum := 0.0
+	for i := range v.Mean {
+		d := v.Mean[i] - w.Mean[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}

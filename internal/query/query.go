@@ -1,0 +1,60 @@
+// Package query defines the result types shared by every identification
+// query engine in this repository (sequential scan, Gauss-tree, X-tree,
+// VA-file), so that engines are interchangeable in the evaluation harness
+// and their answers directly comparable.
+package query
+
+import (
+	"sort"
+
+	"github.com/gauss-tree/gausstree/internal/pfv"
+)
+
+// Result is one answer object of an identification query.
+type Result struct {
+	// Vector is the matching database object.
+	Vector pfv.Vector
+	// LogDensity is ln p(q|v), the (relative) joint log density of Lemma 1.
+	LogDensity float64
+	// Probability is the Bayesian identification probability P(v|q).
+	// Engines that certify it only within an interval report the midpoint
+	// here and the interval in ProbLow/ProbHigh.
+	Probability float64
+	// ProbLow and ProbHigh bound the true probability when the engine
+	// terminated early using denominator bounds; ProbLow == ProbHigh when
+	// the probability is exact.
+	ProbLow, ProbHigh float64
+}
+
+// SortByProbability orders results by descending probability, breaking ties
+// by descending log density and then ascending object id for determinism.
+func SortByProbability(rs []Result) {
+	sort.SliceStable(rs, func(i, j int) bool {
+		if rs[i].Probability != rs[j].Probability {
+			return rs[i].Probability > rs[j].Probability
+		}
+		if rs[i].LogDensity != rs[j].LogDensity {
+			return rs[i].LogDensity > rs[j].LogDensity
+		}
+		return rs[i].Vector.ID < rs[j].Vector.ID
+	})
+}
+
+// IDs extracts the object ids of a result list, preserving order.
+func IDs(rs []Result) []uint64 {
+	out := make([]uint64, len(rs))
+	for i, r := range rs {
+		out[i] = r.Vector.ID
+	}
+	return out
+}
+
+// ContainsID reports whether any result has the given object id.
+func ContainsID(rs []Result, id uint64) bool {
+	for _, r := range rs {
+		if r.Vector.ID == id {
+			return true
+		}
+	}
+	return false
+}

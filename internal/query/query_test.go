@@ -1,0 +1,55 @@
+package query
+
+import (
+	"testing"
+
+	"github.com/gauss-tree/gausstree/internal/pfv"
+)
+
+func mk(id uint64, p, ld float64) Result {
+	return Result{
+		Vector:      pfv.MustNew(id, []float64{0}, []float64{1}),
+		Probability: p,
+		LogDensity:  ld,
+	}
+}
+
+func TestSortByProbability(t *testing.T) {
+	rs := []Result{mk(3, 0.2, -1), mk(1, 0.7, -2), mk(2, 0.1, -3)}
+	SortByProbability(rs)
+	want := []uint64{1, 3, 2}
+	for i, w := range want {
+		if rs[i].Vector.ID != w {
+			t.Fatalf("rank %d = %d, want %d", i, rs[i].Vector.ID, w)
+		}
+	}
+}
+
+func TestSortTieBreaks(t *testing.T) {
+	// Equal probability: higher log density first; equal both: lower id.
+	rs := []Result{mk(5, 0.5, -3), mk(4, 0.5, -1), mk(2, 0.5, -3)}
+	SortByProbability(rs)
+	want := []uint64{4, 2, 5}
+	for i, w := range want {
+		if rs[i].Vector.ID != w {
+			t.Fatalf("rank %d = %d, want %d (%v)", i, rs[i].Vector.ID, w, IDs(rs))
+		}
+	}
+}
+
+func TestIDsAndContains(t *testing.T) {
+	rs := []Result{mk(7, 1, 0), mk(9, 0.5, 0)}
+	ids := IDs(rs)
+	if len(ids) != 2 || ids[0] != 7 || ids[1] != 9 {
+		t.Errorf("IDs = %v", ids)
+	}
+	if !ContainsID(rs, 9) || ContainsID(rs, 8) {
+		t.Error("ContainsID wrong")
+	}
+	if len(IDs(nil)) != 0 {
+		t.Error("IDs(nil) should be empty")
+	}
+	if ContainsID(nil, 1) {
+		t.Error("ContainsID(nil) should be false")
+	}
+}

@@ -1,0 +1,333 @@
+// Package scan implements the paper's baseline query processor: identification
+// queries on top of a sequential scan over an unordered paged file of
+// probabilistic feature vectors (§4). The k-MLIQ needs a single scan that
+// simultaneously maintains the k best candidates and the Bayes denominator;
+// the TIQ needs two scans — one to establish the total probability mass,
+// one to report every object above the threshold.
+//
+// The file lives on the same pagefile substrate as the index structures, so
+// the page-access and seek counts of all competitors are comparable.
+package scan
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/gauss-tree/gausstree/internal/gaussian"
+	"github.com/gauss-tree/gausstree/internal/pagefile"
+	"github.com/gauss-tree/gausstree/internal/pfv"
+	"github.com/gauss-tree/gausstree/internal/pqueue"
+	"github.com/gauss-tree/gausstree/internal/query"
+)
+
+// pageHeaderSize is the per-page header: a little-endian uint16 entry count.
+const pageHeaderSize = 2
+
+// File is a sequential file of fixed-dimension probabilistic feature
+// vectors, packed into pages. It is not safe for concurrent use.
+type File struct {
+	mgr     *pagefile.Manager
+	dim     int
+	perPage int
+	pages   []pagefile.PageID
+	count   int
+	// lastUsed is the entry count of the final page, so appends do not
+	// re-read it.
+	lastUsed int
+	// decoded caches parsed pages. Logical page accesses are still charged
+	// against the manager; the cache only avoids re-parsing bytes, keeping
+	// CPU-time comparisons against the (equally caching) index structures
+	// fair.
+	decoded map[pagefile.PageID][]pfv.Vector
+}
+
+// Create initializes an empty sequential file for vectors of the given
+// dimension on the provided page manager.
+func Create(mgr *pagefile.Manager, dim int) (*File, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("scan: invalid dimension %d", dim)
+	}
+	perPage := (mgr.PageSize() - pageHeaderSize) / pfv.EncodedSize(dim)
+	if perPage < 1 {
+		return nil, fmt.Errorf("scan: page size %d too small for dimension %d", mgr.PageSize(), dim)
+	}
+	return &File{mgr: mgr, dim: dim, perPage: perPage, decoded: make(map[pagefile.PageID][]pfv.Vector)}, nil
+}
+
+// Open reattaches a file from its metadata (dimension, page list and entry
+// count), e.g. after reopening a persistent page file.
+func Open(mgr *pagefile.Manager, dim int, pages []pagefile.PageID, count int) (*File, error) {
+	f, err := Create(mgr, dim)
+	if err != nil {
+		return nil, err
+	}
+	f.pages = append([]pagefile.PageID(nil), pages...)
+	f.count = count
+	f.lastUsed = count - (len(pages)-1)*f.perPage
+	if len(pages) == 0 {
+		f.lastUsed = 0
+	}
+	return f, nil
+}
+
+// Dim returns the dimensionality of the stored vectors.
+func (f *File) Dim() int { return f.dim }
+
+// Len returns the number of stored vectors.
+func (f *File) Len() int { return f.count }
+
+// Pages returns the file's data pages in scan order (metadata for Open).
+func (f *File) Pages() []pagefile.PageID {
+	return append([]pagefile.PageID(nil), f.pages...)
+}
+
+// PerPage returns the number of vectors stored per page.
+func (f *File) PerPage() int { return f.perPage }
+
+// Append adds a vector to the end of the file.
+func (f *File) Append(v pfv.Vector) error {
+	if v.Dim() != f.dim {
+		return fmt.Errorf("scan: vector dimension %d, file dimension %d", v.Dim(), f.dim)
+	}
+	if len(f.pages) == 0 || f.lastUsed >= f.perPage {
+		id, err := f.mgr.Allocate()
+		if err != nil {
+			return err
+		}
+		if err := f.mgr.Write(id, encodePage(nil, f.dim)); err != nil {
+			return err
+		}
+		f.pages = append(f.pages, id)
+		f.lastUsed = 0
+	}
+	last := f.pages[len(f.pages)-1]
+	vs, err := f.readPage(last)
+	if err != nil {
+		return err
+	}
+	vs = append(vs[:len(vs):len(vs)], v)
+	if err := f.mgr.Write(last, encodePage(vs, f.dim)); err != nil {
+		return err
+	}
+	f.decoded[last] = vs
+	f.lastUsed = len(vs)
+	f.count++
+	return nil
+}
+
+// readPage returns the decoded vectors of one page, charging the logical
+// page access and reusing the decoded cache.
+func (f *File) readPage(id pagefile.PageID) ([]pfv.Vector, error) {
+	page, err := f.mgr.Read(id)
+	if err != nil {
+		return nil, err
+	}
+	if vs, ok := f.decoded[id]; ok {
+		return vs, nil
+	}
+	vs, err := decodePage(page, f.dim)
+	if err != nil {
+		return nil, err
+	}
+	f.decoded[id] = vs
+	return vs, nil
+}
+
+// AppendAll adds a batch of vectors.
+func (f *File) AppendAll(vs []pfv.Vector) error {
+	for _, v := range vs {
+		if err := f.Append(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ForEach scans the file in storage order, invoking fn for every vector.
+// Iteration stops early if fn returns an error, which is propagated.
+func (f *File) ForEach(fn func(pfv.Vector) error) error {
+	for _, id := range f.pages {
+		vs, err := f.readPage(id)
+		if err != nil {
+			return err
+		}
+		for _, v := range vs {
+			if err := fn(v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ForEachLocated scans the file like ForEach but also reports each vector's
+// physical position (page ordinal within the file and slot within the page),
+// which approximation structures such as the VA-file record for later
+// random fetches.
+func (f *File) ForEachLocated(fn func(v pfv.Vector, pageOrdinal, slot int) error) error {
+	for pi, id := range f.pages {
+		vs, err := f.readPage(id)
+		if err != nil {
+			return err
+		}
+		for si, v := range vs {
+			if err := fn(v, pi, si); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// VectorAt fetches one vector by its physical position (a random page
+// access plus an in-page slot lookup).
+func (f *File) VectorAt(pageOrdinal, slot int) (pfv.Vector, error) {
+	if pageOrdinal < 0 || pageOrdinal >= len(f.pages) {
+		return pfv.Vector{}, fmt.Errorf("scan: page ordinal %d out of range [0,%d)", pageOrdinal, len(f.pages))
+	}
+	vs, err := f.readPage(f.pages[pageOrdinal])
+	if err != nil {
+		return pfv.Vector{}, err
+	}
+	if slot < 0 || slot >= len(vs) {
+		return pfv.Vector{}, fmt.Errorf("scan: slot %d out of range [0,%d)", slot, len(vs))
+	}
+	return vs[slot], nil
+}
+
+// encodePage serializes up to perPage vectors into one page image.
+func encodePage(vs []pfv.Vector, dim int) []byte {
+	buf := make([]byte, pageHeaderSize, pageHeaderSize+len(vs)*pfv.EncodedSize(dim))
+	binary.LittleEndian.PutUint16(buf, uint16(len(vs)))
+	for _, v := range vs {
+		buf = pfv.AppendBinary(buf, v)
+	}
+	return buf
+}
+
+// decodePage parses a page image into its vectors.
+func decodePage(page []byte, dim int) ([]pfv.Vector, error) {
+	if len(page) < pageHeaderSize {
+		return nil, fmt.Errorf("scan: truncated page")
+	}
+	n := int(binary.LittleEndian.Uint16(page))
+	out := make([]pfv.Vector, 0, n)
+	off := pageHeaderSize
+	for i := 0; i < n; i++ {
+		v, used, err := pfv.DecodeBinary(page[off:], dim)
+		if err != nil {
+			return nil, fmt.Errorf("scan: entry %d: %w", i, err)
+		}
+		out = append(out, v)
+		off += used
+	}
+	return out, nil
+}
+
+// KMLIQ answers a k-most-likely identification query (Definition 3) with a
+// single sequential scan: it keeps the k highest-density candidates in a
+// bounded heap while accumulating the Bayes denominator Σ_w p(q|w) in log
+// space, then converts the survivors' densities into exact probabilities.
+// Results are ordered by descending probability.
+func (f *File) KMLIQ(q pfv.Vector, k int, c gaussian.Combiner) ([]query.Result, error) {
+	if err := f.checkQuery(q); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("scan: k must be positive, got %d", k)
+	}
+	top := pqueue.NewTopK[pfv.Vector](k)
+	var denom gaussian.LogSum
+	err := f.ForEach(func(v pfv.Vector) error {
+		ld := pfv.JointLogDensity(c, v, q)
+		denom.Add(ld)
+		top.Offer(v, ld)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	logDenom := denom.Log()
+	out := make([]query.Result, 0, top.Len())
+	for _, v := range top.Sorted() {
+		ld := pfv.JointLogDensity(c, v, q)
+		p := math.Exp(ld - logDenom)
+		out = append(out, query.Result{
+			Vector: v, LogDensity: ld,
+			Probability: p, ProbLow: p, ProbHigh: p,
+		})
+	}
+	return out, nil
+}
+
+// TIQ answers a threshold identification query (Definition 2) with the
+// paper's two-scan algorithm: the first scan establishes the total relative
+// probability mass, the second reports every object whose posterior reaches
+// the threshold. Results are ordered by descending probability.
+func (f *File) TIQ(q pfv.Vector, pTheta float64, c gaussian.Combiner) ([]query.Result, error) {
+	if err := f.checkQuery(q); err != nil {
+		return nil, err
+	}
+	if pTheta < 0 || pTheta > 1 {
+		return nil, fmt.Errorf("scan: threshold %v outside [0,1]", pTheta)
+	}
+	var denom gaussian.LogSum
+	if err := f.ForEach(func(v pfv.Vector) error {
+		denom.Add(pfv.JointLogDensity(c, v, q))
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	logDenom := denom.Log()
+	var out []query.Result
+	if err := f.ForEach(func(v pfv.Vector) error {
+		ld := pfv.JointLogDensity(c, v, q)
+		p := math.Exp(ld - logDenom)
+		if p >= pTheta {
+			out = append(out, query.Result{
+				Vector: v, LogDensity: ld,
+				Probability: p, ProbLow: p, ProbHigh: p,
+			})
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	query.SortByProbability(out)
+	return out, nil
+}
+
+// NearestNeighbors answers a conventional k-nearest-neighbor query on the
+// mean vectors using the Euclidean distance, ignoring all uncertainty
+// information — the Figure 6 baseline. Results are ordered by ascending
+// distance; Probability fields are left zero because the conventional model
+// does not define them. LogDensity carries the negated distance so callers
+// can rank.
+func (f *File) NearestNeighbors(q pfv.Vector, k int) ([]query.Result, error) {
+	if err := f.checkQuery(q); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("scan: k must be positive, got %d", k)
+	}
+	top := pqueue.NewTopK[pfv.Vector](k)
+	if err := f.ForEach(func(v pfv.Vector) error {
+		top.Offer(v, -pfv.EuclideanDistance(v, q))
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	out := make([]query.Result, 0, top.Len())
+	for _, v := range top.Sorted() {
+		out = append(out, query.Result{Vector: v, LogDensity: -pfv.EuclideanDistance(v, q)})
+	}
+	return out, nil
+}
+
+func (f *File) checkQuery(q pfv.Vector) error {
+	if q.Dim() != f.dim {
+		return fmt.Errorf("scan: query dimension %d, file dimension %d", q.Dim(), f.dim)
+	}
+	return nil
+}

@@ -1,0 +1,418 @@
+// Package vafile implements the paper's future-work direction ("we plan to
+// investigate the storage of probabilistic feature vectors using paradigms
+// different from hierarchical index structures such as vector
+// approximation"): a VA-file-style scalar-quantized filter over the
+// parameter space (μᵢ, σᵢ) of probabilistic feature vectors.
+//
+// Every stored pfv is approximated by the grid cell of its 2d parameters
+// (equi-depth quantization, one byte per parameter). A cell is a small
+// parameter-space rectangle, so the Gauss-tree's hull and floor machinery
+// (Lemmas 2 and 3) bounds the joint density of the exact object from the
+// approximation alone. Queries scan the compact approximation file
+// sequentially (a fraction of the data size), prune with the cell bounds,
+// and fetch only surviving candidates from the full data file — the
+// VA-SSA-style two-phase algorithm adapted to identification queries.
+package vafile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/gauss-tree/gausstree/internal/gaussian"
+	"github.com/gauss-tree/gausstree/internal/pagefile"
+	"github.com/gauss-tree/gausstree/internal/pfv"
+	"github.com/gauss-tree/gausstree/internal/pqueue"
+	"github.com/gauss-tree/gausstree/internal/query"
+	"github.com/gauss-tree/gausstree/internal/scan"
+)
+
+// cells is the number of quantization cells per parameter (one byte each).
+const cells = 256
+
+// approxHeaderSize is the per-page header of the approximation file.
+const approxHeaderSize = 2
+
+// File is a VA-file over a sequential data file of pfv.
+type File struct {
+	mgr      *pagefile.Manager
+	data     *scan.File
+	dim      int
+	combiner gaussian.Combiner
+	// muGrid and sigmaGrid hold, per dimension, the cell boundaries
+	// (cells+1 ascending values, equi-depth over the data distribution).
+	muGrid, sigmaGrid [][]float64
+	pages             []pagefile.PageID
+	count             int
+	perPage           int
+}
+
+// approx is the decoded approximation of one vector.
+type approx struct {
+	pageOrdinal uint32
+	slot        uint16
+	cell        []byte // 2d cell indices: μ₀σ₀ μ₁σ₁ ...
+}
+
+// entrySize is the encoded approximation size for one vector.
+func entrySize(dim int) int { return 6 + 2*dim }
+
+// Build constructs the VA-file for an existing data file, reading it once to
+// derive equi-depth grids and once more to emit approximations. The
+// approximation pages are allocated from the same page manager, so page
+// accesses of filter and refinement steps are accounted together.
+func Build(mgr *pagefile.Manager, data *scan.File, combiner gaussian.Combiner) (*File, error) {
+	dim := data.Dim()
+	f := &File{
+		mgr:      mgr,
+		data:     data,
+		dim:      dim,
+		combiner: combiner,
+		perPage:  (mgr.PageSize() - approxHeaderSize) / entrySize(dim),
+	}
+	if f.perPage < 1 {
+		return nil, fmt.Errorf("vafile: page size %d too small for dimension %d", mgr.PageSize(), dim)
+	}
+
+	// Pass 1: collect per-dimension value distributions for equi-depth grids.
+	n := data.Len()
+	if n == 0 {
+		return f, nil
+	}
+	muVals := make([][]float64, dim)
+	sigmaVals := make([][]float64, dim)
+	for j := 0; j < dim; j++ {
+		muVals[j] = make([]float64, 0, n)
+		sigmaVals[j] = make([]float64, 0, n)
+	}
+	if err := data.ForEach(func(v pfv.Vector) error {
+		for j := 0; j < dim; j++ {
+			muVals[j] = append(muVals[j], v.Mean[j])
+			sigmaVals[j] = append(sigmaVals[j], v.Sigma[j])
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	f.muGrid = make([][]float64, dim)
+	f.sigmaGrid = make([][]float64, dim)
+	for j := 0; j < dim; j++ {
+		f.muGrid[j] = equiDepthGrid(muVals[j])
+		f.sigmaGrid[j] = equiDepthGrid(sigmaVals[j])
+	}
+
+	// Pass 2: emit approximations in data order.
+	var buf []byte
+	var pageCount int
+	flush := func() error {
+		if pageCount == 0 {
+			return nil
+		}
+		binary.LittleEndian.PutUint16(buf, uint16(pageCount))
+		id, err := f.mgr.Allocate()
+		if err != nil {
+			return err
+		}
+		if err := f.mgr.Write(id, buf); err != nil {
+			return err
+		}
+		f.pages = append(f.pages, id)
+		buf = buf[:approxHeaderSize]
+		for i := range buf {
+			buf[i] = 0
+		}
+		pageCount = 0
+		return nil
+	}
+	buf = make([]byte, approxHeaderSize, f.mgr.PageSize())
+	if err := data.ForEachLocated(func(v pfv.Vector, pageOrdinal, slot int) error {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(pageOrdinal))
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(slot))
+		for j := 0; j < dim; j++ {
+			buf = append(buf, cellOf(f.muGrid[j], v.Mean[j]), cellOf(f.sigmaGrid[j], v.Sigma[j]))
+		}
+		pageCount++
+		f.count++
+		if pageCount == f.perPage {
+			return flush()
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// equiDepthGrid returns cells+1 ascending boundaries covering the values.
+func equiDepthGrid(vals []float64) []float64 {
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	grid := make([]float64, cells+1)
+	for c := 0; c <= cells; c++ {
+		idx := c * (len(sorted) - 1) / cells
+		grid[c] = sorted[idx]
+	}
+	// Boundaries must be non-decreasing and the extremes inclusive.
+	grid[0] = sorted[0]
+	grid[cells] = sorted[len(sorted)-1]
+	return grid
+}
+
+// cellOf returns the cell index of a value (boundary grid binary search).
+func cellOf(grid []float64, v float64) byte {
+	lo, hi := 0, cells-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if grid[mid] <= v {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return byte(lo)
+}
+
+// Len returns the number of approximated vectors.
+func (f *File) Len() int { return f.count }
+
+// ApproxPages returns the number of approximation pages.
+func (f *File) ApproxPages() int { return len(f.pages) }
+
+// cellBounds returns the log hull/floor bounds of the joint density for an
+// approximation cell against the query.
+func (f *File) cellBounds(a approx, q pfv.Vector) (logFloor, logHull float64) {
+	for j := 0; j < f.dim; j++ {
+		muCell := int(a.cell[2*j])
+		sigCell := int(a.cell[2*j+1])
+		mu := gaussian.Interval{Lo: f.muGrid[j][muCell], Hi: f.muGrid[j][muCell+1]}
+		sig := gaussian.Interval{Lo: f.sigmaGrid[j][sigCell], Hi: f.sigmaGrid[j][sigCell+1]}
+		shifted := f.combiner.CombineInterval(sig, q.Sigma[j])
+		logHull += gaussian.LogHull(mu, shifted, q.Mean[j])
+		logFloor += gaussian.LogFloor(mu, shifted, q.Mean[j])
+	}
+	return logFloor, logHull
+}
+
+// forEachApprox scans the approximation file.
+func (f *File) forEachApprox(fn func(a approx) error) error {
+	cell := make([]byte, 2*f.dim)
+	esz := entrySize(f.dim)
+	for _, id := range f.pages {
+		page, err := f.mgr.Read(id)
+		if err != nil {
+			return err
+		}
+		n := int(binary.LittleEndian.Uint16(page))
+		off := approxHeaderSize
+		for i := 0; i < n; i++ {
+			a := approx{
+				pageOrdinal: binary.LittleEndian.Uint32(page[off:]),
+				slot:        binary.LittleEndian.Uint16(page[off+4:]),
+				cell:        cell,
+			}
+			copy(cell, page[off+6:off+6+2*f.dim])
+			if err := fn(a); err != nil {
+				return err
+			}
+			off += esz
+		}
+	}
+	return nil
+}
+
+// KMLIQ answers a k-most-likely identification query with the two-phase
+// VA algorithm: phase 1 scans the approximations, keeping the k best cell
+// floor bounds and every object whose cell hull bound could still beat
+// them; phase 2 fetches candidates from the data file in descending
+// hull-bound order until the k-th exact density dominates the next bound.
+// Probabilities are certified against denominator bounds assembled from the
+// cell bounds of unfetched objects. No false dismissals occur.
+func (f *File) KMLIQ(q pfv.Vector, k int) ([]query.Result, error) {
+	if q.Dim() != f.dim {
+		return nil, fmt.Errorf("vafile: query dimension %d, file dimension %d", q.Dim(), f.dim)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("vafile: k must be positive, got %d", k)
+	}
+	if f.count == 0 {
+		return nil, nil
+	}
+
+	// Phase 1: filter.
+	type cand struct {
+		pageOrdinal uint32
+		slot        uint16
+		logFloor    float64
+		logHull     float64
+	}
+	floorTop := pqueue.NewTopK[struct{}](k)
+	all := make([]cand, 0, f.count)
+	if err := f.forEachApprox(func(a approx) error {
+		lf, lh := f.cellBounds(a, q)
+		floorTop.Offer(struct{}{}, lf)
+		all = append(all, cand{a.pageOrdinal, a.slot, lf, lh})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	delta := math.Inf(-1)
+	if b, ok := floorTop.Bound(); ok {
+		delta = b
+	}
+	cands := make([]cand, 0, 64)
+	var restFloor, restHull gaussian.LogSum // denominator part of filtered-out objects
+	for _, c := range all {
+		if c.logHull >= delta {
+			cands = append(cands, c)
+		} else {
+			restFloor.Add(c.logFloor)
+			restHull.Add(c.logHull)
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].logHull > cands[b].logHull })
+
+	// Phase 2: refine in descending hull order.
+	top := pqueue.NewTopK[pfv.Vector](k)
+	var exactSum gaussian.LogSum
+	fetched := 0
+	for i, c := range cands {
+		if bound, ok := top.Bound(); ok && bound >= c.logHull {
+			// Remaining candidates cannot enter the result; their bounds
+			// join the denominator estimate.
+			for _, r := range cands[i:] {
+				restFloor.Add(r.logFloor)
+				restHull.Add(r.logHull)
+			}
+			break
+		}
+		v, err := f.data.VectorAt(int(c.pageOrdinal), int(c.slot))
+		if err != nil {
+			return nil, err
+		}
+		ld := pfv.JointLogDensity(f.combiner, v, q)
+		exactSum.Add(ld)
+		top.Offer(v, ld)
+		fetched++
+	}
+
+	denomLow := addLog(exactSum.Log(), restFloor.Log())
+	denomHigh := addLog(exactSum.Log(), restHull.Log())
+	out := make([]query.Result, 0, top.Len())
+	for _, v := range top.Sorted() {
+		ld := pfv.JointLogDensity(f.combiner, v, q)
+		lo := clamp01(math.Exp(ld - denomHigh))
+		hi := clamp01(math.Exp(ld - denomLow))
+		out = append(out, query.Result{
+			Vector: v, LogDensity: ld,
+			Probability: (lo + hi) / 2, ProbLow: lo, ProbHigh: hi,
+		})
+	}
+	return out, nil
+}
+
+// TIQ answers a threshold identification query: phase 1 bounds every
+// object's density and the total denominator from the approximations; every
+// object whose best-case probability reaches the threshold is fetched and
+// refined. No false dismissals occur; reported probabilities carry
+// certified intervals.
+func (f *File) TIQ(q pfv.Vector, pTheta float64) ([]query.Result, error) {
+	if q.Dim() != f.dim {
+		return nil, fmt.Errorf("vafile: query dimension %d, file dimension %d", q.Dim(), f.dim)
+	}
+	if pTheta < 0 || pTheta > 1 {
+		return nil, fmt.Errorf("vafile: threshold %v outside [0,1]", pTheta)
+	}
+	if f.count == 0 {
+		return nil, nil
+	}
+	type cand struct {
+		pageOrdinal uint32
+		slot        uint16
+		logFloor    float64
+		logHull     float64
+	}
+	var all []cand
+	var floorSum gaussian.LogSum
+	if err := f.forEachApprox(func(a approx) error {
+		lf, lh := f.cellBounds(a, q)
+		floorSum.Add(lf)
+		all = append(all, cand{a.pageOrdinal, a.slot, lf, lh})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	// Best-case probability of an object: hull / (floor-based denominator
+	// where the object itself contributes its hull).
+	denomFloor := floorSum.Log()
+	var cands []cand
+	var restFloor, restHull gaussian.LogSum
+	for _, c := range all {
+		bestP := math.Exp(c.logHull - denomFloor)
+		if bestP >= pTheta {
+			cands = append(cands, c)
+		} else {
+			restFloor.Add(c.logFloor)
+			restHull.Add(c.logHull)
+		}
+	}
+	var exactSum gaussian.LogSum
+	type scored struct {
+		v  pfv.Vector
+		ld float64
+	}
+	fetched := make([]scored, 0, len(cands))
+	for _, c := range cands {
+		v, err := f.data.VectorAt(int(c.pageOrdinal), int(c.slot))
+		if err != nil {
+			return nil, err
+		}
+		ld := pfv.JointLogDensity(f.combiner, v, q)
+		exactSum.Add(ld)
+		fetched = append(fetched, scored{v, ld})
+	}
+	denomLow := addLog(exactSum.Log(), restFloor.Log())
+	denomHigh := addLog(exactSum.Log(), restHull.Log())
+	var out []query.Result
+	for _, s := range fetched {
+		lo := clamp01(math.Exp(s.ld - denomHigh))
+		hi := clamp01(math.Exp(s.ld - denomLow))
+		if hi < pTheta {
+			continue
+		}
+		out = append(out, query.Result{
+			Vector: s.v, LogDensity: s.ld,
+			Probability: (lo + hi) / 2, ProbLow: lo, ProbHigh: hi,
+		})
+	}
+	query.SortByProbability(out)
+	return out, nil
+}
+
+func addLog(a, b float64) float64 {
+	if math.IsInf(a, -1) {
+		return b
+	}
+	if math.IsInf(b, -1) {
+		return a
+	}
+	if a < b {
+		a, b = b, a
+	}
+	return a + math.Log1p(math.Exp(b-a))
+}
+
+func clamp01(x float64) float64 {
+	switch {
+	case math.IsNaN(x):
+		return 1
+	case x < 0:
+		return 0
+	case x > 1:
+		return 1
+	}
+	return x
+}

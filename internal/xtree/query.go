@@ -1,0 +1,120 @@
+package xtree
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/gauss-tree/gausstree/internal/gaussian"
+	"github.com/gauss-tree/gausstree/internal/pagefile"
+	"github.com/gauss-tree/gausstree/internal/pfv"
+	"github.com/gauss-tree/gausstree/internal/pqueue"
+	"github.com/gauss-tree/gausstree/internal/query"
+	"github.com/gauss-tree/gausstree/internal/rect"
+)
+
+// RangeSearch returns every stored vector whose quantile box intersects the
+// given rectangle (the filter step of the paper's comparison method).
+func (t *Tree) RangeSearch(r rect.Rect) ([]pfv.Vector, error) {
+	if r.Dim() != t.dim {
+		return nil, fmt.Errorf("%w: query rectangle dimension %d, tree dimension %d", ErrDimension, r.Dim(), t.dim)
+	}
+	var out []pfv.Vector
+	err := t.walkIntersecting(t.root, r, func(v pfv.Vector) {
+		out = append(out, v)
+	})
+	return out, err
+}
+
+func (t *Tree) walkIntersecting(id pagefile.PageID, r rect.Rect, emit func(pfv.Vector)) error {
+	n, err := t.readNode(id)
+	if err != nil {
+		return err
+	}
+	if n.leaf {
+		for _, v := range n.vectors {
+			if t.boxOf(v).Intersects(r) {
+				emit(v)
+			}
+		}
+		return nil
+	}
+	for _, c := range n.children {
+		if c.box.Intersects(r) {
+			if err := t.walkIntersecting(c.page, r, emit); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// KMLIQ approximates a k-most-likely identification query with the paper's
+// X-tree method: filter all pfv whose 95% boxes intersect the query's box,
+// then refine by computing exact joint probabilities over the candidate set.
+// The Bayes denominator is taken over the candidates only, so probabilities
+// are upper estimates, and objects outside the filter are false dismissals —
+// exactly the approximation the paper evaluates and criticizes.
+func (t *Tree) KMLIQ(q pfv.Vector, k int) ([]query.Result, error) {
+	if err := t.checkQuery(q); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("xtree: k must be positive, got %d", k)
+	}
+	qbox := t.boxOf(q)
+	top := pqueue.NewTopK[pfv.Vector](k)
+	var denom gaussian.LogSum
+	if err := t.walkIntersecting(t.root, qbox, func(v pfv.Vector) {
+		ld := pfv.JointLogDensity(t.cfg.Combiner, v, q)
+		denom.Add(ld)
+		top.Offer(v, ld)
+	}); err != nil {
+		return nil, err
+	}
+	logDenom := denom.Log()
+	out := make([]query.Result, 0, top.Len())
+	for _, v := range top.Sorted() {
+		ld := pfv.JointLogDensity(t.cfg.Combiner, v, q)
+		p := math.Exp(ld - logDenom)
+		out = append(out, query.Result{Vector: v, LogDensity: ld, Probability: p, ProbLow: p, ProbHigh: p})
+	}
+	return out, nil
+}
+
+// TIQ approximates a threshold identification query with the same
+// filter-and-refine method. See KMLIQ for the approximation caveats.
+func (t *Tree) TIQ(q pfv.Vector, pTheta float64) ([]query.Result, error) {
+	if err := t.checkQuery(q); err != nil {
+		return nil, err
+	}
+	if pTheta < 0 || pTheta > 1 {
+		return nil, fmt.Errorf("xtree: threshold %v outside [0,1]", pTheta)
+	}
+	qbox := t.boxOf(q)
+	var cands []pfv.Vector
+	var denom gaussian.LogSum
+	if err := t.walkIntersecting(t.root, qbox, func(v pfv.Vector) {
+		denom.Add(pfv.JointLogDensity(t.cfg.Combiner, v, q))
+		cands = append(cands, v)
+	}); err != nil {
+		return nil, err
+	}
+	logDenom := denom.Log()
+	var out []query.Result
+	for _, v := range cands {
+		ld := pfv.JointLogDensity(t.cfg.Combiner, v, q)
+		p := math.Exp(ld - logDenom)
+		if p >= pTheta {
+			out = append(out, query.Result{Vector: v, LogDensity: ld, Probability: p, ProbLow: p, ProbHigh: p})
+		}
+	}
+	query.SortByProbability(out)
+	return out, nil
+}
+
+func (t *Tree) checkQuery(q pfv.Vector) error {
+	if q.Dim() != t.dim {
+		return fmt.Errorf("%w: query dimension %d, tree dimension %d", ErrDimension, q.Dim(), t.dim)
+	}
+	return nil
+}

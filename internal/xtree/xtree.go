@@ -1,0 +1,138 @@
+// Package xtree implements the comparison baseline of the paper's
+// efficiency evaluation (§6): an X-tree (Berchtold, Keim, Kriegel, VLDB'96)
+// storing rectangular approximations of probabilistic feature vectors — the
+// per-dimension 95% quantile boxes [μᵢ−z·σᵢ, μᵢ+z·σᵢ]. Identification
+// queries are processed as a filter step (all data boxes intersecting the
+// query's box) followed by a refinement step computing exact joint
+// probabilities over the candidate set only. As the paper notes, this method
+// permits false dismissals: an object whose box misses the query box is
+// never considered, however probable it might be.
+//
+// The X-tree machinery follows the original design: R*-style topological
+// splits, an overlap-minimal split guided by the split history when the
+// topological split overlaps too much, and supernodes (multi-page directory
+// nodes, chained through continuation pointers) when no balanced
+// overlap-minimal split exists.
+package xtree
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/gauss-tree/gausstree/internal/gaussian"
+	"github.com/gauss-tree/gausstree/internal/pagefile"
+	"github.com/gauss-tree/gausstree/internal/pfv"
+	"github.com/gauss-tree/gausstree/internal/rect"
+)
+
+// Config carries the X-tree's tunable policies.
+type Config struct {
+	// Coverage is the quantile mass of the box approximation (default 0.95,
+	// the paper's choice).
+	Coverage float64
+	// MaxOverlap is the largest tolerable overlap fraction of a topological
+	// directory split before the overlap-minimal strategy kicks in
+	// (default 0.2, the X-tree paper's recommendation).
+	MaxOverlap float64
+	// MinFanout is the smallest acceptable balance of an overlap-minimal
+	// split, as a fraction of the entries (default 0.35).
+	MinFanout float64
+	// Combiner is the σ-combination rule used during refinement.
+	Combiner gaussian.Combiner
+}
+
+func (c *Config) fillDefaults() {
+	if c.Coverage <= 0 || c.Coverage >= 1 {
+		c.Coverage = 0.95
+	}
+	if c.MaxOverlap <= 0 {
+		c.MaxOverlap = 0.2
+	}
+	if c.MinFanout <= 0 {
+		c.MinFanout = 0.35
+	}
+}
+
+// Tree is an X-tree over quantile-box approximations of pfv. It is not safe
+// for concurrent use.
+type Tree struct {
+	mgr    *pagefile.Manager
+	dim    int
+	cfg    Config
+	z      float64 // quantile factor: box = μ ± z·σ
+	root   pagefile.PageID
+	height int
+	count  int
+
+	perPageLeaf  int
+	perPageInner int
+	minLeaf      int
+	minInner     int
+
+	// decoded caches parsed nodes by head page id. Logical page accesses
+	// (including every page of a supernode chain) are still charged against
+	// the manager on each read.
+	decoded map[pagefile.PageID]*node
+}
+
+// ErrDimension is returned on query/vector dimensionality mismatches.
+var ErrDimension = errors.New("xtree: dimension mismatch")
+
+// New creates an empty X-tree for vectors of the given dimension.
+func New(mgr *pagefile.Manager, dim int, cfg Config) (*Tree, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("xtree: invalid dimension %d", dim)
+	}
+	cfg.fillDefaults()
+	perLeaf := (mgr.PageSize() - nodeHeaderSize) / leafEntrySize(dim)
+	perInner := (mgr.PageSize() - nodeHeaderSize) / innerEntrySize(dim)
+	if perLeaf < 2 || perInner < 2 {
+		return nil, fmt.Errorf("xtree: page size %d too small for dimension %d", mgr.PageSize(), dim)
+	}
+	t := &Tree{
+		mgr:          mgr,
+		dim:          dim,
+		cfg:          cfg,
+		z:            gaussian.StdQuantile(0.5 + cfg.Coverage/2),
+		height:       1,
+		perPageLeaf:  perLeaf,
+		perPageInner: perInner,
+		minLeaf:      max(1, perLeaf*2/5),
+		minInner:     max(2, perInner*2/5),
+		decoded:      make(map[pagefile.PageID]*node),
+	}
+	rootID, err := mgr.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	t.root = rootID
+	if err := t.writeNode(&node{id: rootID, leaf: true, pages: []pagefile.PageID{rootID}}); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Dim returns the indexed dimensionality.
+func (t *Tree) Dim() int { return t.dim }
+
+// Len returns the number of stored vectors.
+func (t *Tree) Len() int { return t.count }
+
+// Height returns the tree height (1 = root is a leaf).
+func (t *Tree) Height() int { return t.height }
+
+// QuantileFactor returns the z used for box approximations.
+func (t *Tree) QuantileFactor() float64 { return t.z }
+
+// boxOf returns the quantile-box approximation of a vector.
+func (t *Tree) boxOf(v pfv.Vector) rect.Rect {
+	lo, hi := v.QuantileBox(t.cfg.Coverage, nil, nil)
+	return rect.Rect{Lo: lo, Hi: hi}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
