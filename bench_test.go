@@ -6,6 +6,8 @@
 package gausstree_test
 
 import (
+	"context"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -14,6 +16,7 @@ import (
 	"github.com/gauss-tree/gausstree/internal/gaussian"
 	"github.com/gauss-tree/gausstree/internal/pagefile"
 	"github.com/gauss-tree/gausstree/internal/pfv"
+	"github.com/gauss-tree/gausstree/internal/query"
 	"github.com/gauss-tree/gausstree/internal/scan"
 	"github.com/gauss-tree/gausstree/internal/vafile"
 
@@ -108,7 +111,7 @@ func benchFig6(b *testing.B, w *world) {
 		if _, err := w.e.Scan.NearestNeighbors(q.Vector, 27); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := w.e.Tree.KMLIQRanked(q.Vector, 27); err != nil {
+		if _, _, err := w.e.Tree.KMLIQRanked(context.Background(), q.Vector, 27); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -139,53 +142,29 @@ func benchFig7(b *testing.B, mgr *pagefile.Manager, run func(q pfv.Vector) error
 }
 
 func fig7Cells(b *testing.B, w *world) {
-	cases := []struct {
-		name string
-		mgr  func() *pagefile.Manager
-		run  func(q pfv.Vector) error
+	kinds := []struct {
+		name   string
+		thresh float64 // <0 means ranked 1-MLIQ
 	}{
-		{"Scan/MLIQ", func() *pagefile.Manager { return w.e.ScanMgr }, func(q pfv.Vector) error {
-			_, err := w.e.Scan.KMLIQ(q, 1, gaussian.CombineAdditive)
-			return err
-		}},
-		{"Scan/TIQ08", func() *pagefile.Manager { return w.e.ScanMgr }, func(q pfv.Vector) error {
-			_, err := w.e.Scan.TIQ(q, 0.8, gaussian.CombineAdditive)
-			return err
-		}},
-		{"Scan/TIQ02", func() *pagefile.Manager { return w.e.ScanMgr }, func(q pfv.Vector) error {
-			_, err := w.e.Scan.TIQ(q, 0.2, gaussian.CombineAdditive)
-			return err
-		}},
-		{"XTree/MLIQ", func() *pagefile.Manager { return w.e.XMgr }, func(q pfv.Vector) error {
-			_, err := w.e.X.KMLIQ(q, 1)
-			return err
-		}},
-		{"XTree/TIQ08", func() *pagefile.Manager { return w.e.XMgr }, func(q pfv.Vector) error {
-			_, err := w.e.X.TIQ(q, 0.8)
-			return err
-		}},
-		{"XTree/TIQ02", func() *pagefile.Manager { return w.e.XMgr }, func(q pfv.Vector) error {
-			_, err := w.e.X.TIQ(q, 0.2)
-			return err
-		}},
-		{"GaussTree/MLIQ", func() *pagefile.Manager { return w.e.TreeMgr }, func(q pfv.Vector) error {
-			_, err := w.e.Tree.KMLIQRanked(q, 1)
-			return err
-		}},
-		{"GaussTree/TIQ08", func() *pagefile.Manager { return w.e.TreeMgr }, func(q pfv.Vector) error {
-			_, err := w.e.Tree.TIQ(q, 0.8, 0)
-			return err
-		}},
-		{"GaussTree/TIQ02", func() *pagefile.Manager { return w.e.TreeMgr }, func(q pfv.Vector) error {
-			_, err := w.e.Tree.TIQ(q, 0.2, 0)
-			return err
-		}},
+		{"MLIQ", -1},
+		{"TIQ08", 0.8},
+		{"TIQ02", 0.2},
 	}
-	for _, c := range cases {
-		c := c
-		b.Run(c.name, func(b *testing.B) {
-			benchFig7(b, c.mgr(), c.run, w.qs)
-		})
+	ctx := context.Background()
+	for _, eng := range w.e.All() {
+		for _, kind := range kinds {
+			eng, kind := eng, kind
+			b.Run(eng.Label+"/"+kind.name, func(b *testing.B) {
+				benchFig7(b, eng.Mgr, func(q pfv.Vector) error {
+					if kind.thresh < 0 {
+						_, _, err := eng.Engine.KMLIQRanked(ctx, q, 1)
+						return err
+					}
+					_, _, err := eng.Engine.TIQ(ctx, q, kind.thresh, 0)
+					return err
+				}, w.qs)
+			})
+		}
 	}
 }
 
@@ -215,7 +194,7 @@ func BenchmarkAblationCombiner(b *testing.B) {
 				b.Fatal(err)
 			}
 			benchFig7(b, mgr, func(q pfv.Vector) error {
-				_, err := tr.KMLIQRanked(q, 1)
+				_, _, err := tr.KMLIQRanked(context.Background(), q, 1)
 				return err
 			}, w.qs)
 		})
@@ -240,7 +219,7 @@ func BenchmarkAblationSplit(b *testing.B) {
 				b.Fatal(err)
 			}
 			benchFig7(b, mgr, func(q pfv.Vector) error {
-				_, err := tr.KMLIQRanked(q, 1)
+				_, _, err := tr.KMLIQRanked(context.Background(), q, 1)
 				return err
 			}, w.qs)
 		})
@@ -276,7 +255,7 @@ func BenchmarkVAFile(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	data, err := scan.Create(mgr, w.ds.Dim)
+	data, err := scan.Create(mgr, w.ds.Dim, gaussian.CombineAdditive)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -289,13 +268,13 @@ func BenchmarkVAFile(b *testing.B) {
 	}
 	b.Run("KMLIQ", func(b *testing.B) {
 		benchFig7(b, mgr, func(q pfv.Vector) error {
-			_, err := va.KMLIQ(q, 1)
+			_, _, err := va.KMLIQ(context.Background(), q, 1, 0)
 			return err
 		}, w.qs)
 	})
 	b.Run("TIQ08", func(b *testing.B) {
 		benchFig7(b, mgr, func(q pfv.Vector) error {
-			_, err := va.TIQ(q, 0.8)
+			_, _, err := va.TIQ(context.Background(), q, 0.8, 0)
 			return err
 		}, w.qs)
 	})
@@ -330,20 +309,44 @@ func BenchmarkKMLIQRefined(b *testing.B) {
 	w := benchDS2(b)
 	b.Run("ranked", func(b *testing.B) {
 		benchFig7(b, w.e.TreeMgr, func(q pfv.Vector) error {
-			_, err := w.e.Tree.KMLIQRanked(q, 1)
+			_, _, err := w.e.Tree.KMLIQRanked(context.Background(), q, 1)
 			return err
 		}, w.qs)
 	})
 	b.Run("accuracy-1e2", func(b *testing.B) {
 		benchFig7(b, w.e.TreeMgr, func(q pfv.Vector) error {
-			_, err := w.e.Tree.KMLIQ(q, 1, 1e-2)
+			_, _, err := w.e.Tree.KMLIQ(context.Background(), q, 1, 1e-2)
 			return err
 		}, w.qs)
 	})
 	b.Run("accuracy-1e6", func(b *testing.B) {
 		benchFig7(b, w.e.TreeMgr, func(q pfv.Vector) error {
-			_, err := w.e.Tree.KMLIQ(q, 1, 1e-6)
+			_, _, err := w.e.Tree.KMLIQ(context.Background(), q, 1, 1e-6)
 			return err
 		}, w.qs)
 	})
+}
+
+// BenchmarkBatchExecutor measures concurrent ranked-query throughput on one
+// Gauss-tree engine through the query.BatchExecutor worker pool.
+func BenchmarkBatchExecutor(b *testing.B) {
+	w := benchDS2(b)
+	reqs := make([]query.Request, len(w.qs))
+	for i, q := range w.qs {
+		reqs[i] = query.Request{Kind: query.KindKMLIQRanked, Query: q.Vector, K: 1}
+	}
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			ex := query.NewBatchExecutor(w.e.Tree, workers)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, resp := range ex.Execute(context.Background(), reqs) {
+					if resp.Err != nil {
+						b.Fatal(resp.Err)
+					}
+				}
+			}
+		})
+	}
 }

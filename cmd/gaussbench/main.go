@@ -1,18 +1,26 @@
 // Command gaussbench regenerates every table and figure of the paper's
 // evaluation (§6) plus this repository's ablations. Each experiment prints
 // an aligned text table; EXPERIMENTS.md records the paper-vs-measured
-// comparison produced by this tool.
+// comparison produced by this tool. All engines are driven through the
+// uniform query.Engine interface, so adding a backend to eval.Build
+// automatically adds it to every comparison here.
 //
 // Usage:
 //
 //	gaussbench -exp all                 # everything (several minutes)
 //	gaussbench -exp fig6a,fig7ds2       # selected experiments
 //	gaussbench -exp headline -quick     # reduced data sizes for smoke runs
+//	gaussbench -exp fig7ds1 -json out.json  # machine-readable results
 //
 // Experiments: fig1, fig6a, fig6b, fig7ds1, fig7ds2, headline, ablations.
+// With -json the collected per-backend measurements (page accesses, wall
+// times, recall) are additionally written as JSON ("-" for stdout), so perf
+// trajectories can be tracked across revisions in BENCH_*.json files.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,23 +33,21 @@ import (
 	"github.com/gauss-tree/gausstree/internal/gaussian"
 	"github.com/gauss-tree/gausstree/internal/pagefile"
 	"github.com/gauss-tree/gausstree/internal/pfv"
-	"github.com/gauss-tree/gausstree/internal/query"
-	"github.com/gauss-tree/gausstree/internal/scan"
-	"github.com/gauss-tree/gausstree/internal/vafile"
 )
 
 func main() {
 	var (
-		exps   = flag.String("exp", "all", "comma-separated experiments: fig1,fig6a,fig6b,fig7ds1,fig7ds2,headline,ablations,all")
-		quick  = flag.Bool("quick", false, "reduced data sizes (for smoke testing)")
-		n1     = flag.Int("n1", 10987, "data set 1 size (paper: 10987)")
-		n2     = flag.Int("n2", 100000, "data set 2 size (paper: 100000)")
-		q1     = flag.Int("q1", 100, "data set 1 query count (paper: 100)")
-		q2     = flag.Int("q2", 500, "data set 2 query count (paper: 500)")
-		pageSz = flag.Int("pagesize", pagefile.DefaultPageSize, "page size in bytes")
-		seek   = flag.Duration("seek", 0, "override cost-model seek time (0 = default)")
-		seed1  = flag.Int64("seed1", 1, "data set 1 seed")
-		seed2  = flag.Int64("seed2", 2, "data set 2 seed")
+		exps     = flag.String("exp", "all", "comma-separated experiments: fig1,fig6a,fig6b,fig7ds1,fig7ds2,headline,ablations,all")
+		quick    = flag.Bool("quick", false, "reduced data sizes (for smoke testing)")
+		n1       = flag.Int("n1", 10987, "data set 1 size (paper: 10987)")
+		n2       = flag.Int("n2", 100000, "data set 2 size (paper: 100000)")
+		q1       = flag.Int("q1", 100, "data set 1 query count (paper: 100)")
+		q2       = flag.Int("q2", 500, "data set 2 query count (paper: 500)")
+		pageSz   = flag.Int("pagesize", pagefile.DefaultPageSize, "page size in bytes")
+		seek     = flag.Duration("seek", 0, "override cost-model seek time (0 = default)")
+		seed1    = flag.Int64("seed1", 1, "data set 1 seed")
+		seed2    = flag.Int64("seed2", 2, "data set 2 seed")
+		jsonPath = flag.String("json", "", "write collected results as JSON to this file (\"-\" for stdout)")
 	)
 	flag.Parse()
 	if *quick {
@@ -59,6 +65,9 @@ func main() {
 	b := &bench{
 		n1: *n1, n2: *n2, q1: *q1, q2: *q2,
 		pageSize: *pageSz, seed1: *seed1, seed2: *seed2,
+	}
+	b.out.Params = benchParams{
+		N1: *n1, N2: *n2, Q1: *q1, Q2: *q2, PageSize: *pageSz, Quick: *quick,
 	}
 
 	if run("fig1") {
@@ -88,6 +97,34 @@ func main() {
 	if run("ablations") {
 		b.ablations()
 	}
+	if *jsonPath != "" {
+		b.writeJSON(*jsonPath)
+	}
+}
+
+// benchParams records the data sizes a JSON result was measured with.
+type benchParams struct {
+	N1, N2   int
+	Q1, Q2   int
+	PageSize int
+	Quick    bool
+}
+
+// ablationRow is one engine × configuration measurement of an ablation.
+type ablationRow struct {
+	Ablation  string
+	Engine    string
+	Variant   string   `json:",omitempty"`
+	PagesPerQ float64  // mean logical page accesses per query
+	Recall    *float64 `json:",omitempty"` // recall@1; nil when not measured
+}
+
+// benchOutput is the machine-readable result set emitted by -json.
+type benchOutput struct {
+	Params    benchParams
+	Fig6      []*eval.Fig6Report `json:",omitempty"`
+	Fig7      []*eval.Fig7Report `json:",omitempty"`
+	Ablations []ablationRow      `json:",omitempty"`
 }
 
 type bench struct {
@@ -99,6 +136,7 @@ type bench struct {
 	e1, e2           *eval.Engines
 	fig6a, fig6b     *eval.Fig6Report
 	fig7ds1, fig7ds2 *eval.Fig7Report
+	out              benchOutput
 }
 
 func (b *bench) loadDS1() {
@@ -116,7 +154,7 @@ func (b *bench) loadDS1() {
 	start := time.Now()
 	e, err := eval.Build(ds, eval.Setup{PageSize: b.pageSize})
 	check(err)
-	fmt.Printf("# built gauss-tree(h=%d), x-tree(h=%d), scan file in %v\n\n",
+	fmt.Printf("# built gauss-tree(h=%d), x-tree(h=%d), scan file, va-file in %v\n\n",
 		e.Tree.Height(), e.X.Height(), time.Since(start).Round(time.Millisecond))
 	b.ds1, b.qs1, b.e1 = ds, qs, e
 }
@@ -136,7 +174,7 @@ func (b *bench) loadDS2() {
 	start := time.Now()
 	e, err := eval.Build(ds, eval.Setup{PageSize: b.pageSize})
 	check(err)
-	fmt.Printf("# built gauss-tree(h=%d), x-tree(h=%d), scan file in %v\n\n",
+	fmt.Printf("# built gauss-tree(h=%d), x-tree(h=%d), scan file, va-file in %v\n\n",
 		e.Tree.Height(), e.X.Height(), time.Since(start).Round(time.Millisecond))
 	b.ds2, b.qs2, b.e2 = ds, qs, e
 }
@@ -171,6 +209,7 @@ func (b *bench) figure6(e *eval.Engines, ds *dataset.Dataset, qs []dataset.Query
 	} else {
 		b.fig6b = rep
 	}
+	b.out.Fig6 = append(b.out.Fig6, rep)
 }
 
 func (b *bench) figure7(e *eval.Engines, ds *dataset.Dataset, qs []dataset.Query, name string) {
@@ -184,6 +223,7 @@ func (b *bench) figure7(e *eval.Engines, ds *dataset.Dataset, qs []dataset.Query
 	} else {
 		b.fig7ds2 = rep
 	}
+	b.out.Fig7 = append(b.out.Fig7, rep)
 }
 
 // headline prints the §6 headline numbers next to the paper's.
@@ -224,8 +264,8 @@ func (b *bench) ablations() {
 	b.ablateCombiner()
 	fmt.Println("=== Ablation A2: split/insert objectives (DS2 subset) ===")
 	b.ablateSplit()
-	fmt.Println("=== Ablation A4: VA-file filter vs Gauss-tree vs scan (DS2 subset) ===")
-	b.ablateVAFile()
+	fmt.Println("=== Ablation A4: engine comparison, 1-MLIQ recall@1 (DS2 subset) ===")
+	b.ablateEngines()
 }
 
 func (b *bench) subset(n, nq int) (*dataset.Dataset, []dataset.Query) {
@@ -241,28 +281,35 @@ func (b *bench) subset(n, nq int) (*dataset.Dataset, []dataset.Query) {
 
 func (b *bench) ablateCombiner() {
 	ds, qs := b.subset(min(b.n2, 20000), 100)
+	ctx := context.Background()
 	fmt.Printf("%-14s %12s %14s\n", "combiner", "MLIQ recall", "pages/query")
 	for _, comb := range []gaussian.Combiner{gaussian.CombineAdditive, gaussian.CombineConvolution} {
 		e, err := eval.Build(ds, eval.Setup{PageSize: b.pageSize, Combiner: comb})
 		check(err)
 		hits := 0
-		e.TreeMgr.ResetStats()
-		e.TreeMgr.DropCache()
+		var pagesTotal uint64
 		for _, q := range qs {
-			res, err := e.Tree.KMLIQRanked(q.Vector, 1)
+			res, st, err := e.Tree.KMLIQRanked(ctx, q.Vector, 1)
 			check(err)
+			pagesTotal += st.PageAccesses
 			if len(res) > 0 && res[0].Vector.ID == q.TruthID {
 				hits++
 			}
 		}
-		pages := float64(e.TreeMgr.Stats().LogicalReads) / float64(len(qs))
-		fmt.Printf("%-14s %11.0f%% %14.1f\n", comb, 100*float64(hits)/float64(len(qs)), pages)
+		recall := float64(hits) / float64(len(qs))
+		pages := float64(pagesTotal) / float64(len(qs))
+		fmt.Printf("%-14s %11.0f%% %14.1f\n", comb, 100*recall, pages)
+		b.out.Ablations = append(b.out.Ablations, ablationRow{
+			Ablation: "A1-combiner", Engine: "Gauss-Tree", Variant: comb.String(),
+			PagesPerQ: pages, Recall: &recall,
+		})
 	}
 	fmt.Println()
 }
 
 func (b *bench) ablateSplit() {
 	ds, qs := b.subset(min(b.n2, 20000), 100)
+	ctx := context.Background()
 	fmt.Printf("%-20s %14s\n", "split objective", "pages/query")
 	for _, split := range []core.SplitObjective{core.SplitHullIntegral, core.SplitHullIntegralSum, core.SplitVolume} {
 		mgr, err := pagefile.NewManager(pagefile.NewMemBackend(b.pageSize), b.pageSize)
@@ -270,55 +317,68 @@ func (b *bench) ablateSplit() {
 		tr, err := core.New(mgr, ds.Dim, core.Config{Split: split})
 		check(err)
 		check(tr.BulkLoad(ds.Vectors))
-		mgr.ResetStats()
-		mgr.DropCache()
+		var pagesTotal uint64
 		for _, q := range qs {
-			_, err := tr.KMLIQRanked(q.Vector, 1)
+			_, st, err := tr.KMLIQRanked(ctx, q.Vector, 1)
 			check(err)
+			pagesTotal += st.PageAccesses
 		}
-		fmt.Printf("%-20s %14.1f\n", split, float64(mgr.Stats().LogicalReads)/float64(len(qs)))
+		pages := float64(pagesTotal) / float64(len(qs))
+		fmt.Printf("%-20s %14.1f\n", split, pages)
+		b.out.Ablations = append(b.out.Ablations, ablationRow{
+			Ablation: "A2-split", Engine: "Gauss-Tree", Variant: split.String(),
+			PagesPerQ: pages,
+		})
 	}
 	fmt.Println()
 }
 
-func (b *bench) ablateVAFile() {
+// ablateEngines compares every backend through the query.Engine interface:
+// one ranked 1-MLIQ per query, recall@1 against the generating object.
+func (b *bench) ablateEngines() {
 	ds, qs := b.subset(min(b.n2, 20000), 100)
-	mgr, err := pagefile.NewManager(pagefile.NewMemBackend(b.pageSize), b.pageSize)
-	check(err)
-	data, err := scan.Create(mgr, ds.Dim)
-	check(err)
-	check(data.AppendAll(ds.Vectors))
-	va, err := vafile.Build(mgr, data, gaussian.CombineAdditive)
-	check(err)
 	e, err := eval.Build(ds, eval.Setup{PageSize: b.pageSize})
 	check(err)
-
+	ctx := context.Background()
 	fmt.Printf("%-12s %14s %12s\n", "engine", "pages/query", "recall@1")
-	report := func(name string, m *pagefile.Manager, run func(q pfv.Vector) ([]query.Result, error)) {
-		m.ResetStats()
-		m.DropCache()
+	for _, eng := range e.All() {
+		eng.Mgr.ResetStats()
+		eng.Mgr.DropCache()
 		hits := 0
+		var pagesTotal uint64
 		for _, q := range qs {
-			res, err := run(q.Vector)
+			res, st, err := eng.Engine.KMLIQRanked(ctx, q.Vector, 1)
 			check(err)
+			pagesTotal += st.PageAccesses
 			if len(res) > 0 && res[0].Vector.ID == q.TruthID {
 				hits++
 			}
 		}
-		fmt.Printf("%-12s %14.1f %11.0f%%\n", name,
-			float64(m.Stats().LogicalReads)/float64(len(qs)),
-			100*float64(hits)/float64(len(qs)))
+		recall := float64(hits) / float64(len(qs))
+		pages := float64(pagesTotal) / float64(len(qs))
+		fmt.Printf("%-12s %14.1f %11.0f%%\n", eng.Label, pages, 100*recall)
+		b.out.Ablations = append(b.out.Ablations, ablationRow{
+			Ablation: "A4-engines", Engine: eng.Label,
+			PagesPerQ: pages, Recall: &recall,
+		})
 	}
-	report("seq-scan", mgr, func(q pfv.Vector) ([]query.Result, error) {
-		return data.KMLIQ(q, 1, gaussian.CombineAdditive)
-	})
-	report("va-file", mgr, func(q pfv.Vector) ([]query.Result, error) {
-		return va.KMLIQ(q, 1)
-	})
-	report("gauss-tree", e.TreeMgr, func(q pfv.Vector) ([]query.Result, error) {
-		return e.Tree.KMLIQRanked(q, 1)
-	})
 	fmt.Println()
+}
+
+// writeJSON emits the collected measurements machine-readably.
+func (b *bench) writeJSON(path string) {
+	data, err := json.MarshalIndent(&b.out, "", "  ")
+	check(err)
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+	} else {
+		err = os.WriteFile(path, data, 0o644)
+	}
+	check(err)
+	if path != "-" {
+		fmt.Printf("# wrote JSON results to %s\n", path)
+	}
 }
 
 func check(err error) {

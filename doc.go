@@ -27,6 +27,35 @@
 //	matches, _ := tree.KMostLikely(q, 1)
 //	fmt.Println(matches[0].Vector.ID, matches[0].Probability)
 //
-// The package is safe for concurrent use: readers proceed in parallel,
-// writers are exclusive.
+// # Context-aware queries and statistics
+//
+// Every query has a context-aware variant — KMLIQContext, KMLIQRankedContext,
+// TIQContext — that honors cancellation and deadlines and returns a
+// QueryStats record with the query's logical page accesses (the paper's
+// efficiency metric), expanded nodes, scored vectors and early-termination
+// flag:
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+//	defer cancel()
+//	matches, stats, err := tree.KMLIQContext(ctx, q, 3)
+//	fmt.Println(stats.PageAccesses, stats.EarlyTermination)
+//
+// The plain methods (KMostLikely, KMostLikelyRanked, Threshold) are thin
+// wrappers over these with context.Background().
+//
+// # Architecture
+//
+// The implementation is layered; each layer lives in its own internal
+// package:
+//
+//	pfv       probabilistic feature vectors and Lemma-1 densities
+//	pagefile  paged storage, buffer cache, I/O accounting (per-query Counter)
+//	core      the Gauss-tree itself over pagefile
+//	scan/vafile/xtree  competitor backends on the same substrate
+//	query     the Engine interface all four backends implement,
+//	          result types and the concurrent BatchExecutor
+//	eval      the experiment harness driving engines uniformly
+//
+// This package is the public façade over core. It is safe for concurrent
+// use: readers proceed in parallel, writers are exclusive.
 package gausstree

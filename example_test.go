@@ -1,7 +1,9 @@
 package gausstree_test
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	gausstree "github.com/gauss-tree/gausstree"
 )
@@ -39,6 +41,29 @@ func ExampleTree_Threshold() {
 	// Output:
 	// O3 77%
 	// O2 13%
+}
+
+// ExampleTree_KMLIQContext shows the context-aware query API: the query
+// honors cancellation/deadlines and reports per-query statistics, including
+// the page-access count that is the paper's central efficiency metric.
+func ExampleTree_KMLIQContext() {
+	tree, _ := gausstree.New(2)
+	defer tree.Close()
+
+	tree.Insert(gausstree.MustVector(1, []float64{1.0, 2.0}, []float64{0.1, 0.2}))
+	tree.Insert(gausstree.MustVector(2, []float64{4.0, 0.5}, []float64{0.3, 0.1}))
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+
+	q := gausstree.MustVector(0, []float64{1.1, 1.9}, []float64{0.2, 0.2})
+	matches, stats, err := tree.KMLIQContext(ctx, q, 1)
+	if err != nil {
+		fmt.Println("query aborted:", err)
+		return
+	}
+	fmt.Printf("object %d, touched %d page(s)\n", matches[0].Vector.ID, stats.PageAccesses)
+	// Output: object 1, touched 1 page(s)
 }
 
 // ExamplePosterior evaluates identification probabilities without an index

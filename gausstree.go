@@ -1,6 +1,7 @@
 package gausstree
 
 import (
+	"context"
 	"errors"
 	"sync"
 
@@ -35,6 +36,33 @@ const (
 	CombineAdditive    = gaussian.CombineAdditive
 	CombineConvolution = gaussian.CombineConvolution
 )
+
+// QueryStats describes what one identification query cost and how it
+// terminated. It is filled by the context-aware query variants.
+type QueryStats struct {
+	// PageAccesses is the number of logical page reads charged to this
+	// query — the paper's central efficiency metric.
+	PageAccesses uint64
+	// NodesVisited counts the index nodes the traversal expanded.
+	NodesVisited int
+	// VectorsScored counts exact joint-density evaluations.
+	VectorsScored int
+	// CandidatesRetained is the number of candidates alive at termination.
+	CandidatesRetained int
+	// EarlyTermination reports whether the traversal pruned the index
+	// instead of exhausting it.
+	EarlyTermination bool
+}
+
+func toQueryStats(s query.Stats) QueryStats {
+	return QueryStats{
+		PageAccesses:       s.PageAccesses,
+		NodesVisited:       s.NodesVisited,
+		VectorsScored:      s.VectorsScored,
+		CandidatesRetained: s.CandidatesRetained,
+		EarlyTermination:   s.EarlyTermination,
+	}
+}
 
 // Match is one answer of an identification query.
 type Match struct {
@@ -188,41 +216,66 @@ func (t *Tree) Delete(v Vector) (bool, error) {
 // KMostLikely answers a k-most-likely identification query (the paper's
 // k-MLIQ, Definition 3): the k objects with the highest identification
 // probability P(v|q), with probabilities certified to the tree's configured
-// accuracy. Results are ordered by descending probability.
+// accuracy. Results are ordered by descending probability. It is
+// KMLIQContext without cancellation or statistics.
 func (t *Tree) KMostLikely(q Vector, k int) ([]Match, error) {
+	ms, _, err := t.KMLIQContext(context.Background(), q, k)
+	return ms, err
+}
+
+// KMLIQContext is KMostLikely with cancellation and per-query statistics:
+// when ctx is cancelled the traversal stops promptly and returns ctx.Err()
+// along with the statistics accumulated so far. Queries from any number of
+// goroutines may run concurrently.
+func (t *Tree) KMLIQContext(ctx context.Context, q Vector, k int) ([]Match, QueryStats, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	if t.tree == nil {
-		return nil, ErrClosed
+		return nil, QueryStats{}, ErrClosed
 	}
-	res, err := t.tree.KMLIQ(q, k, t.opts.Accuracy)
-	return toMatches(res), err
+	res, stats, err := t.tree.KMLIQ(ctx, q, k, t.opts.Accuracy)
+	return toMatches(res), toQueryStats(stats), err
 }
 
 // KMostLikelyRanked answers a k-MLIQ without computing probability values
 // (the paper's basic algorithm, §5.2.1). It touches the fewest pages; the
-// returned matches carry log densities and NaN probabilities.
+// returned matches carry log densities and NaN probabilities. It is
+// KMLIQRankedContext without cancellation or statistics.
 func (t *Tree) KMostLikelyRanked(q Vector, k int) ([]Match, error) {
+	ms, _, err := t.KMLIQRankedContext(context.Background(), q, k)
+	return ms, err
+}
+
+// KMLIQRankedContext is KMostLikelyRanked with cancellation and per-query
+// statistics.
+func (t *Tree) KMLIQRankedContext(ctx context.Context, q Vector, k int) ([]Match, QueryStats, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	if t.tree == nil {
-		return nil, ErrClosed
+		return nil, QueryStats{}, ErrClosed
 	}
-	res, err := t.tree.KMLIQRanked(q, k)
-	return toMatches(res), err
+	res, stats, err := t.tree.KMLIQRanked(ctx, q, k)
+	return toMatches(res), toQueryStats(stats), err
 }
 
 // Threshold answers a threshold identification query (the paper's TIQ,
 // Definition 2): every object with P(v|q) ≥ pTheta. Results are ordered by
-// descending probability.
+// descending probability. It is TIQContext without cancellation or
+// statistics.
 func (t *Tree) Threshold(q Vector, pTheta float64) ([]Match, error) {
+	ms, _, err := t.TIQContext(context.Background(), q, pTheta)
+	return ms, err
+}
+
+// TIQContext is Threshold with cancellation and per-query statistics.
+func (t *Tree) TIQContext(ctx context.Context, q Vector, pTheta float64) ([]Match, QueryStats, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	if t.tree == nil {
-		return nil, ErrClosed
+		return nil, QueryStats{}, ErrClosed
 	}
-	res, err := t.tree.TIQ(q, pTheta, t.opts.Accuracy)
-	return toMatches(res), err
+	res, stats, err := t.tree.TIQ(ctx, q, pTheta, t.opts.Accuracy)
+	return toMatches(res), toQueryStats(stats), err
 }
 
 // Stats reports the I/O counters of the underlying page manager.

@@ -1,0 +1,3 @@
+module github.com/gauss-tree/gausstree
+
+go 1.24

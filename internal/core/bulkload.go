@@ -93,7 +93,9 @@ func (t *Tree) BulkLoad(vs []pfv.Vector) error {
 
 	// The previous (empty) root page is superseded.
 	t.mgr.Free(t.root)
+	t.decMu.Lock()
 	delete(t.decoded, t.root)
+	t.decMu.Unlock()
 	t.root = level[0].page
 	t.height = height
 	t.count = len(vs)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"testing"
@@ -102,11 +103,11 @@ func TestBulkLoadedTreeAnswersQueriesExactly(t *testing.T) {
 
 	for trial := 0; trial < 15; trial++ {
 		q := reobserved(rng, vs[rng.Intn(len(vs))])
-		a, err := bulk.KMLIQ(q, 4, 1e-9)
+		a, _, err := bulk.KMLIQ(context.Background(), q, 4, 1e-9)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := ins.KMLIQ(q, 4, 1e-9)
+		b, _, err := ins.KMLIQ(context.Background(), q, 4, 1e-9)
 		if err != nil {
 			t.Fatal(err)
 		}

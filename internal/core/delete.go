@@ -75,7 +75,9 @@ func (t *Tree) Delete(v pfv.Vector) (bool, error) {
 		if err != nil {
 			return false, err
 		}
+		t.decMu.Lock()
 		delete(t.decoded, oldID)
+		t.decMu.Unlock()
 		t.mgr.Free(oldID)
 		root = next
 		t.root = root.id
@@ -177,7 +179,9 @@ func (t *Tree) freeNodeSubtree(n *node) error {
 			}
 		}
 	}
+	t.decMu.Lock()
 	delete(t.decoded, n.id)
+	t.decMu.Unlock()
 	t.mgr.Free(n.id)
 	return nil
 }

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"context"
+	"math"
+
+	"github.com/gauss-tree/gausstree/internal/pagefile"
+	"github.com/gauss-tree/gausstree/internal/pfv"
+	"github.com/gauss-tree/gausstree/internal/pqueue"
+	"github.com/gauss-tree/gausstree/internal/query"
+)
+
+var _ query.Engine = (*Tree)(nil)
+
+// traversal is the reusable best-first executor shared by every Gauss-tree
+// query (§5.2): an active-node max-queue ordered by the hull priority ˆN(q),
+// node reads charged to a per-query counter, leaf/inner dispatch into a
+// candidate collector, optional Bayes-denominator interval tracking
+// (§5.2.2), and a pluggable stop condition. KMLIQRanked, KMLIQ and TIQ are
+// thin policies over this one loop — they differ only in what they collect
+// and when they stop.
+type traversal struct {
+	tree       *Tree
+	ctx        context.Context
+	q          pfv.Vector
+	active     *pqueue.Queue[activeNode]
+	denom      denomTracker
+	trackDenom bool
+	counter    pagefile.Counter
+	stats      query.Stats
+	// onVector receives every exactly scored leaf object.
+	onVector func(v pfv.Vector, ld float64)
+}
+
+func (t *Tree) newTraversal(ctx context.Context, q pfv.Vector, trackDenom bool, onVector func(pfv.Vector, float64)) *traversal {
+	return &traversal{
+		tree:       t,
+		ctx:        ctx,
+		q:          q,
+		active:     pqueue.NewMax[activeNode](),
+		trackDenom: trackDenom,
+		onVector:   onVector,
+	}
+}
+
+// run executes the best-first loop: it expands the root, then repeatedly
+// evaluates the stop condition and expands the highest-priority subtree.
+// done is checked between expansions, so it observes a consistent queue and
+// denominator state. The context is checked before every node read; a
+// cancellation surfaces as ctx.Err() with the stats accumulated so far.
+func (tr *traversal) run(done func() bool) error {
+	if err := tr.expand(activeNode{page: tr.tree.root, count: tr.tree.count}); err != nil {
+		return err
+	}
+	for tr.active.Len() > 0 && !done() {
+		a, _, _ := tr.active.Pop()
+		if tr.trackDenom {
+			tr.denom.pop(a)
+		}
+		if err := tr.expand(a); err != nil {
+			return err
+		}
+		if tr.trackDenom {
+			tr.denom.maybeRebuild(tr.active.Items)
+		}
+	}
+	tr.stats.EarlyTermination = tr.active.Len() > 0
+	return nil
+}
+
+// expand loads one queued subtree root. Leaf objects are scored exactly
+// (feeding both the candidate collector and the exact denominator part);
+// inner children are pushed with their hull priorities and registered with
+// the denominator tracker.
+func (tr *traversal) expand(a activeNode) error {
+	if err := tr.ctx.Err(); err != nil {
+		return err
+	}
+	t := tr.tree
+	n, err := t.readNodeCounted(a.page, &tr.counter)
+	if err != nil {
+		return err
+	}
+	tr.stats.NodesVisited++
+	if n.leaf {
+		tr.stats.VectorsScored += len(n.vectors)
+		for _, v := range n.vectors {
+			ld := pfv.JointLogDensity(t.cfg.Combiner, v, tr.q)
+			if tr.trackDenom {
+				tr.denom.addExact(ld)
+			}
+			tr.onVector(v, ld)
+		}
+		return nil
+	}
+	for _, c := range n.children {
+		prio := c.box.LogHullAt(t.cfg.Combiner, tr.q)
+		child := activeNode{page: c.page, count: c.count}
+		if tr.trackDenom {
+			logN := math.Log(float64(c.count))
+			child.logFloorN = c.box.LogFloorAt(t.cfg.Combiner, tr.q) + logN
+			child.logHullN = prio + logN
+			tr.denom.push(child)
+		}
+		tr.active.Push(child, prio)
+	}
+	return nil
+}
+
+// finish stamps the traversal's page accesses and candidate count into the
+// stats record and returns it.
+func (tr *traversal) finish(retained int) query.Stats {
+	tr.stats.PageAccesses = tr.counter.LogicalReads()
+	tr.stats.CandidatesRetained = retained
+	return tr.stats
+}

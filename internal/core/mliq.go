@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -9,6 +10,9 @@ import (
 	"github.com/gauss-tree/gausstree/internal/query"
 )
 
+// Name identifies the Gauss-tree in engine-agnostic reports.
+func (t *Tree) Name() string { return "gauss-tree" }
+
 // KMLIQRanked answers a k-most-likely identification query without
 // computing the actual probability values — the basic algorithm of §5.2.1
 // (paper Figure 4). It performs a best-first traversal ordered by the node
@@ -16,34 +20,27 @@ import (
 // as high as the best unexplored node, guaranteeing no false dismissals.
 // The returned results carry the joint log densities; Probability fields
 // are NaN.
-func (t *Tree) KMLIQRanked(q pfv.Vector, k int) ([]query.Result, error) {
+func (t *Tree) KMLIQRanked(ctx context.Context, q pfv.Vector, k int) ([]query.Result, query.Stats, error) {
 	if err := t.checkQuery(q, k); err != nil {
-		return nil, err
+		return nil, query.Stats{}, err
+	}
+	if t.count == 0 {
+		return nil, query.Stats{}, nil
 	}
 	top := pqueue.NewTopK[pfv.Vector](k)
-	active := pqueue.NewMax[activeNode]()
-	active.Push(activeNode{page: t.root, count: t.count}, math.Inf(1))
-
-	for active.Len() > 0 {
-		if bound, ok := top.Bound(); ok {
-			if _, topPrio, _ := active.Peek(); bound >= topPrio {
-				break
-			}
+	tr := t.newTraversal(ctx, q, false, func(v pfv.Vector, ld float64) {
+		top.Offer(v, ld)
+	})
+	done := func() bool {
+		bound, ok := top.Bound()
+		if !ok {
+			return false
 		}
-		a, _, _ := active.Pop()
-		n, err := t.readNode(a.page)
-		if err != nil {
-			return nil, err
-		}
-		if n.leaf {
-			for _, v := range n.vectors {
-				top.Offer(v, pfv.JointLogDensity(t.cfg.Combiner, v, q))
-			}
-			continue
-		}
-		for _, c := range n.children {
-			active.Push(activeNode{page: c.page, count: c.count}, c.box.LogHullAt(t.cfg.Combiner, q))
-		}
+		_, topPrio, _ := tr.active.Peek()
+		return bound >= topPrio
+	}
+	if err := tr.run(done); err != nil {
+		return nil, tr.finish(top.Len()), err
 	}
 
 	out := make([]query.Result, 0, top.Len())
@@ -56,7 +53,7 @@ func (t *Tree) KMLIQRanked(q pfv.Vector, k int) ([]query.Result, error) {
 			ProbHigh:    math.NaN(),
 		})
 	}
-	return out, nil
+	return out, tr.finish(len(out)), nil
 }
 
 // KMLIQ answers a k-most-likely identification query including the actual
@@ -67,43 +64,25 @@ func (t *Tree) KMLIQRanked(q pfv.Vector, k int) ([]query.Result, error) {
 // reported probability is certified within the requested absolute accuracy.
 // accuracy ≤ 0 skips condition (b): results then carry whatever probability
 // interval the traversal happened to certify.
-func (t *Tree) KMLIQ(q pfv.Vector, k int, accuracy float64) ([]query.Result, error) {
+func (t *Tree) KMLIQ(ctx context.Context, q pfv.Vector, k int, accuracy float64) ([]query.Result, query.Stats, error) {
 	if err := t.checkQuery(q, k); err != nil {
-		return nil, err
+		return nil, query.Stats{}, err
 	}
 	if t.count == 0 {
-		return nil, nil
+		return nil, query.Stats{}, nil
 	}
 	top := pqueue.NewTopK[pfv.Vector](k)
-	active := pqueue.NewMax[activeNode]()
-	var denom denomTracker
-
-	// Seed with the root's children (the root page itself carries no
-	// bounding box; reading it here is the traversal's first page access).
-	if err := t.expand(activeNode{page: t.root, count: t.count}, q, active, &denom, func(v pfv.Vector, ld float64) {
+	tr := t.newTraversal(ctx, q, true, func(v pfv.Vector, ld float64) {
 		top.Offer(v, ld)
-	}); err != nil {
-		return nil, err
-	}
-
-	for active.Len() > 0 {
-		if t.mliqDone(top, active, &denom, accuracy) {
-			break
-		}
-		a, _, _ := active.Pop()
-		denom.pop(a)
-		if err := t.expand(a, q, active, &denom, func(v pfv.Vector, ld float64) {
-			top.Offer(v, ld)
-		}); err != nil {
-			return nil, err
-		}
-		denom.maybeRebuild(active.Items)
+	})
+	if err := tr.run(func() bool { return t.mliqDone(top, tr.active, &tr.denom, accuracy) }); err != nil {
+		return nil, tr.finish(top.Len()), err
 	}
 
 	out := make([]query.Result, 0, top.Len())
 	for _, v := range top.Sorted() {
 		ld := pfv.JointLogDensity(t.cfg.Combiner, v, q)
-		lo, hi := denom.probInterval(ld)
+		lo, hi := tr.denom.probInterval(ld)
 		out = append(out, query.Result{
 			Vector:      v,
 			LogDensity:  ld,
@@ -113,7 +92,7 @@ func (t *Tree) KMLIQ(q pfv.Vector, k int, accuracy float64) ([]query.Result, err
 		})
 	}
 	query.SortByProbability(out)
-	return out, nil
+	return out, tr.finish(len(out)), nil
 }
 
 // mliqDone evaluates the two-part §5.2.2 stop condition.
@@ -138,38 +117,6 @@ func (t *Tree) mliqDone(top *pqueue.TopK[pfv.Vector], active *pqueue.Queue[activ
 		}
 	})
 	return tight
-}
-
-// expand loads one queued subtree root. Leaf objects are scored exactly
-// (feeding both the candidate collector and the exact denominator part);
-// inner children are pushed with their hull priorities and registered with
-// the denominator tracker.
-func (t *Tree) expand(a activeNode, q pfv.Vector, active *pqueue.Queue[activeNode], denom *denomTracker, onVector func(pfv.Vector, float64)) error {
-	n, err := t.readNode(a.page)
-	if err != nil {
-		return err
-	}
-	if n.leaf {
-		for _, v := range n.vectors {
-			ld := pfv.JointLogDensity(t.cfg.Combiner, v, q)
-			denom.addExact(ld)
-			onVector(v, ld)
-		}
-		return nil
-	}
-	logN := func(c childEntry) float64 { return math.Log(float64(c.count)) }
-	for _, c := range n.children {
-		prio := c.box.LogHullAt(t.cfg.Combiner, q)
-		child := activeNode{
-			page:      c.page,
-			count:     c.count,
-			logFloorN: c.box.LogFloorAt(t.cfg.Combiner, q) + logN(c),
-			logHullN:  prio + logN(c),
-		}
-		active.Push(child, prio)
-		denom.push(child)
-	}
-	return nil
 }
 
 func (t *Tree) checkQuery(q pfv.Vector, k int) error {

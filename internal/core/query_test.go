@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -25,7 +26,7 @@ func buildPair(t *testing.T, vs []pfv.Vector, dim, pageSize int, cfg Config) (*T
 		t.Fatal(err)
 	}
 	mgrS, _ := pagefile.NewManager(pagefile.NewMemBackend(pageSize), pageSize)
-	sf, err := scan.Create(mgrS, dim)
+	sf, err := scan.Create(mgrS, dim, cfg.Combiner)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,11 +54,11 @@ func TestKMLIQRankedEqualsScanOrdering(t *testing.T) {
 		for trial := 0; trial < 25; trial++ {
 			q := reobserved(rng, vs[rng.Intn(len(vs))])
 			k := rng.Intn(8) + 1
-			want, err := sf.KMLIQ(q, k, comb)
+			want, _, err := sf.KMLIQ(context.Background(), q, k, 0)
 			if err != nil {
 				t.Fatal(err)
 			}
-			got, err := tr.KMLIQRanked(q, k)
+			got, _, err := tr.KMLIQRanked(context.Background(), q, k)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -82,11 +83,11 @@ func TestKMLIQProbabilitiesMatchScan(t *testing.T) {
 	for trial := 0; trial < 20; trial++ {
 		q := reobserved(rng, vs[rng.Intn(len(vs))])
 		k := rng.Intn(5) + 1
-		want, err := sf.KMLIQ(q, k, gaussian.CombineAdditive)
+		want, _, err := sf.KMLIQ(context.Background(), q, k, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := tr.KMLIQ(q, k, accuracy)
+		got, _, err := tr.KMLIQ(context.Background(), q, k, accuracy)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -121,11 +122,11 @@ func TestTIQEqualsScan(t *testing.T) {
 	for trial := 0; trial < 20; trial++ {
 		q := reobserved(rng, vs[rng.Intn(len(vs))])
 		for _, pTheta := range []float64{0.2, 0.8} {
-			want, err := sf.TIQ(q, pTheta, gaussian.CombineAdditive)
+			want, _, err := sf.TIQ(context.Background(), q, pTheta, 0)
 			if err != nil {
 				t.Fatal(err)
 			}
-			got, err := tr.TIQ(q, pTheta, 0)
+			got, _, err := tr.TIQ(context.Background(), q, pTheta, 0)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -173,11 +174,11 @@ func TestTIQBorderlineThresholds(t *testing.T) {
 		if pTheta > 1 || pTheta <= 0 || math.IsNaN(pTheta) {
 			continue
 		}
-		want, err := sf.TIQ(q, pTheta, gaussian.CombineAdditive)
+		want, _, err := sf.TIQ(context.Background(), q, pTheta, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := tr.TIQ(q, pTheta, 0)
+		got, _, err := tr.TIQ(context.Background(), q, pTheta, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -206,11 +207,11 @@ func TestKMLIQAccuracyZeroStillRanksCorrectly(t *testing.T) {
 	vs := clusteredVectors(rng, 300, 2, 4)
 	tr, sf := buildPair(t, vs, 2, 512, Config{})
 	q := reobserved(rng, vs[3])
-	want, err := sf.KMLIQ(q, 4, gaussian.CombineAdditive)
+	want, _, err := sf.KMLIQ(context.Background(), q, 4, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := tr.KMLIQ(q, 4, 0) // no accuracy demand: intervals may be loose
+	got, _, err := tr.KMLIQ(context.Background(), q, 4, 0) // no accuracy demand: intervals may be loose
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,11 +242,11 @@ func TestQueryEquivalenceProperty(t *testing.T) {
 		q := reobserved(rng, vs[rng.Intn(len(vs))])
 		k := rng.Intn(6) + 1
 
-		want, err := sf.KMLIQ(q, k, comb)
+		want, _, err := sf.KMLIQ(context.Background(), q, k, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := tr.KMLIQ(q, k, 1e-9)
+		got, _, err := tr.KMLIQ(context.Background(), q, k, 1e-9)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -276,7 +277,7 @@ func TestTreeTouchesFewerPagesThanScanOnClusteredData(t *testing.T) {
 		t.Fatal(err)
 	}
 	mgrS, _ := pagefile.NewManager(pagefile.NewMemBackend(2048), 2048)
-	sf, _ := scan.Create(mgrS, 4)
+	sf, _ := scan.Create(mgrS, 4, gaussian.CombineAdditive)
 	sf.AppendAll(vs)
 
 	var treePages, scanPages uint64
@@ -292,14 +293,14 @@ func TestTreeTouchesFewerPagesThanScanOnClusteredData(t *testing.T) {
 
 		mgrT.ResetStats()
 		mgrT.DropCache()
-		if _, err := tr.KMLIQRanked(q, 1); err != nil {
+		if _, _, err := tr.KMLIQRanked(context.Background(), q, 1); err != nil {
 			t.Fatal(err)
 		}
 		treePages += mgrT.Stats().LogicalReads
 
 		mgrS.ResetStats()
 		mgrS.DropCache()
-		if _, err := sf.KMLIQ(q, 1, gaussian.CombineAdditive); err != nil {
+		if _, _, err := sf.KMLIQ(context.Background(), q, 1, 0); err != nil {
 			t.Fatal(err)
 		}
 		scanPages += mgrS.Stats().LogicalReads
@@ -314,22 +315,22 @@ func TestQueryValidation(t *testing.T) {
 	tr := newTree(t, 2, 512, Config{})
 	good := pfv.MustNew(0, []float64{1, 1}, []float64{1, 1})
 	bad := pfv.MustNew(0, []float64{1}, []float64{1})
-	if _, err := tr.KMLIQ(bad, 1, 0); err == nil {
+	if _, _, err := tr.KMLIQ(context.Background(), bad, 1, 0); err == nil {
 		t.Error("dimension mismatch should fail")
 	}
-	if _, err := tr.KMLIQ(good, 0, 0); err == nil {
+	if _, _, err := tr.KMLIQ(context.Background(), good, 0, 0); err == nil {
 		t.Error("k=0 should fail")
 	}
-	if _, err := tr.KMLIQRanked(good, -1); err == nil {
+	if _, _, err := tr.KMLIQRanked(context.Background(), good, -1); err == nil {
 		t.Error("negative k should fail")
 	}
-	if _, err := tr.TIQ(good, -0.1, 0); err == nil {
+	if _, _, err := tr.TIQ(context.Background(), good, -0.1, 0); err == nil {
 		t.Error("negative threshold should fail")
 	}
-	if _, err := tr.TIQ(good, 1.5, 0); err == nil {
+	if _, _, err := tr.TIQ(context.Background(), good, 1.5, 0); err == nil {
 		t.Error("threshold > 1 should fail")
 	}
-	if _, err := tr.TIQ(bad, 0.5, 0); err == nil {
+	if _, _, err := tr.TIQ(context.Background(), bad, 0.5, 0); err == nil {
 		t.Error("TIQ dimension mismatch should fail")
 	}
 }
@@ -339,7 +340,7 @@ func TestResultsSortedAndWellFormed(t *testing.T) {
 	vs := clusteredVectors(rng, 200, 2, 3)
 	tr, _ := buildPair(t, vs, 2, 512, Config{})
 	q := reobserved(rng, vs[0])
-	res, err := tr.KMLIQ(q, 5, 1e-6)
+	res, _, err := tr.KMLIQ(context.Background(), q, 5, 1e-6)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -19,31 +20,25 @@ import (
 // remaining candidate is certified above the threshold. If accuracy > 0 the
 // traversal additionally continues until each reported probability is
 // certified within that absolute accuracy.
-func (t *Tree) TIQ(q pfv.Vector, pTheta float64, accuracy float64) ([]query.Result, error) {
+func (t *Tree) TIQ(ctx context.Context, q pfv.Vector, pTheta float64, accuracy float64) ([]query.Result, query.Stats, error) {
 	if q.Dim() != t.dim {
-		return nil, fmt.Errorf("%w: query dimension %d, tree dimension %d", ErrDimension, q.Dim(), t.dim)
+		return nil, query.Stats{}, fmt.Errorf("%w: query dimension %d, tree dimension %d", ErrDimension, q.Dim(), t.dim)
 	}
 	if pTheta < 0 || pTheta > 1 {
-		return nil, fmt.Errorf("core: threshold %v outside [0,1]", pTheta)
+		return nil, query.Stats{}, fmt.Errorf("core: threshold %v outside [0,1]", pTheta)
 	}
 	if t.count == 0 {
-		return nil, nil
+		return nil, query.Stats{}, nil
 	}
 
-	active := pqueue.NewMax[activeNode]()
 	candidates := pqueue.NewMin[pfv.Vector]() // ordered by log density: cheap removal of the weakest
-	var denom denomTracker
-	maxLd := math.Inf(-1) // highest candidate density seen (for the accuracy stop)
-
-	onVector := func(v pfv.Vector, ld float64) {
+	maxLd := math.Inf(-1)                     // highest candidate density seen (for the accuracy stop)
+	tr := t.newTraversal(ctx, q, true, func(v pfv.Vector, ld float64) {
 		candidates.Push(v, ld)
 		if ld > maxLd {
 			maxLd = ld
 		}
-	}
-	if err := t.expand(activeNode{page: t.root, count: t.count}, q, active, &denom, onVector); err != nil {
-		return nil, err
-	}
+	})
 
 	prune := func() {
 		// Drop candidates whose best-case probability is already below the
@@ -51,25 +46,26 @@ func (t *Tree) TIQ(q pfv.Vector, pTheta float64, accuracy float64) ([]query.Resu
 		// is final (Figure 5's "delete unnecessary candidates" loop).
 		for candidates.Len() > 0 {
 			_, ld, _ := candidates.Peek()
-			if _, hi := denom.probInterval(ld); hi >= pTheta {
+			if _, hi := tr.denom.probInterval(ld); hi >= pTheta {
 				return
 			}
 			candidates.Pop()
 		}
 	}
 	done := func() bool {
-		if _, topPrio, ok := active.Peek(); ok {
-			if _, hi := denom.probInterval(topPrio); hi >= pTheta {
+		prune()
+		if _, topPrio, ok := tr.active.Peek(); ok {
+			if _, hi := tr.denom.probInterval(topPrio); hi >= pTheta {
 				return false // an unexplored subtree could still qualify
 			}
 		}
 		if candidates.Len() > 0 {
 			_, minLd, _ := candidates.Peek()
-			if lo, _ := denom.probInterval(minLd); lo < pTheta {
+			if lo, _ := tr.denom.probInterval(minLd); lo < pTheta {
 				return false // weakest candidate not yet certified
 			}
 			if accuracy > 0 {
-				lo, hi := denom.probInterval(maxLd)
+				lo, hi := tr.denom.probInterval(maxLd)
 				if hi-lo > accuracy {
 					return false
 				}
@@ -78,20 +74,13 @@ func (t *Tree) TIQ(q pfv.Vector, pTheta float64, accuracy float64) ([]query.Resu
 		return true
 	}
 
-	prune()
-	for active.Len() > 0 && !done() {
-		a, _, _ := active.Pop()
-		denom.pop(a)
-		if err := t.expand(a, q, active, &denom, onVector); err != nil {
-			return nil, err
-		}
-		denom.maybeRebuild(active.Items)
-		prune()
+	if err := tr.run(done); err != nil {
+		return nil, tr.finish(candidates.Len()), err
 	}
 
 	var out []query.Result
 	candidates.Items(func(v pfv.Vector, ld float64) {
-		lo, hi := denom.probInterval(ld)
+		lo, hi := tr.denom.probInterval(ld)
 		if hi < pTheta {
 			return // not certified; prune() may simply not have run since the bound moved
 		}
@@ -104,5 +93,5 @@ func (t *Tree) TIQ(q pfv.Vector, pTheta float64, accuracy float64) ([]query.Resu
 		})
 	})
 	query.SortByProbability(out)
-	return out, nil
+	return out, tr.finish(candidates.Len()), nil
 }

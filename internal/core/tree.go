@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"github.com/gauss-tree/gausstree/internal/gaussian"
 	"github.com/gauss-tree/gausstree/internal/pagefile"
@@ -94,8 +95,10 @@ type Meta struct {
 	Count  int
 }
 
-// Tree is a Gauss-tree over a page manager. It is not safe for concurrent
-// use; the public façade package adds locking.
+// Tree is a Gauss-tree over a page manager. It is safe for any number of
+// concurrent readers (queries); mutating operations (Insert, Delete,
+// BulkLoad) require external exclusion against both readers and each other
+// — the public façade package holds a write lock around them.
 type Tree struct {
 	mgr    *pagefile.Manager
 	dim    int
@@ -107,10 +110,11 @@ type Tree struct {
 	capLeaf, minLeaf   int
 	capInner, minInner int
 
-	// decoded caches parsed nodes by page id. Page accesses are still
-	// charged against the page manager on every logical read; the cache
-	// only avoids re-parsing identical page bytes. Entries are invalidated
-	// on write and free.
+	// decoded caches parsed nodes by page id, guarded by decMu so parallel
+	// queries can share it. Page accesses are still charged against the
+	// page manager on every logical read; the cache only avoids re-parsing
+	// identical page bytes. Entries are invalidated on write and free.
+	decMu   sync.RWMutex
 	decoded map[pagefile.PageID]*node
 }
 
@@ -205,16 +209,25 @@ func (t *Tree) InnerCapacity() int { return t.capInner }
 func (t *Tree) Manager() *pagefile.Manager { return t.mgr }
 
 func (t *Tree) readNode(id pagefile.PageID) (*node, error) {
-	// The logical read is always charged (and keeps the buffer manager's
-	// recency information accurate), even when the decoded form is cached.
-	page, err := t.mgr.Read(id)
+	return t.readNodeCounted(id, nil)
+}
+
+// readNodeCounted loads a node, charging the logical page access to the
+// manager and, when c is non-nil, to the per-query counter. The access is
+// always charged (and keeps the buffer manager's recency information
+// accurate), even when the decoded form is cached.
+func (t *Tree) readNodeCounted(id pagefile.PageID, c *pagefile.Counter) (*node, error) {
+	page, err := t.mgr.ReadCounted(id, c)
 	if err != nil {
 		return nil, err
 	}
-	if n, ok := t.decoded[id]; ok {
+	t.decMu.RLock()
+	n, ok := t.decoded[id]
+	t.decMu.RUnlock()
+	if ok {
 		return n, nil
 	}
-	n, err := decodeNode(id, page, t.dim)
+	n, err = decodeNode(id, page, t.dim)
 	if err != nil {
 		return nil, err
 	}
@@ -231,10 +244,12 @@ func (t *Tree) writeNode(n *node) error {
 }
 
 func (t *Tree) cacheNode(n *node) {
+	t.decMu.Lock()
 	if len(t.decoded) >= maxDecodedNodes {
 		t.decoded = make(map[pagefile.PageID]*node)
 	}
 	t.decoded[n.id] = n
+	t.decMu.Unlock()
 }
 
 // freeSubtree returns every page of the subtree rooted at id to the
@@ -251,7 +266,9 @@ func (t *Tree) freeSubtree(id pagefile.PageID) error {
 			}
 		}
 	}
+	t.decMu.Lock()
 	delete(t.decoded, id)
+	t.decMu.Unlock()
 	t.mgr.Free(id)
 	return nil
 }

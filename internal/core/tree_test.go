@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"testing"
@@ -65,15 +66,15 @@ func TestEmptyTree(t *testing.T) {
 		t.Errorf("empty tree invariants: %v", err)
 	}
 	q := pfv.MustNew(0, []float64{1, 2, 3}, []float64{1, 1, 1})
-	res, err := tr.KMLIQ(q, 3, 1e-6)
+	res, _, err := tr.KMLIQ(context.Background(), q, 3, 1e-6)
 	if err != nil || len(res) != 0 {
 		t.Errorf("empty KMLIQ: %v, %v", res, err)
 	}
-	res, err = tr.TIQ(q, 0.5, 0)
+	res, _, err = tr.TIQ(context.Background(), q, 0.5, 0)
 	if err != nil || len(res) != 0 {
 		t.Errorf("empty TIQ: %v, %v", res, err)
 	}
-	res, err = tr.KMLIQRanked(q, 2)
+	res, _, err = tr.KMLIQRanked(context.Background(), q, 2)
 	if err != nil || len(res) != 0 {
 		t.Errorf("empty ranked: %v, %v", res, err)
 	}
@@ -161,11 +162,11 @@ func TestMetaOpenRoundTrip(t *testing.T) {
 	// Reopened tree must answer queries identically.
 	q := vs[7].Clone()
 	q.ID = 0
-	a, err := tr.KMLIQRanked(q, 5)
+	a, _, err := tr.KMLIQRanked(context.Background(), q, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := re.KMLIQRanked(q, 5)
+	b, _, err := re.KMLIQRanked(context.Background(), q, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,7 +331,7 @@ func TestHighDimensionalTree(t *testing.T) {
 	}
 	q := vs[11].Clone()
 	q.ID = 0
-	res, err := tr.KMLIQ(q, 1, 1e-6)
+	res, _, err := tr.KMLIQ(context.Background(), q, 1, 1e-6)
 	if err != nil {
 		t.Fatal(err)
 	}

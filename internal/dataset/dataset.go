@@ -23,6 +23,7 @@ package dataset
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"github.com/gauss-tree/gausstree/internal/pfv"
@@ -367,10 +368,10 @@ func gammaSample(rng *rand.Rand, shape float64) float64 {
 		for u == 0 {
 			u = rng.Float64()
 		}
-		return gammaSample(rng, shape+1) * pow(u, 1/shape)
+		return gammaSample(rng, shape+1) * math.Pow(u, 1/shape)
 	}
 	d := shape - 1.0/3.0
-	c := 1 / (3 * sqrt(d))
+	c := 1 / (3 * math.Sqrt(d))
 	for {
 		x := rng.NormFloat64()
 		v := 1 + c*x
@@ -385,7 +386,7 @@ func gammaSample(rng *rand.Rand, shape float64) float64 {
 		if u < 1-0.0331*x*x*x*x {
 			return d * v
 		}
-		if ln(u) < 0.5*x*x+d*(1-v+ln(v)) {
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
 			return d * v
 		}
 	}

@@ -18,6 +18,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -26,9 +27,9 @@ import (
 	"github.com/gauss-tree/gausstree/internal/dataset"
 	"github.com/gauss-tree/gausstree/internal/gaussian"
 	"github.com/gauss-tree/gausstree/internal/pagefile"
-	"github.com/gauss-tree/gausstree/internal/pfv"
 	"github.com/gauss-tree/gausstree/internal/query"
 	"github.com/gauss-tree/gausstree/internal/scan"
+	"github.com/gauss-tree/gausstree/internal/vafile"
 	"github.com/gauss-tree/gausstree/internal/xtree"
 )
 
@@ -56,8 +57,17 @@ func (s *Setup) fillDefaults() {
 	}
 }
 
-// Engines bundles the three competitors built over the same data set, each
-// on its own page manager so page accesses are attributable.
+// NamedEngine pairs one competitor with its report label and its page
+// manager (each engine owns a manager so page accesses stay attributable).
+type NamedEngine struct {
+	Label  string
+	Engine query.Engine
+	Mgr    *pagefile.Manager
+}
+
+// Engines bundles the four competitors built over the same data set, each
+// on its own page manager so page accesses are attributable. The harness
+// queries them exclusively through the query.Engine interface.
 type Engines struct {
 	Tree    *core.Tree
 	TreeMgr *pagefile.Manager
@@ -65,17 +75,36 @@ type Engines struct {
 	ScanMgr *pagefile.Manager
 	X       *xtree.Tree
 	XMgr    *pagefile.Manager
+	VA      *vafile.File
+	VAData  *scan.File
+	VAMgr   *pagefile.Manager
 
 	Combiner gaussian.Combiner
 }
 
-// Build constructs all three engines for a data set.
+// All returns the competitors in report order: the sequential scan first
+// (every relative metric divides by it), then the index structures.
+func (e *Engines) All() []NamedEngine {
+	return []NamedEngine{
+		{"Seq. Scan", e.Scan, e.ScanMgr},
+		{"X-Tree", e.X, e.XMgr},
+		{"VA-File", e.VA, e.VAMgr},
+		{"Gauss-Tree", e.Tree, e.TreeMgr},
+	}
+}
+
+// newManager creates one engine's page manager.
+func (s Setup) newManager() (*pagefile.Manager, error) {
+	return pagefile.NewManager(pagefile.NewMemBackend(s.PageSize), s.PageSize, pagefile.WithCacheBytes(s.CacheBytes))
+}
+
+// Build constructs all four engines for a data set.
 func Build(ds *dataset.Dataset, s Setup) (*Engines, error) {
 	s.fillDefaults()
 	e := &Engines{Combiner: s.Combiner}
 
 	var err error
-	if e.TreeMgr, err = pagefile.NewManager(pagefile.NewMemBackend(s.PageSize), s.PageSize, pagefile.WithCacheBytes(s.CacheBytes)); err != nil {
+	if e.TreeMgr, err = s.newManager(); err != nil {
 		return nil, err
 	}
 	if e.Tree, err = core.New(e.TreeMgr, ds.Dim, core.Config{Combiner: s.Combiner, Split: s.Split}); err != nil {
@@ -90,23 +119,38 @@ func Build(ds *dataset.Dataset, s Setup) (*Engines, error) {
 		return nil, err
 	}
 
-	if e.ScanMgr, err = pagefile.NewManager(pagefile.NewMemBackend(s.PageSize), s.PageSize, pagefile.WithCacheBytes(s.CacheBytes)); err != nil {
+	if e.ScanMgr, err = s.newManager(); err != nil {
 		return nil, err
 	}
-	if e.Scan, err = scan.Create(e.ScanMgr, ds.Dim); err != nil {
+	if e.Scan, err = scan.Create(e.ScanMgr, ds.Dim, s.Combiner); err != nil {
 		return nil, err
 	}
 	if err = e.Scan.AppendAll(ds.Vectors); err != nil {
 		return nil, err
 	}
 
-	if e.XMgr, err = pagefile.NewManager(pagefile.NewMemBackend(s.PageSize), s.PageSize, pagefile.WithCacheBytes(s.CacheBytes)); err != nil {
+	if e.XMgr, err = s.newManager(); err != nil {
 		return nil, err
 	}
 	if e.X, err = xtree.New(e.XMgr, ds.Dim, xtree.Config{Combiner: s.Combiner}); err != nil {
 		return nil, err
 	}
 	if err = e.X.InsertAll(ds.Vectors); err != nil {
+		return nil, err
+	}
+
+	// The VA-file filters a sequential data file; both live on one manager
+	// so its filter and refinement accesses are accounted together.
+	if e.VAMgr, err = s.newManager(); err != nil {
+		return nil, err
+	}
+	if e.VAData, err = scan.Create(e.VAMgr, ds.Dim, s.Combiner); err != nil {
+		return nil, err
+	}
+	if err = e.VAData.AppendAll(ds.Vectors); err != nil {
+		return nil, err
+	}
+	if e.VA, err = vafile.Build(e.VAMgr, e.VAData, s.Combiner); err != nil {
 		return nil, err
 	}
 	return e, nil
@@ -154,6 +198,7 @@ func Figure6(e *Engines, ds *dataset.Dataset, queries []dataset.Query, multiplie
 		return 0
 	}
 
+	ctx := context.Background()
 	nnHits := make([]int, kMax+1)   // nnHits[r]: queries whose truth ranked r
 	mliqHits := make([]int, kMax+1) // same for the MLIQ on the Gauss-tree
 	for _, q := range queries {
@@ -164,7 +209,7 @@ func Figure6(e *Engines, ds *dataset.Dataset, queries []dataset.Query, multiplie
 		if r := rankOf(nn, q.TruthID); r > 0 {
 			nnHits[r]++
 		}
-		ml, err := e.Tree.KMLIQRanked(q.Vector, kMax)
+		ml, _, err := e.Tree.KMLIQRanked(ctx, q.Vector, kMax)
 		if err != nil {
 			return nil, err
 		}
@@ -234,84 +279,65 @@ type queryKind struct {
 	thresh float64 // <0 means 1-MLIQ
 }
 
-// Figure7 reproduces the efficiency experiment: 1-MLIQ, TIQ(Pθ=0.8) and
-// TIQ(Pθ=0.2) on the sequential scan, the X-tree with 95% hyper-rectangle
-// approximations, and the Gauss-tree. The buffer cache is dropped before
-// every query (cold start) so that page counts are per-query comparable.
+// runKind dispatches one measured query kind on any engine: thresh < 0 is
+// the ranked 1-MLIQ (the paper's Figure 7 measures the plain MLIQ of §5.2.1,
+// which ranks without computing probability values; KMLIQ with probability
+// refinement is measured separately by the ablation benchmarks), otherwise a
+// TIQ at the given threshold.
+func runKind(ctx context.Context, eng query.Engine, q dataset.Query, thresh float64) (query.Stats, error) {
+	if thresh < 0 {
+		_, st, err := eng.KMLIQRanked(ctx, q.Vector, 1)
+		return st, err
+	}
+	_, st, err := eng.TIQ(ctx, q.Vector, thresh, 0)
+	return st, err
+}
+
+// Figure7 reproduces the efficiency experiment — 1-MLIQ, TIQ(Pθ=0.8) and
+// TIQ(Pθ=0.2) — on every engine of the bundle: the sequential scan, the
+// X-tree with 95% hyper-rectangle approximations, the VA-file and the
+// Gauss-tree, all driven through the uniform query.Engine interface. The
+// buffer cache is cold-started once per experiment so that page counts are
+// per-query comparable.
 func Figure7(e *Engines, ds *dataset.Dataset, queries []dataset.Query) (*Fig7Report, error) {
 	kinds := []queryKind{
 		{"1-MLIQ", -1},
 		{"TIQ(P=0.8)", 0.8},
 		{"TIQ(P=0.2)", 0.2},
 	}
-	type engine struct {
-		name string
-		mgr  *pagefile.Manager
-		run  func(q pfv.Vector, kind queryKind) error
-	}
-	engines := []engine{
-		{"Seq. Scan", e.ScanMgr, func(q pfv.Vector, k queryKind) error {
-			if k.thresh < 0 {
-				_, err := e.Scan.KMLIQ(q, 1, e.Combiner)
-				return err
-			}
-			_, err := e.Scan.TIQ(q, k.thresh, e.Combiner)
-			return err
-		}},
-		{"X-Tree", e.XMgr, func(q pfv.Vector, k queryKind) error {
-			if k.thresh < 0 {
-				_, err := e.X.KMLIQ(q, 1)
-				return err
-			}
-			_, err := e.X.TIQ(q, k.thresh)
-			return err
-		}},
-		{"Gauss-Tree", e.TreeMgr, func(q pfv.Vector, k queryKind) error {
-			if k.thresh < 0 {
-				// The paper's Figure 7 measures the plain MLIQ of §5.2.1
-				// (Figure 4), which ranks without computing probability
-				// values; KMLIQ with probability refinement is measured
-				// separately by the ablation benchmarks.
-				_, err := e.Tree.KMLIQRanked(q, 1)
-				return err
-			}
-			_, err := e.Tree.TIQ(q, k.thresh, 0)
-			return err
-		}},
-	}
-
+	ctx := context.Background()
 	rep := &Fig7Report{Dataset: ds.Name, Queries: len(queries)}
 	scanBase := map[string]Fig7Cell{}
-	for _, eng := range engines {
+	for _, eng := range e.All() {
 		for _, kind := range kinds {
 			// Paper regime: the buffer cache is cold-started once per
 			// experiment, then shared across the experiment's queries.
-			eng.mgr.ResetStats()
-			eng.mgr.DropCache()
+			eng.Mgr.ResetStats()
+			eng.Mgr.DropCache()
 			var cpu time.Duration
 			var io time.Duration
 			var pages uint64
 			for _, q := range queries {
-				before := eng.mgr.Stats()
+				before := eng.Mgr.Stats()
 				start := time.Now()
-				if err := eng.run(q.Vector, kind); err != nil {
-					return nil, fmt.Errorf("%s %s: %w", eng.name, kind.name, err)
+				st, err := runKind(ctx, eng.Engine, q, kind.thresh)
+				if err != nil {
+					return nil, fmt.Errorf("%s %s: %w", eng.Label, kind.name, err)
 				}
 				cpu += time.Since(start)
-				delta := eng.mgr.Stats().Sub(before)
-				pages += delta.LogicalReads
-				io += eng.mgr.CostModel().IOTime(delta)
+				pages += st.PageAccesses
+				io += eng.Mgr.CostModel().IOTime(eng.Mgr.Stats().Sub(before))
 			}
 			n := time.Duration(len(queries))
 			cell := Fig7Cell{
-				Engine:    eng.name,
+				Engine:    eng.Label,
 				QueryType: kind.name,
 				Pages:     float64(pages) / float64(len(queries)),
 				CPU:       cpu / n,
 				IO:        io / n,
 				Overall:   (cpu + io) / n,
 			}
-			if eng.name == "Seq. Scan" {
+			if eng.Label == "Seq. Scan" {
 				scanBase[kind.name] = cell
 			}
 			base := scanBase[kind.name]

@@ -31,15 +31,22 @@ func smallWorld(t *testing.T, n, queries int) (*Engines, *dataset.Dataset, []dat
 
 func TestBuildEnginesConsistent(t *testing.T) {
 	e, ds, _ := smallWorld(t, 1500, 1)
-	if e.Tree.Len() != len(ds.Vectors) || e.Scan.Len() != len(ds.Vectors) || e.X.Len() != len(ds.Vectors) {
-		t.Errorf("engine sizes: tree=%d scan=%d x=%d want %d",
-			e.Tree.Len(), e.Scan.Len(), e.X.Len(), len(ds.Vectors))
+	if e.Tree.Len() != len(ds.Vectors) || e.Scan.Len() != len(ds.Vectors) ||
+		e.X.Len() != len(ds.Vectors) || e.VA.Len() != len(ds.Vectors) {
+		t.Errorf("engine sizes: tree=%d scan=%d x=%d va=%d want %d",
+			e.Tree.Len(), e.Scan.Len(), e.X.Len(), e.VA.Len(), len(ds.Vectors))
 	}
 	if err := e.Tree.CheckInvariants(); err != nil {
 		t.Errorf("tree: %v", err)
 	}
 	if err := e.X.CheckInvariants(); err != nil {
 		t.Errorf("xtree: %v", err)
+	}
+	if got := len(e.All()); got != 4 {
+		t.Errorf("All() returned %d engines, want 4", got)
+	}
+	if e.All()[0].Label != "Seq. Scan" {
+		t.Errorf("baseline engine must come first, got %q", e.All()[0].Label)
 	}
 }
 
@@ -90,7 +97,7 @@ func TestFigure7ShapeAndBounds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Cells) != 9 { // 3 engines × 3 query types
+	if len(rep.Cells) != 12 { // 4 engines × 3 query types
 		t.Fatalf("cells = %d", len(rep.Cells))
 	}
 	var scanMLIQ, treeMLIQ *Fig7Cell

@@ -1,7 +1,7 @@
 // Package pagefile provides the paged storage substrate shared by every
-// access method in this repository (Gauss-tree, X-tree, sequential scan), so
-// that their page-access counts are directly comparable, as in the paper's
-// efficiency experiments (Figure 7).
+// access method in this repository (Gauss-tree, X-tree, sequential scan,
+// VA-file), so that their page-access counts are directly comparable, as in
+// the paper's efficiency experiments (Figure 7).
 //
 // A Manager mediates access to fixed-size pages held by a Backend (in-memory
 // for tests and benchmarks, an ordinary file for persistence) through an LRU
@@ -11,12 +11,21 @@
 // (non-contiguous physical reads), and converts them into an estimated I/O
 // time under a classical seek+transfer disk cost model, which is how the
 // paper's "overall time" metric is reproduced without 2006 disk hardware.
+//
+// The Manager is safe for concurrent use: the buffer cache is mutex-guarded
+// and every I/O counter is atomic, so many queries can read pages in
+// parallel. Per-query attribution of page accesses — the foundation of the
+// query-engine statistics in internal/query — goes through Counter: each
+// query carries its own Counter down the read path via ReadCounted, and the
+// global Stats remain the whole-manager aggregate.
 package pagefile
 
 import (
 	"container/list"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -72,6 +81,26 @@ func (s Stats) Sub(o Stats) Stats {
 	}
 }
 
+// Counter attributes page accesses to one logical unit of work, typically a
+// single query. A Counter is charged in addition to the Manager's global
+// counters by ReadCounted; it is safe for concurrent use, so one Counter may
+// be shared by the goroutines of a parallel query. The zero value is ready
+// to use.
+type Counter struct {
+	logicalReads  atomic.Uint64
+	cacheHits     atomic.Uint64
+	physicalReads atomic.Uint64
+}
+
+// LogicalReads returns the number of page requests charged so far.
+func (c *Counter) LogicalReads() uint64 { return c.logicalReads.Load() }
+
+// CacheHits returns the number of charged reads served from the cache.
+func (c *Counter) CacheHits() uint64 { return c.cacheHits.Load() }
+
+// PhysicalReads returns the number of charged reads that touched the backend.
+func (c *Counter) PhysicalReads() uint64 { return c.physicalReads.Load() }
+
 // CostModel converts I/O counters into time under the classical magnetic
 // disk model: each seek pays SeekTime, each transferred page pays
 // TransferTime.
@@ -111,20 +140,31 @@ type Backend interface {
 	Close() error
 }
 
-// Manager is a buffer-managed page store. It is not safe for concurrent use.
+// Manager is a buffer-managed page store, safe for concurrent use. Two
+// locks split the hot path: mu guards the in-memory cache state and is held
+// only briefly, so cache hits from parallel queries never wait behind disk
+// I/O; ioMu serializes backend access (the Backend contract) together with
+// the disk-arm model state. When both are held the order is ioMu before mu.
 type Manager struct {
+	mu        sync.Mutex // guards cache, lru, freelist, next, closed
+	ioMu      sync.Mutex // serializes backend access, lastRead, haveLast
 	backend   Backend
 	pageSize  int
 	capacity  int // cache capacity in pages; 0 disables caching
 	cache     map[PageID]*list.Element
 	lru       *list.List // front = most recently used
-	stats     Stats
 	next      PageID
 	freelist  []PageID
 	lastRead  PageID
 	haveLast  bool
 	costModel CostModel
 	closed    bool
+
+	logicalReads  atomic.Uint64
+	cacheHits     atomic.Uint64
+	physicalReads atomic.Uint64
+	writes        atomic.Uint64
+	seeks         atomic.Uint64
 }
 
 type cacheEntry struct {
@@ -170,7 +210,11 @@ func NewManager(backend Backend, pageSize int, opts ...Option) (*Manager, error)
 func (m *Manager) PageSize() int { return m.pageSize }
 
 // NumPages returns the number of allocated pages (including freed ones).
-func (m *Manager) NumPages() int { return int(m.next) }
+func (m *Manager) NumPages() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return int(m.next)
+}
 
 // CostModel returns the configured disk cost model.
 func (m *Manager) CostModel() CostModel { return m.costModel }
@@ -178,6 +222,8 @@ func (m *Manager) CostModel() CostModel { return m.costModel }
 // Allocate reserves a fresh page (reusing freed pages first) and returns its
 // id. The page's initial content is unspecified until the first Write.
 func (m *Manager) Allocate() (PageID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.closed {
 		return NilPage, ErrClosed
 	}
@@ -193,6 +239,8 @@ func (m *Manager) Allocate() (PageID, error) {
 
 // Free returns a page to the allocator. The page's content becomes invalid.
 func (m *Manager) Free(id PageID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if e, ok := m.cache[id]; ok {
 		m.lru.Remove(e)
 		delete(m.cache, id)
@@ -200,45 +248,94 @@ func (m *Manager) Free(id PageID) {
 	m.freelist = append(m.freelist, id)
 }
 
-// Read returns the content of a page. The returned slice is owned by the
-// cache: it is valid only until the next Manager call and must not be
-// modified. Callers decode immediately.
+// Read returns the content of a page without per-query attribution; it is
+// ReadCounted with a nil Counter.
 func (m *Manager) Read(id PageID) ([]byte, error) {
-	if m.closed {
-		return nil, ErrClosed
+	return m.ReadCounted(id, nil)
+}
+
+// ReadCounted returns the content of a page, charging the access to the
+// global counters and, when c is non-nil, to the per-query Counter. The
+// returned slice is owned by the cache: callers must not modify it and
+// should decode immediately (concurrent readers may share it, but no path
+// ever rewrites a cached slice in place).
+func (m *Manager) ReadCounted(id PageID, c *Counter) ([]byte, error) {
+	if data, err, done := m.readCached(id, c, true); done {
+		return data, err
 	}
-	if id >= m.next {
-		return nil, fmt.Errorf("pagefile: read of unallocated page %d (have %d)", id, m.next)
-	}
-	m.stats.LogicalReads++
-	if e, ok := m.cache[id]; ok {
-		m.stats.CacheHits++
-		m.lru.MoveToFront(e)
-		return e.Value.(*cacheEntry).data, nil
+	// Cache miss: take the I/O lock, then re-check — a concurrent reader
+	// may have loaded the same page while we waited.
+	m.ioMu.Lock()
+	defer m.ioMu.Unlock()
+	if data, err, done := m.readCached(id, c, false); done {
+		return data, err
 	}
 	buf := make([]byte, m.pageSize)
 	if err := m.backend.ReadPage(id, buf); err != nil {
 		return nil, err
 	}
-	m.stats.PhysicalReads++
+	m.physicalReads.Add(1)
+	if c != nil {
+		c.physicalReads.Add(1)
+	}
 	if !m.haveLast || id != m.lastRead+1 {
-		m.stats.Seeks++
+		m.seeks.Add(1)
 	}
 	m.lastRead, m.haveLast = id, true
+	m.mu.Lock()
 	m.insertCache(id, buf)
+	m.mu.Unlock()
 	return buf, nil
+}
+
+// readCached attempts to serve a read from the buffer cache under mu alone.
+// done is false only for a cache miss that the caller should resolve via
+// the backend; chargeLogical distinguishes the first attempt (which charges
+// the logical access) from the post-ioMu re-check (which must not double
+// count).
+func (m *Manager) readCached(id PageID, c *Counter, chargeLogical bool) (data []byte, err error, done bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed, true
+	}
+	if id >= m.next {
+		return nil, fmt.Errorf("pagefile: read of unallocated page %d (have %d)", id, m.next), true
+	}
+	if chargeLogical {
+		m.logicalReads.Add(1)
+		if c != nil {
+			c.logicalReads.Add(1)
+		}
+	}
+	if e, ok := m.cache[id]; ok {
+		m.cacheHits.Add(1)
+		if c != nil {
+			c.cacheHits.Add(1)
+		}
+		m.lru.MoveToFront(e)
+		return e.Value.(*cacheEntry).data, nil, true
+	}
+	return nil, nil, false
 }
 
 // Write persists a page. data must be at most one page long; shorter data is
 // zero-padded to the page size. The write is write-through: the backend and
 // the cache are updated together.
 func (m *Manager) Write(id PageID, data []byte) error {
+	m.ioMu.Lock()
+	defer m.ioMu.Unlock()
+	m.mu.Lock()
 	if m.closed {
+		m.mu.Unlock()
 		return ErrClosed
 	}
 	if id >= m.next {
-		return fmt.Errorf("pagefile: write of unallocated page %d (have %d)", id, m.next)
+		have := m.next
+		m.mu.Unlock()
+		return fmt.Errorf("pagefile: write of unallocated page %d (have %d)", id, have)
 	}
+	m.mu.Unlock()
 	if len(data) > m.pageSize {
 		return fmt.Errorf("pagefile: page overflow: %d bytes > page size %d", len(data), m.pageSize)
 	}
@@ -247,11 +344,14 @@ func (m *Manager) Write(id PageID, data []byte) error {
 	if err := m.backend.WritePage(id, page); err != nil {
 		return err
 	}
-	m.stats.Writes++
+	m.writes.Add(1)
+	m.mu.Lock()
 	m.insertCache(id, page)
+	m.mu.Unlock()
 	return nil
 }
 
+// insertCache is called with mu held.
 func (m *Manager) insertCache(id PageID, data []byte) {
 	if m.capacity <= 0 {
 		return
@@ -272,28 +372,56 @@ func (m *Manager) insertCache(id PageID, data []byte) {
 // DropCache empties the buffer cache (the paper's cold start) and forgets
 // disk-arm position so the next physical read counts as a seek.
 func (m *Manager) DropCache() {
+	m.ioMu.Lock()
+	m.mu.Lock()
 	m.cache = make(map[PageID]*list.Element)
 	m.lru.Init()
+	m.mu.Unlock()
 	m.haveLast = false
+	m.ioMu.Unlock()
 }
 
-// Stats returns a snapshot of the I/O counters.
-func (m *Manager) Stats() Stats { return m.stats }
+// Stats returns a snapshot of the I/O counters. Under concurrent load the
+// fields are individually, not mutually, consistent.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		LogicalReads:  m.logicalReads.Load(),
+		CacheHits:     m.cacheHits.Load(),
+		PhysicalReads: m.physicalReads.Load(),
+		Writes:        m.writes.Load(),
+		Seeks:         m.seeks.Load(),
+	}
+}
 
 // ResetStats zeroes the I/O counters.
-func (m *Manager) ResetStats() { m.stats = Stats{} }
+func (m *Manager) ResetStats() {
+	m.logicalReads.Store(0)
+	m.cacheHits.Store(0)
+	m.physicalReads.Store(0)
+	m.writes.Store(0)
+	m.seeks.Store(0)
+}
 
 // IOTime returns the modeled I/O time of the counters accumulated so far.
-func (m *Manager) IOTime() time.Duration { return m.costModel.IOTime(m.stats) }
+func (m *Manager) IOTime() time.Duration { return m.costModel.IOTime(m.Stats()) }
 
 // CachedPages returns the number of pages currently held in the cache.
-func (m *Manager) CachedPages() int { return m.lru.Len() }
+func (m *Manager) CachedPages() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lru.Len()
+}
 
 // Close closes the underlying backend. Subsequent calls fail with ErrClosed.
 func (m *Manager) Close() error {
+	m.ioMu.Lock()
+	defer m.ioMu.Unlock()
+	m.mu.Lock()
 	if m.closed {
+		m.mu.Unlock()
 		return nil
 	}
 	m.closed = true
+	m.mu.Unlock()
 	return m.backend.Close()
 }

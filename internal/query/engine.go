@@ -1,0 +1,82 @@
+package query
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/gauss-tree/gausstree/internal/pfv"
+)
+
+// Stats describes what one identification query cost and how it terminated.
+// Every engine fills the fields that apply to it; a sequential scan, for
+// example, never terminates early and visits no index nodes.
+type Stats struct {
+	// PageAccesses is the number of logical page reads charged to this
+	// query — the paper's central efficiency metric (Figure 7).
+	PageAccesses uint64
+	// NodesVisited counts expanded index nodes (tree engines) or scanned
+	// approximation pages (VA-file); 0 for the sequential scan.
+	NodesVisited int
+	// VectorsScored counts exact joint-density evaluations against stored
+	// vectors (the refinement work).
+	VectorsScored int
+	// CandidatesRetained is the number of result candidates alive when the
+	// traversal stopped (before any final threshold filtering).
+	CandidatesRetained int
+	// EarlyTermination reports whether the engine stopped before exhausting
+	// its structure — the pruning the Gauss-tree's bounds exist to enable.
+	EarlyTermination bool
+}
+
+// Add returns the elementwise sum of two stat records (for aggregating over
+// a query batch). EarlyTermination ORs.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		PageAccesses:       s.PageAccesses + o.PageAccesses,
+		NodesVisited:       s.NodesVisited + o.NodesVisited,
+		VectorsScored:      s.VectorsScored + o.VectorsScored,
+		CandidatesRetained: s.CandidatesRetained + o.CandidatesRetained,
+		EarlyTermination:   s.EarlyTermination || o.EarlyTermination,
+	}
+}
+
+// String renders the stats compactly for logs and benchmark tables.
+func (s Stats) String() string {
+	early := ""
+	if s.EarlyTermination {
+		early = " early"
+	}
+	return fmt.Sprintf("pages=%d nodes=%d scored=%d retained=%d%s",
+		s.PageAccesses, s.NodesVisited, s.VectorsScored, s.CandidatesRetained, early)
+}
+
+// Engine is the uniform query interface every identification backend in this
+// repository implements: the Gauss-tree (core.Tree), the sequential scan
+// (scan.File), the VA-file (vafile.File) and the X-tree (xtree.Tree). The
+// evaluation harness, the benchmark tool and the batch executor drive all
+// backends exclusively through this interface, which is what makes the
+// paper's comparisons (and future sharded/async serving) engine-agnostic.
+//
+// All methods honor ctx: a cancelled context makes the query return promptly
+// with a nil result set, the stats accumulated so far, and ctx.Err().
+//
+// The accuracy parameter is the absolute width within which reported
+// probability intervals must be certified; ≤ 0 accepts whatever interval the
+// traversal happened to establish. Engines that compute exact probabilities
+// (sequential scan) or only approximate ones (X-tree's filter-and-refine,
+// which the paper criticizes for false dismissals) document their deviation
+// and ignore the parameter.
+type Engine interface {
+	// Name identifies the engine in reports ("gauss-tree", "seq-scan", ...).
+	Name() string
+	// KMLIQ answers a k-most-likely identification query (Definition 3)
+	// including identification probabilities.
+	KMLIQ(ctx context.Context, q pfv.Vector, k int, accuracy float64) ([]Result, Stats, error)
+	// KMLIQRanked answers a k-MLIQ without certifying probability values
+	// (the paper's basic algorithm, §5.2.1); results carry log densities
+	// and NaN probabilities. This is the cheapest ranking query.
+	KMLIQRanked(ctx context.Context, q pfv.Vector, k int) ([]Result, Stats, error)
+	// TIQ answers a threshold identification query (Definition 2): every
+	// object with P(v|q) ≥ pTheta.
+	TIQ(ctx context.Context, q pfv.Vector, pTheta float64, accuracy float64) ([]Result, Stats, error)
+}

@@ -6,13 +6,17 @@
 // one to report every object above the threshold.
 //
 // The file lives on the same pagefile substrate as the index structures, so
-// the page-access and seek counts of all competitors are comparable.
+// the page-access and seek counts of all competitors are comparable, and it
+// implements the same query.Engine interface, so the evaluation harness
+// drives it interchangeably with the index structures.
 package scan
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 
 	"github.com/gauss-tree/gausstree/internal/gaussian"
 	"github.com/gauss-tree/gausstree/internal/pagefile"
@@ -25,26 +29,32 @@ import (
 const pageHeaderSize = 2
 
 // File is a sequential file of fixed-dimension probabilistic feature
-// vectors, packed into pages. It is not safe for concurrent use.
+// vectors, packed into pages. It is safe for concurrent readers; Append
+// requires external exclusion.
 type File struct {
-	mgr     *pagefile.Manager
-	dim     int
-	perPage int
-	pages   []pagefile.PageID
-	count   int
+	mgr      *pagefile.Manager
+	dim      int
+	perPage  int
+	combiner gaussian.Combiner
+	pages    []pagefile.PageID
+	count    int
 	// lastUsed is the entry count of the final page, so appends do not
 	// re-read it.
 	lastUsed int
-	// decoded caches parsed pages. Logical page accesses are still charged
-	// against the manager; the cache only avoids re-parsing bytes, keeping
-	// CPU-time comparisons against the (equally caching) index structures
-	// fair.
+	// decoded caches parsed pages, guarded by decMu so parallel queries can
+	// share it. Logical page accesses are still charged against the
+	// manager; the cache only avoids re-parsing bytes, keeping CPU-time
+	// comparisons against the (equally caching) index structures fair.
+	decMu   sync.RWMutex
 	decoded map[pagefile.PageID][]pfv.Vector
 }
 
+var _ query.Engine = (*File)(nil)
+
 // Create initializes an empty sequential file for vectors of the given
-// dimension on the provided page manager.
-func Create(mgr *pagefile.Manager, dim int) (*File, error) {
+// dimension on the provided page manager. The combiner is the σ-combination
+// rule used by this file's identification queries.
+func Create(mgr *pagefile.Manager, dim int, combiner gaussian.Combiner) (*File, error) {
 	if dim <= 0 {
 		return nil, fmt.Errorf("scan: invalid dimension %d", dim)
 	}
@@ -52,13 +62,19 @@ func Create(mgr *pagefile.Manager, dim int) (*File, error) {
 	if perPage < 1 {
 		return nil, fmt.Errorf("scan: page size %d too small for dimension %d", mgr.PageSize(), dim)
 	}
-	return &File{mgr: mgr, dim: dim, perPage: perPage, decoded: make(map[pagefile.PageID][]pfv.Vector)}, nil
+	return &File{
+		mgr:      mgr,
+		dim:      dim,
+		perPage:  perPage,
+		combiner: combiner,
+		decoded:  make(map[pagefile.PageID][]pfv.Vector),
+	}, nil
 }
 
 // Open reattaches a file from its metadata (dimension, page list and entry
 // count), e.g. after reopening a persistent page file.
-func Open(mgr *pagefile.Manager, dim int, pages []pagefile.PageID, count int) (*File, error) {
-	f, err := Create(mgr, dim)
+func Open(mgr *pagefile.Manager, dim int, combiner gaussian.Combiner, pages []pagefile.PageID, count int) (*File, error) {
+	f, err := Create(mgr, dim, combiner)
 	if err != nil {
 		return nil, err
 	}
@@ -71,11 +87,17 @@ func Open(mgr *pagefile.Manager, dim int, pages []pagefile.PageID, count int) (*
 	return f, nil
 }
 
+// Name identifies the sequential scan in engine-agnostic reports.
+func (f *File) Name() string { return "seq-scan" }
+
 // Dim returns the dimensionality of the stored vectors.
 func (f *File) Dim() int { return f.dim }
 
 // Len returns the number of stored vectors.
 func (f *File) Len() int { return f.count }
+
+// Combiner returns the σ-combination rule of this file's queries.
+func (f *File) Combiner() gaussian.Combiner { return f.combiner }
 
 // Pages returns the file's data pages in scan order (metadata for Open).
 func (f *File) Pages() []pagefile.PageID {
@@ -102,7 +124,7 @@ func (f *File) Append(v pfv.Vector) error {
 		f.lastUsed = 0
 	}
 	last := f.pages[len(f.pages)-1]
-	vs, err := f.readPage(last)
+	vs, err := f.readPage(last, nil)
 	if err != nil {
 		return err
 	}
@@ -110,27 +132,35 @@ func (f *File) Append(v pfv.Vector) error {
 	if err := f.mgr.Write(last, encodePage(vs, f.dim)); err != nil {
 		return err
 	}
+	f.decMu.Lock()
 	f.decoded[last] = vs
+	f.decMu.Unlock()
 	f.lastUsed = len(vs)
 	f.count++
 	return nil
 }
 
 // readPage returns the decoded vectors of one page, charging the logical
-// page access and reusing the decoded cache.
-func (f *File) readPage(id pagefile.PageID) ([]pfv.Vector, error) {
-	page, err := f.mgr.Read(id)
+// page access (to the per-query counter too, when non-nil) and reusing the
+// decoded cache.
+func (f *File) readPage(id pagefile.PageID, c *pagefile.Counter) ([]pfv.Vector, error) {
+	page, err := f.mgr.ReadCounted(id, c)
 	if err != nil {
 		return nil, err
 	}
-	if vs, ok := f.decoded[id]; ok {
+	f.decMu.RLock()
+	vs, ok := f.decoded[id]
+	f.decMu.RUnlock()
+	if ok {
 		return vs, nil
 	}
-	vs, err := decodePage(page, f.dim)
+	vs, err = decodePage(page, f.dim)
 	if err != nil {
 		return nil, err
 	}
+	f.decMu.Lock()
 	f.decoded[id] = vs
+	f.decMu.Unlock()
 	return vs, nil
 }
 
@@ -147,8 +177,17 @@ func (f *File) AppendAll(vs []pfv.Vector) error {
 // ForEach scans the file in storage order, invoking fn for every vector.
 // Iteration stops early if fn returns an error, which is propagated.
 func (f *File) ForEach(fn func(pfv.Vector) error) error {
+	return f.forEach(context.Background(), nil, fn)
+}
+
+// forEach is ForEach with context checks (once per page) and per-query
+// page-access attribution.
+func (f *File) forEach(ctx context.Context, c *pagefile.Counter, fn func(pfv.Vector) error) error {
 	for _, id := range f.pages {
-		vs, err := f.readPage(id)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		vs, err := f.readPage(id, c)
 		if err != nil {
 			return err
 		}
@@ -167,7 +206,7 @@ func (f *File) ForEach(fn func(pfv.Vector) error) error {
 // random fetches.
 func (f *File) ForEachLocated(fn func(v pfv.Vector, pageOrdinal, slot int) error) error {
 	for pi, id := range f.pages {
-		vs, err := f.readPage(id)
+		vs, err := f.readPage(id, nil)
 		if err != nil {
 			return err
 		}
@@ -183,10 +222,16 @@ func (f *File) ForEachLocated(fn func(v pfv.Vector, pageOrdinal, slot int) error
 // VectorAt fetches one vector by its physical position (a random page
 // access plus an in-page slot lookup).
 func (f *File) VectorAt(pageOrdinal, slot int) (pfv.Vector, error) {
+	return f.VectorAtCounted(pageOrdinal, slot, nil)
+}
+
+// VectorAtCounted is VectorAt with the page access charged to a per-query
+// counter.
+func (f *File) VectorAtCounted(pageOrdinal, slot int, c *pagefile.Counter) (pfv.Vector, error) {
 	if pageOrdinal < 0 || pageOrdinal >= len(f.pages) {
 		return pfv.Vector{}, fmt.Errorf("scan: page ordinal %d out of range [0,%d)", pageOrdinal, len(f.pages))
 	}
-	vs, err := f.readPage(f.pages[pageOrdinal])
+	vs, err := f.readPage(f.pages[pageOrdinal], c)
 	if err != nil {
 		return pfv.Vector{}, err
 	}
@@ -228,61 +273,89 @@ func decodePage(page []byte, dim int) ([]pfv.Vector, error) {
 // KMLIQ answers a k-most-likely identification query (Definition 3) with a
 // single sequential scan: it keeps the k highest-density candidates in a
 // bounded heap while accumulating the Bayes denominator Σ_w p(q|w) in log
-// space, then converts the survivors' densities into exact probabilities.
-// Results are ordered by descending probability.
-func (f *File) KMLIQ(q pfv.Vector, k int, c gaussian.Combiner) ([]query.Result, error) {
-	if err := f.checkQuery(q); err != nil {
-		return nil, err
+// space, then converts the survivors' densities into exact probabilities —
+// the accuracy parameter of query.Engine is therefore ignored. Results are
+// ordered by descending probability.
+func (f *File) KMLIQ(ctx context.Context, q pfv.Vector, k int, _ float64) ([]query.Result, query.Stats, error) {
+	return f.kmliq(ctx, q, k, true)
+}
+
+// KMLIQRanked answers a k-MLIQ without probability values: the same single
+// scan as KMLIQ, skipping the denominator bookkeeping. Results carry log
+// densities and NaN probabilities, matching the ranked queries of the index
+// engines; the page cost is identical to KMLIQ because a scan reads
+// everything either way.
+func (f *File) KMLIQRanked(ctx context.Context, q pfv.Vector, k int) ([]query.Result, query.Stats, error) {
+	return f.kmliq(ctx, q, k, false)
+}
+
+func (f *File) kmliq(ctx context.Context, q pfv.Vector, k int, withProbs bool) ([]query.Result, query.Stats, error) {
+	if err := f.checkQuery(q, k); err != nil {
+		return nil, query.Stats{}, err
 	}
-	if k <= 0 {
-		return nil, fmt.Errorf("scan: k must be positive, got %d", k)
-	}
+	var counter pagefile.Counter
+	var stats query.Stats
 	top := pqueue.NewTopK[pfv.Vector](k)
 	var denom gaussian.LogSum
-	err := f.ForEach(func(v pfv.Vector) error {
-		ld := pfv.JointLogDensity(c, v, q)
-		denom.Add(ld)
+	err := f.forEach(ctx, &counter, func(v pfv.Vector) error {
+		ld := pfv.JointLogDensity(f.combiner, v, q)
+		if withProbs {
+			denom.Add(ld)
+		}
 		top.Offer(v, ld)
+		stats.VectorsScored++
 		return nil
 	})
+	stats.PageAccesses = counter.LogicalReads()
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 	logDenom := denom.Log()
 	out := make([]query.Result, 0, top.Len())
 	for _, v := range top.Sorted() {
-		ld := pfv.JointLogDensity(c, v, q)
-		p := math.Exp(ld - logDenom)
-		out = append(out, query.Result{
+		ld := pfv.JointLogDensity(f.combiner, v, q)
+		r := query.Result{
 			Vector: v, LogDensity: ld,
-			Probability: p, ProbLow: p, ProbHigh: p,
-		})
+			Probability: math.NaN(), ProbLow: math.NaN(), ProbHigh: math.NaN(),
+		}
+		if withProbs {
+			p := math.Exp(ld - logDenom)
+			r.Probability, r.ProbLow, r.ProbHigh = p, p, p
+		}
+		out = append(out, r)
 	}
-	return out, nil
+	stats.CandidatesRetained = len(out)
+	return out, stats, nil
 }
 
 // TIQ answers a threshold identification query (Definition 2) with the
 // paper's two-scan algorithm: the first scan establishes the total relative
 // probability mass, the second reports every object whose posterior reaches
-// the threshold. Results are ordered by descending probability.
-func (f *File) TIQ(q pfv.Vector, pTheta float64, c gaussian.Combiner) ([]query.Result, error) {
-	if err := f.checkQuery(q); err != nil {
-		return nil, err
+// the threshold. Probabilities are exact, so the accuracy parameter is
+// ignored. Results are ordered by descending probability.
+func (f *File) TIQ(ctx context.Context, q pfv.Vector, pTheta float64, _ float64) ([]query.Result, query.Stats, error) {
+	if err := f.checkQuery(q, 1); err != nil {
+		return nil, query.Stats{}, err
 	}
 	if pTheta < 0 || pTheta > 1 {
-		return nil, fmt.Errorf("scan: threshold %v outside [0,1]", pTheta)
+		return nil, query.Stats{}, fmt.Errorf("scan: threshold %v outside [0,1]", pTheta)
 	}
+	var counter pagefile.Counter
+	var stats query.Stats
 	var denom gaussian.LogSum
-	if err := f.ForEach(func(v pfv.Vector) error {
-		denom.Add(pfv.JointLogDensity(c, v, q))
+	if err := f.forEach(ctx, &counter, func(v pfv.Vector) error {
+		denom.Add(pfv.JointLogDensity(f.combiner, v, q))
+		stats.VectorsScored++
 		return nil
 	}); err != nil {
-		return nil, err
+		stats.PageAccesses = counter.LogicalReads()
+		return nil, stats, err
 	}
 	logDenom := denom.Log()
 	var out []query.Result
-	if err := f.ForEach(func(v pfv.Vector) error {
-		ld := pfv.JointLogDensity(c, v, q)
+	if err := f.forEach(ctx, &counter, func(v pfv.Vector) error {
+		ld := pfv.JointLogDensity(f.combiner, v, q)
+		stats.VectorsScored++
 		p := math.Exp(ld - logDenom)
 		if p >= pTheta {
 			out = append(out, query.Result{
@@ -292,10 +365,13 @@ func (f *File) TIQ(q pfv.Vector, pTheta float64, c gaussian.Combiner) ([]query.R
 		}
 		return nil
 	}); err != nil {
-		return nil, err
+		stats.PageAccesses = counter.LogicalReads()
+		return nil, stats, err
 	}
+	stats.PageAccesses = counter.LogicalReads()
+	stats.CandidatesRetained = len(out)
 	query.SortByProbability(out)
-	return out, nil
+	return out, stats, nil
 }
 
 // NearestNeighbors answers a conventional k-nearest-neighbor query on the
@@ -305,11 +381,8 @@ func (f *File) TIQ(q pfv.Vector, pTheta float64, c gaussian.Combiner) ([]query.R
 // does not define them. LogDensity carries the negated distance so callers
 // can rank.
 func (f *File) NearestNeighbors(q pfv.Vector, k int) ([]query.Result, error) {
-	if err := f.checkQuery(q); err != nil {
+	if err := f.checkQuery(q, k); err != nil {
 		return nil, err
-	}
-	if k <= 0 {
-		return nil, fmt.Errorf("scan: k must be positive, got %d", k)
 	}
 	top := pqueue.NewTopK[pfv.Vector](k)
 	if err := f.ForEach(func(v pfv.Vector) error {
@@ -325,9 +398,12 @@ func (f *File) NearestNeighbors(q pfv.Vector, k int) ([]query.Result, error) {
 	return out, nil
 }
 
-func (f *File) checkQuery(q pfv.Vector) error {
+func (f *File) checkQuery(q pfv.Vector, k int) error {
 	if q.Dim() != f.dim {
 		return fmt.Errorf("scan: query dimension %d, file dimension %d", q.Dim(), f.dim)
+	}
+	if k <= 0 {
+		return fmt.Errorf("scan: k must be positive, got %d", k)
 	}
 	return nil
 }

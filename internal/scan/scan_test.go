@@ -1,6 +1,7 @@
 package scan
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -17,7 +18,7 @@ func newFile(t *testing.T, dim int) (*File, *pagefile.Manager) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f, err := Create(mgr, dim)
+	f, err := Create(mgr, dim, gaussian.CombineAdditive)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,11 +41,11 @@ func randomVectors(rng *rand.Rand, n, dim int) []pfv.Vector {
 
 func TestCreateValidation(t *testing.T) {
 	mgr, _ := pagefile.NewManager(pagefile.NewMemBackend(64), 64)
-	if _, err := Create(mgr, 0); err == nil {
+	if _, err := Create(mgr, 0, gaussian.CombineAdditive); err == nil {
 		t.Error("dim 0 should fail")
 	}
 	// 64-byte pages cannot hold a 27-dim vector (440 bytes).
-	if _, err := Create(mgr, 27); err == nil {
+	if _, err := Create(mgr, 27, gaussian.CombineAdditive); err == nil {
 		t.Error("oversized entries should fail")
 	}
 }
@@ -113,7 +114,7 @@ func TestOpenReattach(t *testing.T) {
 	vs := randomVectors(rng, 40, 2)
 	f.AppendAll(vs)
 
-	g, err := Open(mgr, 2, f.Pages(), f.Len())
+	g, err := Open(mgr, 2, gaussian.CombineAdditive, f.Pages(), f.Len())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestKMLIQFindsGroundTruth(t *testing.T) {
 		mean[i] = src.Mean[i] + rng.NormFloat64()*0.02
 	}
 	q := pfv.MustNew(0, mean, sigma)
-	res, err := f.KMLIQ(q, 3, gaussian.CombineAdditive)
+	res, _, err := f.KMLIQ(context.Background(), q, 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,13 +182,20 @@ func TestKMLIQFindsGroundTruth(t *testing.T) {
 }
 
 func TestKMLIQAgainstBruteForce(t *testing.T) {
-	f, _ := newFile(t, 3)
 	rng := rand.New(rand.NewSource(5))
 	vs := randomVectors(rng, 150, 3)
-	f.AppendAll(vs)
 	q := pfv.MustNew(0, []float64{5, 5, 5}, []float64{0.3, 0.3, 0.3})
 
 	for _, c := range []gaussian.Combiner{gaussian.CombineAdditive, gaussian.CombineConvolution} {
+		mgr, err := pagefile.NewManager(pagefile.NewMemBackend(1024), 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := Create(mgr, 3, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.AppendAll(vs)
 		// Brute force posterior.
 		ps := pfv.Posterior(c, vs, q)
 		bestIdx := make([]int, len(vs))
@@ -202,7 +210,7 @@ func TestKMLIQAgainstBruteForce(t *testing.T) {
 				}
 			}
 		}
-		res, err := f.KMLIQ(q, 5, c)
+		res, _, err := f.KMLIQ(context.Background(), q, 5, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -223,7 +231,7 @@ func TestKMLIQLargerKThanDB(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	f.AppendAll(randomVectors(rng, 4, 2))
 	q := pfv.MustNew(0, []float64{1, 1}, []float64{1, 1})
-	res, err := f.KMLIQ(q, 10, gaussian.CombineAdditive)
+	res, _, err := f.KMLIQ(context.Background(), q, 10, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,11 +250,11 @@ func TestKMLIQLargerKThanDB(t *testing.T) {
 func TestKMLIQInvalidArgs(t *testing.T) {
 	f, _ := newFile(t, 2)
 	q := pfv.MustNew(0, []float64{1, 1}, []float64{1, 1})
-	if _, err := f.KMLIQ(q, 0, gaussian.CombineAdditive); err == nil {
+	if _, _, err := f.KMLIQ(context.Background(), q, 0, 0); err == nil {
 		t.Error("k=0 should fail")
 	}
 	bad := pfv.MustNew(0, []float64{1}, []float64{1})
-	if _, err := f.KMLIQ(bad, 1, gaussian.CombineAdditive); err == nil {
+	if _, _, err := f.KMLIQ(context.Background(), bad, 1, 0); err == nil {
 		t.Error("dimension mismatch should fail")
 	}
 }
@@ -267,7 +275,7 @@ func TestTIQMatchesPosterior(t *testing.T) {
 				want[vs[i].ID] = p
 			}
 		}
-		res, err := f.TIQ(q, pTheta, gaussian.CombineAdditive)
+		res, _, err := f.TIQ(context.Background(), q, pTheta, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -291,7 +299,7 @@ func TestTIQThresholdValidation(t *testing.T) {
 	f, _ := newFile(t, 2)
 	q := pfv.MustNew(0, []float64{1, 1}, []float64{1, 1})
 	for _, bad := range []float64{-0.1, 1.1} {
-		if _, err := f.TIQ(q, bad, gaussian.CombineAdditive); err == nil {
+		if _, _, err := f.TIQ(context.Background(), q, bad, 0); err == nil {
 			t.Errorf("threshold %v should fail", bad)
 		}
 	}
@@ -300,7 +308,7 @@ func TestTIQThresholdValidation(t *testing.T) {
 func TestTIQEmptyFile(t *testing.T) {
 	f, _ := newFile(t, 2)
 	q := pfv.MustNew(0, []float64{1, 1}, []float64{1, 1})
-	res, err := f.TIQ(q, 0.5, gaussian.CombineAdditive)
+	res, _, err := f.TIQ(context.Background(), q, 0.5, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -339,7 +347,7 @@ func TestScanPageAccessCounts(t *testing.T) {
 
 	mgr.ResetStats()
 	mgr.DropCache()
-	if _, err := f.KMLIQ(q, 1, gaussian.CombineAdditive); err != nil {
+	if _, _, err := f.KMLIQ(context.Background(), q, 1, 0); err != nil {
 		t.Fatal(err)
 	}
 	s := mgr.Stats()
@@ -352,7 +360,7 @@ func TestScanPageAccessCounts(t *testing.T) {
 
 	mgr.ResetStats()
 	mgr.DropCache()
-	if _, err := f.TIQ(q, 0.5, gaussian.CombineAdditive); err != nil {
+	if _, _, err := f.TIQ(context.Background(), q, 0.5, 0); err != nil {
 		t.Fatal(err)
 	}
 	s = mgr.Stats()

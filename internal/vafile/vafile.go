@@ -15,6 +15,7 @@
 package vafile
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -47,6 +48,8 @@ type File struct {
 	count             int
 	perPage           int
 }
+
+var _ query.Engine = (*File)(nil)
 
 // approx is the decoded approximation of one vector.
 type approx struct {
@@ -176,6 +179,9 @@ func cellOf(grid []float64, v float64) byte {
 	return byte(lo)
 }
 
+// Name identifies the VA-file in engine-agnostic reports.
+func (f *File) Name() string { return "va-file" }
+
 // Len returns the number of approximated vectors.
 func (f *File) Len() int { return f.count }
 
@@ -197,15 +203,21 @@ func (f *File) cellBounds(a approx, q pfv.Vector) (logFloor, logHull float64) {
 	return logFloor, logHull
 }
 
-// forEachApprox scans the approximation file.
-func (f *File) forEachApprox(fn func(a approx) error) error {
+// forEachApprox scans the approximation file, checking the context once per
+// approximation page, charging accesses to the per-query counter and
+// counting scanned pages into stats.NodesVisited.
+func (f *File) forEachApprox(ctx context.Context, c *pagefile.Counter, stats *query.Stats, fn func(a approx) error) error {
 	cell := make([]byte, 2*f.dim)
 	esz := entrySize(f.dim)
 	for _, id := range f.pages {
-		page, err := f.mgr.Read(id)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		page, err := f.mgr.ReadCounted(id, c)
 		if err != nil {
 			return err
 		}
+		stats.NodesVisited++
 		n := int(binary.LittleEndian.Uint16(page))
 		off := approxHeaderSize
 		for i := 0; i < n; i++ {
@@ -224,40 +236,64 @@ func (f *File) forEachApprox(fn func(a approx) error) error {
 	return nil
 }
 
+// cand is one approximated object surviving the filter phase.
+type cand struct {
+	pageOrdinal uint32
+	slot        uint16
+	logFloor    float64
+	logHull     float64
+}
+
 // KMLIQ answers a k-most-likely identification query with the two-phase
 // VA algorithm: phase 1 scans the approximations, keeping the k best cell
 // floor bounds and every object whose cell hull bound could still beat
 // them; phase 2 fetches candidates from the data file in descending
 // hull-bound order until the k-th exact density dominates the next bound.
 // Probabilities are certified against denominator bounds assembled from the
-// cell bounds of unfetched objects. No false dismissals occur.
-func (f *File) KMLIQ(q pfv.Vector, k int) ([]query.Result, error) {
+// cell bounds of unfetched objects — the engine reports whatever interval
+// that yields, so the accuracy parameter is ignored. No false dismissals
+// occur.
+func (f *File) KMLIQ(ctx context.Context, q pfv.Vector, k int, _ float64) ([]query.Result, query.Stats, error) {
+	return f.kmliq(ctx, q, k, true)
+}
+
+// KMLIQRanked answers a k-MLIQ without probability values: the same
+// two-phase filter-and-refine as KMLIQ — the page cost is identical — but
+// without assembling denominator bounds. Results carry log densities and
+// NaN probabilities.
+func (f *File) KMLIQRanked(ctx context.Context, q pfv.Vector, k int) ([]query.Result, query.Stats, error) {
+	return f.kmliq(ctx, q, k, false)
+}
+
+func (f *File) kmliq(ctx context.Context, q pfv.Vector, k int, withProbs bool) ([]query.Result, query.Stats, error) {
 	if q.Dim() != f.dim {
-		return nil, fmt.Errorf("vafile: query dimension %d, file dimension %d", q.Dim(), f.dim)
+		return nil, query.Stats{}, fmt.Errorf("vafile: query dimension %d, file dimension %d", q.Dim(), f.dim)
 	}
 	if k <= 0 {
-		return nil, fmt.Errorf("vafile: k must be positive, got %d", k)
+		return nil, query.Stats{}, fmt.Errorf("vafile: k must be positive, got %d", k)
 	}
 	if f.count == 0 {
-		return nil, nil
+		return nil, query.Stats{}, nil
+	}
+
+	var counter pagefile.Counter
+	var stats query.Stats
+	finish := func(retained int) query.Stats {
+		stats.PageAccesses = counter.LogicalReads()
+		stats.CandidatesRetained = retained
+		return stats
 	}
 
 	// Phase 1: filter.
-	type cand struct {
-		pageOrdinal uint32
-		slot        uint16
-		logFloor    float64
-		logHull     float64
-	}
 	floorTop := pqueue.NewTopK[struct{}](k)
 	all := make([]cand, 0, f.count)
-	if err := f.forEachApprox(func(a approx) error {
+	if err := f.forEachApprox(ctx, &counter, &stats, func(a approx) error {
 		lf, lh := f.cellBounds(a, q)
 		floorTop.Offer(struct{}{}, lf)
 		all = append(all, cand{a.pageOrdinal, a.slot, lf, lh})
 		return nil
 	}); err != nil {
-		return nil, err
+		return nil, finish(0), err
 	}
 	delta := math.Inf(-1)
 	if b, ok := floorTop.Bound(); ok {
@@ -268,7 +304,7 @@ func (f *File) KMLIQ(q pfv.Vector, k int) ([]query.Result, error) {
 	for _, c := range all {
 		if c.logHull >= delta {
 			cands = append(cands, c)
-		} else {
+		} else if withProbs {
 			restFloor.Add(c.logFloor)
 			restHull.Add(c.logHull)
 		}
@@ -278,25 +314,32 @@ func (f *File) KMLIQ(q pfv.Vector, k int) ([]query.Result, error) {
 	// Phase 2: refine in descending hull order.
 	top := pqueue.NewTopK[pfv.Vector](k)
 	var exactSum gaussian.LogSum
-	fetched := 0
 	for i, c := range cands {
+		if err := ctx.Err(); err != nil {
+			return nil, finish(top.Len()), err
+		}
 		if bound, ok := top.Bound(); ok && bound >= c.logHull {
 			// Remaining candidates cannot enter the result; their bounds
 			// join the denominator estimate.
-			for _, r := range cands[i:] {
-				restFloor.Add(r.logFloor)
-				restHull.Add(r.logHull)
+			stats.EarlyTermination = true
+			if withProbs {
+				for _, r := range cands[i:] {
+					restFloor.Add(r.logFloor)
+					restHull.Add(r.logHull)
+				}
 			}
 			break
 		}
-		v, err := f.data.VectorAt(int(c.pageOrdinal), int(c.slot))
+		v, err := f.data.VectorAtCounted(int(c.pageOrdinal), int(c.slot), &counter)
 		if err != nil {
-			return nil, err
+			return nil, finish(top.Len()), err
 		}
 		ld := pfv.JointLogDensity(f.combiner, v, q)
-		exactSum.Add(ld)
+		if withProbs {
+			exactSum.Add(ld)
+		}
 		top.Offer(v, ld)
-		fetched++
+		stats.VectorsScored++
 	}
 
 	denomLow := addLog(exactSum.Log(), restFloor.Log())
@@ -304,46 +347,52 @@ func (f *File) KMLIQ(q pfv.Vector, k int) ([]query.Result, error) {
 	out := make([]query.Result, 0, top.Len())
 	for _, v := range top.Sorted() {
 		ld := pfv.JointLogDensity(f.combiner, v, q)
-		lo := clamp01(math.Exp(ld - denomHigh))
-		hi := clamp01(math.Exp(ld - denomLow))
-		out = append(out, query.Result{
+		r := query.Result{
 			Vector: v, LogDensity: ld,
-			Probability: (lo + hi) / 2, ProbLow: lo, ProbHigh: hi,
-		})
+			Probability: math.NaN(), ProbLow: math.NaN(), ProbHigh: math.NaN(),
+		}
+		if withProbs {
+			lo := clamp01(math.Exp(ld - denomHigh))
+			hi := clamp01(math.Exp(ld - denomLow))
+			r.Probability, r.ProbLow, r.ProbHigh = (lo+hi)/2, lo, hi
+		}
+		out = append(out, r)
 	}
-	return out, nil
+	return out, finish(len(out)), nil
 }
 
 // TIQ answers a threshold identification query: phase 1 bounds every
 // object's density and the total denominator from the approximations; every
 // object whose best-case probability reaches the threshold is fetched and
-// refined. No false dismissals occur; reported probabilities carry
-// certified intervals.
-func (f *File) TIQ(q pfv.Vector, pTheta float64) ([]query.Result, error) {
+// refined. No false dismissals occur; reported probabilities carry whatever
+// certified interval the cell bounds give (the accuracy parameter is
+// ignored).
+func (f *File) TIQ(ctx context.Context, q pfv.Vector, pTheta float64, _ float64) ([]query.Result, query.Stats, error) {
 	if q.Dim() != f.dim {
-		return nil, fmt.Errorf("vafile: query dimension %d, file dimension %d", q.Dim(), f.dim)
+		return nil, query.Stats{}, fmt.Errorf("vafile: query dimension %d, file dimension %d", q.Dim(), f.dim)
 	}
 	if pTheta < 0 || pTheta > 1 {
-		return nil, fmt.Errorf("vafile: threshold %v outside [0,1]", pTheta)
+		return nil, query.Stats{}, fmt.Errorf("vafile: threshold %v outside [0,1]", pTheta)
 	}
 	if f.count == 0 {
-		return nil, nil
+		return nil, query.Stats{}, nil
 	}
-	type cand struct {
-		pageOrdinal uint32
-		slot        uint16
-		logFloor    float64
-		logHull     float64
+	var counter pagefile.Counter
+	var stats query.Stats
+	finish := func(retained int) query.Stats {
+		stats.PageAccesses = counter.LogicalReads()
+		stats.CandidatesRetained = retained
+		return stats
 	}
 	var all []cand
 	var floorSum gaussian.LogSum
-	if err := f.forEachApprox(func(a approx) error {
+	if err := f.forEachApprox(ctx, &counter, &stats, func(a approx) error {
 		lf, lh := f.cellBounds(a, q)
 		floorSum.Add(lf)
 		all = append(all, cand{a.pageOrdinal, a.slot, lf, lh})
 		return nil
 	}); err != nil {
-		return nil, err
+		return nil, finish(0), err
 	}
 	// Best-case probability of an object: hull / (floor-based denominator
 	// where the object itself contributes its hull).
@@ -355,6 +404,7 @@ func (f *File) TIQ(q pfv.Vector, pTheta float64) ([]query.Result, error) {
 		if bestP >= pTheta {
 			cands = append(cands, c)
 		} else {
+			stats.EarlyTermination = true // at least one object never fetched
 			restFloor.Add(c.logFloor)
 			restHull.Add(c.logHull)
 		}
@@ -366,13 +416,17 @@ func (f *File) TIQ(q pfv.Vector, pTheta float64) ([]query.Result, error) {
 	}
 	fetched := make([]scored, 0, len(cands))
 	for _, c := range cands {
-		v, err := f.data.VectorAt(int(c.pageOrdinal), int(c.slot))
+		if err := ctx.Err(); err != nil {
+			return nil, finish(len(fetched)), err
+		}
+		v, err := f.data.VectorAtCounted(int(c.pageOrdinal), int(c.slot), &counter)
 		if err != nil {
-			return nil, err
+			return nil, finish(len(fetched)), err
 		}
 		ld := pfv.JointLogDensity(f.combiner, v, q)
 		exactSum.Add(ld)
 		fetched = append(fetched, scored{v, ld})
+		stats.VectorsScored++
 	}
 	denomLow := addLog(exactSum.Log(), restFloor.Log())
 	denomHigh := addLog(exactSum.Log(), restHull.Log())
@@ -389,7 +443,7 @@ func (f *File) TIQ(q pfv.Vector, pTheta float64) ([]query.Result, error) {
 		})
 	}
 	query.SortByProbability(out)
-	return out, nil
+	return out, finish(len(out)), nil
 }
 
 func addLog(a, b float64) float64 {

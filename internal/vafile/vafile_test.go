@@ -1,6 +1,7 @@
 package vafile
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -37,7 +38,7 @@ func buildWorld(t *testing.T, n, dim int, seed int64) (*File, *scan.File, []pfv.
 	if err != nil {
 		t.Fatal(err)
 	}
-	data, err := scan.Create(mgr, dim)
+	data, err := scan.Create(mgr, dim, gaussian.CombineAdditive)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,16 +66,16 @@ func TestBuildShape(t *testing.T) {
 
 func TestEmptyFile(t *testing.T) {
 	mgr, _ := pagefile.NewManager(pagefile.NewMemBackend(1024), 1024)
-	data, _ := scan.Create(mgr, 2)
+	data, _ := scan.Create(mgr, 2, gaussian.CombineAdditive)
 	va, err := Build(mgr, data, gaussian.CombineAdditive)
 	if err != nil {
 		t.Fatal(err)
 	}
 	q := pfv.MustNew(0, []float64{1, 1}, []float64{1, 1})
-	if res, err := va.KMLIQ(q, 3); err != nil || len(res) != 0 {
+	if res, _, err := va.KMLIQ(context.Background(), q, 3, 0); err != nil || len(res) != 0 {
 		t.Errorf("empty KMLIQ: %v %v", res, err)
 	}
-	if res, err := va.TIQ(q, 0.5); err != nil || len(res) != 0 {
+	if res, _, err := va.TIQ(context.Background(), q, 0.5, 0); err != nil || len(res) != 0 {
 		t.Errorf("empty TIQ: %v %v", res, err)
 	}
 }
@@ -93,11 +94,11 @@ func TestKMLIQEqualsScan(t *testing.T) {
 		q := pfv.MustNew(0, mean, sigma)
 		k := rng.Intn(5) + 1
 
-		want, err := data.KMLIQ(q, k, gaussian.CombineAdditive)
+		want, _, err := data.KMLIQ(context.Background(), q, k, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := va.KMLIQ(q, k)
+		got, _, err := va.KMLIQ(context.Background(), q, k, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -124,11 +125,11 @@ func TestTIQNoFalseDismissals(t *testing.T) {
 		src := vs[rng.Intn(len(vs))]
 		q := pfv.MustNew(0, src.Mean, src.Sigma)
 		for _, pTheta := range []float64{0.2, 0.8} {
-			want, err := data.TIQ(q, pTheta, gaussian.CombineAdditive)
+			want, _, err := data.TIQ(context.Background(), q, pTheta, 0)
 			if err != nil {
 				t.Fatal(err)
 			}
-			got, err := va.TIQ(q, pTheta)
+			got, _, err := va.TIQ(context.Background(), q, pTheta, 0)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -162,14 +163,14 @@ func TestKMLIQPrunesPages(t *testing.T) {
 
 		mgr.ResetStats()
 		mgr.DropCache()
-		if _, err := va.KMLIQ(q, 1); err != nil {
+		if _, _, err := va.KMLIQ(context.Background(), q, 1, 0); err != nil {
 			t.Fatal(err)
 		}
 		vaPages += mgr.Stats().LogicalReads
 
 		mgr.ResetStats()
 		mgr.DropCache()
-		if _, err := data.KMLIQ(q, 1, gaussian.CombineAdditive); err != nil {
+		if _, _, err := data.KMLIQ(context.Background(), q, 1, 0); err != nil {
 			t.Fatal(err)
 		}
 		scanPages += mgr.Stats().LogicalReads
@@ -183,16 +184,16 @@ func TestQueryValidation(t *testing.T) {
 	va, _, _, _ := buildWorld(t, 50, 2, 8)
 	bad := pfv.MustNew(0, []float64{1}, []float64{1})
 	good := pfv.MustNew(0, []float64{1, 1}, []float64{1, 1})
-	if _, err := va.KMLIQ(bad, 1); err == nil {
+	if _, _, err := va.KMLIQ(context.Background(), bad, 1, 0); err == nil {
 		t.Error("dimension mismatch should fail")
 	}
-	if _, err := va.KMLIQ(good, 0); err == nil {
+	if _, _, err := va.KMLIQ(context.Background(), good, 0, 0); err == nil {
 		t.Error("k=0 should fail")
 	}
-	if _, err := va.TIQ(bad, 0.5); err == nil {
+	if _, _, err := va.TIQ(context.Background(), bad, 0.5, 0); err == nil {
 		t.Error("TIQ dimension mismatch should fail")
 	}
-	if _, err := va.TIQ(good, 1.5); err == nil {
+	if _, _, err := va.TIQ(context.Background(), good, 1.5, 0); err == nil {
 		t.Error("bad threshold should fail")
 	}
 }

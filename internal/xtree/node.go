@@ -65,19 +65,28 @@ func pagesNeeded(entries, perPage int) int {
 // chained page is a logical page access, also when the decoded form is
 // cached.
 func (t *Tree) readNode(id pagefile.PageID) (*node, error) {
-	if n, ok := t.decoded[id]; ok {
+	return t.readNodeCounted(id, nil)
+}
+
+// readNodeCounted is readNode with the page accesses additionally charged to
+// a per-query counter.
+func (t *Tree) readNodeCounted(id pagefile.PageID, c *pagefile.Counter) (*node, error) {
+	t.decMu.RLock()
+	n, ok := t.decoded[id]
+	t.decMu.RUnlock()
+	if ok {
 		for _, p := range n.pages {
-			if _, err := t.mgr.Read(p); err != nil {
+			if _, err := t.mgr.ReadCounted(p, c); err != nil {
 				return nil, err
 			}
 		}
 		return n, nil
 	}
-	n := &node{id: id}
+	n = &node{id: id}
 	page := id
 	first := true
 	for page != pagefile.NilPage {
-		buf, err := t.mgr.Read(page)
+		buf, err := t.mgr.ReadCounted(page, c)
 		if err != nil {
 			return nil, err
 		}
@@ -131,7 +140,9 @@ func (t *Tree) readNode(id pagefile.PageID) (*node, error) {
 		n.pages = append(n.pages, page)
 		page = cont
 	}
+	t.decMu.Lock()
 	t.decoded[id] = n
+	t.decMu.Unlock()
 	return n, nil
 }
 
@@ -188,7 +199,9 @@ func (t *Tree) writeNode(n *node) error {
 			return err
 		}
 	}
+	t.decMu.Lock()
 	t.decoded[n.id] = n
+	t.decMu.Unlock()
 	return nil
 }
 

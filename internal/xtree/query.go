@@ -1,6 +1,7 @@
 package xtree
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -12,6 +13,11 @@ import (
 	"github.com/gauss-tree/gausstree/internal/rect"
 )
 
+var _ query.Engine = (*Tree)(nil)
+
+// Name identifies the X-tree baseline in engine-agnostic reports.
+func (t *Tree) Name() string { return "x-tree" }
+
 // RangeSearch returns every stored vector whose quantile box intersects the
 // given rectangle (the filter step of the paper's comparison method).
 func (t *Tree) RangeSearch(r rect.Rect) ([]pfv.Vector, error) {
@@ -19,16 +25,26 @@ func (t *Tree) RangeSearch(r rect.Rect) ([]pfv.Vector, error) {
 		return nil, fmt.Errorf("%w: query rectangle dimension %d, tree dimension %d", ErrDimension, r.Dim(), t.dim)
 	}
 	var out []pfv.Vector
-	err := t.walkIntersecting(t.root, r, func(v pfv.Vector) {
+	err := t.walkIntersecting(context.Background(), nil, nil, t.root, r, func(v pfv.Vector) {
 		out = append(out, v)
 	})
 	return out, err
 }
 
-func (t *Tree) walkIntersecting(id pagefile.PageID, r rect.Rect, emit func(pfv.Vector)) error {
-	n, err := t.readNode(id)
+// walkIntersecting traverses every subtree whose box intersects r, checking
+// the context at each node and charging node reads to the per-query counter
+// and stats. Skipping a non-intersecting subtree is what makes the filter an
+// approximation, so it is recorded as early termination.
+func (t *Tree) walkIntersecting(ctx context.Context, c *pagefile.Counter, stats *query.Stats, id pagefile.PageID, r rect.Rect, emit func(pfv.Vector)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	n, err := t.readNodeCounted(id, c)
 	if err != nil {
 		return err
+	}
+	if stats != nil {
+		stats.NodesVisited++
 	}
 	if n.leaf {
 		for _, v := range n.vectors {
@@ -38,11 +54,15 @@ func (t *Tree) walkIntersecting(id pagefile.PageID, r rect.Rect, emit func(pfv.V
 		}
 		return nil
 	}
-	for _, c := range n.children {
-		if c.box.Intersects(r) {
-			if err := t.walkIntersecting(c.page, r, emit); err != nil {
-				return err
+	for _, ch := range n.children {
+		if !ch.box.Intersects(r) {
+			if stats != nil {
+				stats.EarlyTermination = true
 			}
+			continue
+		}
+		if err := t.walkIntersecting(ctx, c, stats, ch.page, r, emit); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -52,52 +72,83 @@ func (t *Tree) walkIntersecting(id pagefile.PageID, r rect.Rect, emit func(pfv.V
 // X-tree method: filter all pfv whose 95% boxes intersect the query's box,
 // then refine by computing exact joint probabilities over the candidate set.
 // The Bayes denominator is taken over the candidates only, so probabilities
-// are upper estimates, and objects outside the filter are false dismissals —
-// exactly the approximation the paper evaluates and criticizes.
-func (t *Tree) KMLIQ(q pfv.Vector, k int) ([]query.Result, error) {
+// are upper estimates (the accuracy parameter is ignored), and objects
+// outside the filter are false dismissals — exactly the approximation the
+// paper evaluates and criticizes.
+func (t *Tree) KMLIQ(ctx context.Context, q pfv.Vector, k int, _ float64) ([]query.Result, query.Stats, error) {
+	return t.kmliq(ctx, q, k, true)
+}
+
+// KMLIQRanked is the ranking-only variant of KMLIQ: the same filter walk,
+// results ordered by joint density with NaN probabilities. The page cost is
+// identical to KMLIQ because the filter dominates.
+func (t *Tree) KMLIQRanked(ctx context.Context, q pfv.Vector, k int) ([]query.Result, query.Stats, error) {
+	return t.kmliq(ctx, q, k, false)
+}
+
+func (t *Tree) kmliq(ctx context.Context, q pfv.Vector, k int, withProbs bool) ([]query.Result, query.Stats, error) {
 	if err := t.checkQuery(q); err != nil {
-		return nil, err
+		return nil, query.Stats{}, err
 	}
 	if k <= 0 {
-		return nil, fmt.Errorf("xtree: k must be positive, got %d", k)
+		return nil, query.Stats{}, fmt.Errorf("xtree: k must be positive, got %d", k)
 	}
-	qbox := t.boxOf(q)
+	var counter pagefile.Counter
+	var stats query.Stats
 	top := pqueue.NewTopK[pfv.Vector](k)
 	var denom gaussian.LogSum
-	if err := t.walkIntersecting(t.root, qbox, func(v pfv.Vector) {
+	err := t.walkIntersecting(ctx, &counter, &stats, t.root, t.boxOf(q), func(v pfv.Vector) {
 		ld := pfv.JointLogDensity(t.cfg.Combiner, v, q)
-		denom.Add(ld)
+		if withProbs {
+			denom.Add(ld)
+		}
 		top.Offer(v, ld)
-	}); err != nil {
-		return nil, err
+		stats.VectorsScored++
+	})
+	stats.PageAccesses = counter.LogicalReads()
+	if err != nil {
+		return nil, stats, err
 	}
 	logDenom := denom.Log()
 	out := make([]query.Result, 0, top.Len())
 	for _, v := range top.Sorted() {
 		ld := pfv.JointLogDensity(t.cfg.Combiner, v, q)
-		p := math.Exp(ld - logDenom)
-		out = append(out, query.Result{Vector: v, LogDensity: ld, Probability: p, ProbLow: p, ProbHigh: p})
+		r := query.Result{
+			Vector: v, LogDensity: ld,
+			Probability: math.NaN(), ProbLow: math.NaN(), ProbHigh: math.NaN(),
+		}
+		if withProbs {
+			p := math.Exp(ld - logDenom)
+			r.Probability, r.ProbLow, r.ProbHigh = p, p, p
+		}
+		out = append(out, r)
 	}
-	return out, nil
+	stats.CandidatesRetained = len(out)
+	return out, stats, nil
 }
 
 // TIQ approximates a threshold identification query with the same
 // filter-and-refine method. See KMLIQ for the approximation caveats.
-func (t *Tree) TIQ(q pfv.Vector, pTheta float64) ([]query.Result, error) {
+func (t *Tree) TIQ(ctx context.Context, q pfv.Vector, pTheta float64, _ float64) ([]query.Result, query.Stats, error) {
 	if err := t.checkQuery(q); err != nil {
-		return nil, err
+		return nil, query.Stats{}, err
 	}
 	if pTheta < 0 || pTheta > 1 {
-		return nil, fmt.Errorf("xtree: threshold %v outside [0,1]", pTheta)
+		return nil, query.Stats{}, fmt.Errorf("xtree: threshold %v outside [0,1]", pTheta)
 	}
+	var counter pagefile.Counter
+	var stats query.Stats
 	qbox := t.boxOf(q)
 	var cands []pfv.Vector
 	var denom gaussian.LogSum
-	if err := t.walkIntersecting(t.root, qbox, func(v pfv.Vector) {
+	err := t.walkIntersecting(ctx, &counter, &stats, t.root, qbox, func(v pfv.Vector) {
 		denom.Add(pfv.JointLogDensity(t.cfg.Combiner, v, q))
 		cands = append(cands, v)
-	}); err != nil {
-		return nil, err
+		stats.VectorsScored++
+	})
+	stats.PageAccesses = counter.LogicalReads()
+	if err != nil {
+		return nil, stats, err
 	}
 	logDenom := denom.Log()
 	var out []query.Result
@@ -108,8 +159,9 @@ func (t *Tree) TIQ(q pfv.Vector, pTheta float64) ([]query.Result, error) {
 			out = append(out, query.Result{Vector: v, LogDensity: ld, Probability: p, ProbLow: p, ProbHigh: p})
 		}
 	}
+	stats.CandidatesRetained = len(out)
 	query.SortByProbability(out)
-	return out, nil
+	return out, stats, nil
 }
 
 func (t *Tree) checkQuery(q pfv.Vector) error {

@@ -18,6 +18,7 @@ package xtree
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"github.com/gauss-tree/gausstree/internal/gaussian"
 	"github.com/gauss-tree/gausstree/internal/pagefile"
@@ -53,8 +54,8 @@ func (c *Config) fillDefaults() {
 	}
 }
 
-// Tree is an X-tree over quantile-box approximations of pfv. It is not safe
-// for concurrent use.
+// Tree is an X-tree over quantile-box approximations of pfv. It is safe for
+// concurrent readers; Insert requires external exclusion.
 type Tree struct {
 	mgr    *pagefile.Manager
 	dim    int
@@ -69,9 +70,11 @@ type Tree struct {
 	minLeaf      int
 	minInner     int
 
-	// decoded caches parsed nodes by head page id. Logical page accesses
-	// (including every page of a supernode chain) are still charged against
-	// the manager on each read.
+	// decoded caches parsed nodes by head page id, guarded by decMu so
+	// parallel queries can share it. Logical page accesses (including every
+	// page of a supernode chain) are still charged against the manager on
+	// each read.
+	decMu   sync.RWMutex
 	decoded map[pagefile.PageID]*node
 }
 

@@ -1,6 +1,7 @@
 package xtree
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"testing"
@@ -149,7 +150,7 @@ func TestKMLIQSelfQuery(t *testing.T) {
 			mean[i] = src.Mean[i] + rng.NormFloat64()*0.1
 		}
 		q := pfv.MustNew(0, mean, sigma)
-		res, err := tr.KMLIQ(q, 1)
+		res, _, err := tr.KMLIQ(context.Background(), q, 1, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -173,7 +174,7 @@ func TestTIQFiltersOnThreshold(t *testing.T) {
 	}
 	q := vs[13].Clone()
 	q.ID = 0
-	res, err := tr.TIQ(q, 0.3)
+	res, _, err := tr.TIQ(context.Background(), q, 0.3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,13 +232,13 @@ func TestQueryValidation(t *testing.T) {
 	tr := newXTree(t, 2, 512, Config{})
 	good := pfv.MustNew(0, []float64{1, 1}, []float64{1, 1})
 	bad := pfv.MustNew(0, []float64{1}, []float64{1})
-	if _, err := tr.KMLIQ(bad, 1); err == nil {
+	if _, _, err := tr.KMLIQ(context.Background(), bad, 1, 0); err == nil {
 		t.Error("dimension mismatch should fail")
 	}
-	if _, err := tr.KMLIQ(good, 0); err == nil {
+	if _, _, err := tr.KMLIQ(context.Background(), good, 0, 0); err == nil {
 		t.Error("k=0 should fail")
 	}
-	if _, err := tr.TIQ(good, 2); err == nil {
+	if _, _, err := tr.TIQ(context.Background(), good, 2, 0); err == nil {
 		t.Error("threshold > 1 should fail")
 	}
 	if _, err := tr.RangeSearch(rect.MustNew([]float64{0}, []float64{1})); err == nil {
