@@ -8,9 +8,11 @@ package gausstree_test
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"testing"
 
+	gausstree "github.com/gauss-tree/gausstree"
 	"github.com/gauss-tree/gausstree/internal/dataset"
 	"github.com/gauss-tree/gausstree/internal/eval"
 	"github.com/gauss-tree/gausstree/internal/gaussian"
@@ -325,6 +327,47 @@ func BenchmarkKMLIQRefined(b *testing.B) {
 			return err
 		}, w.qs)
 	})
+}
+
+// BenchmarkReopen measures the build-once/query-forever path of the durable
+// storage engine: each iteration cold-opens the persisted DS1 index (fresh
+// manager, empty buffer cache) and runs the first k-MLIQ query against it.
+// pages/query is the logical page-access cost of that first cold query —
+// the latency a restarted server pays before its cache warms up.
+func BenchmarkReopen(b *testing.B) {
+	w := benchDS1(b)
+	path := filepath.Join(b.TempDir(), "reopen.gtree")
+	tr, err := gausstree.New(w.ds.Dim, gausstree.Options{Path: path})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tr.BulkLoad(w.ds.Vectors); err != nil {
+		b.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var pages uint64
+	for i := 0; i < b.N; i++ {
+		re, err := gausstree.Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, stats, err := re.KMLIQContext(ctx, w.qs[i%len(w.qs)].Vector, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pages += stats.PageAccesses
+		if err := re.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(pages)/float64(b.N), "pages/query")
 }
 
 // BenchmarkBatchExecutor measures concurrent ranked-query throughput on one

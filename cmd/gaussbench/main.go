@@ -27,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	gausstree "github.com/gauss-tree/gausstree"
 	"github.com/gauss-tree/gausstree/internal/core"
 	"github.com/gauss-tree/gausstree/internal/dataset"
 	"github.com/gauss-tree/gausstree/internal/eval"
@@ -37,7 +38,7 @@ import (
 
 func main() {
 	var (
-		exps     = flag.String("exp", "all", "comma-separated experiments: fig1,fig6a,fig6b,fig7ds1,fig7ds2,headline,ablations,all")
+		exps     = flag.String("exp", "all", "comma-separated experiments: fig1,fig6a,fig6b,fig7ds1,fig7ds2,headline,ablations,reopen,all")
 		quick    = flag.Bool("quick", false, "reduced data sizes (for smoke testing)")
 		n1       = flag.Int("n1", 10987, "data set 1 size (paper: 10987)")
 		n2       = flag.Int("n2", 100000, "data set 2 size (paper: 100000)")
@@ -97,6 +98,9 @@ func main() {
 	if run("ablations") {
 		b.ablations()
 	}
+	if run("reopen") {
+		b.reopen()
+	}
 	if *jsonPath != "" {
 		b.writeJSON(*jsonPath)
 	}
@@ -119,12 +123,25 @@ type ablationRow struct {
 	Recall    *float64 `json:",omitempty"` // recall@1; nil when not measured
 }
 
+// reopenReport measures the durable engine's build-once/query-forever path
+// on data set 1: cold Open latency, the page-access cost of the first
+// (cold-cache) k-MLIQ query, and the steady mean over the full query set.
+type reopenReport struct {
+	Vectors         int
+	IndexBytes      int64
+	BuildMillis     float64
+	OpenMillis      float64
+	FirstQueryPages uint64
+	PagesPerQuery   float64
+}
+
 // benchOutput is the machine-readable result set emitted by -json.
 type benchOutput struct {
 	Params    benchParams
 	Fig6      []*eval.Fig6Report `json:",omitempty"`
 	Fig7      []*eval.Fig7Report `json:",omitempty"`
 	Ablations []ablationRow      `json:",omitempty"`
+	Reopen    *reopenReport      `json:",omitempty"`
 }
 
 type bench struct {
@@ -363,6 +380,60 @@ func (b *bench) ablateEngines() {
 		})
 	}
 	fmt.Println()
+}
+
+// reopen measures the durable storage engine: build the DS1 index into a
+// page file once, close it, then cold-open it and query — the restart path
+// a production deployment takes.
+func (b *bench) reopen() {
+	b.loadDS1()
+	fmt.Println("=== Reopen: durable index, cold Open + k-MLIQ (DS1) ===")
+	dir, err := os.MkdirTemp("", "gaussbench-reopen")
+	check(err)
+	defer os.RemoveAll(dir)
+	path := dir + "/ds1.gtree"
+
+	start := time.Now()
+	tr, err := gausstree.New(b.ds1.Dim, gausstree.Options{Path: path, PageSize: b.pageSize})
+	check(err)
+	check(tr.BulkLoad(b.ds1.Vectors))
+	check(tr.Close())
+	buildTime := time.Since(start)
+	info, err := os.Stat(path)
+	check(err)
+
+	start = time.Now()
+	re, err := gausstree.Open(path)
+	check(err)
+	defer re.Close()
+	openTime := time.Since(start)
+
+	ctx := context.Background()
+	var first, total uint64
+	for i, q := range b.qs1 {
+		_, st, err := re.KMLIQContext(ctx, q.Vector, 1)
+		check(err)
+		if i == 0 {
+			first = st.PageAccesses
+		}
+		total += st.PageAccesses
+	}
+	rep := &reopenReport{
+		Vectors:         len(b.ds1.Vectors),
+		IndexBytes:      info.Size(),
+		BuildMillis:     float64(buildTime.Microseconds()) / 1e3,
+		OpenMillis:      float64(openTime.Microseconds()) / 1e3,
+		FirstQueryPages: first,
+		PagesPerQuery:   float64(total) / float64(len(b.qs1)),
+	}
+	fmt.Printf("%-28s %12d\n", "vectors", rep.Vectors)
+	fmt.Printf("%-28s %12d\n", "index bytes", rep.IndexBytes)
+	fmt.Printf("%-28s %12.1f\n", "build+close ms", rep.BuildMillis)
+	fmt.Printf("%-28s %12.3f\n", "cold Open ms", rep.OpenMillis)
+	fmt.Printf("%-28s %12d\n", "first query pages", rep.FirstQueryPages)
+	fmt.Printf("%-28s %12.1f\n", "pages/query (all)", rep.PagesPerQuery)
+	fmt.Println()
+	b.out.Reopen = rep
 }
 
 // writeJSON emits the collected measurements machine-readably.

@@ -1,10 +1,17 @@
-// Command gausscli loads a CSV of probabilistic feature vectors into a
-// Gauss-tree and answers identification queries from the command line.
+// Command gausscli loads probabilistic feature vectors into a Gauss-tree
+// and answers identification queries from the command line.
 //
 // Usage:
 //
 //	gausscli -data faces.csv -kmliq "0.52,0.05,0.33,0.08" -k 5
 //	gausscli -data faces.csv -tiq "0.52,0.05,0.33,0.08" -p 0.1
+//
+// With -index the tree is persisted: build it once from CSV, then answer
+// queries from the durable index in later invocations without reloading the
+// data —
+//
+//	gausscli -data faces.csv -index faces.gtree            # build once
+//	gausscli -index faces.gtree -kmliq "0.52,0.05,..."     # query forever
 //
 // Query vectors are given as comma-separated mu,sigma pairs.
 package main
@@ -22,33 +29,46 @@ import (
 
 func main() {
 	var (
-		data  = flag.String("data", "", "CSV of database pfv (required)")
+		data  = flag.String("data", "", "CSV of database pfv (required unless -index points at a built index)")
+		index = flag.String("index", "", "persistent index file: built from -data when given, reopened otherwise")
 		kmliq = flag.String("kmliq", "", "k-MLIQ query: mu_1,sigma_1,...")
 		tiq   = flag.String("tiq", "", "TIQ query: mu_1,sigma_1,...")
 		k     = flag.Int("k", 3, "result count for -kmliq")
 		p     = flag.Float64("p", 0.1, "probability threshold for -tiq")
 	)
 	flag.Parse()
-	if *data == "" || (*kmliq == "" && *tiq == "") {
+	buildOnly := *data != "" && *index != "" && *kmliq == "" && *tiq == ""
+	if (*data == "" && *index == "") || (*kmliq == "" && *tiq == "" && !buildOnly) {
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	f, err := os.Open(*data)
-	fail(err)
-	vectors, err := pfv.ReadCSV(f)
-	fail(f.Close())
-	fail(err)
-	if len(vectors) == 0 {
-		fail(fmt.Errorf("no vectors in %s", *data))
+	var tree *gausstree.Tree
+	switch {
+	case *data != "":
+		vectors := readData(*data)
+		dim := vectors[0].Dim()
+		var err error
+		if *index != "" {
+			tree, err = gausstree.New(dim, gausstree.Options{Path: *index})
+		} else {
+			tree, err = gausstree.New(dim)
+		}
+		fail(err)
+		fail(tree.BulkLoad(vectors))
+		if *index != "" {
+			fmt.Printf("built %s: %d vectors (%d-d), tree height %d\n", *index, tree.Len(), dim, tree.Height())
+		} else {
+			fmt.Printf("loaded %d vectors (%d-d), tree height %d\n", tree.Len(), dim, tree.Height())
+		}
+	default:
+		var err error
+		tree, err = gausstree.Open(*index)
+		fail(err)
+		fmt.Printf("opened %s: %d vectors (%d-d), tree height %d\n", *index, tree.Len(), tree.Dim(), tree.Height())
 	}
-	dim := vectors[0].Dim()
-
-	tree, err := gausstree.New(dim)
-	fail(err)
 	defer tree.Close()
-	fail(tree.BulkLoad(vectors))
-	fmt.Printf("loaded %d vectors (%d-d), tree height %d\n", tree.Len(), dim, tree.Height())
+	dim := tree.Dim()
 
 	if *kmliq != "" {
 		q := parseQuery(*kmliq, dim)
@@ -64,6 +84,18 @@ func main() {
 		fmt.Printf("objects with P(v|q) >= %v:\n", *p)
 		printMatches(matches)
 	}
+}
+
+func readData(path string) []pfv.Vector {
+	f, err := os.Open(path)
+	fail(err)
+	vectors, err := pfv.ReadCSV(f)
+	fail(f.Close())
+	fail(err)
+	if len(vectors) == 0 {
+		fail(fmt.Errorf("no vectors in %s", path))
+	}
+	return vectors
 }
 
 func parseQuery(s string, dim int) gausstree.Vector {

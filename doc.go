@@ -27,6 +27,27 @@
 //	matches, _ := tree.KMostLikely(q, 1)
 //	fmt.Println(matches[0].Vector.ID, matches[0].Probability)
 //
+// # Persistence
+//
+// With Options.Path the index lives in a durable page file and every
+// mutation is crash-safely committed before it returns; Open reattaches a
+// persisted index, restoring page size, σ-combiner and tree geometry from
+// the file itself:
+//
+//	tree, _ := gausstree.New(2, gausstree.Options{Path: "objects.gtree"})
+//	tree.BulkLoad(vectors)
+//	tree.Close()
+//
+//	re, _ := gausstree.Open("objects.gtree")
+//	matches, _ := re.KMostLikely(q, 5) // byte-identical to pre-Close results
+//
+// The storage engine shadow-pages every mutation (copy-on-write node
+// rewrites sealed by a double-buffered, checksummed meta commit), so a
+// process killed at any point reopens to the tree as of its last completed
+// Insert, InsertAll, Delete or BulkLoad. New refuses a path that already
+// holds an index; Sync offers an explicit flush barrier. See the README's
+// "Persistence & file format" section for the on-disk layout.
+//
 // # Context-aware queries and statistics
 //
 // Every query has a context-aware variant — KMLIQContext, KMLIQRankedContext,
@@ -49,8 +70,9 @@
 // package:
 //
 //	pfv       probabilistic feature vectors and Lemma-1 densities
-//	pagefile  paged storage, buffer cache, I/O accounting (per-query Counter)
-//	core      the Gauss-tree itself over pagefile
+//	pagefile  paged storage, buffer cache, I/O accounting (per-query
+//	          Counter), durable file format, meta commits, fault injection
+//	core      the Gauss-tree itself over pagefile (shadow-paged mutations)
 //	scan/vafile/xtree  competitor backends on the same substrate
 //	query     the Engine interface all four backends implement,
 //	          result types and the concurrent BatchExecutor

@@ -1,19 +1,29 @@
 // Quickstart: build a Gauss-tree over a handful of probabilistic feature
-// vectors and run both identification query types.
+// vectors, run both identification query types, then persist the index to a
+// file and reopen it — the build-once/query-forever workflow.
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
 	gausstree "github.com/gauss-tree/gausstree"
 )
 
 func main() {
-	// A tiny database of 2-dimensional uncertain observations. Each object
-	// carries per-feature standard deviations expressing how precisely its
-	// features were measured.
-	tree, err := gausstree.New(2)
+	// A tiny database of 2-dimensional uncertain observations, persisted in
+	// a durable index file. Each object carries per-feature standard
+	// deviations expressing how precisely its features were measured.
+	dir, err := os.MkdirTemp("", "gausstree-quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "observations.gtree")
+
+	tree, err := gausstree.New(2, gausstree.Options{Path: path})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,4 +60,23 @@ func main() {
 	for _, m := range hits {
 		fmt.Printf("  object %d with probability %.1f%%\n", m.Vector.ID, 100*m.Probability)
 	}
+
+	// Every mutation is durably committed, so the index survives Close (or
+	// a crash): reopen it and query again without rebuilding. The page
+	// size, σ-combiner and tree geometry all come from the file itself.
+	if err := tree.Close(); err != nil {
+		log.Fatal(err)
+	}
+	reopened, err := gausstree.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer reopened.Close()
+	fmt.Printf("reopened %s: %d vectors, height %d\n", filepath.Base(path), reopened.Len(), reopened.Height())
+	matches, err = reopened.KMostLikely(q, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  best match after reopen: object %d with probability %.1f%%\n",
+		matches[0].Vector.ID, 100*matches[0].Probability)
 }

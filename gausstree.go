@@ -79,13 +79,18 @@ type Match struct {
 
 // Options configure a Tree.
 type Options struct {
-	// PageSize is the storage page size in bytes (default 8192).
+	// PageSize is the storage page size in bytes (default 8192). For a tree
+	// reattached with Open the page size always comes from the file header
+	// and this field is ignored.
 	PageSize int
 	// CacheBytes is the buffer cache budget (default 50 MB).
 	CacheBytes int
-	// Combiner is the σ-combination rule (default CombineAdditive).
+	// Combiner is the σ-combination rule (default CombineAdditive). It is
+	// persisted in the index meta record; Open restores the combiner the
+	// tree was built with and ignores this field.
 	Combiner Combiner
 	// Path, when non-empty, stores the index in a file instead of memory.
+	// New refuses a path that already holds an index (reattach with Open).
 	Path string
 	// Accuracy is the default absolute accuracy of reported probabilities
 	// (default 1e-6). Lower accuracy (larger values) lets queries stop
@@ -117,7 +122,10 @@ type Tree struct {
 // ErrClosed is returned by operations on a closed tree.
 var ErrClosed = errors.New("gausstree: tree is closed")
 
-// New creates an empty Gauss-tree for vectors of the given dimension.
+// New creates an empty Gauss-tree for vectors of the given dimension. With
+// Options.Path the index lives in a durable page file; a path that already
+// holds an index is rejected so New can never clobber persisted data —
+// reattach existing indexes with Open.
 func New(dim int, opts ...Options) (*Tree, error) {
 	var o Options
 	if len(opts) > 0 {
@@ -127,7 +135,7 @@ func New(dim int, opts ...Options) (*Tree, error) {
 
 	var backend pagefile.Backend
 	if o.Path != "" {
-		fb, err := pagefile.OpenFile(o.Path, o.PageSize)
+		fb, err := pagefile.CreateFile(o.Path, o.PageSize)
 		if err != nil {
 			return nil, err
 		}
@@ -137,9 +145,47 @@ func New(dim int, opts ...Options) (*Tree, error) {
 	}
 	mgr, err := pagefile.NewManager(backend, o.PageSize, pagefile.WithCacheBytes(o.CacheBytes))
 	if err != nil {
+		backend.Close()
 		return nil, err
 	}
 	tr, err := core.New(mgr, dim, core.Config{Combiner: o.Combiner})
+	if err != nil {
+		mgr.Close()
+		return nil, err
+	}
+	return &Tree{tree: tr, mgr: mgr, opts: o}, nil
+}
+
+// Open reattaches a Gauss-tree previously persisted at path. Everything the
+// tree needs is restored from the file: the page size from the versioned
+// header, and the root page, dimension, vector count and build
+// configuration (σ-combiner, split objectives) from the last committed meta
+// record — so queries against a reopened index return byte-identical
+// results. Options may tune the cache budget and probability accuracy;
+// PageSize and Combiner are taken from the file and ignored.
+//
+// Recovery is crash-safe: the double-buffered meta page always yields the
+// last fully committed state, so a process killed mid-mutation reopens to a
+// consistent tree as of its last completed Insert/InsertAll/Delete/BulkLoad.
+func Open(path string, opts ...Options) (*Tree, error) {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	o.Path = path
+	o.fillDefaults()
+
+	fb, err := pagefile.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	o.PageSize = fb.PageSize()
+	mgr, err := pagefile.NewManager(fb, fb.PageSize(), pagefile.WithCacheBytes(o.CacheBytes))
+	if err != nil {
+		fb.Close()
+		return nil, err
+	}
+	tr, err := core.Open(mgr)
 	if err != nil {
 		mgr.Close()
 		return nil, err
@@ -171,6 +217,12 @@ func (t *Tree) Height() int {
 // Insert adds a probabilistic feature vector to the index. Duplicate ids are
 // permitted (several observations of the same object may coexist); Delete
 // removes one matching copy.
+//
+// Mutations are durably committed before they return. If a mutation fails
+// mid-flight (an I/O error, not input validation), the tree refuses all
+// further mutations to protect the committed on-disk state; Close it and
+// reattach with Open to recover the state as of the last completed
+// mutation. This applies to Insert, InsertAll, BulkLoad and Delete alike.
 func (t *Tree) Insert(v Vector) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -313,7 +365,20 @@ func (t *Tree) ForEach(fn func(Vector) error) error {
 	return t.tree.ForEach(fn)
 }
 
-// Close releases the underlying storage. The tree is unusable afterwards.
+// Sync flushes all written pages to stable storage. Mutations are already
+// durably committed when they return; Sync exists for callers that bypass
+// the commit path or want an explicit barrier.
+func (t *Tree) Sync() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.tree == nil {
+		return ErrClosed
+	}
+	return t.mgr.Sync()
+}
+
+// Close flushes the underlying storage to disk and releases it. The tree is
+// unusable afterwards; a file-backed index can be reattached with Open.
 func (t *Tree) Close() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()

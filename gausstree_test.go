@@ -313,6 +313,137 @@ func TestFileBackedTree(t *testing.T) {
 	}
 }
 
+// TestPersistenceRoundTrip is the round-trip conformance check of the
+// durable storage engine: build an index at a path, run all three query
+// types, Close, Open the same path in a fresh Tree, and require
+// byte-identical results plus matching geometry.
+func TestPersistenceRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "roundtrip.gtree")
+	tree, err := gausstree.New(3, gausstree.Options{Path: path, PageSize: 2048, Combiner: gausstree.CombineConvolution})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	vs := randomWorld(rng, 400, 3)
+	if err := tree.BulkLoad(vs[:300]); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.InsertAll(vs[300:]); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vs[:25] {
+		if ok, err := tree.Delete(v); err != nil || !ok {
+			t.Fatalf("delete: ok=%v err=%v", ok, err)
+		}
+	}
+
+	queries := make([]gausstree.Vector, 8)
+	for i := range queries {
+		src := vs[30+i*17]
+		queries[i] = gausstree.MustVector(0, src.Mean, src.Sigma)
+	}
+	type answers struct {
+		kmliq, ranked, tiq []gausstree.Match
+	}
+	ask := func(tr *gausstree.Tree, q gausstree.Vector) answers {
+		t.Helper()
+		var a answers
+		var err error
+		if a.kmliq, err = tr.KMostLikely(q, 5); err != nil {
+			t.Fatal(err)
+		}
+		if a.ranked, err = tr.KMostLikelyRanked(q, 5); err != nil {
+			t.Fatal(err)
+		}
+		if a.tiq, err = tr.Threshold(q, 0.05); err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	// Bit-identical float comparison that treats NaN (ranked queries carry
+	// NaN probabilities) as equal to itself.
+	eqF := func(a, b float64) bool {
+		return a == b || (math.IsNaN(a) && math.IsNaN(b))
+	}
+	sameMatches := func(kind string, a, b []gausstree.Match) {
+		t.Helper()
+		if len(a) != len(b) {
+			t.Fatalf("%s: %d vs %d results after reopen", kind, len(a), len(b))
+		}
+		for i := range a {
+			identical := a[i].Vector.ID == b[i].Vector.ID &&
+				eqF(a[i].LogDensity, b[i].LogDensity) &&
+				eqF(a[i].Probability, b[i].Probability) &&
+				eqF(a[i].ProbLow, b[i].ProbLow) &&
+				eqF(a[i].ProbHigh, b[i].ProbHigh)
+			if !identical {
+				t.Errorf("%s result %d differs after reopen: %+v vs %+v", kind, i, a[i], b[i])
+			}
+		}
+	}
+	before := make([]answers, len(queries))
+	for i, q := range queries {
+		before[i] = ask(tree, q)
+	}
+	wantLen, wantDim, wantHeight := tree.Len(), tree.Dim(), tree.Height()
+	if err := tree.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := gausstree.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != wantLen || re.Dim() != wantDim || re.Height() != wantHeight {
+		t.Errorf("reopened Len/Dim/Height = %d/%d/%d, want %d/%d/%d",
+			re.Len(), re.Dim(), re.Height(), wantLen, wantDim, wantHeight)
+	}
+	if err := re.CheckInvariants(); err != nil {
+		t.Errorf("reopened invariants: %v", err)
+	}
+	for i, q := range queries {
+		after := ask(re, q)
+		sameMatches("k-MLIQ", before[i].kmliq, after.kmliq)
+		sameMatches("ranked", before[i].ranked, after.ranked)
+		sameMatches("TIQ", before[i].tiq, after.tiq)
+	}
+	if err := re.Sync(); err != nil {
+		t.Errorf("Sync on reopened tree: %v", err)
+	}
+}
+
+// TestNewRejectsExistingIndex: New must never clobber a persisted index.
+func TestNewRejectsExistingIndex(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "keep.gtree")
+	tree, err := gausstree.New(2, gausstree.Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Insert(gausstree.MustVector(1, []float64{1, 2}, []float64{0.1, 0.1})); err != nil {
+		t.Fatal(err)
+	}
+	tree.Close()
+	if _, err := gausstree.New(2, gausstree.Options{Path: path}); err == nil {
+		t.Fatal("New over an existing index should be rejected")
+	}
+	// The original index is untouched and still opens.
+	re, err := gausstree.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 1 {
+		t.Errorf("index damaged by rejected New: Len = %d", re.Len())
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	if _, err := gausstree.Open(filepath.Join(t.TempDir(), "nope.gtree")); err == nil {
+		t.Error("opening a missing index should fail")
+	}
+}
+
 func TestClosedTreeOperations(t *testing.T) {
 	tree, _ := gausstree.New(2)
 	tree.Close()

@@ -27,6 +27,16 @@ func (t *Tree) BulkLoad(vs []pfv.Vector) error {
 	if len(vs) == 0 {
 		return nil
 	}
+	if err := t.mutable(); err != nil {
+		return err
+	}
+	if err := t.bulkLoad(vs); err != nil {
+		return t.fail(err)
+	}
+	return nil
+}
+
+func (t *Tree) bulkLoad(vs []pfv.Vector) error {
 	work := append([]pfv.Vector(nil), vs...)
 
 	// Recursively partition into k near-full leaf runs: splitting by target
@@ -91,15 +101,16 @@ func (t *Tree) BulkLoad(vs []pfv.Vector) error {
 		height++
 	}
 
-	// The previous (empty) root page is superseded.
-	t.mgr.Free(t.root)
+	// The previous (empty) root page is superseded; its release is deferred
+	// so a crash before the commit below still recovers the empty tree.
 	t.decMu.Lock()
 	delete(t.decoded, t.root)
 	t.decMu.Unlock()
+	t.mgr.FreeDeferred(t.root)
 	t.root = level[0].page
 	t.height = height
 	t.count = len(vs)
-	return nil
+	return t.commitMeta()
 }
 
 // bestBulkAxis picks the split axis for a partition by evaluating the

@@ -17,10 +17,32 @@ import (
 // Deletion is not described in the paper; this is the standard R-tree-family
 // algorithm adapted to the Gauss-tree's parameter-space boxes, provided for
 // production completeness.
+//
+// Like Insert, the whole mutation (including condensation re-inserts) is
+// shadow-paged and sealed by one meta commit; a crash mid-delete recovers
+// the tree as of the previous commit. A failed Delete poisons the tree
+// (further mutations are refused); reopen from the page store to recover.
 func (t *Tree) Delete(v pfv.Vector) (bool, error) {
 	if v.Dim() != t.dim {
 		return false, fmt.Errorf("%w: vector dimension %d, tree dimension %d", ErrDimension, v.Dim(), t.dim)
 	}
+	if err := t.mutable(); err != nil {
+		return false, err
+	}
+	found, err := t.delete(v)
+	if err != nil {
+		return false, t.fail(err)
+	}
+	if !found {
+		return false, nil
+	}
+	if err := t.commitMeta(); err != nil {
+		return false, t.fail(err)
+	}
+	return true, nil
+}
+
+func (t *Tree) delete(v pfv.Vector) (bool, error) {
 	path, found, err := t.findPath(v)
 	if err != nil || !found {
 		return false, err
@@ -54,9 +76,10 @@ func (t *Tree) Delete(v pfv.Vector) (bool, error) {
 			}
 			parent.children = append(parent.children[:idx], parent.children[idx+1:]...)
 		} else {
-			if err := t.writeNode(child); err != nil {
+			if err := t.rewriteNode(child); err != nil {
 				return false, err
 			}
+			parent.children[idx].page = child.id
 			parent.children[idx].box = child.computeBox(t.dim)
 			parent.children[idx].count = child.subtreeCount()
 		}
@@ -66,9 +89,10 @@ func (t *Tree) Delete(v pfv.Vector) (bool, error) {
 	// child is now the root. Shrink it while it is an inner node with a
 	// single child.
 	root := child
-	if err := t.writeNode(root); err != nil {
+	if err := t.rewriteNode(root); err != nil {
 		return false, err
 	}
+	t.root = root.id
 	for !root.leaf && len(root.children) == 1 {
 		oldID := root.id
 		next, err := t.readNode(root.children[0].page)
@@ -78,24 +102,35 @@ func (t *Tree) Delete(v pfv.Vector) (bool, error) {
 		t.decMu.Lock()
 		delete(t.decoded, oldID)
 		t.decMu.Unlock()
-		t.mgr.Free(oldID)
+		t.mgr.FreeDeferred(oldID)
 		root = next
 		t.root = root.id
 		t.height--
 	}
 	if !root.leaf && len(root.children) == 0 {
-		// The tree emptied out entirely: restart with an empty leaf root.
-		root = &node{id: root.id, leaf: true}
+		// The tree emptied out entirely: restart with an empty leaf root on
+		// a fresh page (the old root page is still part of the committed
+		// tree and must survive until the commit).
+		t.decMu.Lock()
+		delete(t.decoded, root.id)
+		t.decMu.Unlock()
+		t.mgr.FreeDeferred(root.id)
+		rootID, err := t.mgr.Allocate()
+		if err != nil {
+			return false, err
+		}
+		root = &node{id: rootID, leaf: true}
+		t.root = rootID
 		t.height = 1
 		if err := t.writeNode(root); err != nil {
 			return false, err
 		}
 	}
 
-	// Re-insert orphans through the regular path.
+	// Re-insert orphans through the regular path, under the same commit.
 	t.count -= len(reinsert)
 	for _, w := range reinsert {
-		if err := t.Insert(w); err != nil {
+		if err := t.insert(w); err != nil {
 			return false, err
 		}
 	}
@@ -170,7 +205,9 @@ func (t *Tree) collectVectors(n *node) ([]pfv.Vector, error) {
 }
 
 // freeNodeSubtree frees the pages of an already loaded node and all its
-// descendants.
+// descendants, deferred: the pages belong to the last committed tree, so
+// reusing them before the next commit (e.g. for this delete's condensation
+// re-inserts) would overwrite committed state in place.
 func (t *Tree) freeNodeSubtree(n *node) error {
 	if !n.leaf {
 		for _, c := range n.children {
@@ -182,6 +219,6 @@ func (t *Tree) freeNodeSubtree(n *node) error {
 	t.decMu.Lock()
 	delete(t.decoded, n.id)
 	t.decMu.Unlock()
-	t.mgr.Free(n.id)
+	t.mgr.FreeDeferred(n.id)
 	return nil
 }

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/gauss-tree/gausstree/internal/gaussian"
+	"github.com/gauss-tree/gausstree/internal/pfv"
+)
+
+// FuzzNodeCodec fuzzes the on-page node encoding: arbitrary page images
+// must either be rejected with an error or decode to a node whose canonical
+// re-encoding is stable under a further decode/encode cycle. Corrupt pages
+// (truncated entries, unknown kinds, garbage floats) must never panic —
+// with per-page checksums a corrupt page should normally be caught below
+// this layer, but the decoder is the last line of defense.
+func FuzzNodeCodec(f *testing.F) {
+	leaf := &node{leaf: true, vectors: []pfv.Vector{
+		pfv.MustNew(1, []float64{0.5, 1.5}, []float64{0.1, 0.2}),
+		pfv.MustNew(2, []float64{-3, 2}, []float64{1, 0.5}),
+	}}
+	inner := &node{children: []childEntry{
+		{page: 7, count: 12, box: ParamBox{
+			Mu:    []gaussian.Interval{{Lo: 0, Hi: 1}, {Lo: -1, Hi: 2}},
+			Sigma: []gaussian.Interval{{Lo: 0.1, Hi: 0.5}, {Lo: 0.2, Hi: 0.9}},
+		}},
+	}}
+	f.Add(encodeNode(leaf, 2), uint8(2))
+	f.Add(encodeNode(inner, 2), uint8(2))
+	f.Add([]byte{}, uint8(1))
+	f.Add([]byte{3, 0, 0}, uint8(1)) // unknown node kind
+	f.Fuzz(func(t *testing.T, page []byte, dimRaw uint8) {
+		dim := int(dimRaw%6) + 1
+		n, err := decodeNode(0, page, dim)
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		enc := encodeNode(n, dim)
+		n2, err := decodeNode(0, enc, dim)
+		if err != nil {
+			t.Fatalf("re-decode of canonical encoding failed: %v", err)
+		}
+		if n2.leaf != n.leaf || n2.entryCount() != n.entryCount() {
+			t.Fatalf("round trip changed node shape: leaf %v/%v, entries %d/%d",
+				n.leaf, n2.leaf, n.entryCount(), n2.entryCount())
+		}
+		if !bytes.Equal(encodeNode(n2, dim), enc) {
+			t.Fatal("canonical encoding is not a fixed point")
+		}
+	})
+}

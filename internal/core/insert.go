@@ -22,7 +22,31 @@ type pathStep struct {
 // none; and when several children contain the new vector, probe the
 // containment paths for a leaf the vector fits into exactly. Node overflows
 // are resolved by the median split minimizing the configured objective.
+//
+// The mutation is shadow-paged (every dirtied node moves to a fresh page)
+// and sealed by a meta commit, so a crash mid-insert recovers the tree as of
+// the previous commit. A failed Insert poisons the tree: further mutations
+// are refused, because committing on top of a partially applied mutation
+// could durably corrupt the index — reopen from the page store to recover.
 func (t *Tree) Insert(v pfv.Vector) error {
+	if v.Dim() != t.dim {
+		return fmt.Errorf("%w: vector dimension %d, tree dimension %d", ErrDimension, v.Dim(), t.dim)
+	}
+	if err := t.mutable(); err != nil {
+		return err
+	}
+	if err := t.insert(v); err != nil {
+		return t.fail(err)
+	}
+	if err := t.commitMeta(); err != nil {
+		return t.fail(err)
+	}
+	return nil
+}
+
+// insert is Insert without the meta commit, for batching mutations under a
+// single commit.
+func (t *Tree) insert(v pfv.Vector) error {
 	if v.Dim() != t.dim {
 		return fmt.Errorf("%w: vector dimension %d, tree dimension %d", ErrDimension, v.Dim(), t.dim)
 	}
@@ -34,13 +58,14 @@ func (t *Tree) Insert(v pfv.Vector) error {
 	leaf.vectors = append(leaf.vectors, v)
 	t.count++
 
-	// Resolve a possible leaf overflow, then propagate box/count updates and
-	// splits toward the root.
+	// Resolve a possible leaf overflow, then propagate box/count/page-id
+	// updates and splits toward the root. Every write is copy-on-write, so
+	// each dirtied node's id changes and the parent entry must follow it.
 	var splitOff *childEntry // the new sibling produced by a split, if any
 	if len(leaf.vectors) > t.capLeaf {
 		splitOff, err = t.splitNode(leaf)
 	} else {
-		err = t.writeNode(leaf)
+		err = t.rewriteNode(leaf)
 	}
 	if err != nil {
 		return err
@@ -50,6 +75,7 @@ func (t *Tree) Insert(v pfv.Vector) error {
 		parent := path[i].node
 		idx := path[i].childIdx
 		child := path[i+1].node
+		parent.children[idx].page = child.id
 		parent.children[idx].box = child.computeBox(t.dim)
 		parent.children[idx].count = child.subtreeCount()
 		if splitOff != nil {
@@ -59,7 +85,7 @@ func (t *Tree) Insert(v pfv.Vector) error {
 		if len(parent.children) > t.capInner {
 			splitOff, err = t.splitNode(parent)
 		} else {
-			err = t.writeNode(parent)
+			err = t.rewriteNode(parent)
 		}
 		if err != nil {
 			return err
@@ -85,16 +111,44 @@ func (t *Tree) Insert(v pfv.Vector) error {
 		}
 		t.root = newRootID
 		t.height++
+		return nil
 	}
+	t.root = path[0].node.id
 	return nil
 }
 
-// InsertAll inserts a batch of vectors one by one.
+// insertAllCommitInterval bounds how many inserts InsertAll batches under
+// one meta commit. Copy-on-write keeps the pages of the last committed tree
+// alive until the next commit, so the interval caps both the transient file
+// growth and the pending-free list a single commit must persist (one meta
+// slot holds ~2000 freelist ids at the default page size).
+const insertAllCommitInterval = 512
+
+// InsertAll inserts a batch of vectors, committing every
+// insertAllCommitInterval inserts and once at the end. A crash mid-batch
+// recovers a consistent tree holding a committed prefix of the batch; a
+// failed batch poisons the tree like Insert.
 func (t *Tree) InsertAll(vs []pfv.Vector) error {
-	for _, v := range vs {
-		if err := t.Insert(v); err != nil {
-			return err
+	for i, v := range vs {
+		if v.Dim() != t.dim {
+			return fmt.Errorf("%w: vector %d has dimension %d, tree dimension %d", ErrDimension, i, v.Dim(), t.dim)
 		}
+	}
+	if err := t.mutable(); err != nil {
+		return err
+	}
+	for i, v := range vs {
+		if err := t.insert(v); err != nil {
+			return t.fail(err)
+		}
+		if (i+1)%insertAllCommitInterval == 0 {
+			if err := t.commitMeta(); err != nil {
+				return t.fail(err)
+			}
+		}
+	}
+	if err := t.commitMeta(); err != nil {
+		return t.fail(err)
 	}
 	return nil
 }
@@ -271,7 +325,9 @@ func (t *Tree) splitNode(n *node) (*childEntry, error) {
 		return nil, err
 	}
 	right.id = rightID
-	if err := t.writeNode(n); err != nil {
+	// The shrunken left half is a modified committed node: copy-on-write.
+	// The right half is brand new and goes to its fresh page directly.
+	if err := t.rewriteNode(n); err != nil {
 		return nil, err
 	}
 	if err := t.writeNode(right); err != nil {

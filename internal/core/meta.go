@@ -1,0 +1,92 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/gauss-tree/gausstree/internal/gaussian"
+	"github.com/gauss-tree/gausstree/internal/pagefile"
+)
+
+// The tree's meta record, committed through pagefile.Manager.CommitMeta
+// after every structural mutation. It captures everything Open needs to
+// reattach the exact tree: the root page, the geometry bookkeeping, and the
+// full configuration (combiner, split/insert objectives, probe fanout) —
+// query correctness depends on querying with the same σ-combiner the tree
+// was built with, so the configuration travels with the file rather than
+// with the caller.
+
+// treeMetaVersion versions the core layer's meta payload.
+const treeMetaVersion = 1
+
+// treeMetaLen is the encoded size: version (1) + root (4) + dim (4) +
+// height (4) + count (8) + split (1) + insert (1) + probe fanout (2) +
+// combiner (1).
+const treeMetaLen = 26
+
+// ErrNoIndex is returned by Open when the page store holds no committed
+// index.
+var ErrNoIndex = errors.New("core: page store holds no committed index")
+
+func (t *Tree) encodeMeta() []byte {
+	buf := make([]byte, 0, treeMetaLen)
+	buf = append(buf, treeMetaVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(t.root))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(t.dim))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(t.height))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.count))
+	buf = append(buf, byte(t.cfg.Split), byte(t.cfg.Insert))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(t.cfg.ProbeFanout))
+	buf = append(buf, byte(t.cfg.Combiner))
+	return buf
+}
+
+func decodeTreeMeta(buf []byte) (meta Meta, cfg Config, err error) {
+	if len(buf) < treeMetaLen {
+		return Meta{}, Config{}, fmt.Errorf("core: tree meta truncated (%d bytes, want %d)", len(buf), treeMetaLen)
+	}
+	if buf[0] != treeMetaVersion {
+		return Meta{}, Config{}, fmt.Errorf("core: unsupported tree meta version %d", buf[0])
+	}
+	meta = Meta{
+		Root:   pagefile.PageID(binary.LittleEndian.Uint32(buf[1:])),
+		Dim:    int(binary.LittleEndian.Uint32(buf[5:])),
+		Height: int(binary.LittleEndian.Uint32(buf[9:])),
+		Count:  int(binary.LittleEndian.Uint64(buf[13:])),
+	}
+	cfg = Config{
+		Split:       SplitObjective(buf[21]),
+		Insert:      InsertObjective(buf[22]),
+		ProbeFanout: int(binary.LittleEndian.Uint16(buf[23:])),
+		Combiner:    gaussian.Combiner(buf[25]),
+	}
+	switch {
+	case meta.Dim <= 0:
+		err = fmt.Errorf("core: tree meta has dimension %d", meta.Dim)
+	case meta.Height <= 0:
+		err = fmt.Errorf("core: tree meta has height %d", meta.Height)
+	case meta.Count < 0:
+		err = fmt.Errorf("core: tree meta has count %d", meta.Count)
+	case cfg.Split > SplitVolume:
+		err = fmt.Errorf("core: tree meta has unknown split objective %d", cfg.Split)
+	case cfg.Insert > InsertVolume:
+		err = fmt.Errorf("core: tree meta has unknown insert objective %d", cfg.Insert)
+	case cfg.Combiner > gaussian.CombineConvolution:
+		err = fmt.Errorf("core: tree meta has unknown combiner %d", cfg.Combiner)
+	case cfg.ProbeFanout <= 0:
+		err = fmt.Errorf("core: tree meta has probe fanout %d", cfg.ProbeFanout)
+	}
+	if err != nil {
+		return Meta{}, Config{}, err
+	}
+	return meta, cfg, nil
+}
+
+// commitMeta durably commits the tree's current state. It is called after
+// every structural mutation (insert, batch insert, delete, bulk load), so a
+// reopened file always lands on the tree as of the last completed public
+// mutation, never an intermediate state.
+func (t *Tree) commitMeta() error {
+	return t.mgr.CommitMeta(t.encodeMeta())
+}

@@ -110,6 +110,14 @@ type Tree struct {
 	capLeaf, minLeaf   int
 	capInner, minInner int
 
+	// failed records the first mid-mutation error. A partially applied
+	// mutation leaves the in-memory tree (and pending page frees) out of
+	// sync with the committed state, so letting a LATER mutation commit
+	// could durably promote pages the on-disk tree still references.
+	// Once set, every further mutation is refused; reopen from the page
+	// store to recover the last committed state.
+	failed error
+
 	// decoded caches parsed nodes by page id, guarded by decMu so parallel
 	// queries can share it. Page accesses are still charged against the
 	// page manager on every logical read; the cache only avoids re-parsing
@@ -127,8 +135,14 @@ const maxDecodedNodes = 1 << 17
 // the tree's.
 var ErrDimension = errors.New("core: dimension mismatch")
 
-// New creates an empty Gauss-tree for vectors of the given dimension.
+// New creates an empty Gauss-tree for vectors of the given dimension and
+// commits it, so an empty index is already recoverable by Open. A page
+// store that already holds a committed index is rejected: New never
+// clobbers existing data (reattach with Open instead).
 func New(mgr *pagefile.Manager, dim int, cfg Config) (*Tree, error) {
+	if mgr.Meta() != nil {
+		return nil, fmt.Errorf("core: page store already holds a committed index (use Open)")
+	}
 	t, err := prepare(mgr, dim, cfg)
 	if err != nil {
 		return nil, err
@@ -142,11 +156,25 @@ func New(mgr *pagefile.Manager, dim int, cfg Config) (*Tree, error) {
 	if err := t.writeNode(&node{id: rootID, leaf: true}); err != nil {
 		return nil, err
 	}
+	if err := t.commitMeta(); err != nil {
+		return nil, err
+	}
 	return t, nil
 }
 
-// Open reattaches a tree previously described by Meta.
-func Open(mgr *pagefile.Manager, meta Meta, cfg Config) (*Tree, error) {
+// Open reattaches the tree committed in the manager's meta record: root
+// page, dimension, height, vector count and the full build configuration
+// (σ-combiner, split/insert objectives, probe fanout) are restored from the
+// last committed state. A store without a committed index yields ErrNoIndex.
+func Open(mgr *pagefile.Manager) (*Tree, error) {
+	raw := mgr.Meta()
+	if raw == nil {
+		return nil, ErrNoIndex
+	}
+	meta, cfg, err := decodeTreeMeta(raw)
+	if err != nil {
+		return nil, err
+	}
 	t, err := prepare(mgr, meta.Dim, cfg)
 	if err != nil {
 		return nil, err
@@ -180,6 +208,24 @@ func prepare(mgr *pagefile.Manager, dim int, cfg Config) (*Tree, error) {
 		minInner: max(2, capInner/2),
 		decoded:  make(map[pagefile.PageID]*node),
 	}, nil
+}
+
+// mutable returns nil when the tree may be mutated, or the poisoning error
+// from an earlier failed mutation. Public mutations check it after their
+// input validation (validation failures touch no pages and do not poison).
+func (t *Tree) mutable() error {
+	if t.failed == nil {
+		return nil
+	}
+	return fmt.Errorf("core: tree disabled by an earlier failed mutation (reopen the page store to recover the last committed state): %w", t.failed)
+}
+
+// fail poisons the tree with the first mid-mutation error and returns err.
+func (t *Tree) fail(err error) error {
+	if t.failed == nil {
+		t.failed = err
+	}
+	return err
 }
 
 // Meta returns the tree's persistent metadata.
@@ -235,11 +281,38 @@ func (t *Tree) readNodeCounted(id pagefile.PageID, c *pagefile.Counter) (*node, 
 	return n, nil
 }
 
+// writeNode persists a node at its (freshly allocated) page. It must only
+// be used for pages that are not part of the last committed tree; committed
+// nodes are modified through rewriteNode.
 func (t *Tree) writeNode(n *node) error {
 	if err := t.mgr.Write(n.id, encodeNode(n, t.dim)); err != nil {
 		return err
 	}
 	t.cacheNode(n)
+	return nil
+}
+
+// rewriteNode persists a modified node copy-on-write: the new content goes
+// to a freshly allocated page (updating n.id) and the old page is released
+// deferred, becoming reusable only after the next meta commit. The last
+// committed tree therefore stays byte-for-byte intact on disk throughout
+// the mutation — a crash at any point recovers it. Callers must propagate
+// the id change into the parent's routing entry.
+func (t *Tree) rewriteNode(n *node) error {
+	old := n.id
+	id, err := t.mgr.Allocate()
+	if err != nil {
+		return err
+	}
+	n.id = id
+	if err := t.mgr.Write(id, encodeNode(n, t.dim)); err != nil {
+		return err
+	}
+	t.decMu.Lock()
+	delete(t.decoded, old)
+	t.decMu.Unlock()
+	t.cacheNode(n)
+	t.mgr.FreeDeferred(old)
 	return nil
 }
 
@@ -253,7 +326,8 @@ func (t *Tree) cacheNode(n *node) {
 }
 
 // freeSubtree returns every page of the subtree rooted at id to the
-// allocator.
+// allocator, deferred until the next meta commit (the pages belong to the
+// committed tree until then).
 func (t *Tree) freeSubtree(id pagefile.PageID) error {
 	n, err := t.readNode(id)
 	if err != nil {
@@ -269,7 +343,7 @@ func (t *Tree) freeSubtree(id pagefile.PageID) error {
 	t.decMu.Lock()
 	delete(t.decoded, id)
 	t.decMu.Unlock()
-	t.mgr.Free(id)
+	t.mgr.FreeDeferred(id)
 	return nil
 }
 

@@ -147,11 +147,14 @@ func TestMetaOpenRoundTrip(t *testing.T) {
 	if err := tr.InsertAll(vs); err != nil {
 		t.Fatal(err)
 	}
-	meta := tr.Meta()
-
-	re, err := Open(mgr, meta, tr.Config())
+	// InsertAll committed the tree's meta record; Open restores everything
+	// (root, geometry, configuration) from the manager alone.
+	re, err := Open(mgr)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if re.Config().Combiner != gaussian.CombineConvolution {
+		t.Errorf("reopened combiner = %v, want convolution (persisted config)", re.Config().Combiner)
 	}
 	if re.Len() != tr.Len() || re.Height() != tr.Height() {
 		t.Errorf("reopened Len=%d Height=%d, want %d/%d", re.Len(), re.Height(), tr.Len(), tr.Height())

@@ -2,15 +2,20 @@ package pagefile
 
 import (
 	"fmt"
+	"io"
 	"os"
 )
 
 // MemBackend keeps pages in memory. It is the default substrate for tests
 // and benchmarks: physical reads and seeks are still counted by the Manager,
 // so the disk cost model applies identically, just without real I/O latency.
+// Meta commits are retained in memory, so the commit/recover protocol can be
+// exercised without touching a file system.
 type MemBackend struct {
 	pageSize int
 	pages    [][]byte
+	meta     []byte
+	metaSeq  uint64
 	closed   bool
 }
 
@@ -53,6 +58,35 @@ func (b *MemBackend) WritePage(id PageID, data []byte) error {
 // NumPages implements Backend.
 func (b *MemBackend) NumPages() int { return len(b.pages) }
 
+// Sync implements Backend; memory is always "durable".
+func (b *MemBackend) Sync() error {
+	if b.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// ReadMeta implements Backend.
+func (b *MemBackend) ReadMeta() ([]byte, uint64, error) {
+	if b.closed {
+		return nil, 0, ErrClosed
+	}
+	if b.metaSeq == 0 {
+		return nil, 0, nil
+	}
+	return append([]byte(nil), b.meta...), b.metaSeq, nil
+}
+
+// WriteMeta implements Backend.
+func (b *MemBackend) WriteMeta(payload []byte, seq uint64) error {
+	if b.closed {
+		return ErrClosed
+	}
+	b.meta = append([]byte(nil), payload...)
+	b.metaSeq = seq
+	return nil
+}
+
 // Close implements Backend.
 func (b *MemBackend) Close() error {
 	b.closed = true
@@ -60,16 +94,34 @@ func (b *MemBackend) Close() error {
 	return nil
 }
 
-// FileBackend stores pages in an ordinary file at offset id·pageSize.
+// FileBackend stores pages in an ordinary file using the versioned durable
+// format of format.go: a checksummed header, a double-buffered meta page,
+// and per-page CRC trailers. Data page id lives at slot reservedSlots+id.
 type FileBackend struct {
 	f        *os.File
 	pageSize int
-	pages    int
+	pages    int // data pages present
+	meta     []byte
+	metaSeq  uint64
 }
 
-// OpenFile opens (or creates) a page file. An existing file must have a size
-// that is a multiple of the page size.
-func OpenFile(path string, pageSize int) (*FileBackend, error) {
+// CreateFile creates a fresh page file at path, writing (and syncing) the
+// format header. A file holding a committed page file — or any content this
+// package cannot prove it owns — is rejected with ErrExists, so existing
+// data can never be silently clobbered. Two kinds of crashed-create debris
+// are provably unrecoverable and reclaimed instead, so a crashed create
+// never wedges the path:
+//
+//   - a valid page file with no committed meta record (the create reached
+//     the header sync but never its first commit);
+//   - an entirely zero-filled file (the crash lost the header to delayed
+//     allocation before it reached the disk).
+//
+// A missing or empty file is simply created.
+func CreateFile(path string, pageSize int) (*FileBackend, error) {
+	if pageSize < headerLen {
+		return nil, fmt.Errorf("pagefile: page size %d too small (minimum %d)", pageSize, headerLen)
+	}
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
@@ -79,15 +131,125 @@ func OpenFile(path string, pageSize int) (*FileBackend, error) {
 		f.Close()
 		return nil, err
 	}
-	if info.Size()%int64(pageSize) != 0 {
-		f.Close()
-		return nil, fmt.Errorf("pagefile: %s has size %d, not a multiple of page size %d",
-			path, info.Size(), pageSize)
+	if info.Size() != 0 {
+		prior, aerr := attachFile(f)
+		reclaim := aerr == nil && prior.metaSeq == 0
+		if !reclaim && aerr != nil {
+			zero, zerr := zeroFilled(f, info.Size())
+			if zerr != nil {
+				f.Close()
+				return nil, zerr
+			}
+			reclaim = zero
+		}
+		switch {
+		case reclaim:
+			// Uncommitted debris: reinitialize below.
+			if err := f.Truncate(0); err != nil {
+				f.Close()
+				return nil, err
+			}
+		case aerr == nil:
+			f.Close()
+			return nil, fmt.Errorf("%w: %s holds a committed page file; use OpenFile to reattach", ErrExists, path)
+		default:
+			f.Close()
+			return nil, fmt.Errorf("%w: %s holds foreign data (%v)", ErrExists, path, aerr)
+		}
 	}
-	return &FileBackend{f: f, pageSize: pageSize, pages: int(info.Size() / int64(pageSize))}, nil
+	if _, err := f.WriteAt(encodeHeader(pageSize), 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Make the header durable before handing the backend out: from here on
+	// a crash leaves either this valid header (metaSeq 0 → reclaimable) or
+	// the pre-create state, never an ambiguous in-between.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &FileBackend{f: f, pageSize: pageSize}, nil
 }
 
-// ReadPage implements Backend.
+// zeroFilled reports whether the file's first size bytes are all zero.
+func zeroFilled(f *os.File, size int64) (bool, error) {
+	buf := make([]byte, 64<<10)
+	for off := int64(0); off < size; {
+		n := int64(len(buf))
+		if size-off < n {
+			n = size - off
+		}
+		if _, err := io.ReadFull(io.NewSectionReader(f, off, n), buf[:n]); err != nil {
+			return false, err
+		}
+		for _, b := range buf[:n] {
+			if b != 0 {
+				return false, nil
+			}
+		}
+		off += n
+	}
+	return true, nil
+}
+
+// OpenFile reattaches an existing page file. The page size is read from the
+// validated header, and the last committed meta page (the valid slot with
+// the highest sequence number) is loaded; a torn newest slot falls back to
+// the previous commit.
+func OpenFile(path string) (*FileBackend, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	b, err := attachFile(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return b, nil
+}
+
+func attachFile(f *os.File) (*FileBackend, error) {
+	hdr := make([]byte, headerLen)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, headerLen), hdr); err != nil {
+		return nil, fmt.Errorf("%w: reading header: %v", ErrBadFormat, err)
+	}
+	pageSize, err := decodeHeader(hdr)
+	if err != nil {
+		return nil, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	b := &FileBackend{f: f, pageSize: pageSize}
+	slot := int64(slotSize(pageSize))
+	if data := info.Size() - int64(reservedSlots)*slot; data > 0 {
+		// A torn final page write leaves a partial slot; it is simply not
+		// counted (it cannot belong to any committed state).
+		b.pages = int(data / slot)
+	}
+	// Load the newest valid meta commit from the two alternating slots.
+	for _, s := range []int{metaSlotA, metaSlotB} {
+		buf := make([]byte, slot)
+		if _, err := f.ReadAt(buf, int64(s)*slot); err != nil {
+			continue // short or unwritten slot: no valid commit there
+		}
+		if payload, seq, ok := decodeMetaSlot(buf); ok && seq > b.metaSeq {
+			b.meta, b.metaSeq = payload, seq
+		}
+	}
+	return b, nil
+}
+
+// PageSize returns the page size recorded in the file header.
+func (b *FileBackend) PageSize() int { return b.pageSize }
+
+func (b *FileBackend) slotOffset(id PageID) int64 {
+	return int64(reservedSlots+int(id)) * int64(slotSize(b.pageSize))
+}
+
+// ReadPage implements Backend, verifying the page's CRC trailer.
 func (b *FileBackend) ReadPage(id PageID, buf []byte) error {
 	if b.f == nil {
 		return ErrClosed
@@ -98,11 +260,19 @@ func (b *FileBackend) ReadPage(id PageID, buf []byte) error {
 		}
 		return nil
 	}
-	_, err := b.f.ReadAt(buf[:b.pageSize], int64(id)*int64(b.pageSize))
-	return err
+	slot := make([]byte, slotSize(b.pageSize))
+	if _, err := b.f.ReadAt(slot, b.slotOffset(id)); err != nil {
+		return err
+	}
+	data, err := verifyPage(slot, id)
+	if err != nil {
+		return err
+	}
+	copy(buf, data)
+	return nil
 }
 
-// WritePage implements Backend.
+// WritePage implements Backend, sealing the page with its CRC trailer.
 func (b *FileBackend) WritePage(id PageID, data []byte) error {
 	if b.f == nil {
 		return ErrClosed
@@ -110,7 +280,7 @@ func (b *FileBackend) WritePage(id PageID, data []byte) error {
 	if len(data) != b.pageSize {
 		return fmt.Errorf("pagefile: file write of %d bytes, want page size %d", len(data), b.pageSize)
 	}
-	if _, err := b.f.WriteAt(data, int64(id)*int64(b.pageSize)); err != nil {
+	if _, err := b.f.WriteAt(sealPage(data), b.slotOffset(id)); err != nil {
 		return err
 	}
 	if int(id) >= b.pages {
@@ -128,6 +298,37 @@ func (b *FileBackend) Sync() error {
 		return ErrClosed
 	}
 	return b.f.Sync()
+}
+
+// ReadMeta implements Backend, returning the last committed meta payload.
+func (b *FileBackend) ReadMeta() ([]byte, uint64, error) {
+	if b.f == nil {
+		return nil, 0, ErrClosed
+	}
+	if b.metaSeq == 0 {
+		return nil, 0, nil
+	}
+	return append([]byte(nil), b.meta...), b.metaSeq, nil
+}
+
+// WriteMeta implements Backend: the commit goes to the slot the sequence
+// number selects, which is always the slot NOT holding the last valid
+// commit, so a torn write here never corrupts the committed state.
+func (b *FileBackend) WriteMeta(payload []byte, seq uint64) error {
+	if b.f == nil {
+		return ErrClosed
+	}
+	slot, err := encodeMetaSlot(b.pageSize, payload, seq)
+	if err != nil {
+		return err
+	}
+	off := int64(metaSlotFor(seq)) * int64(slotSize(b.pageSize))
+	if _, err := b.f.WriteAt(slot, off); err != nil {
+		return err
+	}
+	b.meta = append(b.meta[:0], payload...)
+	b.metaSeq = seq
+	return nil
 }
 
 // Close implements Backend.

@@ -1,0 +1,115 @@
+package pagefile
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjected is the failure reported by a FaultBackend once its write
+// budget is exhausted.
+var ErrInjected = errors.New("pagefile: injected write fault")
+
+// FaultBackend wraps a Backend and injects write failures after a budget of
+// successful page writes, simulating a crash mid-mutation for recovery
+// tests. Once the budget is exhausted every WritePage (and, with
+// FailMeta(true), every WriteMeta) fails with ErrInjected; with Torn(true)
+// the failing page write additionally leaves a half-applied page behind, the
+// torn-write case the per-page checksums and the shadow-paging commit
+// protocol must survive.
+type FaultBackend struct {
+	inner Backend
+
+	mu        sync.Mutex
+	remaining int // page writes until failure; < 0 disarms the fault
+	torn      bool
+	failMeta  bool
+	pageFails int
+	metaFails int
+}
+
+// NewFaultBackend arms a backend to fail after allowWrites successful page
+// writes. A negative budget never fails (until SetWriteBudget re-arms it).
+func NewFaultBackend(inner Backend, allowWrites int) *FaultBackend {
+	return &FaultBackend{inner: inner, remaining: allowWrites}
+}
+
+// SetWriteBudget re-arms the fault to trigger after n further page writes;
+// negative n disarms it.
+func (b *FaultBackend) SetWriteBudget(n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.remaining = n
+}
+
+// Torn makes the failing page write half-apply (first half new data, second
+// half zeroes) before reporting the error, emulating a torn sector write.
+func (b *FaultBackend) Torn(torn bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.torn = torn
+}
+
+// FailMeta makes every subsequent meta write fail (independently of the
+// page-write budget), so a mutation's data pages can land while its commit
+// is lost — the crash-during-commit case.
+func (b *FaultBackend) FailMeta(fail bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failMeta = fail
+}
+
+// Faults reports how many page and meta writes were failed so far.
+func (b *FaultBackend) Faults() (pageFails, metaFails int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.pageFails, b.metaFails
+}
+
+// ReadPage implements Backend.
+func (b *FaultBackend) ReadPage(id PageID, buf []byte) error { return b.inner.ReadPage(id, buf) }
+
+// WritePage implements Backend, failing once the write budget is spent.
+func (b *FaultBackend) WritePage(id PageID, data []byte) error {
+	b.mu.Lock()
+	if b.remaining != 0 {
+		if b.remaining > 0 {
+			b.remaining--
+		}
+		b.mu.Unlock()
+		return b.inner.WritePage(id, data)
+	}
+	b.pageFails++
+	torn := b.torn
+	b.mu.Unlock()
+	if torn {
+		half := append([]byte(nil), data[:len(data)/2]...)
+		half = append(half, make([]byte, len(data)-len(half))...)
+		b.inner.WritePage(id, half) // best effort: the tear itself
+	}
+	return ErrInjected
+}
+
+// NumPages implements Backend.
+func (b *FaultBackend) NumPages() int { return b.inner.NumPages() }
+
+// Sync implements Backend.
+func (b *FaultBackend) Sync() error { return b.inner.Sync() }
+
+// ReadMeta implements Backend.
+func (b *FaultBackend) ReadMeta() ([]byte, uint64, error) { return b.inner.ReadMeta() }
+
+// WriteMeta implements Backend, failing (fail-stop, nothing written) while
+// FailMeta is armed.
+func (b *FaultBackend) WriteMeta(payload []byte, seq uint64) error {
+	b.mu.Lock()
+	if b.failMeta {
+		b.metaFails++
+		b.mu.Unlock()
+		return ErrInjected
+	}
+	b.mu.Unlock()
+	return b.inner.WriteMeta(payload, seq)
+}
+
+// Close implements Backend.
+func (b *FaultBackend) Close() error { return b.inner.Close() }

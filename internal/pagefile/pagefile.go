@@ -22,6 +22,7 @@ package pagefile
 
 import (
 	"container/list"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -127,8 +128,8 @@ func (cm CostModel) IOTime(s Stats) time.Duration {
 		time.Duration(s.PhysicalReads+s.Writes)*cm.TransferTime
 }
 
-// Backend stores raw pages. Implementations need not be safe for concurrent
-// use; the Manager serializes access.
+// Backend stores raw pages plus one durable meta record. Implementations
+// need not be safe for concurrent use; the Manager serializes access.
 type Backend interface {
 	// ReadPage fills buf (exactly one page) with the page's content.
 	ReadPage(id PageID, buf []byte) error
@@ -136,6 +137,14 @@ type Backend interface {
 	WritePage(id PageID, data []byte) error
 	// NumPages returns the number of pages ever allocated.
 	NumPages() int
+	// Sync flushes previously written pages and meta to stable storage.
+	Sync() error
+	// ReadMeta returns the last committed meta payload and its sequence
+	// number; (nil, 0, nil) when nothing has been committed yet.
+	ReadMeta() (payload []byte, seq uint64, err error)
+	// WriteMeta durably records a meta payload under the given sequence
+	// number without disturbing the previously committed record.
+	WriteMeta(payload []byte, seq uint64) error
 	// Close releases resources.
 	Close() error
 }
@@ -146,8 +155,8 @@ type Backend interface {
 // I/O; ioMu serializes backend access (the Backend contract) together with
 // the disk-arm model state. When both are held the order is ioMu before mu.
 type Manager struct {
-	mu        sync.Mutex // guards cache, lru, freelist, next, closed
-	ioMu      sync.Mutex // serializes backend access, lastRead, haveLast
+	mu        sync.Mutex // guards cache, lru, freelist, pendingFree, next, closed
+	ioMu      sync.Mutex // serializes backend access, lastRead, haveLast, metaSeq, userMeta
 	backend   Backend
 	pageSize  int
 	capacity  int // cache capacity in pages; 0 disables caching
@@ -159,6 +168,20 @@ type Manager struct {
 	haveLast  bool
 	costModel CostModel
 	closed    bool
+
+	// pendingFree holds pages released with FreeDeferred: they may still be
+	// referenced by the last committed meta state, so they only become
+	// allocatable after the next CommitMeta persists their release.
+	pendingFree []PageID
+	// freshPages tracks pages allocated since the last commit. Such a page
+	// is provably not referenced by the committed state, so FreeDeferred
+	// can recycle it immediately instead of deferring — without this,
+	// large batched mutations (one commit at the end) would grow the file
+	// by every intermediate page version.
+	freshPages map[PageID]struct{}
+	// userMeta is the client payload of the last committed meta record.
+	userMeta []byte
+	metaSeq  uint64
 
 	logicalReads  atomic.Uint64
 	cacheHits     atomic.Uint64
@@ -187,6 +210,10 @@ func WithCostModel(cm CostModel) Option {
 }
 
 // NewManager wraps a backend with a buffer cache. pageSize must be positive.
+// When the backend holds a committed meta record, the allocator state (next
+// page id and freelist) is restored from it, so a reopened file resumes
+// exactly where the last commit left off; pages written after that commit
+// are treated as never allocated.
 func NewManager(backend Backend, pageSize int, opts ...Option) (*Manager, error) {
 	if pageSize <= 0 {
 		return nil, fmt.Errorf("pagefile: invalid page size %d", pageSize)
@@ -203,7 +230,54 @@ func NewManager(backend Backend, pageSize int, opts ...Option) (*Manager, error)
 	for _, o := range opts {
 		o(m)
 	}
+	payload, seq, err := backend.ReadMeta()
+	if err != nil {
+		return nil, err
+	}
+	if seq > 0 {
+		next, freelist, user, err := decodeManagerMeta(payload)
+		if err != nil {
+			return nil, err
+		}
+		m.next, m.freelist, m.userMeta, m.metaSeq = next, freelist, user, seq
+	}
 	return m, nil
+}
+
+// managerMetaVersion versions the Manager's portion of the meta payload.
+const managerMetaVersion = 1
+
+// encodeManagerMeta serializes the allocator state followed by the client
+// payload: version (1) | next (4) | freelist length (4) | freelist ids (4
+// each) | user payload.
+func encodeManagerMeta(next PageID, freelist []PageID, user []byte) []byte {
+	buf := make([]byte, 0, 9+4*len(freelist)+len(user))
+	buf = append(buf, managerMetaVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(next))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(freelist)))
+	for _, id := range freelist {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(id))
+	}
+	return append(buf, user...)
+}
+
+func decodeManagerMeta(buf []byte) (next PageID, freelist []PageID, user []byte, err error) {
+	if len(buf) < 9 {
+		return 0, nil, nil, fmt.Errorf("pagefile: meta payload truncated (%d bytes)", len(buf))
+	}
+	if buf[0] != managerMetaVersion {
+		return 0, nil, nil, fmt.Errorf("pagefile: unsupported meta version %d", buf[0])
+	}
+	next = PageID(binary.LittleEndian.Uint32(buf[1:]))
+	n := int(binary.LittleEndian.Uint32(buf[5:]))
+	if n < 0 || 9+4*n > len(buf) {
+		return 0, nil, nil, fmt.Errorf("pagefile: meta freelist of %d ids overruns payload", n)
+	}
+	freelist = make([]PageID, n)
+	for i := 0; i < n; i++ {
+		freelist[i] = PageID(binary.LittleEndian.Uint32(buf[9+4*i:]))
+	}
+	return next, freelist, append([]byte(nil), buf[9+4*n:]...), nil
 }
 
 // PageSize returns the configured page size in bytes.
@@ -227,17 +301,25 @@ func (m *Manager) Allocate() (PageID, error) {
 	if m.closed {
 		return NilPage, ErrClosed
 	}
+	var id PageID
 	if n := len(m.freelist); n > 0 {
-		id := m.freelist[n-1]
+		id = m.freelist[n-1]
 		m.freelist = m.freelist[:n-1]
-		return id, nil
+	} else {
+		id = m.next
+		m.next++
 	}
-	id := m.next
-	m.next++
+	if m.freshPages == nil {
+		m.freshPages = make(map[PageID]struct{})
+	}
+	m.freshPages[id] = struct{}{}
 	return id, nil
 }
 
-// Free returns a page to the allocator. The page's content becomes invalid.
+// Free returns a page to the allocator for immediate reuse. The page's
+// content becomes invalid. Clients that commit meta states (and need crash
+// safety) must use FreeDeferred instead, because an immediately reused page
+// may still be referenced by the last committed state.
 func (m *Manager) Free(id PageID) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -246,6 +328,30 @@ func (m *Manager) Free(id PageID) {
 		delete(m.cache, id)
 	}
 	m.freelist = append(m.freelist, id)
+}
+
+// FreeDeferred releases a page under the shadow-paging discipline: the page
+// becomes allocatable only after the next CommitMeta, which is the first
+// moment the committed on-disk state provably no longer references it. Until
+// then a crash must be able to recover the previous commit intact.
+//
+// A page allocated after the last commit is already provably unreferenced
+// by the committed state and is recycled immediately, so rewriting the same
+// node many times between commits reuses one page slot instead of one per
+// version.
+func (m *Manager) FreeDeferred(id PageID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.cache[id]; ok {
+		m.lru.Remove(e)
+		delete(m.cache, id)
+	}
+	if _, fresh := m.freshPages[id]; fresh {
+		delete(m.freshPages, id)
+		m.freelist = append(m.freelist, id)
+		return
+	}
+	m.pendingFree = append(m.pendingFree, id)
 }
 
 // Read returns the content of a page without per-query attribution; it is
@@ -412,7 +518,107 @@ func (m *Manager) CachedPages() int {
 	return m.lru.Len()
 }
 
-// Close closes the underlying backend. Subsequent calls fail with ErrClosed.
+// CommitMeta durably commits a client meta payload together with the
+// allocator state (next page id and freelist, including pages released with
+// FreeDeferred since the previous commit). The write-barrier sequence is:
+// flush all data pages, write the alternate meta slot, flush again — so the
+// new meta record only becomes the committed state once every page it
+// references is durable, and a crash at any intermediate point recovers the
+// previous commit.
+//
+// When the freelist has grown past what one meta slot can hold, the
+// overflowing tail is dropped from the persisted copy (those pages leak on
+// the next reopen); correctness is never traded for space.
+func (m *Manager) CommitMeta(user []byte) error {
+	m.ioMu.Lock()
+	defer m.ioMu.Unlock()
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	next := m.next
+	// Snapshot the pages free as of this commit. pendingPromoted counts the
+	// pendingFree prefix captured here: it is promoted into the live
+	// freelist after the commit lands, while anything appended to
+	// pendingFree by concurrent FreeDeferred calls during the commit I/O
+	// stays pending for the next commit.
+	pendingPromoted := len(m.pendingFree)
+	merged := make([]PageID, 0, len(m.freelist)+pendingPromoted)
+	merged = append(append(merged, m.freelist...), m.pendingFree...)
+	m.mu.Unlock()
+
+	persisted := merged
+	if maxIDs := (MetaCapacity(m.pageSize) - 9 - len(user)) / 4; maxIDs < 0 {
+		return fmt.Errorf("pagefile: meta payload of %d bytes cannot fit a page of %d bytes", len(user), m.pageSize)
+	} else if len(persisted) > maxIDs {
+		persisted = persisted[:maxIDs]
+	}
+	payload := encodeManagerMeta(next, persisted, user)
+
+	if err := m.backend.Sync(); err != nil {
+		return err
+	}
+	if err := m.backend.WriteMeta(payload, m.metaSeq+1); err != nil {
+		return err
+	}
+	if err := m.backend.Sync(); err != nil {
+		return err
+	}
+	m.metaSeq++
+	m.userMeta = append(make([]byte, 0, len(user)), user...)
+	m.mu.Lock()
+	// Promote only the snapshotted pendingFree prefix, and by appending
+	// rather than replacing: the live freelist may have shrunk (concurrent
+	// Allocate) or grown (concurrent Free) during the commit I/O, and that
+	// state must survive. The persisted copy holding a page a concurrent
+	// Allocate has since claimed is harmless — recovery rolls the
+	// allocation back to this commit point anyway.
+	m.freelist = append(m.freelist, m.pendingFree[:pendingPromoted]...)
+	m.pendingFree = m.pendingFree[pendingPromoted:]
+	// Every page is now potentially referenced by the committed state;
+	// clearing is conservative for pages allocated during the commit I/O
+	// (they merely lose the immediate-recycle fast path).
+	m.freshPages = nil
+	m.mu.Unlock()
+	return nil
+}
+
+// Meta returns a copy of the client payload of the last committed meta
+// record, or nil when nothing has been committed.
+func (m *Manager) Meta() []byte {
+	m.ioMu.Lock()
+	defer m.ioMu.Unlock()
+	if m.userMeta == nil {
+		return nil
+	}
+	return append([]byte(nil), m.userMeta...)
+}
+
+// MetaSeq returns the sequence number of the last committed meta record
+// (0 = none).
+func (m *Manager) MetaSeq() uint64 {
+	m.ioMu.Lock()
+	defer m.ioMu.Unlock()
+	return m.metaSeq
+}
+
+// Sync flushes all written pages to stable storage.
+func (m *Manager) Sync() error {
+	m.ioMu.Lock()
+	defer m.ioMu.Unlock()
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	m.mu.Unlock()
+	return m.backend.Sync()
+}
+
+// Close flushes the backend to stable storage and closes it, so pages
+// written through the Manager are never lost to a missing final sync.
+// Subsequent operations fail with ErrClosed.
 func (m *Manager) Close() error {
 	m.ioMu.Lock()
 	defer m.ioMu.Unlock()
@@ -423,5 +629,9 @@ func (m *Manager) Close() error {
 	}
 	m.closed = true
 	m.mu.Unlock()
-	return m.backend.Close()
+	syncErr := m.backend.Sync()
+	if err := m.backend.Close(); err != nil {
+		return err
+	}
+	return syncErr
 }

@@ -2,7 +2,9 @@ package pagefile
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"testing"
 	"time"
@@ -250,7 +252,7 @@ func TestInvalidPageSize(t *testing.T) {
 
 func TestFileBackendRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "pages.db")
-	fb, err := OpenFile(path, 256)
+	fb, err := CreateFile(path, 256)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,10 +278,13 @@ func TestFileBackendRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Reopen and verify persistence.
-	fb2, err := OpenFile(path, 256)
+	// Reopen and verify persistence; the page size comes from the header.
+	fb2, err := OpenFile(path)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if fb2.PageSize() != 256 {
+		t.Errorf("reopened page size = %d, want 256", fb2.PageSize())
 	}
 	if fb2.NumPages() != 20 {
 		t.Errorf("reopened file has %d pages, want 20", fb2.NumPages())
@@ -300,16 +305,26 @@ func TestFileBackendRoundTrip(t *testing.T) {
 	}
 }
 
-func TestFileBackendSizeValidation(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "odd.db")
-	fb, err := OpenFile(path, 128)
-	if err != nil {
+func TestFileBackendFormatValidation(t *testing.T) {
+	dir := t.TempDir()
+
+	// Opening a file that is not a page file must fail with ErrBadFormat.
+	garbage := filepath.Join(dir, "garbage.db")
+	if err := os.WriteFile(garbage, []byte("this is not a page file at all"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	fb.WritePage(0, make([]byte, 128))
-	fb.Close()
-	if _, err := OpenFile(path, 100); err == nil {
-		t.Error("page size mismatch with file size should fail")
+	if _, err := OpenFile(garbage); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("garbage open error = %v, want ErrBadFormat", err)
+	}
+
+	// Creating over a non-empty file must be rejected with ErrExists.
+	if _, err := CreateFile(garbage, 128); !errors.Is(err, ErrExists) {
+		t.Errorf("create over data error = %v, want ErrExists", err)
+	}
+
+	// Opening a missing file must fail (Open never creates).
+	if _, err := OpenFile(filepath.Join(dir, "missing.db")); err == nil {
+		t.Error("opening a missing file should fail")
 	}
 }
 

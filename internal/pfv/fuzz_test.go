@@ -1,0 +1,70 @@
+package pfv
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzBinaryCodec fuzzes the fixed-width binary vector codec: arbitrary
+// input must either be rejected with an error or decode to a vector whose
+// re-encoding reproduces the input bytes exactly (decode∘encode = identity
+// on every accepted prefix). Panics are failures by definition.
+func FuzzBinaryCodec(f *testing.F) {
+	v := MustNew(42, []float64{1.5, -2.25, 0}, []float64{0.5, 1, 2})
+	f.Add(AppendBinary(nil, v), uint8(3))
+	f.Add([]byte{}, uint8(1))
+	f.Add(bytes.Repeat([]byte{0xff}, 64), uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, dimRaw uint8) {
+		dim := int(dimRaw%8) + 1
+		v, n, err := DecodeBinary(data, dim)
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		if n != EncodedSize(dim) {
+			t.Fatalf("decoded %d bytes, want %d", n, EncodedSize(dim))
+		}
+		enc := AppendBinary(nil, v)
+		if !bytes.Equal(enc, data[:n]) {
+			t.Fatalf("encode(decode(x)) != x:\n got %x\nwant %x", enc, data[:n])
+		}
+		// The canonical encoding must round-trip bit-exactly (including
+		// NaN payloads, which is why the comparison is on bytes).
+		v2, _, err := DecodeBinary(enc, dim)
+		if err != nil {
+			t.Fatalf("re-decode of canonical encoding failed: %v", err)
+		}
+		if !bytes.Equal(AppendBinary(nil, v2), enc) {
+			t.Fatal("canonical encoding is not a fixed point")
+		}
+	})
+}
+
+// FuzzReadCSV fuzzes the textual interchange parser: arbitrary text must
+// either be rejected or parse into vectors that survive a CSV round-trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("1,0.5,0.1,0.25,0.2\n2,1.5,0.3,-0.5,0.4\n")
+	f.Add("# comment\n\n7,1e10,0.5\n")
+	f.Add("not,a,csv")
+	f.Fuzz(func(t *testing.T, text string) {
+		vs, err := ReadCSV(bytes.NewReader([]byte(text)))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, vs); err != nil {
+			t.Fatalf("re-encoding accepted vectors failed: %v", err)
+		}
+		vs2, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-parsing written CSV failed: %v", err)
+		}
+		if len(vs2) != len(vs) {
+			t.Fatalf("round trip lost vectors: %d -> %d", len(vs), len(vs2))
+		}
+		for i := range vs {
+			if !bytes.Equal(AppendBinary(nil, vs[i]), AppendBinary(nil, vs2[i])) {
+				t.Fatalf("vector %d changed across CSV round trip", i)
+			}
+		}
+	})
+}
