@@ -20,6 +20,7 @@ import (
 	"github.com/gauss-tree/gausstree/internal/pfv"
 	"github.com/gauss-tree/gausstree/internal/query"
 	"github.com/gauss-tree/gausstree/internal/scan"
+	"github.com/gauss-tree/gausstree/internal/shard"
 	"github.com/gauss-tree/gausstree/internal/vafile"
 
 	"github.com/gauss-tree/gausstree/internal/core"
@@ -390,6 +391,79 @@ func BenchmarkBatchExecutor(b *testing.B) {
 					}
 				}
 			}
+		})
+	}
+}
+
+// buildShardedEngine loads the world's vectors into an n-shard in-memory
+// engine (one page manager per shard, hash-partitioned).
+func buildShardedEngine(b *testing.B, w *world, n int) *shard.Engine {
+	b.Helper()
+	trees := make([]*core.Tree, n)
+	for i := range trees {
+		mgr, err := pagefile.NewManager(pagefile.NewMemBackend(pagefile.DefaultPageSize), pagefile.DefaultPageSize)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if trees[i], err = core.New(mgr, w.ds.Dim, core.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	eng, err := shard.New(trees, shard.HashByID())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.BulkLoad(w.ds.Vectors); err != nil {
+		b.Fatal(err)
+	}
+	return eng
+}
+
+// BenchmarkShardedKMLIQ measures the sharded engine's concurrent fan-out on
+// the DS2 subset across shard counts: per-query wall time plus the paper's
+// page-access metric aggregated over all shards (the fan-out reads more
+// total pages than one tree; the parallelism is what buys wall-clock back
+// on deep trees and cold caches).
+func BenchmarkShardedKMLIQ(b *testing.B) {
+	w := benchDS2(b)
+	ctx := context.Background()
+	for _, n := range []int{1, 4} {
+		n := n
+		b.Run(fmt.Sprintf("shards-%d", n), func(b *testing.B) {
+			eng := buildShardedEngine(b, w, n)
+			var pages uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, st, err := eng.KMLIQ(ctx, w.qs[i%len(w.qs)].Vector, 3, 1e-4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pages += st.PageAccesses
+			}
+			b.ReportMetric(float64(pages)/float64(b.N), "pages/query")
+		})
+	}
+}
+
+// BenchmarkShardedTIQ is the threshold-query face of the sharded fan-out,
+// including the cross-shard denominator merge rounds.
+func BenchmarkShardedTIQ(b *testing.B) {
+	w := benchDS2(b)
+	ctx := context.Background()
+	for _, n := range []int{1, 4} {
+		n := n
+		b.Run(fmt.Sprintf("shards-%d", n), func(b *testing.B) {
+			eng := buildShardedEngine(b, w, n)
+			var rounds int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, st, err := eng.TIQDetail(ctx, w.qs[i%len(w.qs)].Vector, 0.8, 1e-3)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds += st.MergeRounds
+			}
+			b.ReportMetric(float64(rounds)/float64(b.N), "rounds/query")
 		})
 	}
 }

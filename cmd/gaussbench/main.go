@@ -34,11 +34,12 @@ import (
 	"github.com/gauss-tree/gausstree/internal/gaussian"
 	"github.com/gauss-tree/gausstree/internal/pagefile"
 	"github.com/gauss-tree/gausstree/internal/pfv"
+	"github.com/gauss-tree/gausstree/internal/shard"
 )
 
 func main() {
 	var (
-		exps     = flag.String("exp", "all", "comma-separated experiments: fig1,fig6a,fig6b,fig7ds1,fig7ds2,headline,ablations,reopen,all")
+		exps     = flag.String("exp", "all", "comma-separated experiments: fig1,fig6a,fig6b,fig7ds1,fig7ds2,headline,ablations,reopen,shards,all")
 		quick    = flag.Bool("quick", false, "reduced data sizes (for smoke testing)")
 		n1       = flag.Int("n1", 10987, "data set 1 size (paper: 10987)")
 		n2       = flag.Int("n2", 100000, "data set 2 size (paper: 100000)")
@@ -101,6 +102,9 @@ func main() {
 	if run("reopen") {
 		b.reopen()
 	}
+	if run("shards") {
+		b.shards()
+	}
 	if *jsonPath != "" {
 		b.writeJSON(*jsonPath)
 	}
@@ -135,13 +139,26 @@ type reopenReport struct {
 	PagesPerQuery   float64
 }
 
+// shardScalingRow is one shard-count × query-type cell of the sharded
+// fan-out scaling experiment: wall-clock over the whole query set, mean
+// aggregated page accesses across all shards, and the mean number of
+// cross-shard denominator merge rounds.
+type shardScalingRow struct {
+	Shards      int
+	Query       string
+	WallMillis  float64
+	PagesPerQ   float64
+	MergeRounds float64
+}
+
 // benchOutput is the machine-readable result set emitted by -json.
 type benchOutput struct {
-	Params    benchParams
-	Fig6      []*eval.Fig6Report `json:",omitempty"`
-	Fig7      []*eval.Fig7Report `json:",omitempty"`
-	Ablations []ablationRow      `json:",omitempty"`
-	Reopen    *reopenReport      `json:",omitempty"`
+	Params       benchParams
+	Fig6         []*eval.Fig6Report `json:",omitempty"`
+	Fig7         []*eval.Fig7Report `json:",omitempty"`
+	Ablations    []ablationRow      `json:",omitempty"`
+	Reopen       *reopenReport      `json:",omitempty"`
+	ShardScaling []shardScalingRow  `json:",omitempty"`
 }
 
 type bench struct {
@@ -434,6 +451,66 @@ func (b *bench) reopen() {
 	fmt.Printf("%-28s %12.1f\n", "pages/query (all)", rep.PagesPerQuery)
 	fmt.Println()
 	b.out.Reopen = rep
+}
+
+// shards measures the sharded engine's scale-out behavior: the same DS2
+// subset and query set against 1/2/4/8-shard in-memory engines, reporting
+// wall-clock over the full query set, mean aggregated page accesses (the
+// sum over all shards — the fan-out does more total work than one tree, the
+// wall-clock shows what the parallelism buys back), and the mean number of
+// cross-shard denominator merge rounds per query.
+func (b *bench) shards() {
+	ds, qs := b.subset(min(b.n2, 20000), 200)
+	ctx := context.Background()
+	fmt.Println("=== Shards: sharded Gauss-tree fan-out scaling (DS2 subset) ===")
+	fmt.Printf("%-8s %-10s %12s %14s %8s\n", "shards", "query", "wall ms", "pages/query", "rounds")
+	for _, n := range []int{1, 2, 4, 8} {
+		trees := make([]*core.Tree, n)
+		for i := range trees {
+			mgr, err := pagefile.NewManager(pagefile.NewMemBackend(b.pageSize), b.pageSize)
+			check(err)
+			trees[i], err = core.New(mgr, ds.Dim, core.Config{})
+			check(err)
+		}
+		eng, err := shard.New(trees, shard.HashByID())
+		check(err)
+		check(eng.BulkLoad(ds.Vectors))
+		type qt struct {
+			name string
+			run  func(q pfv.Vector) (shard.Stats, error)
+		}
+		for _, kind := range []qt{
+			{"3-MLIQ", func(q pfv.Vector) (shard.Stats, error) {
+				_, st, err := eng.KMLIQDetail(ctx, q, 3, 1e-4)
+				return st, err
+			}},
+			{"TIQ(0.8)", func(q pfv.Vector) (shard.Stats, error) {
+				_, st, err := eng.TIQDetail(ctx, q, 0.8, 1e-4)
+				return st, err
+			}},
+		} {
+			start := time.Now()
+			var pages uint64
+			rounds := 0
+			for _, q := range qs {
+				st, err := kind.run(q.Vector)
+				check(err)
+				pages += st.PageAccesses
+				rounds += st.MergeRounds
+			}
+			wall := time.Since(start)
+			row := shardScalingRow{
+				Shards:      n,
+				Query:       kind.name,
+				WallMillis:  float64(wall.Microseconds()) / 1e3,
+				PagesPerQ:   float64(pages) / float64(len(qs)),
+				MergeRounds: float64(rounds) / float64(len(qs)),
+			}
+			fmt.Printf("%-8d %-10s %12.1f %14.1f %8.2f\n", row.Shards, row.Query, row.WallMillis, row.PagesPerQ, row.MergeRounds)
+			b.out.ShardScaling = append(b.out.ShardScaling, row)
+		}
+	}
+	fmt.Println()
 }
 
 // writeJSON emits the collected measurements machine-readably.

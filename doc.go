@@ -64,6 +64,25 @@
 // The plain methods (KMostLikely, KMostLikelyRanked, Threshold) are thin
 // wrappers over these with context.Background().
 //
+// # Sharding
+//
+// NewSharded partitions the index across n independent Gauss-trees (one
+// durable page file each under Options.Path, reattached with OpenSharded)
+// and fans every query out to all shards concurrently. Because the Bayes
+// denominator of P(v|q) sums over the entire database, the shard layer
+// merges per-shard denominator intervals — exact log-density sums plus the
+// §5.2.2 floor/hull sum bounds of unexplored subtrees — by log-sum-exp
+// into one global interval before any probability is reported, so sharded
+// results carry exactly the certification a single tree over all the data
+// would produce:
+//
+//	idx, _ := gausstree.NewSharded(3, 4, gausstree.Options{Path: "idx-dir"})
+//	idx.BulkLoad(vectors)
+//	matches, stats, _ := idx.KMLIQContext(ctx, q, 5)  // stats.PerShard, stats.MergeRounds
+//
+// Options.Partition picks the mutation-routing policy (hash-by-id default,
+// round-robin option); it is persisted in the shard manifest.
+//
 // # Architecture
 //
 // The implementation is layered; each layer lives in its own internal
@@ -76,8 +95,11 @@
 //	scan/vafile/xtree  competitor backends on the same substrate
 //	query     the Engine interface all four backends implement,
 //	          result types and the concurrent BatchExecutor
+//	shard     the sharded engine: partitioners, concurrent fan-out,
+//	          cross-shard Bayes-denominator merging over N core trees
 //	eval      the experiment harness driving engines uniformly
 //
-// This package is the public façade over core. It is safe for concurrent
-// use: readers proceed in parallel, writers are exclusive.
+// This package is the public façade over core (Tree) and shard (Sharded).
+// It is safe for concurrent use: readers proceed in parallel, writers are
+// exclusive.
 package gausstree

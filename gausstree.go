@@ -96,6 +96,11 @@ type Options struct {
 	// (default 1e-6). Lower accuracy (larger values) lets queries stop
 	// earlier; 0 keeps whatever interval the traversal certified.
 	Accuracy float64
+	// Partition selects the shard-routing policy of a sharded tree
+	// (default PartitionHashByID); unsharded trees ignore it. It is
+	// persisted in the sharded manifest; OpenSharded restores the policy
+	// the index was built with and ignores this field.
+	Partition PartitionPolicy
 }
 
 func (o *Options) fillDefaults() {
@@ -330,18 +335,26 @@ func (t *Tree) TIQContext(ctx context.Context, q Vector, pTheta float64) ([]Matc
 	return toMatches(res), toQueryStats(stats), err
 }
 
-// Stats reports the I/O counters of the underlying page manager.
-func (t *Tree) Stats() pagefile.Stats {
+// Stats reports the I/O counters of the underlying page manager. Like every
+// other operation it reports ErrClosed after Close.
+func (t *Tree) Stats() (pagefile.Stats, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return t.mgr.Stats()
+	if t.tree == nil {
+		return pagefile.Stats{}, ErrClosed
+	}
+	return t.mgr.Stats(), nil
 }
 
-// ResetStats zeroes the I/O counters.
-func (t *Tree) ResetStats() {
+// ResetStats zeroes the I/O counters. It reports ErrClosed after Close.
+func (t *Tree) ResetStats() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.tree == nil {
+		return ErrClosed
+	}
 	t.mgr.ResetStats()
+	return nil
 }
 
 // CheckInvariants verifies the structural invariants of the index; intended

@@ -457,6 +457,12 @@ func TestClosedTreeOperations(t *testing.T) {
 	if _, err := tree.Delete(v); err != gausstree.ErrClosed {
 		t.Errorf("delete after close: %v", err)
 	}
+	if _, err := tree.Stats(); err != gausstree.ErrClosed {
+		t.Errorf("Stats after close: %v", err)
+	}
+	if err := tree.ResetStats(); err != gausstree.ErrClosed {
+		t.Errorf("ResetStats after close: %v", err)
+	}
 	if err := tree.Close(); err != nil {
 		t.Errorf("double close: %v", err)
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 
+	"github.com/gauss-tree/gausstree/internal/gaussian"
 	"github.com/gauss-tree/gausstree/internal/pagefile"
 )
 
@@ -92,6 +93,17 @@ func (d *denomTracker) pop(a activeNode) {
 	d.mutations++
 }
 
+// clearQueueBounds zeroes the floor/hull accumulators. Called when the
+// active queue has drained: the true sums over zero subtrees are exactly
+// zero, but the O(1)-remove accumulators retain cancellation residue that
+// would otherwise survive as phantom denominator mass (wide enough, at
+// double precision, to block accuracy certification forever).
+func (d *denomTracker) clearQueueBounds() {
+	d.floorPQ.reset()
+	d.hullPQ.reset()
+	d.mutations = 0
+}
+
 // maybeRebuild recomputes the queue-bound accumulators from the live queue
 // contents when enough mutations have accumulated.
 func (d *denomTracker) maybeRebuild(items func(func(activeNode, float64))) {
@@ -105,6 +117,16 @@ func (d *denomTracker) maybeRebuild(items func(func(activeNode, float64))) {
 		d.floorPQ.add(a.logFloorN)
 		d.hullPQ.add(a.logHullN)
 	})
+}
+
+// parts exports the tracker's three log-space components for cross-tree
+// denominator merging (see DenomParts).
+func (d *denomTracker) parts() DenomParts {
+	return DenomParts{
+		LogExact: d.exact.log(),
+		LogFloor: d.floorPQ.log(),
+		LogHull:  d.hullPQ.log(),
+	}
 }
 
 // logLow returns the log of the certified lower denominator bound.
@@ -124,6 +146,16 @@ func (d *denomTracker) probInterval(logDensity float64) (lo, hi float64) {
 	return lo, hi
 }
 
+// probWidthBound returns an upper bound on the width of the reported
+// probability interval for a candidate with the given log density: the
+// unclamped width e^ld·(1/low − 1/high). It is monotone in the density and
+// clamping only shrinks reported intervals, so evaluating it at the densest
+// surviving candidate certifies every candidate's width in O(1) — no
+// per-candidate sweep per expansion.
+func (d *denomTracker) probWidthBound(logDensity float64) float64 {
+	return math.Exp(logDensity-d.logLow()) - math.Exp(logDensity-d.logHigh())
+}
+
 func clamp01(x float64) float64 {
 	switch {
 	case math.IsNaN(x):
@@ -137,15 +169,4 @@ func clamp01(x float64) float64 {
 }
 
 // logAddExp returns ln(exp(a)+exp(b)) without overflow.
-func logAddExp(a, b float64) float64 {
-	if math.IsInf(a, -1) {
-		return b
-	}
-	if math.IsInf(b, -1) {
-		return a
-	}
-	if a < b {
-		a, b = b, a
-	}
-	return a + math.Log1p(math.Exp(b-a))
-}
+func logAddExp(a, b float64) float64 { return gaussian.LogAddExp(a, b) }

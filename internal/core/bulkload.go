@@ -106,7 +106,9 @@ func (t *Tree) bulkLoad(vs []pfv.Vector) error {
 	t.decMu.Lock()
 	delete(t.decoded, t.root)
 	t.decMu.Unlock()
-	t.mgr.FreeDeferred(t.root)
+	if err := t.mgr.FreeDeferred(t.root); err != nil {
+		return err
+	}
 	t.root = level[0].page
 	t.height = height
 	t.count = len(vs)

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/gauss-tree/gausstree/internal/pfv"
+	"github.com/gauss-tree/gausstree/internal/pqueue"
+	"github.com/gauss-tree/gausstree/internal/query"
+)
+
+// This file is the coordination surface of the sharded engine
+// (internal/shard): resumable query cursors that expose the per-tree
+// denominator interval instead of finished probabilities.
+//
+// The paper's identification probability P(v|q) = p(q|v) / Σ_w p(q|w) is a
+// global quantity — the Bayes denominator sums over the ENTIRE database. A
+// tree that holds only one shard of the data can therefore never finish a
+// probability on its own; what it CAN certify, by the additive structure of
+// §5.2.2's n·ˇN/n·ˆN sum bounds, is an interval around its own contribution
+// to the denominator. A cursor runs the shared best-first traversal
+// (executor.go) up to a caller-chosen certification target, pauses, and
+// hands out (a) its candidates with exact joint log densities and (b) its
+// DenomParts. The shard coordinator merges the parts of all trees by
+// log-sum-exp, decides globally, and — when the merged interval is still too
+// wide — resumes the cursors with a stricter target. Because exact sums and
+// floor/hull bounds are additive across disjoint data partitions, the merged
+// interval certifies merged probabilities exactly as one tree over the union
+// of the data would.
+
+// DenomParts are the log-space components of one tree's certified
+// contribution to the global Bayes denominator Σ_w p(q|w):
+//
+//	LogExact — ln Σ p(q|v) over the objects the traversal scored exactly;
+//	LogFloor — ln Σ n·ˇN(q) over its unexplored subtrees (lower bounds);
+//	LogHull  — ln Σ n·ˆN(q) over its unexplored subtrees (upper bounds).
+//
+// The tree's denominator contribution provably lies in
+// [exp(LogLow), exp(LogHigh)]. All three components are additive across
+// disjoint trees (in linear space), which is what makes sharded
+// probabilities exact: summing per-shard parts yields the same interval a
+// single tree over the union would certify.
+// LogHull doubles as the refinement currency of the shard coordinator: the
+// interval's absolute gap high−low is at most the unexplored hull mass
+// exp(LogHull), which shrinks monotonically as the traversal expands (a
+// child's hull never exceeds its parent's, and scored leaf mass moves into
+// LogExact) and reaches −Inf at exhaustion. "Expand until your unexplored
+// mass is below T" is therefore achievable by every shard regardless of how
+// much total mass it holds — unlike a relative-width target, which a shard
+// with near-zero floor mass could only meet by exhausting itself.
+type DenomParts struct {
+	LogExact float64
+	LogFloor float64
+	LogHull  float64
+}
+
+// LogLow returns the log of the certified lower denominator bound.
+func (p DenomParts) LogLow() float64 { return logAddExp(p.LogExact, p.LogFloor) }
+
+// LogHigh returns the log of the certified upper denominator bound.
+func (p DenomParts) LogHigh() float64 { return logAddExp(p.LogExact, p.LogHull) }
+
+// LogGap is the multiplicative width of the certified denominator interval,
+// ln(high/low). It is 0 when the traversal has exhausted the tree (the
+// denominator is then known exactly, including the empty-tree case) and +Inf
+// while no lower bound has been established yet.
+func (p DenomParts) LogGap() float64 {
+	hi, lo := p.LogHigh(), p.LogLow()
+	if math.IsInf(hi, -1) {
+		return 0 // nothing unexplored and nothing scored: exactly zero mass
+	}
+	if math.IsInf(lo, -1) {
+		return math.Inf(1)
+	}
+	return hi - lo
+}
+
+// ProbInterval converts a candidate's joint log density into the certified
+// probability interval implied by this denominator interval, clamped to
+// [0,1].
+func (p DenomParts) ProbInterval(logDensity float64) (lo, hi float64) {
+	lo = clamp01(math.Exp(logDensity - p.LogHigh()))
+	hi = clamp01(math.Exp(logDensity - p.LogLow()))
+	if hi < lo { // defensive: drift could invert a razor-thin interval
+		lo, hi = hi, lo
+	}
+	return lo, hi
+}
+
+// Candidate is one result candidate of a paused cursor: a database object
+// with its exact joint log density ln p(q|v). Probabilities are deliberately
+// absent — they require the merged global denominator.
+type Candidate struct {
+	Vector     pfv.Vector
+	LogDensity float64
+}
+
+// SortCandidates orders by descending log density, ties by ascending id —
+// the same order query.SortByProbability induces once a shared denominator
+// turns densities into probabilities. It is the one canonical candidate
+// order; the shard merge uses it so sharded and unsharded orderings can
+// never diverge.
+func SortCandidates(cs []Candidate) {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].LogDensity != cs[j].LogDensity {
+			return cs[i].LogDensity > cs[j].LogDensity
+		}
+		return cs[i].Vector.ID < cs[j].Vector.ID
+	})
+}
+
+// KMLIQCursor is a resumable k-MLIQ traversal over one tree. Refine runs it
+// until the local top-k ranking is determined and the tree's denominator
+// interval is certified to a target width; Candidates and DenomParts expose
+// the paused state for cross-tree merging.
+type KMLIQCursor struct {
+	tr  *traversal
+	top *pqueue.TopK[pfv.Vector]
+	err error
+}
+
+// NewKMLIQCursor starts a resumable k-MLIQ traversal. No pages are read
+// until the first Refine.
+func (t *Tree) NewKMLIQCursor(ctx context.Context, q pfv.Vector, k int) (*KMLIQCursor, error) {
+	if err := t.checkQuery(q, k); err != nil {
+		return nil, err
+	}
+	top := pqueue.NewTopK[pfv.Vector](k)
+	tr := t.newTraversal(ctx, q, true, func(v pfv.Vector, ld float64) {
+		top.Offer(v, ld)
+	})
+	return &KMLIQCursor{tr: tr, top: top}, nil
+}
+
+// Refine resumes the traversal until (a) the local top-k set is determined
+// and every local candidate's probability interval against the LOCAL
+// denominator is within accuracy — the exact §5.2.2 stop condition a
+// stand-alone tree would use, so the first round costs what an unsharded
+// query costs — and (b) the unexplored hull mass is at most
+// exp(maxLogUnexplored) (+Inf skips the condition). Calling Refine again
+// with a smaller mass target resumes exactly where the previous call
+// paused; the coordinator computes the target from whatever certification
+// the merged denominator interval is still missing. After an error
+// (including context cancellation) the cursor is dead and returns the same
+// error from every subsequent Refine.
+func (c *KMLIQCursor) Refine(accuracy, maxLogUnexplored float64) error {
+	if c.err != nil {
+		return c.err
+	}
+	t := c.tr.tree
+	c.err = c.tr.run(func() bool {
+		if !t.mliqDone(c.top, c.tr.active, &c.tr.denom, accuracy) {
+			return false
+		}
+		return c.tr.denom.parts().LogHull <= maxLogUnexplored
+	})
+	return c.err
+}
+
+// Candidates returns the current local top-k, best first. The cursor remains
+// usable — the candidate heap is copied, not drained.
+func (c *KMLIQCursor) Candidates() []Candidate {
+	out := make([]Candidate, 0, c.top.Len())
+	c.top.Items(func(v pfv.Vector, ld float64) {
+		out = append(out, Candidate{Vector: v, LogDensity: ld})
+	})
+	SortCandidates(out)
+	return out
+}
+
+// DenomParts returns the tree's current certified denominator components.
+func (c *KMLIQCursor) DenomParts() DenomParts { return c.tr.denom.parts() }
+
+// Exhausted reports whether the traversal has explored the whole tree (the
+// denominator contribution is then exact and Refine can tighten no further).
+func (c *KMLIQCursor) Exhausted() bool { return c.tr.started && c.tr.active.Len() == 0 }
+
+// Stats returns the query statistics accumulated over all Refine calls.
+func (c *KMLIQCursor) Stats() query.Stats { return c.tr.finish(c.top.Len()) }
+
+// TIQCursor is a resumable threshold identification traversal over one
+// tree. It retains every candidate that could still reach the threshold
+// against the combined (local + external) denominator lower bound; the
+// global in/out decisions belong to the coordinator, which resumes the
+// cursor until the merged interval decides every candidate.
+type TIQCursor struct {
+	tr         *traversal
+	candidates *pqueue.Queue[pfv.Vector]
+	logTheta   float64 // ln pTheta; −Inf for pTheta = 0
+	err        error
+}
+
+// NewTIQCursor starts a resumable TIQ traversal. No pages are read until the
+// first Refine.
+func (t *Tree) NewTIQCursor(ctx context.Context, q pfv.Vector, pTheta float64) (*TIQCursor, error) {
+	if q.Dim() != t.dim {
+		return nil, fmt.Errorf("%w: query dimension %d, tree dimension %d", ErrDimension, q.Dim(), t.dim)
+	}
+	if pTheta < 0 || pTheta > 1 {
+		return nil, fmt.Errorf("core: threshold %v outside [0,1]", pTheta)
+	}
+	candidates := pqueue.NewMin[pfv.Vector]()
+	tr := t.newTraversal(ctx, q, true, func(v pfv.Vector, ld float64) {
+		candidates.Push(v, ld)
+	})
+	return &TIQCursor{tr: tr, candidates: candidates, logTheta: math.Log(pTheta)}, nil
+}
+
+// qualifies reports whether a log density could still reach the threshold
+// against the combined denominator lower bound: exp(ld−low) ≥ pθ. With no
+// lower bound established (low = −Inf) the best case is unbounded and
+// everything qualifies, mirroring clamp01's conservative handling.
+func (c *TIQCursor) qualifies(ld, logLow float64) bool {
+	if math.IsInf(c.logTheta, -1) || math.IsInf(logLow, -1) {
+		return true
+	}
+	return ld-logLow >= c.logTheta
+}
+
+// Refine resumes the traversal until no unexplored subtree can hold an
+// object that still reaches the threshold against the combined denominator
+// lower bound, and the unexplored hull mass is at most
+// exp(maxLogUnexplored) (+Inf skips the condition, giving the natural
+// stand-alone TIQ exploration cost on the first round).
+//
+// logExternalLow is the certified log lower bound of every OTHER shard's
+// denominator contribution (−Inf when unknown). Because per-shard lower
+// bounds only grow, a bound taken from a previous merge round is still
+// valid, and feeding it back both prunes candidates and disqualifies
+// subtrees earlier than a tree-local TIQ could — the denominator mass of the
+// other shards works for this shard's pruning. Dropped candidates are final:
+// the combined lower bound is monotone, so a candidate below the threshold
+// against it can never qualify later.
+func (c *TIQCursor) Refine(maxLogUnexplored, logExternalLow float64) error {
+	if c.err != nil {
+		return c.err
+	}
+	c.err = c.tr.run(func() bool {
+		low := logAddExp(c.tr.denom.parts().LogLow(), logExternalLow)
+		c.prune(low)
+		if _, topPrio, ok := c.tr.active.Peek(); ok {
+			if c.qualifies(topPrio, low) {
+				return false // an unexplored subtree could still qualify
+			}
+		}
+		return c.tr.denom.parts().LogHull <= maxLogUnexplored
+	})
+	return c.err
+}
+
+// prune drops candidates whose best-case probability against the combined
+// lower bound is already below the threshold (Figure 5's "delete unnecessary
+// candidates" loop, with the other shards' mass included).
+func (c *TIQCursor) prune(logLow float64) {
+	for c.candidates.Len() > 0 {
+		_, ld, _ := c.candidates.Peek()
+		if c.qualifies(ld, logLow) {
+			return
+		}
+		c.candidates.Pop()
+	}
+}
+
+// Candidates returns the surviving candidates, best first. The cursor
+// remains usable — the candidate set is copied, not drained.
+func (c *TIQCursor) Candidates() []Candidate {
+	out := make([]Candidate, 0, c.candidates.Len())
+	c.candidates.Items(func(v pfv.Vector, ld float64) {
+		out = append(out, Candidate{Vector: v, LogDensity: ld})
+	})
+	SortCandidates(out)
+	return out
+}
+
+// Prune applies the threshold filter against an up-to-date combined
+// denominator lower bound supplied by the coordinator (local LogLow already
+// merged with the other shards' bounds by the caller).
+func (c *TIQCursor) Prune(logCombinedLow float64) { c.prune(logCombinedLow) }
+
+// DenomParts returns the tree's current certified denominator components.
+func (c *TIQCursor) DenomParts() DenomParts { return c.tr.denom.parts() }
+
+// Exhausted reports whether the traversal has explored the whole tree.
+func (c *TIQCursor) Exhausted() bool { return c.tr.started && c.tr.active.Len() == 0 }
+
+// Stats returns the query statistics accumulated over all Refine calls.
+func (c *TIQCursor) Stats() query.Stats { return c.tr.finish(c.candidates.Len()) }

@@ -102,7 +102,9 @@ func (t *Tree) delete(v pfv.Vector) (bool, error) {
 		t.decMu.Lock()
 		delete(t.decoded, oldID)
 		t.decMu.Unlock()
-		t.mgr.FreeDeferred(oldID)
+		if err := t.mgr.FreeDeferred(oldID); err != nil {
+			return false, err
+		}
 		root = next
 		t.root = root.id
 		t.height--
@@ -114,7 +116,9 @@ func (t *Tree) delete(v pfv.Vector) (bool, error) {
 		t.decMu.Lock()
 		delete(t.decoded, root.id)
 		t.decMu.Unlock()
-		t.mgr.FreeDeferred(root.id)
+		if err := t.mgr.FreeDeferred(root.id); err != nil {
+			return false, err
+		}
 		rootID, err := t.mgr.Allocate()
 		if err != nil {
 			return false, err
@@ -219,6 +223,5 @@ func (t *Tree) freeNodeSubtree(n *node) error {
 	t.decMu.Lock()
 	delete(t.decoded, n.id)
 	t.decMu.Unlock()
-	t.mgr.FreeDeferred(n.id)
-	return nil
+	return t.mgr.FreeDeferred(n.id)
 }

@@ -28,6 +28,7 @@ type traversal struct {
 	trackDenom bool
 	counter    pagefile.Counter
 	stats      query.Stats
+	started    bool // root expanded; run() may be called again to resume
 	// onVector receives every exactly scored leaf object.
 	onVector func(v pfv.Vector, ld float64)
 }
@@ -43,14 +44,22 @@ func (t *Tree) newTraversal(ctx context.Context, q pfv.Vector, trackDenom bool, 
 	}
 }
 
-// run executes the best-first loop: it expands the root, then repeatedly
-// evaluates the stop condition and expands the highest-priority subtree.
-// done is checked between expansions, so it observes a consistent queue and
-// denominator state. The context is checked before every node read; a
-// cancellation surfaces as ctx.Err() with the stats accumulated so far.
+// run executes the best-first loop: it expands the root (on the first call),
+// then repeatedly evaluates the stop condition and expands the
+// highest-priority subtree. done is checked between expansions, so it
+// observes a consistent queue and denominator state. The context is checked
+// before every node read; a cancellation surfaces as ctx.Err() with the
+// stats accumulated so far.
+//
+// run may be called again with a stricter stop condition to resume the
+// traversal exactly where it paused — the resumable cursors of the sharded
+// engine (cursor.go) rely on this.
 func (tr *traversal) run(done func() bool) error {
-	if err := tr.expand(activeNode{page: tr.tree.root, count: tr.tree.count}); err != nil {
-		return err
+	if !tr.started {
+		tr.started = true
+		if err := tr.expand(activeNode{page: tr.tree.root, count: tr.tree.count}); err != nil {
+			return err
+		}
 	}
 	for tr.active.Len() > 0 && !done() {
 		a, _, _ := tr.active.Pop()
@@ -63,6 +72,12 @@ func (tr *traversal) run(done func() bool) error {
 		if tr.trackDenom {
 			tr.denom.maybeRebuild(tr.active.Items)
 		}
+	}
+	if tr.trackDenom && tr.active.Len() == 0 {
+		// The tree is exhausted: the denominator is exactly the sum of the
+		// scored densities. Drop the accumulators' cancellation residue so
+		// the certified interval collapses to a point.
+		tr.denom.clearQueueBounds()
 	}
 	tr.stats.EarlyTermination = tr.active.Len() > 0
 	return nil

@@ -158,6 +158,44 @@ func TestTIQEqualsScan(t *testing.T) {
 	}
 }
 
+// TestTIQAccuracyCertifiesEveryResult is the regression test for the stop
+// condition that certified only the highest-density candidate: every reported
+// TIQ result — not just the top one — must carry a probability interval no
+// wider than the requested accuracy, with the true probability inside it.
+func TestTIQAccuracyCertifiesEveryResult(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	vs := clusteredVectors(rng, 800, 3, 4)
+	tr, sf := buildPair(t, vs, 3, 1024, Config{})
+	const accuracy = 0.01
+	for trial := 0; trial < 25; trial++ {
+		q := reobserved(rng, vs[rng.Intn(len(vs))])
+		for _, pTheta := range []float64{0.05, 0.2, 0.5} {
+			want, _, err := sf.TIQ(context.Background(), q, pTheta, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			truth := map[uint64]float64{}
+			for _, r := range want {
+				truth[r.Vector.ID] = r.Probability
+			}
+			got, _, err := tr.TIQ(context.Background(), q, pTheta, accuracy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, r := range got {
+				if width := r.ProbHigh - r.ProbLow; width > accuracy+1e-12 {
+					t.Errorf("trial %d Pθ=%v: result %d (id %d) interval width %v exceeds accuracy %v",
+						trial, pTheta, i, r.Vector.ID, width, accuracy)
+				}
+				if p, ok := truth[r.Vector.ID]; ok && (r.ProbLow-1e-12 > p || p > r.ProbHigh+1e-12) {
+					t.Errorf("trial %d Pθ=%v: object %d true p=%v outside [%v,%v]",
+						trial, pTheta, r.Vector.ID, p, r.ProbLow, r.ProbHigh)
+				}
+			}
+		}
+	}
+}
+
 func TestTIQBorderlineThresholds(t *testing.T) {
 	// Small databases where candidate probabilities sit near the threshold
 	// force the refinement loop to drain bounds until decisions are certain.

@@ -32,7 +32,7 @@ func (t *Tree) TIQ(ctx context.Context, q pfv.Vector, pTheta float64, accuracy f
 	}
 
 	candidates := pqueue.NewMin[pfv.Vector]() // ordered by log density: cheap removal of the weakest
-	maxLd := math.Inf(-1)                     // highest candidate density seen (for the accuracy stop)
+	maxLd := math.Inf(-1)                     // densest candidate seen; prune never outlives it (min-pop)
 	tr := t.newTraversal(ctx, q, true, func(v pfv.Vector, ld float64) {
 		candidates.Push(v, ld)
 		if ld > maxLd {
@@ -64,11 +64,16 @@ func (t *Tree) TIQ(ctx context.Context, q pfv.Vector, pTheta float64, accuracy f
 			if lo, _ := tr.denom.probInterval(minLd); lo < pTheta {
 				return false // weakest candidate not yet certified
 			}
-			if accuracy > 0 {
-				lo, hi := tr.denom.probInterval(maxLd)
-				if hi-lo > accuracy {
-					return false
-				}
+			if accuracy > 0 && tr.denom.probWidthBound(maxLd) > accuracy {
+				// Every reported probability must be certified within the
+				// requested accuracy. The unclamped width bound at the
+				// densest candidate dominates every survivor's reported
+				// width (widths are monotone in density against the shared
+				// denominator, and clamping only shrinks them), so this
+				// single O(1) check certifies the whole candidate set —
+				// including the lower-ranked candidates the previous
+				// clamped maxLd check could miss.
+				return false
 			}
 		}
 		return true

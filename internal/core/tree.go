@@ -312,8 +312,7 @@ func (t *Tree) rewriteNode(n *node) error {
 	delete(t.decoded, old)
 	t.decMu.Unlock()
 	t.cacheNode(n)
-	t.mgr.FreeDeferred(old)
-	return nil
+	return t.mgr.FreeDeferred(old)
 }
 
 func (t *Tree) cacheNode(n *node) {
@@ -343,8 +342,7 @@ func (t *Tree) freeSubtree(id pagefile.PageID) error {
 	t.decMu.Lock()
 	delete(t.decoded, id)
 	t.decMu.Unlock()
-	t.mgr.FreeDeferred(id)
-	return nil
+	return t.mgr.FreeDeferred(id)
 }
 
 func max(a, b int) int {

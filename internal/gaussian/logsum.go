@@ -64,6 +64,21 @@ func (s *LogSum) Terms() int { return s.n }
 // Reset empties the accumulator.
 func (s *LogSum) Reset() { *s = LogSum{} }
 
+// LogAddExp returns ln(exp(a)+exp(b)) without overflow or allocation — the
+// two-term special case of LogSumExpSlice.
+func LogAddExp(a, b float64) float64 {
+	if math.IsInf(a, -1) {
+		return b
+	}
+	if math.IsInf(b, -1) {
+		return a
+	}
+	if a < b {
+		a, b = b, a
+	}
+	return a + math.Log1p(math.Exp(b-a))
+}
+
 // LogSumExpSlice returns ln Σ exp(xs[i]) computed in one pass over the slice;
 // it returns −Inf for an empty slice.
 func LogSumExpSlice(xs []float64) float64 {

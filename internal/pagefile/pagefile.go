@@ -269,8 +269,12 @@ func decodeManagerMeta(buf []byte) (next PageID, freelist []PageID, user []byte,
 		return 0, nil, nil, fmt.Errorf("pagefile: unsupported meta version %d", buf[0])
 	}
 	next = PageID(binary.LittleEndian.Uint32(buf[1:]))
+	// The count is corruption-controlled: bound it against the remaining
+	// payload BEFORE any arithmetic on it — computing 9+4*n first would
+	// overflow int on 32-bit platforms for counts near 2³⁰ and bypass the
+	// check (and over-allocate wildly on 64-bit ones).
 	n := int(binary.LittleEndian.Uint32(buf[5:]))
-	if n < 0 || 9+4*n > len(buf) {
+	if n < 0 || n > (len(buf)-9)/4 {
 		return 0, nil, nil, fmt.Errorf("pagefile: meta freelist of %d ids overruns payload", n)
 	}
 	freelist = make([]PageID, n)
@@ -319,15 +323,20 @@ func (m *Manager) Allocate() (PageID, error) {
 // Free returns a page to the allocator for immediate reuse. The page's
 // content becomes invalid. Clients that commit meta states (and need crash
 // safety) must use FreeDeferred instead, because an immediately reused page
-// may still be referenced by the last committed state.
-func (m *Manager) Free(id PageID) {
+// may still be referenced by the last committed state. Like every other
+// operation it reports ErrClosed on a closed manager.
+func (m *Manager) Free(id PageID) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
 	if e, ok := m.cache[id]; ok {
 		m.lru.Remove(e)
 		delete(m.cache, id)
 	}
 	m.freelist = append(m.freelist, id)
+	return nil
 }
 
 // FreeDeferred releases a page under the shadow-paging discipline: the page
@@ -339,9 +348,14 @@ func (m *Manager) Free(id PageID) {
 // by the committed state and is recycled immediately, so rewriting the same
 // node many times between commits reuses one page slot instead of one per
 // version.
-func (m *Manager) FreeDeferred(id PageID) {
+//
+// Like every other operation it reports ErrClosed on a closed manager.
+func (m *Manager) FreeDeferred(id PageID) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
 	if e, ok := m.cache[id]; ok {
 		m.lru.Remove(e)
 		delete(m.cache, id)
@@ -349,9 +363,10 @@ func (m *Manager) FreeDeferred(id PageID) {
 	if _, fresh := m.freshPages[id]; fresh {
 		delete(m.freshPages, id)
 		m.freelist = append(m.freelist, id)
-		return
+		return nil
 	}
 	m.pendingFree = append(m.pendingFree, id)
+	return nil
 }
 
 // Read returns the content of a page without per-query attribution; it is

@@ -2,6 +2,7 @@ package pagefile
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"math/rand"
 	"os"
@@ -81,6 +82,45 @@ func TestFreelistReuse(t *testing.T) {
 	d, _ := m.Allocate()
 	if d == b || d == c {
 		t.Errorf("fresh allocation collided: %d", d)
+	}
+}
+
+// TestDecodeManagerMetaCorrupt feeds decodeManagerMeta the corruption matrix
+// every field can suffer: truncation, wrong version, and freelist counts that
+// overrun the payload — including counts chosen so that the naive 9+4*n
+// length check would overflow int on 32-bit platforms (4*0x40000000 wraps to
+// 0) and silently pass.
+func TestDecodeManagerMetaCorrupt(t *testing.T) {
+	valid := encodeManagerMeta(7, []PageID{3, 5}, []byte("user"))
+	countAt := func(n uint32) []byte {
+		buf := append([]byte(nil), valid...)
+		binary.LittleEndian.PutUint32(buf[5:], n)
+		return buf
+	}
+	cases := []struct {
+		name string
+		buf  []byte
+	}{
+		{"empty", nil},
+		{"truncated", valid[:8]},
+		{"bad version", append([]byte{99}, valid[1:]...)},
+		{"count overruns payload", countAt(4)},
+		{"count max uint32", countAt(0xFFFFFFFF)},
+		{"count overflows 32-bit int", countAt(0x7FFFFFFF)},  // 9+4n wraps negative
+		{"count wraps to small length", countAt(0x40000000)}, // 4n wraps to 0, 9+4n = 9
+	}
+	for _, c := range cases {
+		if _, _, _, err := decodeManagerMeta(c.buf); err == nil {
+			t.Errorf("%s: decode accepted corrupt meta", c.name)
+		}
+	}
+
+	next, freelist, user, err := decodeManagerMeta(valid)
+	if err != nil {
+		t.Fatalf("valid meta rejected: %v", err)
+	}
+	if next != 7 || len(freelist) != 2 || freelist[0] != 3 || freelist[1] != 5 || string(user) != "user" {
+		t.Errorf("roundtrip mismatch: next=%d freelist=%v user=%q", next, freelist, user)
 	}
 }
 
@@ -238,6 +278,15 @@ func TestClosedManager(t *testing.T) {
 	}
 	if _, err := m.Allocate(); err == nil {
 		t.Error("allocate after close should fail")
+	}
+	if err := m.Free(id); !errors.Is(err, ErrClosed) {
+		t.Errorf("Free after close = %v, want ErrClosed", err)
+	}
+	if err := m.FreeDeferred(id); !errors.Is(err, ErrClosed) {
+		t.Errorf("FreeDeferred after close = %v, want ErrClosed", err)
+	}
+	if _, err := m.Allocate(); err == nil {
+		t.Error("a closed-manager Free must not repopulate the freelist")
 	}
 	if err := m.Close(); err != nil {
 		t.Error("double close should be a no-op")

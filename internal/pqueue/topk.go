@@ -46,8 +46,9 @@ func (t *TopK[T]) Len() int { return t.heap.Len() }
 func (t *TopK[T]) K() int { return t.k }
 
 // Bound returns the current k-th best priority, the score every unexplored
-// element must beat to enter the result. Until the collector is full it
-// returns (−Inf is not used) ok=false so callers cannot prune prematurely.
+// element must beat to enter the result. Until the collector is full there
+// is no bound yet and it returns ok=false (rather than a −Inf sentinel), so
+// callers cannot prune prematurely.
 func (t *TopK[T]) Bound() (prio float64, ok bool) {
 	if t.heap.Len() < t.k {
 		return 0, false

@@ -40,6 +40,19 @@ func SortByProbability(rs []Result) {
 	})
 }
 
+// SortByDensity orders results by descending joint log density, breaking
+// ties by ascending object id — the order SortByProbability induces once a
+// shared denominator turns densities into probabilities, usable when
+// probabilities were not computed (ranked queries).
+func SortByDensity(rs []Result) {
+	sort.SliceStable(rs, func(i, j int) bool {
+		if rs[i].LogDensity != rs[j].LogDensity {
+			return rs[i].LogDensity > rs[j].LogDensity
+		}
+		return rs[i].Vector.ID < rs[j].Vector.ID
+	})
+}
+
 // IDs extracts the object ids of a result list, preserving order.
 func IDs(rs []Result) []uint64 {
 	out := make([]uint64, len(rs))

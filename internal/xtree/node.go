@@ -162,7 +162,9 @@ func (t *Tree) writeNode(n *node) error {
 	}
 	for len(n.pages) > need {
 		last := n.pages[len(n.pages)-1]
-		t.mgr.Free(last)
+		if err := t.mgr.Free(last); err != nil {
+			return err
+		}
 		n.pages = n.pages[:len(n.pages)-1]
 	}
 

@@ -1,0 +1,475 @@
+package gausstree
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"github.com/gauss-tree/gausstree/internal/core"
+	"github.com/gauss-tree/gausstree/internal/pagefile"
+	"github.com/gauss-tree/gausstree/internal/shard"
+)
+
+// PartitionPolicy selects how a sharded tree routes vectors to shards.
+type PartitionPolicy uint8
+
+const (
+	// PartitionHashByID (the default) hashes the object id, so placement is
+	// stable across restarts and repeated observations of one object stay
+	// colocated; deletes touch exactly one shard.
+	PartitionHashByID PartitionPolicy = iota
+	// PartitionRoundRobin rotates over shards for perfectly even growth
+	// regardless of id distribution; deletes must probe every shard.
+	PartitionRoundRobin
+)
+
+func (p PartitionPolicy) name() string {
+	if p == PartitionRoundRobin {
+		return "round-robin"
+	}
+	return "hash-id"
+}
+
+// ShardedQueryStats extends QueryStats with the sharded execution profile:
+// the per-shard breakdown of the aggregated counters and the number of
+// cross-shard denominator merge rounds the query needed (1 = the per-shard
+// certification was sufficient on the first pass).
+type ShardedQueryStats struct {
+	QueryStats
+	PerShard    []QueryStats
+	MergeRounds int
+}
+
+func toShardedStats(s shard.Stats) ShardedQueryStats {
+	per := make([]QueryStats, len(s.PerShard))
+	for i, p := range s.PerShard {
+		per[i] = toQueryStats(p)
+	}
+	return ShardedQueryStats{QueryStats: toQueryStats(s.Stats), PerShard: per, MergeRounds: s.MergeRounds}
+}
+
+// shardedManifest is the tiny JSON descriptor a durable sharded index keeps
+// next to its per-shard page files: everything OpenSharded needs that the
+// shard files themselves do not record.
+type shardedManifest struct {
+	Version   int
+	Shards    int
+	Partition string
+}
+
+const shardedManifestName = "shards.json"
+
+// shardFileName returns the page-file name of one shard.
+func shardFileName(i int) string { return fmt.Sprintf("shard-%04d.gtree", i) }
+
+// Sharded is a Gauss-tree partitioned across n independent shards, each its
+// own core tree (and, when durable, its own page file). Queries fan out to
+// every shard concurrently and merge per-shard Bayes-denominator intervals
+// by log-sum-exp, so probabilities and their certified bounds are exactly
+// what a single tree over the union of the data would report. It is safe
+// for concurrent use by multiple goroutines.
+type Sharded struct {
+	mu   sync.RWMutex
+	eng  *shard.Engine
+	mgrs []*pagefile.Manager
+	opts Options
+	dir  string
+}
+
+// NewSharded creates an empty sharded Gauss-tree with n shards for vectors
+// of the given dimension. With Options.Path the index lives in a directory
+// holding one durable page file per shard plus a manifest; a directory that
+// already holds a sharded index is rejected (reattach with OpenSharded).
+// Options.Partition selects the mutation-routing policy.
+func NewSharded(dim, n int, opts ...Options) (*Sharded, error) {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	o.fillDefaults()
+	if n <= 0 {
+		return nil, fmt.Errorf("gausstree: shard count must be positive, got %d", n)
+	}
+
+	var dir string
+	if o.Path != "" {
+		dir = o.Path
+		if _, err := os.Stat(filepath.Join(dir, shardedManifestName)); err == nil {
+			return nil, fmt.Errorf("gausstree: %s already holds a sharded index (use OpenSharded)", dir)
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		// No manifest means no create ever completed here (the manifest is
+		// written last), so any shard files present are provably debris
+		// from a crashed or failed NewSharded. Reclaim them — their
+		// committed headers would otherwise make pagefile.CreateFile refuse
+		// the path forever.
+		debris, err := filepath.Glob(filepath.Join(dir, "shard-*.gtree"))
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range debris {
+			if err := os.Remove(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	trees := make([]*core.Tree, n)
+	mgrs := make([]*pagefile.Manager, n)
+	fail := func(err error) (*Sharded, error) {
+		for _, m := range mgrs {
+			if m != nil {
+				m.Close()
+			}
+		}
+		if dir != "" {
+			// Remove the partial layout so a retry starts clean instead of
+			// tripping over committed shard files (every file here was
+			// created by this call — debris was reclaimed above).
+			for i := 0; i < n; i++ {
+				os.Remove(filepath.Join(dir, shardFileName(i)))
+			}
+		}
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		var backend pagefile.Backend
+		if dir != "" {
+			fb, err := pagefile.CreateFile(filepath.Join(dir, shardFileName(i)), o.PageSize)
+			if err != nil {
+				return fail(err)
+			}
+			backend = fb
+		} else {
+			backend = pagefile.NewMemBackend(o.PageSize)
+		}
+		mgr, err := pagefile.NewManager(backend, o.PageSize, pagefile.WithCacheBytes(o.CacheBytes/n))
+		if err != nil {
+			backend.Close()
+			return fail(err)
+		}
+		mgrs[i] = mgr
+		if trees[i], err = core.New(mgr, dim, core.Config{Combiner: o.Combiner}); err != nil {
+			return fail(err)
+		}
+	}
+	part, err := shard.ByName(o.Partition.name(), 0)
+	if err != nil {
+		return fail(err)
+	}
+	eng, err := shard.New(trees, part)
+	if err != nil {
+		return fail(err)
+	}
+	if dir != "" {
+		// The manifest is written last and atomically (temp file + rename):
+		// its presence implies every shard file was created and committed,
+		// so a crash mid-create leaves only reclaimable debris (see above),
+		// never a torn index.
+		m, err := json.Marshal(shardedManifest{Version: 1, Shards: n, Partition: o.Partition.name()})
+		if err != nil {
+			return fail(err)
+		}
+		tmp := filepath.Join(dir, shardedManifestName+".tmp")
+		if err := os.WriteFile(tmp, m, 0o644); err != nil {
+			return fail(err)
+		}
+		if err := os.Rename(tmp, filepath.Join(dir, shardedManifestName)); err != nil {
+			os.Remove(tmp)
+			return fail(err)
+		}
+	}
+	return &Sharded{eng: eng, mgrs: mgrs, opts: o, dir: dir}, nil
+}
+
+// OpenSharded reattaches a sharded Gauss-tree previously persisted in dir:
+// the manifest restores the shard count and partition policy, and each
+// shard's page file restores its own page size, σ-combiner and tree
+// geometry (crash-safely, as with Open). Options may tune the cache budget
+// and probability accuracy.
+func OpenSharded(dir string, opts ...Options) (*Sharded, error) {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	o.Path = dir
+	o.fillDefaults()
+
+	raw, err := os.ReadFile(filepath.Join(dir, shardedManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("gausstree: %s holds no sharded index manifest: %w", dir, err)
+	}
+	var m shardedManifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("gausstree: corrupt sharded manifest: %w", err)
+	}
+	if m.Version != 1 {
+		return nil, fmt.Errorf("gausstree: unsupported sharded manifest version %d", m.Version)
+	}
+	if m.Shards <= 0 {
+		return nil, fmt.Errorf("gausstree: sharded manifest names %d shards", m.Shards)
+	}
+
+	trees := make([]*core.Tree, m.Shards)
+	mgrs := make([]*pagefile.Manager, m.Shards)
+	fail := func(err error) (*Sharded, error) {
+		for _, mg := range mgrs {
+			if mg != nil {
+				mg.Close()
+			}
+		}
+		return nil, err
+	}
+	total := 0
+	for i := 0; i < m.Shards; i++ {
+		fb, err := pagefile.OpenFile(filepath.Join(dir, shardFileName(i)))
+		if err != nil {
+			return fail(err)
+		}
+		mgr, err := pagefile.NewManager(fb, fb.PageSize(), pagefile.WithCacheBytes(o.CacheBytes/m.Shards))
+		if err != nil {
+			fb.Close()
+			return fail(err)
+		}
+		mgrs[i] = mgr
+		if trees[i], err = core.Open(mgr); err != nil {
+			return fail(err)
+		}
+		total += trees[i].Len()
+	}
+	// Stateful partitioners (round-robin) resume their rotation from the
+	// stored vector count.
+	part, err := shard.ByName(m.Partition, uint64(total))
+	if err != nil {
+		return fail(err)
+	}
+	eng, err := shard.New(trees, part)
+	if err != nil {
+		return fail(err)
+	}
+	return &Sharded{eng: eng, mgrs: mgrs, opts: o, dir: dir}, nil
+}
+
+// NumShards returns the number of shards.
+func (s *Sharded) NumShards() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.eng == nil {
+		return 0
+	}
+	return s.eng.NumShards()
+}
+
+// Dim returns the feature dimensionality of the index.
+func (s *Sharded) Dim() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.eng == nil {
+		return 0
+	}
+	return s.eng.Dim()
+}
+
+// Len returns the total number of stored vectors across all shards.
+func (s *Sharded) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.eng == nil {
+		return 0
+	}
+	return s.eng.Len()
+}
+
+// Insert adds a vector to the shard its partition policy selects. Durable
+// shards commit crash-safely exactly like an unsharded Tree.
+func (s *Sharded) Insert(v Vector) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.eng == nil {
+		return ErrClosed
+	}
+	return s.eng.Insert(v)
+}
+
+// InsertAll adds a batch, loading the per-shard groups concurrently.
+func (s *Sharded) InsertAll(vs []Vector) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.eng == nil {
+		return ErrClosed
+	}
+	return s.eng.InsertAll(vs)
+}
+
+// BulkLoad partitions the vector set and bulk-loads all shards concurrently
+// (every shard must be empty).
+func (s *Sharded) BulkLoad(vs []Vector) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.eng == nil {
+		return ErrClosed
+	}
+	return s.eng.BulkLoad(vs)
+}
+
+// Delete removes one stored copy of the exact vector and reports whether one
+// was found. Hash-partitioned trees probe one shard; round-robin probes all.
+func (s *Sharded) Delete(v Vector) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.eng == nil {
+		return false, ErrClosed
+	}
+	return s.eng.Delete(v)
+}
+
+// KMostLikely answers a k-most-likely identification query across all
+// shards, with probabilities certified to the configured accuracy by the
+// merged cross-shard denominator interval. Results are ordered by
+// descending probability.
+func (s *Sharded) KMostLikely(q Vector, k int) ([]Match, error) {
+	ms, _, err := s.KMLIQContext(context.Background(), q, k)
+	return ms, err
+}
+
+// KMLIQContext is KMostLikely with cancellation and per-shard statistics.
+func (s *Sharded) KMLIQContext(ctx context.Context, q Vector, k int) ([]Match, ShardedQueryStats, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.eng == nil {
+		return nil, ShardedQueryStats{}, ErrClosed
+	}
+	res, st, err := s.eng.KMLIQDetail(ctx, q, k, s.opts.Accuracy)
+	return toMatches(res), toShardedStats(st), err
+}
+
+// KMostLikelyRanked answers a k-MLIQ without probability values (the
+// cheapest ranking query; no denominator merge is needed because the global
+// density order is the merge of the per-shard orders).
+func (s *Sharded) KMostLikelyRanked(q Vector, k int) ([]Match, error) {
+	ms, _, err := s.KMLIQRankedContext(context.Background(), q, k)
+	return ms, err
+}
+
+// KMLIQRankedContext is KMostLikelyRanked with cancellation and per-shard
+// statistics.
+func (s *Sharded) KMLIQRankedContext(ctx context.Context, q Vector, k int) ([]Match, ShardedQueryStats, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.eng == nil {
+		return nil, ShardedQueryStats{}, ErrClosed
+	}
+	res, st, err := s.eng.KMLIQRankedDetail(ctx, q, k)
+	return toMatches(res), toShardedStats(st), err
+}
+
+// Threshold answers a threshold identification query across all shards:
+// every object whose global identification probability reaches pTheta,
+// decided exactly via iterative cross-shard denominator refinement.
+func (s *Sharded) Threshold(q Vector, pTheta float64) ([]Match, error) {
+	ms, _, err := s.TIQContext(context.Background(), q, pTheta)
+	return ms, err
+}
+
+// TIQContext is Threshold with cancellation and per-shard statistics.
+func (s *Sharded) TIQContext(ctx context.Context, q Vector, pTheta float64) ([]Match, ShardedQueryStats, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.eng == nil {
+		return nil, ShardedQueryStats{}, ErrClosed
+	}
+	res, st, err := s.eng.TIQDetail(ctx, q, pTheta, s.opts.Accuracy)
+	return toMatches(res), toShardedStats(st), err
+}
+
+// ForEach visits every stored vector, shard by shard.
+func (s *Sharded) ForEach(fn func(Vector) error) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.eng == nil {
+		return ErrClosed
+	}
+	return s.eng.ForEach(fn)
+}
+
+// CheckInvariants verifies the structural invariants of every shard.
+func (s *Sharded) CheckInvariants() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.eng == nil {
+		return ErrClosed
+	}
+	for i := 0; i < s.eng.NumShards(); i++ {
+		if err := s.eng.Tree(i).CheckInvariants(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Stats reports the summed I/O counters of all shard page managers.
+func (s *Sharded) Stats() (pagefile.Stats, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.eng == nil {
+		return pagefile.Stats{}, ErrClosed
+	}
+	var sum pagefile.Stats
+	for _, m := range s.mgrs {
+		sum = sum.Add(m.Stats())
+	}
+	return sum, nil
+}
+
+// ResetStats zeroes the I/O counters of every shard.
+func (s *Sharded) ResetStats() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.eng == nil {
+		return ErrClosed
+	}
+	for _, m := range s.mgrs {
+		m.ResetStats()
+	}
+	return nil
+}
+
+// Sync flushes every shard's written pages to stable storage.
+func (s *Sharded) Sync() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.eng == nil {
+		return ErrClosed
+	}
+	var errs []error
+	for i, m := range s.mgrs {
+		if err := m.Sync(); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Close flushes and releases every shard. The tree is unusable afterwards;
+// a durable sharded index can be reattached with OpenSharded.
+func (s *Sharded) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.eng == nil {
+		return nil
+	}
+	s.eng = nil
+	var errs []error
+	for i, m := range s.mgrs {
+		if err := m.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
+}
