@@ -12,7 +12,8 @@
 //	gaussbench -exp headline -quick     # reduced data sizes for smoke runs
 //	gaussbench -exp fig7ds1 -json out.json  # machine-readable results
 //
-// Experiments: fig1, fig6a, fig6b, fig7ds1, fig7ds2, headline, ablations.
+// Experiments: fig1, fig6a, fig6b, fig7ds1, fig7ds2, headline, ablations,
+// reopen, shards, serve.
 // With -json the collected per-backend measurements (page accesses, wall
 // times, recall) are additionally written as JSON ("-" for stdout), so perf
 // trajectories can be tracked across revisions in BENCH_*.json files.
@@ -23,23 +24,29 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	gausstree "github.com/gauss-tree/gausstree"
+	"github.com/gauss-tree/gausstree/client"
 	"github.com/gauss-tree/gausstree/internal/core"
 	"github.com/gauss-tree/gausstree/internal/dataset"
 	"github.com/gauss-tree/gausstree/internal/eval"
 	"github.com/gauss-tree/gausstree/internal/gaussian"
 	"github.com/gauss-tree/gausstree/internal/pagefile"
 	"github.com/gauss-tree/gausstree/internal/pfv"
+	"github.com/gauss-tree/gausstree/internal/server"
 	"github.com/gauss-tree/gausstree/internal/shard"
 )
 
 func main() {
 	var (
-		exps     = flag.String("exp", "all", "comma-separated experiments: fig1,fig6a,fig6b,fig7ds1,fig7ds2,headline,ablations,reopen,shards,all")
+		exps     = flag.String("exp", "all", "comma-separated experiments: fig1,fig6a,fig6b,fig7ds1,fig7ds2,headline,ablations,reopen,shards,serve,all")
 		quick    = flag.Bool("quick", false, "reduced data sizes (for smoke testing)")
 		n1       = flag.Int("n1", 10987, "data set 1 size (paper: 10987)")
 		n2       = flag.Int("n2", 100000, "data set 2 size (paper: 100000)")
@@ -105,6 +112,9 @@ func main() {
 	if run("shards") {
 		b.shards()
 	}
+	if run("serve") {
+		b.serve()
+	}
 	if *jsonPath != "" {
 		b.writeJSON(*jsonPath)
 	}
@@ -151,6 +161,17 @@ type shardScalingRow struct {
 	MergeRounds float64
 }
 
+// serveRow is one concurrency level of the network-serving experiment:
+// throughput and latency percentiles of k-MLIQ requests issued by N
+// concurrent clients against a loopback gaussd.
+type serveRow struct {
+	Clients   int
+	Requests  int
+	RPS       float64
+	P50Millis float64
+	P99Millis float64
+}
+
 // benchOutput is the machine-readable result set emitted by -json.
 type benchOutput struct {
 	Params       benchParams
@@ -159,6 +180,7 @@ type benchOutput struct {
 	Ablations    []ablationRow      `json:",omitempty"`
 	Reopen       *reopenReport      `json:",omitempty"`
 	ShardScaling []shardScalingRow  `json:",omitempty"`
+	Serve        []serveRow         `json:",omitempty"`
 }
 
 type bench struct {
@@ -511,6 +533,79 @@ func (b *bench) shards() {
 		}
 	}
 	fmt.Println()
+}
+
+// serve measures the network serving layer: a loopback gaussd (the real
+// internal/server daemon over a real TCP listener) answering 3-MLIQ
+// requests from 1, 8 and 64 concurrent pooled clients, reporting
+// requests/sec and p50/p99 latency per concurrency level. The gap between
+// this and the in-process numbers is the HTTP/JSON + admission-control tax;
+// the scaling across levels is what the bounded-concurrency executor buys.
+func (b *bench) serve() {
+	ds, qs := b.subset(min(b.n2, 20000), 200)
+	fmt.Println("=== Serve: loopback gaussd throughput/latency (DS2 subset) ===")
+
+	tr, err := gausstree.New(ds.Dim, gausstree.Options{PageSize: b.pageSize})
+	check(err)
+	check(tr.BulkLoad(ds.Vectors))
+	srv := server.New(server.TreeIndex(tr), server.Config{MaxInflight: 128, MaxQueue: 256})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	go srv.Serve(l)
+
+	cl, err := client.New(l.Addr().String())
+	check(err)
+	defer cl.Close()
+	ctx := context.Background()
+	// Warm the connection pool and the page cache.
+	for i := 0; i < 16; i++ {
+		_, _, err := cl.KMLIQ(ctx, qs[i%len(qs)].Vector, 3)
+		check(err)
+	}
+
+	fmt.Printf("%-8s %10s %12s %12s %12s\n", "clients", "requests", "req/s", "p50 ms", "p99 ms")
+	for _, clients := range []int{1, 8, 64} {
+		total := 96 * clients
+		if total > 1536 {
+			total = 1536
+		}
+		lat := make([]time.Duration, total)
+		var next atomic.Int64
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < clients; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= total {
+						return
+					}
+					t0 := time.Now()
+					_, _, err := cl.KMLIQ(ctx, qs[i%len(qs)].Vector, 3)
+					check(err)
+					lat[i] = time.Since(t0)
+				}
+			}()
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		row := serveRow{
+			Clients:   clients,
+			Requests:  total,
+			RPS:       float64(total) / wall.Seconds(),
+			P50Millis: float64(lat[total/2].Microseconds()) / 1e3,
+			P99Millis: float64(lat[total*99/100].Microseconds()) / 1e3,
+		}
+		fmt.Printf("%-8d %10d %12.0f %12.3f %12.3f\n", row.Clients, row.Requests, row.RPS, row.P50Millis, row.P99Millis)
+		b.out.Serve = append(b.out.Serve, row)
+	}
+	fmt.Println()
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	check(srv.Shutdown(sctx))
 }
 
 // writeJSON emits the collected measurements machine-readably.

@@ -13,10 +13,18 @@
 //	gausscli -data faces.csv -index faces.gtree            # build once
 //	gausscli -index faces.gtree -kmliq "0.52,0.05,..."     # query forever
 //
+// With -addr the queries are answered by a running gaussd daemon over its
+// HTTP/JSON API instead of an in-process tree — the same output, served
+// remotely:
+//
+//	gaussd -index faces.gtree -addr :8442 &
+//	gausscli -addr localhost:8442 -kmliq "0.52,0.05,..."
+//
 // Query vectors are given as comma-separated mu,sigma pairs.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,19 +32,32 @@ import (
 	"strings"
 
 	gausstree "github.com/gauss-tree/gausstree"
+	"github.com/gauss-tree/gausstree/client"
 	"github.com/gauss-tree/gausstree/internal/pfv"
 )
 
 func main() {
 	var (
-		data  = flag.String("data", "", "CSV of database pfv (required unless -index points at a built index)")
+		data  = flag.String("data", "", "CSV of database pfv (required unless -index points at a built index or -addr at a daemon)")
 		index = flag.String("index", "", "persistent index file: built from -data when given, reopened otherwise")
+		addr  = flag.String("addr", "", "gaussd address: answer queries remotely instead of in-process")
 		kmliq = flag.String("kmliq", "", "k-MLIQ query: mu_1,sigma_1,...")
 		tiq   = flag.String("tiq", "", "TIQ query: mu_1,sigma_1,...")
 		k     = flag.Int("k", 3, "result count for -kmliq")
 		p     = flag.Float64("p", 0.1, "probability threshold for -tiq")
 	)
 	flag.Parse()
+	if *addr != "" {
+		if *data != "" || *index != "" {
+			fail(fmt.Errorf("-addr queries a running daemon; it cannot be combined with -data or -index"))
+		}
+		if *kmliq == "" && *tiq == "" {
+			flag.Usage()
+			os.Exit(2)
+		}
+		runRemote(*addr, *kmliq, *tiq, *k, *p)
+		return
+	}
 	buildOnly := *data != "" && *index != "" && *kmliq == "" && *tiq == ""
 	if (*data == "" && *index == "") || (*kmliq == "" && *tiq == "" && !buildOnly) {
 		flag.Usage()
@@ -82,6 +103,32 @@ func main() {
 		matches, err := tree.Threshold(q, *p)
 		fail(err)
 		fmt.Printf("objects with P(v|q) >= %v:\n", *p)
+		printMatches(matches)
+	}
+}
+
+// runRemote answers the queries through the client package against a running
+// gaussd, dogfooding the wire format end to end: the daemon's /v1/stats
+// supplies the dimensionality the query parser needs.
+func runRemote(addr, kmliq, tiq string, k int, p float64) {
+	ctx := context.Background()
+	cl, err := client.New(addr)
+	fail(err)
+	defer cl.Close()
+	st, err := cl.Stats(ctx)
+	fail(err)
+	fmt.Printf("connected to %s: %s index, %d vectors (%d-d)\n", addr, st.Backend, st.Len, st.Dim)
+
+	if kmliq != "" {
+		matches, _, err := cl.KMLIQ(ctx, parseQuery(kmliq, st.Dim), k)
+		fail(err)
+		fmt.Printf("%d most likely objects:\n", k)
+		printMatches(matches)
+	}
+	if tiq != "" {
+		matches, _, err := cl.TIQ(ctx, parseQuery(tiq, st.Dim), p)
+		fail(err)
+		fmt.Printf("objects with P(v|q) >= %v:\n", p)
 		printMatches(matches)
 	}
 }

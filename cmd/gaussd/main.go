@@ -1,0 +1,131 @@
+// Command gaussd serves a durable Gauss-tree index over HTTP/JSON: the
+// network daemon that turns the library into a service. It opens a
+// single-tree page file or a sharded index directory (auto-detected) and
+// exposes the /v1 query, mutation and stats API with admission control,
+// per-request deadlines and graceful drain on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	gausscli -data faces.csv -index faces.gtree     # build the index once
+//	gaussd -index faces.gtree -addr :8442           # serve it
+//
+//	curl -s localhost:8442/v1/kmliq -d '{"query":{"id":0,"mean":[0.5,0.3],"sigma":[0.05,0.08]},"k":3}'
+//
+// Flags:
+//
+//	-addr          listen address (default :8442)
+//	-index         page file or sharded directory to serve (required)
+//	-max-inflight  concurrently executing requests (default 64)
+//	-queue         waiting requests beyond that before 429s (default 128)
+//	-timeout       per-request deadline ceiling (default 30s)
+//	-readonly      refuse /v1/insert and /v1/delete
+//	-cache-mb      buffer cache budget in MB (default 50)
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	gausstree "github.com/gauss-tree/gausstree"
+	"github.com/gauss-tree/gausstree/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8442", "listen address")
+		index    = flag.String("index", "", "index to serve: a page file (gausstree.Open) or a sharded directory (gausstree.OpenSharded)")
+		inflight = flag.Int("max-inflight", 64, "maximum concurrently executing requests (must be >= 1)")
+		queue    = flag.Int("queue", 128, "maximum requests waiting for an execution slot, beyond that: 429 (0 = reject as soon as all slots are busy)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request deadline ceiling")
+		readonly = flag.Bool("readonly", false, "refuse mutations (safe for horizontal read replicas)")
+		cacheMB  = flag.Int("cache-mb", 50, "buffer cache budget in MB")
+	)
+	flag.Parse()
+	if *index == "" {
+		fmt.Fprintln(os.Stderr, "gaussd: -index is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *inflight < 1 {
+		fmt.Fprintln(os.Stderr, "gaussd: -max-inflight must be at least 1")
+		os.Exit(2)
+	}
+	if *queue < 0 {
+		fmt.Fprintln(os.Stderr, "gaussd: -queue must not be negative")
+		os.Exit(2)
+	}
+	maxQueue := *queue
+	if maxQueue == 0 {
+		// The operator said "no waiting"; Config's zero value means
+		// "default", so translate to its explicit no-queue encoding.
+		maxQueue = -1
+	}
+
+	idx, err := openIndex(*index, gausstree.Options{CacheBytes: *cacheMB << 20})
+	fail(err)
+	fmt.Printf("gaussd: serving %s index %s: %d vectors, %d-d\n", idx.Kind(), *index, idx.Len(), idx.Dim())
+
+	srv := server.New(idx, server.Config{
+		MaxInflight: *inflight,
+		MaxQueue:    maxQueue,
+		Timeout:     *timeout,
+		ReadOnly:    *readonly,
+	})
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight queries (bounded by
+	// one -timeout so a stuck query cannot wedge the restart) and sync/close
+	// the index — the daemon's answer to the durable engine's crash safety:
+	// a clean stop never needs recovery at all.
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*addr) }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fail(err)
+	case s := <-sig:
+		fmt.Printf("gaussd: %v, draining\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		fail(srv.Shutdown(ctx))
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fail(err)
+		}
+		fmt.Println("gaussd: stopped")
+	}
+}
+
+// openIndex auto-detects the index layout: a directory holding a shards.json
+// manifest is a sharded index, anything else a single page file.
+func openIndex(path string, opts gausstree.Options) (server.Index, error) {
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		if _, err := os.Stat(filepath.Join(path, "shards.json")); err == nil {
+			s, err := gausstree.OpenSharded(path, opts)
+			if err != nil {
+				return nil, err
+			}
+			return server.ShardedIndex(s), nil
+		}
+		return nil, fmt.Errorf("gaussd: %s is a directory without a sharded index manifest", path)
+	}
+	t, err := gausstree.Open(path, opts)
+	if err != nil {
+		return nil, err
+	}
+	return server.TreeIndex(t), nil
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gaussd:", err)
+		os.Exit(1)
+	}
+}

@@ -83,6 +83,29 @@
 // Options.Partition picks the mutation-routing policy (hash-by-id default,
 // round-robin option); it is persisted in the shard manifest.
 //
+// # Serving over the network
+//
+// The cmd/gaussd daemon serves any durable index (page file or sharded
+// directory) over an HTTP/JSON API with admission control — a bounded
+// in-flight set plus a bounded wait queue, 429 + Retry-After beyond that —
+// per-request deadlines propagated into the context-aware query calls, a
+// batch endpoint backed by the worker pool, and graceful drain on SIGTERM.
+// The client package is its Go client: pooled connections, deadline
+// propagation, retry-on-429 with jittered backoff, and the same result
+// types and sentinel errors as the in-process API —
+//
+//	cl, _ := client.New("10.0.0.7:8442")
+//	matches, stats, err := cl.KMLIQ(ctx, q, 3)    // []Match + QueryStats
+//	if errors.Is(err, gausstree.ErrInvalidQuery) { ... }  // works remotely
+//
+// Match and Vector own stable JSON encodings for this wire format:
+// lowercase keys, validated vector decoding, and NaN probabilities (ranked
+// queries) encoded as null. Query arguments are validated at this public
+// layer — k < 1, thresholds outside (0, 1], or dimension mismatches return
+// a wrapped ErrInvalidQuery before any traversal starts — and queries that
+// match nothing return empty (never nil) match slices, so the JSON layer
+// serializes [] rather than null.
+//
 // # Architecture
 //
 // The implementation is layered; each layer lives in its own internal
@@ -98,8 +121,11 @@
 //	shard     the sharded engine: partitioners, concurrent fan-out,
 //	          cross-shard Bayes-denominator merging over N core trees
 //	eval      the experiment harness driving engines uniformly
+//	wire      the HTTP/JSON wire format shared by daemon and client
+//	server    the gaussd serving layer: endpoints, admission control,
+//	          deadlines, batch execution, graceful drain
 //
-// This package is the public façade over core (Tree) and shard (Sharded).
-// It is safe for concurrent use: readers proceed in parallel, writers are
-// exclusive.
+// This package is the public façade over core (Tree) and shard (Sharded);
+// the client package is the public façade over the wire format. It is safe
+// for concurrent use: readers proceed in parallel, writers are exclusive.
 package gausstree

@@ -1,0 +1,131 @@
+// Remote: run the gaussd serving layer and its Go client in one process —
+// a sharded Gauss-tree behind the HTTP/JSON API on a loopback listener, a
+// pooled client issuing certified k-MLIQ and TIQ queries plus a batch, and
+// a graceful shutdown that drains before closing the index. Everything a
+// real deployment does across machines, demonstrated in ~100 lines.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"time"
+
+	gausstree "github.com/gauss-tree/gausstree"
+	"github.com/gauss-tree/gausstree/client"
+	"github.com/gauss-tree/gausstree/internal/server"
+)
+
+func main() {
+	// An in-memory 4-shard index over a synthetic 3-d database: cluster
+	// centers with per-observation Gaussian noise and matching sigmas.
+	idx, err := gausstree.NewSharded(3, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	var vectors []gausstree.Vector
+	for id := uint64(1); id <= 2000; id++ {
+		mean := make([]float64, 3)
+		sigma := make([]float64, 3)
+		for d := range mean {
+			mean[d] = 10 * rng.Float64()
+			sigma[d] = 0.05 + 0.1*rng.Float64()
+		}
+		vectors = append(vectors, gausstree.MustVector(id, mean, sigma))
+	}
+	if err := idx.BulkLoad(vectors); err != nil {
+		log.Fatal(err)
+	}
+
+	// Serve it. A loopback listener on an ephemeral port stands in for the
+	// daemon's -addr; server.New wires admission control (at most 16
+	// executing, 32 waiting, 429 beyond that) and per-request deadlines.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := server.New(server.ShardedIndex(idx), server.Config{
+		MaxInflight: 16,
+		MaxQueue:    32,
+		Timeout:     5 * time.Second,
+	})
+	go srv.Serve(l)
+
+	// The client side: connection-pooled, deadline-propagating, retrying
+	// 429s with jittered backoff.
+	cl, err := client.New(l.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving a %s index of %d vectors (%d-d) at %s\n\n", st.Backend, st.Len, st.Dim, l.Addr())
+
+	// A noisy re-observation of object 42, identified over the network with
+	// certified probabilities — identical to what the in-process call would
+	// return (the loopback conformance test in internal/server proves it).
+	target := vectors[41]
+	q := reobserve(rng, target)
+	matches, stats, err := cl.KMLIQ(ctx, q, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("3-MLIQ over the wire:")
+	for i, m := range matches {
+		fmt.Printf("  %d. object %-5d P=%5.1f%%  certified [%.1f%%, %.1f%%]\n",
+			i+1, m.Vector.ID, 100*m.Probability, 100*m.ProbLow, 100*m.ProbHigh)
+	}
+	fmt.Printf("  (%d page accesses across all shards)\n\n", stats.PageAccesses)
+
+	tiq, _, err := cl.TIQ(ctx, q, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("TIQ(P>=5%%) over the wire: %d objects\n\n", len(tiq))
+
+	// Batches amortize round trips: many queries, one request, executed by
+	// the daemon's worker pool.
+	batch := []client.Query{
+		{Kind: client.KindKMLIQ, Query: q, K: 1},
+		{Kind: client.KindKMLIQRanked, Query: reobserve(rng, vectors[100]), K: 2},
+		{Kind: client.KindTIQ, Query: reobserve(rng, vectors[200]), PTheta: 0.1},
+	}
+	results, err := cl.Batch(ctx, batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("batch of 3 queries in one round trip:")
+	for i, r := range results {
+		fmt.Printf("  query %d (%s): %d matches\n", i, batch[i].Kind, len(r.Matches))
+	}
+
+	// Graceful shutdown: drain in-flight queries, then sync and close the
+	// index.
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ndaemon drained and stopped")
+}
+
+// reobserve simulates measuring an object again: the stored means plus noise
+// scaled to the stored uncertainty.
+func reobserve(rng *rand.Rand, v gausstree.Vector) gausstree.Vector {
+	mean := make([]float64, len(v.Mean))
+	sigma := make([]float64, len(v.Sigma))
+	for d := range mean {
+		mean[d] = v.Mean[d] + rng.NormFloat64()*v.Sigma[d]
+		sigma[d] = v.Sigma[d]
+	}
+	return gausstree.MustVector(0, mean, sigma)
+}

@@ -38,31 +38,12 @@ const (
 )
 
 // QueryStats describes what one identification query cost and how it
-// terminated. It is filled by the context-aware query variants.
-type QueryStats struct {
-	// PageAccesses is the number of logical page reads charged to this
-	// query — the paper's central efficiency metric.
-	PageAccesses uint64
-	// NodesVisited counts the index nodes the traversal expanded.
-	NodesVisited int
-	// VectorsScored counts exact joint-density evaluations.
-	VectorsScored int
-	// CandidatesRetained is the number of candidates alive at termination.
-	CandidatesRetained int
-	// EarlyTermination reports whether the traversal pruned the index
-	// instead of exhausting it.
-	EarlyTermination bool
-}
-
-func toQueryStats(s query.Stats) QueryStats {
-	return QueryStats{
-		PageAccesses:       s.PageAccesses,
-		NodesVisited:       s.NodesVisited,
-		VectorsScored:      s.VectorsScored,
-		CandidatesRetained: s.CandidatesRetained,
-		EarlyTermination:   s.EarlyTermination,
-	}
-}
+// terminated (logical page accesses — the paper's central efficiency
+// metric — expanded nodes, scored vectors, retained candidates, early
+// termination). It is filled by the context-aware query variants. Like
+// Vector, it is an alias of the internal engine-layer type, so statistics
+// flow through every layer without translation.
+type QueryStats = query.Stats
 
 // Match is one answer of an identification query.
 type Match struct {
@@ -290,8 +271,11 @@ func (t *Tree) KMLIQContext(ctx context.Context, q Vector, k int) ([]Match, Quer
 	if t.tree == nil {
 		return nil, QueryStats{}, ErrClosed
 	}
+	if err := errors.Join(checkQueryVector(q, t.tree.Dim()), checkK(k)); err != nil {
+		return nil, QueryStats{}, err
+	}
 	res, stats, err := t.tree.KMLIQ(ctx, q, k, t.opts.Accuracy)
-	return toMatches(res), toQueryStats(stats), err
+	return toMatches(res), stats, err
 }
 
 // KMostLikelyRanked answers a k-MLIQ without computing probability values
@@ -311,8 +295,11 @@ func (t *Tree) KMLIQRankedContext(ctx context.Context, q Vector, k int) ([]Match
 	if t.tree == nil {
 		return nil, QueryStats{}, ErrClosed
 	}
+	if err := errors.Join(checkQueryVector(q, t.tree.Dim()), checkK(k)); err != nil {
+		return nil, QueryStats{}, err
+	}
 	res, stats, err := t.tree.KMLIQRanked(ctx, q, k)
-	return toMatches(res), toQueryStats(stats), err
+	return toMatches(res), stats, err
 }
 
 // Threshold answers a threshold identification query (the paper's TIQ,
@@ -331,8 +318,11 @@ func (t *Tree) TIQContext(ctx context.Context, q Vector, pTheta float64) ([]Matc
 	if t.tree == nil {
 		return nil, QueryStats{}, ErrClosed
 	}
+	if err := errors.Join(checkQueryVector(q, t.tree.Dim()), checkPTheta(pTheta)); err != nil {
+		return nil, QueryStats{}, err
+	}
 	res, stats, err := t.tree.TIQ(ctx, q, pTheta, t.opts.Accuracy)
-	return toMatches(res), toQueryStats(stats), err
+	return toMatches(res), stats, err
 }
 
 // Stats reports the I/O counters of the underlying page manager. Like every

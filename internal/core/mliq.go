@@ -25,7 +25,7 @@ func (t *Tree) KMLIQRanked(ctx context.Context, q pfv.Vector, k int) ([]query.Re
 		return nil, query.Stats{}, err
 	}
 	if t.count == 0 {
-		return nil, query.Stats{}, nil
+		return []query.Result{}, query.Stats{}, nil
 	}
 	top := pqueue.NewTopK[pfv.Vector](k)
 	tr := t.newTraversal(ctx, q, false, func(v pfv.Vector, ld float64) {
@@ -69,7 +69,7 @@ func (t *Tree) KMLIQ(ctx context.Context, q pfv.Vector, k int, accuracy float64)
 		return nil, query.Stats{}, err
 	}
 	if t.count == 0 {
-		return nil, query.Stats{}, nil
+		return []query.Result{}, query.Stats{}, nil
 	}
 	top := pqueue.NewTopK[pfv.Vector](k)
 	tr := t.newTraversal(ctx, q, true, func(v pfv.Vector, ld float64) {

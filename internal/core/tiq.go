@@ -28,7 +28,7 @@ func (t *Tree) TIQ(ctx context.Context, q pfv.Vector, pTheta float64, accuracy f
 		return nil, query.Stats{}, fmt.Errorf("core: threshold %v outside [0,1]", pTheta)
 	}
 	if t.count == 0 {
-		return nil, query.Stats{}, nil
+		return []query.Result{}, query.Stats{}, nil
 	}
 
 	candidates := pqueue.NewMin[pfv.Vector]() // ordered by log density: cheap removal of the weakest
@@ -98,5 +98,5 @@ func (t *Tree) TIQ(ctx context.Context, q pfv.Vector, pTheta float64, accuracy f
 		})
 	})
 	query.SortByProbability(out)
-	return out, tr.finish(candidates.Len()), nil
+	return query.NonNil(out), tr.finish(candidates.Len()), nil
 }

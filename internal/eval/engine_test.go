@@ -4,6 +4,7 @@ import (
 	"context"
 	"testing"
 
+	"github.com/gauss-tree/gausstree/internal/pfv"
 	"github.com/gauss-tree/gausstree/internal/query"
 )
 
@@ -65,6 +66,37 @@ func TestEngineConformance(t *testing.T) {
 						trial, eng.Engine.Name(), i, ids[i], want[i])
 				}
 			}
+		}
+	}
+}
+
+// TestEngineEmptyResultsNonNil asserts the cross-engine nil-vs-empty
+// contract: a query matching nothing returns []Result{} (never nil) from
+// every backend, so the serving layer's JSON encoder emits [] instead of
+// null regardless of which engine answered. A maximally uncertain query
+// spreads the posterior over the whole database, so no object comes close
+// to a 0.999 threshold on any engine.
+func TestEngineEmptyResultsNonNil(t *testing.T) {
+	e, ds, _ := smallWorld(t, 900, 1)
+	ctx := context.Background()
+	sigma := make([]float64, ds.Dim)
+	for i := range sigma {
+		sigma[i] = 50
+	}
+	q, err := pfv.New(0, append([]float64(nil), ds.Vectors[0].Mean...), sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range e.All() {
+		res, _, err := eng.Engine.TIQ(ctx, q, 0.999, 0)
+		if err != nil {
+			t.Fatalf("%s TIQ: %v", eng.Engine.Name(), err)
+		}
+		if len(res) != 0 {
+			t.Fatalf("%s TIQ: %d results, expected an empty answer set", eng.Engine.Name(), len(res))
+		}
+		if res == nil {
+			t.Errorf("%s TIQ: nil results, want []Result{}", eng.Engine.Name())
 		}
 	}
 }

@@ -1,0 +1,36 @@
+package pfv
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonVector is the stable wire encoding of a probabilistic feature vector:
+// lowercase keys, means and sigmas as plain JSON arrays. All values of a pfv
+// are finite by construction, so the default number encoding is lossless.
+type jsonVector struct {
+	ID    uint64    `json:"id"`
+	Mean  []float64 `json:"mean"`
+	Sigma []float64 `json:"sigma"`
+}
+
+// MarshalJSON encodes the vector as {"id":..,"mean":[..],"sigma":[..]}.
+func (v Vector) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonVector{ID: v.ID, Mean: v.Mean, Sigma: v.Sigma})
+}
+
+// UnmarshalJSON decodes and validates a vector; invalid input (mismatched
+// lengths, non-finite means, non-positive sigmas) is rejected with the same
+// errors New reports, so a decoded Vector upholds every pfv invariant.
+func (v *Vector) UnmarshalJSON(data []byte) error {
+	var jv jsonVector
+	if err := json.Unmarshal(data, &jv); err != nil {
+		return fmt.Errorf("pfv: decoding vector: %w", err)
+	}
+	dec, err := New(jv.ID, jv.Mean, jv.Sigma)
+	if err != nil {
+		return err
+	}
+	*v = dec
+	return nil
+}

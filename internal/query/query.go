@@ -53,6 +53,17 @@ func SortByDensity(rs []Result) {
 	})
 }
 
+// NonNil maps a nil result slice to an empty one. Engines apply it on every
+// successful return so "matched nothing" is always []Result{} — callers that
+// serialize results (the JSON serving layer) then emit [] instead of null,
+// and reflect-based comparisons never distinguish equivalent answers.
+func NonNil(rs []Result) []Result {
+	if rs == nil {
+		return []Result{}
+	}
+	return rs
+}
+
 // IDs extracts the object ids of a result list, preserving order.
 func IDs(rs []Result) []uint64 {
 	out := make([]uint64, len(rs))

@@ -371,7 +371,7 @@ func (f *File) TIQ(ctx context.Context, q pfv.Vector, pTheta float64, _ float64)
 	stats.PageAccesses = counter.LogicalReads()
 	stats.CandidatesRetained = len(out)
 	query.SortByProbability(out)
-	return out, stats, nil
+	return query.NonNil(out), stats, nil
 }
 
 // NearestNeighbors answers a conventional k-nearest-neighbor query on the

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errSaturated is returned by limiter.acquire when both the in-flight slots
+// and the wait queue are full; the HTTP layer maps it to 429 + Retry-After.
+var errSaturated = errors.New("server: admission queue saturated")
+
+// limiter is the daemon's admission controller: at most maxInflight requests
+// execute concurrently, at most maxQueue more wait for a slot, and anything
+// beyond that is rejected immediately. Rejecting instead of queueing without
+// bound is what keeps tail latency and memory bounded under overload — a
+// saturated daemon sheds load in O(1) rather than building an unserviceable
+// backlog.
+//
+// The implementation is two buffered channels: tickets admits a request into
+// the system (running or waiting — capacity maxInflight+maxQueue, non-
+// blocking acquire), slots grants execution (capacity maxInflight, blocking
+// acquire bounded by the caller's context).
+type limiter struct {
+	slots   chan struct{}
+	tickets chan struct{}
+	queued  atomic.Int64
+}
+
+func newLimiter(maxInflight, maxQueue int) *limiter {
+	return &limiter{
+		slots:   make(chan struct{}, maxInflight),
+		tickets: make(chan struct{}, maxInflight+maxQueue),
+	}
+}
+
+// acquire admits the calling request or fails: errSaturated when the system
+// is full, ctx.Err() when the caller's deadline expires while waiting for an
+// execution slot. On nil return the caller holds a slot and must release it.
+func (l *limiter) acquire(ctx context.Context) error {
+	select {
+	case l.tickets <- struct{}{}:
+	default:
+		return errSaturated
+	}
+	l.queued.Add(1)
+	defer l.queued.Add(-1)
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		<-l.tickets
+		return ctx.Err()
+	}
+}
+
+// release returns the slot and the ticket acquired by a successful acquire.
+func (l *limiter) release() {
+	<-l.slots
+	<-l.tickets
+}
+
+// inFlight reports the number of requests currently holding execution slots.
+func (l *limiter) inFlight() int { return len(l.slots) }
+
+// waiting reports the number of requests queued for a slot.
+func (l *limiter) waiting() int {
+	// queued counts ticket holders between admission and slot grant; the
+	// ones already executing are not in that window.
+	if n := int(l.queued.Load()); n > 0 {
+		return n
+	}
+	return 0
+}

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"context"
+
+	gausstree "github.com/gauss-tree/gausstree"
+	"github.com/gauss-tree/gausstree/internal/pagefile"
+	"github.com/gauss-tree/gausstree/internal/query"
+)
+
+// Index is the uniform index surface the daemon serves. Both public index
+// types satisfy it through the TreeIndex and ShardedIndex adapters, so every
+// handler, the admission controller and the batch executor are written once,
+// engine-agnostically — exactly how the query.Engine interface already
+// unifies the in-process backends one layer below.
+//
+// The query methods certify probabilities to the index's configured
+// Options.Accuracy; the serving layer adds deadlines on top via ctx.
+type Index interface {
+	// Kind names the backend ("tree" or "sharded") for /v1/stats.
+	Kind() string
+	// Dim returns the feature dimensionality of the index.
+	Dim() int
+	// Len returns the number of stored vectors.
+	Len() int
+	// KMLIQ answers a k-most-likely identification query with certified
+	// probabilities.
+	KMLIQ(ctx context.Context, q gausstree.Vector, k int) ([]gausstree.Match, gausstree.QueryStats, error)
+	// KMLIQRanked answers a k-MLIQ without probability values (NaN fields).
+	KMLIQRanked(ctx context.Context, q gausstree.Vector, k int) ([]gausstree.Match, gausstree.QueryStats, error)
+	// TIQ answers a threshold identification query.
+	TIQ(ctx context.Context, q gausstree.Vector, pTheta float64) ([]gausstree.Match, gausstree.QueryStats, error)
+	// Insert durably adds one vector.
+	Insert(v gausstree.Vector) error
+	// InsertAll durably adds a batch of vectors.
+	InsertAll(vs []gausstree.Vector) error
+	// Delete removes one exactly-matching stored copy.
+	Delete(v gausstree.Vector) (bool, error)
+	// IOStats reports the page manager's I/O counters.
+	IOStats() (pagefile.Stats, error)
+	// Sync flushes written pages to stable storage.
+	Sync() error
+	// Close releases the index.
+	Close() error
+}
+
+// TreeIndex adapts an unsharded Gauss-tree to the serving surface.
+func TreeIndex(t *gausstree.Tree) Index { return treeIndex{t} }
+
+type treeIndex struct{ t *gausstree.Tree }
+
+func (i treeIndex) Kind() string { return "tree" }
+func (i treeIndex) Dim() int     { return i.t.Dim() }
+func (i treeIndex) Len() int     { return i.t.Len() }
+func (i treeIndex) KMLIQ(ctx context.Context, q gausstree.Vector, k int) ([]gausstree.Match, gausstree.QueryStats, error) {
+	return i.t.KMLIQContext(ctx, q, k)
+}
+func (i treeIndex) KMLIQRanked(ctx context.Context, q gausstree.Vector, k int) ([]gausstree.Match, gausstree.QueryStats, error) {
+	return i.t.KMLIQRankedContext(ctx, q, k)
+}
+func (i treeIndex) TIQ(ctx context.Context, q gausstree.Vector, pTheta float64) ([]gausstree.Match, gausstree.QueryStats, error) {
+	return i.t.TIQContext(ctx, q, pTheta)
+}
+func (i treeIndex) Insert(v gausstree.Vector) error         { return i.t.Insert(v) }
+func (i treeIndex) InsertAll(vs []gausstree.Vector) error   { return i.t.InsertAll(vs) }
+func (i treeIndex) Delete(v gausstree.Vector) (bool, error) { return i.t.Delete(v) }
+func (i treeIndex) IOStats() (pagefile.Stats, error)        { return i.t.Stats() }
+func (i treeIndex) Sync() error                             { return i.t.Sync() }
+func (i treeIndex) Close() error                            { return i.t.Close() }
+
+// ShardedIndex adapts a sharded Gauss-tree to the serving surface; the
+// per-shard statistic breakdown is collapsed into the aggregate QueryStats
+// (the wire format reports the aggregate).
+func ShardedIndex(s *gausstree.Sharded) Index { return shardedIndex{s} }
+
+type shardedIndex struct{ s *gausstree.Sharded }
+
+func (i shardedIndex) Kind() string { return "sharded" }
+func (i shardedIndex) Dim() int     { return i.s.Dim() }
+func (i shardedIndex) Len() int     { return i.s.Len() }
+func (i shardedIndex) KMLIQ(ctx context.Context, q gausstree.Vector, k int) ([]gausstree.Match, gausstree.QueryStats, error) {
+	ms, st, err := i.s.KMLIQContext(ctx, q, k)
+	return ms, st.Stats, err
+}
+func (i shardedIndex) KMLIQRanked(ctx context.Context, q gausstree.Vector, k int) ([]gausstree.Match, gausstree.QueryStats, error) {
+	ms, st, err := i.s.KMLIQRankedContext(ctx, q, k)
+	return ms, st.Stats, err
+}
+func (i shardedIndex) TIQ(ctx context.Context, q gausstree.Vector, pTheta float64) ([]gausstree.Match, gausstree.QueryStats, error) {
+	ms, st, err := i.s.TIQContext(ctx, q, pTheta)
+	return ms, st.Stats, err
+}
+func (i shardedIndex) Insert(v gausstree.Vector) error         { return i.s.Insert(v) }
+func (i shardedIndex) InsertAll(vs []gausstree.Vector) error   { return i.s.InsertAll(vs) }
+func (i shardedIndex) Delete(v gausstree.Vector) (bool, error) { return i.s.Delete(v) }
+func (i shardedIndex) IOStats() (pagefile.Stats, error)        { return i.s.Stats() }
+func (i shardedIndex) Sync() error                             { return i.s.Sync() }
+func (i shardedIndex) Close() error                            { return i.s.Close() }
+
+// indexEngine adapts the serving surface back onto query.Engine, which lets
+// the batch endpoint reuse query.BatchExecutor's worker pool unchanged. The
+// accuracy parameter is ignored: the served index certifies to its own
+// configured accuracy, uniformly for single and batched queries.
+type indexEngine struct{ idx Index }
+
+var _ query.Engine = indexEngine{}
+
+func (e indexEngine) Name() string { return "served-" + e.idx.Kind() }
+
+func (e indexEngine) KMLIQ(ctx context.Context, q gausstree.Vector, k int, _ float64) ([]query.Result, query.Stats, error) {
+	ms, st, err := e.idx.KMLIQ(ctx, q, k)
+	return toResults(ms), st, err
+}
+
+func (e indexEngine) KMLIQRanked(ctx context.Context, q gausstree.Vector, k int) ([]query.Result, query.Stats, error) {
+	ms, st, err := e.idx.KMLIQRanked(ctx, q, k)
+	return toResults(ms), st, err
+}
+
+func (e indexEngine) TIQ(ctx context.Context, q gausstree.Vector, pTheta float64, _ float64) ([]query.Result, query.Stats, error) {
+	ms, st, err := e.idx.TIQ(ctx, q, pTheta)
+	return toResults(ms), st, err
+}
+
+func toResults(ms []gausstree.Match) []query.Result {
+	out := make([]query.Result, len(ms))
+	for i, m := range ms {
+		out[i] = query.Result{
+			Vector:      m.Vector,
+			LogDensity:  m.LogDensity,
+			Probability: m.Probability,
+			ProbLow:     m.ProbLow,
+			ProbHigh:    m.ProbHigh,
+		}
+	}
+	return out
+}
+
+func toMatches(rs []query.Result) []gausstree.Match {
+	out := make([]gausstree.Match, len(rs))
+	for i, r := range rs {
+		out[i] = gausstree.Match{
+			Vector:      r.Vector,
+			LogDensity:  r.LogDensity,
+			Probability: r.Probability,
+			ProbLow:     r.ProbLow,
+			ProbHigh:    r.ProbHigh,
+		}
+	}
+	return out
+}

@@ -1,0 +1,394 @@
+// Package server implements gaussd's HTTP/JSON serving layer over any
+// gausstree index (unsharded Tree or Sharded): the /v1 query, mutation and
+// stats endpoints of the internal/wire format, per-request deadlines
+// propagated into the context-aware engine calls, admission control with a
+// bounded in-flight set plus a bounded wait queue (429 + Retry-After beyond
+// that), a batch endpoint reusing query.BatchExecutor's worker pool, and
+// graceful shutdown that drains in-flight queries before Sync/Close.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	gausstree "github.com/gauss-tree/gausstree"
+	"github.com/gauss-tree/gausstree/internal/query"
+	"github.com/gauss-tree/gausstree/internal/wire"
+)
+
+// Config tunes the daemon. The zero value serves with sensible defaults.
+type Config struct {
+	// MaxInflight bounds concurrently executing requests (default 64).
+	MaxInflight int
+	// MaxQueue bounds requests waiting for an execution slot (default 128;
+	// negative means no waiting — reject as soon as all slots are busy).
+	MaxQueue int
+	// Timeout is the per-request deadline ceiling (default 30s). A request's
+	// timeout_ms may shorten it, never extend it.
+	Timeout time.Duration
+	// ReadOnly refuses /v1/insert and /v1/delete with 403.
+	ReadOnly bool
+	// BatchWorkers sizes the batch executor's worker pool (default
+	// GOMAXPROCS, the query.BatchExecutor default).
+	BatchWorkers int
+}
+
+func (c *Config) fillDefaults() {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 64
+	}
+	switch {
+	case c.MaxQueue == 0:
+		c.MaxQueue = 128
+	case c.MaxQueue < 0:
+		c.MaxQueue = 0
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+}
+
+// maxBodyBytes bounds request bodies; batch and insert payloads are the
+// largest legitimate ones.
+const maxBodyBytes = 64 << 20
+
+// Server serves one Index over HTTP. Create with New, start with Serve or
+// ListenAndServe, stop with Shutdown.
+type Server struct {
+	idx          Index
+	cfg          Config
+	lim          *limiter
+	batch        *query.BatchExecutor
+	hs           *http.Server
+	served       atomic.Uint64
+	rejected     atomic.Uint64
+	shutdownOnce sync.Once
+	shutdownErr  error
+}
+
+// New builds a server over the given index. The server owns the index from
+// here on: Shutdown syncs and closes it.
+func New(idx Index, cfg Config) *Server {
+	cfg.fillDefaults()
+	s := &Server{
+		idx:   idx,
+		cfg:   cfg,
+		lim:   newLimiter(cfg.MaxInflight, cfg.MaxQueue),
+		batch: query.NewBatchExecutor(indexEngine{idx}, cfg.BatchWorkers),
+	}
+	// ReadTimeout bounds the whole request read: a client that sends
+	// headers and then stalls the body would otherwise hold its execution
+	// slot forever (the per-request timeout context only starts once the
+	// body is decoded).
+	s.hs = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       cfg.Timeout,
+	}
+	return s
+}
+
+// Handler returns the daemon's route table; used by Serve and directly by
+// tests (the package is internal — external deployments run cmd/gaussd).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/kmliq", s.handleKMLIQ)
+	mux.HandleFunc("POST /v1/kmliq-ranked", s.handleKMLIQRanked)
+	mux.HandleFunc("POST /v1/tiq", s.handleTIQ)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/insert", s.handleInsert)
+	mux.HandleFunc("POST /v1/delete", s.handleDelete)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+// Serve accepts connections on l until Shutdown. It returns
+// http.ErrServerClosed after a graceful shutdown, like net/http.
+func (s *Server) Serve(l net.Listener) error { return s.hs.Serve(l) }
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Shutdown gracefully stops the daemon: it stops accepting new work, waits
+// (bounded by ctx) for in-flight requests to finish, then syncs and closes
+// the index. In-flight queries complete with valid answers; requests that
+// arrive after shutdown began are refused at the connection level. Shutdown
+// is idempotent: repeated calls return the first call's result.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutdownOnce.Do(func() {
+		hErr := s.hs.Shutdown(ctx)
+		s.shutdownErr = errors.Join(hErr, s.idx.Sync(), s.idx.Close())
+	})
+	return s.shutdownErr
+}
+
+// admit acquires an execution slot, possibly after a bounded queue wait.
+// ctx already carries the request's deadline, so a queued request gives up
+// (504) when its time is spent rather than waiting on indefinitely; a full
+// system rejects immediately with 429 and Retry-After so well-behaved
+// clients back off. On true the caller holds a slot and must release().
+func (s *Server) admit(w http.ResponseWriter, ctx context.Context) bool {
+	if err := s.lim.acquire(ctx); err != nil {
+		if errors.Is(err, errSaturated) {
+			s.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, wire.ErrCodeSaturated,
+				"server saturated: all execution slots and queue positions are taken")
+			return false
+		}
+		// The deadline passed (or the client hung up) while queued.
+		writeError(w, statusForError(err), codeForError(err), err.Error())
+		return false
+	}
+	return true
+}
+
+// release returns the execution slot and counts the request as served.
+func (s *Server) release() {
+	s.lim.release()
+	s.served.Add(1)
+}
+
+// deadline derives the request context: the server ceiling bounds every
+// request, a positive client timeout_ms may only shorten it.
+func (s *Server) deadline(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.Timeout
+	if timeoutMS > 0 {
+		if c := time.Duration(timeoutMS) * time.Millisecond; c < d {
+			d = c
+		}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+func (s *Server) handleKMLIQ(w http.ResponseWriter, r *http.Request) {
+	s.handleQuery(w, r, func(ctx context.Context, req wire.QueryRequest) ([]gausstree.Match, gausstree.QueryStats, error) {
+		return s.idx.KMLIQ(ctx, req.Query, req.K)
+	})
+}
+
+func (s *Server) handleKMLIQRanked(w http.ResponseWriter, r *http.Request) {
+	s.handleQuery(w, r, func(ctx context.Context, req wire.QueryRequest) ([]gausstree.Match, gausstree.QueryStats, error) {
+		return s.idx.KMLIQRanked(ctx, req.Query, req.K)
+	})
+}
+
+func (s *Server) handleTIQ(w http.ResponseWriter, r *http.Request) {
+	s.handleQuery(w, r, func(ctx context.Context, req wire.QueryRequest) ([]gausstree.Match, gausstree.QueryStats, error) {
+		return s.idx.TIQ(ctx, req.Query, req.PTheta)
+	})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request,
+	run func(context.Context, wire.QueryRequest) ([]gausstree.Match, gausstree.QueryStats, error)) {
+	var req wire.QueryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	ctx, cancel := s.deadline(r, req.TimeoutMS)
+	defer cancel()
+	if !s.admit(w, ctx) {
+		return
+	}
+	defer s.release()
+	ms, st, err := run(ctx, req)
+	if err != nil {
+		writeError(w, statusForError(err), codeForError(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.QueryResponse{Matches: ms, Stats: wire.FromQueryStats(st)})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req wire.BatchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	reqs := make([]query.Request, len(req.Queries))
+	for i, item := range req.Queries {
+		qr := query.Request{Query: item.Query, K: item.K, PTheta: item.PTheta}
+		switch item.Kind {
+		case wire.KindKMLIQ:
+			qr.Kind = query.KindKMLIQ
+		case wire.KindKMLIQRanked:
+			qr.Kind = query.KindKMLIQRanked
+		case wire.KindTIQ:
+			qr.Kind = query.KindTIQ
+		default:
+			writeError(w, http.StatusBadRequest, wire.ErrCodeInvalid,
+				fmt.Sprintf("query %d: unknown kind %q", i, item.Kind))
+			return
+		}
+		reqs[i] = qr
+	}
+	ctx, cancel := s.deadline(r, req.TimeoutMS)
+	defer cancel()
+	if !s.admit(w, ctx) {
+		return
+	}
+	defer s.release()
+	resp := wire.BatchResponse{Responses: make([]wire.BatchItemResponse, len(reqs))}
+	for i, br := range s.batch.Execute(ctx, reqs) {
+		item := wire.BatchItemResponse{
+			Matches: toMatches(br.Results),
+			Stats:   wire.FromQueryStats(br.Stats),
+		}
+		if br.Err != nil {
+			item.Matches = []gausstree.Match{}
+			item.Error = br.Err.Error()
+			item.Code = codeForError(br.Err)
+		}
+		resp.Responses[i] = item
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.ReadOnly {
+		writeError(w, http.StatusForbidden, wire.ErrCodeReadOnly, "daemon is read-only")
+		return
+	}
+	var req wire.InsertRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Vectors) == 0 {
+		writeError(w, http.StatusBadRequest, wire.ErrCodeInvalid, "insert needs at least one vector")
+		return
+	}
+	// The deadline bounds only the admission wait: a mutation that has
+	// begun must run to its durable commit (interrupting it mid-flight
+	// would poison the tree against further mutations by design).
+	ctx, cancel := s.deadline(r, 0)
+	defer cancel()
+	if !s.admit(w, ctx) {
+		return
+	}
+	defer s.release()
+	if err := s.idx.InsertAll(req.Vectors); err != nil {
+		writeError(w, statusForError(err), codeForError(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.InsertResponse{Inserted: len(req.Vectors)})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.ReadOnly {
+		writeError(w, http.StatusForbidden, wire.ErrCodeReadOnly, "daemon is read-only")
+		return
+	}
+	var req wire.DeleteRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	// As with insert, the deadline bounds only the admission wait.
+	ctx, cancel := s.deadline(r, 0)
+	defer cancel()
+	if !s.admit(w, ctx) {
+		return
+	}
+	defer s.release()
+	found, err := s.idx.Delete(req.Vector)
+	if err != nil {
+		writeError(w, statusForError(err), codeForError(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.DeleteResponse{Found: found})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	ios, err := s.idx.IOStats()
+	if err != nil {
+		writeError(w, statusForError(err), codeForError(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.StatsResponse{
+		Backend:  s.idx.Kind(),
+		Dim:      s.idx.Dim(),
+		Len:      s.idx.Len(),
+		ReadOnly: s.cfg.ReadOnly,
+		IO: wire.IOStats{
+			LogicalReads:  ios.LogicalReads,
+			CacheHits:     ios.CacheHits,
+			PhysicalReads: ios.PhysicalReads,
+			Writes:        ios.Writes,
+			Seeks:         ios.Seeks,
+		},
+		Server: wire.ServerStats{
+			InFlight: s.lim.inFlight(),
+			Queued:   s.lim.waiting(),
+			Served:   s.served.Load(),
+			Rejected: s.rejected.Load(),
+		},
+	})
+}
+
+// decodeBody parses the JSON request body into dst, writing a 400 and
+// returning false on malformed or oversized input. Unknown fields are
+// rejected so client/server format drift fails loudly instead of silently
+// ignoring a parameter.
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, wire.ErrCodeInvalid, "decoding request: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// statusForError maps engine errors onto HTTP statuses.
+func statusForError(err error) int {
+	switch {
+	case errors.Is(err, gausstree.ErrInvalidQuery):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, gausstree.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// codeForError maps engine errors onto wire error codes.
+func codeForError(err error) string {
+	switch {
+	case errors.Is(err, gausstree.ErrInvalidQuery):
+		return wire.ErrCodeInvalid
+	case errors.Is(err, context.DeadlineExceeded):
+		return wire.ErrCodeDeadline
+	case errors.Is(err, gausstree.ErrClosed):
+		return wire.ErrCodeClosed
+	default:
+		return wire.ErrCodeInternal
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, wire.Error{Error: msg, Code: code})
+}

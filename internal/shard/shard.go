@@ -283,7 +283,7 @@ func (e *Engine) KMLIQRankedDetail(ctx context.Context, q pfv.Vector, k int) ([]
 	if len(all) > k {
 		all = all[:k]
 	}
-	return all, stats, nil
+	return query.NonNil(all), stats, nil
 }
 
 // KMLIQ answers a k-most-likely identification query with certified
@@ -381,7 +381,7 @@ func (e *Engine) KMLIQDetail(ctx context.Context, q pfv.Vector, k int, accuracy 
 		maxLogUnexplored = needed
 	}
 	query.SortByProbability(out)
-	return out, e.cursorStats(rounds, func(i int) query.Stats { return cursors[i].Stats() }), nil
+	return query.NonNil(out), e.cursorStats(rounds, func(i int) query.Stats { return cursors[i].Stats() }), nil
 }
 
 // TIQ answers a threshold identification query across all shards. Unlike
@@ -499,7 +499,7 @@ func (e *Engine) TIQDetail(ctx context.Context, q pfv.Vector, pTheta float64, ac
 		maxLogUnexplored = next
 	}
 	query.SortByProbability(out)
-	return out, e.cursorStats(rounds, func(i int) query.Stats { return cursors[i].Stats() }), nil
+	return query.NonNil(out), e.cursorStats(rounds, func(i int) query.Stats { return cursors[i].Stats() }), nil
 }
 
 // progressed reports whether the last refinement round expanded at least

@@ -273,7 +273,7 @@ func (f *File) kmliq(ctx context.Context, q pfv.Vector, k int, withProbs bool) (
 		return nil, query.Stats{}, fmt.Errorf("vafile: k must be positive, got %d", k)
 	}
 	if f.count == 0 {
-		return nil, query.Stats{}, nil
+		return []query.Result{}, query.Stats{}, nil
 	}
 
 	var counter pagefile.Counter
@@ -375,7 +375,7 @@ func (f *File) TIQ(ctx context.Context, q pfv.Vector, pTheta float64, _ float64)
 		return nil, query.Stats{}, fmt.Errorf("vafile: threshold %v outside [0,1]", pTheta)
 	}
 	if f.count == 0 {
-		return nil, query.Stats{}, nil
+		return []query.Result{}, query.Stats{}, nil
 	}
 	var counter pagefile.Counter
 	var stats query.Stats
@@ -443,7 +443,7 @@ func (f *File) TIQ(ctx context.Context, q pfv.Vector, pTheta float64, _ float64)
 		})
 	}
 	query.SortByProbability(out)
-	return out, finish(len(out)), nil
+	return query.NonNil(out), finish(len(out)), nil
 }
 
 func addLog(a, b float64) float64 {

@@ -1,0 +1,194 @@
+// Package wire defines the HTTP/JSON wire format of the gaussd serving
+// layer: the typed request and response structs exchanged between the
+// internal/server daemon and the public client package. Both sides share
+// these definitions, so the format cannot drift between them; the structs
+// embed the public gausstree types, whose stable JSON encodings (lowercase
+// keys, NaN probabilities as null) define the on-the-wire number handling.
+//
+// Endpoints (all request bodies are JSON, all responses are JSON):
+//
+//	POST /v1/kmliq         QueryRequest{query,k}        -> QueryResponse
+//	POST /v1/kmliq-ranked  QueryRequest{query,k}        -> QueryResponse
+//	POST /v1/tiq           QueryRequest{query,p_theta}  -> QueryResponse
+//	POST /v1/batch         BatchRequest                 -> BatchResponse
+//	POST /v1/insert        InsertRequest                -> InsertResponse
+//	POST /v1/delete        DeleteRequest                -> DeleteResponse
+//	GET  /v1/stats                                      -> StatsResponse
+//	GET  /healthz                                       -> "ok"
+//
+// Errors are reported with a non-2xx status and an Error body whose Code is
+// one of the ErrCode* constants, so clients can map them back to the typed
+// sentinel errors of the gausstree package.
+package wire
+
+import (
+	gausstree "github.com/gauss-tree/gausstree"
+)
+
+// Query kinds accepted by the batch endpoint.
+const (
+	KindKMLIQ       = "kmliq"
+	KindKMLIQRanked = "kmliq-ranked"
+	KindTIQ         = "tiq"
+)
+
+// Machine-readable error codes carried by Error.Code.
+const (
+	// ErrCodeInvalid marks a malformed or invalid request (HTTP 400);
+	// clients surface it as gausstree.ErrInvalidQuery.
+	ErrCodeInvalid = "invalid_query"
+	// ErrCodeSaturated marks an admission-control rejection (HTTP 429);
+	// the response carries a Retry-After header.
+	ErrCodeSaturated = "saturated"
+	// ErrCodeReadOnly marks a mutation against a read-only daemon (HTTP 403).
+	ErrCodeReadOnly = "read_only"
+	// ErrCodeDeadline marks a query that exceeded its deadline (HTTP 504).
+	ErrCodeDeadline = "deadline_exceeded"
+	// ErrCodeClosed marks a daemon whose index is shutting down (HTTP 503).
+	ErrCodeClosed = "closed"
+	// ErrCodeInternal marks any other server-side failure (HTTP 500).
+	ErrCodeInternal = "internal"
+)
+
+// Error is the body of every non-2xx response.
+type Error struct {
+	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}
+
+// Stats is the wire form of gausstree.QueryStats.
+type Stats struct {
+	PageAccesses       uint64 `json:"page_accesses"`
+	NodesVisited       int    `json:"nodes_visited"`
+	VectorsScored      int    `json:"vectors_scored"`
+	CandidatesRetained int    `json:"candidates_retained"`
+	EarlyTermination   bool   `json:"early_termination"`
+}
+
+// FromQueryStats converts query statistics to their wire form
+// (gausstree.QueryStats aliases the engine-level query.Stats, so this is
+// the only stats conversion the serving layer needs).
+func FromQueryStats(s gausstree.QueryStats) Stats {
+	return Stats{
+		PageAccesses:       s.PageAccesses,
+		NodesVisited:       s.NodesVisited,
+		VectorsScored:      s.VectorsScored,
+		CandidatesRetained: s.CandidatesRetained,
+		EarlyTermination:   s.EarlyTermination,
+	}
+}
+
+// ToQueryStats converts wire statistics back to the public type.
+func (s Stats) ToQueryStats() gausstree.QueryStats {
+	return gausstree.QueryStats{
+		PageAccesses:       s.PageAccesses,
+		NodesVisited:       s.NodesVisited,
+		VectorsScored:      s.VectorsScored,
+		CandidatesRetained: s.CandidatesRetained,
+		EarlyTermination:   s.EarlyTermination,
+	}
+}
+
+// QueryRequest is the body of the three single-query endpoints. K applies to
+// the k-MLIQ endpoints, PTheta to /v1/tiq; TimeoutMS, when positive, asks
+// the server to bound the query by that deadline (the server additionally
+// clamps it to its own -timeout flag).
+type QueryRequest struct {
+	Query     gausstree.Vector `json:"query"`
+	K         int              `json:"k,omitempty"`
+	PTheta    float64          `json:"p_theta,omitempty"`
+	TimeoutMS int64            `json:"timeout_ms,omitempty"`
+}
+
+// QueryResponse carries one query's certified matches and statistics.
+// Matches is always present ([] when nothing qualified, never null).
+type QueryResponse struct {
+	Matches []gausstree.Match `json:"matches"`
+	Stats   Stats             `json:"stats"`
+}
+
+// BatchItem is one query of a batch: Kind selects the endpoint semantics.
+type BatchItem struct {
+	Kind   string           `json:"kind"`
+	Query  gausstree.Vector `json:"query"`
+	K      int              `json:"k,omitempty"`
+	PTheta float64          `json:"p_theta,omitempty"`
+}
+
+// BatchRequest is the body of /v1/batch. The whole batch occupies one
+// admission slot and shares one deadline.
+type BatchRequest struct {
+	Queries   []BatchItem `json:"queries"`
+	TimeoutMS int64       `json:"timeout_ms,omitempty"`
+}
+
+// BatchItemResponse is one query's outcome within a batch: either Matches
+// and Stats, or Error. Per-item failures do not fail the batch.
+type BatchItemResponse struct {
+	Matches []gausstree.Match `json:"matches"`
+	Stats   Stats             `json:"stats"`
+	Error   string            `json:"error,omitempty"`
+	Code    string            `json:"code,omitempty"`
+}
+
+// BatchResponse carries the per-item outcomes in request order.
+type BatchResponse struct {
+	Responses []BatchItemResponse `json:"responses"`
+}
+
+// InsertRequest is the body of /v1/insert.
+type InsertRequest struct {
+	Vectors []gausstree.Vector `json:"vectors"`
+}
+
+// InsertResponse reports how many vectors were durably inserted.
+type InsertResponse struct {
+	Inserted int `json:"inserted"`
+}
+
+// DeleteRequest is the body of /v1/delete; the vector must match a stored
+// copy exactly (id, means and sigmas).
+type DeleteRequest struct {
+	Vector gausstree.Vector `json:"vector"`
+}
+
+// DeleteResponse reports whether a copy was found and removed.
+type DeleteResponse struct {
+	Found bool `json:"found"`
+}
+
+// IOStats is the wire form of the page manager's I/O counters.
+type IOStats struct {
+	LogicalReads  uint64 `json:"logical_reads"`
+	CacheHits     uint64 `json:"cache_hits"`
+	PhysicalReads uint64 `json:"physical_reads"`
+	Writes        uint64 `json:"writes"`
+	Seeks         uint64 `json:"seeks"`
+}
+
+// ServerStats describes the daemon's admission-control state and lifetime
+// request counters.
+type ServerStats struct {
+	// InFlight is the number of requests currently executing.
+	InFlight int `json:"in_flight"`
+	// Queued is the number of requests waiting for an execution slot.
+	Queued int `json:"queued"`
+	// Served counts requests that completed (successfully or not).
+	Served uint64 `json:"served"`
+	// Rejected counts requests refused with 429 by admission control.
+	Rejected uint64 `json:"rejected"`
+}
+
+// StatsResponse is the body of /v1/stats.
+type StatsResponse struct {
+	// Backend names the served index type: "tree" or "sharded".
+	Backend string `json:"backend"`
+	// Dim is the feature dimensionality of the index.
+	Dim int `json:"dim"`
+	// Len is the number of stored vectors.
+	Len int `json:"len"`
+	// ReadOnly reports whether mutations are refused.
+	ReadOnly bool        `json:"read_only"`
+	IO       IOStats     `json:"io"`
+	Server   ServerStats `json:"server"`
+}

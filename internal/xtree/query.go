@@ -161,7 +161,7 @@ func (t *Tree) TIQ(ctx context.Context, q pfv.Vector, pTheta float64, _ float64)
 	}
 	stats.CandidatesRetained = len(out)
 	query.SortByProbability(out)
-	return out, stats, nil
+	return query.NonNil(out), stats, nil
 }
 
 func (t *Tree) checkQuery(q pfv.Vector) error {

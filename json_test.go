@@ -1,0 +1,128 @@
+package gausstree_test
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	gausstree "github.com/gauss-tree/gausstree"
+)
+
+// TestVectorJSONRoundTrip proves the stable wire encoding of a vector:
+// lowercase keys, exact float64 round-trip, validated decode.
+func TestVectorJSONRoundTrip(t *testing.T) {
+	v := gausstree.MustVector(42, []float64{1.25, -3.0000000001, 0}, []float64{0.1, 2.5, 0.0625})
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"id":42`, `"mean":[`, `"sigma":[`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("encoding %s lacks %s", data, key)
+		}
+	}
+	var back gausstree.Vector
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(v) {
+		t.Errorf("round trip changed the vector: %+v -> %+v", v, back)
+	}
+}
+
+// TestVectorJSONRejectsInvalid proves decoding enforces the pfv invariants:
+// a vector that New would refuse cannot enter through JSON either.
+func TestVectorJSONRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`{"id":1,"mean":[1,2],"sigma":[0.1]}`,   // length mismatch
+		`{"id":1,"mean":[],"sigma":[]}`,         // empty
+		`{"id":1,"mean":[1],"sigma":[0]}`,       // zero sigma
+		`{"id":1,"mean":[1],"sigma":[-0.5]}`,    // negative sigma
+		`{"id":1,"mean":["x"],"sigma":[0.1]}`,   // non-numeric
+		`{"id":1,"mean":[1e999],"sigma":[0.1]}`, // overflow to +Inf
+	}
+	for _, raw := range cases {
+		var v gausstree.Vector
+		if err := json.Unmarshal([]byte(raw), &v); err == nil {
+			t.Errorf("decoded invalid vector %s into %+v", raw, v)
+		}
+	}
+}
+
+// TestMatchJSONRoundTrip proves matches survive JSON exactly — including the
+// NaN probabilities of ranked queries, which encode as null and decode back
+// to NaN instead of poisoning the document.
+func TestMatchJSONRoundTrip(t *testing.T) {
+	certified := gausstree.Match{
+		Vector:      gausstree.MustVector(7, []float64{1, 2}, []float64{0.1, 0.2}),
+		Probability: 0.8125,
+		ProbLow:     0.8120000000000001,
+		ProbHigh:    0.8129999999999999,
+		LogDensity:  -3.25,
+	}
+	data, err := json.Marshal(certified)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back gausstree.Match
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Probability != certified.Probability || back.ProbLow != certified.ProbLow ||
+		back.ProbHigh != certified.ProbHigh || back.LogDensity != certified.LogDensity ||
+		!back.Vector.Equal(certified.Vector) {
+		t.Errorf("round trip changed the match: %+v -> %+v", certified, back)
+	}
+
+	ranked := certified
+	ranked.Probability = math.NaN()
+	ranked.ProbLow = math.NaN()
+	ranked.ProbHigh = math.NaN()
+	data, err = json.Marshal(ranked)
+	if err != nil {
+		t.Fatalf("marshalling NaN probabilities: %v", err)
+	}
+	if !strings.Contains(string(data), `"probability":null`) {
+		t.Errorf("NaN probability did not encode as null: %s", data)
+	}
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(back.Probability) || !math.IsNaN(back.ProbLow) || !math.IsNaN(back.ProbHigh) {
+		t.Errorf("null probabilities did not decode to NaN: %+v", back)
+	}
+	if back.LogDensity != ranked.LogDensity {
+		t.Errorf("log density changed: %v -> %v", back.LogDensity, ranked.LogDensity)
+	}
+
+	// ±Inf (extreme log-density underflow) must survive distinguishably,
+	// not collapse into NaN.
+	underflow := certified
+	underflow.LogDensity = math.Inf(-1)
+	data, err = json.Marshal(underflow)
+	if err != nil {
+		t.Fatalf("marshalling -Inf log density: %v", err)
+	}
+	if !strings.Contains(string(data), `"log_density":"-Inf"`) {
+		t.Errorf("-Inf log density encoded as %s", data)
+	}
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(back.LogDensity, -1) {
+		t.Errorf("-Inf log density decoded to %v", back.LogDensity)
+	}
+}
+
+// TestMatchSliceJSON proves a query's match slice serializes as a JSON array
+// ([] when empty — the serving layer's nil-vs-empty contract).
+func TestMatchSliceJSON(t *testing.T) {
+	data, err := json.Marshal([]gausstree.Match{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "[]" {
+		t.Errorf("empty match slice encodes as %s, want []", data)
+	}
+}

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the serving layer: build the daemon and the CLI,
+# generate a data set, persist an index, serve it with gaussd, and issue one
+# k-MLIQ and one TIQ through `gausscli -addr` — asserting both return
+# non-empty certified results over the wire. CI runs this on every push; it
+# is also handy locally after touching the server, client or wire packages.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  [ -n "$pid" ] && wait "$pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+addr="127.0.0.1:${GAUSSD_SMOKE_PORT:-18442}"
+
+echo "# building gaussd, gausscli, gaussgen"
+go build -o "$tmp/bin/" ./cmd/gaussd ./cmd/gausscli ./cmd/gaussgen
+
+echo "# generating data set and building the index"
+"$tmp/bin/gaussgen" -set ds2 -n 2000 -out "$tmp/ds.csv" -queries "$tmp/queries.csv"
+"$tmp/bin/gausscli" -data "$tmp/ds.csv" -index "$tmp/ds.gtree"
+
+echo "# starting gaussd on $addr"
+"$tmp/bin/gaussd" -index "$tmp/ds.gtree" -addr "$addr" &
+pid=$!
+
+for _ in $(seq 100); do
+  if curl -fsS "http://$addr/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  if ! kill -0 "$pid" 2>/dev/null; then
+    echo "gaussd exited before becoming healthy" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+curl -fsS "http://$addr/healthz" >/dev/null
+
+# The first generated query, without its ground-truth id column.
+q=$(sed -n 2p "$tmp/queries.csv" | cut -d, -f2-)
+
+echo "# k-MLIQ via gausscli -addr"
+out=$("$tmp/bin/gausscli" -addr "$addr" -kmliq "$q" -k 3)
+echo "$out"
+echo "$out" | grep -q 'certified \[' || { echo "k-MLIQ returned no certified results" >&2; exit 1; }
+
+echo "# TIQ via gausscli -addr"
+out=$("$tmp/bin/gausscli" -addr "$addr" -tiq "$q" -p 0.01)
+echo "$out"
+echo "$out" | grep -q 'certified \[' || { echo "TIQ returned no certified results" >&2; exit 1; }
+
+echo "# graceful shutdown"
+kill -TERM "$pid"
+wait "$pid"
+pid=""
+
+echo "gaussd smoke: OK"

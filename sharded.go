@@ -37,20 +37,9 @@ func (p PartitionPolicy) name() string {
 // ShardedQueryStats extends QueryStats with the sharded execution profile:
 // the per-shard breakdown of the aggregated counters and the number of
 // cross-shard denominator merge rounds the query needed (1 = the per-shard
-// certification was sufficient on the first pass).
-type ShardedQueryStats struct {
-	QueryStats
-	PerShard    []QueryStats
-	MergeRounds int
-}
-
-func toShardedStats(s shard.Stats) ShardedQueryStats {
-	per := make([]QueryStats, len(s.PerShard))
-	for i, p := range s.PerShard {
-		per[i] = toQueryStats(p)
-	}
-	return ShardedQueryStats{QueryStats: toQueryStats(s.Stats), PerShard: per, MergeRounds: s.MergeRounds}
-}
+// certification was sufficient on the first pass). It is an alias of the
+// shard engine's stats type (its embedded query.Stats is QueryStats).
+type ShardedQueryStats = shard.Stats
 
 // shardedManifest is the tiny JSON descriptor a durable sharded index keeps
 // next to its per-shard page files: everything OpenSharded needs that the
@@ -345,8 +334,11 @@ func (s *Sharded) KMLIQContext(ctx context.Context, q Vector, k int) ([]Match, S
 	if s.eng == nil {
 		return nil, ShardedQueryStats{}, ErrClosed
 	}
+	if err := errors.Join(checkQueryVector(q, s.eng.Dim()), checkK(k)); err != nil {
+		return nil, ShardedQueryStats{}, err
+	}
 	res, st, err := s.eng.KMLIQDetail(ctx, q, k, s.opts.Accuracy)
-	return toMatches(res), toShardedStats(st), err
+	return toMatches(res), st, err
 }
 
 // KMostLikelyRanked answers a k-MLIQ without probability values (the
@@ -365,8 +357,11 @@ func (s *Sharded) KMLIQRankedContext(ctx context.Context, q Vector, k int) ([]Ma
 	if s.eng == nil {
 		return nil, ShardedQueryStats{}, ErrClosed
 	}
+	if err := errors.Join(checkQueryVector(q, s.eng.Dim()), checkK(k)); err != nil {
+		return nil, ShardedQueryStats{}, err
+	}
 	res, st, err := s.eng.KMLIQRankedDetail(ctx, q, k)
-	return toMatches(res), toShardedStats(st), err
+	return toMatches(res), st, err
 }
 
 // Threshold answers a threshold identification query across all shards:
@@ -384,8 +379,11 @@ func (s *Sharded) TIQContext(ctx context.Context, q Vector, pTheta float64) ([]M
 	if s.eng == nil {
 		return nil, ShardedQueryStats{}, ErrClosed
 	}
+	if err := errors.Join(checkQueryVector(q, s.eng.Dim()), checkPTheta(pTheta)); err != nil {
+		return nil, ShardedQueryStats{}, err
+	}
 	res, st, err := s.eng.TIQDetail(ctx, q, pTheta, s.opts.Accuracy)
-	return toMatches(res), toShardedStats(st), err
+	return toMatches(res), st, err
 }
 
 // ForEach visits every stored vector, shard by shard.

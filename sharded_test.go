@@ -171,6 +171,88 @@ func TestShardedOpenRejectsGarbage(t *testing.T) {
 	}
 }
 
+// openFDs counts this process's open file descriptors via /proc; -1 when the
+// platform does not expose them (the leak assertion is then skipped).
+func openFDs(t *testing.T) int {
+	t.Helper()
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	return len(ents)
+}
+
+// TestOpenShardedCorruptManifest: every way shards.json can rot — truncated,
+// garbage, naming more shards than exist, naming a nonsensical count — must
+// fail OpenSharded with a clean error and leak nothing: shards opened before
+// the failure was detected must all be closed again (verified by the
+// process's file-descriptor count).
+func TestOpenShardedCorruptManifest(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	vs := randomWorld(rng, 120, 2)
+	dir := t.TempDir()
+	st, err := gausstree.NewSharded(2, 3, gausstree.Options{Path: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.BulkLoad(vs); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	manifest := filepath.Join(dir, "shards.json")
+	intact, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		body []byte
+	}{
+		{"truncated", intact[:len(intact)/2]},
+		{"empty", nil},
+		{"garbage", []byte("\x00\xffnot a manifest at all\x1b")},
+		// Valid JSON claiming more shards than exist: shards 0-2 open
+		// successfully, shard 3 fails — the three opened ones must close.
+		{"wrong shard count", []byte(`{"Version":1,"Shards":5,"Partition":"hash-id"}`)},
+		{"zero shards", []byte(`{"Version":1,"Shards":0,"Partition":"hash-id"}`)},
+		{"negative shards", []byte(`{"Version":1,"Shards":-4,"Partition":"hash-id"}`)},
+		{"unsupported version", []byte(`{"Version":99,"Shards":3,"Partition":"hash-id"}`)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := os.WriteFile(manifest, tc.body, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			before := openFDs(t)
+			s, err := gausstree.OpenSharded(dir)
+			if err == nil {
+				s.Close()
+				t.Fatal("OpenSharded succeeded on a corrupt manifest")
+			}
+			if after := openFDs(t); before >= 0 && after != before {
+				t.Errorf("OpenSharded leaked file descriptors: %d before, %d after", before, after)
+			}
+		})
+	}
+
+	// The data itself was never touched: restoring the manifest restores
+	// the index.
+	if err := os.WriteFile(manifest, intact, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := gausstree.OpenSharded(dir)
+	if err != nil {
+		t.Fatalf("reopen after manifest restore: %v", err)
+	}
+	defer re.Close()
+	if re.Len() != len(vs) {
+		t.Errorf("restored index has %d vectors, want %d", re.Len(), len(vs))
+	}
+}
+
 // TestNewShardedReclaimsCrashedCreate: a directory holding committed shard
 // files but no manifest is provably debris from a create that died before
 // its final manifest write; NewSharded must reclaim it instead of wedging

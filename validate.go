@@ -1,0 +1,40 @@
+package gausstree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInvalidQuery is returned (wrapped) by every query method of Tree and
+// Sharded when the query arguments are invalid: k < 1 for the k-MLIQ
+// variants, pTheta outside (0, 1] for the TIQ variants, or a query vector
+// whose dimensionality differs from the tree's. Test with errors.Is.
+var ErrInvalidQuery = errors.New("gausstree: invalid query")
+
+// checkQueryVector rejects query vectors of the wrong dimensionality. A zero
+// Vector (dimension 0) is caught here too.
+func checkQueryVector(q Vector, dim int) error {
+	if q.Dim() != dim {
+		return fmt.Errorf("%w: query dimension %d, tree dimension %d", ErrInvalidQuery, q.Dim(), dim)
+	}
+	return nil
+}
+
+// checkK rejects non-positive k-MLIQ result counts.
+func checkK(k int) error {
+	if k < 1 {
+		return fmt.Errorf("%w: k must be at least 1, got %d", ErrInvalidQuery, k)
+	}
+	return nil
+}
+
+// checkPTheta rejects thresholds outside (0, 1]. A TIQ with pTheta ≤ 0 is
+// not a meaningful identification query (every object trivially qualifies),
+// and NaN compares false against everything, so it is rejected here too.
+func checkPTheta(pTheta float64) error {
+	if math.IsNaN(pTheta) || pTheta <= 0 || pTheta > 1 {
+		return fmt.Errorf("%w: threshold must be in (0, 1], got %v", ErrInvalidQuery, pTheta)
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package gausstree_test
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	gausstree "github.com/gauss-tree/gausstree"
+)
+
+// queryable is the query surface shared by Tree and Sharded, letting the
+// validation and nil-vs-empty matrices run over both public index types.
+type queryable interface {
+	KMostLikely(q gausstree.Vector, k int) ([]gausstree.Match, error)
+	KMostLikelyRanked(q gausstree.Vector, k int) ([]gausstree.Match, error)
+	Threshold(q gausstree.Vector, pTheta float64) ([]gausstree.Match, error)
+	Close() error
+}
+
+func bothIndexTypes(t *testing.T, vs []gausstree.Vector, dim int) map[string]queryable {
+	t.Helper()
+	tree, err := gausstree.New(dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := gausstree.NewSharded(dim, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) > 0 {
+		if err := tree.BulkLoad(vs); err != nil {
+			t.Fatal(err)
+		}
+		if err := sharded.BulkLoad(vs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return map[string]queryable{"Tree": tree, "Sharded": sharded}
+}
+
+// TestInvalidQueryMatrix is the satellite acceptance matrix: k < 1, pTheta
+// outside (0, 1] and dimension mismatches must uniformly return a wrapped
+// ErrInvalidQuery from every query method of both Tree and Sharded.
+func TestInvalidQueryMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vs := randomWorld(rng, 200, 2)
+	q := gausstree.MustVector(0, []float64{1, 2}, []float64{0.1, 0.1})
+	wrongDim := gausstree.MustVector(0, []float64{1, 2, 3}, []float64{0.1, 0.1, 0.1})
+
+	for name, idx := range bothIndexTypes(t, vs, 2) {
+		t.Run(name, func(t *testing.T) {
+			cases := []struct {
+				name string
+				run  func() ([]gausstree.Match, error)
+			}{
+				{"KMostLikely k=0", func() ([]gausstree.Match, error) { return idx.KMostLikely(q, 0) }},
+				{"KMostLikely k=-2", func() ([]gausstree.Match, error) { return idx.KMostLikely(q, -2) }},
+				{"KMostLikelyRanked k=0", func() ([]gausstree.Match, error) { return idx.KMostLikelyRanked(q, 0) }},
+				{"Threshold p=0", func() ([]gausstree.Match, error) { return idx.Threshold(q, 0) }},
+				{"Threshold p=-0.1", func() ([]gausstree.Match, error) { return idx.Threshold(q, -0.1) }},
+				{"Threshold p=1.01", func() ([]gausstree.Match, error) { return idx.Threshold(q, 1.01) }},
+				{"Threshold p=NaN", func() ([]gausstree.Match, error) { return idx.Threshold(q, math.NaN()) }},
+				{"KMostLikely wrong dim", func() ([]gausstree.Match, error) { return idx.KMostLikely(wrongDim, 1) }},
+				{"KMostLikelyRanked wrong dim", func() ([]gausstree.Match, error) { return idx.KMostLikelyRanked(wrongDim, 1) }},
+				{"Threshold wrong dim", func() ([]gausstree.Match, error) { return idx.Threshold(wrongDim, 0.5) }},
+				{"KMostLikely zero vector", func() ([]gausstree.Match, error) { return idx.KMostLikely(gausstree.Vector{}, 1) }},
+			}
+			for _, tc := range cases {
+				ms, err := tc.run()
+				if !errors.Is(err, gausstree.ErrInvalidQuery) {
+					t.Errorf("%s: err = %v, want ErrInvalidQuery", tc.name, err)
+				}
+				if len(ms) != 0 {
+					t.Errorf("%s: returned %d matches alongside the error", tc.name, len(ms))
+				}
+			}
+			// Threshold p=1 is the valid boundary of (0, 1].
+			if _, err := idx.Threshold(q, 1); err != nil {
+				t.Errorf("Threshold p=1: %v, want nil (1 is inside (0,1])", err)
+			}
+		})
+	}
+}
+
+// TestEmptyResultsNeverNil is the nil-vs-empty satellite on the public
+// types: queries that match nothing return []Match{} (which serializes to
+// the JSON array [], not null) from both Tree and Sharded — for empty
+// indexes and for TIQ thresholds nothing reaches.
+func TestEmptyResultsNeverNil(t *testing.T) {
+	q2 := gausstree.MustVector(0, []float64{1, 2}, []float64{0.1, 0.1})
+
+	assertEmptyNonNil := func(t *testing.T, name string, ms []gausstree.Match, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ms == nil {
+			t.Errorf("%s: nil matches, want []Match{}", name)
+			return
+		}
+		if len(ms) != 0 {
+			t.Errorf("%s: %d matches, want none", name, len(ms))
+		}
+		data, jerr := json.Marshal(ms)
+		if jerr != nil {
+			t.Fatalf("%s: %v", name, jerr)
+		}
+		if string(data) != "[]" {
+			t.Errorf("%s: serializes to %s, want []", name, data)
+		}
+	}
+
+	t.Run("empty index", func(t *testing.T) {
+		for name, idx := range bothIndexTypes(t, nil, 2) {
+			ms, err := idx.KMostLikely(q2, 3)
+			assertEmptyNonNil(t, name+" KMostLikely", ms, err)
+			ms, err = idx.KMostLikelyRanked(q2, 3)
+			assertEmptyNonNil(t, name+" KMostLikelyRanked", ms, err)
+			ms, err = idx.Threshold(q2, 0.5)
+			assertEmptyNonNil(t, name+" Threshold", ms, err)
+			idx.Close()
+		}
+	})
+
+	t.Run("threshold nothing reaches", func(t *testing.T) {
+		// Two clusters of near-identical objects: every posterior is ~1/n
+		// of its cluster, far below 0.9, so the TIQ answer set is empty.
+		var vs []gausstree.Vector
+		for i := 0; i < 16; i++ {
+			vs = append(vs,
+				gausstree.MustVector(uint64(2*i+1), []float64{1, 1}, []float64{0.5, 0.5}),
+				gausstree.MustVector(uint64(2*i+2), []float64{1.01, 0.99}, []float64{0.5, 0.5}),
+			)
+		}
+		for name, idx := range bothIndexTypes(t, vs, 2) {
+			ms, err := idx.Threshold(gausstree.MustVector(0, []float64{1, 1}, []float64{0.3, 0.3}), 0.9)
+			assertEmptyNonNil(t, name+" Threshold(0.9)", ms, err)
+			idx.Close()
+		}
+	})
+}
