@@ -13,10 +13,11 @@
 //	gaussbench -exp fig7ds1 -json out.json  # machine-readable results
 //
 // Experiments: fig1, fig6a, fig6b, fig7ds1, fig7ds2, headline, ablations,
-// reopen, shards, serve.
+// reopen, shards, serve, hot.
 // With -json the collected per-backend measurements (page accesses, wall
-// times, recall) are additionally written as JSON ("-" for stdout), so perf
-// trajectories can be tracked across revisions in BENCH_*.json files.
+// times, recall, and heap allocations per query — the -benchmem equivalents)
+// are additionally written as JSON ("-" for stdout), so perf trajectories
+// can be tracked across revisions in BENCH_*.json files.
 package main
 
 import (
@@ -26,6 +27,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -46,7 +48,7 @@ import (
 
 func main() {
 	var (
-		exps     = flag.String("exp", "all", "comma-separated experiments: fig1,fig6a,fig6b,fig7ds1,fig7ds2,headline,ablations,reopen,shards,serve,all")
+		exps     = flag.String("exp", "all", "comma-separated experiments: fig1,fig6a,fig6b,fig7ds1,fig7ds2,headline,ablations,reopen,shards,serve,hot,all")
 		quick    = flag.Bool("quick", false, "reduced data sizes (for smoke testing)")
 		n1       = flag.Int("n1", 10987, "data set 1 size (paper: 10987)")
 		n2       = flag.Int("n2", 100000, "data set 2 size (paper: 100000)")
@@ -115,6 +117,9 @@ func main() {
 	if run("serve") {
 		b.serve()
 	}
+	if run("hot") {
+		b.hot()
+	}
 	if *jsonPath != "" {
 		b.writeJSON(*jsonPath)
 	}
@@ -151,25 +156,52 @@ type reopenReport struct {
 
 // shardScalingRow is one shard-count × query-type cell of the sharded
 // fan-out scaling experiment: wall-clock over the whole query set, mean
-// aggregated page accesses across all shards, and the mean number of
-// cross-shard denominator merge rounds.
+// aggregated page accesses across all shards, the mean number of
+// cross-shard denominator merge rounds, and mean heap allocations per query.
 type shardScalingRow struct {
 	Shards      int
 	Query       string
 	WallMillis  float64
 	PagesPerQ   float64
 	MergeRounds float64
+	AllocsPerQ  float64
+	BytesPerQ   float64
 }
 
 // serveRow is one concurrency level of the network-serving experiment:
 // throughput and latency percentiles of k-MLIQ requests issued by N
-// concurrent clients against a loopback gaussd.
+// concurrent clients against a loopback gaussd, plus whole-process heap
+// allocations per request (client + server side — both live in this
+// process, so the figure is the end-to-end allocation cost of one request).
 type serveRow struct {
-	Clients   int
-	Requests  int
-	RPS       float64
-	P50Millis float64
-	P99Millis float64
+	Clients    int
+	Requests   int
+	RPS        float64
+	P50Millis  float64
+	P99Millis  float64
+	AllocsPerQ float64
+	BytesPerQ  float64
+}
+
+// hotRow is one query kind of the hot read-path experiment: the index is
+// fully cached, so the numbers are the pure in-memory cost per query — the
+// -benchmem equivalent of BenchmarkKMLIQHot inside gaussbench.
+type hotRow struct {
+	Query      string
+	NsPerQ     float64
+	PagesPerQ  float64
+	AllocsPerQ float64
+	BytesPerQ  float64
+}
+
+// measureAllocs runs f and returns the heap allocation count and byte delta
+// it caused (whole process; run quiesced experiments only).
+func measureAllocs(f func()) (allocs, bytes uint64) {
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	f()
+	runtime.ReadMemStats(&m1)
+	return m1.Mallocs - m0.Mallocs, m1.TotalAlloc - m0.TotalAlloc
 }
 
 // benchOutput is the machine-readable result set emitted by -json.
@@ -181,6 +213,7 @@ type benchOutput struct {
 	Reopen       *reopenReport      `json:",omitempty"`
 	ShardScaling []shardScalingRow  `json:",omitempty"`
 	Serve        []serveRow         `json:",omitempty"`
+	Hot          []hotRow           `json:",omitempty"`
 }
 
 type bench struct {
@@ -485,7 +518,7 @@ func (b *bench) shards() {
 	ds, qs := b.subset(min(b.n2, 20000), 200)
 	ctx := context.Background()
 	fmt.Println("=== Shards: sharded Gauss-tree fan-out scaling (DS2 subset) ===")
-	fmt.Printf("%-8s %-10s %12s %14s %8s\n", "shards", "query", "wall ms", "pages/query", "rounds")
+	fmt.Printf("%-8s %-10s %12s %14s %8s %10s\n", "shards", "query", "wall ms", "pages/query", "rounds", "allocs/q")
 	for _, n := range []int{1, 2, 4, 8} {
 		trees := make([]*core.Tree, n)
 		for i := range trees {
@@ -511,24 +544,32 @@ func (b *bench) shards() {
 				return st, err
 			}},
 		} {
-			start := time.Now()
 			var pages uint64
+			var wall time.Duration
 			rounds := 0
-			for _, q := range qs {
-				st, err := kind.run(q.Vector)
-				check(err)
-				pages += st.PageAccesses
-				rounds += st.MergeRounds
-			}
-			wall := time.Since(start)
+			// The timed window lives inside the closure so the
+			// stop-the-world ReadMemStats bracketing never pollutes the
+			// wall-clock metric tracked across revisions.
+			allocs, bytes := measureAllocs(func() {
+				start := time.Now()
+				for _, q := range qs {
+					st, err := kind.run(q.Vector)
+					check(err)
+					pages += st.PageAccesses
+					rounds += st.MergeRounds
+				}
+				wall = time.Since(start)
+			})
 			row := shardScalingRow{
 				Shards:      n,
 				Query:       kind.name,
 				WallMillis:  float64(wall.Microseconds()) / 1e3,
 				PagesPerQ:   float64(pages) / float64(len(qs)),
 				MergeRounds: float64(rounds) / float64(len(qs)),
+				AllocsPerQ:  float64(allocs) / float64(len(qs)),
+				BytesPerQ:   float64(bytes) / float64(len(qs)),
 			}
-			fmt.Printf("%-8d %-10s %12.1f %14.1f %8.2f\n", row.Shards, row.Query, row.WallMillis, row.PagesPerQ, row.MergeRounds)
+			fmt.Printf("%-8d %-10s %12.1f %14.1f %8.2f %10.0f\n", row.Shards, row.Query, row.WallMillis, row.PagesPerQ, row.MergeRounds, row.AllocsPerQ)
 			b.out.ShardScaling = append(b.out.ShardScaling, row)
 		}
 	}
@@ -563,7 +604,7 @@ func (b *bench) serve() {
 		check(err)
 	}
 
-	fmt.Printf("%-8s %10s %12s %12s %12s\n", "clients", "requests", "req/s", "p50 ms", "p99 ms")
+	fmt.Printf("%-8s %10s %12s %12s %12s %10s\n", "clients", "requests", "req/s", "p50 ms", "p99 ms", "allocs/q")
 	for _, clients := range []int{1, 8, 64} {
 		total := 96 * clients
 		if total > 1536 {
@@ -571,41 +612,114 @@ func (b *bench) serve() {
 		}
 		lat := make([]time.Duration, total)
 		var next atomic.Int64
-		start := time.Now()
-		var wg sync.WaitGroup
-		for w := 0; w < clients; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= total {
-						return
+		var wall time.Duration
+		allocs, bytes := measureAllocs(func() {
+			start := time.Now()
+			var wg sync.WaitGroup
+			for w := 0; w < clients; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= total {
+							return
+						}
+						t0 := time.Now()
+						_, _, err := cl.KMLIQ(ctx, qs[i%len(qs)].Vector, 3)
+						check(err)
+						lat[i] = time.Since(t0)
 					}
-					t0 := time.Now()
-					_, _, err := cl.KMLIQ(ctx, qs[i%len(qs)].Vector, 3)
-					check(err)
-					lat[i] = time.Since(t0)
-				}
-			}()
-		}
-		wg.Wait()
-		wall := time.Since(start)
+				}()
+			}
+			wg.Wait()
+			wall = time.Since(start)
+		})
 		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 		row := serveRow{
-			Clients:   clients,
-			Requests:  total,
-			RPS:       float64(total) / wall.Seconds(),
-			P50Millis: float64(lat[total/2].Microseconds()) / 1e3,
-			P99Millis: float64(lat[total*99/100].Microseconds()) / 1e3,
+			Clients:    clients,
+			Requests:   total,
+			RPS:        float64(total) / wall.Seconds(),
+			P50Millis:  float64(lat[total/2].Microseconds()) / 1e3,
+			P99Millis:  float64(lat[total*99/100].Microseconds()) / 1e3,
+			AllocsPerQ: float64(allocs) / float64(total),
+			BytesPerQ:  float64(bytes) / float64(total),
 		}
-		fmt.Printf("%-8d %10d %12.0f %12.3f %12.3f\n", row.Clients, row.Requests, row.RPS, row.P50Millis, row.P99Millis)
+		fmt.Printf("%-8d %10d %12.0f %12.3f %12.3f %10.0f\n", row.Clients, row.Requests, row.RPS, row.P50Millis, row.P99Millis, row.AllocsPerQ)
 		b.out.Serve = append(b.out.Serve, row)
 	}
 	fmt.Println()
 	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	check(srv.Shutdown(sctx))
+}
+
+// hot measures the pure in-memory read path: the DS2-subset index is fully
+// cached (buffer cache and decoded-node cache warmed by a full pass over the
+// query set), so ns/query, allocs/query and bytes/query are the CPU cost of
+// the hot path itself — gaussbench's counterpart of BenchmarkKMLIQHot, the
+// number the sharded buffer cache, decoded-node cache and pooled traversal
+// state optimize.
+func (b *bench) hot() {
+	ds, qs := b.subset(min(b.n2, 20000), 200)
+	e, err := eval.Build(ds, eval.Setup{PageSize: b.pageSize})
+	check(err)
+	ctx := context.Background()
+	fmt.Println("=== Hot: fully cached read path (DS2 subset) ===")
+	fmt.Printf("%-14s %12s %14s %10s %10s\n", "query", "ns/query", "pages/query", "allocs/q", "bytes/q")
+
+	type qt struct {
+		name string
+		run  func(q pfv.Vector) (uint64, error)
+	}
+	kinds := []qt{
+		{"3-MLIQ-ranked", func(q pfv.Vector) (uint64, error) {
+			_, st, err := e.Tree.KMLIQRanked(ctx, q, 3)
+			return st.PageAccesses, err
+		}},
+		{"3-MLIQ", func(q pfv.Vector) (uint64, error) {
+			_, st, err := e.Tree.KMLIQ(ctx, q, 3, 1e-4)
+			return st.PageAccesses, err
+		}},
+		{"TIQ(0.8)", func(q pfv.Vector) (uint64, error) {
+			_, st, err := e.Tree.TIQ(ctx, q, 0.8, 1e-4)
+			return st.PageAccesses, err
+		}},
+	}
+	const passes = 3
+	for _, kind := range kinds {
+		// Warm both cache layers with one full pass.
+		for _, q := range qs {
+			if _, err := kind.run(q.Vector); err != nil {
+				check(err)
+			}
+		}
+		runtime.GC()
+		var pages uint64
+		var wall time.Duration
+		allocs, bytes := measureAllocs(func() {
+			start := time.Now()
+			for p := 0; p < passes; p++ {
+				for _, q := range qs {
+					pg, err := kind.run(q.Vector)
+					check(err)
+					pages += pg
+				}
+			}
+			wall = time.Since(start)
+		})
+		n := float64(passes * len(qs))
+		row := hotRow{
+			Query:      kind.name,
+			NsPerQ:     float64(wall.Nanoseconds()) / n,
+			PagesPerQ:  float64(pages) / n,
+			AllocsPerQ: float64(allocs) / n,
+			BytesPerQ:  float64(bytes) / n,
+		}
+		fmt.Printf("%-14s %12.0f %14.1f %10.1f %10.0f\n", row.Query, row.NsPerQ, row.PagesPerQ, row.AllocsPerQ, row.BytesPerQ)
+		b.out.Hot = append(b.out.Hot, row)
+	}
+	fmt.Println()
 }
 
 // writeJSON emits the collected measurements machine-readably.

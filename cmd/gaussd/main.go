@@ -20,6 +20,8 @@
 //	-timeout       per-request deadline ceiling (default 30s)
 //	-readonly      refuse /v1/insert and /v1/delete
 //	-cache-mb      buffer cache budget in MB (default 50)
+//	-cache-shards  buffer-cache shard count (0 = automatic)
+//	-pprof         loopback-only net/http/pprof listener (e.g. 127.0.0.1:6060)
 package main
 
 import (
@@ -27,7 +29,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -47,6 +51,8 @@ func main() {
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request deadline ceiling")
 		readonly = flag.Bool("readonly", false, "refuse mutations (safe for horizontal read replicas)")
 		cacheMB  = flag.Int("cache-mb", 50, "buffer cache budget in MB")
+		shards   = flag.Int("cache-shards", 0, "buffer-cache shard count, rounded up to a power of two (0 = automatic)")
+		pprofAt  = flag.String("pprof", "", "expose net/http/pprof on this loopback-only address (e.g. 127.0.0.1:6060 or :6060); empty = disabled")
 	)
 	flag.Parse()
 	if *index == "" {
@@ -69,9 +75,20 @@ func main() {
 		maxQueue = -1
 	}
 
-	idx, err := openIndex(*index, gausstree.Options{CacheBytes: *cacheMB << 20})
+	idx, err := openIndex(*index, gausstree.Options{CacheBytes: *cacheMB << 20, CacheShards: *shards})
 	fail(err)
 	fmt.Printf("gaussd: serving %s index %s: %d vectors, %d-d\n", idx.Kind(), *index, idx.Len(), idx.Dim())
+
+	if *pprofAt != "" {
+		l, err := listenPprof(*pprofAt)
+		fail(err)
+		fmt.Printf("gaussd: pprof on http://%s/debug/pprof/\n", l.Addr())
+		go func() {
+			if err := servePprof(l); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "gaussd: pprof:", err)
+			}
+		}()
+	}
 
 	srv := server.New(idx, server.Config{
 		MaxInflight: *inflight,
@@ -101,6 +118,41 @@ func main() {
 		}
 		fmt.Println("gaussd: stopped")
 	}
+}
+
+// listenPprof binds the profiling listener, restricted to loopback: the
+// pprof endpoints expose heap contents and symbol tables, so serving hot
+// spots are profiled in place without ever putting the surface on the query
+// network. A bare ":port" binds 127.0.0.1; any explicit non-loopback host is
+// refused.
+func listenPprof(addr string) (net.Listener, error) {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return nil, fmt.Errorf("gaussd: invalid -pprof address %q: %w", addr, err)
+	}
+	if host == "" {
+		host = "127.0.0.1"
+	}
+	if host != "localhost" {
+		ip := net.ParseIP(host)
+		if ip == nil || !ip.IsLoopback() {
+			return nil, fmt.Errorf("gaussd: -pprof address %q is not loopback-only (use 127.0.0.1, ::1 or localhost)", addr)
+		}
+	}
+	return net.Listen("tcp", net.JoinHostPort(host, port))
+}
+
+// servePprof serves the pprof handlers on a dedicated mux (never the query
+// mux, and never http.DefaultServeMux) so the profiling surface stays
+// isolated from the /v1 API.
+func servePprof(l net.Listener) error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return http.Serve(l, mux)
 }
 
 // openIndex auto-detects the index layout: a directory holding a shards.json

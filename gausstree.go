@@ -66,6 +66,12 @@ type Options struct {
 	PageSize int
 	// CacheBytes is the buffer cache budget (default 50 MB).
 	CacheBytes int
+	// CacheShards is the number of buffer-cache shards (rounded up to a
+	// power of two). The default of 0 selects automatically: enough shards
+	// (up to 16) that concurrent hot reads do not contend, but never so
+	// many that tiny caches lose LRU fidelity. Raise it for very high
+	// query concurrency on large caches.
+	CacheShards int
 	// Combiner is the σ-combination rule (default CombineAdditive). It is
 	// persisted in the index meta record; Open restores the combiner the
 	// tree was built with and ignores this field.
@@ -129,7 +135,7 @@ func New(dim int, opts ...Options) (*Tree, error) {
 	} else {
 		backend = pagefile.NewMemBackend(o.PageSize)
 	}
-	mgr, err := pagefile.NewManager(backend, o.PageSize, pagefile.WithCacheBytes(o.CacheBytes))
+	mgr, err := pagefile.NewManager(backend, o.PageSize, pagefile.WithCacheBytes(o.CacheBytes), pagefile.WithCacheShards(o.CacheShards))
 	if err != nil {
 		backend.Close()
 		return nil, err
@@ -166,7 +172,7 @@ func Open(path string, opts ...Options) (*Tree, error) {
 		return nil, err
 	}
 	o.PageSize = fb.PageSize()
-	mgr, err := pagefile.NewManager(fb, fb.PageSize(), pagefile.WithCacheBytes(o.CacheBytes))
+	mgr, err := pagefile.NewManager(fb, fb.PageSize(), pagefile.WithCacheBytes(o.CacheBytes), pagefile.WithCacheShards(o.CacheShards))
 	if err != nil {
 		fb.Close()
 		return nil, err

@@ -191,6 +191,20 @@ func (b ParamBox) LogFloorAt(c gaussian.Combiner, q pfv.Vector) float64 {
 	return sum
 }
 
+// LogHullFloorAt returns LogHullAt and LogFloorAt in a single pass: both
+// bounds need the same per-dimension combined σ interval, so the traversal's
+// denominator tracking computes them together at half the interval work.
+// Each sum accumulates in exactly the order of its single-bound sibling, so
+// the results are bit-identical to calling LogHullAt and LogFloorAt.
+func (b ParamBox) LogHullFloorAt(c gaussian.Combiner, q pfv.Vector) (hull, floor float64) {
+	for i := range b.Mu {
+		sig := c.CombineInterval(b.Sigma[i], q.Sigma[i])
+		hull += gaussian.LogHull(b.Mu[i], sig, q.Mean[i])
+		floor += gaussian.LogFloor(b.Mu[i], sig, q.Mean[i])
+	}
+	return hull, floor
+}
+
 // AccessCost returns the split objective of §5.3 for the box: the product
 // over dimensions of the per-dimension hull integrals ∫ˆN(x)dx. Each factor
 // is ≥ 1 (see gaussian.HullIntegral), so the product is a monotone

@@ -103,9 +103,7 @@ func (t *Tree) bulkLoad(vs []pfv.Vector) error {
 
 	// The previous (empty) root page is superseded; its release is deferred
 	// so a crash before the commit below still recovers the empty tree.
-	t.decMu.Lock()
-	delete(t.decoded, t.root)
-	t.decMu.Unlock()
+	t.nodes.invalidate(t.root)
 	if err := t.mgr.FreeDeferred(t.root); err != nil {
 		return err
 	}

@@ -127,11 +127,25 @@ func (t *Tree) NewKMLIQCursor(ctx context.Context, q pfv.Vector, k int) (*KMLIQC
 	if err := t.checkQuery(q, k); err != nil {
 		return nil, err
 	}
-	top := pqueue.NewTopK[pfv.Vector](k)
+	top := acquireTopK(k)
 	tr := t.newTraversal(ctx, q, true, func(v pfv.Vector, ld float64) {
 		top.Offer(v, ld)
 	})
 	return &KMLIQCursor{tr: tr, top: top}, nil
+}
+
+// Close returns the cursor's pooled traversal and collector state to the
+// query pools. The cursor is unusable afterwards. Closing is optional — an
+// unclosed cursor is simply reclaimed by the GC — but closing keeps
+// steady-state sharded queries allocation-free.
+func (c *KMLIQCursor) Close() {
+	if c.tr == nil {
+		return
+	}
+	c.tr.release()
+	c.tr = nil
+	releaseTopK(c.top)
+	c.top = nil
 }
 
 // Refine resumes the traversal until (a) the local top-k set is determined
@@ -201,11 +215,23 @@ func (t *Tree) NewTIQCursor(ctx context.Context, q pfv.Vector, pTheta float64) (
 	if pTheta < 0 || pTheta > 1 {
 		return nil, fmt.Errorf("core: threshold %v outside [0,1]", pTheta)
 	}
-	candidates := pqueue.NewMin[pfv.Vector]()
+	candidates := acquireCandidates()
 	tr := t.newTraversal(ctx, q, true, func(v pfv.Vector, ld float64) {
 		candidates.Push(v, ld)
 	})
 	return &TIQCursor{tr: tr, candidates: candidates, logTheta: math.Log(pTheta)}, nil
+}
+
+// Close returns the cursor's pooled traversal and candidate state to the
+// query pools. The cursor is unusable afterwards; see KMLIQCursor.Close.
+func (c *TIQCursor) Close() {
+	if c.tr == nil {
+		return
+	}
+	c.tr.release()
+	c.tr = nil
+	releaseCandidates(c.candidates)
+	c.candidates = nil
 }
 
 // qualifies reports whether a log density could still reach the threshold

@@ -99,9 +99,7 @@ func (t *Tree) delete(v pfv.Vector) (bool, error) {
 		if err != nil {
 			return false, err
 		}
-		t.decMu.Lock()
-		delete(t.decoded, oldID)
-		t.decMu.Unlock()
+		t.nodes.invalidate(oldID)
 		if err := t.mgr.FreeDeferred(oldID); err != nil {
 			return false, err
 		}
@@ -113,9 +111,7 @@ func (t *Tree) delete(v pfv.Vector) (bool, error) {
 		// The tree emptied out entirely: restart with an empty leaf root on
 		// a fresh page (the old root page is still part of the committed
 		// tree and must survive until the commit).
-		t.decMu.Lock()
-		delete(t.decoded, root.id)
-		t.decMu.Unlock()
+		t.nodes.invalidate(root.id)
 		if err := t.mgr.FreeDeferred(root.id); err != nil {
 			return false, err
 		}
@@ -220,8 +216,6 @@ func (t *Tree) freeNodeSubtree(n *node) error {
 			}
 		}
 	}
-	t.decMu.Lock()
-	delete(t.decoded, n.id)
-	t.decMu.Unlock()
+	t.nodes.invalidate(n.id)
 	return t.mgr.FreeDeferred(n.id)
 }

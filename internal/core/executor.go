@@ -2,7 +2,7 @@ package core
 
 import (
 	"context"
-	"math"
+	"sync"
 
 	"github.com/gauss-tree/gausstree/internal/pagefile"
 	"github.com/gauss-tree/gausstree/internal/pfv"
@@ -19,10 +19,17 @@ var _ query.Engine = (*Tree)(nil)
 // (§5.2.2), and a pluggable stop condition. KMLIQRanked, KMLIQ and TIQ are
 // thin policies over this one loop — they differ only in what they collect
 // and when they stop.
+//
+// Traversals are pooled: one-shot queries acquire with newTraversal and
+// return the state (the active queue's backing array, the denominator
+// accumulators, the page counter) with release, so a steady-state hot query
+// performs no traversal allocations. Resumable cursors (cursor.go) outlive
+// their query call and simply never release — the pool tolerates that.
 type traversal struct {
 	tree       *Tree
 	ctx        context.Context
 	q          pfv.Vector
+	eval       pfv.JointEvaluator // per-query fast path of JointLogDensity
 	active     *pqueue.Queue[activeNode]
 	denom      denomTracker
 	trackDenom bool
@@ -33,15 +40,40 @@ type traversal struct {
 	onVector func(v pfv.Vector, ld float64)
 }
 
+var traversalPool = sync.Pool{
+	New: func() any {
+		return &traversal{active: pqueue.NewMax[activeNode]()}
+	},
+}
+
 func (t *Tree) newTraversal(ctx context.Context, q pfv.Vector, trackDenom bool, onVector func(pfv.Vector, float64)) *traversal {
-	return &traversal{
-		tree:       t,
-		ctx:        ctx,
-		q:          q,
-		active:     pqueue.NewMax[activeNode](),
-		trackDenom: trackDenom,
-		onVector:   onVector,
-	}
+	tr := traversalPool.Get().(*traversal)
+	tr.tree = t
+	tr.ctx = ctx
+	tr.q = q
+	tr.eval.Reset(t.cfg.Combiner, q)
+	tr.trackDenom = trackDenom
+	tr.onVector = onVector
+	return tr
+}
+
+// release resets the traversal (dropping every reference so pooled state
+// cannot retain queries or trees) and returns it to the pool. The caller
+// must have extracted stats via finish first and must not touch the
+// traversal afterwards.
+func (tr *traversal) release() {
+	tr.tree = nil
+	tr.ctx = nil
+	tr.q = pfv.Vector{}
+	tr.eval.Reset(0, pfv.Vector{})
+	tr.active.Clear()
+	tr.denom = denomTracker{}
+	tr.counter.Reset()
+	tr.stats = query.Stats{}
+	tr.started = false
+	tr.trackDenom = false
+	tr.onVector = nil
+	traversalPool.Put(tr)
 }
 
 // run executes the best-first loop: it expands the root (on the first call),
@@ -86,7 +118,10 @@ func (tr *traversal) run(done func() bool) error {
 // expand loads one queued subtree root. Leaf objects are scored exactly
 // (feeding both the candidate collector and the exact denominator part);
 // inner children are pushed with their hull priorities and registered with
-// the denominator tracker.
+// the denominator tracker. The hot path is allocation-free: node reads hit
+// the decoded-node cache, densities go through the per-query evaluator, and
+// the subtree-count logarithms of the §5.2.2 sum bounds are precomputed on
+// the node (childEntry.logCount).
 func (tr *traversal) expand(a activeNode) error {
 	if err := tr.ctx.Err(); err != nil {
 		return err
@@ -100,7 +135,7 @@ func (tr *traversal) expand(a activeNode) error {
 	if n.leaf {
 		tr.stats.VectorsScored += len(n.vectors)
 		for _, v := range n.vectors {
-			ld := pfv.JointLogDensity(t.cfg.Combiner, v, tr.q)
+			ld := tr.eval.LogDensity(v)
 			if tr.trackDenom {
 				tr.denom.addExact(ld)
 			}
@@ -108,14 +143,18 @@ func (tr *traversal) expand(a activeNode) error {
 		}
 		return nil
 	}
-	for _, c := range n.children {
-		prio := c.box.LogHullAt(t.cfg.Combiner, tr.q)
+	for i := range n.children {
+		c := &n.children[i]
 		child := activeNode{page: c.page, count: c.count}
+		var prio float64
 		if tr.trackDenom {
-			logN := math.Log(float64(c.count))
-			child.logFloorN = c.box.LogFloorAt(t.cfg.Combiner, tr.q) + logN
-			child.logHullN = prio + logN
+			hull, floor := c.box.LogHullFloorAt(t.cfg.Combiner, tr.q)
+			prio = hull
+			child.logFloorN = floor + c.logCount
+			child.logHullN = hull + c.logCount
 			tr.denom.push(child)
+		} else {
+			prio = c.box.LogHullAt(t.cfg.Combiner, tr.q)
 		}
 		tr.active.Push(child, prio)
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"github.com/gauss-tree/gausstree/internal/pfv"
 	"github.com/gauss-tree/gausstree/internal/pqueue"
@@ -12,6 +13,42 @@ import (
 
 // Name identifies the Gauss-tree in engine-agnostic reports.
 func (t *Tree) Name() string { return "gauss-tree" }
+
+// Per-query collector pools: the top-k heap of the MLIQ algorithms and the
+// candidate min-queue of TIQ are acquired per query and returned with their
+// backing arrays intact, so steady-state queries collect candidates without
+// allocating. Releases clear every element (the queues zero their entries)
+// so pooled state never retains result vectors.
+var (
+	topkPool = sync.Pool{
+		New: func() any { return pqueue.NewTopK[pfv.Vector](1) },
+	}
+	candidatesPool = sync.Pool{
+		New: func() any { return pqueue.NewMin[pfv.Vector]() },
+	}
+)
+
+func acquireTopK(k int) *pqueue.TopK[pfv.Vector] {
+	top := topkPool.Get().(*pqueue.TopK[pfv.Vector])
+	top.Reset(k)
+	return top
+}
+
+func releaseTopK(top *pqueue.TopK[pfv.Vector]) {
+	top.Reset(1) // drop collected vectors so the pool holds no references
+	topkPool.Put(top)
+}
+
+func acquireCandidates() *pqueue.Queue[pfv.Vector] {
+	q := candidatesPool.Get().(*pqueue.Queue[pfv.Vector])
+	q.Clear()
+	return q
+}
+
+func releaseCandidates(q *pqueue.Queue[pfv.Vector]) {
+	q.Clear()
+	candidatesPool.Put(q)
+}
 
 // KMLIQRanked answers a k-most-likely identification query without
 // computing the actual probability values — the basic algorithm of §5.2.1
@@ -27,7 +64,7 @@ func (t *Tree) KMLIQRanked(ctx context.Context, q pfv.Vector, k int) ([]query.Re
 	if t.count == 0 {
 		return []query.Result{}, query.Stats{}, nil
 	}
-	top := pqueue.NewTopK[pfv.Vector](k)
+	top := acquireTopK(k)
 	tr := t.newTraversal(ctx, q, false, func(v pfv.Vector, ld float64) {
 		top.Offer(v, ld)
 	})
@@ -40,20 +77,26 @@ func (t *Tree) KMLIQRanked(ctx context.Context, q pfv.Vector, k int) ([]query.Re
 		return bound >= topPrio
 	}
 	if err := tr.run(done); err != nil {
-		return nil, tr.finish(top.Len()), err
+		st := tr.finish(top.Len())
+		tr.release()
+		releaseTopK(top)
+		return nil, st, err
 	}
 
 	out := make([]query.Result, 0, top.Len())
 	for _, v := range top.Sorted() {
 		out = append(out, query.Result{
 			Vector:      v,
-			LogDensity:  pfv.JointLogDensity(t.cfg.Combiner, v, q),
+			LogDensity:  tr.eval.LogDensity(v),
 			Probability: math.NaN(),
 			ProbLow:     math.NaN(),
 			ProbHigh:    math.NaN(),
 		})
 	}
-	return out, tr.finish(len(out)), nil
+	st := tr.finish(len(out))
+	tr.release()
+	releaseTopK(top)
+	return out, st, nil
 }
 
 // KMLIQ answers a k-most-likely identification query including the actual
@@ -71,17 +114,20 @@ func (t *Tree) KMLIQ(ctx context.Context, q pfv.Vector, k int, accuracy float64)
 	if t.count == 0 {
 		return []query.Result{}, query.Stats{}, nil
 	}
-	top := pqueue.NewTopK[pfv.Vector](k)
+	top := acquireTopK(k)
 	tr := t.newTraversal(ctx, q, true, func(v pfv.Vector, ld float64) {
 		top.Offer(v, ld)
 	})
 	if err := tr.run(func() bool { return t.mliqDone(top, tr.active, &tr.denom, accuracy) }); err != nil {
-		return nil, tr.finish(top.Len()), err
+		st := tr.finish(top.Len())
+		tr.release()
+		releaseTopK(top)
+		return nil, st, err
 	}
 
 	out := make([]query.Result, 0, top.Len())
 	for _, v := range top.Sorted() {
-		ld := pfv.JointLogDensity(t.cfg.Combiner, v, q)
+		ld := tr.eval.LogDensity(v)
 		lo, hi := tr.denom.probInterval(ld)
 		out = append(out, query.Result{
 			Vector:      v,
@@ -92,7 +138,10 @@ func (t *Tree) KMLIQ(ctx context.Context, q pfv.Vector, k int, accuracy float64)
 		})
 	}
 	query.SortByProbability(out)
-	return out, tr.finish(len(out)), nil
+	st := tr.finish(len(out))
+	tr.release()
+	releaseTopK(top)
+	return out, st, nil
 }
 
 // mliqDone evaluates the two-part §5.2.2 stop condition.

@@ -23,10 +23,16 @@ const nodeHeaderSize = 3
 // number of probabilistic feature vectors stored in the child's subtree
 // (needed for the sum bounds n·ˇN and n·ˆN of §5.2.2), and the child's
 // parameter-space bounding box.
+//
+// logCount caches ln(count), the log-space factor of the §5.2.2 sum bounds.
+// It is derived, not encoded: refreshDerived fills it whenever a node
+// enters the decoded-node cache (decode or write — see Tree.cacheNode), so
+// the best-first traversal never pays a math.Log per child per visit.
 type childEntry struct {
-	page  pagefile.PageID
-	count int
-	box   ParamBox
+	page     pagefile.PageID
+	count    int
+	logCount float64
+	box      ParamBox
 }
 
 // node is the in-memory form of one Gauss-tree page.
@@ -43,6 +49,16 @@ func (n *node) entryCount() int {
 		return len(n.vectors)
 	}
 	return len(n.children)
+}
+
+// refreshDerived recomputes the node's derived per-child data (logCount)
+// from its authoritative fields. Mutation paths edit counts in place and
+// then funnel through Tree.cacheNode, which calls this — so every node the
+// traversal can observe carries fresh derived values.
+func (n *node) refreshDerived() {
+	for i := range n.children {
+		n.children[i].logCount = math.Log(float64(n.children[i].count))
+	}
 }
 
 // subtreeCount returns the number of pfv stored in the node's subtree.
@@ -139,9 +155,11 @@ func decodeNode(id pagefile.PageID, page []byte, dim int) (*node, error) {
 			if off+esz > len(page) {
 				return nil, fmt.Errorf("core: page %d entry %d: short page", id, i)
 			}
+			cnt := int(binary.LittleEndian.Uint32(page[off+4:]))
 			c := childEntry{
-				page:  pagefile.PageID(binary.LittleEndian.Uint32(page[off:])),
-				count: int(binary.LittleEndian.Uint32(page[off+4:])),
+				page:     pagefile.PageID(binary.LittleEndian.Uint32(page[off:])),
+				count:    cnt,
+				logCount: math.Log(float64(cnt)),
 				box: ParamBox{
 					Mu:    make([]gaussian.Interval, dim),
 					Sigma: make([]gaussian.Interval, dim),

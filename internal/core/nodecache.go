@@ -1,0 +1,120 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/gauss-tree/gausstree/internal/pagefile"
+)
+
+// nodeCache caches immutable decoded *node values by page id, so a hot
+// traversal that hits the buffer cache also skips decodeNode (re-parsing
+// every child box / leaf vector and allocating a fresh node per visit).
+// Page accesses are still charged against the page manager on every logical
+// read — the cache removes CPU work, never accounting.
+//
+// The cache is sharded like the buffer cache (per-shard RWMutex'd maps,
+// Fibonacci-hashed page ids) so parallel queries sharing one tree scale
+// across cores, and invalidation is generation-based: every entry records
+// the cache generation it was inserted under, and an entry whose generation
+// is stale is invisible. Point invalidation (copy-on-write rewrites and
+// frees, wired into rewriteNode / freeSubtree / the delete path) deletes
+// the entry; wholesale invalidation bumps the generation in O(1), with
+// stale entries swept lazily when a shard fills up.
+type nodeCache struct {
+	gen    atomic.Uint64
+	shards [nodeCacheShards]nodeCacheShard
+}
+
+// nodeCacheShards must be a power of two.
+const nodeCacheShards = 16
+
+// maxNodesPerShard bounds each shard of the decoded-node cache; the total
+// bound matches the previous flat-map limit (1 << 17 nodes — trees that
+// large hold millions of vectors). A full shard sweeps stale generations
+// first and falls back to a wholesale shard reset.
+const maxNodesPerShard = (1 << 17) / nodeCacheShards
+
+type nodeCacheShard struct {
+	mu sync.RWMutex
+	m  map[pagefile.PageID]cachedNode
+}
+
+type cachedNode struct {
+	n   *node
+	gen uint64
+}
+
+func (c *nodeCache) shardOf(id pagefile.PageID) *nodeCacheShard {
+	h := uint32(id) * 0x9E3779B9
+	return &c.shards[(h>>16)&(nodeCacheShards-1)]
+}
+
+// get returns the cached decoded node, or nil when absent or stale.
+func (c *nodeCache) get(id pagefile.PageID) *node {
+	gen := c.gen.Load()
+	s := c.shardOf(id)
+	s.mu.RLock()
+	e, ok := s.m[id]
+	s.mu.RUnlock()
+	if !ok || e.gen != gen {
+		return nil
+	}
+	return e.n
+}
+
+// put caches a decoded node under the current generation.
+func (c *nodeCache) put(id pagefile.PageID, n *node) {
+	gen := c.gen.Load()
+	s := c.shardOf(id)
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[pagefile.PageID]cachedNode)
+	} else if len(s.m) >= maxNodesPerShard {
+		// Sweep entries orphaned by generation bumps; if the shard is
+		// genuinely full of live entries, reset it wholesale (simple and
+		// adequate at this size).
+		for k, e := range s.m {
+			if e.gen != gen {
+				delete(s.m, k)
+			}
+		}
+		if len(s.m) >= maxNodesPerShard {
+			s.m = make(map[pagefile.PageID]cachedNode)
+		}
+	}
+	s.m[id] = cachedNode{n: n, gen: gen}
+	s.mu.Unlock()
+}
+
+// invalidate drops one page's decoded node (rewritten or freed).
+func (c *nodeCache) invalidate(id pagefile.PageID) {
+	s := c.shardOf(id)
+	s.mu.Lock()
+	delete(s.m, id)
+	s.mu.Unlock()
+}
+
+// invalidateAll makes every cached node invisible in O(1) by advancing the
+// generation; stale entries are swept lazily by put.
+func (c *nodeCache) invalidateAll() {
+	c.gen.Add(1)
+}
+
+// len returns the number of visible (current-generation) entries; intended
+// for tests.
+func (c *nodeCache) len() int {
+	gen := c.gen.Load()
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		for _, e := range s.m {
+			if e.gen == gen {
+				total++
+			}
+		}
+		s.mu.RUnlock()
+	}
+	return total
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/gauss-tree/gausstree/internal/pagefile"
+	"github.com/gauss-tree/gausstree/internal/pfv"
+)
+
+// buildPerfTree builds an in-memory tree of n random vectors for hot-path
+// benchmarks.
+func buildPerfTree(tb testing.TB, n, dim int) *Tree {
+	tb.Helper()
+	mgr, err := pagefile.NewManager(pagefile.NewMemBackend(pagefile.DefaultPageSize), pagefile.DefaultPageSize)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tr, err := New(mgr, dim, Config{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	vs := make([]pfv.Vector, n)
+	for i := range vs {
+		vs[i] = randomVec(rng, uint64(i), dim)
+	}
+	if err := tr.BulkLoad(vs); err != nil {
+		tb.Fatal(err)
+	}
+	return tr
+}
+
+// BenchmarkReadNodeHot measures the fully cached node-read path in
+// isolation: every page is in the buffer cache and every node in the
+// decoded-node cache, so ns/op and allocs/op are the cost of one hot
+// readNodeCounted — the single most frequent operation of every query.
+func BenchmarkReadNodeHot(b *testing.B) {
+	tr := buildPerfTree(b, 5000, 8)
+
+	// Collect the root and one full inner level of page ids, then warm them.
+	root, err := tr.readNode(tr.root)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := []pagefile.PageID{tr.root}
+	for _, c := range root.children {
+		ids = append(ids, c.page)
+	}
+	var counter pagefile.Counter
+	for _, id := range ids {
+		if _, err := tr.readNodeCounted(id, &counter); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := tr.readNodeCounted(ids[i%len(ids)], &counter)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n == nil {
+			b.Fatal("nil node")
+		}
+	}
+}

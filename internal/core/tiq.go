@@ -6,7 +6,6 @@ import (
 	"math"
 
 	"github.com/gauss-tree/gausstree/internal/pfv"
-	"github.com/gauss-tree/gausstree/internal/pqueue"
 	"github.com/gauss-tree/gausstree/internal/query"
 )
 
@@ -31,8 +30,8 @@ func (t *Tree) TIQ(ctx context.Context, q pfv.Vector, pTheta float64, accuracy f
 		return []query.Result{}, query.Stats{}, nil
 	}
 
-	candidates := pqueue.NewMin[pfv.Vector]() // ordered by log density: cheap removal of the weakest
-	maxLd := math.Inf(-1)                     // densest candidate seen; prune never outlives it (min-pop)
+	candidates := acquireCandidates() // ordered by log density: cheap removal of the weakest
+	maxLd := math.Inf(-1)             // densest candidate seen; prune never outlives it (min-pop)
 	tr := t.newTraversal(ctx, q, true, func(v pfv.Vector, ld float64) {
 		candidates.Push(v, ld)
 		if ld > maxLd {
@@ -80,7 +79,10 @@ func (t *Tree) TIQ(ctx context.Context, q pfv.Vector, pTheta float64, accuracy f
 	}
 
 	if err := tr.run(done); err != nil {
-		return nil, tr.finish(candidates.Len()), err
+		st := tr.finish(candidates.Len())
+		tr.release()
+		releaseCandidates(candidates)
+		return nil, st, err
 	}
 
 	var out []query.Result
@@ -98,5 +100,8 @@ func (t *Tree) TIQ(ctx context.Context, q pfv.Vector, pTheta float64, accuracy f
 		})
 	})
 	query.SortByProbability(out)
-	return query.NonNil(out), tr.finish(candidates.Len()), nil
+	st := tr.finish(candidates.Len())
+	tr.release()
+	releaseCandidates(candidates)
+	return query.NonNil(out), st, nil
 }

@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"github.com/gauss-tree/gausstree/internal/gaussian"
 	"github.com/gauss-tree/gausstree/internal/pagefile"
@@ -118,18 +117,13 @@ type Tree struct {
 	// store to recover the last committed state.
 	failed error
 
-	// decoded caches parsed nodes by page id, guarded by decMu so parallel
-	// queries can share it. Page accesses are still charged against the
-	// page manager on every logical read; the cache only avoids re-parsing
-	// identical page bytes. Entries are invalidated on write and free.
-	decMu   sync.RWMutex
-	decoded map[pagefile.PageID]*node
+	// nodes caches parsed nodes by page id (see nodeCache): a sharded,
+	// generation-invalidated map shared by parallel queries. Page accesses
+	// are still charged against the page manager on every logical read; the
+	// cache only avoids re-parsing identical page bytes. Entries are
+	// invalidated on copy-on-write rewrite and free.
+	nodes nodeCache
 }
-
-// maxDecodedNodes bounds the decoded-node cache; beyond it the cache is
-// reset wholesale (simple and adequate: trees this large hold millions of
-// vectors).
-const maxDecodedNodes = 1 << 17
 
 // ErrDimension is returned when a vector's dimensionality does not match
 // the tree's.
@@ -206,7 +200,6 @@ func prepare(mgr *pagefile.Manager, dim int, cfg Config) (*Tree, error) {
 		minLeaf:  max(1, capLeaf/2),
 		capInner: capInner,
 		minInner: max(2, capInner/2),
-		decoded:  make(map[pagefile.PageID]*node),
 	}, nil
 }
 
@@ -221,9 +214,17 @@ func (t *Tree) mutable() error {
 }
 
 // fail poisons the tree with the first mid-mutation error and returns err.
+//
+// It also drops the entire decoded-node cache (an O(1) generation bump): a
+// failed mutation may have edited cached node objects in place ahead of
+// copy-on-write page writes that then never happened, and there is no
+// record of which ids were touched. The committed pages themselves are
+// intact (shadow paging never overwrites them), so re-decoding restores
+// query results consistent with the on-disk state the next Open recovers.
 func (t *Tree) fail(err error) error {
 	if t.failed == nil {
 		t.failed = err
+		t.nodes.invalidateAll()
 	}
 	return err
 }
@@ -261,19 +262,18 @@ func (t *Tree) readNode(id pagefile.PageID) (*node, error) {
 // readNodeCounted loads a node, charging the logical page access to the
 // manager and, when c is non-nil, to the per-query counter. The access is
 // always charged (and keeps the buffer manager's recency information
-// accurate), even when the decoded form is cached.
+// accurate), even when the decoded form is cached — the hot path is one
+// sharded buffer-cache hit plus one sharded node-cache hit, with no copy,
+// no decode and no allocation.
 func (t *Tree) readNodeCounted(id pagefile.PageID, c *pagefile.Counter) (*node, error) {
 	page, err := t.mgr.ReadCounted(id, c)
 	if err != nil {
 		return nil, err
 	}
-	t.decMu.RLock()
-	n, ok := t.decoded[id]
-	t.decMu.RUnlock()
-	if ok {
+	if n := t.nodes.get(id); n != nil {
 		return n, nil
 	}
-	n, err = decodeNode(id, page, t.dim)
+	n, err := decodeNode(id, page, t.dim)
 	if err != nil {
 		return nil, err
 	}
@@ -308,20 +308,18 @@ func (t *Tree) rewriteNode(n *node) error {
 	if err := t.mgr.Write(id, encodeNode(n, t.dim)); err != nil {
 		return err
 	}
-	t.decMu.Lock()
-	delete(t.decoded, old)
-	t.decMu.Unlock()
+	t.nodes.invalidate(old)
 	t.cacheNode(n)
 	return t.mgr.FreeDeferred(old)
 }
 
+// cacheNode is the single choke point through which every node enters the
+// decoded-node cache (decode misses, writeNode, rewriteNode). It refreshes
+// the node's derived per-child data (precomputed log subtree counts) so the
+// traversal can rely on it unconditionally.
 func (t *Tree) cacheNode(n *node) {
-	t.decMu.Lock()
-	if len(t.decoded) >= maxDecodedNodes {
-		t.decoded = make(map[pagefile.PageID]*node)
-	}
-	t.decoded[n.id] = n
-	t.decMu.Unlock()
+	n.refreshDerived()
+	t.nodes.put(n.id, n)
 }
 
 // freeSubtree returns every page of the subtree rooted at id to the
@@ -339,9 +337,7 @@ func (t *Tree) freeSubtree(id pagefile.PageID) error {
 			}
 		}
 	}
-	t.decMu.Lock()
-	delete(t.decoded, id)
-	t.decMu.Unlock()
+	t.nodes.invalidate(id)
 	return t.mgr.FreeDeferred(id)
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/gauss-tree/gausstree/internal/pagefile"
 	"github.com/gauss-tree/gausstree/internal/pfv"
@@ -17,7 +18,8 @@ import (
 //     a leaf or an inner node with ≥ 1 entry (≥ 2 when it has children of
 //     its own, since a 1-child root would have been collapsed);
 //   - every routing entry's box is exactly the minimum bounding box of its
-//     child (tightness), and its count is exactly the child's subtree count;
+//     child (tightness), its count is exactly the child's subtree count, and
+//     its derived logCount (precomputed for the §5.2.2 sum bounds) is fresh;
 //   - the tree's Len matches the root's subtree count;
 //   - every stored vector has the tree's dimensionality and valid sigmas.
 func (t *Tree) CheckInvariants() error {
@@ -72,6 +74,9 @@ func (t *Tree) CheckInvariants() error {
 			}
 			if cnt != c.count {
 				return 0, ParamBox{}, fmt.Errorf("core: inner %d entry %d count %d, subtree has %d", n.id, i, c.count, cnt)
+			}
+			if c.logCount != math.Log(float64(c.count)) {
+				return 0, ParamBox{}, fmt.Errorf("core: inner %d entry %d stale derived logCount %v for count %d", n.id, i, c.logCount, c.count)
 			}
 			if !cbox.Equal(c.box) {
 				return 0, ParamBox{}, fmt.Errorf("core: inner %d entry %d box not tight", n.id, i)

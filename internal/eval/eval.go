@@ -20,6 +20,7 @@ package eval
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -261,6 +262,8 @@ type Fig7Cell struct {
 	CPU        time.Duration // mean CPU time per query
 	IO         time.Duration // mean modeled I/O time per query (cold cache)
 	Overall    time.Duration // CPU + IO
+	AllocsPerQ float64       // mean heap allocations per query
+	BytesPerQ  float64       // mean heap bytes allocated per query
 	PagesPct   float64       // relative to the sequential scan, in percent
 	CPUPct     float64
 	OverallPct float64
@@ -317,6 +320,8 @@ func Figure7(e *Engines, ds *dataset.Dataset, queries []dataset.Query) (*Fig7Rep
 			var cpu time.Duration
 			var io time.Duration
 			var pages uint64
+			var mem0, mem1 runtime.MemStats
+			runtime.ReadMemStats(&mem0)
 			for _, q := range queries {
 				before := eng.Mgr.Stats()
 				start := time.Now()
@@ -328,14 +333,17 @@ func Figure7(e *Engines, ds *dataset.Dataset, queries []dataset.Query) (*Fig7Rep
 				pages += st.PageAccesses
 				io += eng.Mgr.CostModel().IOTime(eng.Mgr.Stats().Sub(before))
 			}
+			runtime.ReadMemStats(&mem1)
 			n := time.Duration(len(queries))
 			cell := Fig7Cell{
-				Engine:    eng.Label,
-				QueryType: kind.name,
-				Pages:     float64(pages) / float64(len(queries)),
-				CPU:       cpu / n,
-				IO:        io / n,
-				Overall:   (cpu + io) / n,
+				Engine:     eng.Label,
+				QueryType:  kind.name,
+				Pages:      float64(pages) / float64(len(queries)),
+				CPU:        cpu / n,
+				IO:         io / n,
+				Overall:    (cpu + io) / n,
+				AllocsPerQ: float64(mem1.Mallocs-mem0.Mallocs) / float64(len(queries)),
+				BytesPerQ:  float64(mem1.TotalAlloc-mem0.TotalAlloc) / float64(len(queries)),
 			}
 			if eng.Label == "Seq. Scan" {
 				scanBase[kind.name] = cell
@@ -357,13 +365,13 @@ func (r *Fig7Report) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 7 — %s (%d queries): page accesses / CPU / overall time, %% of sequential scan\n",
 		r.Dataset, r.Queries)
-	fmt.Fprintf(&b, "%-12s %-12s %10s %8s %12s %8s %12s %8s\n",
-		"engine", "query", "pages", "pct", "cpu", "pct", "overall", "pct")
+	fmt.Fprintf(&b, "%-12s %-12s %10s %8s %12s %8s %12s %8s %10s\n",
+		"engine", "query", "pages", "pct", "cpu", "pct", "overall", "pct", "allocs/q")
 	for _, c := range r.Cells {
-		fmt.Fprintf(&b, "%-12s %-12s %10.1f %7.1f%% %12s %7.1f%% %12s %7.1f%%\n",
+		fmt.Fprintf(&b, "%-12s %-12s %10.1f %7.1f%% %12s %7.1f%% %12s %7.1f%% %10.0f\n",
 			c.Engine, c.QueryType, c.Pages, c.PagesPct,
 			c.CPU.Round(time.Microsecond), c.CPUPct,
-			c.Overall.Round(time.Microsecond), c.OverallPct)
+			c.Overall.Round(time.Microsecond), c.OverallPct, c.AllocsPerQ)
 	}
 	return b.String()
 }

@@ -1,0 +1,227 @@
+package pagefile
+
+import "sync"
+
+// pageCache is the N-way sharded buffer cache behind a Manager. Pages are
+// distributed over shards by a multiplicative hash of their id; each shard
+// is an independently locked LRU, so cache hits from parallel queries only
+// contend when they land on the same shard. Shard entries form an intrusive
+// doubly linked recency list (no container/list allocations): a hit is a
+// map lookup plus four pointer writes under one short shard lock.
+//
+// Sharding trades exact global LRU order for concurrency: eviction is
+// least-recently-used *per shard*. Small caches (where per-shard capacities
+// would degenerate and eviction tests care about exact global order) are
+// automatically collapsed to a single shard — see cacheShardsFor.
+type pageCache struct {
+	shards []cacheShard
+	mask   uint32
+}
+
+type cacheShard struct {
+	mu       sync.Mutex
+	entries  map[PageID]*cacheEntry
+	head     *cacheEntry // most recently used
+	tail     *cacheEntry // least recently used
+	capacity int         // max entries in this shard
+}
+
+type cacheEntry struct {
+	id         PageID
+	data       []byte
+	prev, next *cacheEntry
+}
+
+// defaultCacheShards caps the automatic shard count. 16 shards keep lock
+// contention negligible for any realistic GOMAXPROCS while per-shard LRU
+// state stays large enough to approximate global recency.
+const defaultCacheShards = 16
+
+// minPagesPerShard is the smallest per-shard capacity the automatic shard
+// count allows: below it, sharded eviction would diverge visibly from
+// global LRU without buying meaningful concurrency.
+const minPagesPerShard = 64
+
+// cacheShardsFor resolves the shard count for a cache of the given page
+// capacity. hint > 0 forces a count (rounded up to a power of two, capped so
+// every shard holds at least one page); hint <= 0 selects automatically.
+func cacheShardsFor(capacity, hint int) int {
+	if capacity <= 0 {
+		return 0
+	}
+	limit := defaultCacheShards
+	if hint > 0 {
+		limit = hint
+	}
+	n := 1
+	for n < limit {
+		n <<= 1
+	}
+	if hint <= 0 {
+		// Automatic: only shard when every shard keeps a healthy LRU.
+		for n > 1 && capacity/n < minPagesPerShard {
+			n >>= 1
+		}
+	}
+	for n > capacity {
+		n >>= 1
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// newPageCache builds a cache of the given total page capacity split over
+// the resolved shard count. capacity <= 0 disables caching entirely.
+func newPageCache(capacity, shardHint int) pageCache {
+	n := cacheShardsFor(capacity, shardHint)
+	if n == 0 {
+		return pageCache{}
+	}
+	c := pageCache{shards: make([]cacheShard, n), mask: uint32(n - 1)}
+	for i := range c.shards {
+		per := capacity / n
+		if i < capacity%n {
+			per++
+		}
+		c.shards[i] = cacheShard{entries: make(map[PageID]*cacheEntry, per), capacity: per}
+	}
+	return c
+}
+
+// enabled reports whether the cache holds pages at all.
+func (c *pageCache) enabled() bool { return len(c.shards) > 0 }
+
+// shardCount returns the number of shards (0 when caching is disabled).
+func (c *pageCache) shardCount() int { return len(c.shards) }
+
+// shardOf hashes a page id onto its shard. Fibonacci hashing spreads the
+// dense sequential ids a Manager allocates evenly across shards without
+// striding artifacts.
+func (c *pageCache) shardOf(id PageID) *cacheShard {
+	h := uint32(id) * 0x9E3779B9
+	return &c.shards[(h>>16)&c.mask]
+}
+
+// get returns the cached page content and refreshes its recency. The
+// returned slice is owned by the cache (see Manager.ReadCounted).
+func (c *pageCache) get(id PageID) ([]byte, bool) {
+	if !c.enabled() {
+		return nil, false
+	}
+	s := c.shardOf(id)
+	s.mu.Lock()
+	e, ok := s.entries[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.moveToFront(e)
+	data := e.data
+	s.mu.Unlock()
+	return data, true
+}
+
+// insert adds or replaces a page, evicting the shard's least recently used
+// entries as needed. data ownership transfers to the cache.
+func (c *pageCache) insert(id PageID, data []byte) {
+	if !c.enabled() {
+		return
+	}
+	s := c.shardOf(id)
+	s.mu.Lock()
+	if e, ok := s.entries[id]; ok {
+		e.data = data
+		s.moveToFront(e)
+		s.mu.Unlock()
+		return
+	}
+	for len(s.entries) >= s.capacity {
+		oldest := s.tail
+		if oldest == nil {
+			break // capacity 0 shard: nothing can be cached
+		}
+		s.unlink(oldest)
+		delete(s.entries, oldest.id)
+	}
+	if s.capacity > 0 {
+		e := &cacheEntry{id: id, data: data}
+		s.entries[id] = e
+		s.pushFront(e)
+	}
+	s.mu.Unlock()
+}
+
+// remove drops a page from the cache (page freed or invalidated).
+func (c *pageCache) remove(id PageID) {
+	if !c.enabled() {
+		return
+	}
+	s := c.shardOf(id)
+	s.mu.Lock()
+	if e, ok := s.entries[id]; ok {
+		s.unlink(e)
+		delete(s.entries, id)
+	}
+	s.mu.Unlock()
+}
+
+// clear empties every shard (the paper's cold start).
+func (c *pageCache) clear() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.entries = make(map[PageID]*cacheEntry, s.capacity)
+		s.head, s.tail = nil, nil
+		s.mu.Unlock()
+	}
+}
+
+// len returns the total number of cached pages across all shards.
+func (c *pageCache) len() int {
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		total += len(s.entries)
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// Intrusive recency-list primitives, called with the shard lock held.
+
+func (s *cacheShard) pushFront(e *cacheEntry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *cacheShard) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *cacheShard) moveToFront(e *cacheEntry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}

@@ -1,0 +1,299 @@
+package pagefile
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestCacheShardsFor pins the shard-count policy: explicit hints round up to
+// powers of two and are capped by capacity; automatic selection shards only
+// when every shard keeps a healthy LRU, so tiny caches behave exactly like
+// a global LRU (which the eviction tests above rely on).
+func TestCacheShardsFor(t *testing.T) {
+	cases := []struct {
+		capacity, hint, want int
+	}{
+		{0, 0, 0},     // disabled cache: no shards
+		{0, 8, 0},     // disabled cache ignores hints
+		{4, 0, 1},     // tiny cache: exact global LRU
+		{100, 0, 1},   // below 2*minPagesPerShard: still one shard
+		{128, 0, 2},   // 2 shards of 64
+		{6400, 0, 16}, // the default 50 MB / 8 KB cache
+		{1 << 20, 0, 16},
+		{6400, 3, 4}, // hint rounds up to a power of two
+		{6400, 64, 64},
+		{2, 64, 2}, // hint capped so every shard holds >= 1 page
+		{1, 8, 1},
+	}
+	for _, c := range cases {
+		if got := cacheShardsFor(c.capacity, c.hint); got != c.want {
+			t.Errorf("cacheShardsFor(%d, %d) = %d, want %d", c.capacity, c.hint, got, c.want)
+		}
+	}
+}
+
+// TestWithCacheShards verifies the option reaches the manager and that the
+// sharded cache preserves exact hit accounting.
+func TestWithCacheShards(t *testing.T) {
+	m := newMemManager(t, 64, WithCacheBytes(1024*64), WithCacheShards(8))
+	if got := m.CacheShards(); got != 8 {
+		t.Fatalf("CacheShards = %d, want 8", got)
+	}
+	var ids []PageID
+	for i := 0; i < 64; i++ {
+		id, err := m.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		if err := m.Write(id, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.DropCache()
+	m.ResetStats()
+	for _, id := range ids {
+		if _, err := m.Read(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range ids {
+		if _, err := m.Read(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := m.Stats()
+	if s.LogicalReads != 128 || s.PhysicalReads != 64 || s.CacheHits != 64 {
+		t.Errorf("sharded hit accounting: %+v", s)
+	}
+	if m.CachedPages() != 64 {
+		t.Errorf("CachedPages = %d, want 64", m.CachedPages())
+	}
+}
+
+// TestShardedEvictionBounded fills a sharded cache far past its capacity and
+// checks the byte budget is respected (eviction is per-shard LRU, so the
+// resident count is bounded by the configured capacity).
+func TestShardedEvictionBounded(t *testing.T) {
+	const capacity = 256
+	m := newMemManager(t, 64, WithCacheBytes(capacity*64), WithCacheShards(8))
+	for i := 0; i < 4*capacity; i++ {
+		id, err := m.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Write(id, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.CachedPages(); got > capacity {
+		t.Errorf("CachedPages = %d exceeds capacity %d", got, capacity)
+	}
+	// Recently written pages must still be resident.
+	m.ResetStats()
+	if _, err := m.Read(PageID(4*capacity - 1)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().CacheHits != 1 {
+		t.Error("most recently written page should be cached")
+	}
+}
+
+// TestReadInto covers the caller-buffer read path: correct content on miss
+// and on hit, counter attribution identical to ReadCounted, rejection of
+// short buffers, and independence of the returned buffer from the cache.
+func TestReadInto(t *testing.T) {
+	m := newMemManager(t, 64)
+	id, err := m.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bytes.Repeat([]byte{0xAB}, 64)
+	if err := m.Write(id, want); err != nil {
+		t.Fatal(err)
+	}
+	m.DropCache()
+	m.ResetStats()
+
+	var c Counter
+	buf := make([]byte, 64)
+	got, err := m.ReadInto(id, buf, &c) // miss
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("miss read content mismatch")
+	}
+	if c.LogicalReads() != 1 || c.PhysicalReads() != 1 || c.CacheHits() != 0 {
+		t.Errorf("miss attribution: logical=%d physical=%d hits=%d", c.LogicalReads(), c.PhysicalReads(), c.CacheHits())
+	}
+	if _, err := m.ReadInto(id, buf, &c); err != nil { // hit
+		t.Fatal(err)
+	}
+	if c.CacheHits() != 1 {
+		t.Errorf("hit attribution: hits=%d, want 1", c.CacheHits())
+	}
+	// Scribbling on the caller buffer must not corrupt the cache.
+	for i := range buf {
+		buf[i] = 0xFF
+	}
+	cached, err := m.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cached, want) {
+		t.Error("caller buffer aliases the cache")
+	}
+	if _, err := m.ReadInto(id, make([]byte, 8), nil); err == nil {
+		t.Error("short buffer should be rejected")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReadInto(id, buf, nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("ReadInto after close = %v, want ErrClosed", err)
+	}
+}
+
+// TestReadIntoUncachedNoAlloc proves the zero-allocation claim for a reader
+// recycling one buffer against a cache-disabled manager.
+func TestReadIntoUncachedNoAlloc(t *testing.T) {
+	m := newMemManager(t, 64, WithCacheBytes(0))
+	id, err := m.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(id, []byte("steady")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := m.ReadInto(id, buf, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("ReadInto allocated %.1f objects per read, want 0", allocs)
+	}
+}
+
+// TestReadCountedHotNoAlloc proves the cache-hit path of ReadCounted is
+// allocation-free.
+func TestReadCountedHotNoAlloc(t *testing.T) {
+	m := newMemManager(t, 64)
+	id, err := m.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(id, []byte("hot")); err != nil {
+		t.Fatal(err)
+	}
+	var c Counter
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := m.ReadCounted(id, &c); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("hot ReadCounted allocated %.1f objects per read, want 0", allocs)
+	}
+}
+
+// TestShardedCacheConcurrentHammer drives the sharded cache from many
+// goroutines mixing hot reads, caller-buffer reads, writes, allocation,
+// frees, cold accessors and cache drops. Run under -race it verifies the
+// lock split (shard locks, allocator lock, I/O lock, atomic closed/next)
+// has no data races and that accounting invariants survive concurrency.
+func TestShardedCacheConcurrentHammer(t *testing.T) {
+	m := newMemManager(t, 64, WithCacheBytes(128*64), WithCacheShards(4))
+	const seedPages = 64
+	ids := make([]PageID, seedPages)
+	for i := range ids {
+		id, err := m.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+		if err := m.Write(id, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			buf := make([]byte, 64)
+			var c Counter
+			for i := 0; i < 2000; i++ {
+				id := ids[rng.Intn(len(ids))]
+				switch rng.Intn(10) {
+				case 0:
+					if err := m.Write(id, []byte{byte(i)}); err != nil {
+						errs <- err
+						return
+					}
+				case 1:
+					if _, err := m.ReadInto(id, buf, &c); err != nil {
+						errs <- err
+						return
+					}
+				case 2:
+					if m.NumPages() < seedPages {
+						errs <- fmt.Errorf("NumPages shrank below seed")
+						return
+					}
+					m.CachedPages()
+					m.Stats()
+				case 3:
+					// Allocate a private page, write it, free it again.
+					id, err := m.Allocate()
+					if err != nil {
+						errs <- err
+						return
+					}
+					if err := m.Write(id, []byte{1}); err != nil {
+						errs <- err
+						return
+					}
+					if err := m.Free(id); err != nil {
+						errs <- err
+						return
+					}
+				case 4:
+					if rng.Intn(50) == 0 {
+						m.DropCache()
+					}
+				default:
+					data, err := m.ReadCounted(id, &c)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if len(data) != 64 {
+						errs <- fmt.Errorf("short page: %d bytes", len(data))
+						return
+					}
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	s := m.Stats()
+	if s.LogicalReads != s.CacheHits+s.PhysicalReads {
+		t.Errorf("hit accounting drifted: logical=%d hits=%d physical=%d", s.LogicalReads, s.CacheHits, s.PhysicalReads)
+	}
+}

@@ -4,24 +4,30 @@
 // the paper's efficiency experiments (Figure 7).
 //
 // A Manager mediates access to fixed-size pages held by a Backend (in-memory
-// for tests and benchmarks, an ordinary file for persistence) through an LRU
-// buffer cache with a configurable byte budget — the paper uses a 50 MB
-// cache that is cold-started before each experiment. The Manager counts
-// logical page accesses, cache hits, physical reads, writes and disk seeks
-// (non-contiguous physical reads), and converts them into an estimated I/O
-// time under a classical seek+transfer disk cost model, which is how the
+// for tests and benchmarks, an ordinary file for persistence) through a
+// sharded LRU buffer cache with a configurable byte budget — the paper uses
+// a 50 MB cache that is cold-started before each experiment. The Manager
+// counts logical page accesses, cache hits, physical reads, writes and disk
+// seeks (non-contiguous physical reads), and converts them into an estimated
+// I/O time under a classical seek+transfer disk cost model, which is how the
 // paper's "overall time" metric is reproduced without 2006 disk hardware.
 //
-// The Manager is safe for concurrent use: the buffer cache is mutex-guarded
-// and every I/O counter is atomic, so many queries can read pages in
-// parallel. Per-query attribution of page accesses — the foundation of the
-// query-engine statistics in internal/query — goes through Counter: each
-// query carries its own Counter down the read path via ReadCounted, and the
-// global Stats remain the whole-manager aggregate.
+// The Manager is safe for concurrent use and its hot path is built for it:
+// the buffer cache is sharded by page id with one short-held lock per shard
+// (see cache.go), the closed flag and allocation frontier are atomics, and
+// every I/O counter is atomic — so a cache hit never takes a whole-manager
+// lock and parallel queries scale across cores. Allocator state (freelist,
+// deferred frees) lives under its own small mutex, so cold accessors like
+// NumPages and Allocate never contend with the read path. Backend I/O is
+// serialized by a separate I/O mutex (the Backend contract), which also
+// keeps the modeled disk-arm position consistent. Per-query attribution of
+// page accesses — the foundation of the query-engine statistics in
+// internal/query — goes through Counter: each query carries its own Counter
+// down the read path via ReadCounted, and the global Stats remain the
+// whole-manager aggregate.
 package pagefile
 
 import (
-	"container/list"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -102,6 +108,14 @@ func (c *Counter) CacheHits() uint64 { return c.cacheHits.Load() }
 // PhysicalReads returns the number of charged reads that touched the backend.
 func (c *Counter) PhysicalReads() uint64 { return c.physicalReads.Load() }
 
+// Reset zeroes the counter so it can be reused by a pooled query context.
+// It must not race with concurrent charging.
+func (c *Counter) Reset() {
+	c.logicalReads.Store(0)
+	c.cacheHits.Store(0)
+	c.physicalReads.Store(0)
+}
+
 // CostModel converts I/O counters into time under the classical magnetic
 // disk model: each seek pays SeekTime, each transferred page pays
 // TransferTime.
@@ -149,26 +163,30 @@ type Backend interface {
 	Close() error
 }
 
-// Manager is a buffer-managed page store, safe for concurrent use. Two
-// locks split the hot path: mu guards the in-memory cache state and is held
-// only briefly, so cache hits from parallel queries never wait behind disk
-// I/O; ioMu serializes backend access (the Backend contract) together with
-// the disk-arm model state. When both are held the order is ioMu before mu.
+// Manager is a buffer-managed page store, safe for concurrent use. The hot
+// read path is lock-light: closed state and the allocation frontier are
+// atomics, counters are atomics, and a cache hit touches exactly one cache
+// shard lock. Three coarser locks split the cold paths: allocMu guards the
+// allocator (freelist, deferred frees), ioMu serializes backend access (the
+// Backend contract) together with the disk-arm model and meta state, and
+// each cache shard has its own lock. When locks nest the order is ioMu
+// before allocMu before a shard lock; shard locks never nest with each
+// other.
 type Manager struct {
-	mu        sync.Mutex // guards cache, lru, freelist, pendingFree, next, closed
-	ioMu      sync.Mutex // serializes backend access, lastRead, haveLast, metaSeq, userMeta
 	backend   Backend
 	pageSize  int
 	capacity  int // cache capacity in pages; 0 disables caching
-	cache     map[PageID]*list.Element
-	lru       *list.List // front = most recently used
-	next      PageID
-	freelist  []PageID
-	lastRead  PageID
-	haveLast  bool
+	shardHint int // requested cache shard count; 0 = automatic
+	cache     pageCache
 	costModel CostModel
-	closed    bool
 
+	closed atomic.Bool
+	next   atomic.Uint32 // allocation frontier, read lock-free by the hot path
+
+	// allocMu guards the allocator: freelist, pendingFree, freshPages, and
+	// transitions of next. The read path never takes it.
+	allocMu  sync.Mutex
+	freelist []PageID
 	// pendingFree holds pages released with FreeDeferred: they may still be
 	// referenced by the last committed meta state, so they only become
 	// allocatable after the next CommitMeta persists their release.
@@ -179,6 +197,12 @@ type Manager struct {
 	// large batched mutations (one commit at the end) would grow the file
 	// by every intermediate page version.
 	freshPages map[PageID]struct{}
+
+	// ioMu serializes backend access, the modeled disk-arm position and the
+	// committed meta state.
+	ioMu     sync.Mutex
+	lastRead PageID
+	haveLast bool
 	// userMeta is the client payload of the last committed meta record.
 	userMeta []byte
 	metaSeq  uint64
@@ -190,11 +214,6 @@ type Manager struct {
 	seeks         atomic.Uint64
 }
 
-type cacheEntry struct {
-	id   PageID
-	data []byte
-}
-
 // Option configures a Manager.
 type Option func(*Manager)
 
@@ -202,6 +221,15 @@ type Option func(*Manager)
 // matching the paper's setup). A budget of 0 disables caching entirely.
 func WithCacheBytes(n int) Option {
 	return func(m *Manager) { m.capacity = n / m.pageSize }
+}
+
+// WithCacheShards sets the number of buffer-cache shards (rounded up to a
+// power of two, capped so every shard holds at least one page). The default
+// of 0 selects automatically: up to 16 shards, but never so many that a
+// shard's LRU degenerates — tiny caches collapse to one shard and behave
+// exactly like a global LRU.
+func WithCacheShards(n int) Option {
+	return func(m *Manager) { m.shardHint = n }
 }
 
 // WithCostModel overrides the disk cost model used by IOTime.
@@ -221,15 +249,14 @@ func NewManager(backend Backend, pageSize int, opts ...Option) (*Manager, error)
 	m := &Manager{
 		backend:   backend,
 		pageSize:  pageSize,
-		cache:     make(map[PageID]*list.Element),
-		lru:       list.New(),
-		next:      PageID(backend.NumPages()),
 		costModel: DefaultCostModel(),
 	}
+	m.next.Store(uint32(backend.NumPages()))
 	m.capacity = 50 << 20 / pageSize
 	for _, o := range opts {
 		o(m)
 	}
+	m.cache = newPageCache(m.capacity, m.shardHint)
 	payload, seq, err := backend.ReadMeta()
 	if err != nil {
 		return nil, err
@@ -239,7 +266,8 @@ func NewManager(backend Backend, pageSize int, opts ...Option) (*Manager, error)
 		if err != nil {
 			return nil, err
 		}
-		m.next, m.freelist, m.userMeta, m.metaSeq = next, freelist, user, seq
+		m.next.Store(uint32(next))
+		m.freelist, m.userMeta, m.metaSeq = freelist, user, seq
 	}
 	return m, nil
 }
@@ -287,12 +315,16 @@ func decodeManagerMeta(buf []byte) (next PageID, freelist []PageID, user []byte,
 // PageSize returns the configured page size in bytes.
 func (m *Manager) PageSize() int { return m.pageSize }
 
-// NumPages returns the number of allocated pages (including freed ones).
+// NumPages returns the number of allocated pages (including freed ones). It
+// is lock-free: cold observers never contend with the hot read path or the
+// allocator.
 func (m *Manager) NumPages() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return int(m.next)
+	return int(m.next.Load())
 }
+
+// CacheShards returns the number of buffer-cache shards (0 when caching is
+// disabled).
+func (m *Manager) CacheShards() int { return m.cache.shardCount() }
 
 // CostModel returns the configured disk cost model.
 func (m *Manager) CostModel() CostModel { return m.costModel }
@@ -300,9 +332,9 @@ func (m *Manager) CostModel() CostModel { return m.costModel }
 // Allocate reserves a fresh page (reusing freed pages first) and returns its
 // id. The page's initial content is unspecified until the first Write.
 func (m *Manager) Allocate() (PageID, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed {
+	m.allocMu.Lock()
+	defer m.allocMu.Unlock()
+	if m.closed.Load() {
 		return NilPage, ErrClosed
 	}
 	var id PageID
@@ -310,8 +342,8 @@ func (m *Manager) Allocate() (PageID, error) {
 		id = m.freelist[n-1]
 		m.freelist = m.freelist[:n-1]
 	} else {
-		id = m.next
-		m.next++
+		id = PageID(m.next.Load())
+		m.next.Store(uint32(id) + 1)
 	}
 	if m.freshPages == nil {
 		m.freshPages = make(map[PageID]struct{})
@@ -326,14 +358,13 @@ func (m *Manager) Allocate() (PageID, error) {
 // may still be referenced by the last committed state. Like every other
 // operation it reports ErrClosed on a closed manager.
 func (m *Manager) Free(id PageID) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed {
+	// Drop the cached copy before the page becomes allocatable, so a
+	// reallocation can never race an older cached image.
+	m.cache.remove(id)
+	m.allocMu.Lock()
+	defer m.allocMu.Unlock()
+	if m.closed.Load() {
 		return ErrClosed
-	}
-	if e, ok := m.cache[id]; ok {
-		m.lru.Remove(e)
-		delete(m.cache, id)
 	}
 	m.freelist = append(m.freelist, id)
 	return nil
@@ -351,14 +382,11 @@ func (m *Manager) Free(id PageID) error {
 //
 // Like every other operation it reports ErrClosed on a closed manager.
 func (m *Manager) FreeDeferred(id PageID) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed {
+	m.cache.remove(id)
+	m.allocMu.Lock()
+	defer m.allocMu.Unlock()
+	if m.closed.Load() {
 		return ErrClosed
-	}
-	if e, ok := m.cache[id]; ok {
-		m.lru.Remove(e)
-		delete(m.cache, id)
 	}
 	if _, fresh := m.freshPages[id]; fresh {
 		delete(m.freshPages, id)
@@ -375,23 +403,96 @@ func (m *Manager) Read(id PageID) ([]byte, error) {
 	return m.ReadCounted(id, nil)
 }
 
+// checkRead validates a read target without taking any lock.
+func (m *Manager) checkRead(id PageID) error {
+	if m.closed.Load() {
+		return ErrClosed
+	}
+	if next := m.next.Load(); uint32(id) >= next {
+		return fmt.Errorf("pagefile: read of unallocated page %d (have %d)", id, next)
+	}
+	return nil
+}
+
 // ReadCounted returns the content of a page, charging the access to the
 // global counters and, when c is non-nil, to the per-query Counter. The
 // returned slice is owned by the cache: callers must not modify it and
 // should decode immediately (concurrent readers may share it, but no path
-// ever rewrites a cached slice in place).
+// ever rewrites a cached slice in place). The hit path takes exactly one
+// cache shard lock and performs no copy or allocation.
 func (m *Manager) ReadCounted(id PageID, c *Counter) ([]byte, error) {
-	if data, err, done := m.readCached(id, c, true); done {
-		return data, err
+	if err := m.checkRead(id); err != nil {
+		return nil, err
 	}
-	// Cache miss: take the I/O lock, then re-check — a concurrent reader
-	// may have loaded the same page while we waited.
+	m.logicalReads.Add(1)
+	if c != nil {
+		c.logicalReads.Add(1)
+	}
+	if data, ok := m.cache.get(id); ok {
+		m.cacheHits.Add(1)
+		if c != nil {
+			c.cacheHits.Add(1)
+		}
+		return data, nil
+	}
+	return m.readMiss(id, c, nil)
+}
+
+// ReadInto reads a page into a caller-owned buffer of at least one page,
+// charging counters exactly like ReadCounted. The caller may retain and
+// modify the buffer freely — nothing is shared with the cache — so a reader
+// that recycles one buffer across many calls performs zero steady-state
+// allocations even on a cache-disabled manager. It returns the filled
+// prefix dst[:PageSize].
+func (m *Manager) ReadInto(id PageID, dst []byte, c *Counter) ([]byte, error) {
+	if len(dst) < m.pageSize {
+		return nil, fmt.Errorf("pagefile: ReadInto buffer of %d bytes smaller than page size %d", len(dst), m.pageSize)
+	}
+	dst = dst[:m.pageSize]
+	if err := m.checkRead(id); err != nil {
+		return nil, err
+	}
+	m.logicalReads.Add(1)
+	if c != nil {
+		c.logicalReads.Add(1)
+	}
+	if data, ok := m.cache.get(id); ok {
+		m.cacheHits.Add(1)
+		if c != nil {
+			c.cacheHits.Add(1)
+		}
+		copy(dst, data)
+		return dst, nil
+	}
+	return m.readMiss(id, c, dst)
+}
+
+// readMiss resolves a cache miss against the backend under ioMu. When dst is
+// non-nil the page is read into it and the cache (if enabled) receives its
+// own copy; otherwise a fresh cache-owned buffer is allocated.
+func (m *Manager) readMiss(id PageID, c *Counter, dst []byte) ([]byte, error) {
 	m.ioMu.Lock()
 	defer m.ioMu.Unlock()
-	if data, err, done := m.readCached(id, c, false); done {
-		return data, err
+	// Re-check under ioMu: the manager may have closed, or a concurrent
+	// reader may have loaded the same page while we waited.
+	if m.closed.Load() {
+		return nil, ErrClosed
 	}
-	buf := make([]byte, m.pageSize)
+	if data, ok := m.cache.get(id); ok {
+		m.cacheHits.Add(1)
+		if c != nil {
+			c.cacheHits.Add(1)
+		}
+		if dst != nil {
+			copy(dst, data)
+			return dst, nil
+		}
+		return data, nil
+	}
+	buf := dst
+	if buf == nil {
+		buf = make([]byte, m.pageSize)
+	}
 	if err := m.backend.ReadPage(id, buf); err != nil {
 		return nil, err
 	}
@@ -403,41 +504,14 @@ func (m *Manager) ReadCounted(id PageID, c *Counter) ([]byte, error) {
 		m.seeks.Add(1)
 	}
 	m.lastRead, m.haveLast = id, true
-	m.mu.Lock()
-	m.insertCache(id, buf)
-	m.mu.Unlock()
+	if dst != nil {
+		if m.cache.enabled() {
+			m.cache.insert(id, append(make([]byte, 0, m.pageSize), buf...))
+		}
+	} else {
+		m.cache.insert(id, buf)
+	}
 	return buf, nil
-}
-
-// readCached attempts to serve a read from the buffer cache under mu alone.
-// done is false only for a cache miss that the caller should resolve via
-// the backend; chargeLogical distinguishes the first attempt (which charges
-// the logical access) from the post-ioMu re-check (which must not double
-// count).
-func (m *Manager) readCached(id PageID, c *Counter, chargeLogical bool) (data []byte, err error, done bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed {
-		return nil, ErrClosed, true
-	}
-	if id >= m.next {
-		return nil, fmt.Errorf("pagefile: read of unallocated page %d (have %d)", id, m.next), true
-	}
-	if chargeLogical {
-		m.logicalReads.Add(1)
-		if c != nil {
-			c.logicalReads.Add(1)
-		}
-	}
-	if e, ok := m.cache[id]; ok {
-		m.cacheHits.Add(1)
-		if c != nil {
-			c.cacheHits.Add(1)
-		}
-		m.lru.MoveToFront(e)
-		return e.Value.(*cacheEntry).data, nil, true
-	}
-	return nil, nil, false
 }
 
 // Write persists a page. data must be at most one page long; shorter data is
@@ -446,17 +520,12 @@ func (m *Manager) readCached(id PageID, c *Counter, chargeLogical bool) (data []
 func (m *Manager) Write(id PageID, data []byte) error {
 	m.ioMu.Lock()
 	defer m.ioMu.Unlock()
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	if m.closed.Load() {
 		return ErrClosed
 	}
-	if id >= m.next {
-		have := m.next
-		m.mu.Unlock()
-		return fmt.Errorf("pagefile: write of unallocated page %d (have %d)", id, have)
+	if next := m.next.Load(); uint32(id) >= next {
+		return fmt.Errorf("pagefile: write of unallocated page %d (have %d)", id, next)
 	}
-	m.mu.Unlock()
 	if len(data) > m.pageSize {
 		return fmt.Errorf("pagefile: page overflow: %d bytes > page size %d", len(data), m.pageSize)
 	}
@@ -466,38 +535,15 @@ func (m *Manager) Write(id PageID, data []byte) error {
 		return err
 	}
 	m.writes.Add(1)
-	m.mu.Lock()
-	m.insertCache(id, page)
-	m.mu.Unlock()
+	m.cache.insert(id, page)
 	return nil
-}
-
-// insertCache is called with mu held.
-func (m *Manager) insertCache(id PageID, data []byte) {
-	if m.capacity <= 0 {
-		return
-	}
-	if e, ok := m.cache[id]; ok {
-		e.Value.(*cacheEntry).data = data
-		m.lru.MoveToFront(e)
-		return
-	}
-	for m.lru.Len() >= m.capacity {
-		oldest := m.lru.Back()
-		m.lru.Remove(oldest)
-		delete(m.cache, oldest.Value.(*cacheEntry).id)
-	}
-	m.cache[id] = m.lru.PushFront(&cacheEntry{id: id, data: data})
 }
 
 // DropCache empties the buffer cache (the paper's cold start) and forgets
 // disk-arm position so the next physical read counts as a seek.
 func (m *Manager) DropCache() {
 	m.ioMu.Lock()
-	m.mu.Lock()
-	m.cache = make(map[PageID]*list.Element)
-	m.lru.Init()
-	m.mu.Unlock()
+	m.cache.clear()
 	m.haveLast = false
 	m.ioMu.Unlock()
 }
@@ -528,9 +574,7 @@ func (m *Manager) IOTime() time.Duration { return m.costModel.IOTime(m.Stats()) 
 
 // CachedPages returns the number of pages currently held in the cache.
 func (m *Manager) CachedPages() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.lru.Len()
+	return m.cache.len()
 }
 
 // CommitMeta durably commits a client meta payload together with the
@@ -547,12 +591,12 @@ func (m *Manager) CachedPages() int {
 func (m *Manager) CommitMeta(user []byte) error {
 	m.ioMu.Lock()
 	defer m.ioMu.Unlock()
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	m.allocMu.Lock()
+	if m.closed.Load() {
+		m.allocMu.Unlock()
 		return ErrClosed
 	}
-	next := m.next
+	next := PageID(m.next.Load())
 	// Snapshot the pages free as of this commit. pendingPromoted counts the
 	// pendingFree prefix captured here: it is promoted into the live
 	// freelist after the commit lands, while anything appended to
@@ -561,7 +605,7 @@ func (m *Manager) CommitMeta(user []byte) error {
 	pendingPromoted := len(m.pendingFree)
 	merged := make([]PageID, 0, len(m.freelist)+pendingPromoted)
 	merged = append(append(merged, m.freelist...), m.pendingFree...)
-	m.mu.Unlock()
+	m.allocMu.Unlock()
 
 	persisted := merged
 	if maxIDs := (MetaCapacity(m.pageSize) - 9 - len(user)) / 4; maxIDs < 0 {
@@ -582,7 +626,7 @@ func (m *Manager) CommitMeta(user []byte) error {
 	}
 	m.metaSeq++
 	m.userMeta = append(make([]byte, 0, len(user)), user...)
-	m.mu.Lock()
+	m.allocMu.Lock()
 	// Promote only the snapshotted pendingFree prefix, and by appending
 	// rather than replacing: the live freelist may have shrunk (concurrent
 	// Allocate) or grown (concurrent Free) during the commit I/O, and that
@@ -595,7 +639,7 @@ func (m *Manager) CommitMeta(user []byte) error {
 	// clearing is conservative for pages allocated during the commit I/O
 	// (they merely lose the immediate-recycle fast path).
 	m.freshPages = nil
-	m.mu.Unlock()
+	m.allocMu.Unlock()
 	return nil
 }
 
@@ -622,12 +666,9 @@ func (m *Manager) MetaSeq() uint64 {
 func (m *Manager) Sync() error {
 	m.ioMu.Lock()
 	defer m.ioMu.Unlock()
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	if m.closed.Load() {
 		return ErrClosed
 	}
-	m.mu.Unlock()
 	return m.backend.Sync()
 }
 
@@ -637,13 +678,9 @@ func (m *Manager) Sync() error {
 func (m *Manager) Close() error {
 	m.ioMu.Lock()
 	defer m.ioMu.Unlock()
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	if m.closed.Swap(true) {
 		return nil
 	}
-	m.closed = true
-	m.mu.Unlock()
 	syncErr := m.backend.Sync()
 	if err := m.backend.Close(); err != nil {
 		return err

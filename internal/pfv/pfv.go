@@ -118,9 +118,54 @@ func JointLogDensity(c gaussian.Combiner, v, q Vector) float64 {
 	if len(v.Mean) != len(q.Mean) {
 		panic(fmt.Sprintf("pfv: JointLogDensity dimension mismatch: %d vs %d", len(v.Mean), len(q.Mean)))
 	}
+	e := JointEvaluator{comb: c, q: q}
+	return e.LogDensity(v)
+}
+
+// JointEvaluator is the per-query fast path of JointLogDensity: it fixes the
+// query vector and σ-combination rule once, so scoring a candidate hoists
+// the combiner dispatch out of the per-dimension loop and touches only the
+// two mean/sigma slices. A traversal scores hundreds of leaf vectors against
+// one query; constructing the evaluator once per query keeps that inner loop
+// branch-free and allocation-free.
+//
+// JointLogDensity delegates to the evaluator, so both paths are
+// bit-identical by construction — the per-dimension terms and their
+// summation order are exactly those of Lemma 1's ln N(μv, σv⊕σq)(μq).
+type JointEvaluator struct {
+	comb gaussian.Combiner
+	q    Vector
+}
+
+// NewJointEvaluator returns an evaluator for scoring candidates against q.
+func NewJointEvaluator(c gaussian.Combiner, q Vector) JointEvaluator {
+	return JointEvaluator{comb: c, q: q}
+}
+
+// Reset re-targets a (possibly pooled) evaluator at a new query.
+func (e *JointEvaluator) Reset(c gaussian.Combiner, q Vector) {
+	e.comb, e.q = c, q
+}
+
+// Query returns the query vector the evaluator scores against.
+func (e *JointEvaluator) Query() Vector { return e.q }
+
+// LogDensity returns ln p(q|v) for a database vector v. It panics on
+// dimension mismatch.
+func (e *JointEvaluator) LogDensity(v Vector) float64 {
+	qm, qs := e.q.Mean, e.q.Sigma
+	if len(v.Mean) != len(qm) {
+		panic(fmt.Sprintf("pfv: JointEvaluator dimension mismatch: %d vs %d", len(v.Mean), len(qm)))
+	}
 	sum := 0.0
+	if e.comb == gaussian.CombineConvolution {
+		for i := range v.Mean {
+			sum += gaussian.LogPDF(v.Mean[i], math.Hypot(v.Sigma[i], qs[i]), qm[i])
+		}
+		return sum
+	}
 	for i := range v.Mean {
-		sum += c.JointLogDensity(v.Mean[i], v.Sigma[i], q.Mean[i], q.Sigma[i])
+		sum += gaussian.LogPDF(v.Mean[i], v.Sigma[i]+qs[i], qm[i])
 	}
 	return sum
 }

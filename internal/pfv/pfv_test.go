@@ -133,6 +133,65 @@ func TestJointLogDensitySymmetryProperty(t *testing.T) {
 	}
 }
 
+// TestJointEvaluatorBitIdentical pins the contract the query engines rely
+// on: the pooled per-query evaluator must produce bit-identical log
+// densities to JointLogDensity under both σ-combination rules, for any
+// vector pair — otherwise traversal pruning bounds and reported densities
+// could disagree between code paths.
+func TestJointEvaluatorBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, comb := range []gaussian.Combiner{gaussian.CombineAdditive, gaussian.CombineConvolution} {
+		for trial := 0; trial < 500; trial++ {
+			dim := 1 + rng.Intn(27)
+			mkvec := func(id uint64) Vector {
+				mean := make([]float64, dim)
+				sigma := make([]float64, dim)
+				for i := range mean {
+					mean[i] = rng.NormFloat64() * 100
+					sigma[i] = rng.Float64()*10 + 1e-6
+				}
+				return MustNew(id, mean, sigma)
+			}
+			v, q := mkvec(1), mkvec(2)
+			e := NewJointEvaluator(comb, q)
+			got := e.LogDensity(v)
+			want := JointLogDensity(comb, v, q)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("%v dim %d: evaluator %v != JointLogDensity %v", comb, dim, got, want)
+			}
+		}
+	}
+	// Reset re-targets the evaluator.
+	var e JointEvaluator
+	q := MustNew(9, []float64{1}, []float64{2})
+	v := MustNew(8, []float64{0.5}, []float64{1})
+	e.Reset(gaussian.CombineConvolution, q)
+	if e.Query().ID != 9 {
+		t.Error("Query() lost the reset target")
+	}
+	if e.LogDensity(v) != JointLogDensity(gaussian.CombineConvolution, v, q) {
+		t.Error("reset evaluator diverged")
+	}
+}
+
+// TestJointEvaluatorZeroAlloc proves scoring through the evaluator performs
+// no allocations — the property the traversal's hot leaf loop depends on.
+func TestJointEvaluatorZeroAlloc(t *testing.T) {
+	q := MustNew(1, []float64{0, 1, 2}, []float64{1, 1, 1})
+	v := MustNew(2, []float64{0.5, 1.5, 2.5}, []float64{0.7, 0.8, 0.9})
+	e := NewJointEvaluator(gaussian.CombineAdditive, q)
+	sink := 0.0
+	allocs := testing.AllocsPerRun(100, func() {
+		sink += e.LogDensity(v)
+	})
+	if allocs != 0 {
+		t.Errorf("LogDensity allocated %.1f objects per call, want 0", allocs)
+	}
+	if math.IsNaN(sink) {
+		t.Error("unexpected NaN")
+	}
+}
+
 func TestJointLogDensityPanicsOnDimMismatch(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -264,3 +264,58 @@ func BenchmarkTopKOffer(b *testing.B) {
 		tk.Offer(i, rng.Float64())
 	}
 }
+
+// TestTopKReset covers the pooled-collector reuse hook: Reset must drop
+// collected elements, retain correctness for a different k, and keep
+// panicking on invalid capacities.
+func TestTopKReset(t *testing.T) {
+	tk := NewTopK[string](2)
+	tk.Offer("a", 1)
+	tk.Offer("b", 2)
+	tk.Reset(3)
+	if tk.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", tk.Len())
+	}
+	if tk.K() != 3 {
+		t.Fatalf("K after Reset = %d, want 3", tk.K())
+	}
+	if _, ok := tk.Bound(); ok {
+		t.Error("reset collector must not report a bound")
+	}
+	for i, s := range []string{"x", "y", "z", "w"} {
+		tk.Offer(s, float64(i))
+	}
+	got := tk.Sorted()
+	if len(got) != 3 || got[0] != "w" || got[1] != "z" || got[2] != "y" {
+		t.Errorf("Sorted after reuse = %v", got)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("Reset(0) should panic")
+		}
+	}()
+	tk.Reset(0)
+}
+
+// TestQueueClearReuse verifies Clear retains capacity while zeroing entries,
+// the discipline the pooled per-query queues rely on.
+func TestQueueClearReuse(t *testing.T) {
+	q := NewMin[int]()
+	for i := 0; i < 100; i++ {
+		q.Push(i, float64(i))
+	}
+	q.Clear()
+	if q.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", q.Len())
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		for i := 0; i < 100; i++ {
+			q.Push(i, float64(100-i))
+		}
+		q.Clear()
+	})
+	if allocs != 0 {
+		t.Errorf("reused queue allocated %.1f objects per cycle, want 0", allocs)
+	}
+}

@@ -21,6 +21,17 @@ func NewTopK[T any](k int) *TopK[T] {
 	return &TopK[T]{k: k, heap: NewMin[T]()}
 }
 
+// Reset reconfigures the collector for a new capacity k and drops every
+// collected element while retaining the heap's backing array — the reuse
+// hook for pooled per-query collectors. Like NewTopK it panics on k <= 0.
+func (t *TopK[T]) Reset(k int) {
+	if k <= 0 {
+		panic("pqueue: TopK requires k > 0")
+	}
+	t.k = k
+	t.heap.Clear()
+}
+
 // Offer considers an element for inclusion. It reports whether the element
 // was kept (queue not yet full, or better than the current k-th best).
 func (t *TopK[T]) Offer(value T, prio float64) bool {

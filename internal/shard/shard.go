@@ -305,6 +305,16 @@ func (e *Engine) KMLIQDetail(ctx context.Context, q pfv.Vector, k int, accuracy 
 	defer cancel()
 	n := len(e.trees)
 	cursors := make([]*core.KMLIQCursor, n)
+	// Cursors hold pooled traversal state; hand it back when the query is
+	// done (including on partial construction and error paths — the return
+	// values are evaluated before the deferred closes run).
+	defer func() {
+		for _, c := range cursors {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
 	for i, t := range e.trees {
 		c, err := t.NewKMLIQCursor(ctx, q, k)
 		if err != nil {
@@ -408,6 +418,13 @@ func (e *Engine) TIQDetail(ctx context.Context, q pfv.Vector, pTheta float64, ac
 	defer cancel()
 	n := len(e.trees)
 	cursors := make([]*core.TIQCursor, n)
+	defer func() {
+		for _, c := range cursors {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
 	for i, t := range e.trees {
 		c, err := t.NewTIQCursor(ctx, q, pTheta)
 		if err != nil {

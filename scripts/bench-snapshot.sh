@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# bench-snapshot.sh — run the hot read-path benchmarks with allocation
+# reporting and emit the results as JSON, so perf trajectories can be
+# recorded in BENCH_*.json files and compared across revisions.
+#
+# Usage:
+#   scripts/bench-snapshot.sh [out.json] [bench regex] [count]
+#
+# Defaults: out.json = "-" (stdout), regex covers the hot-path benchmarks
+# (KMLIQHot, TIQHot, ReadNodeHot), count = 1. The JSON shape is
+#   {"goos": ..., "goarch": ..., "benchmarks": [{"name": ..., "iterations": N,
+#     "metrics": {"ns/op": ..., "B/op": ..., "allocs/op": ..., ...}}]}
+# with every reported metric (including custom ones like pages/query)
+# captured generically.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:--}"
+REGEX="${2:-KMLIQHot|TIQHot|ReadNodeHot}"
+COUNT="${3:-1}"
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench "$REGEX" -benchmem -count="$COUNT" \
+	./... >"$RAW" 2>&1 || { cat "$RAW" >&2; exit 1; }
+
+JSON="$(awk '
+/^Benchmark/ {
+	name = $1; iters = $2
+	printf "%s{\"name\":\"%s\",\"iterations\":%s,\"metrics\":{", sep, name, iters
+	msep = ""
+	for (i = 3; i + 1 <= NF; i += 2) {
+		printf "%s\"%s\":%s", msep, $(i + 1), $i
+		msep = ","
+	}
+	printf "}}"
+	sep = ",\n    "
+}
+' "$RAW")"
+
+if [ -z "$JSON" ]; then
+	echo "bench-snapshot: no benchmark results matched regex \"$REGEX\"" >&2
+	cat "$RAW" >&2
+	exit 1
+fi
+
+PAYLOAD=$(printf '{\n  "goos": "%s",\n  "goarch": "%s",\n  "benchmarks": [\n    %s\n  ]\n}\n' \
+	"$(go env GOOS)" "$(go env GOARCH)" "$JSON")
+
+if [ "$OUT" = "-" ]; then
+	printf '%s' "$PAYLOAD"
+else
+	printf '%s' "$PAYLOAD" >"$OUT"
+	echo "bench-snapshot: wrote $OUT" >&2
+fi

@@ -138,7 +138,7 @@ func NewSharded(dim, n int, opts ...Options) (*Sharded, error) {
 		} else {
 			backend = pagefile.NewMemBackend(o.PageSize)
 		}
-		mgr, err := pagefile.NewManager(backend, o.PageSize, pagefile.WithCacheBytes(o.CacheBytes/n))
+		mgr, err := pagefile.NewManager(backend, o.PageSize, pagefile.WithCacheBytes(o.CacheBytes/n), pagefile.WithCacheShards(o.CacheShards))
 		if err != nil {
 			backend.Close()
 			return fail(err)
@@ -221,7 +221,7 @@ func OpenSharded(dir string, opts ...Options) (*Sharded, error) {
 		if err != nil {
 			return fail(err)
 		}
-		mgr, err := pagefile.NewManager(fb, fb.PageSize(), pagefile.WithCacheBytes(o.CacheBytes/m.Shards))
+		mgr, err := pagefile.NewManager(fb, fb.PageSize(), pagefile.WithCacheBytes(o.CacheBytes/m.Shards), pagefile.WithCacheShards(o.CacheShards))
 		if err != nil {
 			fb.Close()
 			return fail(err)
