@@ -417,6 +417,48 @@ func BenchmarkKMLIQHot(b *testing.B) {
 	}
 }
 
+// BenchmarkKMLIQHotQuantized is BenchmarkKMLIQHot/ranked on the opt-in
+// quantized leaf formats, so the cost of interval screening plus sidecar
+// re-scoring can be compared against the exact columnar baseline above.
+func BenchmarkKMLIQHotQuantized(b *testing.B) {
+	p := dataset.DefaultSyntheticParams()
+	p.N = benchDS2N
+	ds, err := dataset.Synthetic(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs, err := dataset.MakeQueries(ds, dataset.QueryParams{Count: benchQ, Sigma: p.Sigma, Seed: 102})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, format := range []core.LeafFormat{core.LeafFloat32, core.LeafGrid8} {
+		e, err := eval.Build(ds, eval.Setup{LeafFormat: format})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(format.String(), func(b *testing.B) {
+			for _, q := range qs {
+				if _, _, err := e.Tree.KMLIQRanked(ctx, q.Vector, 3); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var pages uint64
+			for i := 0; i < b.N; i++ {
+				_, st, err := e.Tree.KMLIQRanked(ctx, qs[i%len(qs)].Vector, 3)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pages += st.PageAccesses
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(pages)/float64(b.N), "pages/query")
+		})
+	}
+}
+
 // BenchmarkTIQHot is the threshold-query face of the fully cached read path.
 func BenchmarkTIQHot(b *testing.B) {
 	w := benchDS2(b)

@@ -59,8 +59,14 @@ func main() {
 		seed1    = flag.Int64("seed1", 1, "data set 1 seed")
 		seed2    = flag.Int64("seed2", 2, "data set 2 seed")
 		jsonPath = flag.String("json", "", "write collected results as JSON to this file (\"-\" for stdout)")
+		leafFmt  = flag.String("leaf-format", "", "Gauss-tree leaf encoding: exact, float32, grid8 (default exact)")
 	)
 	flag.Parse()
+	leafFormat, err := core.ParseLeafFormat(*leafFmt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gaussbench:", err)
+		os.Exit(2)
+	}
 	if *quick {
 		*n1, *n2, *q1, *q2 = 3000, 10000, 40, 60
 	}
@@ -76,9 +82,11 @@ func main() {
 	b := &bench{
 		n1: *n1, n2: *n2, q1: *q1, q2: *q2,
 		pageSize: *pageSz, seed1: *seed1, seed2: *seed2,
+		leafFormat: leafFormat,
 	}
 	b.out.Params = benchParams{
 		N1: *n1, N2: *n2, Q1: *q1, Q2: *q2, PageSize: *pageSz, Quick: *quick,
+		LeafFormat: leafFormat.String(),
 	}
 
 	if run("fig1") {
@@ -127,10 +135,11 @@ func main() {
 
 // benchParams records the data sizes a JSON result was measured with.
 type benchParams struct {
-	N1, N2   int
-	Q1, Q2   int
-	PageSize int
-	Quick    bool
+	N1, N2     int
+	Q1, Q2     int
+	PageSize   int
+	Quick      bool
+	LeafFormat string
 }
 
 // ablationRow is one engine × configuration measurement of an ablation.
@@ -188,6 +197,7 @@ type serveRow struct {
 // -benchmem equivalent of BenchmarkKMLIQHot inside gaussbench.
 type hotRow struct {
 	Query      string
+	LeafFormat string
 	NsPerQ     float64
 	PagesPerQ  float64
 	AllocsPerQ float64
@@ -219,6 +229,7 @@ type benchOutput struct {
 type bench struct {
 	n1, n2, q1, q2   int
 	pageSize         int
+	leafFormat       core.LeafFormat
 	seed1, seed2     int64
 	ds1, ds2         *dataset.Dataset
 	qs1, qs2         []dataset.Query
@@ -241,7 +252,7 @@ func (b *bench) loadDS1() {
 	check(err)
 	fmt.Printf("# data set 1: %d histogram pfv, %d-d, %d queries\n", len(ds.Vectors), ds.Dim, len(qs))
 	start := time.Now()
-	e, err := eval.Build(ds, eval.Setup{PageSize: b.pageSize})
+	e, err := eval.Build(ds, eval.Setup{PageSize: b.pageSize, LeafFormat: b.leafFormat})
 	check(err)
 	fmt.Printf("# built gauss-tree(h=%d), x-tree(h=%d), scan file, va-file in %v\n\n",
 		e.Tree.Height(), e.X.Height(), time.Since(start).Round(time.Millisecond))
@@ -261,7 +272,7 @@ func (b *bench) loadDS2() {
 	check(err)
 	fmt.Printf("# data set 2: %d synthetic pfv, %d-d, %d queries\n", len(ds.Vectors), ds.Dim, len(qs))
 	start := time.Now()
-	e, err := eval.Build(ds, eval.Setup{PageSize: b.pageSize})
+	e, err := eval.Build(ds, eval.Setup{PageSize: b.pageSize, LeafFormat: b.leafFormat})
 	check(err)
 	fmt.Printf("# built gauss-tree(h=%d), x-tree(h=%d), scan file, va-file in %v\n\n",
 		e.Tree.Height(), e.X.Height(), time.Since(start).Round(time.Millisecond))
@@ -373,7 +384,7 @@ func (b *bench) ablateCombiner() {
 	ctx := context.Background()
 	fmt.Printf("%-14s %12s %14s\n", "combiner", "MLIQ recall", "pages/query")
 	for _, comb := range []gaussian.Combiner{gaussian.CombineAdditive, gaussian.CombineConvolution} {
-		e, err := eval.Build(ds, eval.Setup{PageSize: b.pageSize, Combiner: comb})
+		e, err := eval.Build(ds, eval.Setup{PageSize: b.pageSize, Combiner: comb, LeafFormat: b.leafFormat})
 		check(err)
 		hits := 0
 		var pagesTotal uint64
@@ -426,7 +437,7 @@ func (b *bench) ablateSplit() {
 // one ranked 1-MLIQ per query, recall@1 against the generating object.
 func (b *bench) ablateEngines() {
 	ds, qs := b.subset(min(b.n2, 20000), 100)
-	e, err := eval.Build(ds, eval.Setup{PageSize: b.pageSize})
+	e, err := eval.Build(ds, eval.Setup{PageSize: b.pageSize, LeafFormat: b.leafFormat})
 	check(err)
 	ctx := context.Background()
 	fmt.Printf("%-12s %14s %12s\n", "engine", "pages/query", "recall@1")
@@ -662,7 +673,7 @@ func (b *bench) serve() {
 // state optimize.
 func (b *bench) hot() {
 	ds, qs := b.subset(min(b.n2, 20000), 200)
-	e, err := eval.Build(ds, eval.Setup{PageSize: b.pageSize})
+	e, err := eval.Build(ds, eval.Setup{PageSize: b.pageSize, LeafFormat: b.leafFormat})
 	check(err)
 	ctx := context.Background()
 	fmt.Println("=== Hot: fully cached read path (DS2 subset) ===")
@@ -711,6 +722,7 @@ func (b *bench) hot() {
 		n := float64(passes * len(qs))
 		row := hotRow{
 			Query:      kind.name,
+			LeafFormat: e.Tree.LeafFormat().String(),
 			NsPerQ:     float64(wall.Nanoseconds()) / n,
 			PagesPerQ:  float64(pages) / n,
 			AllocsPerQ: float64(allocs) / n,

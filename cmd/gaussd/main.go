@@ -53,6 +53,7 @@ func main() {
 		cacheMB  = flag.Int("cache-mb", 50, "buffer cache budget in MB")
 		shards   = flag.Int("cache-shards", 0, "buffer-cache shard count, rounded up to a power of two (0 = automatic)")
 		pprofAt  = flag.String("pprof", "", "expose net/http/pprof on this loopback-only address (e.g. 127.0.0.1:6060 or :6060); empty = disabled")
+		leafFmt  = flag.String("leaf-format", "", "require the index's persisted leaf format (exact, float32, grid8, legacy-row); the format itself is fixed at build time, so a mismatch refuses to serve (empty = accept any)")
 	)
 	flag.Parse()
 	if *index == "" {
@@ -75,9 +76,23 @@ func main() {
 		maxQueue = -1
 	}
 
+	var wantLeaf string
+	if *leafFmt != "" {
+		f, err := gausstree.ParseLeafFormat(*leafFmt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gaussd:", err)
+			os.Exit(2)
+		}
+		wantLeaf = f.String()
+	}
+
 	idx, err := openIndex(*index, gausstree.Options{CacheBytes: *cacheMB << 20, CacheShards: *shards})
 	fail(err)
-	fmt.Printf("gaussd: serving %s index %s: %d vectors, %d-d\n", idx.Kind(), *index, idx.Len(), idx.Dim())
+	if got := idx.LeafFormat(); wantLeaf != "" && got != wantLeaf {
+		idx.Close()
+		fail(fmt.Errorf("index %s stores leaf format %q, not the required %q (leaf formats are fixed when an index is built)", *index, got, wantLeaf))
+	}
+	fmt.Printf("gaussd: serving %s index %s: %d vectors, %d-d, %s leaves\n", idx.Kind(), *index, idx.Len(), idx.Dim(), idx.LeafFormat())
 
 	if *pprofAt != "" {
 		l, err := listenPprof(*pprofAt)

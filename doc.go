@@ -48,6 +48,38 @@
 // holds an index; Sync offers an explicit flush barrier. See the README's
 // "Persistence & file format" section for the on-disk layout.
 //
+// # Leaf formats
+//
+// Options.LeafFormat selects the on-page leaf encoding at build time; the
+// choice is persisted in the index meta record and restored by Open and
+// OpenSharded (gaussd's -leaf-format flag asserts the expected format at
+// serving time and /v1/stats reports it):
+//
+//	LeafExact     columnar float64 (default): means and sigmas as contiguous
+//	              per-dimension arrays plus a precomputed per-vector
+//	              −ln ∏σᵢ term, scored by a vectorizable batch evaluator
+//	              that is bit-identical to the scalar density
+//	LeafFloat32   quantized: float32 parameters, ~2× smaller leaves
+//	LeafGrid8     quantized: 8-bit cells on per-dimension uniform grids
+//	              (VA-file style), ~8× smaller leaf payloads
+//	LeafLegacyRow row-major float64 (the pre-columnar v1 layout), kept
+//	              writable for compatibility testing
+//
+// The quantized formats stay exact where it matters: every stored value is
+// decoded to a conservative interval verified at encode time to contain the
+// exact value, hull/floor pruning uses those widened intervals (so the
+// no-false-dismissal guarantee of the paper holds unchanged), and surviving
+// candidates are re-scored from an exact float64 sidecar page — ranked
+// answers are identical to the exact format's. The one honest difference:
+// certified probability intervals can be wider than the requested accuracy,
+// because leaves pruned without a sidecar visit contribute an irreducible
+// quantization residue to the §5.2.2 denominator bounds; the reported
+// [ProbLow, ProbHigh] always contains the true probability. Migration: a
+// leaf format is fixed when the index is built — to change it, rebuild the
+// index (ForEach streams the vectors out); indexes written before the
+// columnar format decode unchanged, and mutations rewrite touched leaves in
+// the tree's configured format page by page.
+//
 // # Context-aware queries and statistics
 //
 // Every query has a context-aware variant — KMLIQContext, KMLIQRankedContext,
@@ -128,8 +160,12 @@
 // count (default automatic; gaussd -cache-shards). gaussd -pprof exposes
 // net/http/pprof on a separate loopback-only listener for profiling the
 // serving hot path in place. BENCH_PR5.json records the measured
-// before/after of this design (≈ 3× fewer allocations and ≈ 35% less CPU
-// per cached query); scripts/bench-snapshot.sh regenerates such snapshots.
+// before/after of the caching design (≈ 3× fewer allocations and ≈ 35% less
+// CPU per cached query) and BENCH_PR6.json the columnar-leaf overhaul on
+// top of it (≈ 2.5× less CPU per cached k-MLIQ at bit-identical ranked page
+// accesses: product-form density and bound evaluation with one logarithm
+// per vector instead of one per dimension, plus screened child pruning);
+// scripts/bench-snapshot.sh regenerates such snapshots and diffs them.
 //
 // # Architecture
 //

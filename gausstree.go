@@ -37,6 +37,33 @@ const (
 	CombineConvolution = gaussian.CombineConvolution
 )
 
+// LeafFormat selects the on-page encoding of leaf nodes. All formats answer
+// the same queries; the quantized ones trade leaf bytes for conservatively
+// widened (but always sound) pruning bounds backed by exact sidecar pages.
+// See the constants for the per-format guarantees.
+type LeafFormat = core.LeafFormat
+
+// Available leaf formats.
+const (
+	// LeafExact (default): columnar float64 leaves; bit-identical query
+	// results to the legacy row format at batch-evaluation speed.
+	LeafExact = core.LeafExact
+	// LeafFloat32: float32 leaf pages (half the leaf bytes) + exact
+	// sidecars. Ranked results stay exact; certified probability intervals
+	// may widen but always contain the exact tree's interval.
+	LeafFloat32 = core.LeafFloat32
+	// LeafGrid8: 8-bit VA-file-style grid leaf pages (about a quarter of
+	// the leaf bytes) + exact sidecars. Same guarantees as LeafFloat32.
+	LeafGrid8 = core.LeafGrid8
+	// LeafLegacyRow: the pre-columnar row-major encoding, kept writable
+	// for compatibility; readable regardless of the configured format.
+	LeafLegacyRow = core.LeafLegacyRow
+)
+
+// ParseLeafFormat parses a leaf format name ("exact", "float32", "grid8",
+// "legacy-row"); the empty string means LeafExact.
+func ParseLeafFormat(s string) (LeafFormat, error) { return core.ParseLeafFormat(s) }
+
 // QueryStats describes what one identification query cost and how it
 // terminated (logical page accesses — the paper's central efficiency
 // metric — expanded nodes, scored vectors, retained candidates, early
@@ -88,6 +115,10 @@ type Options struct {
 	// persisted in the sharded manifest; OpenSharded restores the policy
 	// the index was built with and ignores this field.
 	Partition PartitionPolicy
+	// LeafFormat selects the on-page leaf encoding (default LeafExact).
+	// It is persisted in the index meta record; Open restores the format
+	// the tree was built with and ignores this field.
+	LeafFormat LeafFormat
 }
 
 func (o *Options) fillDefaults() {
@@ -140,7 +171,7 @@ func New(dim int, opts ...Options) (*Tree, error) {
 		backend.Close()
 		return nil, err
 	}
-	tr, err := core.New(mgr, dim, core.Config{Combiner: o.Combiner})
+	tr, err := core.New(mgr, dim, core.Config{Combiner: o.Combiner, LeafFormat: o.LeafFormat})
 	if err != nil {
 		mgr.Close()
 		return nil, err
@@ -204,6 +235,16 @@ func (t *Tree) Height() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	return t.tree.Height()
+}
+
+// LeafFormat returns the leaf storage format the index writes.
+func (t *Tree) LeafFormat() LeafFormat {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.tree == nil {
+		return LeafExact
+	}
+	return t.tree.LeafFormat()
 }
 
 // Insert adds a probabilistic feature vector to the index. Duplicate ids are

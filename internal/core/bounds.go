@@ -75,11 +75,27 @@ type denomTracker struct {
 	floorPQ   scaledAccum // Σ n·ˇN over queued subtrees
 	hullPQ    scaledAccum // Σ n·ˆN over queued subtrees
 	mutations int
+
+	// floorRes/hullRes hold the per-vector floor/hull sums of quantized
+	// leaves the traversal skipped for good (their hulls proved they cannot
+	// affect the result set). Unlike the queue bounds they are permanent:
+	// the leaves will never be explored, so their mass survives queue
+	// exhaustion (clearQueueBounds) and widens the certified interval
+	// honestly. Add-only, so they carry no cancellation drift.
+	floorRes scaledAccum
+	hullRes  scaledAccum
 }
 
 const rebuildEvery = 256
 
 func (d *denomTracker) addExact(logDensity float64) { d.exact.add(logDensity) }
+
+// addResidual registers one skipped quantized-leaf vector's certified
+// density bounds [ˇ, ˆ] with the permanent residue.
+func (d *denomTracker) addResidual(logFloor, logHull float64) {
+	d.floorRes.add(logFloor)
+	d.hullRes.add(logHull)
+}
 
 func (d *denomTracker) push(a activeNode) {
 	d.floorPQ.add(a.logFloorN)
@@ -120,20 +136,26 @@ func (d *denomTracker) maybeRebuild(items func(func(activeNode, float64))) {
 }
 
 // parts exports the tracker's three log-space components for cross-tree
-// denominator merging (see DenomParts).
+// denominator merging (see DenomParts). The permanent residue of skipped
+// quantized leaves folds into the floor/hull parts, so cross-shard merges
+// stay sound without knowing about quantization.
 func (d *denomTracker) parts() DenomParts {
 	return DenomParts{
 		LogExact: d.exact.log(),
-		LogFloor: d.floorPQ.log(),
-		LogHull:  d.hullPQ.log(),
+		LogFloor: logAddExp(d.floorPQ.log(), d.floorRes.log()),
+		LogHull:  logAddExp(d.hullPQ.log(), d.hullRes.log()),
 	}
 }
 
 // logLow returns the log of the certified lower denominator bound.
-func (d *denomTracker) logLow() float64 { return logAddExp(d.exact.log(), d.floorPQ.log()) }
+func (d *denomTracker) logLow() float64 {
+	return logAddExp(d.exact.log(), logAddExp(d.floorPQ.log(), d.floorRes.log()))
+}
 
 // logHigh returns the log of the certified upper denominator bound.
-func (d *denomTracker) logHigh() float64 { return logAddExp(d.exact.log(), d.hullPQ.log()) }
+func (d *denomTracker) logHigh() float64 {
+	return logAddExp(d.exact.log(), logAddExp(d.hullPQ.log(), d.hullRes.log()))
+}
 
 // probInterval converts a candidate's log density into its certified
 // probability interval [ld/denomHigh, ld/denomLow], clamped to [0,1].

@@ -164,45 +164,229 @@ func (b ParamBox) MarginEnlargement(v pfv.Vector) float64 {
 }
 
 // LogHullAt returns ln ˆN(q) for the whole box against a probabilistic query
-// vector: the sum over dimensions of the log hull with the σ interval
-// shifted by the query's per-dimension uncertainty (§5.2, "the conservative
-// approximations ... can be determined by ˆN_{μ̌,μ̂,σ̌+σq,σ̂+σq}(μq)"). It is
-// the priority of the node in the best-first traversal: the maximum
-// (relative) joint log density any pfv inside the box could reach.
+// vector: the log hull with the per-dimension σ intervals shifted by the
+// query's uncertainty (§5.2, "the conservative approximations ... can be
+// determined by ˆN_{μ̌,μ̂,σ̌+σq,σ̂+σq}(μq)"). It is the priority of the node in
+// the best-first traversal: the maximum (relative) joint log density any pfv
+// inside the box could reach.
+//
+// Like the density evaluators, the hull runs in product form: the sector
+// terms of gaussian.HullTerm multiply across dimensions and one logarithm of
+// the product replaces d per-dimension logarithms, with a per-dimension
+// log-sum fallback when the product leaves the float64 range.
+// The loop bodies of LogHullAt and LogHullFloorAt inline the sector logic of
+// gaussian.HullTerm/FloorTerm (which the compiler will not inline) and the
+// combiner's interval arithmetic, because these run per dimension per pushed
+// child — the single hottest loop of a traversal. Sloped hull sectors fold
+// their e^{−½} factor into the z² sum as a +1 term. The inlined copies must
+// stay operation-for-operation identical to the gaussian kernels, which the
+// bounds property tests cross-check.
 func (b ParamBox) LogHullAt(c gaussian.Combiner, q pfv.Vector) float64 {
-	sum := 0.0
+	hull, _ := b.logHullAtLim(c, q, math.Inf(1))
+	return hull
+}
+
+// LogHullAtScreened is LogHullAt with an early exit for ranked traversals:
+// zLim is a z²-sum threshold derived from the query's σ-product floor (see
+// traversal.hullCut) such that once the partial Σz² reaches zLim, the hull
+// provably cannot exceed the current top-k admission bound. It then reports
+// ok=false without finishing the loop or taking the logarithm; the caller
+// may drop the child entirely, because the admission bound is monotone and
+// the best-first loop would never have expanded it.
+func (b ParamBox) LogHullAtScreened(c gaussian.Combiner, q pfv.Vector, zLim float64) (hull float64, ok bool) {
+	return b.logHullAtLim(c, q, zLim)
+}
+
+func (b ParamBox) logHullAtLim(c gaussian.Combiner, q pfv.Vector, zLim float64) (float64, bool) {
+	conv := c == gaussian.CombineConvolution
+	prod, sumZ := 1.0, 0.0
 	for i := range b.Mu {
-		sig := c.CombineInterval(b.Sigma[i], q.Sigma[i])
-		sum += gaussian.LogHull(b.Mu[i], sig, q.Mean[i])
+		if sumZ >= zLim {
+			return 0, false
+		}
+		var csLo, csHi float64
+		if conv {
+			csLo = math.Hypot(b.Sigma[i].Lo, q.Sigma[i])
+			csHi = math.Hypot(b.Sigma[i].Hi, q.Sigma[i])
+		} else {
+			csLo = b.Sigma[i].Lo + q.Sigma[i]
+			csHi = b.Sigma[i].Hi + q.Sigma[i]
+		}
+		x, muLo, muHi := q.Mean[i], b.Mu[i].Lo, b.Mu[i].Hi
+		var s, z float64
+		switch {
+		case x < muLo:
+			d := muLo - x
+			switch {
+			case d > csHi:
+				s, z = csHi, (x-muLo)/csHi
+			case d > csLo:
+				s, sumZ = d, sumZ+1
+			default:
+				s, z = csLo, (x-muLo)/csLo
+			}
+		case x <= muHi:
+			s = csLo
+		default:
+			d := x - muHi
+			switch {
+			case d < csLo:
+				s, z = csLo, (x-muHi)/csLo
+			case d < csHi:
+				s, sumZ = d, sumZ+1
+			default:
+				s, z = csHi, (x-muHi)/csHi
+			}
+		}
+		prod *= s
+		sumZ += z * z
 	}
-	return sum
+	if sumZ >= zLim {
+		return 0, false
+	}
+	lnS := math.Log(prod)
+	if math.IsInf(lnS, 0) {
+		lnS = 0
+		for i := range b.Mu {
+			sig := c.CombineInterval(b.Sigma[i], q.Sigma[i])
+			s, _, _ := gaussian.HullTerm(b.Mu[i], sig, q.Mean[i])
+			lnS += math.Log(s)
+		}
+	}
+	return -0.5*float64(len(b.Mu))*gaussian.Ln2Pi - lnS - 0.5*sumZ, true
 }
 
 // LogFloorAt returns ln ˇN(q) for the whole box against a probabilistic
 // query vector: the minimum joint log density any pfv inside the box could
 // have. Together with the subtree count it lower-bounds the node's
-// contribution to the Bayes denominator.
+// contribution to the Bayes denominator. Evaluated in product form like
+// LogHullAt, via gaussian.FloorTerm.
 func (b ParamBox) LogFloorAt(c gaussian.Combiner, q pfv.Vector) float64 {
-	sum := 0.0
+	conv := c == gaussian.CombineConvolution
+	prod, sumZ := 1.0, 0.0
 	for i := range b.Mu {
-		sig := c.CombineInterval(b.Sigma[i], q.Sigma[i])
-		sum += gaussian.LogFloor(b.Mu[i], sig, q.Mean[i])
+		var csLo, csHi float64
+		if conv {
+			csLo = math.Hypot(b.Sigma[i].Lo, q.Sigma[i])
+			csHi = math.Hypot(b.Sigma[i].Hi, q.Sigma[i])
+		} else {
+			csLo = b.Sigma[i].Lo + q.Sigma[i]
+			csHi = b.Sigma[i].Hi + q.Sigma[i]
+		}
+		s, z := floorTermInline(b.Mu[i].Lo, b.Mu[i].Hi, csLo, csHi, q.Mean[i])
+		prod *= s
+		sumZ += z * z
 	}
-	return sum
+	lnS := math.Log(prod)
+	if math.IsInf(lnS, 0) {
+		lnS = 0
+		for i := range b.Mu {
+			sig := c.CombineInterval(b.Sigma[i], q.Sigma[i])
+			s, _ := gaussian.FloorTerm(b.Mu[i], sig, q.Mean[i])
+			lnS += math.Log(s)
+		}
+	}
+	return -0.5*float64(len(b.Mu))*gaussian.Ln2Pi - lnS - 0.5*sumZ
+}
+
+// floorTermInline is gaussian.FloorTerm over a pre-combined σ interval,
+// small enough for the compiler to inline into the per-dimension loops.
+func floorTermInline(muLo, muHi, csLo, csHi, x float64) (s, z float64) {
+	m := muLo
+	if x-muLo < muHi-x {
+		m = muHi
+	}
+	d := x - m
+	if d < 0 {
+		d = -d
+	}
+	switch {
+	case csHi <= d:
+		return csLo, (x - m) / csLo
+	case csLo >= d:
+		return csHi, (x - m) / csHi
+	default:
+		za := (x - m) / csLo
+		zb := (x - m) / csHi
+		if -math.Log(csLo)-0.5*za*za <= -math.Log(csHi)-0.5*zb*zb {
+			return csLo, za
+		}
+		return csHi, zb
+	}
 }
 
 // LogHullFloorAt returns LogHullAt and LogFloorAt in a single pass: both
-// bounds need the same per-dimension combined σ interval, so the traversal's
-// denominator tracking computes them together at half the interval work.
-// Each sum accumulates in exactly the order of its single-bound sibling, so
-// the results are bit-identical to calling LogHullAt and LogFloorAt.
+// bounds need the same per-dimension combined σ interval, so the pass shares
+// the interval combination and accumulates both products side by side. Each
+// product and each z² sum accumulate in exactly the order of the single-bound
+// siblings and assemble the identical final expression, so the results are
+// bit-identical to calling LogHullAt and LogFloorAt separately — the
+// traversal's denominator bookkeeping relies on that.
 func (b ParamBox) LogHullFloorAt(c gaussian.Combiner, q pfv.Vector) (hull, floor float64) {
+	conv := c == gaussian.CombineConvolution
+	hProd, hSumZ := 1.0, 0.0
+	fProd, fSumZ := 1.0, 0.0
 	for i := range b.Mu {
-		sig := c.CombineInterval(b.Sigma[i], q.Sigma[i])
-		hull += gaussian.LogHull(b.Mu[i], sig, q.Mean[i])
-		floor += gaussian.LogFloor(b.Mu[i], sig, q.Mean[i])
+		var csLo, csHi float64
+		if conv {
+			csLo = math.Hypot(b.Sigma[i].Lo, q.Sigma[i])
+			csHi = math.Hypot(b.Sigma[i].Hi, q.Sigma[i])
+		} else {
+			csLo = b.Sigma[i].Lo + q.Sigma[i]
+			csHi = b.Sigma[i].Hi + q.Sigma[i]
+		}
+		x, muLo, muHi := q.Mean[i], b.Mu[i].Lo, b.Mu[i].Hi
+		var hs, hz float64
+		switch {
+		case x < muLo:
+			d := muLo - x
+			switch {
+			case d > csHi:
+				hs, hz = csHi, (x-muLo)/csHi
+			case d > csLo:
+				hs, hSumZ = d, hSumZ+1
+			default:
+				hs, hz = csLo, (x-muLo)/csLo
+			}
+		case x <= muHi:
+			hs = csLo
+		default:
+			d := x - muHi
+			switch {
+			case d < csLo:
+				hs, hz = csLo, (x-muHi)/csLo
+			case d < csHi:
+				hs, hSumZ = d, hSumZ+1
+			default:
+				hs, hz = csHi, (x-muHi)/csHi
+			}
+		}
+		hProd *= hs
+		hSumZ += hz * hz
+		fs, fz := floorTermInline(muLo, muHi, csLo, csHi, x)
+		fProd *= fs
+		fSumZ += fz * fz
 	}
-	return hull, floor
+	hLn := math.Log(hProd)
+	if math.IsInf(hLn, 0) {
+		hLn = 0
+		for i := range b.Mu {
+			sig := c.CombineInterval(b.Sigma[i], q.Sigma[i])
+			s, _, _ := gaussian.HullTerm(b.Mu[i], sig, q.Mean[i])
+			hLn += math.Log(s)
+		}
+	}
+	fLn := math.Log(fProd)
+	if math.IsInf(fLn, 0) {
+		fLn = 0
+		for i := range b.Mu {
+			sig := c.CombineInterval(b.Sigma[i], q.Sigma[i])
+			s, _ := gaussian.FloorTerm(b.Mu[i], sig, q.Mean[i])
+			fLn += math.Log(s)
+		}
+	}
+	base := -0.5 * float64(len(b.Mu)) * gaussian.Ln2Pi
+	return base - hLn - 0.5*hSumZ, base - fLn - 0.5*fSumZ
 }
 
 // AccessCost returns the split objective of §5.3 for the box: the product

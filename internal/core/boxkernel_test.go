@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/gauss-tree/gausstree/internal/gaussian"
+	"github.com/gauss-tree/gausstree/internal/pfv"
+)
+
+func randBoxQuery(rng *rand.Rand, dim int) (ParamBox, pfv.Vector) {
+	b := NewParamBox(dim)
+	mean := make([]float64, dim)
+	sigma := make([]float64, dim)
+	for i := 0; i < dim; i++ {
+		lo := rng.NormFloat64() * 5
+		b.Mu[i] = gaussian.Interval{Lo: lo, Hi: lo + rng.Float64()*3}
+		sLo := rng.Float64()*1.5 + 0.01
+		b.Sigma[i] = gaussian.Interval{Lo: sLo, Hi: sLo + rng.Float64()}
+		mean[i] = rng.NormFloat64() * 6
+		sigma[i] = rng.Float64()*1.5 + 0.01
+	}
+	return b, pfv.MustNew(0, mean, sigma)
+}
+
+// refHullFloor recomputes the box bounds through the per-dimension gaussian
+// kernels (one log per dimension), the reference the inlined product-form
+// loops of box.go must reproduce up to product-vs-sum rounding.
+func refHullFloor(b ParamBox, comb gaussian.Combiner, q pfv.Vector) (hull, floor float64) {
+	d := len(b.Mu)
+	hull = -0.5 * float64(d) * gaussian.Ln2Pi
+	floor = hull
+	for i := 0; i < d; i++ {
+		cs := comb.CombineInterval(b.Sigma[i], q.Sigma[i])
+		s, z, sloped := gaussian.HullTerm(b.Mu[i], cs, q.Mean[i])
+		hull -= math.Log(s) + 0.5*z*z
+		if sloped {
+			hull -= 0.5
+		}
+		fs, fz := gaussian.FloorTerm(b.Mu[i], cs, q.Mean[i])
+		floor -= math.Log(fs) + 0.5*fz*fz
+	}
+	return hull, floor
+}
+
+// TestBoxKernelsMatchGaussianTerms cross-checks the manually inlined
+// hull/floor loops of box.go against the gaussian.HullTerm/FloorTerm
+// decompositions they copy — the check the box.go doc comment promises. The
+// product form takes one log instead of d, so agreement is to tight relative
+// tolerance, not bit-exact.
+func TestBoxKernelsMatchGaussianTerms(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	const relTol = 1e-9
+	close := func(a, b float64) bool {
+		if a == b {
+			return true
+		}
+		scale := math.Max(math.Abs(a), math.Abs(b))
+		return math.Abs(a-b) <= relTol*math.Max(scale, 1)
+	}
+	for _, comb := range []gaussian.Combiner{gaussian.CombineAdditive, gaussian.CombineConvolution} {
+		for trial := 0; trial < 20000; trial++ {
+			b, q := randBoxQuery(rng, rng.Intn(6)+1)
+			wantHull, wantFloor := refHullFloor(b, comb, q)
+			if got := b.LogHullAt(comb, q); !close(got, wantHull) {
+				t.Fatalf("%v trial %d: LogHullAt %v, reference %v", comb, trial, got, wantHull)
+			}
+			if got := b.LogFloorAt(comb, q); !close(got, wantFloor) {
+				t.Fatalf("%v trial %d: LogFloorAt %v, reference %v", comb, trial, got, wantFloor)
+			}
+			gh, gf := b.LogHullFloorAt(comb, q)
+			if math.Float64bits(gh) != math.Float64bits(b.LogHullAt(comb, q)) ||
+				math.Float64bits(gf) != math.Float64bits(b.LogFloorAt(comb, q)) {
+				t.Fatalf("%v trial %d: fused LogHullFloorAt diverges from the single-bound paths", comb, trial)
+			}
+			if gf > gh {
+				t.Fatalf("%v trial %d: floor %v above hull %v", comb, trial, gf, gh)
+			}
+		}
+	}
+}
+
+// TestLogHullAtScreenedSound pins the two sides of the screened child
+// evaluation: when the screen keeps a child, the returned hull is
+// bit-identical to the unscreened bound; when it drops one under
+// zLim = 2·(hullCut − bound), the child's true hull provably cannot beat
+// the admission bound.
+func TestLogHullAtScreenedSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	for _, comb := range []gaussian.Combiner{gaussian.CombineAdditive, gaussian.CombineConvolution} {
+		for trial := 0; trial < 20000; trial++ {
+			dim := rng.Intn(6) + 1
+			b, q := randBoxQuery(rng, dim)
+			hull := b.LogHullAt(comb, q)
+
+			// hullCut exactly as newTraversal computes it.
+			prodQS := 1.0
+			for _, s := range q.Sigma {
+				prodQS *= s
+			}
+			hullCut := -0.5*float64(dim)*gaussian.Ln2Pi - math.Log(prodQS)
+			// Bounds straddling the true hull: below it (must keep),
+			// above it (may drop, and then the drop must be justified).
+			for _, bound := range []float64{hull - 1e-6, hull - 2, hull + 1e-6, hull + 2, hullCut} {
+				zLim := 2 * (hullCut - bound)
+				got, ok := b.LogHullAtScreened(comb, q, zLim)
+				if ok {
+					if math.Float64bits(got) != math.Float64bits(hull) {
+						t.Fatalf("%v trial %d: screened hull %v != unscreened %v", comb, trial, got, hull)
+					}
+				} else if hull > bound {
+					t.Fatalf("%v trial %d: screen dropped a child with hull %v above bound %v (hullCut %v)",
+						comb, trial, hull, bound, hullCut)
+				}
+			}
+			// An infinite budget must never drop.
+			if _, ok := b.LogHullAtScreened(comb, q, math.Inf(1)); !ok {
+				t.Fatalf("%v trial %d: screen dropped under an infinite z² budget", comb, trial)
+			}
+		}
+	}
+}

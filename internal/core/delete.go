@@ -50,6 +50,9 @@ func (t *Tree) delete(v pfv.Vector) (bool, error) {
 
 	// Remove the vector from its leaf.
 	leaf := path[len(path)-1].node
+	if err := t.materializeLeaf(leaf); err != nil {
+		return false, err
+	}
 	for i, w := range leaf.vectors {
 		if w.Equal(v) {
 			leaf.vectors = append(leaf.vectors[:i], leaf.vectors[i+1:]...)
@@ -158,7 +161,11 @@ func (t *Tree) findPath(v pfv.Vector) ([]pathStep, bool, error) {
 	var dfs func(n *node, path []pathStep) ([]pathStep, bool, error)
 	dfs = func(n *node, path []pathStep) ([]pathStep, bool, error) {
 		if n.leaf {
-			for _, w := range n.vectors {
+			vs, err := t.leafExactVectors(n)
+			if err != nil {
+				return nil, false, err
+			}
+			for _, w := range vs {
 				if w.Equal(v) {
 					return append(path, pathStep{node: n, childIdx: -1}), true, nil
 				}
@@ -187,7 +194,11 @@ func (t *Tree) findPath(v pfv.Vector) ([]pathStep, bool, error) {
 // subtree.
 func (t *Tree) collectVectors(n *node) ([]pfv.Vector, error) {
 	if n.leaf {
-		return append([]pfv.Vector(nil), n.vectors...), nil
+		vs, err := t.leafExactVectors(n)
+		if err != nil {
+			return nil, err
+		}
+		return append([]pfv.Vector(nil), vs...), nil
 	}
 	var out []pfv.Vector
 	for _, c := range n.children {
@@ -214,6 +225,11 @@ func (t *Tree) freeNodeSubtree(n *node) error {
 			if err := t.freeSubtree(c.page); err != nil {
 				return err
 			}
+		}
+	} else if n.quant != nil {
+		t.nodes.invalidate(n.quant.sidecar)
+		if err := t.mgr.FreeDeferred(n.quant.sidecar); err != nil {
+			return err
 		}
 	}
 	t.nodes.invalidate(n.id)

@@ -2,8 +2,11 @@ package core
 
 import (
 	"context"
+	"fmt"
+	"math"
 	"sync"
 
+	"github.com/gauss-tree/gausstree/internal/gaussian"
 	"github.com/gauss-tree/gausstree/internal/pagefile"
 	"github.com/gauss-tree/gausstree/internal/pfv"
 	"github.com/gauss-tree/gausstree/internal/pqueue"
@@ -38,6 +41,32 @@ type traversal struct {
 	started    bool // root expanded; run() may be called again to resume
 	// onVector receives every exactly scored leaf object.
 	onVector func(v pfv.Vector, ld float64)
+
+	// screenBound, when set on a non-denominator traversal, returns the
+	// current top-k admission bound (ok=false while the heap is not full —
+	// no screening then, every vector may still be needed). Leaf vectors
+	// whose cheap columnar upper bound cannot beat the bound skip the exact
+	// scoring entirely. The bound must be monotone non-decreasing over the
+	// query, which makes the skip final-safe.
+	screenBound func() (float64, bool)
+	// leafThreshold, when set, returns the admission bound a quantized
+	// leaf's best vector must beat for its exact sidecar to be worth
+	// reading (ok=false: always read); leaves below it contribute only
+	// their certified [floor, hull] residue to the denominator. nil means
+	// always read the sidecar.
+	leafThreshold func() (float64, bool)
+
+	// hullCut = −d/2·ln2π − ln ∏ᵢ σq,ᵢ upper-bounds every hull priority with
+	// the z² term dropped: σᵢ⊕σq,ᵢ ≥ σq,ᵢ factor-wise, so
+	// hull ≤ hullCut − ½·Σz² for any box. Ranked expansions use it to derive
+	// the z²-sum early-exit threshold of LogHullAtScreened.
+	hullCut float64
+
+	// scores and dimBuf are reusable batch-scoring scratch buffers; their
+	// capacity survives release so steady-state hot queries stay
+	// allocation-free.
+	scores []float64
+	dimBuf []float64
 }
 
 var traversalPool = sync.Pool{
@@ -54,6 +83,18 @@ func (t *Tree) newTraversal(ctx context.Context, q pfv.Vector, trackDenom bool, 
 	tr.eval.Reset(t.cfg.Combiner, q)
 	tr.trackDenom = trackDenom
 	tr.onVector = onVector
+	prodQS := 1.0
+	for _, s := range q.Sigma {
+		prodQS *= s
+	}
+	lnQS := math.Log(prodQS)
+	if math.IsInf(lnQS, 0) {
+		lnQS = 0
+		for _, s := range q.Sigma {
+			lnQS += math.Log(s)
+		}
+	}
+	tr.hullCut = -0.5*float64(len(q.Sigma))*gaussian.Ln2Pi - lnQS
 	return tr
 }
 
@@ -73,6 +114,8 @@ func (tr *traversal) release() {
 	tr.started = false
 	tr.trackDenom = false
 	tr.onVector = nil
+	tr.screenBound = nil
+	tr.leafThreshold = nil
 	traversalPool.Put(tr)
 }
 
@@ -133,15 +176,22 @@ func (tr *traversal) expand(a activeNode) error {
 	}
 	tr.stats.NodesVisited++
 	if n.leaf {
-		tr.stats.VectorsScored += len(n.vectors)
-		for _, v := range n.vectors {
-			ld := tr.eval.LogDensity(v)
-			if tr.trackDenom {
-				tr.denom.addExact(ld)
-			}
-			tr.onVector(v, ld)
+		if n.quant != nil {
+			return tr.expandQuantLeaf(n)
 		}
+		tr.scoreExactLeaf(n)
 		return nil
+	}
+	screened := false
+	var zLim float64
+	if !tr.trackDenom && tr.screenBound != nil {
+		if bound, ok := tr.screenBound(); ok {
+			// A child whose hull cannot beat the (monotone) admission bound
+			// will never be expanded — the stop condition fires before the
+			// best-first loop reaches it — so it need not be pushed at all.
+			screened = true
+			zLim = 2 * (tr.hullCut - bound)
+		}
 	}
 	for i := range n.children {
 		c := &n.children[i]
@@ -153,12 +203,167 @@ func (tr *traversal) expand(a activeNode) error {
 			child.logFloorN = floor + c.logCount
 			child.logHullN = hull + c.logCount
 			tr.denom.push(child)
+		} else if screened {
+			hull, ok := c.box.LogHullAtScreened(t.cfg.Combiner, tr.q, zLim)
+			if !ok {
+				continue
+			}
+			prio = hull
 		} else {
 			prio = c.box.LogHullAt(t.cfg.Combiner, tr.q)
 		}
 		tr.active.Push(child, prio)
 	}
 	return nil
+}
+
+// scoreExactLeaf scores one exact leaf through the columnar batch evaluator.
+// Without screening, every vector's density is computed by ScoreColumns —
+// bit-identical, in the same order, to the scalar per-vector loop this
+// replaces — and fed to the denominator and collector exactly as before.
+// With a screen bound (ranked top-k queries, once the heap is full), a cheap
+// logarithm-free per-vector upper bound is computed first and only vectors
+// that could still enter the top-k are scored exactly.
+func (tr *traversal) scoreExactLeaf(n *node) {
+	cols := n.cols
+	nv := cols.Len()
+	tr.scores = growFloats(tr.scores, nv)
+	if tr.screenBound != nil && !tr.trackDenom {
+		if bound, ok := tr.screenBound(); ok {
+			tr.dimBuf = growFloats(tr.dimBuf, tr.tree.dim)
+			tr.eval.UpperBoundColumns(cols, tr.dimBuf, tr.scores)
+			for j, ub := range tr.scores[:nv] {
+				// ub ≤ bound means the exact density cannot displace the
+				// current k-th candidate (admission requires strictly more).
+				if ub <= bound {
+					continue
+				}
+				v := n.vectors[j]
+				ld := tr.eval.LogDensity(v)
+				tr.stats.VectorsScored++
+				tr.onVector(v, ld)
+				if b, ok := tr.screenBound(); ok {
+					bound = b
+				}
+			}
+			return
+		}
+	}
+	tr.eval.ScoreColumns(cols, tr.scores)
+	tr.stats.VectorsScored += nv
+	for j, ld := range tr.scores[:nv] {
+		if tr.trackDenom {
+			tr.denom.addExact(ld)
+		}
+		tr.onVector(n.vectors[j], ld)
+	}
+}
+
+// expandQuantLeaf handles a quantized leaf: per-vector certified density
+// bounds [ˇ, ˆ] are assembled from the widened parameter intervals (Lemma
+// 2/3 per vector instead of per node), and the exact sidecar page is read —
+// and charged — only when some vector could still matter (leafThreshold).
+// Skipped leaves contribute their floor/hull sums to the permanent
+// denominator residue, keeping certified intervals sound (if wider); ranked
+// queries skip them outright, which is exactly the no-false-dismissal
+// argument of the node-level hull applied per vector.
+func (tr *traversal) expandQuantLeaf(n *node) error {
+	t := tr.tree
+	q := n.quant
+	nv := q.len()
+	tr.scores = growFloats(tr.scores, 4*nv)
+	hulls := tr.scores[:nv]         // accumulates Σz² (+1 per sloped dim)
+	floors := tr.scores[nv : 2*nv]  // accumulates Σz²
+	hProd := tr.scores[2*nv : 3*nv] // hull σ-term product
+	fProd := tr.scores[3*nv : 4*nv] // floor σ-term product
+	for j := range hulls {
+		hulls[j], floors[j] = 0, 0
+		hProd[j], fProd[j] = 1, 1
+	}
+	comb := t.cfg.Combiner
+	var mu, sig gaussian.Interval
+	for i := 0; i < t.dim; i++ {
+		muLo, muHi, sgLo, sgHi := q.muLo[i], q.muHi[i], q.sgLo[i], q.sgHi[i]
+		qm, qs := tr.q.Mean[i], tr.q.Sigma[i]
+		for j := 0; j < nv; j++ {
+			mu.Lo, mu.Hi = muLo[j], muHi[j]
+			sig.Lo, sig.Hi = sgLo[j], sgHi[j]
+			cs := comb.CombineInterval(sig, qs)
+			hs, hz, sloped := gaussian.HullTerm(mu, cs, qm)
+			hProd[j] *= hs
+			hz2 := hz * hz
+			if sloped {
+				hz2 = 1 // sloped sectors carry the e^{−½} factor instead of a z
+			}
+			hulls[j] += hz2
+			fs, fz := gaussian.FloorTerm(mu, cs, qm)
+			fProd[j] *= fs
+			floors[j] += fz * fz
+		}
+	}
+	base := -0.5 * float64(t.dim) * gaussian.Ln2Pi
+	for j := 0; j < nv; j++ {
+		hLn := math.Log(hProd[j])
+		fLn := math.Log(fProd[j])
+		if math.IsInf(hLn, 0) || math.IsInf(fLn, 0) {
+			hLn, fLn = tr.quantLogFallback(q, j)
+		}
+		hulls[j] = base - hLn - 0.5*hulls[j]
+		floors[j] = base - fLn - 0.5*floors[j]
+	}
+	if tr.leafThreshold != nil {
+		if thr, ok := tr.leafThreshold(); ok {
+			best := math.Inf(-1)
+			for _, h := range hulls {
+				if h > best {
+					best = h
+				}
+			}
+			if best <= thr {
+				if tr.trackDenom {
+					for j := 0; j < nv; j++ {
+						tr.denom.addResidual(floors[j], hulls[j])
+					}
+				}
+				return nil
+			}
+		}
+	}
+	side, err := t.readNodeCounted(q.sidecar, &tr.counter)
+	if err != nil {
+		return err
+	}
+	if !side.leaf || side.quant != nil {
+		return fmt.Errorf("core: page %d referenced as sidecar of leaf %d is not an exact leaf", q.sidecar, n.id)
+	}
+	tr.scoreExactLeaf(side)
+	return nil
+}
+
+// quantLogFallback recomputes vector j's hull and floor σ-term logarithms as
+// per-dimension sums when a product left the float64 range.
+func (tr *traversal) quantLogFallback(q *quantLeaf, j int) (hLn, fLn float64) {
+	comb := tr.tree.cfg.Combiner
+	var mu, sig gaussian.Interval
+	for i := 0; i < tr.tree.dim; i++ {
+		mu.Lo, mu.Hi = q.muLo[i][j], q.muHi[i][j]
+		sig.Lo, sig.Hi = q.sgLo[i][j], q.sgHi[i][j]
+		cs := comb.CombineInterval(sig, tr.q.Sigma[i])
+		hs, _, _ := gaussian.HullTerm(mu, cs, tr.q.Mean[i])
+		hLn += math.Log(hs)
+		fs, _ := gaussian.FloorTerm(mu, cs, tr.q.Mean[i])
+		fLn += math.Log(fs)
+	}
+	return hLn, fLn
+}
+
+// growFloats returns buf resized to n, reallocating only when the capacity
+// retained across pooled reuses is insufficient.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
 }
 
 // finish stamps the traversal's page accesses and candidate count into the

@@ -2,9 +2,11 @@ package core
 
 import (
 	"bytes"
+	"math"
 	"testing"
 
 	"github.com/gauss-tree/gausstree/internal/gaussian"
+	"github.com/gauss-tree/gausstree/internal/pagefile"
 	"github.com/gauss-tree/gausstree/internal/pfv"
 )
 
@@ -25,17 +27,29 @@ func FuzzNodeCodec(f *testing.F) {
 			Sigma: []gaussian.Interval{{Lo: 0.1, Hi: 0.5}, {Lo: 0.2, Hi: 0.9}},
 		}},
 	}}
-	f.Add(encodeNode(leaf, 2), uint8(2))
-	f.Add(encodeNode(inner, 2), uint8(2))
+	rowLeaf := &node{leaf: true, kind: kindLeaf, vectors: leaf.vectors}
+	f.Add(mustEncode(f, leaf, 2), uint8(2))
+	f.Add(mustEncode(f, rowLeaf, 2), uint8(2))
+	f.Add(mustEncode(f, inner, 2), uint8(2))
+	if q := buildQuantLeaf(LeafFloat32, pfv.ColumnsOf(leaf.vectors, 2), pagefile.DefaultPageSize); q != nil {
+		f.Add(mustEncode(f, &node{leaf: true, kind: q.kind, quant: q}, 2), uint8(2))
+	}
+	if q := buildQuantLeaf(LeafGrid8, pfv.ColumnsOf(leaf.vectors, 2), pagefile.DefaultPageSize); q != nil {
+		f.Add(mustEncode(f, &node{leaf: true, kind: q.kind, quant: q}, 2), uint8(2))
+	}
 	f.Add([]byte{}, uint8(1))
-	f.Add([]byte{3, 0, 0}, uint8(1)) // unknown node kind
+	f.Add([]byte{9, 0, 0}, uint8(1)) // unknown node kind
+	f.Add([]byte{3, 0, 0}, uint8(1)) // columnar leaf with truncated header
 	f.Fuzz(func(t *testing.T, page []byte, dimRaw uint8) {
 		dim := int(dimRaw%6) + 1
 		n, err := decodeNode(0, page, dim)
 		if err != nil {
 			return // rejecting is fine; panicking is not
 		}
-		enc := encodeNode(n, dim)
+		enc, err := encodeNode(n, dim, pagefile.DefaultPageSize)
+		if err != nil {
+			t.Fatalf("re-encode of decoded node failed: %v", err)
+		}
 		n2, err := decodeNode(0, enc, dim)
 		if err != nil {
 			t.Fatalf("re-decode of canonical encoding failed: %v", err)
@@ -44,8 +58,84 @@ func FuzzNodeCodec(f *testing.F) {
 			t.Fatalf("round trip changed node shape: leaf %v/%v, entries %d/%d",
 				n.leaf, n2.leaf, n.entryCount(), n2.entryCount())
 		}
-		if !bytes.Equal(encodeNode(n2, dim), enc) {
+		enc2, err := encodeNode(n2, dim, pagefile.DefaultPageSize)
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc2, enc) {
 			t.Fatal("canonical encoding is not a fixed point")
+		}
+	})
+}
+
+// FuzzQuantLeafWidening fuzzes the quantized leaf builders with adversarial
+// float64 parameters: whenever buildQuantLeaf accepts a batch, the derived
+// conservative intervals must contain every exact value (σ lower bounds
+// positive), and the quantized page must decode back to the identical
+// intervals. This is the no-false-dismissal invariant of the quantized
+// formats, checked from raw bit patterns rather than well-behaved data.
+func FuzzQuantLeafWidening(f *testing.F) {
+	f.Add(uint64(0x3ff0000000000000), uint64(0x3fb999999999999a), uint64(0xc000000000000000), uint64(0x3f50624dd2f1a9fc))
+	f.Add(uint64(0), uint64(1), uint64(0x7fefffffffffffff), uint64(0x0010000000000000))
+	f.Add(uint64(0x8000000000000001), uint64(0x0000000000000001), uint64(0x41dfffffffc00000), uint64(0x3e45798ee2308c3a))
+	f.Fuzz(func(t *testing.T, mu1, sg1, mu2, sg2 uint64) {
+		vals := [4]float64{
+			math.Float64frombits(mu1), math.Float64frombits(sg1),
+			math.Float64frombits(mu2), math.Float64frombits(sg2),
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return
+			}
+		}
+		mk := func(mu, sg float64) (pfv.Vector, bool) {
+			if !(sg > 0) || math.IsInf(sg, 0) {
+				return pfv.Vector{}, false
+			}
+			v, err := pfv.New(1, []float64{mu}, []float64{sg})
+			return v, err == nil
+		}
+		var vs []pfv.Vector
+		if v, ok := mk(vals[0], vals[1]); ok {
+			v.ID = 1
+			vs = append(vs, v)
+		}
+		if v, ok := mk(vals[2], vals[3]); ok {
+			v.ID = 2
+			vs = append(vs, v)
+		}
+		if len(vs) == 0 {
+			return
+		}
+		cols := pfv.ColumnsOf(vs, 1)
+		for _, format := range []LeafFormat{LeafFloat32, LeafGrid8} {
+			q := buildQuantLeaf(format, cols, pagefile.DefaultPageSize)
+			if q == nil {
+				continue // declining is always sound: the leaf stays exact
+			}
+			for j := range vs {
+				mu, sg := cols.Mean[0][j], cols.Sigma[0][j]
+				if !(q.muLo[0][j] <= mu && mu <= q.muHi[0][j]) {
+					t.Fatalf("%v: μ=%v outside [%v,%v]", format, mu, q.muLo[0][j], q.muHi[0][j])
+				}
+				if !(q.sgLo[0][j] <= sg && sg <= q.sgHi[0][j]) || !(q.sgLo[0][j] > 0) {
+					t.Fatalf("%v: σ=%v outside [%v,%v]", format, sg, q.sgLo[0][j], q.sgHi[0][j])
+				}
+			}
+			page, err := encodeNode(&node{leaf: true, kind: q.kind, quant: q}, 1, pagefile.DefaultPageSize)
+			if err != nil {
+				t.Fatalf("%v: encode: %v", format, err)
+			}
+			dec, err := decodeNode(0, page, 1)
+			if err != nil {
+				t.Fatalf("%v: decode: %v", format, err)
+			}
+			for j := range vs {
+				if dec.quant.muLo[0][j] != q.muLo[0][j] || dec.quant.muHi[0][j] != q.muHi[0][j] ||
+					dec.quant.sgLo[0][j] != q.sgLo[0][j] || dec.quant.sgHi[0][j] != q.sgHi[0][j] {
+					t.Fatalf("%v: decoded intervals differ at %d", format, j)
+				}
+			}
 		}
 	})
 }

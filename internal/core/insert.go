@@ -55,6 +55,9 @@ func (t *Tree) insert(v pfv.Vector) error {
 		return err
 	}
 	leaf := path[len(path)-1].node
+	if err := t.materializeLeaf(leaf); err != nil {
+		return err
+	}
 	leaf.vectors = append(leaf.vectors, v)
 	t.count++
 
@@ -254,10 +257,14 @@ func (t *Tree) probeLeafCost(page pagefile.PageID, v pfv.Vector) (enl, cost floa
 		return 0, 0, err
 	}
 	if n.leaf {
-		if len(n.vectors) == 0 {
+		vs, err := t.leafExactVectors(n)
+		if err != nil {
+			return 0, 0, err
+		}
+		if len(vs) == 0 {
 			return 0, math.Inf(-1), nil
 		}
-		box := n.computeBox(t.dim)
+		box := BoxOfVectors(vs)
 		c := t.boxCost(box)
 		return t.boxCostWith(box, v) - c, c, nil
 	}

@@ -17,13 +17,19 @@ import (
 // was built with, so the configuration travels with the file rather than
 // with the caller.
 
-// treeMetaVersion versions the core layer's meta payload.
-const treeMetaVersion = 1
+// treeMetaVersion versions the core layer's meta payload. Version 2 appends
+// the leaf storage format; version 1 records are still decoded (their trees
+// read as LeafExact — v1 files predate quantized leaves, and their row-major
+// pages are decoded by kind regardless).
+const treeMetaVersion = 2
 
-// treeMetaLen is the encoded size: version (1) + root (4) + dim (4) +
-// height (4) + count (8) + split (1) + insert (1) + probe fanout (2) +
-// combiner (1).
-const treeMetaLen = 26
+// treeMetaLenV1 is the version-1 encoded size: version (1) + root (4) +
+// dim (4) + height (4) + count (8) + split (1) + insert (1) +
+// probe fanout (2) + combiner (1).
+const treeMetaLenV1 = 26
+
+// treeMetaLen is the version-2 encoded size: v1 + leaf format (1).
+const treeMetaLen = 27
 
 // ErrNoIndex is returned by Open when the page store holds no committed
 // index.
@@ -39,15 +45,23 @@ func (t *Tree) encodeMeta() []byte {
 	buf = append(buf, byte(t.cfg.Split), byte(t.cfg.Insert))
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(t.cfg.ProbeFanout))
 	buf = append(buf, byte(t.cfg.Combiner))
+	buf = append(buf, byte(t.cfg.LeafFormat))
 	return buf
 }
 
 func decodeTreeMeta(buf []byte) (meta Meta, cfg Config, err error) {
-	if len(buf) < treeMetaLen {
-		return Meta{}, Config{}, fmt.Errorf("core: tree meta truncated (%d bytes, want %d)", len(buf), treeMetaLen)
+	if len(buf) < treeMetaLenV1 {
+		return Meta{}, Config{}, fmt.Errorf("core: tree meta truncated (%d bytes, want %d)", len(buf), treeMetaLenV1)
 	}
-	if buf[0] != treeMetaVersion {
-		return Meta{}, Config{}, fmt.Errorf("core: unsupported tree meta version %d", buf[0])
+	version := buf[0]
+	switch {
+	case version == 1:
+	case version == treeMetaVersion:
+		if len(buf) < treeMetaLen {
+			return Meta{}, Config{}, fmt.Errorf("core: tree meta truncated (%d bytes, want %d)", len(buf), treeMetaLen)
+		}
+	default:
+		return Meta{}, Config{}, fmt.Errorf("core: unsupported tree meta version %d", version)
 	}
 	meta = Meta{
 		Root:   pagefile.PageID(binary.LittleEndian.Uint32(buf[1:])),
@@ -60,6 +74,9 @@ func decodeTreeMeta(buf []byte) (meta Meta, cfg Config, err error) {
 		Insert:      InsertObjective(buf[22]),
 		ProbeFanout: int(binary.LittleEndian.Uint16(buf[23:])),
 		Combiner:    gaussian.Combiner(buf[25]),
+	}
+	if version >= 2 {
+		cfg.LeafFormat = LeafFormat(buf[26])
 	}
 	switch {
 	case meta.Dim <= 0:
@@ -76,6 +93,8 @@ func decodeTreeMeta(buf []byte) (meta Meta, cfg Config, err error) {
 		err = fmt.Errorf("core: tree meta has unknown combiner %d", cfg.Combiner)
 	case cfg.ProbeFanout <= 0:
 		err = fmt.Errorf("core: tree meta has probe fanout %d", cfg.ProbeFanout)
+	case cfg.LeafFormat > LeafLegacyRow:
+		err = fmt.Errorf("core: tree meta has unknown leaf format %d", cfg.LeafFormat)
 	}
 	if err != nil {
 		return Meta{}, Config{}, err

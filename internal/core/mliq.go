@@ -68,6 +68,12 @@ func (t *Tree) KMLIQRanked(ctx context.Context, q pfv.Vector, k int) ([]query.Re
 	tr := t.newTraversal(ctx, q, false, func(v pfv.Vector, ld float64) {
 		top.Offer(v, ld)
 	})
+	// Once the heap is full its bound is the monotone admission threshold:
+	// leaf vectors (and whole quantized leaves) that provably cannot beat it
+	// are skipped without exact scoring.
+	bound := top.Bound
+	tr.screenBound = bound
+	tr.leafThreshold = bound
 	done := func() bool {
 		bound, ok := top.Bound()
 		if !ok {
@@ -118,6 +124,12 @@ func (t *Tree) KMLIQ(ctx context.Context, q pfv.Vector, k int, accuracy float64)
 	tr := t.newTraversal(ctx, q, true, func(v pfv.Vector, ld float64) {
 		top.Offer(v, ld)
 	})
+	// Quantized leaves whose best certified hull cannot beat the full heap's
+	// bound keep their exact sidecars unread; their [floor, hull] sums join
+	// the permanent denominator residue instead (see expandQuantLeaf). No
+	// screenBound here: the denominator needs every explored leaf's exact
+	// densities.
+	tr.leafThreshold = top.Bound
 	if err := tr.run(func() bool { return t.mliqDone(top, tr.active, &tr.denom, accuracy) }); err != nil {
 		st := tr.finish(top.Len())
 		tr.release()
@@ -158,9 +170,17 @@ func (t *Tree) mliqDone(top *pqueue.TopK[pfv.Vector], active *pqueue.Queue[activ
 	if accuracy <= 0 {
 		return true
 	}
+	// The denominator bounds are identical for every candidate, so their
+	// log-space folds are hoisted out of the per-item loop; the per-item body
+	// reproduces probInterval exactly.
 	tight := true
+	logLow, logHigh := denom.logLow(), denom.logHigh()
 	top.Items(func(_ pfv.Vector, ld float64) {
-		lo, hi := denom.probInterval(ld)
+		lo := clamp01(math.Exp(ld - logHigh))
+		hi := clamp01(math.Exp(ld - logLow))
+		if hi < lo {
+			lo, hi = hi, lo
+		}
 		if hi-lo > accuracy {
 			tight = false
 		}

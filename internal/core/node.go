@@ -12,12 +12,54 @@ import (
 
 // Node kinds in the on-page encoding.
 const (
+	// kindLeaf is the v1 row-major leaf encoding. It is still decoded for
+	// backward compatibility (and still writable via LeafLegacyRow, so the
+	// compatibility path stays testable).
 	kindLeaf  = 1
 	kindInner = 2
+	// kindLeafCol is the columnar leaf: object ids, then one contiguous
+	// float64 array per dimension for means and one for sigmas, then —
+	// when the page has room — the precomputed per-vector −Σ ln σᵢ terms
+	// (flagNegLnSigma). The batch density evaluator runs directly over the
+	// decoded arrays.
+	kindLeafCol = 3
+	// kindLeafF32 stores the columnar payload quantized to float32;
+	// kindLeafGrid quantized to 8-bit cells of a per-leaf per-dimension
+	// uniform grid (VA-file style). Both carry the page id of an exact
+	// columnar sidecar holding the full-precision payload.
+	kindLeafF32  = 4
+	kindLeafGrid = 5
+	// kindSidecar is the exact sidecar page of a quantized leaf. It uses
+	// the kindLeafCol layout; the distinct kind keeps tree walkers and the
+	// fuzzer from mistaking a sidecar for a directly linked leaf.
+	kindSidecar = 6
 )
 
-// nodeHeaderSize is kind (1 byte) + entry count (2 bytes).
+// nodeHeaderSize is kind (1) + entry count (2), the v1 header.
 const nodeHeaderSize = 3
+
+// colHeaderSize is kind (1) + entry count (2) + flags (1).
+const colHeaderSize = 4
+
+// quantHeaderSize is colHeaderSize + the sidecar page id (4).
+const quantHeaderSize = 8
+
+// gridParamSize is the per-dimension descriptor of kindLeafGrid: the μ and
+// σ grid ranges (4 float64).
+const gridParamSize = 32
+
+// flagNegLnSigma marks a columnar page that stores the precomputed
+// −Σ ln σᵢ terms; decoders recompute them (in the same canonical order, so
+// bit-identically) when a full page has no room for them.
+const flagNegLnSigma = 1
+
+// gridCells is the number of quantization cells per dimension of
+// kindLeafGrid: one byte per stored value.
+const gridCells = 256
+
+// maxNodeEntries is the largest entry count the u16 page header encodes.
+// encodeNode refuses larger nodes instead of silently truncating the count.
+const maxNodeEntries = math.MaxUint16
 
 // childEntry is one routing entry of an inner node: the child page, the
 // number of probabilistic feature vectors stored in the child's subtree
@@ -36,26 +78,278 @@ type childEntry struct {
 }
 
 // node is the in-memory form of one Gauss-tree page.
+//
+// Exact leaves carry the row-major vectors plus the derived columnar view
+// (cols) the batch evaluator uses; both describe the same payload. Quantized
+// leaves as decoded from disk carry only quant (the widened parameter
+// intervals plus the raw quantized payload); their exact vectors live on the
+// sidecar page and are materialized on demand (Tree.materializeLeaf) before
+// in-place mutation, after which vectors is authoritative until the next
+// persist rebuilds quant.
 type node struct {
-	id       pagefile.PageID
-	leaf     bool
-	vectors  []pfv.Vector // leaf payload
+	id   pagefile.PageID
+	leaf bool
+	// kind records the node's on-page encoding; 0 on nodes that have not
+	// been persisted yet (the write path stamps it from the tree's leaf
+	// format).
+	kind     byte
+	vectors  []pfv.Vector // leaf payload (row-major)
+	cols     *pfv.Columns // leaf payload (columnar view), exact leaves only
+	quant    *quantLeaf   // quantized leaf payload
 	children []childEntry // inner payload
+}
+
+// quantGrid is the per-dimension descriptor of a grid-quantized leaf: the
+// value ranges the 8-bit cells subdivide uniformly.
+type quantGrid struct {
+	muMin, muMax, sgMin, sgMax float64
+}
+
+// quantLeaf is the decoded form of a quantized leaf page: the raw quantized
+// payload (kept for canonical re-encoding) plus the conservative parameter
+// intervals derived from it. The widening invariant the §5.2.2 certification
+// relies on: the exact μᵢⱼ and σᵢⱼ stored on the sidecar page always lie
+// inside [muLo,muHi] and [sgLo,sgHi] (σ intervals clamped positive). The
+// encoder verifies containment value-by-value at quantization time and falls
+// back to the exact encoding for the whole leaf if any value cannot be
+// covered.
+type quantLeaf struct {
+	kind    byte
+	sidecar pagefile.PageID
+	ids     []uint64
+
+	f32Mean, f32Sigma   [][]float32 // kindLeafF32 raw payload, dimension-major
+	grids               []quantGrid // kindLeafGrid per-dimension grids
+	cellMean, cellSigma [][]uint8   // kindLeafGrid raw payload, dimension-major
+
+	// Derived conservative intervals, dimension-major ([i][j] like
+	// pfv.Columns).
+	muLo, muHi, sgLo, sgHi [][]float64
+}
+
+func (q *quantLeaf) len() int { return len(q.ids) }
+
+// f32Interval returns the conservative parameter interval of a float32-
+// quantized value: one float32 ULP in each direction. It is a function of
+// the stored float32 alone, so the encoder's containment check and the
+// decoder's reconstruction agree exactly. σ intervals are clamped positive
+// so downstream hull/floor bounds stay defined.
+func f32Interval(f float32, sigma bool) (lo, hi float64) {
+	lo = float64(math.Nextafter32(f, float32(math.Inf(-1))))
+	hi = float64(math.Nextafter32(f, float32(math.Inf(1))))
+	if sigma && lo < math.SmallestNonzeroFloat64 {
+		lo = math.SmallestNonzeroFloat64
+	}
+	return lo, hi
+}
+
+// gridCell maps a value to its cell of the uniform [min,max] grid.
+func gridCell(min, max, x float64) uint8 {
+	step := (max - min) / gridCells
+	if !(step > 0) {
+		return 0
+	}
+	c := int((x - min) / step)
+	if c < 0 {
+		c = 0
+	}
+	if c > gridCells-1 {
+		c = gridCells - 1
+	}
+	return uint8(c)
+}
+
+// gridInterval returns the conservative interval of cell c of the uniform
+// [min,max] grid, widened one float64 ULP outward so values on a cell
+// boundary lie inside regardless of how the cell arithmetic rounded. The
+// top cell is additionally stretched to cover max itself (step rounding can
+// make min+256·step fall short of max). Like f32Interval it is a function
+// of the stored bytes alone.
+func gridInterval(min, max float64, c uint8, sigma bool) (lo, hi float64) {
+	step := (max - min) / gridCells
+	base := min + float64(c)*step
+	lo = math.Nextafter(base, math.Inf(-1))
+	hi = math.Nextafter(base+step, math.Inf(1))
+	if c == gridCells-1 {
+		if top := math.Nextafter(max, math.Inf(1)); !(hi >= top) {
+			hi = top
+		}
+	}
+	if sigma && lo < math.SmallestNonzeroFloat64 {
+		lo = math.SmallestNonzeroFloat64
+	}
+	return lo, hi
+}
+
+// gridFit returns a cell whose conservative interval contains x, probing the
+// arithmetic cell and its neighbors (floating-point division can land a
+// boundary value one cell off). ok=false means no cell covers x and the
+// leaf must fall back to the exact encoding.
+func gridFit(min, max, x float64, sigma bool) (uint8, bool) {
+	c := int(gridCell(min, max, x))
+	for _, cand := range [3]int{c, c - 1, c + 1} {
+		if cand < 0 || cand > gridCells-1 {
+			continue
+		}
+		lo, hi := gridInterval(min, max, uint8(cand), sigma)
+		if lo <= x && x <= hi {
+			return uint8(cand), true
+		}
+	}
+	return 0, false
+}
+
+// deriveIntervals (re)builds the conservative parameter intervals from the
+// raw quantized payload. Both the encoder (after quantizing) and the decoder
+// (after parsing) funnel through this, so the intervals a query sees are
+// exactly the intervals the encoder verified containment for.
+func (q *quantLeaf) deriveIntervals(dim int) {
+	n := q.len()
+	q.muLo = make([][]float64, dim)
+	q.muHi = make([][]float64, dim)
+	q.sgLo = make([][]float64, dim)
+	q.sgHi = make([][]float64, dim)
+	for i := 0; i < dim; i++ {
+		muLo := make([]float64, n)
+		muHi := make([]float64, n)
+		sgLo := make([]float64, n)
+		sgHi := make([]float64, n)
+		switch q.kind {
+		case kindLeafF32:
+			fm, fs := q.f32Mean[i], q.f32Sigma[i]
+			for j := 0; j < n; j++ {
+				muLo[j], muHi[j] = f32Interval(fm[j], false)
+				sgLo[j], sgHi[j] = f32Interval(fs[j], true)
+			}
+		case kindLeafGrid:
+			g := q.grids[i]
+			cm, cs := q.cellMean[i], q.cellSigma[i]
+			for j := 0; j < n; j++ {
+				muLo[j], muHi[j] = gridInterval(g.muMin, g.muMax, cm[j], false)
+				sgLo[j], sgHi[j] = gridInterval(g.sgMin, g.sgMax, cs[j], true)
+			}
+		}
+		q.muLo[i], q.muHi[i] = muLo, muHi
+		q.sgLo[i], q.sgHi[i] = sgLo, sgHi
+	}
+}
+
+// buildQuantLeaf quantizes a leaf batch under the given format, verifying
+// for every value that its widened interval contains the exact value. It
+// returns nil when any value cannot be covered or the quantized page would
+// not fit — the caller then keeps the exact columnar encoding for this leaf,
+// so quantization is always sound, never forced.
+func buildQuantLeaf(format LeafFormat, c *pfv.Columns, pageSize int) *quantLeaf {
+	n, dim := c.Len(), c.Dim()
+	if n == 0 {
+		return nil
+	}
+	q := &quantLeaf{sidecar: pagefile.NilPage, ids: c.IDs}
+	switch format {
+	case LeafFloat32:
+		q.kind = kindLeafF32
+		if quantHeaderSize+n*8+2*dim*n*4 > pageSize {
+			return nil
+		}
+		q.f32Mean = make([][]float32, dim)
+		q.f32Sigma = make([][]float32, dim)
+		for i := 0; i < dim; i++ {
+			q.f32Mean[i] = make([]float32, n)
+			q.f32Sigma[i] = make([]float32, n)
+			for j := 0; j < n; j++ {
+				q.f32Mean[i][j] = float32(c.Mean[i][j])
+				q.f32Sigma[i][j] = float32(c.Sigma[i][j])
+			}
+		}
+	case LeafGrid8:
+		q.kind = kindLeafGrid
+		if quantHeaderSize+dim*gridParamSize+n*8+2*dim*n > pageSize {
+			return nil
+		}
+		q.grids = make([]quantGrid, dim)
+		q.cellMean = make([][]uint8, dim)
+		q.cellSigma = make([][]uint8, dim)
+		for i := 0; i < dim; i++ {
+			g := quantGrid{
+				muMin: minOf(c.Mean[i]), muMax: maxOf(c.Mean[i]),
+				sgMin: c.SigmaMin[i], sgMax: c.SigmaMax[i],
+			}
+			q.grids[i] = g
+			cm := make([]uint8, n)
+			cs := make([]uint8, n)
+			for j := 0; j < n; j++ {
+				var ok bool
+				if cm[j], ok = gridFit(g.muMin, g.muMax, c.Mean[i][j], false); !ok {
+					return nil
+				}
+				if cs[j], ok = gridFit(g.sgMin, g.sgMax, c.Sigma[i][j], true); !ok {
+					return nil
+				}
+			}
+			q.cellMean[i], q.cellSigma[i] = cm, cs
+		}
+	default:
+		return nil
+	}
+	q.deriveIntervals(dim)
+	for i := 0; i < dim; i++ {
+		for j := 0; j < n; j++ {
+			if !(q.muLo[i][j] <= c.Mean[i][j] && c.Mean[i][j] <= q.muHi[i][j]) {
+				return nil
+			}
+			if !(q.sgLo[i][j] <= c.Sigma[i][j] && c.Sigma[i][j] <= q.sgHi[i][j]) {
+				return nil
+			}
+		}
+	}
+	return q
+}
+
+func minOf(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxOf(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
 }
 
 // entryCount returns the number of entries regardless of node kind.
 func (n *node) entryCount() int {
 	if n.leaf {
+		if n.vectors == nil && n.quant != nil {
+			return n.quant.len()
+		}
 		return len(n.vectors)
 	}
 	return len(n.children)
 }
 
-// refreshDerived recomputes the node's derived per-child data (logCount)
-// from its authoritative fields. Mutation paths edit counts in place and
-// then funnel through Tree.cacheNode, which calls this — so every node the
-// traversal can observe carries fresh derived values.
-func (n *node) refreshDerived() {
+// refreshDerived recomputes the node's derived data from its authoritative
+// fields: per-child log subtree counts for inner nodes, and the columnar
+// view for exact leaves that do not carry one yet (legacy-row decodes).
+// Mutation paths edit nodes in place and then funnel through Tree.cacheNode,
+// which calls this — the persist path rebuilds leaf columns unconditionally
+// beforehand, so every node the traversal can observe carries fresh derived
+// values.
+func (n *node) refreshDerived(dim int) {
+	if n.leaf {
+		if n.quant == nil && n.cols == nil {
+			n.cols = pfv.ColumnsOf(n.vectors, dim)
+		}
+		return
+	}
 	for i := range n.children {
 		n.children[i].logCount = math.Log(float64(n.children[i].count))
 	}
@@ -64,7 +358,7 @@ func (n *node) refreshDerived() {
 // subtreeCount returns the number of pfv stored in the node's subtree.
 func (n *node) subtreeCount() int {
 	if n.leaf {
-		return len(n.vectors)
+		return n.entryCount()
 	}
 	total := 0
 	for _, c := range n.children {
@@ -75,8 +369,15 @@ func (n *node) subtreeCount() int {
 
 // computeBox returns the minimum bounding parameter box of the node's
 // entries. Empty nodes (only the root may be empty) return an inverted box.
+// Quantized leaves must be materialized first: routing boxes are always
+// built from exact parameters, never from widened intervals, so every leaf
+// format produces identical inner-node geometry (and identical traversal
+// order).
 func (n *node) computeBox(dim int) ParamBox {
 	if n.leaf {
+		if n.vectors == nil && n.quant != nil {
+			panic("core: computeBox on a quantized leaf without materialized vectors")
+		}
 		if len(n.vectors) == 0 {
 			return NewParamBox(dim)
 		}
@@ -92,28 +393,55 @@ func (n *node) computeBox(dim int) ParamBox {
 	return b
 }
 
-// leafEntrySize returns the encoded size of one leaf entry.
+// leafEntrySize returns the encoded size of one exact leaf entry (row or
+// columnar: both store id + 2d float64).
 func leafEntrySize(dim int) int { return pfv.EncodedSize(dim) }
 
 // innerEntrySize returns the encoded size of one inner entry: child page id
 // (4) + subtree count (4) + 4 float64 bounds per dimension.
 func innerEntrySize(dim int) int { return 8 + 32*dim }
 
-// encodeNode serializes a node into a page image.
-func encodeNode(n *node, dim int) []byte {
-	if n.leaf {
-		buf := make([]byte, nodeHeaderSize, nodeHeaderSize+len(n.vectors)*leafEntrySize(dim))
-		buf[0] = kindLeaf
-		binary.LittleEndian.PutUint16(buf[1:], uint16(len(n.vectors)))
-		for _, v := range n.vectors {
-			buf = pfv.AppendBinary(buf, v)
+// encodeNode serializes a node into a page image, dispatching on the node's
+// stamped kind (the write path sets it from the tree's leaf format; 0
+// defaults to the exact columnar encoding). It returns an error — instead of
+// silently truncating the stored counts — when an entry or subtree count
+// does not fit its on-page field.
+func encodeNode(n *node, dim, pageSize int) ([]byte, error) {
+	if !n.leaf {
+		return encodeInnerNode(n, dim)
+	}
+	switch n.kind {
+	case kindLeaf:
+		return encodeRowLeaf(n, dim)
+	case kindLeafF32, kindLeafGrid:
+		if n.quant == nil {
+			return nil, fmt.Errorf("core: encodeNode: quantized leaf %d has no quantized payload", n.id)
 		}
-		return buf
+		return encodeQuantLeaf(n.quant, dim)
+	default: // 0 (unstamped), kindLeafCol, kindSidecar
+		kind := byte(kindLeafCol)
+		if n.kind == kindSidecar {
+			kind = kindSidecar
+		}
+		cols := n.cols
+		if cols == nil {
+			cols = pfv.ColumnsOf(n.vectors, dim)
+		}
+		return encodeColumnarLeaf(cols, kind, pageSize)
+	}
+}
+
+func encodeInnerNode(n *node, dim int) ([]byte, error) {
+	if len(n.children) > maxNodeEntries {
+		return nil, fmt.Errorf("core: node %d has %d entries, limit %d", n.id, len(n.children), maxNodeEntries)
 	}
 	buf := make([]byte, nodeHeaderSize, nodeHeaderSize+len(n.children)*innerEntrySize(dim))
 	buf[0] = kindInner
 	binary.LittleEndian.PutUint16(buf[1:], uint16(len(n.children)))
 	for _, c := range n.children {
+		if c.count < 0 || int64(c.count) > math.MaxUint32 {
+			return nil, fmt.Errorf("core: node %d child %d subtree count %d does not fit uint32", n.id, c.page, c.count)
+		}
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(c.page))
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(c.count))
 		for i := 0; i < dim; i++ {
@@ -123,7 +451,118 @@ func encodeNode(n *node, dim int) []byte {
 			buf = appendFloat(buf, c.box.Sigma[i].Hi)
 		}
 	}
-	return buf
+	return buf, nil
+}
+
+func encodeRowLeaf(n *node, dim int) ([]byte, error) {
+	if len(n.vectors) > maxNodeEntries {
+		return nil, fmt.Errorf("core: node %d has %d entries, limit %d", n.id, len(n.vectors), maxNodeEntries)
+	}
+	buf := make([]byte, nodeHeaderSize, nodeHeaderSize+len(n.vectors)*leafEntrySize(dim))
+	buf[0] = kindLeaf
+	binary.LittleEndian.PutUint16(buf[1:], uint16(len(n.vectors)))
+	for _, v := range n.vectors {
+		buf = pfv.AppendBinary(buf, v)
+	}
+	return buf, nil
+}
+
+// encodeColumnarLeaf writes the kindLeafCol/kindSidecar layout: ids, then
+// dimension-major mean columns, then sigma columns, then — iff the page has
+// room — the precomputed NegLnSigma terms (flagNegLnSigma). Pages without
+// the flag are decoded by recomputing the terms in the same canonical order,
+// so the two paths are bit-identical.
+func encodeColumnarLeaf(c *pfv.Columns, kind byte, pageSize int) ([]byte, error) {
+	n, dim := c.Len(), c.Dim()
+	if n > maxNodeEntries {
+		return nil, fmt.Errorf("core: columnar leaf has %d entries, limit %d", n, maxNodeEntries)
+	}
+	size := colHeaderSize + n*8 + 2*dim*n*8
+	withNegLn := size+n*8 <= pageSize
+	if withNegLn {
+		size += n * 8
+	}
+	buf := make([]byte, 0, size)
+	var flags byte
+	if withNegLn {
+		flags |= flagNegLnSigma
+	}
+	buf = append(buf, kind, 0, 0, flags)
+	binary.LittleEndian.PutUint16(buf[1:], uint16(n))
+	for _, id := range c.IDs {
+		buf = binary.LittleEndian.AppendUint64(buf, id)
+	}
+	for i := 0; i < dim; i++ {
+		for _, x := range c.Mean[i] {
+			buf = appendFloat(buf, x)
+		}
+	}
+	for i := 0; i < dim; i++ {
+		for _, x := range c.Sigma[i] {
+			buf = appendFloat(buf, x)
+		}
+	}
+	if withNegLn {
+		for _, x := range c.NegLnSigma {
+			buf = appendFloat(buf, x)
+		}
+	}
+	return buf, nil
+}
+
+// encodeQuantLeaf writes the kindLeafF32/kindLeafGrid layout: the quantized
+// header (with the sidecar page id), the grid descriptors (grid variant),
+// ids, then the dimension-major quantized mean and sigma columns.
+func encodeQuantLeaf(q *quantLeaf, dim int) ([]byte, error) {
+	n := q.len()
+	if n > maxNodeEntries {
+		return nil, fmt.Errorf("core: quantized leaf has %d entries, limit %d", n, maxNodeEntries)
+	}
+	size := quantHeaderSize + n*8
+	switch q.kind {
+	case kindLeafF32:
+		size += 2 * dim * n * 4
+	case kindLeafGrid:
+		size += dim*gridParamSize + 2*dim*n
+	default:
+		return nil, fmt.Errorf("core: encodeQuantLeaf: unknown kind %d", q.kind)
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, q.kind, 0, 0, 0)
+	binary.LittleEndian.PutUint16(buf[1:], uint16(n))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(q.sidecar))
+	if q.kind == kindLeafGrid {
+		for i := 0; i < dim; i++ {
+			g := q.grids[i]
+			buf = appendFloat(buf, g.muMin)
+			buf = appendFloat(buf, g.muMax)
+			buf = appendFloat(buf, g.sgMin)
+			buf = appendFloat(buf, g.sgMax)
+		}
+	}
+	for _, id := range q.ids {
+		buf = binary.LittleEndian.AppendUint64(buf, id)
+	}
+	if q.kind == kindLeafF32 {
+		for i := 0; i < dim; i++ {
+			for _, f := range q.f32Mean[i] {
+				buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(f))
+			}
+		}
+		for i := 0; i < dim; i++ {
+			for _, f := range q.f32Sigma[i] {
+				buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(f))
+			}
+		}
+	} else {
+		for i := 0; i < dim; i++ {
+			buf = append(buf, q.cellMean[i]...)
+		}
+		for i := 0; i < dim; i++ {
+			buf = append(buf, q.cellSigma[i]...)
+		}
+	}
+	return buf, nil
 }
 
 // decodeNode parses a page image into a node.
@@ -133,7 +572,7 @@ func decodeNode(id pagefile.PageID, page []byte, dim int) (*node, error) {
 	}
 	kind := page[0]
 	count := int(binary.LittleEndian.Uint16(page[1:]))
-	n := &node{id: id}
+	n := &node{id: id, kind: kind}
 	switch kind {
 	case kindLeaf:
 		n.leaf = true
@@ -146,6 +585,16 @@ func decodeNode(id pagefile.PageID, page []byte, dim int) (*node, error) {
 			}
 			n.vectors = append(n.vectors, v)
 			off += used
+		}
+	case kindLeafCol, kindSidecar:
+		n.leaf = true
+		if err := decodeColumnarLeaf(n, page, dim, count); err != nil {
+			return nil, err
+		}
+	case kindLeafF32, kindLeafGrid:
+		n.leaf = true
+		if err := decodeQuantLeaf(n, page, dim, count); err != nil {
+			return nil, err
 		}
 	case kindInner:
 		n.children = make([]childEntry, 0, count)
@@ -180,6 +629,131 @@ func decodeNode(id pagefile.PageID, page []byte, dim int) (*node, error) {
 		return nil, fmt.Errorf("core: page %d has unknown node kind %d", id, kind)
 	}
 	return n, nil
+}
+
+func decodeColumnarLeaf(n *node, page []byte, dim, count int) error {
+	if len(page) < colHeaderSize {
+		return fmt.Errorf("core: page %d: truncated columnar header", n.id)
+	}
+	flags := page[3]
+	need := colHeaderSize + count*8 + 2*dim*count*8
+	if flags&flagNegLnSigma != 0 {
+		need += count * 8
+	}
+	if len(page) < need {
+		return fmt.Errorf("core: page %d: columnar leaf truncated (%d bytes, need %d)", n.id, len(page), need)
+	}
+	c := &pfv.Columns{
+		IDs:        make([]uint64, count),
+		Mean:       make([][]float64, dim),
+		Sigma:      make([][]float64, dim),
+		NegLnSigma: make([]float64, count),
+		SigmaMin:   make([]float64, dim),
+		SigmaMax:   make([]float64, dim),
+	}
+	off := colHeaderSize
+	for j := 0; j < count; j++ {
+		c.IDs[j] = binary.LittleEndian.Uint64(page[off:])
+		off += 8
+	}
+	for i := 0; i < dim; i++ {
+		col := make([]float64, count)
+		for j := 0; j < count; j++ {
+			col[j] = readFloat(page[off:])
+			off += 8
+		}
+		c.Mean[i] = col
+	}
+	for i := 0; i < dim; i++ {
+		col := make([]float64, count)
+		for j := 0; j < count; j++ {
+			col[j] = readFloat(page[off:])
+			off += 8
+		}
+		c.Sigma[i] = col
+	}
+	if flags&flagNegLnSigma != 0 {
+		for j := 0; j < count; j++ {
+			c.NegLnSigma[j] = readFloat(page[off:])
+			off += 8
+		}
+		c.FinishExtrema()
+	} else {
+		// No room on the page: recompute the terms in the canonical order,
+		// bit-identical to what the encoder would have stored.
+		c.Finish()
+	}
+	n.cols = c
+	n.vectors = c.Vectors()
+	return nil
+}
+
+func decodeQuantLeaf(n *node, page []byte, dim, count int) error {
+	need := quantHeaderSize + count*8
+	if n.kind == kindLeafF32 {
+		need += 2 * dim * count * 4
+	} else {
+		need += dim*gridParamSize + 2*dim*count
+	}
+	if len(page) < need {
+		return fmt.Errorf("core: page %d: quantized leaf truncated (%d bytes, need %d)", n.id, len(page), need)
+	}
+	q := &quantLeaf{
+		kind:    n.kind,
+		sidecar: pagefile.PageID(binary.LittleEndian.Uint32(page[4:])),
+		ids:     make([]uint64, count),
+	}
+	off := quantHeaderSize
+	if q.kind == kindLeafGrid {
+		q.grids = make([]quantGrid, dim)
+		for i := 0; i < dim; i++ {
+			q.grids[i] = quantGrid{
+				muMin: readFloat(page[off:]),
+				muMax: readFloat(page[off+8:]),
+				sgMin: readFloat(page[off+16:]),
+				sgMax: readFloat(page[off+24:]),
+			}
+			off += gridParamSize
+		}
+	}
+	for j := 0; j < count; j++ {
+		q.ids[j] = binary.LittleEndian.Uint64(page[off:])
+		off += 8
+	}
+	if q.kind == kindLeafF32 {
+		q.f32Mean = make([][]float32, dim)
+		q.f32Sigma = make([][]float32, dim)
+		for i := 0; i < dim; i++ {
+			col := make([]float32, count)
+			for j := 0; j < count; j++ {
+				col[j] = math.Float32frombits(binary.LittleEndian.Uint32(page[off:]))
+				off += 4
+			}
+			q.f32Mean[i] = col
+		}
+		for i := 0; i < dim; i++ {
+			col := make([]float32, count)
+			for j := 0; j < count; j++ {
+				col[j] = math.Float32frombits(binary.LittleEndian.Uint32(page[off:]))
+				off += 4
+			}
+			q.f32Sigma[i] = col
+		}
+	} else {
+		q.cellMean = make([][]uint8, dim)
+		q.cellSigma = make([][]uint8, dim)
+		for i := 0; i < dim; i++ {
+			q.cellMean[i] = append([]uint8(nil), page[off:off+count]...)
+			off += count
+		}
+		for i := 0; i < dim; i++ {
+			q.cellSigma[i] = append([]uint8(nil), page[off:off+count]...)
+			off += count
+		}
+	}
+	q.deriveIntervals(dim)
+	n.quant = q
+	return nil
 }
 
 func appendFloat(dst []byte, f float64) []byte {

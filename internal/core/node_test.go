@@ -10,6 +10,17 @@ import (
 	"github.com/gauss-tree/gausstree/internal/pfv"
 )
 
+// mustEncode encodes a node for tests that only exercise the codec round
+// trip, failing the test on encoding errors.
+func mustEncode(tb testing.TB, n *node, dim int) []byte {
+	tb.Helper()
+	page, err := encodeNode(n, dim, pagefile.DefaultPageSize)
+	if err != nil {
+		tb.Fatalf("encodeNode: %v", err)
+	}
+	return page
+}
+
 func randomVec(rng *rand.Rand, id uint64, dim int) pfv.Vector {
 	mean := make([]float64, dim)
 	sigma := make([]float64, dim)
@@ -27,7 +38,7 @@ func TestLeafNodeCodecRoundTrip(t *testing.T) {
 		for i := 0; i < 5; i++ {
 			n.vectors = append(n.vectors, randomVec(rng, uint64(i), dim))
 		}
-		page := encodeNode(n, dim)
+		page := mustEncode(t, n, dim)
 		got, err := decodeNode(7, page, dim)
 		if err != nil {
 			t.Fatalf("dim %d: %v", dim, err)
@@ -55,7 +66,7 @@ func TestInnerNodeCodecRoundTrip(t *testing.T) {
 			box:   BoxOfVectors(vs),
 		})
 	}
-	page := encodeNode(n, dim)
+	page := mustEncode(t, n, dim)
 	got, err := decodeNode(3, page, dim)
 	if err != nil {
 		t.Fatal(err)
@@ -91,7 +102,7 @@ func TestDecodeNodeErrors(t *testing.T) {
 
 func TestEmptyLeafCodec(t *testing.T) {
 	n := &node{id: 9, leaf: true}
-	got, err := decodeNode(9, encodeNode(n, 5), 5)
+	got, err := decodeNode(9, mustEncode(t, n, 5), 5)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ import (
 
 	"github.com/gauss-tree/gausstree/internal/gaussian"
 	"github.com/gauss-tree/gausstree/internal/pagefile"
+	"github.com/gauss-tree/gausstree/internal/pfv"
 )
 
 // SplitObjective selects the cost function minimized by the median-split
@@ -81,6 +82,11 @@ type Config struct {
 	// explores per node when several children contain the new vector
 	// (paper: "we follow all paths"). 0 means the default of 3.
 	ProbeFanout int
+	// LeafFormat selects the on-page leaf encoding (default: exact
+	// columnar float64). See LeafFormat for the accuracy guarantees of
+	// the quantized variants. Any format reads any other format's pages;
+	// the setting governs what (re)writes produce.
+	LeafFormat LeafFormat
 }
 
 const defaultProbeFanout = 3
@@ -186,7 +192,14 @@ func prepare(mgr *pagefile.Manager, dim int, cfg Config) (*Tree, error) {
 	if cfg.ProbeFanout <= 0 {
 		cfg.ProbeFanout = defaultProbeFanout
 	}
-	capLeaf := (mgr.PageSize() - nodeHeaderSize) / leafEntrySize(dim)
+	if cfg.LeafFormat > LeafLegacyRow {
+		return nil, fmt.Errorf("core: unknown leaf format %d", cfg.LeafFormat)
+	}
+	// The columnar leaf header (4 bytes) is the largest fixed leaf
+	// overhead across formats; capacity is computed against it so every
+	// format's page fits. (Quantized pages are strictly smaller than exact
+	// ones, and the row header is a byte shorter.)
+	capLeaf := (mgr.PageSize() - colHeaderSize) / leafEntrySize(dim)
 	capInner := (mgr.PageSize() - nodeHeaderSize) / innerEntrySize(dim)
 	if capLeaf < 2 || capInner < 2 {
 		return nil, fmt.Errorf("core: page size %d too small for dimension %d (leaf capacity %d, inner capacity %d)",
@@ -246,6 +259,9 @@ func (t *Tree) Height() int { return t.height }
 // Config returns the tree's configuration.
 func (t *Tree) Config() Config { return t.cfg }
 
+// LeafFormat returns the tree's leaf storage format.
+func (t *Tree) LeafFormat() LeafFormat { return t.cfg.LeafFormat }
+
 // LeafCapacity returns the maximum number of pfv per leaf page.
 func (t *Tree) LeafCapacity() int { return t.capLeaf }
 
@@ -285,11 +301,7 @@ func (t *Tree) readNodeCounted(id pagefile.PageID, c *pagefile.Counter) (*node, 
 // be used for pages that are not part of the last committed tree; committed
 // nodes are modified through rewriteNode.
 func (t *Tree) writeNode(n *node) error {
-	if err := t.mgr.Write(n.id, encodeNode(n, t.dim)); err != nil {
-		return err
-	}
-	t.cacheNode(n)
-	return nil
+	return t.persistNode(n)
 }
 
 // rewriteNode persists a modified node copy-on-write: the new content goes
@@ -297,34 +309,147 @@ func (t *Tree) writeNode(n *node) error {
 // deferred, becoming reusable only after the next meta commit. The last
 // committed tree therefore stays byte-for-byte intact on disk throughout
 // the mutation — a crash at any point recovers it. Callers must propagate
-// the id change into the parent's routing entry.
+// the id change into the parent's routing entry. A quantized leaf's
+// superseded sidecar page is released alongside its leaf page.
 func (t *Tree) rewriteNode(n *node) error {
 	old := n.id
+	oldSidecar := pagefile.NilPage
+	if n.leaf && n.quant != nil {
+		oldSidecar = n.quant.sidecar
+	}
 	id, err := t.mgr.Allocate()
 	if err != nil {
 		return err
 	}
 	n.id = id
-	if err := t.mgr.Write(id, encodeNode(n, t.dim)); err != nil {
+	if err := t.persistNode(n); err != nil {
 		return err
 	}
 	t.nodes.invalidate(old)
+	if err := t.mgr.FreeDeferred(old); err != nil {
+		return err
+	}
+	if oldSidecar != pagefile.NilPage {
+		t.nodes.invalidate(oldSidecar)
+		return t.mgr.FreeDeferred(oldSidecar)
+	}
+	return nil
+}
+
+// persistNode encodes and writes the node at its current id, routing leaves
+// through the tree's leaf format, then (re)caches the node.
+func (t *Tree) persistNode(n *node) error {
+	var buf []byte
+	var err error
+	if n.leaf {
+		buf, err = t.encodeLeaf(n)
+	} else {
+		n.kind = kindInner
+		buf, err = encodeNode(n, t.dim, t.mgr.PageSize())
+	}
+	if err != nil {
+		return err
+	}
+	if err := t.mgr.Write(n.id, buf); err != nil {
+		return err
+	}
 	t.cacheNode(n)
-	return t.mgr.FreeDeferred(old)
+	return nil
+}
+
+// encodeLeaf readies a leaf carrying authoritative exact vectors for
+// persistence under the tree's leaf format and returns the page image for
+// n.id: it rebuilds the columnar view, and for quantized formats writes a
+// fresh exact sidecar page and derives the quantized payload — falling back
+// to the exact columnar encoding when some value cannot be covered by a
+// conservative quantized interval (buildQuantLeaf), so lossy storage is
+// opportunistic, never forced.
+func (t *Tree) encodeLeaf(n *node) ([]byte, error) {
+	n.cols = pfv.ColumnsOf(n.vectors, t.dim)
+	n.quant = nil
+	format := t.cfg.LeafFormat
+	if format.Quantized() && len(n.vectors) == 0 {
+		format = LeafExact // an empty leaf (root) needs no sidecar
+	}
+	switch format {
+	case LeafLegacyRow:
+		n.kind = kindLeaf
+		return encodeRowLeaf(n, t.dim)
+	case LeafFloat32, LeafGrid8:
+		q := buildQuantLeaf(format, n.cols, t.mgr.PageSize())
+		if q == nil {
+			break // fall back to the exact columnar encoding
+		}
+		sideID, err := t.mgr.Allocate()
+		if err != nil {
+			return nil, err
+		}
+		sideBuf, err := encodeColumnarLeaf(n.cols, kindSidecar, t.mgr.PageSize())
+		if err != nil {
+			return nil, err
+		}
+		if err := t.mgr.Write(sideID, sideBuf); err != nil {
+			return nil, err
+		}
+		// Cache the sidecar node with its own copy of the vectors so later
+		// in-place leaf mutations can never alias its payload.
+		side := &node{id: sideID, leaf: true, kind: kindSidecar,
+			vectors: append([]pfv.Vector(nil), n.vectors...), cols: n.cols}
+		t.cacheNode(side)
+		q.sidecar = sideID
+		n.quant = q
+		n.kind = q.kind
+		return encodeQuantLeaf(q, t.dim)
+	}
+	n.kind = kindLeafCol
+	return encodeColumnarLeaf(n.cols, kindLeafCol, t.mgr.PageSize())
+}
+
+// leafExactVectors returns a leaf's exact vectors: the in-memory ones when
+// present, otherwise the quantized leaf's sidecar payload (charged as a
+// regular page access). The returned slice must not be mutated; mutation
+// paths use materializeLeaf.
+func (t *Tree) leafExactVectors(n *node) ([]pfv.Vector, error) {
+	if n.vectors != nil || n.quant == nil {
+		return n.vectors, nil
+	}
+	side, err := t.readNode(n.quant.sidecar)
+	if err != nil {
+		return nil, err
+	}
+	if !side.leaf {
+		return nil, fmt.Errorf("core: page %d referenced as sidecar is not a leaf", n.quant.sidecar)
+	}
+	return side.vectors, nil
+}
+
+// materializeLeaf loads a quantized leaf's exact vectors into the node ahead
+// of an in-place mutation, cloning the sidecar payload so edits never alias
+// the cached sidecar node. No-op for leaves that already carry vectors.
+func (t *Tree) materializeLeaf(n *node) error {
+	if n.vectors != nil || n.quant == nil {
+		return nil
+	}
+	vs, err := t.leafExactVectors(n)
+	if err != nil {
+		return err
+	}
+	n.vectors = append(make([]pfv.Vector, 0, len(vs)+1), vs...)
+	return nil
 }
 
 // cacheNode is the single choke point through which every node enters the
 // decoded-node cache (decode misses, writeNode, rewriteNode). It refreshes
-// the node's derived per-child data (precomputed log subtree counts) so the
-// traversal can rely on it unconditionally.
+// the node's derived data (precomputed log subtree counts, leaf columns) so
+// the traversal can rely on it unconditionally.
 func (t *Tree) cacheNode(n *node) {
-	n.refreshDerived()
+	n.refreshDerived(t.dim)
 	t.nodes.put(n.id, n)
 }
 
 // freeSubtree returns every page of the subtree rooted at id to the
-// allocator, deferred until the next meta commit (the pages belong to the
-// committed tree until then).
+// allocator (including quantized leaves' sidecar pages), deferred until the
+// next meta commit (the pages belong to the committed tree until then).
 func (t *Tree) freeSubtree(id pagefile.PageID) error {
 	n, err := t.readNode(id)
 	if err != nil {
@@ -335,6 +460,11 @@ func (t *Tree) freeSubtree(id pagefile.PageID) error {
 			if err := t.freeSubtree(c.page); err != nil {
 				return err
 			}
+		}
+	} else if n.quant != nil {
+		t.nodes.invalidate(n.quant.sidecar)
+		if err := t.mgr.FreeDeferred(n.quant.sidecar); err != nil {
+			return err
 		}
 	}
 	t.nodes.invalidate(id)

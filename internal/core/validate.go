@@ -39,13 +39,17 @@ func (t *Tree) CheckInvariants() error {
 			if depth+1 != t.height {
 				return 0, ParamBox{}, fmt.Errorf("core: leaf depth %d inconsistent with height %d", depth, t.height)
 			}
-			if !isRoot && (len(n.vectors) < t.minLeaf || len(n.vectors) > t.capLeaf) {
-				return 0, ParamBox{}, fmt.Errorf("core: leaf %d fill %d outside [%d,%d]", n.id, len(n.vectors), t.minLeaf, t.capLeaf)
+			vs, err := t.leafExactVectors(n)
+			if err != nil {
+				return 0, ParamBox{}, err
 			}
-			if isRoot && len(n.vectors) > t.capLeaf {
-				return 0, ParamBox{}, fmt.Errorf("core: root leaf overfull: %d > %d", len(n.vectors), t.capLeaf)
+			if !isRoot && (len(vs) < t.minLeaf || len(vs) > t.capLeaf) {
+				return 0, ParamBox{}, fmt.Errorf("core: leaf %d fill %d outside [%d,%d]", n.id, len(vs), t.minLeaf, t.capLeaf)
 			}
-			for _, v := range n.vectors {
+			if isRoot && len(vs) > t.capLeaf {
+				return 0, ParamBox{}, fmt.Errorf("core: root leaf overfull: %d > %d", len(vs), t.capLeaf)
+			}
+			for _, v := range vs {
 				if v.Dim() != t.dim {
 					return 0, ParamBox{}, fmt.Errorf("core: vector %d has dimension %d, tree %d", v.ID, v.Dim(), t.dim)
 				}
@@ -53,7 +57,14 @@ func (t *Tree) CheckInvariants() error {
 					return 0, ParamBox{}, fmt.Errorf("core: vector %d invalid: %w", v.ID, err)
 				}
 			}
-			return len(n.vectors), n.computeBox(t.dim), nil
+			if err := checkQuantLeaf(n, vs, t.dim); err != nil {
+				return 0, ParamBox{}, err
+			}
+			box := NewParamBox(t.dim)
+			if len(vs) > 0 {
+				box = BoxOfVectors(vs)
+			}
+			return len(vs), box, nil
 		}
 		if !isRoot && (len(n.children) < t.minInner || len(n.children) > t.capInner) {
 			return 0, ParamBox{}, fmt.Errorf("core: inner %d fill %d outside [%d,%d]", n.id, len(n.children), t.minInner, t.capInner)
@@ -100,6 +111,37 @@ func (t *Tree) CheckInvariants() error {
 	return nil
 }
 
+// checkQuantLeaf verifies the conservative-widening invariant of a
+// quantized leaf against its exact sidecar payload: ids line up and every
+// exact parameter lies inside its decoded interval (σ intervals positive).
+// This is what makes §5.2.2 certification and no-false-dismissal pruning on
+// quantized trees sound. No-op for exact leaves.
+func checkQuantLeaf(n *node, vs []pfv.Vector, dim int) error {
+	q := n.quant
+	if q == nil {
+		return nil
+	}
+	if q.len() != len(vs) {
+		return fmt.Errorf("core: quantized leaf %d holds %d entries, sidecar %d has %d", n.id, q.len(), q.sidecar, len(vs))
+	}
+	for j, v := range vs {
+		if q.ids[j] != v.ID {
+			return fmt.Errorf("core: quantized leaf %d entry %d id %d, sidecar id %d", n.id, j, q.ids[j], v.ID)
+		}
+		for i := 0; i < dim; i++ {
+			if !(q.muLo[i][j] <= v.Mean[i] && v.Mean[i] <= q.muHi[i][j]) {
+				return fmt.Errorf("core: quantized leaf %d entry %d dim %d: μ=%v outside widened [%v,%v]",
+					n.id, j, i, v.Mean[i], q.muLo[i][j], q.muHi[i][j])
+			}
+			if !(q.sgLo[i][j] > 0 && q.sgLo[i][j] <= v.Sigma[i] && v.Sigma[i] <= q.sgHi[i][j]) {
+				return fmt.Errorf("core: quantized leaf %d entry %d dim %d: σ=%v outside widened (0,∞)∩[%v,%v]",
+					n.id, j, i, v.Sigma[i], q.sgLo[i][j], q.sgHi[i][j])
+			}
+		}
+	}
+	return nil
+}
+
 // ForEach visits every stored vector in depth-first leaf order.
 func (t *Tree) ForEach(fn func(pfv.Vector) error) error {
 	var walk func(id pagefile.PageID) error
@@ -109,7 +151,11 @@ func (t *Tree) ForEach(fn func(pfv.Vector) error) error {
 			return err
 		}
 		if n.leaf {
-			for _, v := range n.vectors {
+			vs, err := t.leafExactVectors(n)
+			if err != nil {
+				return err
+			}
+			for _, v := range vs {
 				if err := fn(v); err != nil {
 					return err
 				}
@@ -147,8 +193,12 @@ func (t *Tree) WalkLeafBoxes(fn func(box ParamBox, count int)) error {
 			return err
 		}
 		if n.leaf {
-			if len(n.vectors) > 0 {
-				fn(n.computeBox(t.dim), len(n.vectors))
+			vs, err := t.leafExactVectors(n)
+			if err != nil {
+				return err
+			}
+			if len(vs) > 0 {
+				fn(BoxOfVectors(vs), len(vs))
 			}
 			return nil
 		}

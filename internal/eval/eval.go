@@ -47,6 +47,9 @@ type Setup struct {
 	// InsertBuild constructs the Gauss-tree by repeated insertion instead
 	// of bulk loading (slower, ~60%% leaf fill; kept for ablations).
 	InsertBuild bool
+	// LeafFormat selects the Gauss-tree's on-page leaf encoding (the
+	// comparison engines are unaffected). Default: core.LeafExact.
+	LeafFormat core.LeafFormat
 }
 
 func (s *Setup) fillDefaults() {
@@ -108,7 +111,7 @@ func Build(ds *dataset.Dataset, s Setup) (*Engines, error) {
 	if e.TreeMgr, err = s.newManager(); err != nil {
 		return nil, err
 	}
-	if e.Tree, err = core.New(e.TreeMgr, ds.Dim, core.Config{Combiner: s.Combiner, Split: s.Split}); err != nil {
+	if e.Tree, err = core.New(e.TreeMgr, ds.Dim, core.Config{Combiner: s.Combiner, Split: s.Split, LeafFormat: s.LeafFormat}); err != nil {
 		return nil, err
 	}
 	if s.InsertBuild {
@@ -273,7 +276,10 @@ type Fig7Cell struct {
 type Fig7Report struct {
 	Dataset string
 	Queries int
-	Cells   []Fig7Cell
+	// LeafFormat names the Gauss-tree's on-page leaf encoding ("exact",
+	// "float32", "grid8"); the comparison engines do not quantize.
+	LeafFormat string
+	Cells      []Fig7Cell
 }
 
 // queryKind identifies one of the three measured query types.
@@ -309,7 +315,7 @@ func Figure7(e *Engines, ds *dataset.Dataset, queries []dataset.Query) (*Fig7Rep
 		{"TIQ(P=0.2)", 0.2},
 	}
 	ctx := context.Background()
-	rep := &Fig7Report{Dataset: ds.Name, Queries: len(queries)}
+	rep := &Fig7Report{Dataset: ds.Name, Queries: len(queries), LeafFormat: e.Tree.LeafFormat().String()}
 	scanBase := map[string]Fig7Cell{}
 	for _, eng := range e.All() {
 		for _, kind := range kinds {

@@ -71,6 +71,70 @@ func LogFloor(mu, sigma Interval, x float64) float64 {
 	return math.Min(a, b)
 }
 
+// HullTerm decomposes the per-dimension log hull into logarithm-free parts:
+// ln ˆN(x) = −½·ln 2π − ln s − ½·z² − (sloped ? ½ : 0), where s is the
+// maximizing σ (or the μ-border distance in the sloped sectors (II)/(VI),
+// whose hull is 1/(√(2πe)·d)) and z the standardized residual. Multi-
+// dimensional hulls multiply the s factors across dimensions and take one
+// logarithm of the product instead of d per-dimension logarithms — the
+// product trick the hot traversal's node priorities rely on.
+func HullTerm(mu, sigma Interval, x float64) (s, z float64, sloped bool) {
+	switch {
+	case x < mu.Lo:
+		d := mu.Lo - x
+		switch {
+		case d > sigma.Hi: // sector (I)
+			return sigma.Hi, (x - mu.Lo) / sigma.Hi, false
+		case d > sigma.Lo: // sector (II): maximizing σ equals the distance
+			return d, 0, true
+		default: // sector (III)
+			return sigma.Lo, (x - mu.Lo) / sigma.Lo, false
+		}
+	case x <= mu.Hi: // sector (IV): some μ coincides with x
+		return sigma.Lo, 0, false
+	default:
+		d := x - mu.Hi
+		switch {
+		case d < sigma.Lo: // sector (V)
+			return sigma.Lo, (x - mu.Hi) / sigma.Lo, false
+		case d < sigma.Hi: // sector (VI)
+			return d, 0, true
+		default: // sector (VII)
+			return sigma.Hi, (x - mu.Hi) / sigma.Hi, false
+		}
+	}
+}
+
+// FloorTerm decomposes the per-dimension log floor the same way:
+// ln ˇN(x) = −½·ln 2π − ln s − ½·z². The minimizing corner sits on the
+// farther μ border; between the two σ corners the density is increasing in
+// σ below the residual distance and decreasing above it, so the corner is
+// determined without a logarithm whenever the whole σ interval lies on one
+// side of the distance, and by an explicit two-corner comparison otherwise.
+func FloorTerm(mu, sigma Interval, x float64) (s, z float64) {
+	m := mu.Lo
+	if x-mu.Lo < mu.Hi-x {
+		m = mu.Hi
+	}
+	d := x - m
+	if d < 0 {
+		d = -d
+	}
+	switch {
+	case sigma.Hi <= d: // density increasing in σ on the whole interval
+		return sigma.Lo, (x - m) / sigma.Lo
+	case sigma.Lo >= d: // density decreasing in σ on the whole interval
+		return sigma.Hi, (x - m) / sigma.Hi
+	default: // the in-σ maximum is interior; the minimum is one of the corners
+		za := (x - m) / sigma.Lo
+		zb := (x - m) / sigma.Hi
+		if -math.Log(sigma.Lo)-0.5*za*za <= -math.Log(sigma.Hi)-0.5*zb*zb {
+			return sigma.Lo, za
+		}
+		return sigma.Hi, zb
+	}
+}
+
 // HullIntegral returns ∫ ˆN_{μ̌,μ̂,σ̌,σ̂}(x) dx over the whole real line: the
 // access-probability surrogate minimized by the Gauss-tree split strategy.
 // Summing the seven sectors in closed form, the Gaussian tail sectors (I),

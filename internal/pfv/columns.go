@@ -1,0 +1,303 @@
+package pfv
+
+import (
+	"math"
+
+	"github.com/gauss-tree/gausstree/internal/gaussian"
+)
+
+// Columns is the columnar (structure-of-arrays) form of a batch of
+// probabilistic feature vectors, the in-memory shape of a columnar Gauss-tree
+// leaf: object ids plus one contiguous float64 slice per dimension for means
+// and sigmas, so batch density evaluation runs tight per-dimension loops over
+// adjacent memory instead of hopping between per-vector slices.
+//
+// Alongside the raw parameters, Columns carries two derived families the hot
+// query path uses:
+//
+//   - NegLnSigma[j] = −ln ∏ᵢ σᵢⱼ, the σ-product term of the Definition-1
+//     density; it upper-bounds the −ln ∏ᵢ(σᵢⱼ⊕σq,ᵢ) term of any joint
+//     density (combining with a query uncertainty only grows every factor,
+//     and both the running product and math.Log are monotone, so the
+//     domination survives floating-point rounding), making it a per-vector
+//     screening ingredient that costs no logarithm at query time. The
+//     columnar leaf format precomputes it at encode time.
+//   - SigmaMin/SigmaMax[i], the per-dimension σ extrema of the batch, from
+//     which a traversal derives batch-wide combined-σ bounds with d
+//     logarithms per leaf instead of d per vector.
+//
+// Columns are immutable once built (they back shared decoded-node cache
+// entries); build them with ColumnsOf or AppendVector + Finish.
+type Columns struct {
+	IDs []uint64
+	// Mean[i][j] and Sigma[i][j] hold μᵢ and σᵢ of vector j (dimension-major).
+	Mean  [][]float64
+	Sigma [][]float64
+	// NegLnSigma[j] = −ln ∏ᵢ Sigma[i][j] (with a log-sum fallback when the
+	// product leaves the float64 range).
+	NegLnSigma []float64
+	// SigmaMin[i] and SigmaMax[i] are the extrema of Sigma[i][·]; for an
+	// empty batch they are +Inf/−Inf respectively.
+	SigmaMin, SigmaMax []float64
+}
+
+// NewColumns returns an empty columnar batch of the given dimensionality
+// with capacity for n vectors.
+func NewColumns(dim, n int) *Columns {
+	c := &Columns{
+		IDs:        make([]uint64, 0, n),
+		Mean:       make([][]float64, dim),
+		Sigma:      make([][]float64, dim),
+		NegLnSigma: make([]float64, 0, n),
+		SigmaMin:   make([]float64, dim),
+		SigmaMax:   make([]float64, dim),
+	}
+	for i := 0; i < dim; i++ {
+		c.Mean[i] = make([]float64, 0, n)
+		c.Sigma[i] = make([]float64, 0, n)
+		c.SigmaMin[i] = math.Inf(1)
+		c.SigmaMax[i] = math.Inf(-1)
+	}
+	return c
+}
+
+// ColumnsOf builds the columnar form of a row-major vector batch. All
+// vectors must share the given dimensionality.
+func ColumnsOf(vs []Vector, dim int) *Columns {
+	c := NewColumns(dim, len(vs))
+	for _, v := range vs {
+		c.AppendVector(v)
+	}
+	c.Finish()
+	return c
+}
+
+// AppendVector adds one vector to the batch. Finish must be called after the
+// last append to seal the derived per-vector and per-dimension terms.
+func (c *Columns) AppendVector(v Vector) {
+	c.IDs = append(c.IDs, v.ID)
+	for i := range c.Mean {
+		c.Mean[i] = append(c.Mean[i], v.Mean[i])
+		c.Sigma[i] = append(c.Sigma[i], v.Sigma[i])
+	}
+}
+
+// Finish (re)computes the derived terms — NegLnSigma, SigmaMin, SigmaMax —
+// from the raw columns. NegLnSigma multiplies the σ factors in dimension
+// order and takes one logarithm of the product, the canonical shape every
+// encoder and decoder of the columnar leaf format must reproduce so
+// precomputed and recomputed terms are bit-identical. Vectors whose σ
+// product leaves the float64 range fall back to the per-dimension log sum.
+func (c *Columns) Finish() {
+	n := c.Len()
+	if cap(c.NegLnSigma) < n {
+		c.NegLnSigma = make([]float64, n)
+	}
+	c.NegLnSigma = c.NegLnSigma[:n]
+	prod := c.NegLnSigma // reused as the σ-product accumulator
+	for j := range prod {
+		prod[j] = 1
+	}
+	for i := range c.Sigma {
+		si := c.Sigma[i]
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for j, s := range si {
+			prod[j] *= s
+			if s < lo {
+				lo = s
+			}
+			if s > hi {
+				hi = s
+			}
+		}
+		c.SigmaMin[i], c.SigmaMax[i] = lo, hi
+	}
+	for j := range c.NegLnSigma {
+		ln := math.Log(prod[j])
+		if math.IsInf(ln, 0) {
+			ln = 0
+			for i := range c.Sigma {
+				ln += math.Log(c.Sigma[i][j])
+			}
+		}
+		c.NegLnSigma[j] = -ln
+	}
+}
+
+// FinishExtrema recomputes only SigmaMin/SigmaMax, for decoders that load a
+// stored (already bit-exact) NegLnSigma from the page.
+func (c *Columns) FinishExtrema() {
+	for i := range c.Sigma {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, s := range c.Sigma[i] {
+			if s < lo {
+				lo = s
+			}
+			if s > hi {
+				hi = s
+			}
+		}
+		c.SigmaMin[i], c.SigmaMax[i] = lo, hi
+	}
+}
+
+// Len returns the number of vectors in the batch.
+func (c *Columns) Len() int { return len(c.IDs) }
+
+// Dim returns the dimensionality of the batch.
+func (c *Columns) Dim() int { return len(c.Mean) }
+
+// Vector materializes vector j as a row-major Vector (fresh slices).
+func (c *Columns) Vector(j int) Vector {
+	dim := c.Dim()
+	v := Vector{ID: c.IDs[j], Mean: make([]float64, dim), Sigma: make([]float64, dim)}
+	for i := 0; i < dim; i++ {
+		v.Mean[i] = c.Mean[i][j]
+		v.Sigma[i] = c.Sigma[i][j]
+	}
+	return v
+}
+
+// Vectors materializes the whole batch as row-major vectors.
+func (c *Columns) Vectors() []Vector {
+	out := make([]Vector, c.Len())
+	for j := range out {
+		out[j] = c.Vector(j)
+	}
+	return out
+}
+
+// ScoreColumns evaluates ln p(q|vⱼ) for every vector of the batch into
+// out[0:c.Len()], the batch form of LogDensity. The loops run dimension-outer
+// with the query's (μq,ᵢ, σq,ᵢ) hoisted to scalars and bounds checks lifted
+// out of the inner loop: the combined σ product and the squared-z sum
+// accumulate across dimensions with no transcendental call, and one final
+// pass takes a single logarithm per vector.
+//
+// Results are bit-identical to calling LogDensity(c.Vector(j)): both paths
+// multiply the σ factors and sum the z² terms in dimension order (IEEE
+// arithmetic in exactly the scalar loop's order, never reassociated) and
+// assemble the identical final expression, including the log-sum fallback
+// for products outside the float64 range. The hot-path conformance tests
+// pin this.
+func (e *JointEvaluator) ScoreColumns(c *Columns, out []float64) {
+	n := c.Len()
+	dim := c.Dim()
+	qm, qs := e.q.Mean, e.q.Sigma
+	if dim != len(qm) {
+		panic("pfv: ScoreColumns dimension mismatch")
+	}
+	out = out[:n] // accumulates Σ z² until the final pass
+	if cap(e.prod) < n {
+		e.prod = make([]float64, n)
+	}
+	prod := e.prod[:n]
+	for j := range out {
+		out[j] = 0
+		prod[j] = 1
+	}
+	conv := e.comb == gaussian.CombineConvolution
+	for i := 0; i < dim; i++ {
+		mi := c.Mean[i][:n]
+		si := c.Sigma[i][:n]
+		qmi, qsi := qm[i], qs[i]
+		if conv {
+			for j := 0; j < n; j++ {
+				s := math.Hypot(si[j], qsi)
+				z := (qmi - mi[j]) / s
+				prod[j] *= s
+				out[j] += z * z
+			}
+			continue
+		}
+		for j := 0; j < n; j++ {
+			s := si[j] + qsi
+			z := (qmi - mi[j]) / s
+			prod[j] *= s
+			out[j] += z * z
+		}
+	}
+	base := -0.5 * float64(dim) * gaussian.Ln2Pi
+	for j := 0; j < n; j++ {
+		lnS := math.Log(prod[j])
+		if math.IsInf(lnS, 0) {
+			lnS = 0
+			for i := 0; i < dim; i++ {
+				if conv {
+					lnS += math.Log(math.Hypot(c.Sigma[i][j], qs[i]))
+				} else {
+					lnS += math.Log(c.Sigma[i][j] + qs[i])
+				}
+			}
+		}
+		out[j] = base - lnS - 0.5*out[j]
+	}
+}
+
+// UpperBoundColumns fills out[0:c.Len()] with a cheap, logarithm-free (per
+// vector) upper bound of ln p(q|vⱼ):
+//
+//	ln p(q|vⱼ) = −d/2·ln 2π − ln ∏ᵢ(σᵢⱼ⊕σq,ᵢ) − ½ Σᵢ (μq,ᵢ−μᵢⱼ)²/(σᵢⱼ⊕σq,ᵢ)²
+//	           ≤ −d/2·ln 2π + min(NegLnSigma[j], −ln ∏ᵢ(σ̌ᵢ⊕σq,ᵢ))
+//	             − ½ Σᵢ (μq,ᵢ−μᵢⱼ)²/(σ̂ᵢ⊕σq,ᵢ)²
+//
+// using σᵢⱼ ≤ σᵢⱼ⊕σq,ᵢ factor-wise (the running product and math.Log are
+// monotone, so the precomputed NegLnSigma dominates the σ-product term even
+// under rounding) and the batch σ extrema σ̌ᵢ/σ̂ᵢ for the remaining terms.
+// The bound costs one logarithm and d divisions per batch plus two
+// multiplications per vector-dimension, and lets a ranked traversal skip
+// the exact scoring of every vector that provably cannot enter the current
+// top-k.
+//
+// scratch must have capacity ≥ c.Dim(); it is overwritten.
+func (e *JointEvaluator) UpperBoundColumns(c *Columns, scratch, out []float64) {
+	n := c.Len()
+	dim := c.Dim()
+	qm, qs := e.q.Mean, e.q.Sigma
+	if dim != len(qm) {
+		panic("pfv: UpperBoundColumns dimension mismatch")
+	}
+	conv := e.comb == gaussian.CombineConvolution
+	invS2 := scratch[:dim]
+	prodLo := 1.0 // ∏ᵢ(σ̌ᵢ⊕σq,ᵢ)
+	for i := 0; i < dim; i++ {
+		var sLo, sHi float64
+		if conv {
+			sLo = math.Hypot(c.SigmaMin[i], qs[i])
+			sHi = math.Hypot(c.SigmaMax[i], qs[i])
+		} else {
+			sLo = c.SigmaMin[i] + qs[i]
+			sHi = c.SigmaMax[i] + qs[i]
+		}
+		prodLo *= sLo
+		invS2[i] = 1 / (sHi * sHi)
+	}
+	lnFloor := math.Log(prodLo)
+	if math.IsInf(lnFloor, 0) {
+		lnFloor = 0
+		for i := 0; i < dim; i++ {
+			if conv {
+				lnFloor += math.Log(math.Hypot(c.SigmaMin[i], qs[i]))
+			} else {
+				lnFloor += math.Log(c.SigmaMin[i] + qs[i])
+			}
+		}
+	}
+	base := -0.5 * float64(dim) * gaussian.Ln2Pi
+	out = out[:n]
+	for j := range out {
+		t := c.NegLnSigma[j]
+		if -lnFloor < t {
+			t = -lnFloor
+		}
+		out[j] = base + t
+	}
+	for i := 0; i < dim; i++ {
+		mi := c.Mean[i][:n]
+		qmi, w := qm[i], invS2[i]
+		for j := 0; j < n; j++ {
+			d := qmi - mi[j]
+			out[j] -= 0.5 * (d * d * w)
+		}
+	}
+}

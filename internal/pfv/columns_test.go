@@ -1,0 +1,143 @@
+package pfv
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/gauss-tree/gausstree/internal/gaussian"
+)
+
+func randColBatch(rng *rand.Rand, n, dim int) []Vector {
+	vs := make([]Vector, n)
+	for j := range vs {
+		mean := make([]float64, dim)
+		sigma := make([]float64, dim)
+		for i := range mean {
+			mean[i] = rng.NormFloat64() * 10
+			sigma[i] = rng.Float64()*2 + 1e-3
+		}
+		vs[j] = MustNew(uint64(j+1), mean, sigma)
+	}
+	return vs
+}
+
+// TestScoreColumnsBitIdenticalToLogDensity pins the central contract of the
+// columnar leaf format: batch scoring must be bit-identical to the scalar
+// LogDensity, for both combiners, so exact-format query results cannot drift
+// when a leaf is evaluated through the columnar path.
+func TestScoreColumnsBitIdenticalToLogDensity(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, comb := range []gaussian.Combiner{gaussian.CombineAdditive, gaussian.CombineConvolution} {
+		for _, dim := range []int{1, 3, 8} {
+			vs := randColBatch(rng, 300, dim)
+			cols := ColumnsOf(vs, dim)
+			out := make([]float64, cols.Len())
+			for trial := 0; trial < 10; trial++ {
+				q := randColBatch(rng, 1, dim)[0]
+				e := NewJointEvaluator(comb, q)
+				e.ScoreColumns(cols, out)
+				for j, v := range vs {
+					want := e.LogDensity(v)
+					if math.Float64bits(out[j]) != math.Float64bits(want) {
+						t.Fatalf("%v dim=%d trial=%d vector %d: ScoreColumns %x (%v) != LogDensity %x (%v)",
+							comb, dim, trial, j, math.Float64bits(out[j]), out[j], math.Float64bits(want), want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScoreColumnsLogSumFallback drives σ products outside the float64 range
+// in both directions; the batch path must take the identical per-dimension
+// log-sum fallback the scalar path takes.
+func TestScoreColumnsLogSumFallback(t *testing.T) {
+	dim := 20
+	mk := func(s float64) Vector {
+		mean := make([]float64, dim)
+		sigma := make([]float64, dim)
+		for i := range sigma {
+			mean[i] = float64(i)
+			sigma[i] = s
+		}
+		return MustNew(1, mean, sigma)
+	}
+	vs := []Vector{mk(1e200), mk(1e-200), mk(1)}
+	cols := ColumnsOf(vs, dim)
+	q := mk(0.5)
+	out := make([]float64, len(vs))
+	for _, comb := range []gaussian.Combiner{gaussian.CombineAdditive, gaussian.CombineConvolution} {
+		e := NewJointEvaluator(comb, q)
+		e.ScoreColumns(cols, out)
+		for j, v := range vs {
+			want := e.LogDensity(v)
+			if math.Float64bits(out[j]) != math.Float64bits(want) {
+				t.Fatalf("%v vector %d: ScoreColumns %v != LogDensity %v", comb, j, out[j], want)
+			}
+		}
+	}
+}
+
+// TestUpperBoundColumnsDominates checks the screening bound's one-sided
+// contract: for every vector of the batch the cheap bound must be >= the
+// exact joint log density, under both combiners, or ranked traversals could
+// skip true top-k members.
+func TestUpperBoundColumnsDominates(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for _, comb := range []gaussian.Combiner{gaussian.CombineAdditive, gaussian.CombineConvolution} {
+		for _, dim := range []int{1, 4, 7} {
+			vs := randColBatch(rng, 250, dim)
+			cols := ColumnsOf(vs, dim)
+			score := make([]float64, cols.Len())
+			bound := make([]float64, cols.Len())
+			scratch := make([]float64, dim)
+			for trial := 0; trial < 20; trial++ {
+				q := randColBatch(rng, 1, dim)[0]
+				e := NewJointEvaluator(comb, q)
+				e.ScoreColumns(cols, score)
+				e.UpperBoundColumns(cols, scratch, bound)
+				for j := range vs {
+					if bound[j] < score[j] {
+						t.Fatalf("%v dim=%d trial=%d vector %d: bound %v < exact %v",
+							comb, dim, trial, j, bound[j], score[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestColumnsRoundTrip checks the columnar view reproduces the row-major
+// batch exactly, and that Finish's NegLnSigma matches the canonical
+// dimension-order product with log-sum fallback.
+func TestColumnsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	vs := randColBatch(rng, 50, 4)
+	cols := ColumnsOf(vs, 4)
+	back := cols.Vectors()
+	if len(back) != len(vs) {
+		t.Fatalf("round trip length %d, want %d", len(back), len(vs))
+	}
+	for j, v := range vs {
+		b := back[j]
+		if b.ID != v.ID {
+			t.Fatalf("vector %d: id %d != %d", j, b.ID, v.ID)
+		}
+		for i := 0; i < 4; i++ {
+			if b.Mean[i] != v.Mean[i] || b.Sigma[i] != v.Sigma[i] {
+				t.Fatalf("vector %d dim %d mismatch", j, i)
+			}
+		}
+	}
+	for j := range vs {
+		prod := 1.0
+		for i := 0; i < 4; i++ {
+			prod *= cols.Sigma[i][j]
+		}
+		want := -math.Log(prod)
+		if math.Float64bits(cols.NegLnSigma[j]) != math.Float64bits(want) {
+			t.Fatalf("vector %d: NegLnSigma %v, want %v", j, cols.NegLnSigma[j], want)
+		}
+	}
+}

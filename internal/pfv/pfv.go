@@ -129,12 +129,27 @@ func JointLogDensity(c gaussian.Combiner, v, q Vector) float64 {
 // one query; constructing the evaluator once per query keeps that inner loop
 // branch-free and allocation-free.
 //
-// JointLogDensity delegates to the evaluator, so both paths are
-// bit-identical by construction — the per-dimension terms and their
-// summation order are exactly those of Lemma 1's ln N(μv, σv⊕σq)(μq).
+// Densities are evaluated in product form: the combined σ factors are
+// multiplied across dimensions and a single logarithm is taken of the
+// product, instead of summing d per-dimension logarithms —
+//
+//	ln p(q|v) = −d/2·ln 2π − ln ∏ᵢ(σᵢ⊕σq,ᵢ) − ½ Σᵢ zᵢ²
+//
+// which removes d−1 logarithm calls per scored vector from the hot path.
+// When the σ product leaves the normal float64 range (astronomically small
+// or large sigmas in high dimensionalities), the logarithm of the product
+// is recomputed as the sum of per-dimension logarithms instead, so the
+// density stays finite whenever the true value is representable.
+//
+// JointLogDensity delegates to the evaluator, and the batch ScoreColumns
+// reassembles exactly this expression shape in the same order, so all
+// density paths are bit-identical by construction.
 type JointEvaluator struct {
 	comb gaussian.Combiner
 	q    Vector
+	// prod is ScoreColumns' σ-product scratch; capacity survives Reset so
+	// pooled traversals stay allocation-free.
+	prod []float64
 }
 
 // NewJointEvaluator returns an evaluator for scoring candidates against q.
@@ -157,17 +172,37 @@ func (e *JointEvaluator) LogDensity(v Vector) float64 {
 	if len(v.Mean) != len(qm) {
 		panic(fmt.Sprintf("pfv: JointEvaluator dimension mismatch: %d vs %d", len(v.Mean), len(qm)))
 	}
-	sum := 0.0
+	prod, sumZ := 1.0, 0.0
 	if e.comb == gaussian.CombineConvolution {
 		for i := range v.Mean {
-			sum += gaussian.LogPDF(v.Mean[i], math.Hypot(v.Sigma[i], qs[i]), qm[i])
+			s := math.Hypot(v.Sigma[i], qs[i])
+			z := (qm[i] - v.Mean[i]) / s
+			prod *= s
+			sumZ += z * z
 		}
-		return sum
+	} else {
+		for i := range v.Mean {
+			s := v.Sigma[i] + qs[i]
+			z := (qm[i] - v.Mean[i]) / s
+			prod *= s
+			sumZ += z * z
+		}
 	}
-	for i := range v.Mean {
-		sum += gaussian.LogPDF(v.Mean[i], v.Sigma[i]+qs[i], qm[i])
+	lnS := math.Log(prod)
+	if math.IsInf(lnS, 0) {
+		// The σ product left the float64 range; fall back to the log sum.
+		lnS = 0
+		if e.comb == gaussian.CombineConvolution {
+			for i := range v.Mean {
+				lnS += math.Log(math.Hypot(v.Sigma[i], qs[i]))
+			}
+		} else {
+			for i := range v.Mean {
+				lnS += math.Log(v.Sigma[i] + qs[i])
+			}
+		}
 	}
-	return sum
+	return -0.5*float64(len(qm))*gaussian.Ln2Pi - lnS - 0.5*sumZ
 }
 
 // Posterior computes the Bayesian identification probabilities P(vᵢ|q) for a

@@ -19,6 +19,9 @@ import (
 type Index interface {
 	// Kind names the backend ("tree" or "sharded") for /v1/stats.
 	Kind() string
+	// LeafFormat names the on-page leaf encoding ("exact", "float32",
+	// "grid8", "legacy-row") for /v1/stats.
+	LeafFormat() string
 	// Dim returns the feature dimensionality of the index.
 	Dim() int
 	// Len returns the number of stored vectors.
@@ -49,9 +52,10 @@ func TreeIndex(t *gausstree.Tree) Index { return treeIndex{t} }
 
 type treeIndex struct{ t *gausstree.Tree }
 
-func (i treeIndex) Kind() string { return "tree" }
-func (i treeIndex) Dim() int     { return i.t.Dim() }
-func (i treeIndex) Len() int     { return i.t.Len() }
+func (i treeIndex) Kind() string       { return "tree" }
+func (i treeIndex) LeafFormat() string { return i.t.LeafFormat().String() }
+func (i treeIndex) Dim() int           { return i.t.Dim() }
+func (i treeIndex) Len() int           { return i.t.Len() }
 func (i treeIndex) KMLIQ(ctx context.Context, q gausstree.Vector, k int) ([]gausstree.Match, gausstree.QueryStats, error) {
 	return i.t.KMLIQContext(ctx, q, k)
 }
@@ -75,9 +79,10 @@ func ShardedIndex(s *gausstree.Sharded) Index { return shardedIndex{s} }
 
 type shardedIndex struct{ s *gausstree.Sharded }
 
-func (i shardedIndex) Kind() string { return "sharded" }
-func (i shardedIndex) Dim() int     { return i.s.Dim() }
-func (i shardedIndex) Len() int     { return i.s.Len() }
+func (i shardedIndex) Kind() string       { return "sharded" }
+func (i shardedIndex) LeafFormat() string { return i.s.LeafFormat().String() }
+func (i shardedIndex) Dim() int           { return i.s.Dim() }
+func (i shardedIndex) Len() int           { return i.s.Len() }
 func (i shardedIndex) KMLIQ(ctx context.Context, q gausstree.Vector, k int) ([]gausstree.Match, gausstree.QueryStats, error) {
 	ms, st, err := i.s.KMLIQContext(ctx, q, k)
 	return ms, st.Stats, err

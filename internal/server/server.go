@@ -321,10 +321,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, wire.StatsResponse{
-		Backend:  s.idx.Kind(),
-		Dim:      s.idx.Dim(),
-		Len:      s.idx.Len(),
-		ReadOnly: s.cfg.ReadOnly,
+		Backend:    s.idx.Kind(),
+		Dim:        s.idx.Dim(),
+		Len:        s.idx.Len(),
+		LeafFormat: s.idx.LeafFormat(),
+		ReadOnly:   s.cfg.ReadOnly,
 		IO: wire.IOStats{
 			LogicalReads:  ios.LogicalReads,
 			CacheHits:     ios.CacheHits,

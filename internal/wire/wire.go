@@ -187,6 +187,9 @@ type StatsResponse struct {
 	Dim int `json:"dim"`
 	// Len is the number of stored vectors.
 	Len int `json:"len"`
+	// LeafFormat names the on-page leaf encoding of the served index:
+	// "exact", "float32", "grid8" or "legacy-row".
+	LeafFormat string `json:"leaf_format"`
 	// ReadOnly reports whether mutations are refused.
 	ReadOnly bool        `json:"read_only"`
 	IO       IOStats     `json:"io"`

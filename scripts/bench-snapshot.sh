@@ -4,7 +4,7 @@
 # recorded in BENCH_*.json files and compared across revisions.
 #
 # Usage:
-#   scripts/bench-snapshot.sh [out.json] [bench regex] [count]
+#   scripts/bench-snapshot.sh [out.json] [bench regex] [count] [baseline.json]
 #
 # Defaults: out.json = "-" (stdout), regex covers the hot-path benchmarks
 # (KMLIQHot, TIQHot, ReadNodeHot), count = 1. The JSON shape is
@@ -12,15 +12,25 @@
 #     "metrics": {"ns/op": ..., "B/op": ..., "allocs/op": ..., ...}}]}
 # with every reported metric (including custom ones like pages/query)
 # captured generically.
+#
+# When a baseline file is given (e.g. the committed BENCH_PR5.json), the
+# fresh snapshot is additionally diffed against it: a markdown delta table
+# is printed to stdout (ready for a CI job summary). Baselines may be either
+# a flat snapshot or a {"before": ..., "after": ...} trajectory file, in
+# which case the "after" section is the reference. The diff is informative
+# only — it never fails the run (benchmark numbers from shared CI runners
+# are not gating material; see BENCH_PR6.json for curated comparisons).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:--}"
 REGEX="${2:-KMLIQHot|TIQHot|ReadNodeHot}"
 COUNT="${3:-1}"
+BASELINE="${4:-}"
 
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+SNAP="$(mktemp)"
+trap 'rm -f "$RAW" "$SNAP"' EXIT
 
 go test -run '^$' -bench "$REGEX" -benchmem -count="$COUNT" \
 	./... >"$RAW" 2>&1 || { cat "$RAW" >&2; exit 1; }
@@ -45,12 +55,58 @@ if [ -z "$JSON" ]; then
 	exit 1
 fi
 
-PAYLOAD=$(printf '{\n  "goos": "%s",\n  "goarch": "%s",\n  "benchmarks": [\n    %s\n  ]\n}\n' \
-	"$(go env GOOS)" "$(go env GOARCH)" "$JSON")
+printf '{\n  "goos": "%s",\n  "goarch": "%s",\n  "benchmarks": [\n    %s\n  ]\n}\n' \
+	"$(go env GOOS)" "$(go env GOARCH)" "$JSON" >"$SNAP"
 
 if [ "$OUT" = "-" ]; then
-	printf '%s' "$PAYLOAD"
+	cat "$SNAP"
 else
-	printf '%s' "$PAYLOAD" >"$OUT"
+	cp "$SNAP" "$OUT"
 	echo "bench-snapshot: wrote $OUT" >&2
+fi
+
+if [ -n "$BASELINE" ]; then
+	if [ ! -f "$BASELINE" ]; then
+		echo "bench-snapshot: baseline $BASELINE not found, skipping diff" >&2
+	elif ! command -v python3 >/dev/null; then
+		echo "bench-snapshot: python3 not available, skipping diff" >&2
+	else
+		python3 - "$BASELINE" "$SNAP" <<'PYEOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    base = json.load(f)
+with open(sys.argv[2]) as f:
+    cur = json.load(f)
+# Trajectory files carry {before, after}; diff against "after".
+if "benchmarks" not in base and "after" in base:
+    base = base["after"]
+
+def index(snap):
+    return {b["name"]: b.get("metrics", {}) for b in snap.get("benchmarks", [])}
+
+bidx, cidx = index(base), index(cur)
+metrics = ["ns/op", "pages/query", "B/op", "allocs/op"]
+print(f"### Hot-path benchmark delta vs `{sys.argv[1]}`\n")
+print("| benchmark | metric | baseline | current | delta |")
+print("|---|---|---:|---:|---:|")
+for name in sorted(set(bidx) | set(cidx)):
+    b, c = bidx.get(name), cidx.get(name)
+    for m in metrics:
+        if b is None or c is None or m not in b and m not in c:
+            continue
+        bv, cv = (b or {}).get(m), (c or {}).get(m)
+        if bv is None or cv is None:
+            continue
+        delta = "n/a" if bv == 0 else f"{(cv - bv) / bv * 100:+.1f}%"
+        print(f"| {name} | {m} | {bv} | {cv} | {delta} |")
+    if b is None:
+        print(f"| {name} | — | (absent) | present | new |")
+    elif c is None:
+        print(f"| {name} | — | present | (absent) | gone |")
+print()
+print("_Informative only: shared-runner numbers fluctuate; curated same-machine")
+print("comparisons live in the committed BENCH_*.json files._")
+PYEOF
+	fi
 fi

@@ -144,7 +144,7 @@ func NewSharded(dim, n int, opts ...Options) (*Sharded, error) {
 			return fail(err)
 		}
 		mgrs[i] = mgr
-		if trees[i], err = core.New(mgr, dim, core.Config{Combiner: o.Combiner}); err != nil {
+		if trees[i], err = core.New(mgr, dim, core.Config{Combiner: o.Combiner, LeafFormat: o.LeafFormat}); err != nil {
 			return fail(err)
 		}
 	}
@@ -273,6 +273,17 @@ func (s *Sharded) Len() int {
 		return 0
 	}
 	return s.eng.Len()
+}
+
+// LeafFormat returns the leaf storage format the shards write (restored
+// from the shard files on OpenSharded).
+func (s *Sharded) LeafFormat() LeafFormat {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.eng == nil {
+		return LeafExact
+	}
+	return s.eng.Tree(0).LeafFormat()
 }
 
 // Insert adds a vector to the shard its partition policy selects. Durable
