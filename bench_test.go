@@ -299,7 +299,7 @@ func BenchmarkBuild(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			mgr, _ := pagefile.NewManager(pagefile.NewMemBackend(8192), 8192)
 			tr, _ := core.New(mgr, w.ds.Dim, core.Config{})
-			if err := tr.InsertAll(w.ds.Vectors); err != nil {
+			if _, err := tr.InsertAll(w.ds.Vectors); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -13,7 +13,7 @@
 //	gaussbench -exp fig7ds1 -json out.json  # machine-readable results
 //
 // Experiments: fig1, fig6a, fig6b, fig7ds1, fig7ds2, headline, ablations,
-// reopen, shards, serve, hot.
+// reopen, shards, serve, hot, ingest.
 // With -json the collected per-backend measurements (page accesses, wall
 // times, recall, and heap allocations per query — the -benchmem equivalents)
 // are additionally written as JSON ("-" for stdout), so perf trajectories
@@ -25,6 +25,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"net"
 	"os"
 	"runtime"
@@ -48,7 +49,7 @@ import (
 
 func main() {
 	var (
-		exps     = flag.String("exp", "all", "comma-separated experiments: fig1,fig6a,fig6b,fig7ds1,fig7ds2,headline,ablations,reopen,shards,serve,hot,all")
+		exps     = flag.String("exp", "all", "comma-separated experiments: fig1,fig6a,fig6b,fig7ds1,fig7ds2,headline,ablations,reopen,shards,serve,hot,ingest,all")
 		quick    = flag.Bool("quick", false, "reduced data sizes (for smoke testing)")
 		n1       = flag.Int("n1", 10987, "data set 1 size (paper: 10987)")
 		n2       = flag.Int("n2", 100000, "data set 2 size (paper: 100000)")
@@ -128,6 +129,9 @@ func main() {
 	if run("hot") {
 		b.hot()
 	}
+	if run("ingest") {
+		b.ingest()
+	}
 	if *jsonPath != "" {
 		b.writeJSON(*jsonPath)
 	}
@@ -204,6 +208,37 @@ type hotRow struct {
 	BytesPerQ  float64
 }
 
+// ingestReport measures the non-blocking write path on a durable index: a
+// sustained multi-writer insert burst with concurrent readers. The headline
+// contrasts are (a) acknowledged-durable inserts/s under group commit versus
+// the serialized per-insert-checkpoint path (the only way the engine could
+// make a single insert durable before the WAL existed), and (b) reader
+// latency during the burst versus idle — snapshot-isolated reads should keep
+// p99 in the same regime while writers hammer the tree. The merge-ingest
+// figures drive the same durable tree in FROSS-style Options.Ingest mode:
+// repeated observations of a fixed object population fold into the stored
+// fingerprints instead of growing the index.
+type ingestReport struct {
+	PreLoaded                int
+	BurstInserts             int
+	Writers, Readers         int
+	SerializedInsertsPerSec  float64
+	GroupCommitInsertsPerSec float64
+	InsertSpeedup            float64
+	IdleP50Millis            float64
+	IdleP99Millis            float64
+	BurstP50Millis           float64
+	BurstP99Millis           float64
+	ReaderSamples            int
+	WALFsyncs                uint64
+	WALRecords               uint64
+	MeanGroupSize            float64
+	SnapshotEpoch            uint64
+	MergeObsPerSec           float64
+	MergeObservations        int
+	MergedShare              float64
+}
+
 // measureAllocs runs f and returns the heap allocation count and byte delta
 // it caused (whole process; run quiesced experiments only).
 func measureAllocs(f func()) (allocs, bytes uint64) {
@@ -224,6 +259,7 @@ type benchOutput struct {
 	ShardScaling []shardScalingRow  `json:",omitempty"`
 	Serve        []serveRow         `json:",omitempty"`
 	Hot          []hotRow           `json:",omitempty"`
+	Ingest       *ingestReport      `json:",omitempty"`
 }
 
 type bench struct {
@@ -732,6 +768,224 @@ func (b *bench) hot() {
 		b.out.Hot = append(b.out.Hot, row)
 	}
 	fmt.Println()
+}
+
+// freshVectors derives n insertable vectors not present in ds: existing
+// vectors re-identified under fresh ids with jittered means, so the inserts
+// land all over the indexed space like real arrivals would.
+func freshVectors(ds *dataset.Dataset, n int, seed int64) []pfv.Vector {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]pfv.Vector, n)
+	for i := range out {
+		src := ds.Vectors[rng.Intn(len(ds.Vectors))]
+		mean := make([]float64, ds.Dim)
+		sigma := make([]float64, ds.Dim)
+		for j := 0; j < ds.Dim; j++ {
+			mean[j] = src.Mean[j] + rng.NormFloat64()*src.Sigma[j]
+			sigma[j] = src.Sigma[j]
+		}
+		out[i] = pfv.MustNew(uint64(1_000_000+i), mean, sigma)
+	}
+	return out
+}
+
+// pctMillis returns the p-quantile of lat in milliseconds; lat must be sorted.
+func pctMillis(lat []time.Duration, p float64) float64 {
+	if len(lat) == 0 {
+		return 0
+	}
+	return float64(lat[int(float64(len(lat)-1)*p)].Microseconds()) / 1e3
+}
+
+// readLatencies runs 3-MLIQ queries against tr until stop closes (or, with a
+// nil stop, for exactly count queries), returning the sorted latencies. The
+// pause between queries makes each reader a latency sampler rather than a
+// CPU-saturating load generator: on small machines spinning readers would
+// starve the writers and measure scheduler pressure, not the read path.
+func readLatencies(tr *gausstree.Tree, qs []dataset.Query, stop <-chan struct{}, count int, pause time.Duration) []time.Duration {
+	var lat []time.Duration
+	for i := 0; ; i++ {
+		if stop != nil {
+			select {
+			case <-stop:
+				sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+				return lat
+			default:
+			}
+		} else if i >= count {
+			sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+			return lat
+		}
+		q := qs[i%len(qs)].Vector
+		t0 := time.Now()
+		if _, err := tr.KMostLikely(q, 3); err != nil {
+			check(err)
+		}
+		lat = append(lat, time.Since(t0))
+		if pause > 0 {
+			time.Sleep(pause)
+		}
+	}
+}
+
+// ingest measures the non-blocking write path end to end; see ingestReport.
+func (b *bench) ingest() {
+	ds, qs := b.subset(min(b.n2, 20000), 200)
+	fmt.Println("=== Ingest: non-blocking durable write path (DS2 subset) ===")
+	dir, err := os.MkdirTemp("", "gaussbench-ingest")
+	check(err)
+	defer os.RemoveAll(dir)
+
+	const (
+		writers     = 32
+		readers     = 4
+		serial      = 150
+		readerPause = 2 * time.Millisecond
+	)
+	burst := 6400
+	if len(ds.Vectors) < 20000 {
+		burst = 3200 // -quick
+	}
+	fresh := freshVectors(ds, burst, 99)
+
+	// Serialized baseline: before the WAL, the only way to make one insert
+	// durable was a full checkpoint (Sync) after it. The tiny CommitLatency
+	// keeps the log from adding artificial ack delay on top.
+	ser, err := gausstree.New(ds.Dim, gausstree.Options{
+		Path: dir + "/serial.gtree", PageSize: b.pageSize, CommitLatency: time.Microsecond,
+	})
+	check(err)
+	check(ser.BulkLoad(ds.Vectors))
+	start := time.Now()
+	for _, v := range fresh[:serial] {
+		check(ser.Insert(v))
+		check(ser.Sync())
+	}
+	serRate := float64(serial) / time.Since(start).Seconds()
+	check(ser.Close())
+
+	tr, err := gausstree.New(ds.Dim, gausstree.Options{Path: dir + "/burst.gtree", PageSize: b.pageSize})
+	check(err)
+	check(tr.BulkLoad(ds.Vectors))
+
+	// Idle reader baseline, then the burst: every reader latency taken while
+	// the writers are still running counts against the 2x-of-idle budget.
+	idle := readLatencies(tr, qs, nil, 800, readerPause)
+
+	stop := make(chan struct{})
+	lats := make([][]time.Duration, readers)
+	var rwg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		rwg.Add(1)
+		go func(r int) {
+			defer rwg.Done()
+			lats[r] = readLatencies(tr, qs, stop, 0, readerPause)
+		}(r)
+	}
+	var wwg sync.WaitGroup
+	var cursor atomic.Int64
+	cursor.Store(-1)
+	start = time.Now()
+	for w := 0; w < writers; w++ {
+		wwg.Add(1)
+		go func() {
+			defer wwg.Done()
+			for {
+				i := int(cursor.Add(1))
+				if i >= burst {
+					return
+				}
+				check(tr.Insert(fresh[i]))
+			}
+		}()
+	}
+	wwg.Wait()
+	burstWall := time.Since(start)
+	close(stop)
+	rwg.Wait()
+	var during []time.Duration
+	for _, l := range lats {
+		during = append(during, l...)
+	}
+	sort.Slice(during, func(a, b int) bool { return during[a] < during[b] })
+
+	ws, _ := tr.WALStats()
+	rep := &ingestReport{
+		PreLoaded:                len(ds.Vectors),
+		BurstInserts:             burst,
+		Writers:                  writers,
+		Readers:                  readers,
+		SerializedInsertsPerSec:  serRate,
+		GroupCommitInsertsPerSec: float64(burst) / burstWall.Seconds(),
+		IdleP50Millis:            pctMillis(idle, 0.50),
+		IdleP99Millis:            pctMillis(idle, 0.99),
+		BurstP50Millis:           pctMillis(during, 0.50),
+		BurstP99Millis:           pctMillis(during, 0.99),
+		ReaderSamples:            len(during),
+		WALFsyncs:                ws.Fsyncs,
+		WALRecords:               ws.Records,
+		MeanGroupSize:            ws.MeanGroupSize,
+		SnapshotEpoch:            tr.SnapshotEpoch(),
+	}
+	rep.InsertSpeedup = rep.GroupCommitInsertsPerSec / rep.SerializedInsertsPerSec
+	check(tr.Close())
+
+	// Merge-ingest mode: a fixed object population observed over and over;
+	// the durable tree absorbs the stream without growing.
+	const objects, obsPer, observers = 40, 60, 8
+	bases := freshVectors(ds, objects, 7)
+	obs := make([]pfv.Vector, 0, objects*obsPer)
+	rng := rand.New(rand.NewSource(8))
+	for r := 0; r < obsPer; r++ {
+		for _, base := range bases {
+			mean := make([]float64, ds.Dim)
+			for j := range mean {
+				mean[j] = base.Mean[j] + rng.NormFloat64()*base.Sigma[j]*0.2
+			}
+			obs = append(obs, pfv.MustNew(base.ID, mean, base.Sigma))
+		}
+	}
+	ing, err := gausstree.New(ds.Dim, gausstree.Options{
+		Path: dir + "/merge.gtree", PageSize: b.pageSize,
+		Ingest: &gausstree.IngestOptions{MergeDistance: 2},
+	})
+	check(err)
+	cursor.Store(-1)
+	start = time.Now()
+	var owg sync.WaitGroup
+	for w := 0; w < observers; w++ {
+		owg.Add(1)
+		go func() {
+			defer owg.Done()
+			for {
+				i := int(cursor.Add(1))
+				if i >= len(obs) {
+					return
+				}
+				check(ing.Insert(obs[i]))
+			}
+		}()
+	}
+	owg.Wait()
+	mergeWall := time.Since(start)
+	ist, _ := ing.IngestStats()
+	rep.MergeObservations = len(obs)
+	rep.MergeObsPerSec = float64(len(obs)) / mergeWall.Seconds()
+	rep.MergedShare = float64(ist.Merged) / float64(len(obs))
+	check(ing.Close())
+
+	fmt.Printf("%-36s %14.0f\n", "serialized inserts/s (checkpoint)", rep.SerializedInsertsPerSec)
+	fmt.Printf("%-36s %14.0f\n", "group-commit inserts/s", rep.GroupCommitInsertsPerSec)
+	fmt.Printf("%-36s %13.1fx\n", "insert speedup", rep.InsertSpeedup)
+	fmt.Printf("%-36s %8.3f/%.3f\n", "idle reader p50/p99 ms", rep.IdleP50Millis, rep.IdleP99Millis)
+	fmt.Printf("%-36s %8.3f/%.3f\n", "burst reader p50/p99 ms", rep.BurstP50Millis, rep.BurstP99Millis)
+	fmt.Printf("%-36s %14d\n", "reader samples during burst", rep.ReaderSamples)
+	fmt.Printf("%-36s %14d\n", "wal fsyncs", rep.WALFsyncs)
+	fmt.Printf("%-36s %14.1f\n", "mean group-commit size", rep.MeanGroupSize)
+	fmt.Printf("%-36s %14.0f\n", "merge-ingest observations/s", rep.MergeObsPerSec)
+	fmt.Printf("%-36s %13.1f%%\n", "observations merged in place", 100*rep.MergedShare)
+	fmt.Println()
+	b.out.Ingest = rep
 }
 
 // writeJSON emits the collected measurements machine-readably.

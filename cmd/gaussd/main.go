@@ -19,6 +19,7 @@
 //	-queue         waiting requests beyond that before 429s (default 128)
 //	-timeout       per-request deadline ceiling (default 30s)
 //	-readonly      refuse /v1/insert and /v1/delete
+//	-commit-latency  group-commit window for the write-ahead log (default 2ms)
 //	-cache-mb      buffer cache budget in MB (default 50)
 //	-cache-shards  buffer-cache shard count (0 = automatic)
 //	-pprof         loopback-only net/http/pprof listener (e.g. 127.0.0.1:6060)
@@ -50,6 +51,7 @@ func main() {
 		queue    = flag.Int("queue", 128, "maximum requests waiting for an execution slot, beyond that: 429 (0 = reject as soon as all slots are busy)")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request deadline ceiling")
 		readonly = flag.Bool("readonly", false, "refuse mutations (safe for horizontal read replicas)")
+		commitLt = flag.Duration("commit-latency", 0, "group-commit window: inserts wait at most this long to share one WAL fsync (0 = default 2ms; longer = fewer fsyncs, higher ack latency)")
 		cacheMB  = flag.Int("cache-mb", 50, "buffer cache budget in MB")
 		shards   = flag.Int("cache-shards", 0, "buffer-cache shard count, rounded up to a power of two (0 = automatic)")
 		pprofAt  = flag.String("pprof", "", "expose net/http/pprof on this loopback-only address (e.g. 127.0.0.1:6060 or :6060); empty = disabled")
@@ -86,7 +88,7 @@ func main() {
 		wantLeaf = f.String()
 	}
 
-	idx, err := openIndex(*index, gausstree.Options{CacheBytes: *cacheMB << 20, CacheShards: *shards})
+	idx, err := openIndex(*index, gausstree.Options{CacheBytes: *cacheMB << 20, CacheShards: *shards, CommitLatency: *commitLt})
 	fail(err)
 	if got := idx.LeafFormat(); wantLeaf != "" && got != wantLeaf {
 		idx.Close()

@@ -1,0 +1,253 @@
+package gausstree_test
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/gauss-tree/gausstree"
+)
+
+// copyFile snapshots src to dst byte-for-byte; copying a live index mid-
+// mutation is how these tests freeze "the disk at crash time".
+func copyFile(t *testing.T, src, dst string) {
+	t.Helper()
+	in, err := os.Open(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	if _, err := io.Copy(out, in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashRecoveryLiveCopy freezes the on-disk state in the middle of a
+// write burst — without closing the tree, exactly what a crash leaves
+// behind — and requires the reopened copy to be a commit-consistent prefix
+// of the acknowledged inserts with intact invariants.
+func TestCrashRecoveryLiveCopy(t *testing.T) {
+	dir := t.TempDir()
+	live := filepath.Join(dir, "live.gtree")
+	tree, err := gausstree.New(2, gausstree.Options{Path: live, PageSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tree.Close()
+
+	const n = 700 // crosses the checkpoint interval, so copies see both meta and WAL state
+	for i := 0; i < n; i++ {
+		if err := tree.Insert(seqVector(i)); err != nil {
+			t.Fatal(err)
+		}
+		// Freeze the disk at a few acknowledged points mid-burst.
+		if i == 100 || i == 511 || i == 512 || i == 650 {
+			snap := filepath.Join(dir, fmt.Sprintf("snap-%d.gtree", i))
+			copyFile(t, live, snap)
+			copyFile(t, live+".wal", snap+".wal")
+
+			re, err := gausstree.Open(snap)
+			if err != nil {
+				t.Fatalf("reopen at %d: %v", i, err)
+			}
+			if got := re.Len(); got != i+1 {
+				re.Close()
+				t.Fatalf("crash copy at %d recovered %d vectors, want %d (all were acknowledged)", i, got, i+1)
+			}
+			seen := map[uint64]bool{}
+			if err := re.ForEach(func(v gausstree.Vector) error {
+				seen[v.ID] = true
+				return nil
+			}); err != nil {
+				re.Close()
+				t.Fatal(err)
+			}
+			for id := uint64(1); id <= uint64(i+1); id++ {
+				if !seen[id] {
+					re.Close()
+					t.Fatalf("crash copy at %d misses id %d", i, id)
+				}
+			}
+			if err := re.CheckInvariants(); err != nil {
+				re.Close()
+				t.Fatalf("crash copy at %d: %v", i, err)
+			}
+			if err := re.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// crashChildEnv flags the subprocess mode of TestCrashRecoveryKill9.
+const crashChildEnv = "GAUSSTREE_CRASH_CHILD_DIR"
+
+// TestCrashChildMain is not a test of its own: invoked by
+// TestCrashRecoveryKill9 in a subprocess, it ingests vectors forever and
+// reports each acknowledged count on stdout until it is killed.
+func TestCrashChildMain(t *testing.T) {
+	dir := os.Getenv(crashChildEnv)
+	if dir == "" {
+		t.Skip("subprocess helper; run via TestCrashRecoveryKill9")
+	}
+	tree, err := gausstree.New(2, gausstree.Options{
+		Path:          filepath.Join(dir, "crash.gtree"),
+		PageSize:      1024,
+		CommitLatency: 500 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	for i := 0; ; i++ {
+		if err := tree.Insert(seqVector(i)); err != nil {
+			t.Fatal(err)
+		}
+		// Acknowledged — durable by contract even if we die right now.
+		fmt.Fprintf(w, "acked %d\n", i+1)
+		w.Flush()
+	}
+}
+
+// TestCrashRecoveryKill9 hard-kills (SIGKILL) a subprocess mid-ingest —
+// including, with overwhelming probability, mid-group-commit — then
+// reopens the index and verifies the no-lost-acknowledged-writes contract:
+// every insert the child reported acknowledged is present, the recovered
+// set is a clean prefix, and invariants hold.
+func TestCrashRecoveryKill9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a subprocess")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cmd := exec.Command(exe, "-test.run", "^TestCrashChildMain$", "-test.v")
+	cmd.Env = append(os.Environ(), crashChildEnv+"="+dir)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Track the highest acknowledged insert until the kill lands.
+	acked := 0
+	lines := bufio.NewScanner(stdout)
+	deadline := time.After(2 * time.Second)
+	killed := false
+	for !killed && lines.Scan() {
+		if rest, ok := strings.CutPrefix(lines.Text(), "acked "); ok {
+			if n, err := strconv.Atoi(rest); err == nil {
+				acked = n
+			}
+		}
+		select {
+		case <-deadline:
+			if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+				t.Fatal(err)
+			}
+			killed = true
+		default:
+		}
+	}
+	for lines.Scan() { // drain anything written before the kill landed
+		if rest, ok := strings.CutPrefix(lines.Text(), "acked "); ok {
+			if n, err := strconv.Atoi(rest); err == nil {
+				acked = n
+			}
+		}
+	}
+	cmd.Wait() // reaps the SIGKILLed child; its error is expected
+	if !killed {
+		t.Fatal("child exited on its own before the kill")
+	}
+	if acked == 0 {
+		t.Fatal("child never acknowledged an insert")
+	}
+
+	re, err := gausstree.Open(filepath.Join(dir, "crash.gtree"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	n := re.Len()
+	if n < acked {
+		t.Fatalf("recovered %d vectors but %d were acknowledged: lost writes", n, acked)
+	}
+	seen := map[uint64]bool{}
+	if err := re.ForEach(func(v gausstree.Vector) error {
+		seen[v.ID] = true
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(1); id <= uint64(n); id++ {
+		if !seen[id] {
+			t.Fatalf("recovered set of %d misses id %d: not a committed prefix", n, id)
+		}
+	}
+	if err := re.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("killed after %d acks; recovered %d vectors", acked, n)
+}
+
+// TestCrashRecoveryShardedLiveCopy is the sharded variant of the live-copy
+// crash: each shard recovers from its own checkpoint + WAL tail, and the
+// union must contain every acknowledged insert.
+func TestCrashRecoveryShardedLiveCopy(t *testing.T) {
+	dir := t.TempDir()
+	liveDir := filepath.Join(dir, "live")
+	s, err := gausstree.NewSharded(2, 3, gausstree.Options{Path: liveDir, PageSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := s.Insert(seqVector(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Freeze the whole directory without closing.
+	snapDir := filepath.Join(dir, "snap")
+	if err := os.MkdirAll(snapDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	files, err := os.ReadDir(liveDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		copyFile(t, filepath.Join(liveDir, f.Name()), filepath.Join(snapDir, f.Name()))
+	}
+
+	re, err := gausstree.OpenSharded(snapDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.Len(); got != n {
+		t.Fatalf("recovered %d vectors, want %d (all acknowledged)", got, n)
+	}
+	if err := re.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -36,7 +36,7 @@ func main() {
 		gausstree.MustVector(4, []float64{3.9, 0.6}, []float64{0.90, 0.80}),
 		gausstree.MustVector(5, []float64{-2.0, 3.5}, []float64{0.25, 0.25}),
 	}
-	if err := tree.InsertAll(observations); err != nil {
+	if _, err := tree.InsertAll(observations); err != nil {
 		log.Fatal(err)
 	}
 

@@ -1,15 +1,20 @@
-// Sensornet demonstrates identification over heterogeneous sensors: a fleet
-// of machines is fingerprinted by temperature, vibration and power-draw
-// readings, but different monitoring stations measure with very different
-// precision. A reading taken by a cheap station must still be matched to
-// the right machine — a threshold identification query with calibrated
-// probabilities, exactly the paper's TIQ use case.
+// Sensornet demonstrates identification over a continuously observed fleet:
+// machines are fingerprinted by temperature, vibration and power-draw
+// readings taken by monitoring stations of very different precision, and
+// readings never stop arriving. Instead of growing the database by one
+// Gaussian per reading, the tree runs in merge-ingest mode: each new
+// observation that matches a stored fingerprint is folded into it by moment
+// matching, so the database stays one-entry-per-machine while every entry
+// sharpens as evidence accumulates. Machines that stop reporting age out of
+// the index with a TTL sweep — the FROSS-style continuous-ingestion loop on
+// top of the paper's identification queries.
 package main
 
 import (
 	"fmt"
 	"log"
 	"math/rand"
+	"time"
 
 	gausstree "github.com/gauss-tree/gausstree"
 )
@@ -21,66 +26,82 @@ type station struct {
 	sigma []float64 // measurement precision per channel
 }
 
+type machine struct {
+	id   uint64
+	true []float64
+}
+
+// reading simulates one observation of m by station st: the true fingerprint
+// plus measurement noise, tagged with the station's own uncertainty.
+func reading(rng *rand.Rand, m machine, st station) gausstree.Vector {
+	mean := make([]float64, dims)
+	for j := range mean {
+		mean[j] = m.true[j] + rng.NormFloat64()*st.sigma[j]
+	}
+	return gausstree.MustVector(m.id, mean, st.sigma)
+}
+
 func main() {
 	rng := rand.New(rand.NewSource(7))
-	// The fleet: each machine has a true operating fingerprint.
-	type machine struct {
-		id   uint64
-		true []float64
-	}
 	var fleet []machine
-	for i := 1; i <= 150; i++ {
+	for i := 1; i <= 60; i++ {
 		fleet = append(fleet, machine{
 			id: uint64(i),
 			true: []float64{
-				55 + rng.NormFloat64()*12, // temperature
-				2.5 + rng.NormFloat64()*2, // vibration
-				12 + rng.NormFloat64()*5,  // power draw
+				55 + rng.NormFloat64()*20, // temperature
+				6 + rng.NormFloat64()*4,   // vibration
+				15 + rng.NormFloat64()*8,  // power draw
 			},
 		})
 	}
-
-	stations := []station{
+	// The permanent telemetry network ingests; field devices only query.
+	monitor := station{"monitor", []float64{1.0, 0.2, 0.5}}
+	field := []station{
 		{"lab-grade", []float64{0.2, 0.05, 0.1}},
 		{"standard", []float64{1.0, 0.2, 0.5}},
 		{"handheld", []float64{4.0, 0.8, 2.0}},
 	}
 
-	// Enrollment: every machine was fingerprinted once, by whichever
-	// station happened to be available — so the database itself mixes
-	// precision levels, and every record carries its own uncertainty.
-	tree, err := gausstree.New(dims)
+	// Merge-ingest mode: observations within the Mahalanobis merge radius of
+	// a stored fingerprint update it in place; machines unseen for the TTL
+	// are swept. No enrollment phase — the stream itself builds the index.
+	tree, err := gausstree.New(dims, gausstree.Options{
+		Ingest: &gausstree.IngestOptions{
+			MergeDistance: 1.8,
+			TTL:           200 * time.Millisecond, // hours in production; ms for the demo
+		},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer tree.Close()
-	enrollment := make([]gausstree.Vector, 0, len(fleet))
-	for _, m := range fleet {
-		st := stations[rng.Intn(len(stations))]
-		mean := make([]float64, dims)
-		for j := range mean {
-			mean[j] = m.true[j] + rng.NormFloat64()*st.sigma[j]
-		}
-		enrollment = append(enrollment, gausstree.MustVector(m.id, mean, st.sigma))
-	}
-	if err := tree.BulkLoad(enrollment); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("enrolled %d machines (tree height %d)\n\n", tree.Len(), tree.Height())
 
-	// Field readings from each station type; identify the machine.
-	correct := 0
-	trials := 0
-	for _, st := range stations {
+	// Phase 1 — continuous ingestion: 20 rounds of the whole fleet reporting
+	// through the monitoring network. 1200 observations arrive; the index
+	// stays at (about) one fingerprint per machine.
+	const rounds = 20
+	for r := 0; r < rounds; r++ {
+		for _, m := range fleet {
+			if err := tree.Insert(reading(rng, m, monitor)); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	ist, _ := tree.IngestStats()
+	fmt.Printf("ingested %d observations: %d fingerprints stored, %d merged in place (tree height %d)\n\n",
+		rounds*len(fleet), tree.Len(), ist.Merged, tree.Height())
+
+	// Identification over the merged fingerprints: a reading taken by a cheap
+	// station must still match the right machine — the paper's query model,
+	// now against evidence-sharpened Gaussians instead of single enrollments.
+	correct, trials := 0, 0
+	for _, st := range field {
 		hits := 0
 		const n = 50
 		for t := 0; t < n; t++ {
 			m := fleet[rng.Intn(len(fleet))]
-			mean := make([]float64, dims)
-			for j := range mean {
-				mean[j] = m.true[j] + rng.NormFloat64()*st.sigma[j]
-			}
-			q := gausstree.MustVector(0, mean, st.sigma)
+			q := reading(rng, m, st)
+			q.ID = 0
 			matches, err := tree.KMostLikely(q, 1)
 			if err != nil {
 				log.Fatal(err)
@@ -94,15 +115,11 @@ func main() {
 		trials += n
 	}
 
-	// A handheld reading with a probability demand: report every machine
-	// the reading could plausibly belong to.
+	// A handheld reading with a probability demand: report every machine the
+	// reading could plausibly belong to, with calibrated probabilities.
 	m := fleet[17]
-	st := stations[2]
-	mean := make([]float64, dims)
-	for j := range mean {
-		mean[j] = m.true[j] + rng.NormFloat64()*st.sigma[j]
-	}
-	q := gausstree.MustVector(0, mean, st.sigma)
+	q := reading(rng, m, field[2])
+	q.ID = 0
 	candidates, err := tree.Threshold(q, 0.05)
 	if err != nil {
 		log.Fatal(err)
@@ -115,5 +132,24 @@ func main() {
 		}
 		fmt.Printf("  %s machine %-4d P=%5.1f%%\n", marker, c.Vector.ID, 100*c.Probability)
 	}
-	fmt.Printf("\noverall identification rate: %.0f%%\n", 100*float64(correct)/float64(trials))
+	fmt.Printf("\noverall identification rate: %.0f%%\n\n", 100*float64(correct)/float64(trials))
+
+	// Phase 2 — decay: a third of the fleet is decommissioned and stops
+	// reporting. The survivors keep streaming past the TTL window, then a
+	// sweep retires every fingerprint that went quiet.
+	retired := len(fleet) / 3
+	deadline := time.Now().Add(250 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		for _, m := range fleet[retired:] {
+			if err := tree.Insert(reading(rng, m, monitor)); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	swept, err := tree.SweepExpired()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("decommissioned %d machines: TTL sweep retired %d fingerprints, %d remain\n",
+		retired, swept, tree.Len())
 }

@@ -4,12 +4,15 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/gauss-tree/gausstree/internal/core"
 	"github.com/gauss-tree/gausstree/internal/gaussian"
 	"github.com/gauss-tree/gausstree/internal/pagefile"
 	"github.com/gauss-tree/gausstree/internal/pfv"
 	"github.com/gauss-tree/gausstree/internal/query"
+	"github.com/gauss-tree/gausstree/internal/wal"
 )
 
 // Vector is a probabilistic feature vector: an object id plus per-dimension
@@ -119,6 +122,19 @@ type Options struct {
 	// It is persisted in the index meta record; Open restores the format
 	// the tree was built with and ignores this field.
 	LeafFormat LeafFormat
+	// CommitLatency is the group-commit window of the write-ahead log on
+	// file-backed trees (default 2ms): how long the log committer waits
+	// after the first pending record before fsyncing, so concurrent
+	// mutations share the fsync. Shorter windows reduce single-insert
+	// latency, longer ones batch more records per fsync under load.
+	// Memory-backed trees have no WAL and ignore it.
+	CommitLatency time.Duration
+	// Ingest, when non-nil, switches Insert into online merge-ingest mode:
+	// a new vector first probes for a near-duplicate stored Gaussian and,
+	// within IngestOptions.MergeDistance, merges into it (moment-matched)
+	// instead of growing the tree. See IngestOptions. Unsharded trees
+	// only; Sharded ignores it.
+	Ingest *IngestOptions
 }
 
 func (o *Options) fillDefaults() {
@@ -133,13 +149,27 @@ func (o *Options) fillDefaults() {
 	}
 }
 
-// Tree is a Gauss-tree index over probabilistic feature vectors. It is safe
-// for concurrent use by multiple goroutines.
-type Tree struct {
-	mu   sync.RWMutex
+// treeState bundles the engine, its page manager and (file-backed only) its
+// write-ahead log. It is published through an atomic pointer so that readers
+// never take a lock: queries load the state, pin the engine's current root
+// snapshot and run entirely against immutable pages, concurrently with any
+// writer.
+type treeState struct {
 	tree *core.Tree
 	mgr  *pagefile.Manager
+	wal  *wal.Log // nil for memory-backed trees
+}
+
+// Tree is a Gauss-tree index over probabilistic feature vectors. It is safe
+// for concurrent use by multiple goroutines, and reads never block on
+// writes: every query runs against a pinned commit-consistent snapshot
+// while mutations proceed (see "Write path & snapshots" in the package
+// documentation).
+type Tree struct {
+	mu   sync.Mutex // serializes mutations and Close; never held by reads
+	st   atomic.Pointer[treeState]
 	opts Options
+	ing  *ingester // non-nil in merge-ingest mode (Options.Ingest)
 }
 
 // ErrClosed is returned by operations on a closed tree.
@@ -176,7 +206,30 @@ func New(dim int, opts ...Options) (*Tree, error) {
 		mgr.Close()
 		return nil, err
 	}
-	return &Tree{tree: tr, mgr: mgr, opts: o}, nil
+	var l *wal.Log
+	if o.Path != "" {
+		l, err = wal.Create(o.Path+".wal", dim, wal.Options{Interval: o.CommitLatency})
+		if err == nil {
+			err = tr.SetWAL(l)
+		}
+		if err != nil {
+			if l != nil {
+				l.Close()
+			}
+			mgr.Close()
+			return nil, err
+		}
+	}
+	t := &Tree{opts: o}
+	t.st.Store(&treeState{tree: tr, mgr: mgr, wal: l})
+	if o.Ingest != nil {
+		t.ing, err = newIngester(*o.Ingest)
+		if err != nil {
+			t.Close()
+			return nil, err
+		}
+	}
+	return t, nil
 }
 
 // Open reattaches a Gauss-tree previously persisted at path. Everything the
@@ -188,8 +241,11 @@ func New(dim int, opts ...Options) (*Tree, error) {
 // PageSize and Combiner are taken from the file and ignored.
 //
 // Recovery is crash-safe: the double-buffered meta page always yields the
-// last fully committed state, so a process killed mid-mutation reopens to a
-// consistent tree as of its last completed Insert/InsertAll/Delete/BulkLoad.
+// last fully committed checkpoint, and Open then replays the write-ahead
+// log tail (path + ".wal") on top of it — a torn or partial final log
+// record is detected by checksum and discarded. A process killed at any
+// point therefore reopens to a commit-consistent tree containing every
+// acknowledged mutation.
 func Open(path string, opts ...Options) (*Tree, error) {
 	var o Options
 	if len(opts) > 0 {
@@ -213,89 +269,223 @@ func Open(path string, opts ...Options) (*Tree, error) {
 		mgr.Close()
 		return nil, err
 	}
-	return &Tree{tree: tr, mgr: mgr, opts: o}, nil
+	l, tail, err := wal.Open(path+".wal", tr.Dim(), tr.AppliedLSN(), wal.Options{Interval: o.CommitLatency})
+	if err == nil {
+		if err = tr.ApplyWALTail(tail); err == nil {
+			// SetWAL truncates the log: the replayed tail is now folded into
+			// the committed meta record.
+			err = tr.SetWAL(l)
+		}
+	}
+	if err != nil {
+		if l != nil {
+			l.Close()
+		}
+		mgr.Close()
+		return nil, err
+	}
+	t := &Tree{opts: o}
+	t.st.Store(&treeState{tree: tr, mgr: mgr, wal: l})
+	if o.Ingest != nil {
+		t.ing, err = newIngester(*o.Ingest)
+		if err == nil {
+			err = t.ing.seed(tr)
+		}
+		if err != nil {
+			t.Close()
+			return nil, err
+		}
+	}
+	return t, nil
 }
 
-// Dim returns the feature dimensionality of the index.
+// state returns the live engine state or ErrClosed. It is the lock-free
+// entry point of every read operation.
+func (t *Tree) state() (*treeState, error) {
+	st := t.st.Load()
+	if st == nil {
+		return nil, ErrClosed
+	}
+	return st, nil
+}
+
+// Dim returns the feature dimensionality of the index (0 after Close).
 func (t *Tree) Dim() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.tree.Dim()
+	st := t.st.Load()
+	if st == nil {
+		return 0
+	}
+	return st.tree.Dim()
 }
 
-// Len returns the number of stored vectors.
+// Len returns the number of stored vectors as of the current published
+// snapshot (0 after Close).
 func (t *Tree) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.tree.Len()
+	st := t.st.Load()
+	if st == nil {
+		return 0
+	}
+	return st.tree.Len()
 }
 
-// Height returns the tree height (1 = the root is a leaf).
+// Height returns the tree height (1 = the root is a leaf; 0 after Close).
 func (t *Tree) Height() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.tree.Height()
+	st := t.st.Load()
+	if st == nil {
+		return 0
+	}
+	return st.tree.Height()
 }
 
 // LeafFormat returns the leaf storage format the index writes.
 func (t *Tree) LeafFormat() LeafFormat {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if t.tree == nil {
+	st := t.st.Load()
+	if st == nil {
 		return LeafExact
 	}
-	return t.tree.LeafFormat()
+	return st.tree.LeafFormat()
+}
+
+// SnapshotEpoch returns the reclamation epoch of the currently published
+// root snapshot. It advances by one per committed mutation; monitoring it
+// (gaussd exposes it via /v1/stats) shows write progress without touching
+// any lock.
+func (t *Tree) SnapshotEpoch() uint64 {
+	st := t.st.Load()
+	if st == nil {
+		return 0
+	}
+	return st.tree.SnapshotEpoch()
+}
+
+// WALStats reports write-ahead-log counters of a file-backed tree: total
+// fsyncs, total appended records, their ratio (the mean group-commit batch
+// size — the central metric of the group-commit write path), and the
+// highest durable LSN. ok is false for memory-backed or closed trees.
+func (t *Tree) WALStats() (ws WALStats, ok bool) {
+	st := t.st.Load()
+	if st == nil || st.wal == nil {
+		return WALStats{}, false
+	}
+	s := st.wal.Stats()
+	return WALStats{
+		Fsyncs:        s.Fsyncs,
+		Records:       s.Records,
+		MeanGroupSize: s.MeanGroupSize(),
+		DurableLSN:    s.DurableLSN,
+	}, true
+}
+
+// WALStats are cumulative write-ahead-log counters; see Tree.WALStats.
+type WALStats struct {
+	// Fsyncs is the number of log fsyncs issued.
+	Fsyncs uint64
+	// Records is the number of logical records appended.
+	Records uint64
+	// MeanGroupSize is Records per fsync: how many mutations each
+	// group commit amortized (0 before the first fsync).
+	MeanGroupSize float64
+	// DurableLSN is the highest log sequence number known fsynced.
+	DurableLSN uint64
 }
 
 // Insert adds a probabilistic feature vector to the index. Duplicate ids are
 // permitted (several observations of the same object may coexist); Delete
 // removes one matching copy.
 //
-// Mutations are durably committed before they return. If a mutation fails
+// Durability: on a file-backed tree Insert returns once its record is
+// fsynced in the write-ahead log — concurrent mutations share that fsync
+// (group commit, see Options.CommitLatency) — and the tree pages
+// themselves are checkpointed periodically, on Sync and on Close. On a
+// memory-backed tree in-memory commit is immediate. If a mutation fails
 // mid-flight (an I/O error, not input validation), the tree refuses all
-// further mutations to protect the committed on-disk state; Close it and
-// reattach with Open to recover the state as of the last completed
-// mutation. This applies to Insert, InsertAll, BulkLoad and Delete alike.
+// further mutations to protect the committed state; Close it and reattach
+// with Open to recover every acknowledged mutation. This applies to
+// Insert, InsertAll, BulkLoad and Delete alike.
+//
+// In merge-ingest mode (Options.Ingest) Insert may instead fold v into an
+// existing near-duplicate stored Gaussian; see IngestOptions.
 func (t *Tree) Insert(v Vector) error {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.tree == nil {
+	st := t.st.Load()
+	if st == nil {
+		t.mu.Unlock()
 		return ErrClosed
 	}
-	return t.tree.Insert(v)
+	var err error
+	if t.ing != nil {
+		err = t.ing.insert(st.tree, v)
+	} else {
+		err = st.tree.Insert(v)
+	}
+	t.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return st.tree.WaitDurable()
 }
 
-// InsertAll adds a batch of vectors.
-func (t *Tree) InsertAll(vs []Vector) error {
+// InsertAll adds a batch of vectors and returns how many of them are
+// durably applied. On success that is len(vs). On error the batch may have
+// been applied partially: the returned count is the length of the prefix
+// vs[:n] that is both applied and durable — a crash and reopen after
+// InsertAll returns (n, err) recovers a tree containing exactly vs[:n] of
+// this batch (plus everything committed before it). The remaining vectors
+// were not applied and may be retried.
+//
+// InsertAll always inserts verbatim; merge-ingest mode (Options.Ingest)
+// only affects Insert.
+func (t *Tree) InsertAll(vs []Vector) (int, error) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.tree == nil {
-		return ErrClosed
+	st := t.st.Load()
+	if st == nil {
+		t.mu.Unlock()
+		return 0, ErrClosed
 	}
-	return t.tree.InsertAll(vs)
+	n, err := st.tree.InsertAll(vs)
+	t.mu.Unlock()
+	return n, err
 }
 
 // BulkLoad builds the index from a vector set in one pass (the tree must be
 // empty). Bulk-loaded trees have near-full pages and are both faster to
-// build and faster to query than insertion-built ones.
+// build and faster to query than insertion-built ones. BulkLoad commits a
+// full checkpoint: it is durable on return without writing the WAL.
 func (t *Tree) BulkLoad(vs []Vector) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.tree == nil {
+	st := t.st.Load()
+	if st == nil {
 		return ErrClosed
 	}
-	return t.tree.BulkLoad(vs)
+	if err := st.tree.BulkLoad(vs); err != nil {
+		return err
+	}
+	if t.ing != nil {
+		return t.ing.seed(st.tree)
+	}
+	return nil
 }
 
 // Delete removes one stored copy of the exact vector (id, means and sigmas
-// must all match) and reports whether one was found.
+// must all match) and reports whether one was found. Like Insert it is
+// acknowledged once its WAL record is durable.
 func (t *Tree) Delete(v Vector) (bool, error) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.tree == nil {
+	st := t.st.Load()
+	if st == nil {
+		t.mu.Unlock()
 		return false, ErrClosed
 	}
-	return t.tree.Delete(v)
+	found, err := st.tree.Delete(v)
+	if found && err == nil && t.ing != nil {
+		t.ing.forget(v.ID)
+	}
+	t.mu.Unlock()
+	if !found || err != nil {
+		return found, err
+	}
+	return true, st.tree.WaitDurable()
 }
 
 // KMostLikely answers a k-most-likely identification query (the paper's
@@ -311,17 +501,18 @@ func (t *Tree) KMostLikely(q Vector, k int) ([]Match, error) {
 // KMLIQContext is KMostLikely with cancellation and per-query statistics:
 // when ctx is cancelled the traversal stops promptly and returns ctx.Err()
 // along with the statistics accumulated so far. Queries from any number of
-// goroutines may run concurrently.
+// goroutines may run concurrently — and concurrently with writers: each
+// query pins the snapshot published by the last committed mutation and
+// never takes the tree lock.
 func (t *Tree) KMLIQContext(ctx context.Context, q Vector, k int) ([]Match, QueryStats, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if t.tree == nil {
-		return nil, QueryStats{}, ErrClosed
-	}
-	if err := errors.Join(checkQueryVector(q, t.tree.Dim()), checkK(k)); err != nil {
+	st, err := t.state()
+	if err != nil {
 		return nil, QueryStats{}, err
 	}
-	res, stats, err := t.tree.KMLIQ(ctx, q, k, t.opts.Accuracy)
+	if err := errors.Join(checkQueryVector(q, st.tree.Dim()), checkK(k)); err != nil {
+		return nil, QueryStats{}, err
+	}
+	res, stats, err := st.tree.KMLIQ(ctx, q, k, t.opts.Accuracy)
 	return toMatches(res), stats, err
 }
 
@@ -337,15 +528,14 @@ func (t *Tree) KMostLikelyRanked(q Vector, k int) ([]Match, error) {
 // KMLIQRankedContext is KMostLikelyRanked with cancellation and per-query
 // statistics.
 func (t *Tree) KMLIQRankedContext(ctx context.Context, q Vector, k int) ([]Match, QueryStats, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if t.tree == nil {
-		return nil, QueryStats{}, ErrClosed
-	}
-	if err := errors.Join(checkQueryVector(q, t.tree.Dim()), checkK(k)); err != nil {
+	st, err := t.state()
+	if err != nil {
 		return nil, QueryStats{}, err
 	}
-	res, stats, err := t.tree.KMLIQRanked(ctx, q, k)
+	if err := errors.Join(checkQueryVector(q, st.tree.Dim()), checkK(k)); err != nil {
+		return nil, QueryStats{}, err
+	}
+	res, stats, err := st.tree.KMLIQRanked(ctx, q, k)
 	return toMatches(res), stats, err
 }
 
@@ -360,83 +550,101 @@ func (t *Tree) Threshold(q Vector, pTheta float64) ([]Match, error) {
 
 // TIQContext is Threshold with cancellation and per-query statistics.
 func (t *Tree) TIQContext(ctx context.Context, q Vector, pTheta float64) ([]Match, QueryStats, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if t.tree == nil {
-		return nil, QueryStats{}, ErrClosed
-	}
-	if err := errors.Join(checkQueryVector(q, t.tree.Dim()), checkPTheta(pTheta)); err != nil {
+	st, err := t.state()
+	if err != nil {
 		return nil, QueryStats{}, err
 	}
-	res, stats, err := t.tree.TIQ(ctx, q, pTheta, t.opts.Accuracy)
+	if err := errors.Join(checkQueryVector(q, st.tree.Dim()), checkPTheta(pTheta)); err != nil {
+		return nil, QueryStats{}, err
+	}
+	res, stats, err := st.tree.TIQ(ctx, q, pTheta, t.opts.Accuracy)
 	return toMatches(res), stats, err
 }
 
 // Stats reports the I/O counters of the underlying page manager. Like every
 // other operation it reports ErrClosed after Close.
 func (t *Tree) Stats() (pagefile.Stats, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if t.tree == nil {
-		return pagefile.Stats{}, ErrClosed
+	st, err := t.state()
+	if err != nil {
+		return pagefile.Stats{}, err
 	}
-	return t.mgr.Stats(), nil
+	return st.mgr.Stats(), nil
 }
 
 // ResetStats zeroes the I/O counters. It reports ErrClosed after Close.
 func (t *Tree) ResetStats() error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.tree == nil {
-		return ErrClosed
+	st, err := t.state()
+	if err != nil {
+		return err
 	}
-	t.mgr.ResetStats()
+	st.mgr.ResetStats()
 	return nil
 }
 
-// CheckInvariants verifies the structural invariants of the index; intended
-// for tests and debugging.
+// CheckInvariants verifies the structural invariants of the index against
+// the current published snapshot; intended for tests and debugging. It runs
+// concurrently with writers without blocking them.
 func (t *Tree) CheckInvariants() error {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if t.tree == nil {
-		return ErrClosed
+	st, err := t.state()
+	if err != nil {
+		return err
 	}
-	return t.tree.CheckInvariants()
+	return st.tree.CheckInvariants()
 }
 
-// ForEach visits every stored vector.
+// ForEach visits every stored vector of one commit-consistent snapshot.
 func (t *Tree) ForEach(fn func(Vector) error) error {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if t.tree == nil {
-		return ErrClosed
+	st, err := t.state()
+	if err != nil {
+		return err
 	}
-	return t.tree.ForEach(fn)
+	return st.tree.ForEach(fn)
 }
 
-// Sync flushes all written pages to stable storage. Mutations are already
-// durably committed when they return; Sync exists for callers that bypass
-// the commit path or want an explicit barrier.
+// Sync is an explicit durability barrier: it checkpoints the write-ahead
+// log into the tree's committed meta record (truncating the log) and
+// flushes the page file. Mutations are already durable when they return —
+// Sync only bounds the recovery replay work and frees log space.
 func (t *Tree) Sync() error {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if t.tree == nil {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.st.Load()
+	if st == nil {
 		return ErrClosed
 	}
-	return t.mgr.Sync()
+	if err := st.tree.Checkpoint(); err != nil {
+		return err
+	}
+	return st.mgr.Sync()
 }
 
-// Close flushes the underlying storage to disk and releases it. The tree is
-// unusable afterwards; a file-backed index can be reattached with Open.
+// Close checkpoints the write-ahead log, flushes the underlying storage to
+// disk and releases it. The tree is unusable afterwards; a file-backed
+// index can be reattached with Open. Queries still in flight when Close is
+// called fail with a storage-closed error — drain readers first if that
+// matters (gaussd does).
 func (t *Tree) Close() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.tree == nil {
+	st := t.st.Swap(nil)
+	if st == nil {
 		return nil
 	}
-	t.tree = nil
-	return t.mgr.Close()
+	var errs []error
+	if st.wal != nil {
+		// Fold the log tail into the meta record so the next Open skips
+		// replay. A checkpoint failure is not data loss — every
+		// acknowledged mutation is already fsynced in the log and will be
+		// replayed — so it does not fail Close.
+		st.tree.Checkpoint()
+		if err := st.wal.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if err := st.mgr.Close(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
 }
 
 // Posterior computes the exact identification probabilities P(vᵢ|q) of a

@@ -182,7 +182,7 @@ func TestDeleteAndLen(t *testing.T) {
 	vs := randomWorld(rng, 300, 2)
 	tree, _ := gausstree.New(2, gausstree.Options{PageSize: 1024})
 	defer tree.Close()
-	if err := tree.InsertAll(vs); err != nil {
+	if _, err := tree.InsertAll(vs); err != nil {
 		t.Fatal(err)
 	}
 	if tree.Len() != 300 {
@@ -246,7 +246,7 @@ func TestConcurrentMixedLoad(t *testing.T) {
 	vs := randomWorld(rng, 300, 2)
 	tree, _ := gausstree.New(2, gausstree.Options{PageSize: 2048})
 	defer tree.Close()
-	if err := tree.InsertAll(vs[:200]); err != nil {
+	if _, err := tree.InsertAll(vs[:200]); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
@@ -328,7 +328,7 @@ func TestPersistenceRoundTrip(t *testing.T) {
 	if err := tree.BulkLoad(vs[:300]); err != nil {
 		t.Fatal(err)
 	}
-	if err := tree.InsertAll(vs[300:]); err != nil {
+	if _, err := tree.InsertAll(vs[300:]); err != nil {
 		t.Fatal(err)
 	}
 	for _, v := range vs[:25] {

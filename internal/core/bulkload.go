@@ -103,14 +103,20 @@ func (t *Tree) bulkLoad(vs []pfv.Vector) error {
 
 	// The previous (empty) root page is superseded; its release is deferred
 	// so a crash before the commit below still recovers the empty tree.
-	t.nodes.invalidate(t.root)
 	if err := t.mgr.FreeDeferred(t.root); err != nil {
 		return err
 	}
 	t.root = level[0].page
 	t.height = height
 	t.count = len(vs)
-	return t.commitMeta()
+	// A bulk load bypasses the WAL (logging a full rebuild record-by-record
+	// would defeat its purpose): it seals with a checkpoint-grade meta
+	// commit covering every previously logged record, then publishes.
+	if err := t.checkpoint(); err != nil {
+		return err
+	}
+	t.publish()
+	return nil
 }
 
 // bestBulkAxis picks the split axis for a partition by evaluating the

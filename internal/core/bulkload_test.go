@@ -75,7 +75,7 @@ func TestBulkLoadPacksLeaves(t *testing.T) {
 
 	// Insert-built tree for comparison must be valid but less packed.
 	tr2 := newTree(t, 2, 1024, Config{})
-	if err := tr2.InsertAll(vs); err != nil {
+	if _, err := tr2.InsertAll(vs); err != nil {
 		t.Fatal(err)
 	}
 	leaves2, _, _ := tr2.NodeCounts()
@@ -97,7 +97,7 @@ func TestBulkLoadedTreeAnswersQueriesExactly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ins.InsertAll(vs); err != nil {
+	if _, err := ins.InsertAll(vs); err != nil {
 		t.Fatal(err)
 	}
 
@@ -133,7 +133,7 @@ func TestBulkLoadedTreeSupportsMutation(t *testing.T) {
 	for i := range extra {
 		extra[i].ID += 10000
 	}
-	if err := tr.InsertAll(extra); err != nil {
+	if _, err := tr.InsertAll(extra); err != nil {
 		t.Fatal(err)
 	}
 	for _, v := range vs[:50] {
@@ -191,7 +191,7 @@ func BenchmarkBulkLoadVsInsert(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			mgr, _ := pagefile.NewManager(pagefile.NewMemBackend(4096), 4096)
 			tr, _ := New(mgr, 4, Config{Combiner: gaussian.CombineAdditive})
-			if err := tr.InsertAll(vs); err != nil {
+			if _, err := tr.InsertAll(vs); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -135,9 +135,10 @@ func (t *Tree) NewKMLIQCursor(ctx context.Context, q pfv.Vector, k int) (*KMLIQC
 }
 
 // Close returns the cursor's pooled traversal and collector state to the
-// query pools. The cursor is unusable afterwards. Closing is optional — an
-// unclosed cursor is simply reclaimed by the GC — but closing keeps
-// steady-state sharded queries allocation-free.
+// query pools and releases the cursor's snapshot pin. The cursor is
+// unusable afterwards. Always close cursors: beyond keeping steady-state
+// sharded queries allocation-free, an unclosed cursor pins its snapshot
+// epoch and blocks page reclamation for every later mutation.
 func (c *KMLIQCursor) Close() {
 	if c.tr == nil {
 		return
@@ -163,9 +164,8 @@ func (c *KMLIQCursor) Refine(accuracy, maxLogUnexplored float64) error {
 	if c.err != nil {
 		return c.err
 	}
-	t := c.tr.tree
 	c.err = c.tr.run(func() bool {
-		if !t.mliqDone(c.top, c.tr.active, &c.tr.denom, accuracy) {
+		if !mliqDone(c.top, c.tr, accuracy) {
 			return false
 		}
 		return c.tr.denom.parts().LogHull <= maxLogUnexplored

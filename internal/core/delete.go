@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/gauss-tree/gausstree/internal/pfv"
+	"github.com/gauss-tree/gausstree/internal/wal"
 )
 
 // Delete removes one stored copy of the given probabilistic feature vector
@@ -36,10 +37,7 @@ func (t *Tree) Delete(v pfv.Vector) (bool, error) {
 	if !found {
 		return false, nil
 	}
-	if err := t.commitMeta(); err != nil {
-		return false, t.fail(err)
-	}
-	return true, nil
+	return true, t.afterMutation(wal.RecDelete, v)
 }
 
 func (t *Tree) delete(v pfv.Vector) (bool, error) {
@@ -47,6 +45,10 @@ func (t *Tree) delete(v pfv.Vector) (bool, error) {
 	if err != nil || !found {
 		return false, err
 	}
+	// Clone the descent before mutating: the path nodes came from the
+	// shared decoded-node cache, and snapshot readers may be traversing
+	// them right now.
+	clonePath(path)
 
 	// Remove the vector from its leaf.
 	leaf := path[len(path)-1].node
@@ -102,7 +104,6 @@ func (t *Tree) delete(v pfv.Vector) (bool, error) {
 		if err != nil {
 			return false, err
 		}
-		t.nodes.invalidate(oldID)
 		if err := t.mgr.FreeDeferred(oldID); err != nil {
 			return false, err
 		}
@@ -114,7 +115,6 @@ func (t *Tree) delete(v pfv.Vector) (bool, error) {
 		// The tree emptied out entirely: restart with an empty leaf root on
 		// a fresh page (the old root page is still part of the committed
 		// tree and must survive until the commit).
-		t.nodes.invalidate(root.id)
 		if err := t.mgr.FreeDeferred(root.id); err != nil {
 			return false, err
 		}
@@ -216,9 +216,10 @@ func (t *Tree) collectVectors(n *node) ([]pfv.Vector, error) {
 }
 
 // freeNodeSubtree frees the pages of an already loaded node and all its
-// descendants, deferred: the pages belong to the last committed tree, so
-// reusing them before the next commit (e.g. for this delete's condensation
-// re-inserts) would overwrite committed state in place.
+// descendants, deferred: the pages belong to the last committed tree (and
+// possibly to pinned reader snapshots), so reusing them before the next
+// commit (e.g. for this delete's condensation re-inserts) would overwrite
+// state still being read.
 func (t *Tree) freeNodeSubtree(n *node) error {
 	if !n.leaf {
 		for _, c := range n.children {
@@ -227,11 +228,9 @@ func (t *Tree) freeNodeSubtree(n *node) error {
 			}
 		}
 	} else if n.quant != nil {
-		t.nodes.invalidate(n.quant.sidecar)
 		if err := t.mgr.FreeDeferred(n.quant.sidecar); err != nil {
 			return err
 		}
 	}
-	t.nodes.invalidate(n.id)
 	return t.mgr.FreeDeferred(n.id)
 }

@@ -29,7 +29,13 @@ var _ query.Engine = (*Tree)(nil)
 // performs no traversal allocations. Resumable cursors (cursor.go) outlive
 // their query call and simply never release — the pool tolerates that.
 type traversal struct {
-	tree       *Tree
+	tree *Tree
+	// snap is the immutable tree state this traversal reads; pinEpoch is
+	// the page-reclamation pin protecting its pages (released on release).
+	// Queries therefore run entirely against the snapshot published when
+	// they started, concurrent mutations notwithstanding.
+	snap       *treeSnap
+	pinEpoch   uint64
 	ctx        context.Context
 	q          pfv.Vector
 	eval       pfv.JointEvaluator // per-query fast path of JointLogDensity
@@ -78,6 +84,7 @@ var traversalPool = sync.Pool{
 func (t *Tree) newTraversal(ctx context.Context, q pfv.Vector, trackDenom bool, onVector func(pfv.Vector, float64)) *traversal {
 	tr := traversalPool.Get().(*traversal)
 	tr.tree = t
+	tr.snap, tr.pinEpoch = t.pinSnap()
 	tr.ctx = ctx
 	tr.q = q
 	tr.eval.Reset(t.cfg.Combiner, q)
@@ -103,7 +110,12 @@ func (t *Tree) newTraversal(ctx context.Context, q pfv.Vector, trackDenom bool, 
 // must have extracted stats via finish first and must not touch the
 // traversal afterwards.
 func (tr *traversal) release() {
+	if tr.tree != nil {
+		tr.tree.mgr.UnpinEpoch(tr.pinEpoch)
+	}
 	tr.tree = nil
+	tr.snap = nil
+	tr.pinEpoch = 0
 	tr.ctx = nil
 	tr.q = pfv.Vector{}
 	tr.eval.Reset(0, pfv.Vector{})
@@ -132,7 +144,7 @@ func (tr *traversal) release() {
 func (tr *traversal) run(done func() bool) error {
 	if !tr.started {
 		tr.started = true
-		if err := tr.expand(activeNode{page: tr.tree.root, count: tr.tree.count}); err != nil {
+		if err := tr.expand(activeNode{page: tr.snap.root, count: tr.snap.count}); err != nil {
 			return err
 		}
 	}

@@ -7,6 +7,7 @@ import (
 
 	"github.com/gauss-tree/gausstree/internal/pagefile"
 	"github.com/gauss-tree/gausstree/internal/pfv"
+	"github.com/gauss-tree/gausstree/internal/wal"
 )
 
 // pathStep records one node on the root-to-leaf descent together with the
@@ -24,10 +25,13 @@ type pathStep struct {
 // are resolved by the median split minimizing the configured objective.
 //
 // The mutation is shadow-paged (every dirtied node moves to a fresh page)
-// and sealed by a meta commit, so a crash mid-insert recovers the tree as of
-// the previous commit. A failed Insert poisons the tree: further mutations
-// are refused, because committing on top of a partially applied mutation
-// could durably corrupt the index — reopen from the page store to recover.
+// and sealed either by a meta commit or, with a WAL attached, by one
+// logical log record (group-committed; call WaitDurable after releasing
+// the writer lock to await the shared fsync). A crash mid-insert recovers
+// the tree as of the previous commit plus the replayed WAL tail. A failed
+// Insert poisons the tree: further mutations are refused, because
+// committing on top of a partially applied mutation could durably corrupt
+// the index — reopen from the page store to recover.
 func (t *Tree) Insert(v pfv.Vector) error {
 	if v.Dim() != t.dim {
 		return fmt.Errorf("%w: vector dimension %d, tree dimension %d", ErrDimension, v.Dim(), t.dim)
@@ -38,10 +42,7 @@ func (t *Tree) Insert(v pfv.Vector) error {
 	if err := t.insert(v); err != nil {
 		return t.fail(err)
 	}
-	if err := t.commitMeta(); err != nil {
-		return t.fail(err)
-	}
-	return nil
+	return t.afterMutation(wal.RecInsert, v)
 }
 
 // insert is Insert without the meta commit, for batching mutations under a
@@ -54,6 +55,10 @@ func (t *Tree) insert(v pfv.Vector) error {
 	if err != nil {
 		return err
 	}
+	// Clone the descent before mutating: the path nodes came from the
+	// shared decoded-node cache, and snapshot readers may be traversing
+	// them right now.
+	clonePath(path)
 	leaf := path[len(path)-1].node
 	if err := t.materializeLeaf(leaf); err != nil {
 		return err
@@ -120,40 +125,83 @@ func (t *Tree) insert(v pfv.Vector) error {
 	return nil
 }
 
-// insertAllCommitInterval bounds how many inserts InsertAll batches under
-// one meta commit. Copy-on-write keeps the pages of the last committed tree
-// alive until the next commit, so the interval caps both the transient file
-// growth and the pending-free list a single commit must persist (one meta
-// slot holds ~2000 freelist ids at the default page size).
+// insertAllCommitInterval bounds how many inserts a WAL-less InsertAll
+// batches under one meta commit. Copy-on-write keeps the pages of the last
+// committed tree alive until the next commit, so the interval caps both the
+// transient file growth and the pending-free list a single commit must
+// persist (one meta slot holds ~2000 freelist ids at the default page
+// size). WAL-attached trees log every insert and checkpoint on the
+// walCheckpointInterval instead — no fsync cliff, because the log records
+// are group-committed.
 const insertAllCommitInterval = 512
 
-// InsertAll inserts a batch of vectors, committing every
-// insertAllCommitInterval inserts and once at the end. A crash mid-batch
-// recovers a consistent tree holding a committed prefix of the batch; a
-// failed batch poisons the tree like Insert.
-func (t *Tree) InsertAll(vs []pfv.Vector) error {
+// InsertAll inserts a batch of vectors and returns how many of them are
+// durably applied. On success that is len(vs) — with a WAL attached,
+// InsertAll awaits the group commit of the batch's last record before
+// returning; without one, the final meta commit seals the batch. On error
+// the count is the durable prefix: everything up to the last successful
+// checkpoint/commit, extended to the full applied prefix when an explicit
+// log flush succeeds. A crash mid-batch recovers a consistent tree holding
+// at least that prefix; a failed batch poisons the tree like Insert.
+func (t *Tree) InsertAll(vs []pfv.Vector) (int, error) {
 	for i, v := range vs {
 		if v.Dim() != t.dim {
-			return fmt.Errorf("%w: vector %d has dimension %d, tree dimension %d", ErrDimension, i, v.Dim(), t.dim)
+			return 0, fmt.Errorf("%w: vector %d has dimension %d, tree dimension %d", ErrDimension, i, v.Dim(), t.dim)
 		}
 	}
 	if err := t.mutable(); err != nil {
-		return err
+		return 0, err
 	}
+	durable := 0 // prefix known durable without further log flushing
 	for i, v := range vs {
 		if err := t.insert(v); err != nil {
-			return t.fail(err)
+			return t.settleDurable(durable, i), t.fail(err)
+		}
+		if t.wal != nil {
+			lsn, err := t.wal.Append(wal.RecInsert, v)
+			if err != nil {
+				return t.settleDurable(durable, i), t.fail(err)
+			}
+			t.lastLSN.Store(lsn)
+			t.walSince++
+			t.publish()
+			if t.walSince >= walCheckpointInterval {
+				if err := t.checkpoint(); err != nil {
+					return t.settleDurable(durable, i+1), err
+				}
+				durable = i + 1
+			}
+			continue
 		}
 		if (i+1)%insertAllCommitInterval == 0 {
 			if err := t.commitMeta(); err != nil {
-				return t.fail(err)
+				return durable, t.fail(err)
 			}
+			t.publish()
+			durable = i + 1
 		}
 	}
-	if err := t.commitMeta(); err != nil {
-		return t.fail(err)
+	if t.wal == nil {
+		if err := t.commitMeta(); err != nil {
+			return durable, t.fail(err)
+		}
+		t.publish()
+		return len(vs), nil
 	}
-	return nil
+	if err := t.WaitDurable(); err != nil {
+		return t.settleDurable(durable, len(vs)), t.fail(err)
+	}
+	return len(vs), nil
+}
+
+// settleDurable resolves the durably-applied count of a failed batch: the
+// applied prefix when the write-ahead log can still be flushed, otherwise
+// the last checkpoint-covered prefix.
+func (t *Tree) settleDurable(durable, applied int) int {
+	if t.wal != nil && t.wal.Sync() == nil {
+		return applied
+	}
+	return durable
 }
 
 // choosePath selects the root-to-leaf insertion path.

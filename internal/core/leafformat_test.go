@@ -144,7 +144,7 @@ func buildFormatTree(t *testing.T, vs []pfv.Vector, dim, pageSize int, format Le
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := tr.InsertAll(vs); err != nil {
+	if _, err := tr.InsertAll(vs); err != nil {
 		t.Fatal(err)
 	}
 	if err := tr.CheckInvariants(); err != nil {
@@ -239,7 +239,7 @@ func TestQuantizedMutationPaths(t *testing.T) {
 			}
 		}
 		extra := clusteredVectors(rng, 80, dim, 2)
-		if err := tr.InsertAll(extra); err != nil {
+		if _, err := tr.InsertAll(extra); err != nil {
 			t.Fatal(err)
 		}
 		if err := tr.CheckInvariants(); err != nil {
@@ -325,7 +325,7 @@ func TestLegacyRowLeafFixture(t *testing.T) {
 
 	// Mutating a legacy index must work: new writes use the tree's
 	// configured format, old pages stay decodable side by side.
-	if err := tr.InsertAll(clusteredVectors(rng, 60, 4, 2)); err != nil {
+	if _, err := tr.InsertAll(clusteredVectors(rng, 60, 4, 2)); err != nil {
 		t.Fatal(err)
 	}
 	if err := tr.CheckInvariants(); err != nil {

@@ -17,19 +17,23 @@ import (
 // was built with, so the configuration travels with the file rather than
 // with the caller.
 
-// treeMetaVersion versions the core layer's meta payload. Version 2 appends
-// the leaf storage format; version 1 records are still decoded (their trees
-// read as LeafExact — v1 files predate quantized leaves, and their row-major
-// pages are decoded by kind regardless).
-const treeMetaVersion = 2
+// treeMetaVersion versions the core layer's meta payload. Version 3
+// appends the applied write-ahead-log LSN (recovery replays only records
+// above it); version 2 appended the leaf storage format. Older records are
+// still decoded: v1/v2 files predate the WAL and read as appliedLSN 0,
+// v1 files additionally read as LeafExact.
+const treeMetaVersion = 3
 
 // treeMetaLenV1 is the version-1 encoded size: version (1) + root (4) +
 // dim (4) + height (4) + count (8) + split (1) + insert (1) +
 // probe fanout (2) + combiner (1).
 const treeMetaLenV1 = 26
 
-// treeMetaLen is the version-2 encoded size: v1 + leaf format (1).
-const treeMetaLen = 27
+// treeMetaLenV2 is the version-2 encoded size: v1 + leaf format (1).
+const treeMetaLenV2 = 27
+
+// treeMetaLen is the version-3 encoded size: v2 + applied LSN (8).
+const treeMetaLen = 35
 
 // ErrNoIndex is returned by Open when the page store holds no committed
 // index.
@@ -46,6 +50,7 @@ func (t *Tree) encodeMeta() []byte {
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(t.cfg.ProbeFanout))
 	buf = append(buf, byte(t.cfg.Combiner))
 	buf = append(buf, byte(t.cfg.LeafFormat))
+	buf = binary.LittleEndian.AppendUint64(buf, t.appliedLSN)
 	return buf
 }
 
@@ -56,6 +61,10 @@ func decodeTreeMeta(buf []byte) (meta Meta, cfg Config, err error) {
 	version := buf[0]
 	switch {
 	case version == 1:
+	case version == 2:
+		if len(buf) < treeMetaLenV2 {
+			return Meta{}, Config{}, fmt.Errorf("core: tree meta truncated (%d bytes, want %d)", len(buf), treeMetaLenV2)
+		}
 	case version == treeMetaVersion:
 		if len(buf) < treeMetaLen {
 			return Meta{}, Config{}, fmt.Errorf("core: tree meta truncated (%d bytes, want %d)", len(buf), treeMetaLen)
@@ -77,6 +86,9 @@ func decodeTreeMeta(buf []byte) (meta Meta, cfg Config, err error) {
 	}
 	if version >= 2 {
 		cfg.LeafFormat = LeafFormat(buf[26])
+	}
+	if version >= 3 {
+		meta.AppliedLSN = binary.LittleEndian.Uint64(buf[27:])
 	}
 	switch {
 	case meta.Dim <= 0:

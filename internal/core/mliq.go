@@ -61,13 +61,15 @@ func (t *Tree) KMLIQRanked(ctx context.Context, q pfv.Vector, k int) ([]query.Re
 	if err := t.checkQuery(q, k); err != nil {
 		return nil, query.Stats{}, err
 	}
-	if t.count == 0 {
-		return []query.Result{}, query.Stats{}, nil
-	}
 	top := acquireTopK(k)
 	tr := t.newTraversal(ctx, q, false, func(v pfv.Vector, ld float64) {
 		top.Offer(v, ld)
 	})
+	if tr.snap.count == 0 {
+		tr.release()
+		releaseTopK(top)
+		return []query.Result{}, query.Stats{}, nil
+	}
 	// Once the heap is full its bound is the monotone admission threshold:
 	// leaf vectors (and whole quantized leaves) that provably cannot beat it
 	// are skipped without exact scoring.
@@ -117,20 +119,22 @@ func (t *Tree) KMLIQ(ctx context.Context, q pfv.Vector, k int, accuracy float64)
 	if err := t.checkQuery(q, k); err != nil {
 		return nil, query.Stats{}, err
 	}
-	if t.count == 0 {
-		return []query.Result{}, query.Stats{}, nil
-	}
 	top := acquireTopK(k)
 	tr := t.newTraversal(ctx, q, true, func(v pfv.Vector, ld float64) {
 		top.Offer(v, ld)
 	})
+	if tr.snap.count == 0 {
+		tr.release()
+		releaseTopK(top)
+		return []query.Result{}, query.Stats{}, nil
+	}
 	// Quantized leaves whose best certified hull cannot beat the full heap's
 	// bound keep their exact sidecars unread; their [floor, hull] sums join
 	// the permanent denominator residue instead (see expandQuantLeaf). No
 	// screenBound here: the denominator needs every explored leaf's exact
 	// densities.
 	tr.leafThreshold = top.Bound
-	if err := tr.run(func() bool { return t.mliqDone(top, tr.active, &tr.denom, accuracy) }); err != nil {
+	if err := tr.run(func() bool { return mliqDone(top, tr, accuracy) }); err != nil {
 		st := tr.finish(top.Len())
 		tr.release()
 		releaseTopK(top)
@@ -156,10 +160,12 @@ func (t *Tree) KMLIQ(ctx context.Context, q pfv.Vector, k int, accuracy float64)
 	return out, st, nil
 }
 
-// mliqDone evaluates the two-part §5.2.2 stop condition.
-func (t *Tree) mliqDone(top *pqueue.TopK[pfv.Vector], active *pqueue.Queue[activeNode], denom *denomTracker, accuracy float64) bool {
+// mliqDone evaluates the two-part §5.2.2 stop condition against the
+// traversal's pinned snapshot (its count, active queue and denominator).
+func mliqDone(top *pqueue.TopK[pfv.Vector], tr *traversal, accuracy float64) bool {
+	active, denom := tr.active, &tr.denom
 	bound, full := top.Bound()
-	if !full && top.Len() < t.count {
+	if !full && top.Len() < tr.snap.count {
 		return false
 	}
 	if full {

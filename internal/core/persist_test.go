@@ -189,7 +189,7 @@ func TestFailedMutationPoisonsTree(t *testing.T) {
 	if _, err := tr.Delete(good); !errors.Is(err, pagefile.ErrInjected) {
 		t.Fatalf("delete on poisoned tree = %v, want the poisoning error", err)
 	}
-	if err := tr.InsertAll([]pfv.Vector{good}); !errors.Is(err, pagefile.ErrInjected) {
+	if _, err := tr.InsertAll([]pfv.Vector{good}); !errors.Is(err, pagefile.ErrInjected) {
 		t.Fatalf("batch on poisoned tree = %v, want the poisoning error", err)
 	}
 	mgr.Close()

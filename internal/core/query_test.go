@@ -22,7 +22,7 @@ func buildPair(t *testing.T, vs []pfv.Vector, dim, pageSize int, cfg Config) (*T
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := tr.InsertAll(vs); err != nil {
+	if _, err := tr.InsertAll(vs); err != nil {
 		t.Fatal(err)
 	}
 	mgrS, _ := pagefile.NewManager(pagefile.NewMemBackend(pageSize), pageSize)
@@ -311,7 +311,7 @@ func TestTreeTouchesFewerPagesThanScanOnClusteredData(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := tr.InsertAll(vs); err != nil {
+	if _, err := tr.InsertAll(vs); err != nil {
 		t.Fatal(err)
 	}
 	mgrS, _ := pagefile.NewManager(pagefile.NewMemBackend(2048), 2048)

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"github.com/gauss-tree/gausstree/internal/pagefile"
+	"github.com/gauss-tree/gausstree/internal/pfv"
+	"github.com/gauss-tree/gausstree/internal/wal"
+)
+
+// Snapshot-isolated reads.
+//
+// A mutation never edits a node object a reader might hold: the descent
+// clones every node on the insertion/deletion path before touching it
+// (node.clone), writes the clones copy-on-write to fresh pages, and finally
+// publishes the new tree state as an immutable treeSnap behind an atomic
+// pointer. Readers pin a page-reclamation epoch (pagefile.Manager.PinEpoch)
+// FIRST and load the published snapshot SECOND; the writer stores the new
+// snapshot FIRST and advances the epoch SECOND (publish). That ordering
+// guarantees every page reachable from the snapshot a reader loaded stays
+// out of the allocator until the reader unpins — see internal/pagefile's
+// epoch.go for the full argument. Queries therefore never take the tree
+// lock and never block on a concurrent writer.
+
+// treeSnap is one immutable published tree state. Readers navigate from
+// snap.root and use snap.count for result-set bookkeeping; the writer's
+// t.root/t.count are private to the mutation in progress.
+type treeSnap struct {
+	root   pagefile.PageID
+	height int
+	count  int
+}
+
+// publish makes the writer's current state visible to new readers and
+// advances the reclamation epoch so pages freed by the mutation wait for
+// the readers still traversing the previous snapshot.
+func (t *Tree) publish() {
+	t.snap.Store(&treeSnap{root: t.root, height: t.height, count: t.count})
+	t.mgr.AdvanceEpoch()
+}
+
+// snapshot returns the currently published tree state. Callers that read
+// pages must pin an epoch BEFORE calling this (pinSnap does both in the
+// right order).
+func (t *Tree) snapshot() *treeSnap {
+	return t.snap.Load()
+}
+
+// pinSnap pins the current reclamation epoch and then loads the published
+// snapshot — in that order, which is what makes the snapshot's pages safe
+// to read. Release with t.mgr.UnpinEpoch(epoch).
+func (t *Tree) pinSnap() (*treeSnap, uint64) {
+	epoch := t.mgr.PinEpoch()
+	return t.snap.Load(), epoch
+}
+
+// SnapshotEpoch returns the current publish epoch (diagnostics/stats).
+func (t *Tree) SnapshotEpoch() uint64 {
+	return t.mgr.Epoch()
+}
+
+// clone returns a mutable copy of the node for the write path: the entry
+// slices are copied (with one spare slot, since inserts append), while the
+// payload values themselves (vectors, boxes, quantized payload, columnar
+// view) are shared — mutation paths only ever rebind those, never edit them
+// in place.
+func (n *node) clone() *node {
+	c := &node{id: n.id, leaf: n.leaf, kind: n.kind, cols: n.cols, quant: n.quant}
+	if n.vectors != nil {
+		c.vectors = append(make([]pfv.Vector, 0, len(n.vectors)+1), n.vectors...)
+	}
+	if n.children != nil {
+		c.children = append(make([]childEntry, 0, len(n.children)+1), n.children...)
+	}
+	return c
+}
+
+// clonePath replaces every node on a descent path with its clone, so the
+// mutation that follows never edits an object shared with the node cache
+// (and thus with concurrent snapshot readers).
+func clonePath(path []pathStep) {
+	for i := range path {
+		path[i].node = path[i].node.clone()
+	}
+}
+
+// --- Write-ahead logging -------------------------------------------------
+
+// walCheckpointInterval bounds how many logical WAL records accumulate
+// before the tree folds them into a durable meta commit and truncates the
+// log. A checkpoint rewrites every dirty page and stalls the write path for
+// its duration, so the interval directly trades sustained insert throughput
+// against recovery replay work and the transient file growth of
+// copy-on-write (pages freed since the last commit stay unreusable until
+// the next one). 2048 keeps checkpoint stalls rare while replaying the
+// worst-case tail in well under a second; if the pending freelist outgrows
+// one meta slot the persisted copy truncates (pages leak only across a
+// crash, never in a live manager — see Manager.CommitMeta).
+const walCheckpointInterval = 2048
+
+// SetWAL attaches a group-commit write-ahead log to the tree. Must be
+// called before any mutation, after Open has replayed the recovered tail
+// (ApplyWALTail). The tree takes over LSN bookkeeping but the caller keeps
+// ownership of the log (for stats and closing). The log is reset: the
+// current tree state is committed, so any surviving records are obsolete.
+func (t *Tree) SetWAL(l *wal.Log) error {
+	t.wal = l
+	t.lastLSN.Store(t.appliedLSN)
+	t.walSince = 0
+	return l.Reset(t.appliedLSN)
+}
+
+// AppliedLSN returns the LSN covered by the last durable meta commit; WAL
+// records at or below it are obsolete.
+func (t *Tree) AppliedLSN() uint64 { return t.appliedLSN }
+
+// LastLSN returns the LSN of the most recent logged mutation (0 when the
+// tree has no WAL or nothing was logged yet).
+func (t *Tree) LastLSN() uint64 { return t.lastLSN.Load() }
+
+// WaitDurable blocks until every mutation applied so far is durable. With a
+// WAL attached that means the group-commit fsync (or a checkpoint) has
+// covered the last logged record — callers invoke it AFTER releasing the
+// writer lock, so concurrent mutations can join the same fsync batch.
+// Without a WAL every mutation commits before returning, so WaitDurable is
+// a no-op.
+func (t *Tree) WaitDurable() error {
+	if t.wal == nil {
+		return nil
+	}
+	lsn := t.lastLSN.Load()
+	if lsn == 0 {
+		return nil
+	}
+	return t.wal.WaitDurable(lsn)
+}
+
+// afterMutation seals one applied logical mutation: it logs the record (or
+// meta-commits when no WAL is attached), publishes the new snapshot to
+// readers, and checkpoints when enough records have accumulated. The
+// caller still holds the writer lock; durability (WaitDurable) is awaited
+// by the public layer after releasing it.
+func (t *Tree) afterMutation(typ wal.RecordType, vectors ...pfv.Vector) error {
+	if t.wal == nil {
+		if err := t.commitMeta(); err != nil {
+			return t.fail(err)
+		}
+		t.publish()
+		return nil
+	}
+	lsn, err := t.wal.Append(typ, vectors...)
+	if err != nil {
+		return t.fail(err)
+	}
+	t.lastLSN.Store(lsn)
+	t.walSince++
+	t.publish()
+	if t.walSince >= walCheckpointInterval {
+		return t.checkpoint()
+	}
+	return nil
+}
+
+// checkpoint durably commits the current tree state (meta version 3 records
+// the covered LSN) and truncates the WAL. Durability waiters at or below
+// the covered LSN are satisfied by the meta commit itself.
+func (t *Tree) checkpoint() error {
+	if t.wal == nil {
+		return t.commitMeta()
+	}
+	lsn := t.lastLSN.Load()
+	t.appliedLSN = lsn
+	if err := t.commitMeta(); err != nil {
+		return t.fail(err)
+	}
+	t.walSince = 0
+	if err := t.wal.Reset(lsn); err != nil {
+		return t.fail(err)
+	}
+	return nil
+}
+
+// Checkpoint folds every logged mutation into a durable meta commit and
+// truncates the WAL (no-op without one). The public layer calls it on
+// Close so a reopened tree starts with an empty log.
+func (t *Tree) Checkpoint() error {
+	if err := t.mutable(); err != nil {
+		return err
+	}
+	if t.wal == nil || t.walSince == 0 {
+		return nil
+	}
+	return t.checkpoint()
+}
+
+// ApplyWALTail replays recovered WAL records on top of the last committed
+// tree state, then commits the result. Records at or below the committed
+// appliedLSN are skipped (they can only appear when a checkpoint truncation
+// reached the disk but a subsequent crash resurrected stale frames — LSNs
+// are never reused, so the filter is exact). Call before SetWAL.
+func (t *Tree) ApplyWALTail(records []wal.Record) error {
+	if err := t.mutable(); err != nil {
+		return err
+	}
+	applied := t.appliedLSN
+	n := 0
+	for _, r := range records {
+		if r.LSN <= applied {
+			continue
+		}
+		var err error
+		switch r.Type {
+		case wal.RecInsert:
+			err = t.insert(r.Vectors[0])
+		case wal.RecDelete:
+			_, err = t.delete(r.Vectors[0])
+		case wal.RecMerge:
+			err = t.replace(r.Vectors[0], r.Vectors[1])
+		}
+		if err != nil {
+			return t.fail(err)
+		}
+		applied = r.LSN
+		n++
+	}
+	if n == 0 {
+		t.publish()
+		return nil
+	}
+	t.appliedLSN = applied
+	t.lastLSN.Store(applied)
+	if err := t.commitMeta(); err != nil {
+		return t.fail(err)
+	}
+	t.publish()
+	return nil
+}
+
+// Replace atomically substitutes one stored vector with another (the
+// ingest merge path): a single logical mutation, a single WAL record, a
+// single published snapshot — a reader either sees the old vector or the
+// merged one, never both and never neither. Returns false (without
+// mutating) when old is not stored.
+func (t *Tree) Replace(old, merged pfv.Vector) (bool, error) {
+	if old.Dim() != t.dim || merged.Dim() != t.dim {
+		return false, ErrDimension
+	}
+	if err := t.mutable(); err != nil {
+		return false, err
+	}
+	found, err := t.findVector(old)
+	if err != nil || !found {
+		return false, err
+	}
+	if err := t.replace(old, merged); err != nil {
+		return false, t.fail(err)
+	}
+	return true, t.afterMutation(wal.RecMerge, old, merged)
+}
+
+// replace applies delete(old)+insert(merged) as one unsealed mutation. A
+// delete miss is tolerated (it cannot happen on the live Replace path,
+// which finds the vector first; replay filters already-applied records by
+// LSN): the merged vector is inserted regardless, keeping replay total.
+func (t *Tree) replace(old, merged pfv.Vector) error {
+	if _, err := t.delete(old); err != nil {
+		return err
+	}
+	return t.insert(merged)
+}
+
+// findVector reports whether the exact vector is stored, without mutating.
+func (t *Tree) findVector(v pfv.Vector) (bool, error) {
+	_, found, err := t.findPath(v)
+	return found, err
+}

@@ -26,10 +26,6 @@ func (t *Tree) TIQ(ctx context.Context, q pfv.Vector, pTheta float64, accuracy f
 	if pTheta < 0 || pTheta > 1 {
 		return nil, query.Stats{}, fmt.Errorf("core: threshold %v outside [0,1]", pTheta)
 	}
-	if t.count == 0 {
-		return []query.Result{}, query.Stats{}, nil
-	}
-
 	candidates := acquireCandidates() // ordered by log density: cheap removal of the weakest
 	maxLd := math.Inf(-1)             // densest candidate seen; prune never outlives it (min-pop)
 	tr := t.newTraversal(ctx, q, true, func(v pfv.Vector, ld float64) {
@@ -38,6 +34,11 @@ func (t *Tree) TIQ(ctx context.Context, q pfv.Vector, pTheta float64, accuracy f
 			maxLd = ld
 		}
 	})
+	if tr.snap.count == 0 {
+		tr.release()
+		releaseCandidates(candidates)
+		return []query.Result{}, query.Stats{}, nil
+	}
 
 	prune := func() {
 		// Drop candidates whose best-case probability is already below the

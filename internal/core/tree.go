@@ -3,10 +3,12 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"github.com/gauss-tree/gausstree/internal/gaussian"
 	"github.com/gauss-tree/gausstree/internal/pagefile"
 	"github.com/gauss-tree/gausstree/internal/pfv"
+	"github.com/gauss-tree/gausstree/internal/wal"
 )
 
 // SplitObjective selects the cost function minimized by the median-split
@@ -98,12 +100,18 @@ type Meta struct {
 	Dim    int
 	Height int // 1 = the root is a leaf
 	Count  int
+	// AppliedLSN is the write-ahead-log sequence number covered by this
+	// meta record: recovery replays only records with higher LSNs. Zero on
+	// trees that never had a WAL attached.
+	AppliedLSN uint64
 }
 
-// Tree is a Gauss-tree over a page manager. It is safe for any number of
-// concurrent readers (queries); mutating operations (Insert, Delete,
-// BulkLoad) require external exclusion against both readers and each other
-// — the public façade package holds a write lock around them.
+// Tree is a Gauss-tree over a page manager. Queries are safe for any
+// number of concurrent readers AND run concurrently with a mutation: each
+// query pins the published snapshot (see snapshot.go) and never observes a
+// mutation in progress. Mutating operations (Insert, Delete, BulkLoad)
+// still require external exclusion against each other — the public façade
+// package holds a writer lock around them — but not against readers.
 type Tree struct {
 	mgr    *pagefile.Manager
 	dim    int
@@ -111,6 +119,19 @@ type Tree struct {
 	root   pagefile.PageID
 	height int
 	count  int
+
+	// snap is the published tree state read by lock-free queries; the
+	// writer republishes it after every applied mutation (publish).
+	snap atomic.Pointer[treeSnap]
+
+	// wal, when attached (SetWAL), receives one logical record per applied
+	// mutation; appliedLSN is the LSN covered by the last durable meta
+	// commit, walSince counts records since that commit, and lastLSN is the
+	// most recently logged LSN (read lock-free by WaitDurable).
+	wal        *wal.Log
+	appliedLSN uint64
+	walSince   int
+	lastLSN    atomic.Uint64
 
 	capLeaf, minLeaf   int
 	capInner, minInner int
@@ -159,6 +180,7 @@ func New(mgr *pagefile.Manager, dim int, cfg Config) (*Tree, error) {
 	if err := t.commitMeta(); err != nil {
 		return nil, err
 	}
+	t.publish()
 	return t, nil
 }
 
@@ -182,6 +204,9 @@ func Open(mgr *pagefile.Manager) (*Tree, error) {
 	t.root = meta.Root
 	t.height = meta.Height
 	t.count = meta.Count
+	t.appliedLSN = meta.AppliedLSN
+	t.lastLSN.Store(meta.AppliedLSN)
+	t.publish()
 	return t, nil
 }
 
@@ -242,19 +267,22 @@ func (t *Tree) fail(err error) error {
 	return err
 }
 
-// Meta returns the tree's persistent metadata.
+// Meta returns the tree's persistent metadata (writer-side state; callers
+// mutate under the writer lock).
 func (t *Tree) Meta() Meta {
-	return Meta{Root: t.root, Dim: t.dim, Height: t.height, Count: t.count}
+	return Meta{Root: t.root, Dim: t.dim, Height: t.height, Count: t.count, AppliedLSN: t.appliedLSN}
 }
 
 // Dim returns the feature dimensionality.
 func (t *Tree) Dim() int { return t.dim }
 
-// Len returns the number of stored probabilistic feature vectors.
-func (t *Tree) Len() int { return t.count }
+// Len returns the number of stored probabilistic feature vectors in the
+// published snapshot. Lock-free: safe concurrently with a writer, which
+// observes its own in-progress count via t.count.
+func (t *Tree) Len() int { return t.snapshot().count }
 
-// Height returns the tree height (1 = the root is a leaf).
-func (t *Tree) Height() int { return t.height }
+// Height returns the published tree height (1 = the root is a leaf).
+func (t *Tree) Height() int { return t.snapshot().height }
 
 // Config returns the tree's configuration.
 func (t *Tree) Config() Config { return t.cfg }
@@ -306,11 +334,17 @@ func (t *Tree) writeNode(n *node) error {
 
 // rewriteNode persists a modified node copy-on-write: the new content goes
 // to a freshly allocated page (updating n.id) and the old page is released
-// deferred, becoming reusable only after the next meta commit. The last
-// committed tree therefore stays byte-for-byte intact on disk throughout
-// the mutation — a crash at any point recovers it. Callers must propagate
-// the id change into the parent's routing entry. A quantized leaf's
-// superseded sidecar page is released alongside its leaf page.
+// deferred, becoming reusable only after the next meta commit AND after
+// every reader pinned at an epoch that could reference it has unpinned
+// (epoch-based reclamation). The last committed tree therefore stays
+// byte-for-byte intact on disk throughout the mutation — a crash at any
+// point recovers it — and concurrent snapshot readers keep traversing the
+// superseded node: its decoded-cache entry is deliberately NOT invalidated
+// (a reclaimed page re-enters circulation only through persistNode or the
+// sidecar write, both of which overwrite the cache entry before the page
+// becomes reachable again). Callers must propagate the id change into the
+// parent's routing entry. A quantized leaf's superseded sidecar page is
+// released alongside its leaf page.
 func (t *Tree) rewriteNode(n *node) error {
 	old := n.id
 	oldSidecar := pagefile.NilPage
@@ -325,12 +359,10 @@ func (t *Tree) rewriteNode(n *node) error {
 	if err := t.persistNode(n); err != nil {
 		return err
 	}
-	t.nodes.invalidate(old)
 	if err := t.mgr.FreeDeferred(old); err != nil {
 		return err
 	}
 	if oldSidecar != pagefile.NilPage {
-		t.nodes.invalidate(oldSidecar)
 		return t.mgr.FreeDeferred(oldSidecar)
 	}
 	return nil
@@ -448,8 +480,10 @@ func (t *Tree) cacheNode(n *node) {
 }
 
 // freeSubtree returns every page of the subtree rooted at id to the
-// allocator (including quantized leaves' sidecar pages), deferred until the
-// next meta commit (the pages belong to the committed tree until then).
+// allocator (including quantized leaves' sidecar pages), deferred through
+// epoch-based reclamation (the pages belong to the committed tree and to
+// any pinned reader snapshot until then). Cache entries stay — see
+// rewriteNode.
 func (t *Tree) freeSubtree(id pagefile.PageID) error {
 	n, err := t.readNode(id)
 	if err != nil {
@@ -462,12 +496,10 @@ func (t *Tree) freeSubtree(id pagefile.PageID) error {
 			}
 		}
 	} else if n.quant != nil {
-		t.nodes.invalidate(n.quant.sidecar)
 		if err := t.mgr.FreeDeferred(n.quant.sidecar); err != nil {
 			return err
 		}
 	}
-	t.nodes.invalidate(id)
 	return t.mgr.FreeDeferred(id)
 }
 

@@ -118,7 +118,7 @@ func TestCollectAllMatchesInserted(t *testing.T) {
 	tr := newTree(t, 3, 512, Config{})
 	rng := rand.New(rand.NewSource(12))
 	vs := clusteredVectors(rng, 300, 3, 4)
-	if err := tr.InsertAll(vs); err != nil {
+	if _, err := tr.InsertAll(vs); err != nil {
 		t.Fatal(err)
 	}
 	got, err := tr.CollectAll()
@@ -144,7 +144,7 @@ func TestMetaOpenRoundTrip(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(13))
 	vs := clusteredVectors(rng, 150, 2, 3)
-	if err := tr.InsertAll(vs); err != nil {
+	if _, err := tr.InsertAll(vs); err != nil {
 		t.Fatal(err)
 	}
 	// InsertAll committed the tree's meta record; Open restores everything
@@ -184,7 +184,7 @@ func TestDeleteSimple(t *testing.T) {
 	tr := newTree(t, 2, 512, Config{})
 	rng := rand.New(rand.NewSource(14))
 	vs := clusteredVectors(rng, 100, 2, 3)
-	if err := tr.InsertAll(vs); err != nil {
+	if _, err := tr.InsertAll(vs); err != nil {
 		t.Fatal(err)
 	}
 	ok, err := tr.Delete(vs[17])
@@ -220,7 +220,7 @@ func TestDeleteAllAndReuse(t *testing.T) {
 	tr := newTree(t, 2, 512, Config{})
 	rng := rand.New(rand.NewSource(15))
 	vs := clusteredVectors(rng, 200, 2, 4)
-	if err := tr.InsertAll(vs); err != nil {
+	if _, err := tr.InsertAll(vs); err != nil {
 		t.Fatal(err)
 	}
 	perm := rng.Perm(len(vs))
@@ -242,7 +242,7 @@ func TestDeleteAllAndReuse(t *testing.T) {
 		t.Errorf("emptied tree height = %d", tr.Height())
 	}
 	// The tree must remain fully usable.
-	if err := tr.InsertAll(vs[:50]); err != nil {
+	if _, err := tr.InsertAll(vs[:50]); err != nil {
 		t.Fatal(err)
 	}
 	if err := tr.CheckInvariants(); err != nil {
@@ -326,7 +326,7 @@ func TestHighDimensionalTree(t *testing.T) {
 	tr := newTree(t, 27, 8192, Config{})
 	rng := rand.New(rand.NewSource(18))
 	vs := clusteredVectors(rng, 120, 27, 3)
-	if err := tr.InsertAll(vs); err != nil {
+	if _, err := tr.InsertAll(vs); err != nil {
 		t.Fatal(err)
 	}
 	if err := tr.CheckInvariants(); err != nil {
@@ -349,7 +349,7 @@ func TestHighDimensionalTree(t *testing.T) {
 func TestProbeFanoutConfig(t *testing.T) {
 	tr := newTree(t, 2, 512, Config{ProbeFanout: 1})
 	rng := rand.New(rand.NewSource(19))
-	if err := tr.InsertAll(clusteredVectors(rng, 250, 2, 2)); err != nil {
+	if _, err := tr.InsertAll(clusteredVectors(rng, 250, 2, 2)); err != nil {
 		t.Fatal(err)
 	}
 	if err := tr.CheckInvariants(); err != nil {

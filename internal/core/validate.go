@@ -22,8 +22,13 @@ import (
 //     its derived logCount (precomputed for the §5.2.2 sum bounds) is fresh;
 //   - the tree's Len matches the root's subtree count;
 //   - every stored vector has the tree's dimensionality and valid sigmas.
+//
+// Like queries, the walk runs against the pinned published snapshot, so it
+// is safe (and consistent) concurrently with a writer.
 func (t *Tree) CheckInvariants() error {
-	root, err := t.readNode(t.root)
+	snap, epoch := t.pinSnap()
+	defer t.mgr.UnpinEpoch(epoch)
+	root, err := t.readNode(snap.root)
 	if err != nil {
 		return err
 	}
@@ -36,8 +41,8 @@ func (t *Tree) CheckInvariants() error {
 			} else if depth != leafDepth {
 				return 0, ParamBox{}, fmt.Errorf("core: leaf %d at depth %d, expected %d", n.id, depth, leafDepth)
 			}
-			if depth+1 != t.height {
-				return 0, ParamBox{}, fmt.Errorf("core: leaf depth %d inconsistent with height %d", depth, t.height)
+			if depth+1 != snap.height {
+				return 0, ParamBox{}, fmt.Errorf("core: leaf depth %d inconsistent with height %d", depth, snap.height)
 			}
 			vs, err := t.leafExactVectors(n)
 			if err != nil {
@@ -105,8 +110,8 @@ func (t *Tree) CheckInvariants() error {
 	if err != nil {
 		return err
 	}
-	if total != t.count {
-		return fmt.Errorf("core: tree Len %d, but subtrees hold %d vectors", t.count, total)
+	if total != snap.count {
+		return fmt.Errorf("core: tree Len %d, but subtrees hold %d vectors", snap.count, total)
 	}
 	return nil
 }
@@ -142,8 +147,13 @@ func checkQuantLeaf(n *node, vs []pfv.Vector, dim int) error {
 	return nil
 }
 
-// ForEach visits every stored vector in depth-first leaf order.
+// ForEach visits every stored vector in depth-first leaf order. The walk
+// reads the pinned published snapshot: concurrent mutations neither block
+// it nor leak into it — the visited set is exactly one commit-consistent
+// tree state.
 func (t *Tree) ForEach(fn func(pfv.Vector) error) error {
+	snap, epoch := t.pinSnap()
+	defer t.mgr.UnpinEpoch(epoch)
 	var walk func(id pagefile.PageID) error
 	walk = func(id pagefile.PageID) error {
 		n, err := t.readNode(id)
@@ -169,12 +179,12 @@ func (t *Tree) ForEach(fn func(pfv.Vector) error) error {
 		}
 		return nil
 	}
-	return walk(t.root)
+	return walk(snap.root)
 }
 
 // CollectAll returns every stored vector (test and export helper).
 func (t *Tree) CollectAll() ([]pfv.Vector, error) {
-	out := make([]pfv.Vector, 0, t.count)
+	out := make([]pfv.Vector, 0, t.Len())
 	err := t.ForEach(func(v pfv.Vector) error {
 		out = append(out, v)
 		return nil
@@ -186,6 +196,8 @@ func (t *Tree) CollectAll() ([]pfv.Vector, error) {
 // an introspection hook for diagnosing clustering quality and bound
 // tightness.
 func (t *Tree) WalkLeafBoxes(fn func(box ParamBox, count int)) error {
+	snap, epoch := t.pinSnap()
+	defer t.mgr.UnpinEpoch(epoch)
 	var walk func(id pagefile.PageID) error
 	walk = func(id pagefile.PageID) error {
 		n, err := t.readNode(id)
@@ -209,11 +221,13 @@ func (t *Tree) WalkLeafBoxes(fn func(box ParamBox, count int)) error {
 		}
 		return nil
 	}
-	return walk(t.root)
+	return walk(snap.root)
 }
 
 // NodeCounts returns the number of leaf and inner pages of the tree.
 func (t *Tree) NodeCounts() (leaves, inners int, err error) {
+	snap, epoch := t.pinSnap()
+	defer t.mgr.UnpinEpoch(epoch)
 	var walk func(id pagefile.PageID) error
 	walk = func(id pagefile.PageID) error {
 		n, e := t.readNode(id)
@@ -232,6 +246,6 @@ func (t *Tree) NodeCounts() (leaves, inners int, err error) {
 		}
 		return nil
 	}
-	err = walk(t.root)
+	err = walk(snap.root)
 	return leaves, inners, err
 }

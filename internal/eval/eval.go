@@ -115,7 +115,7 @@ func Build(ds *dataset.Dataset, s Setup) (*Engines, error) {
 		return nil, err
 	}
 	if s.InsertBuild {
-		err = e.Tree.InsertAll(ds.Vectors)
+		_, err = e.Tree.InsertAll(ds.Vectors)
 	} else {
 		err = e.Tree.BulkLoad(ds.Vectors)
 	}

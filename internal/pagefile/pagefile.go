@@ -166,12 +166,13 @@ type Backend interface {
 // Manager is a buffer-managed page store, safe for concurrent use. The hot
 // read path is lock-light: closed state and the allocation frontier are
 // atomics, counters are atomics, and a cache hit touches exactly one cache
-// shard lock. Three coarser locks split the cold paths: allocMu guards the
-// allocator (freelist, deferred frees), ioMu serializes backend access (the
-// Backend contract) together with the disk-arm model and meta state, and
-// each cache shard has its own lock. When locks nest the order is ioMu
-// before allocMu before a shard lock; shard locks never nest with each
-// other.
+// shard lock. Four coarser locks split the cold paths: allocMu guards the
+// allocator (freelist, fresh-page set), epochMu guards the snapshot
+// reclamation state (publish epoch, reader pins, freed-page limbo — see
+// epoch.go), ioMu serializes backend access (the Backend contract) together
+// with the disk-arm model and meta state, and each cache shard has its own
+// lock. When locks nest the order is ioMu before epochMu before allocMu
+// before a shard lock; shard locks never nest with each other.
 type Manager struct {
 	backend   Backend
 	pageSize  int
@@ -183,20 +184,33 @@ type Manager struct {
 	closed atomic.Bool
 	next   atomic.Uint32 // allocation frontier, read lock-free by the hot path
 
-	// allocMu guards the allocator: freelist, pendingFree, freshPages, and
-	// transitions of next. The read path never takes it.
+	// allocMu guards the allocator: freelist, freshPages, and transitions
+	// of next. The read path never takes it.
 	allocMu  sync.Mutex
 	freelist []PageID
-	// pendingFree holds pages released with FreeDeferred: they may still be
-	// referenced by the last committed meta state, so they only become
-	// allocatable after the next CommitMeta persists their release.
-	pendingFree []PageID
 	// freshPages tracks pages allocated since the last commit. Such a page
-	// is provably not referenced by the committed state, so FreeDeferred
-	// can recycle it immediately instead of deferring — without this,
-	// large batched mutations (one commit at the end) would grow the file
-	// by every intermediate page version.
+	// is provably not referenced by the committed state, so its release
+	// skips the commit-before-reuse condition of the epoch limbo (see
+	// epoch.go) — without this, large batched mutations (one commit at the
+	// end) would grow the file by every intermediate page version.
 	freshPages map[PageID]struct{}
+	// newPages tracks pages allocated since the last epoch advance. Such a
+	// page has never been part of a *published* tree snapshot either, so a
+	// page that is both new and fresh bypasses the limbo entirely and is
+	// recycled immediately — the within-mutation rewrite-churn fast path.
+	newPages map[PageID]struct{}
+
+	// epochMu guards the snapshot-reclamation state (epoch.go): the publish
+	// epoch, reader pins, and the staged/limbo lists of freed pages. When
+	// locks nest the order is ioMu before epochMu before allocMu.
+	epochMu  sync.Mutex
+	curEpoch uint64
+	pins     map[uint64]int
+	// staged holds pages released with FreeDeferred since the last epoch
+	// advance or commit; they are stamped into limbo by either event.
+	staged []limboPage
+	// limbo holds epoch-stamped frees awaiting reclamation.
+	limbo []limboPage
 
 	// ioMu serializes backend access, the modeled disk-arm position and the
 	// committed meta state.
@@ -205,7 +219,15 @@ type Manager struct {
 	haveLast bool
 	// userMeta is the client payload of the last committed meta record.
 	userMeta []byte
-	metaSeq  uint64
+	// metaSeq is the committed meta sequence number; written under ioMu,
+	// read lock-free by the reclamation path.
+	metaSeq atomic.Uint64
+	// freeBarrier is the sequence stamp given to new frees: a freed page is
+	// crash-safe to reuse once metaSeq exceeds its stamp. While a commit is
+	// in flight the barrier is already metaSeq+1, so a free that races the
+	// commit (and therefore missed its persisted freelist) is not covered
+	// by it.
+	freeBarrier atomic.Uint64
 
 	logicalReads  atomic.Uint64
 	cacheHits     atomic.Uint64
@@ -267,7 +289,9 @@ func NewManager(backend Backend, pageSize int, opts ...Option) (*Manager, error)
 			return nil, err
 		}
 		m.next.Store(uint32(next))
-		m.freelist, m.userMeta, m.metaSeq = freelist, user, seq
+		m.freelist, m.userMeta = freelist, user
+		m.metaSeq.Store(seq)
+		m.freeBarrier.Store(seq)
 	}
 	return m, nil
 }
@@ -349,6 +373,10 @@ func (m *Manager) Allocate() (PageID, error) {
 		m.freshPages = make(map[PageID]struct{})
 	}
 	m.freshPages[id] = struct{}{}
+	if m.newPages == nil {
+		m.newPages = make(map[PageID]struct{})
+	}
+	m.newPages[id] = struct{}{}
 	return id, nil
 }
 
@@ -370,30 +398,47 @@ func (m *Manager) Free(id PageID) error {
 	return nil
 }
 
-// FreeDeferred releases a page under the shadow-paging discipline: the page
-// becomes allocatable only after the next CommitMeta, which is the first
-// moment the committed on-disk state provably no longer references it. Until
-// then a crash must be able to recover the previous commit intact.
+// FreeDeferred releases a page under the shadow-paging discipline extended
+// with snapshot isolation: the page enters the epoch limbo (see epoch.go)
+// and becomes allocatable only once (a) no reader pin can still reach a
+// tree snapshot referencing it and (b) either the page was allocated after
+// the last commit ("fresh") or a CommitMeta has landed since the free — the
+// first moment the committed on-disk state provably no longer references
+// it, so a crash at any point recovers the previous commit intact.
 //
-// A page allocated after the last commit is already provably unreferenced
-// by the committed state and is recycled immediately, so rewriting the same
-// node many times between commits reuses one page slot instead of one per
-// version.
+// The cached copy of the page is deliberately NOT evicted here: concurrent
+// snapshot readers may still be traversing it. Eviction happens when the
+// page is actually reclaimed.
 //
 // Like every other operation it reports ErrClosed on a closed manager.
 func (m *Manager) FreeDeferred(id PageID) error {
-	m.cache.remove(id)
 	m.allocMu.Lock()
-	defer m.allocMu.Unlock()
 	if m.closed.Load() {
+		m.allocMu.Unlock()
 		return ErrClosed
 	}
-	if _, fresh := m.freshPages[id]; fresh {
+	_, fresh := m.freshPages[id]
+	if fresh {
 		delete(m.freshPages, id)
+	}
+	if _, isNew := m.newPages[id]; isNew && fresh {
+		// Allocated after both the last commit and the last published
+		// snapshot: neither the committed state nor any reader-visible
+		// snapshot can reference the page, so recycle it on the spot —
+		// rewriting the same node many times within one mutation reuses
+		// one page slot instead of one per version.
+		delete(m.newPages, id)
+		// Evict the cached copy before the page becomes allocatable, so a
+		// reallocation can never race an older cached image.
+		m.cache.remove(id)
 		m.freelist = append(m.freelist, id)
+		m.allocMu.Unlock()
 		return nil
 	}
-	m.pendingFree = append(m.pendingFree, id)
+	m.allocMu.Unlock()
+	m.epochMu.Lock()
+	m.staged = append(m.staged, limboPage{id: id, seq: m.freeBarrier.Load(), fresh: fresh})
+	m.epochMu.Unlock()
 	return nil
 }
 
@@ -591,20 +636,32 @@ func (m *Manager) CachedPages() int {
 func (m *Manager) CommitMeta(user []byte) error {
 	m.ioMu.Lock()
 	defer m.ioMu.Unlock()
+	// Snapshot the pages free as of this commit: the live freelist plus
+	// every freed page still parked in the epoch limbo. The committed
+	// state references none of them, so all must appear in the persisted
+	// freelist — a limbo page held only by an in-memory reader pin would
+	// otherwise leak on the next reopen.
+	m.epochMu.Lock()
+	// Raise the free barrier first: a FreeDeferred racing this commit will
+	// miss the freelist snapshot below, so it must not be covered by this
+	// commit's sequence number either.
+	m.freeBarrier.Store(m.metaSeq.Load() + 1)
+	inLimbo := make([]PageID, 0, len(m.staged)+len(m.limbo))
+	for _, p := range m.staged {
+		inLimbo = append(inLimbo, p.id)
+	}
+	for _, p := range m.limbo {
+		inLimbo = append(inLimbo, p.id)
+	}
+	m.epochMu.Unlock()
 	m.allocMu.Lock()
 	if m.closed.Load() {
 		m.allocMu.Unlock()
 		return ErrClosed
 	}
 	next := PageID(m.next.Load())
-	// Snapshot the pages free as of this commit. pendingPromoted counts the
-	// pendingFree prefix captured here: it is promoted into the live
-	// freelist after the commit lands, while anything appended to
-	// pendingFree by concurrent FreeDeferred calls during the commit I/O
-	// stays pending for the next commit.
-	pendingPromoted := len(m.pendingFree)
-	merged := make([]PageID, 0, len(m.freelist)+pendingPromoted)
-	merged = append(append(merged, m.freelist...), m.pendingFree...)
+	merged := make([]PageID, 0, len(m.freelist)+len(inLimbo))
+	merged = append(append(merged, m.freelist...), inLimbo...)
 	m.allocMu.Unlock()
 
 	persisted := merged
@@ -618,28 +675,27 @@ func (m *Manager) CommitMeta(user []byte) error {
 	if err := m.backend.Sync(); err != nil {
 		return err
 	}
-	if err := m.backend.WriteMeta(payload, m.metaSeq+1); err != nil {
+	if err := m.backend.WriteMeta(payload, m.metaSeq.Load()+1); err != nil {
 		return err
 	}
 	if err := m.backend.Sync(); err != nil {
 		return err
 	}
-	m.metaSeq++
+	m.metaSeq.Add(1)
 	m.userMeta = append(make([]byte, 0, len(user)), user...)
 	m.allocMu.Lock()
-	// Promote only the snapshotted pendingFree prefix, and by appending
-	// rather than replacing: the live freelist may have shrunk (concurrent
-	// Allocate) or grown (concurrent Free) during the commit I/O, and that
-	// state must survive. The persisted copy holding a page a concurrent
-	// Allocate has since claimed is harmless — recovery rolls the
-	// allocation back to this commit point anyway.
-	m.freelist = append(m.freelist, m.pendingFree[:pendingPromoted]...)
-	m.pendingFree = m.pendingFree[pendingPromoted:]
 	// Every page is now potentially referenced by the committed state;
 	// clearing is conservative for pages allocated during the commit I/O
-	// (they merely lose the immediate-recycle fast path).
+	// (they merely lose the fresh fast path through the limbo).
 	m.freshPages = nil
 	m.allocMu.Unlock()
+	// The commit satisfies the crash-safety condition for every limbo entry
+	// staged before it; stamp and reclaim whatever reader pins allow.
+	m.epochMu.Lock()
+	m.stampStagedLocked()
+	freed := m.reclaimLocked()
+	m.epochMu.Unlock()
+	m.recycle(freed)
 	return nil
 }
 
@@ -655,11 +711,9 @@ func (m *Manager) Meta() []byte {
 }
 
 // MetaSeq returns the sequence number of the last committed meta record
-// (0 = none).
+// (0 = none). It is lock-free.
 func (m *Manager) MetaSeq() uint64 {
-	m.ioMu.Lock()
-	defer m.ioMu.Unlock()
-	return m.metaSeq
+	return m.metaSeq.Load()
 }
 
 // Sync flushes all written pages to stable storage.

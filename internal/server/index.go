@@ -33,14 +33,22 @@ type Index interface {
 	KMLIQRanked(ctx context.Context, q gausstree.Vector, k int) ([]gausstree.Match, gausstree.QueryStats, error)
 	// TIQ answers a threshold identification query.
 	TIQ(ctx context.Context, q gausstree.Vector, pTheta float64) ([]gausstree.Match, gausstree.QueryStats, error)
-	// Insert durably adds one vector.
+	// Insert durably adds one vector (non-blocking for concurrent reads:
+	// acknowledged once its WAL record is group-committed).
 	Insert(v gausstree.Vector) error
-	// InsertAll durably adds a batch of vectors.
-	InsertAll(vs []gausstree.Vector) error
+	// InsertAll durably adds a batch of vectors and returns how many are
+	// durably applied (len(vs) on success; a durable subset on error).
+	InsertAll(vs []gausstree.Vector) (int, error)
 	// Delete removes one exactly-matching stored copy.
 	Delete(v gausstree.Vector) (bool, error)
 	// IOStats reports the page manager's I/O counters.
 	IOStats() (pagefile.Stats, error)
+	// WALStats reports the group-commit write-ahead-log counters; ok is
+	// false for memory-backed indexes (no WAL).
+	WALStats() (ws gausstree.WALStats, ok bool)
+	// SnapshotEpoch is the monotone count of committed mutations (the
+	// published snapshot's reclamation epoch; summed across shards).
+	SnapshotEpoch() uint64
 	// Sync flushes written pages to stable storage.
 	Sync() error
 	// Close releases the index.
@@ -65,12 +73,14 @@ func (i treeIndex) KMLIQRanked(ctx context.Context, q gausstree.Vector, k int) (
 func (i treeIndex) TIQ(ctx context.Context, q gausstree.Vector, pTheta float64) ([]gausstree.Match, gausstree.QueryStats, error) {
 	return i.t.TIQContext(ctx, q, pTheta)
 }
-func (i treeIndex) Insert(v gausstree.Vector) error         { return i.t.Insert(v) }
-func (i treeIndex) InsertAll(vs []gausstree.Vector) error   { return i.t.InsertAll(vs) }
-func (i treeIndex) Delete(v gausstree.Vector) (bool, error) { return i.t.Delete(v) }
-func (i treeIndex) IOStats() (pagefile.Stats, error)        { return i.t.Stats() }
-func (i treeIndex) Sync() error                             { return i.t.Sync() }
-func (i treeIndex) Close() error                            { return i.t.Close() }
+func (i treeIndex) Insert(v gausstree.Vector) error              { return i.t.Insert(v) }
+func (i treeIndex) InsertAll(vs []gausstree.Vector) (int, error) { return i.t.InsertAll(vs) }
+func (i treeIndex) Delete(v gausstree.Vector) (bool, error)      { return i.t.Delete(v) }
+func (i treeIndex) IOStats() (pagefile.Stats, error)             { return i.t.Stats() }
+func (i treeIndex) WALStats() (gausstree.WALStats, bool)         { return i.t.WALStats() }
+func (i treeIndex) SnapshotEpoch() uint64                        { return i.t.SnapshotEpoch() }
+func (i treeIndex) Sync() error                                  { return i.t.Sync() }
+func (i treeIndex) Close() error                                 { return i.t.Close() }
 
 // ShardedIndex adapts a sharded Gauss-tree to the serving surface; the
 // per-shard statistic breakdown is collapsed into the aggregate QueryStats
@@ -95,12 +105,14 @@ func (i shardedIndex) TIQ(ctx context.Context, q gausstree.Vector, pTheta float6
 	ms, st, err := i.s.TIQContext(ctx, q, pTheta)
 	return ms, st.Stats, err
 }
-func (i shardedIndex) Insert(v gausstree.Vector) error         { return i.s.Insert(v) }
-func (i shardedIndex) InsertAll(vs []gausstree.Vector) error   { return i.s.InsertAll(vs) }
-func (i shardedIndex) Delete(v gausstree.Vector) (bool, error) { return i.s.Delete(v) }
-func (i shardedIndex) IOStats() (pagefile.Stats, error)        { return i.s.Stats() }
-func (i shardedIndex) Sync() error                             { return i.s.Sync() }
-func (i shardedIndex) Close() error                            { return i.s.Close() }
+func (i shardedIndex) Insert(v gausstree.Vector) error              { return i.s.Insert(v) }
+func (i shardedIndex) InsertAll(vs []gausstree.Vector) (int, error) { return i.s.InsertAll(vs) }
+func (i shardedIndex) Delete(v gausstree.Vector) (bool, error)      { return i.s.Delete(v) }
+func (i shardedIndex) IOStats() (pagefile.Stats, error)             { return i.s.Stats() }
+func (i shardedIndex) WALStats() (gausstree.WALStats, bool)         { return i.s.WALStats() }
+func (i shardedIndex) SnapshotEpoch() uint64                        { return i.s.SnapshotEpoch() }
+func (i shardedIndex) Sync() error                                  { return i.s.Sync() }
+func (i shardedIndex) Close() error                                 { return i.s.Close() }
 
 // indexEngine adapts the serving surface back onto query.Engine, which lets
 // the batch endpoint reuse query.BatchExecutor's worker pool unchanged. The

@@ -283,11 +283,18 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.release()
-	if err := s.idx.InsertAll(req.Vectors); err != nil {
-		writeError(w, statusForError(err), codeForError(err), err.Error())
+	n, err := s.idx.InsertAll(req.Vectors)
+	if err != nil {
+		// Report the durably applied count alongside the error so the
+		// client knows which prefix survives a crash and what to retry.
+		writeJSON(w, statusForError(err), wire.Error{
+			Error:    err.Error(),
+			Code:     codeForError(err),
+			Inserted: n,
+		})
 		return
 	}
-	writeJSON(w, http.StatusOK, wire.InsertResponse{Inserted: len(req.Vectors)})
+	writeJSON(w, http.StatusOK, wire.InsertResponse{Inserted: n})
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
@@ -320,12 +327,23 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusForError(err), codeForError(err), err.Error())
 		return
 	}
+	var ws *wire.WALStats
+	if w2, ok := s.idx.WALStats(); ok {
+		ws = &wire.WALStats{
+			Fsyncs:        w2.Fsyncs,
+			Records:       w2.Records,
+			MeanGroupSize: w2.MeanGroupSize,
+			DurableLSN:    w2.DurableLSN,
+		}
+	}
 	writeJSON(w, http.StatusOK, wire.StatsResponse{
-		Backend:    s.idx.Kind(),
-		Dim:        s.idx.Dim(),
-		Len:        s.idx.Len(),
-		LeafFormat: s.idx.LeafFormat(),
-		ReadOnly:   s.cfg.ReadOnly,
+		Backend:       s.idx.Kind(),
+		Dim:           s.idx.Dim(),
+		Len:           s.idx.Len(),
+		LeafFormat:    s.idx.LeafFormat(),
+		ReadOnly:      s.cfg.ReadOnly,
+		WAL:           ws,
+		SnapshotEpoch: s.idx.SnapshotEpoch(),
 		IO: wire.IOStats{
 			LogicalReads:  ios.LogicalReads,
 			CacheHits:     ios.CacheHits,

@@ -124,15 +124,26 @@ func (e *Engine) Insert(v pfv.Vector) error {
 	return e.trees[e.part.Place(v, len(e.trees))].Insert(v)
 }
 
-// InsertAll routes a batch, loading the per-shard groups concurrently.
-func (e *Engine) InsertAll(vs []pfv.Vector) error {
+// InsertAll routes a batch, loading the per-shard groups concurrently, and
+// returns how many vectors are durably applied (summed across shards — on
+// error the durable set may be a non-prefix subset of vs, since shards
+// fail independently).
+func (e *Engine) InsertAll(vs []pfv.Vector) (int, error) {
 	groups := Split(e.part, vs, len(e.trees))
-	return e.eachShard(func(i int) error {
+	applied := make([]int, len(e.trees))
+	err := e.eachShard(func(i int) error {
 		if len(groups[i]) == 0 {
 			return nil
 		}
-		return e.trees[i].InsertAll(groups[i])
+		n, err := e.trees[i].InsertAll(groups[i])
+		applied[i] = n
+		return err
 	})
+	total := 0
+	for _, n := range applied {
+		total += n
+	}
+	return total, err
 }
 
 // BulkLoad partitions the vector set and bulk-loads every shard

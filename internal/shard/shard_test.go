@@ -226,7 +226,7 @@ func TestShardedMutationsAndDelete(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		if err := e.InsertAll(vs[50:]); err != nil {
+		if _, err := e.InsertAll(vs[50:]); err != nil {
 			t.Fatal(err)
 		}
 		if e.Len() != len(vs) {

@@ -50,10 +50,12 @@ const (
 	ErrCodeInternal = "internal"
 )
 
-// Error is the body of every non-2xx response.
+// Error is the body of every non-2xx response. On a partially applied
+// /v1/insert it additionally carries Inserted, the durably applied prefix.
 type Error struct {
-	Error string `json:"error"`
-	Code  string `json:"code,omitempty"`
+	Error    string `json:"error"`
+	Code     string `json:"code,omitempty"`
+	Inserted int    `json:"inserted,omitempty"`
 }
 
 // Stats is the wire form of gausstree.QueryStats.
@@ -141,7 +143,8 @@ type InsertRequest struct {
 	Vectors []gausstree.Vector `json:"vectors"`
 }
 
-// InsertResponse reports how many vectors were durably inserted.
+// InsertResponse reports how many vectors were durably inserted (the full
+// batch on success; see Error.Inserted for partial failures).
 type InsertResponse struct {
 	Inserted int `json:"inserted"`
 }
@@ -164,6 +167,20 @@ type IOStats struct {
 	PhysicalReads uint64 `json:"physical_reads"`
 	Writes        uint64 `json:"writes"`
 	Seeks         uint64 `json:"seeks"`
+}
+
+// WALStats is the wire form of the group-commit write-ahead-log counters
+// of a file-backed index; omitted from /v1/stats for memory-backed ones.
+type WALStats struct {
+	// Fsyncs is the number of log fsyncs issued.
+	Fsyncs uint64 `json:"fsyncs"`
+	// Records is the number of logical records appended.
+	Records uint64 `json:"records"`
+	// MeanGroupSize is Records per fsync — how many mutations each group
+	// commit amortized.
+	MeanGroupSize float64 `json:"mean_group_size"`
+	// DurableLSN is the highest fsynced log sequence number.
+	DurableLSN uint64 `json:"durable_lsn"`
 }
 
 // ServerStats describes the daemon's admission-control state and lifetime
@@ -191,7 +208,13 @@ type StatsResponse struct {
 	// "exact", "float32", "grid8" or "legacy-row".
 	LeafFormat string `json:"leaf_format"`
 	// ReadOnly reports whether mutations are refused.
-	ReadOnly bool        `json:"read_only"`
-	IO       IOStats     `json:"io"`
-	Server   ServerStats `json:"server"`
+	ReadOnly bool    `json:"read_only"`
+	IO       IOStats `json:"io"`
+	// WAL carries the write-ahead-log counters of a file-backed index;
+	// null for memory-backed ones (no WAL).
+	WAL *WALStats `json:"wal,omitempty"`
+	// SnapshotEpoch is the monotone count of committed mutations (the
+	// published snapshot's page-reclamation epoch; summed across shards).
+	SnapshotEpoch uint64      `json:"snapshot_epoch"`
+	Server        ServerStats `json:"server"`
 }

@@ -25,7 +25,7 @@ func TestLeafFormatPersistence(t *testing.T) {
 		if got := tr.LeafFormat(); got != format {
 			t.Fatalf("fresh tree reports leaf format %v, want %v", got, format)
 		}
-		if err := tr.InsertAll(vs); err != nil {
+		if _, err := tr.InsertAll(vs); err != nil {
 			t.Fatal(err)
 		}
 		if err := tr.Close(); err != nil {

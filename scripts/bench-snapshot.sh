@@ -4,10 +4,12 @@
 # recorded in BENCH_*.json files and compared across revisions.
 #
 # Usage:
-#   scripts/bench-snapshot.sh [out.json] [bench regex] [count] [baseline.json]
+#   scripts/bench-snapshot.sh [out.json] [bench regex] [count] [baseline.json] [benchtime]
 #
 # Defaults: out.json = "-" (stdout), regex covers the hot-path benchmarks
-# (KMLIQHot, TIQHot, ReadNodeHot), count = 1. The JSON shape is
+# (KMLIQHot, TIQHot, ReadNodeHot), count = 1, benchtime = the go test
+# default (pass e.g. "5000x" — a multiple of the 50-query cycle — to make
+# pages/query comparable across snapshots). The JSON shape is
 #   {"goos": ..., "goarch": ..., "benchmarks": [{"name": ..., "iterations": N,
 #     "metrics": {"ns/op": ..., "B/op": ..., "allocs/op": ..., ...}}]}
 # with every reported metric (including custom ones like pages/query)
@@ -27,12 +29,14 @@ OUT="${1:--}"
 REGEX="${2:-KMLIQHot|TIQHot|ReadNodeHot}"
 COUNT="${3:-1}"
 BASELINE="${4:-}"
+BENCHTIME="${5:-}"
 
 RAW="$(mktemp)"
 SNAP="$(mktemp)"
 trap 'rm -f "$RAW" "$SNAP"' EXIT
 
 go test -run '^$' -bench "$REGEX" -benchmem -count="$COUNT" \
+	${BENCHTIME:+-benchtime="$BENCHTIME"} \
 	./... >"$RAW" 2>&1 || { cat "$RAW" >&2; exit 1; }
 
 JSON="$(awk '

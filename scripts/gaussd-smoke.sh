@@ -54,6 +54,45 @@ out=$("$tmp/bin/gausscli" -addr "$addr" -tiq "$q" -p 0.01)
 echo "$out"
 echo "$out" | grep -q 'certified \[' || { echo "TIQ returned no certified results" >&2; exit 1; }
 
+echo "# insert storm with concurrent reads"
+# Hammer /v1/insert from the background while reads keep flowing: the
+# snapshot-isolated read path must answer every query mid-storm, and the
+# non-blocking write path must acknowledge every insert durably.
+storm_log="$tmp/storm.log"
+(
+  for i in $(seq 1 120); do
+    curl -fsS "http://$addr/v1/insert" \
+      -d "{\"vectors\":[{\"id\":$((900000 + i)),\"mean\":[0.$((i % 10))1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9,1.0],\"sigma\":[0.05,0.05,0.05,0.05,0.05,0.05,0.05,0.05,0.05,0.05]}]}" \
+      >>"$storm_log" || echo "INSERT-FAIL" >>"$storm_log"
+  done
+) &
+storm=$!
+reads=0
+while kill -0 "$storm" 2>/dev/null; do
+  out=$("$tmp/bin/gausscli" -addr "$addr" -kmliq "$q" -k 3)
+  echo "$out" | grep -q 'certified \[' \
+    || { echo "read failed during insert storm" >&2; exit 1; }
+  reads=$((reads + 1))
+done
+wait "$storm"
+grep -q "INSERT-FAIL" "$storm_log" && { echo "insert failed during storm" >&2; exit 1; }
+inserted=$(grep -o '"inserted":1' "$storm_log" | wc -l)
+echo "# storm done: 120 inserts acknowledged ($inserted confirmed), $reads reads succeeded mid-storm"
+[ "$inserted" -eq 120 ] || { echo "expected 120 acknowledged inserts, got $inserted" >&2; exit 1; }
+[ "$reads" -ge 1 ] || { echo "no reads completed during the storm" >&2; exit 1; }
+
+echo "# delete through the non-blocking path"
+del=$(curl -fsS "http://$addr/v1/delete" \
+  -d '{"vector":{"id":900001,"mean":[0.11,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9,1.0],"sigma":[0.05,0.05,0.05,0.05,0.05,0.05,0.05,0.05,0.05,0.05]}}')
+echo "$del" | grep -q '"found":true' || { echo "delete did not find the stored vector" >&2; exit 1; }
+
+echo "# /v1/stats exposes WAL and snapshot state"
+stats=$(curl -fsS "http://$addr/v1/stats")
+echo "$stats" | grep -q '"fsyncs":' || { echo "stats missing wal fsyncs" >&2; exit 1; }
+echo "$stats" | grep -q '"mean_group_size":' || { echo "stats missing group-commit size" >&2; exit 1; }
+epoch=$(echo "$stats" | grep -o '"snapshot_epoch":[0-9]*' | cut -d: -f2)
+[ -n "$epoch" ] && [ "$epoch" -ge 121 ] || { echo "snapshot_epoch $epoch did not advance past the storm" >&2; exit 1; }
+
 echo "# graceful shutdown"
 kill -TERM "$pid"
 wait "$pid"

@@ -8,10 +8,12 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"github.com/gauss-tree/gausstree/internal/core"
 	"github.com/gauss-tree/gausstree/internal/pagefile"
 	"github.com/gauss-tree/gausstree/internal/shard"
+	"github.com/gauss-tree/gausstree/internal/wal"
 )
 
 // PartitionPolicy selects how a sharded tree routes vectors to shards.
@@ -55,25 +57,39 @@ const shardedManifestName = "shards.json"
 // shardFileName returns the page-file name of one shard.
 func shardFileName(i int) string { return fmt.Sprintf("shard-%04d.gtree", i) }
 
-// Sharded is a Gauss-tree partitioned across n independent shards, each its
-// own core tree (and, when durable, its own page file). Queries fan out to
-// every shard concurrently and merge per-shard Bayes-denominator intervals
-// by log-sum-exp, so probabilities and their certified bounds are exactly
-// what a single tree over the union of the data would report. It is safe
-// for concurrent use by multiple goroutines.
-type Sharded struct {
-	mu   sync.RWMutex
+// shardWALName returns the write-ahead-log file name of one shard.
+func shardWALName(i int) string { return fmt.Sprintf("shard-%04d.wal", i) }
+
+// shardedState bundles the fan-out engine with every shard's page manager
+// and WAL; like the unsharded treeState it is published through an atomic
+// pointer so reads never take a lock.
+type shardedState struct {
 	eng  *shard.Engine
 	mgrs []*pagefile.Manager
+	wals []*wal.Log // per shard; nil entries for memory-backed shards
+}
+
+// Sharded is a Gauss-tree partitioned across n independent shards, each its
+// own core tree (and, when durable, its own page file plus write-ahead
+// log). Queries fan out to every shard concurrently and merge per-shard
+// Bayes-denominator intervals by log-sum-exp, so probabilities and their
+// certified bounds are exactly what a single tree over the union of the
+// data would report. It is safe for concurrent use by multiple goroutines;
+// as with Tree, queries run against pinned per-shard snapshots and never
+// block on mutations.
+type Sharded struct {
+	mu   sync.Mutex // serializes mutations and Close; never held by reads
+	st   atomic.Pointer[shardedState]
 	opts Options
 	dir  string
 }
 
 // NewSharded creates an empty sharded Gauss-tree with n shards for vectors
 // of the given dimension. With Options.Path the index lives in a directory
-// holding one durable page file per shard plus a manifest; a directory that
-// already holds a sharded index is rejected (reattach with OpenSharded).
-// Options.Partition selects the mutation-routing policy.
+// holding one durable page file and WAL per shard plus a manifest; a
+// directory that already holds a sharded index is rejected (reattach with
+// OpenSharded). Options.Partition selects the mutation-routing policy.
+// Options.Ingest is ignored — merge-ingest mode is unsharded-only.
 func NewSharded(dim, n int, opts ...Options) (*Sharded, error) {
 	var o Options
 	if len(opts) > 0 {
@@ -102,7 +118,11 @@ func NewSharded(dim, n int, opts ...Options) (*Sharded, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, f := range debris {
+		logs, err := filepath.Glob(filepath.Join(dir, "shard-*.wal"))
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range append(debris, logs...) {
 			if err := os.Remove(f); err != nil {
 				return nil, err
 			}
@@ -111,7 +131,13 @@ func NewSharded(dim, n int, opts ...Options) (*Sharded, error) {
 
 	trees := make([]*core.Tree, n)
 	mgrs := make([]*pagefile.Manager, n)
+	wals := make([]*wal.Log, n)
 	fail := func(err error) (*Sharded, error) {
+		for _, l := range wals {
+			if l != nil {
+				l.Close()
+			}
+		}
 		for _, m := range mgrs {
 			if m != nil {
 				m.Close()
@@ -123,6 +149,7 @@ func NewSharded(dim, n int, opts ...Options) (*Sharded, error) {
 			// created by this call — debris was reclaimed above).
 			for i := 0; i < n; i++ {
 				os.Remove(filepath.Join(dir, shardFileName(i)))
+				os.Remove(filepath.Join(dir, shardWALName(i)))
 			}
 		}
 		return nil, err
@@ -146,6 +173,16 @@ func NewSharded(dim, n int, opts ...Options) (*Sharded, error) {
 		mgrs[i] = mgr
 		if trees[i], err = core.New(mgr, dim, core.Config{Combiner: o.Combiner, LeafFormat: o.LeafFormat}); err != nil {
 			return fail(err)
+		}
+		if dir != "" {
+			l, err := wal.Create(filepath.Join(dir, shardWALName(i)), dim, wal.Options{Interval: o.CommitLatency})
+			if err != nil {
+				return fail(err)
+			}
+			wals[i] = l
+			if err := trees[i].SetWAL(l); err != nil {
+				return fail(err)
+			}
 		}
 	}
 	part, err := shard.ByName(o.Partition.name(), 0)
@@ -174,14 +211,17 @@ func NewSharded(dim, n int, opts ...Options) (*Sharded, error) {
 			return fail(err)
 		}
 	}
-	return &Sharded{eng: eng, mgrs: mgrs, opts: o, dir: dir}, nil
+	s := &Sharded{opts: o, dir: dir}
+	s.st.Store(&shardedState{eng: eng, mgrs: mgrs, wals: wals})
+	return s, nil
 }
 
 // OpenSharded reattaches a sharded Gauss-tree previously persisted in dir:
 // the manifest restores the shard count and partition policy, and each
 // shard's page file restores its own page size, σ-combiner and tree
-// geometry (crash-safely, as with Open). Options may tune the cache budget
-// and probability accuracy.
+// geometry. Recovery is crash-safe per shard exactly as with Open: each
+// shard replays its own write-ahead-log tail over its last committed
+// checkpoint. Options may tune the cache budget and probability accuracy.
 func OpenSharded(dir string, opts ...Options) (*Sharded, error) {
 	var o Options
 	if len(opts) > 0 {
@@ -207,7 +247,13 @@ func OpenSharded(dir string, opts ...Options) (*Sharded, error) {
 
 	trees := make([]*core.Tree, m.Shards)
 	mgrs := make([]*pagefile.Manager, m.Shards)
+	wals := make([]*wal.Log, m.Shards)
 	fail := func(err error) (*Sharded, error) {
+		for _, l := range wals {
+			if l != nil {
+				l.Close()
+			}
+		}
 		for _, mg := range mgrs {
 			if mg != nil {
 				mg.Close()
@@ -230,6 +276,17 @@ func OpenSharded(dir string, opts ...Options) (*Sharded, error) {
 		if trees[i], err = core.Open(mgr); err != nil {
 			return fail(err)
 		}
+		l, tail, err := wal.Open(filepath.Join(dir, shardWALName(i)), trees[i].Dim(), trees[i].AppliedLSN(), wal.Options{Interval: o.CommitLatency})
+		if err != nil {
+			return fail(err)
+		}
+		wals[i] = l
+		if err := trees[i].ApplyWALTail(tail); err != nil {
+			return fail(err)
+		}
+		if err := trees[i].SetWAL(l); err != nil {
+			return fail(err)
+		}
 		total += trees[i].Len()
 	}
 	// Stateful partitioners (round-robin) resume their rotation from the
@@ -242,91 +299,176 @@ func OpenSharded(dir string, opts ...Options) (*Sharded, error) {
 	if err != nil {
 		return fail(err)
 	}
-	return &Sharded{eng: eng, mgrs: mgrs, opts: o, dir: dir}, nil
+	s := &Sharded{opts: o, dir: dir}
+	s.st.Store(&shardedState{eng: eng, mgrs: mgrs, wals: wals})
+	return s, nil
 }
 
-// NumShards returns the number of shards.
+// state returns the live engine state or ErrClosed (lock-free).
+func (s *Sharded) state() (*shardedState, error) {
+	st := s.st.Load()
+	if st == nil {
+		return nil, ErrClosed
+	}
+	return st, nil
+}
+
+// waitDurable awaits WAL durability of the last mutation on every shard
+// (instant for shards whose log is already flushed, and for memory-backed
+// shards). Called after releasing the writer lock so concurrent mutations
+// can join the same group commits.
+func (st *shardedState) waitDurable() error {
+	var errs []error
+	for i := 0; i < st.eng.NumShards(); i++ {
+		if err := st.eng.Tree(i).WaitDurable(); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// NumShards returns the number of shards (0 after Close).
 func (s *Sharded) NumShards() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.eng == nil {
+	st := s.st.Load()
+	if st == nil {
 		return 0
 	}
-	return s.eng.NumShards()
+	return st.eng.NumShards()
 }
 
-// Dim returns the feature dimensionality of the index.
+// Dim returns the feature dimensionality of the index (0 after Close).
 func (s *Sharded) Dim() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.eng == nil {
+	st := s.st.Load()
+	if st == nil {
 		return 0
 	}
-	return s.eng.Dim()
+	return st.eng.Dim()
 }
 
 // Len returns the total number of stored vectors across all shards.
 func (s *Sharded) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.eng == nil {
+	st := s.st.Load()
+	if st == nil {
 		return 0
 	}
-	return s.eng.Len()
+	return st.eng.Len()
 }
 
 // LeafFormat returns the leaf storage format the shards write (restored
 // from the shard files on OpenSharded).
 func (s *Sharded) LeafFormat() LeafFormat {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.eng == nil {
+	st := s.st.Load()
+	if st == nil {
 		return LeafExact
 	}
-	return s.eng.Tree(0).LeafFormat()
+	return st.eng.Tree(0).LeafFormat()
 }
 
-// Insert adds a vector to the shard its partition policy selects. Durable
-// shards commit crash-safely exactly like an unsharded Tree.
+// SnapshotEpoch returns the sum of the per-shard snapshot epochs: a
+// monotone counter of committed mutations across the whole index (see
+// Tree.SnapshotEpoch).
+func (s *Sharded) SnapshotEpoch() uint64 {
+	st := s.st.Load()
+	if st == nil {
+		return 0
+	}
+	var sum uint64
+	for i := 0; i < st.eng.NumShards(); i++ {
+		sum += st.eng.Tree(i).SnapshotEpoch()
+	}
+	return sum
+}
+
+// WALStats reports the summed write-ahead-log counters of all shards
+// (DurableLSN is the highest per-shard durable LSN — LSN sequences are per
+// shard). ok is false for memory-backed or closed indexes.
+func (s *Sharded) WALStats() (ws WALStats, ok bool) {
+	st := s.st.Load()
+	if st == nil {
+		return WALStats{}, false
+	}
+	for _, l := range st.wals {
+		if l == nil {
+			continue
+		}
+		ok = true
+		w := l.Stats()
+		ws.Fsyncs += w.Fsyncs
+		ws.Records += w.Records
+		if w.DurableLSN > ws.DurableLSN {
+			ws.DurableLSN = w.DurableLSN
+		}
+	}
+	if ws.Fsyncs > 0 {
+		ws.MeanGroupSize = float64(ws.Records) / float64(ws.Fsyncs)
+	}
+	return ws, ok
+}
+
+// Insert adds a vector to the shard its partition policy selects. Like
+// Tree.Insert it returns once the mutation's WAL record is durable (group
+// commit) on file-backed indexes.
 func (s *Sharded) Insert(v Vector) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.eng == nil {
+	st := s.st.Load()
+	if st == nil {
+		s.mu.Unlock()
 		return ErrClosed
 	}
-	return s.eng.Insert(v)
+	err := st.eng.Insert(v)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return st.waitDurable()
 }
 
-// InsertAll adds a batch, loading the per-shard groups concurrently.
-func (s *Sharded) InsertAll(vs []Vector) error {
+// InsertAll adds a batch, loading the per-shard groups concurrently, and
+// returns how many vectors are durably applied. Unlike Tree.InsertAll the
+// durable set on error is a per-shard union, not a prefix of vs: each
+// shard applies its own group in order, so retrying the whole batch after
+// an error may re-insert some vectors (duplicates are permitted and can be
+// Deleted). On success the count is len(vs) and the whole batch is durable.
+func (s *Sharded) InsertAll(vs []Vector) (int, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.eng == nil {
-		return ErrClosed
+	st := s.st.Load()
+	if st == nil {
+		s.mu.Unlock()
+		return 0, ErrClosed
 	}
-	return s.eng.InsertAll(vs)
+	n, err := st.eng.InsertAll(vs)
+	s.mu.Unlock()
+	return n, err
 }
 
 // BulkLoad partitions the vector set and bulk-loads all shards concurrently
-// (every shard must be empty).
+// (every shard must be empty). Like Tree.BulkLoad it commits a full
+// checkpoint per shard and is durable on return.
 func (s *Sharded) BulkLoad(vs []Vector) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.eng == nil {
+	st := s.st.Load()
+	if st == nil {
 		return ErrClosed
 	}
-	return s.eng.BulkLoad(vs)
+	return st.eng.BulkLoad(vs)
 }
 
 // Delete removes one stored copy of the exact vector and reports whether one
 // was found. Hash-partitioned trees probe one shard; round-robin probes all.
 func (s *Sharded) Delete(v Vector) (bool, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.eng == nil {
+	st := s.st.Load()
+	if st == nil {
+		s.mu.Unlock()
 		return false, ErrClosed
 	}
-	return s.eng.Delete(v)
+	found, err := st.eng.Delete(v)
+	s.mu.Unlock()
+	if !found || err != nil {
+		return found, err
+	}
+	return true, st.waitDurable()
 }
 
 // KMostLikely answers a k-most-likely identification query across all
@@ -339,17 +481,18 @@ func (s *Sharded) KMostLikely(q Vector, k int) ([]Match, error) {
 }
 
 // KMLIQContext is KMostLikely with cancellation and per-shard statistics.
+// Like every query it runs lock-free against pinned per-shard snapshots,
+// concurrently with mutations.
 func (s *Sharded) KMLIQContext(ctx context.Context, q Vector, k int) ([]Match, ShardedQueryStats, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.eng == nil {
-		return nil, ShardedQueryStats{}, ErrClosed
-	}
-	if err := errors.Join(checkQueryVector(q, s.eng.Dim()), checkK(k)); err != nil {
+	st, err := s.state()
+	if err != nil {
 		return nil, ShardedQueryStats{}, err
 	}
-	res, st, err := s.eng.KMLIQDetail(ctx, q, k, s.opts.Accuracy)
-	return toMatches(res), st, err
+	if err := errors.Join(checkQueryVector(q, st.eng.Dim()), checkK(k)); err != nil {
+		return nil, ShardedQueryStats{}, err
+	}
+	res, qs, err := st.eng.KMLIQDetail(ctx, q, k, s.opts.Accuracy)
+	return toMatches(res), qs, err
 }
 
 // KMostLikelyRanked answers a k-MLIQ without probability values (the
@@ -363,16 +506,15 @@ func (s *Sharded) KMostLikelyRanked(q Vector, k int) ([]Match, error) {
 // KMLIQRankedContext is KMostLikelyRanked with cancellation and per-shard
 // statistics.
 func (s *Sharded) KMLIQRankedContext(ctx context.Context, q Vector, k int) ([]Match, ShardedQueryStats, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.eng == nil {
-		return nil, ShardedQueryStats{}, ErrClosed
-	}
-	if err := errors.Join(checkQueryVector(q, s.eng.Dim()), checkK(k)); err != nil {
+	st, err := s.state()
+	if err != nil {
 		return nil, ShardedQueryStats{}, err
 	}
-	res, st, err := s.eng.KMLIQRankedDetail(ctx, q, k)
-	return toMatches(res), st, err
+	if err := errors.Join(checkQueryVector(q, st.eng.Dim()), checkK(k)); err != nil {
+		return nil, ShardedQueryStats{}, err
+	}
+	res, qs, err := st.eng.KMLIQRankedDetail(ctx, q, k)
+	return toMatches(res), qs, err
 }
 
 // Threshold answers a threshold identification query across all shards:
@@ -385,37 +527,35 @@ func (s *Sharded) Threshold(q Vector, pTheta float64) ([]Match, error) {
 
 // TIQContext is Threshold with cancellation and per-shard statistics.
 func (s *Sharded) TIQContext(ctx context.Context, q Vector, pTheta float64) ([]Match, ShardedQueryStats, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.eng == nil {
-		return nil, ShardedQueryStats{}, ErrClosed
-	}
-	if err := errors.Join(checkQueryVector(q, s.eng.Dim()), checkPTheta(pTheta)); err != nil {
+	st, err := s.state()
+	if err != nil {
 		return nil, ShardedQueryStats{}, err
 	}
-	res, st, err := s.eng.TIQDetail(ctx, q, pTheta, s.opts.Accuracy)
-	return toMatches(res), st, err
+	if err := errors.Join(checkQueryVector(q, st.eng.Dim()), checkPTheta(pTheta)); err != nil {
+		return nil, ShardedQueryStats{}, err
+	}
+	res, qs, err := st.eng.TIQDetail(ctx, q, pTheta, s.opts.Accuracy)
+	return toMatches(res), qs, err
 }
 
-// ForEach visits every stored vector, shard by shard.
+// ForEach visits every stored vector, shard by shard; each shard
+// contributes one commit-consistent snapshot.
 func (s *Sharded) ForEach(fn func(Vector) error) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.eng == nil {
-		return ErrClosed
+	st, err := s.state()
+	if err != nil {
+		return err
 	}
-	return s.eng.ForEach(fn)
+	return st.eng.ForEach(fn)
 }
 
 // CheckInvariants verifies the structural invariants of every shard.
 func (s *Sharded) CheckInvariants() error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.eng == nil {
-		return ErrClosed
+	st, err := s.state()
+	if err != nil {
+		return err
 	}
-	for i := 0; i < s.eng.NumShards(); i++ {
-		if err := s.eng.Tree(i).CheckInvariants(); err != nil {
+	for i := 0; i < st.eng.NumShards(); i++ {
+		if err := st.eng.Tree(i).CheckInvariants(); err != nil {
 			return fmt.Errorf("shard %d: %w", i, err)
 		}
 	}
@@ -424,13 +564,12 @@ func (s *Sharded) CheckInvariants() error {
 
 // Stats reports the summed I/O counters of all shard page managers.
 func (s *Sharded) Stats() (pagefile.Stats, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.eng == nil {
-		return pagefile.Stats{}, ErrClosed
+	st, err := s.state()
+	if err != nil {
+		return pagefile.Stats{}, err
 	}
 	var sum pagefile.Stats
-	for _, m := range s.mgrs {
+	for _, m := range st.mgrs {
 		sum = sum.Add(m.Stats())
 	}
 	return sum, nil
@@ -438,45 +577,61 @@ func (s *Sharded) Stats() (pagefile.Stats, error) {
 
 // ResetStats zeroes the I/O counters of every shard.
 func (s *Sharded) ResetStats() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.eng == nil {
-		return ErrClosed
+	st, err := s.state()
+	if err != nil {
+		return err
 	}
-	for _, m := range s.mgrs {
+	for _, m := range st.mgrs {
 		m.ResetStats()
 	}
 	return nil
 }
 
-// Sync flushes every shard's written pages to stable storage.
+// Sync is an explicit durability barrier: it checkpoints every shard's
+// write-ahead log into its committed meta record and flushes the page
+// files. Mutations are already durable when they return.
 func (s *Sharded) Sync() error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.eng == nil {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.st.Load()
+	if st == nil {
 		return ErrClosed
 	}
 	var errs []error
-	for i, m := range s.mgrs {
-		if err := m.Sync(); err != nil {
+	for i := 0; i < st.eng.NumShards(); i++ {
+		if err := st.eng.Tree(i).Checkpoint(); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+			continue
+		}
+		if err := st.mgrs[i].Sync(); err != nil {
 			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
 		}
 	}
 	return errors.Join(errs...)
 }
 
-// Close flushes and releases every shard. The tree is unusable afterwards;
-// a durable sharded index can be reattached with OpenSharded.
+// Close checkpoints every shard's write-ahead log, flushes and releases
+// every shard. The tree is unusable afterwards; a durable sharded index can
+// be reattached with OpenSharded. As with Tree.Close, queries still in
+// flight fail with a storage-closed error.
 func (s *Sharded) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.eng == nil {
+	st := s.st.Swap(nil)
+	if st == nil {
 		return nil
 	}
-	s.eng = nil
 	var errs []error
-	for i, m := range s.mgrs {
-		if err := m.Close(); err != nil {
+	for i := 0; i < st.eng.NumShards(); i++ {
+		if st.wals[i] != nil {
+			// Checkpoint failure is not data loss (acknowledged mutations
+			// are fsynced in the log and will be replayed); see Tree.Close.
+			st.eng.Tree(i).Checkpoint()
+			if err := st.wals[i].Close(); err != nil {
+				errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+			}
+		}
+		if err := st.mgrs[i].Close(); err != nil {
 			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
 		}
 	}

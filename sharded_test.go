@@ -101,7 +101,7 @@ func TestShardedPersistenceRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := st.InsertAll(vs); err != nil {
+	if _, err := st.InsertAll(vs); err != nil {
 		t.Fatal(err)
 	}
 	src := vs[7]
