@@ -406,6 +406,17 @@ type WALStats struct {
 // In merge-ingest mode (Options.Ingest) Insert may instead fold v into an
 // existing near-duplicate stored Gaussian; see IngestOptions.
 func (t *Tree) Insert(v Vector) error {
+	//lint:ignore ctxflow Insert is the documented context-free compat API; InsertContext is the bounded form.
+	return t.InsertContext(context.Background(), v)
+}
+
+// InsertContext is Insert with a context bounding the merge-ingest
+// near-duplicate probe (Options.Ingest): when the context is cancelled
+// before the probe finishes, the insert is abandoned with the context's
+// error and the tree is unchanged. Outside merge-ingest mode the context
+// is not consulted — the mutation itself is not cancellable once started,
+// because aborting a half-applied page write would corrupt the tree.
+func (t *Tree) InsertContext(ctx context.Context, v Vector) error {
 	t.mu.Lock()
 	st := t.st.Load()
 	if st == nil {
@@ -414,7 +425,7 @@ func (t *Tree) Insert(v Vector) error {
 	}
 	var err error
 	if t.ing != nil {
-		err = t.ing.insert(st.tree, v)
+		err = t.ing.insert(ctx, st.tree, v)
 	} else {
 		err = st.tree.Insert(v)
 	}
@@ -494,6 +505,7 @@ func (t *Tree) Delete(v Vector) (bool, error) {
 // accuracy. Results are ordered by descending probability. It is
 // KMLIQContext without cancellation or statistics.
 func (t *Tree) KMostLikely(q Vector, k int) ([]Match, error) {
+	//lint:ignore ctxflow KMostLikely is the documented context-free compat API; the Context form is the bounded one.
 	ms, _, err := t.KMLIQContext(context.Background(), q, k)
 	return ms, err
 }
@@ -521,6 +533,7 @@ func (t *Tree) KMLIQContext(ctx context.Context, q Vector, k int) ([]Match, Quer
 // returned matches carry log densities and NaN probabilities. It is
 // KMLIQRankedContext without cancellation or statistics.
 func (t *Tree) KMostLikelyRanked(q Vector, k int) ([]Match, error) {
+	//lint:ignore ctxflow KMostLikelyRanked is the documented context-free compat API; the Context form is the bounded one.
 	ms, _, err := t.KMLIQRankedContext(context.Background(), q, k)
 	return ms, err
 }
@@ -544,6 +557,7 @@ func (t *Tree) KMLIQRankedContext(ctx context.Context, q Vector, k int) ([]Match
 // descending probability. It is TIQContext without cancellation or
 // statistics.
 func (t *Tree) Threshold(q Vector, pTheta float64) ([]Match, error) {
+	//lint:ignore ctxflow Threshold is the documented context-free compat API; the Context form is the bounded one.
 	ms, _, err := t.TIQContext(context.Background(), q, pTheta)
 	return ms, err
 }

@@ -2,7 +2,6 @@ package gausstree
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -67,10 +66,10 @@ type ingester struct {
 
 func newIngester(opts IngestOptions) (*ingester, error) {
 	if !(opts.MergeDistance > 0) || math.IsInf(opts.MergeDistance, 0) {
-		return nil, fmt.Errorf("gausstree: IngestOptions.MergeDistance must be a positive finite number, got %v", opts.MergeDistance)
+		return nil, fmt.Errorf("%w: IngestOptions.MergeDistance must be a positive finite number, got %v", ErrInvalidOptions, opts.MergeDistance)
 	}
 	if opts.TTL < 0 {
-		return nil, errors.New("gausstree: IngestOptions.TTL must be >= 0")
+		return nil, fmt.Errorf("%w: IngestOptions.TTL must be >= 0, got %v", ErrInvalidOptions, opts.TTL)
 	}
 	return &ingester{opts: opts, entries: make(map[uint64]*ingestEntry)}, nil
 }
@@ -88,8 +87,10 @@ func (g *ingester) seed(tr *core.Tree) error {
 }
 
 // insert merges v into its most likely stored near-duplicate or inserts it.
-func (g *ingester) insert(tr *core.Tree, v Vector) error {
-	res, _, err := tr.KMLIQRanked(context.Background(), v, 1)
+// The context bounds the near-duplicate probe (a k=1 likelihood query); the
+// mutation itself is not cancellable once it starts.
+func (g *ingester) insert(ctx context.Context, tr *core.Tree, v Vector) error {
+	res, _, err := tr.KMLIQRanked(ctx, v, 1)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CopyLock is a dependency-free port of the vet copylocks pass sized for
+// this codebase: values whose type contains a sync.Mutex, RWMutex,
+// WaitGroup, Once, Cond, Pool or Map must never be copied — a copied lock
+// is a distinct lock and silently stops excluding anybody. Flagged copies:
+// non-pointer function parameters and return values, assignments whose
+// right-hand side is an existing value (dereference, variable, field,
+// element — composite literals are fine), and range loops that copy
+// lock-bearing elements.
+var CopyLock = &Analyzer{
+	Name: "copylock",
+	Doc:  "values containing sync primitives must not be copied; pass and store them by pointer",
+	Run:  runCopyLock,
+}
+
+func runCopyLock(pass *Pass) error {
+	for _, fn := range funcDecls(pass.Files) {
+		checkCopyLockSignature(pass, fn)
+		checkCopyLockBody(pass, fn.Body)
+	}
+	return nil
+}
+
+func checkCopyLockSignature(pass *Pass, fn *ast.FuncDecl) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := pass.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := types.Unalias(t).(*types.Pointer); isPtr {
+				continue
+			}
+			if containsLockType(t) {
+				pass.Reportf(field.Type.Pos(), "%s passes %s by value, copying its lock: use a pointer", what, types.TypeString(t, types.RelativeTo(pass.Pkg)))
+			}
+		}
+	}
+	check(fn.Recv, "receiver")
+	check(fn.Type.Params, "parameter")
+	check(fn.Type.Results, "result")
+}
+
+func checkCopyLockBody(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				// `_ = x` discards the value; there is no second lock to
+				// diverge from the original.
+				if id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident); ok && id.Name == "_" {
+					continue
+				}
+				checkLockCopyExpr(pass, rhs)
+			}
+		case *ast.RangeStmt:
+			// for _, v := range xs — copying lock-bearing elements.
+			if n.Value != nil {
+				if t := pass.TypeOf(n.Value); t != nil && containsLockType(t) {
+					pass.Reportf(n.Value.Pos(), "range clause copies a value containing a lock (%s): iterate by index and take the address", types.TypeString(t, types.RelativeTo(pass.Pkg)))
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				checkLockCopyExpr(pass, r)
+			}
+		}
+		return true
+	})
+}
+
+// checkLockCopyExpr flags expressions that copy an EXISTING lock-bearing
+// value: dereferences, variables, fields and elements. Composite literals
+// and function calls construct fresh values and are allowed.
+func checkLockCopyExpr(pass *Pass, e ast.Expr) {
+	e = ast.Unparen(e)
+	switch e.(type) {
+	case *ast.StarExpr, *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+	default:
+		return
+	}
+	t := pass.TypeOf(e)
+	if t == nil || !containsLockType(t) {
+		return
+	}
+	// Identifiers referring to types or packages are not value copies.
+	if id, ok := e.(*ast.Ident); ok {
+		if _, isVar := pass.ObjectOf(id).(*types.Var); !isVar {
+			return
+		}
+	}
+	pass.Reportf(e.Pos(), "assignment copies a value containing a lock (%s): use a pointer", types.TypeString(t, types.RelativeTo(pass.Pkg)))
+}

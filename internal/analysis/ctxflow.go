@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow keeps fresh root contexts out of request-serving code. A
+// context.Background()/context.TODO() buried in a serving path detaches the
+// work from the caller's deadline and cancellation — the bug class behind
+// the merge-ingest probe that kept scanning after its HTTP request was
+// gone. Two rules:
+//
+//  1. in the request-serving packages (the public facade `gausstree`,
+//     internal/server, internal/shard and the executor package
+//     internal/core) no function may call context.Background() or
+//     context.TODO();
+//  2. in every package, a function that already receives a context.Context
+//     parameter must not manufacture a root context.
+//
+// The documented compatibility wrappers (the context-less public API
+// methods that delegate to their ...Context forms) carry a justified
+// //lint:ignore ctxflow directive each — that is the reviewed, greppable
+// list of places where a root context is allowed to enter.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "no context.Background()/TODO() in request-serving paths; thread the caller's ctx",
+	Run:  runCtxFlow,
+}
+
+// ctxServingPackages are the package names whose whole surface counts as
+// request-serving.
+var ctxServingPackages = map[string]bool{
+	"gausstree": true,
+	"server":    true,
+	"shard":     true,
+	"core":      true,
+}
+
+func runCtxFlow(pass *Pass) error {
+	serving := ctxServingPackages[pass.Pkg.Name()]
+	for _, fn := range funcDecls(pass.Files) {
+		hasCtx := funcHasCtxParam(pass, fn)
+		if !serving && !hasCtx {
+			continue
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := rootCtxCall(pass, call)
+			if name == "" {
+				return true
+			}
+			switch {
+			case hasCtx:
+				pass.Reportf(call.Pos(), "context.%s() inside a function that already receives a ctx: thread the caller's context instead", name)
+			default:
+				pass.Reportf(call.Pos(), "context.%s() on a request-serving path: accept and thread the caller's context (deadline and cancellation are lost here)", name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func rootCtxCall(pass *Pass, call *ast.CallExpr) string {
+	sel, ok := calleeSelector(call)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		return fn.Name()
+	}
+	return ""
+}
+
+func funcHasCtxParam(pass *Pass, fn *ast.FuncDecl) bool {
+	if fn.Type.Params == nil {
+		return false
+	}
+	for _, field := range fn.Type.Params.List {
+		if isNamed(pass.TypeOf(field.Type), "context", "Context") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,274 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// EpochOrder enforces the PR 7 snapshot-isolation protocol between readers
+// and the copy-on-write writer:
+//
+//   - a reader pins a page-reclamation epoch FIRST and loads the published
+//     tree snapshot (the atomic pointer field `snap`) SECOND — the reverse
+//     order races with AdvanceEpoch and can hand the reader pages the
+//     allocator already recycled;
+//   - every epoch pin (PinEpoch / pinSnap) must be released with UnpinEpoch
+//     on every return path, or escape into longer-lived state (a field or a
+//     return value) whose owner releases it.
+//
+// A bare snapshot load is permitted only in a trivial single-return
+// accessor (e.g. `func (t *T) snapshot() *snap { return t.snap.Load() }`):
+// such an accessor cannot read pages itself, and its documented contract is
+// that page-reading callers pin first via pinSnap.
+var EpochOrder = &Analyzer{
+	Name: "epochorder",
+	Doc:  "snapshot loads must be dominated by an epoch pin, and every pin released on all paths",
+	Run:  runEpochOrder,
+}
+
+func runEpochOrder(pass *Pass) error {
+	for _, fn := range funcDecls(pass.Files) {
+		checkEpochOrderFunc(pass, fn)
+	}
+	return nil
+}
+
+func checkEpochOrderFunc(pass *Pass, fn *ast.FuncDecl) {
+	// Positions of epoch pins (PinEpoch / pinSnap calls) in source order.
+	var pins []token.Pos
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			switch calleeName(call) {
+			case "PinEpoch", "pinSnap":
+				pins = append(pins, call.Pos())
+			}
+		}
+		return true
+	})
+
+	// Rule 1: every snapshot load needs a lexically preceding pin.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isSnapLoad(pass, call) {
+			return true
+		}
+		if isTrivialAccessor(fn, call) {
+			return true
+		}
+		pinned := false
+		for _, p := range pins {
+			if p < call.Pos() {
+				pinned = true
+				break
+			}
+		}
+		if !pinned {
+			if len(pins) > 0 {
+				pass.Report(call.Pos(), "snapshot pointer loaded before the epoch pin: pin FIRST (PinEpoch/pinSnap), load SECOND")
+			} else {
+				pass.Report(call.Pos(), "snapshot pointer load is not dominated by an epoch pin: use pinSnap (or PinEpoch before the load)")
+			}
+		}
+		return true
+	})
+
+	// Rule 2: pins must be released on all paths or escape.
+	for _, stmt := range pinStatements(fn.Body) {
+		checkPinReleased(pass, fn, stmt)
+	}
+}
+
+// isSnapLoad matches x.snap.Load() where snap is an atomic pointer field.
+func isSnapLoad(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := calleeSelector(call)
+	if !ok || sel.Sel.Name != "Load" {
+		return false
+	}
+	recv, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok || recv.Sel.Name != "snap" {
+		return false
+	}
+	return isNamed(pass.TypeOf(recv), "sync/atomic", "Pointer")
+}
+
+// isTrivialAccessor reports whether fn's body is exactly `return <load>`.
+func isTrivialAccessor(fn *ast.FuncDecl, load *ast.CallExpr) bool {
+	if len(fn.Body.List) != 1 {
+		return false
+	}
+	ret, ok := fn.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return false
+	}
+	return ast.Unparen(ret.Results[0]) == load
+}
+
+// pinStatement is one statement that acquires an epoch pin.
+type pinStatement struct {
+	stmt     ast.Stmt
+	call     *ast.CallExpr
+	epochVar *ast.Ident // nil when discarded or stored into a non-ident
+	escapes  bool       // assigned to a field/element rather than a local
+}
+
+func pinStatements(body *ast.BlockStmt) []*pinStatement {
+	var out []*pinStatement
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false // closures are checked as their own scope by callers
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && isPinCall(call) {
+				out = append(out, &pinStatement{stmt: s, call: call})
+			}
+		case *ast.AssignStmt:
+			if len(s.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+			if !ok || !isPinCall(call) {
+				return true
+			}
+			ps := &pinStatement{stmt: s, call: call}
+			// PinEpoch returns the epoch; pinSnap returns (snap, epoch).
+			idx := 0
+			if calleeName(call) == "pinSnap" {
+				idx = 1
+			}
+			if idx < len(s.Lhs) {
+				switch lhs := ast.Unparen(s.Lhs[idx]).(type) {
+				case *ast.Ident:
+					if lhs.Name != "_" {
+						ps.epochVar = lhs
+					}
+				default:
+					ps.escapes = true // e.g. tr.pinEpoch = t.pinSnap()
+				}
+			}
+			out = append(out, ps)
+		}
+		return true
+	})
+	return out
+}
+
+func isPinCall(call *ast.CallExpr) bool {
+	switch calleeName(call) {
+	case "PinEpoch", "pinSnap":
+		return true
+	}
+	return false
+}
+
+func checkPinReleased(pass *Pass, fn *ast.FuncDecl, ps *pinStatement) {
+	if ps.escapes {
+		return
+	}
+	if ps.epochVar == nil {
+		pass.Report(ps.call.Pos(), "epoch pin discarded: capture the epoch and release it with UnpinEpoch")
+		return
+	}
+	obj := pass.ObjectOf(ps.epochVar)
+	if obj == nil {
+		return
+	}
+	// The pin escapes the function when the epoch value is returned, stored
+	// beyond a local, captured by a closure, or handed to another function
+	// (which then owns the release obligation).
+	if epochEscapes(pass, fn.Body, ps, obj) {
+		return
+	}
+	checker := &releaseChecker{
+		isRelease: func(e ast.Expr) bool {
+			call, ok := ast.Unparen(e).(*ast.CallExpr)
+			if !ok || calleeName(call) != "UnpinEpoch" {
+				return false
+			}
+			for _, arg := range call.Args {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+					return true
+				}
+			}
+			return false
+		},
+		report: func(n ast.Node) {
+			pass.Reportf(n.Pos(), "return path leaks the epoch pinned at line %d: call UnpinEpoch on every path (or defer it)",
+				pass.Fset.Position(ps.call.Pos()).Line)
+		},
+	}
+	checker.check(fn.Body, ps.stmt)
+}
+
+// epochEscapes reports whether the pinned epoch outlives the function body
+// in a way that transfers the release obligation.
+func epochEscapes(pass *Pass, body *ast.BlockStmt, ps *pinStatement, obj interface{ Pos() token.Pos }) bool {
+	escapes := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if escapes {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if identIs(pass, r, obj) {
+					escapes = true
+				}
+			}
+		case *ast.AssignStmt:
+			if n == ps.stmt {
+				return true
+			}
+			for i, r := range n.Rhs {
+				if !identIs(pass, r, obj) {
+					continue
+				}
+				// Storing into anything but a plain local escapes.
+				if i < len(n.Lhs) {
+					if _, isIdent := ast.Unparen(n.Lhs[i]).(*ast.Ident); !isIdent {
+						escapes = true
+					}
+				} else if len(n.Lhs) > 0 {
+					escapes = true
+				}
+			}
+		case *ast.CallExpr:
+			if calleeName(n) == "UnpinEpoch" {
+				return true
+			}
+			for _, a := range n.Args {
+				if identIs(pass, a, obj) {
+					escapes = true
+				}
+			}
+		case *ast.FuncLit:
+			if usesObjIn(pass, n, obj) {
+				escapes = true
+			}
+			return false
+		}
+		return !escapes
+	})
+	return escapes
+}
+
+func identIs(pass *Pass, e ast.Expr, obj interface{ Pos() token.Pos }) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	o := pass.ObjectOf(id)
+	return o != nil && o == obj
+}
+
+func usesObjIn(pass *Pass, n ast.Node, obj interface{ Pos() token.Pos }) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if o := pass.ObjectOf(id); o != nil && o == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

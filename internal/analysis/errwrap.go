@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// ErrWrap enforces the sentinel-error wrapping contract the remote client
+// depends on: gaussd maps wire errors back onto the public sentinels
+// (gausstree.ErrInvalidQuery, gausstree.ErrClosed, ...) with errors.Is, so
+// a validation or closed-state error built with a raw errors.New or a
+// fmt.Errorf without %w silently breaks remote callers' error handling
+// while working fine in-process.
+//
+// Two rules:
+//
+//  1. anywhere: passing a sentinel (an identifier matching Err[A-Z]..., of
+//     type error) to fmt.Errorf whose format verb for it is not %w loses
+//     the errors.Is relationship — almost always a bug;
+//  2. in packages that declare at least one sentinel themselves: building a
+//     validation/closed-state error (message mentioning "invalid",
+//     "closed", "must be", or "outside") without wrapping any sentinel.
+//
+// Constructor-style option validation that never crosses the wire may be
+// suppressed with a justified //lint:ignore errwrap directive.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "validation/closed errors must wrap their sentinel (ErrInvalidQuery, ErrClosed, ...) with %w",
+	Run:  runErrWrap,
+}
+
+var validationMsg = regexp.MustCompile(`(?i)\b(invalid|closed|must be|outside)\b`)
+
+func runErrWrap(pass *Pass) error {
+	declaresSentinel := packageDeclaresSentinel(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch errorCtor(pass, call) {
+			case "errors.New":
+				if declaresSentinel && isValidationMessage(pass, call, 0) && !inSentinelDecl(pass, f, call) {
+					pass.Report(call.Pos(), "validation/closed error built with errors.New: wrap the matching sentinel with fmt.Errorf(\"...: %w\", Err...) so errors.Is works across the wire")
+				}
+			case "fmt.Errorf":
+				checkErrorf(pass, call, declaresSentinel, f)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// errorCtor classifies a call as errors.New or fmt.Errorf (by package path).
+func errorCtor(pass *Pass, call *ast.CallExpr) string {
+	sel, ok := calleeSelector(call)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	switch {
+	case fn.Pkg().Path() == "errors" && fn.Name() == "New":
+		return "errors.New"
+	case fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf":
+		return "fmt.Errorf"
+	}
+	return ""
+}
+
+func checkErrorf(pass *Pass, call *ast.CallExpr, declaresSentinel bool, file *ast.File) {
+	if len(call.Args) == 0 {
+		return
+	}
+	format, ok := stringConstant(pass, call.Args[0])
+	if !ok {
+		return
+	}
+	wraps := strings.Contains(format, "%w")
+	// Rule 1: a sentinel argument not bound to %w.
+	if !wraps {
+		for _, arg := range call.Args[1:] {
+			if isSentinelIdent(pass, arg) {
+				pass.Reportf(arg.Pos(), "%s passed to fmt.Errorf without %%w: errors.Is will no longer match the sentinel", sentinelName(arg))
+				return
+			}
+		}
+	}
+	// Rule 2: a validation message that wraps nothing.
+	if declaresSentinel && !wraps && isValidationMessage(pass, call, 0) {
+		pass.Report(call.Pos(), "validation/closed error does not wrap a sentinel: use fmt.Errorf(\"...: %w\", Err...) so errors.Is works across the wire")
+	}
+}
+
+func stringConstant(pass *Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func isValidationMessage(pass *Pass, call *ast.CallExpr, arg int) bool {
+	if arg >= len(call.Args) {
+		return false
+	}
+	s, ok := stringConstant(pass, call.Args[arg])
+	return ok && validationMsg.MatchString(s)
+}
+
+// isSentinelIdent matches identifiers (possibly pkg-qualified) named
+// Err<Upper>... whose type is error.
+func isSentinelIdent(pass *Pass, e ast.Expr) bool {
+	id := sentinelIdent(e)
+	if id == nil {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return false
+	}
+	if _, isVar := obj.(*types.Var); !isVar {
+		return false
+	}
+	return types.Identical(obj.Type(), types.Universe.Lookup("error").Type())
+}
+
+func sentinelIdent(e ast.Expr) *ast.Ident {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	if len(id.Name) < 4 || !strings.HasPrefix(id.Name, "Err") {
+		return nil
+	}
+	if c := id.Name[3]; c < 'A' || c > 'Z' {
+		return nil
+	}
+	return id
+}
+
+func sentinelName(e ast.Expr) string {
+	if id := sentinelIdent(e); id != nil {
+		return id.Name
+	}
+	return "sentinel"
+}
+
+// packageDeclaresSentinel reports whether the package declares a top-level
+// `var Err... = ...` of type error — the signal that the sentinel-wrapping
+// contract applies to the errors it constructs.
+func packageDeclaresSentinel(pass *Pass) bool {
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		if !strings.HasPrefix(name, "Err") || len(name) < 4 {
+			continue
+		}
+		if v, ok := scope.Lookup(name).(*types.Var); ok &&
+			types.Identical(v.Type(), types.Universe.Lookup("error").Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// inSentinelDecl reports whether the call occurs inside a package-level var
+// declaration (defining a sentinel is of course allowed).
+func inSentinelDecl(pass *Pass, f *ast.File, call *ast.CallExpr) bool {
+	for _, d := range f.Decls {
+		gd, ok := d.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			continue
+		}
+		if call.Pos() >= gd.Pos() && call.End() <= gd.End() {
+			return true
+		}
+	}
+	return false
+}

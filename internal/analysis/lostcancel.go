@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LostCancel is a dependency-free port of the x/tools lostcancel pass: the
+// cancel function returned by context.WithCancel/WithTimeout/WithDeadline
+// must be called on every return path (else the new context and its timer
+// leak until the parent is cancelled). Discarding it as _ is always wrong.
+// Passing the cancel func onward, returning it, storing it in a field or
+// capturing it in a closure transfers the obligation and is accepted.
+var LostCancel = &Analyzer{
+	Name: "lostcancel",
+	Doc:  "the cancel function of WithCancel/WithTimeout/WithDeadline must be called on all return paths",
+	Run:  runLostCancel,
+}
+
+func runLostCancel(pass *Pass) error {
+	for _, fn := range funcDecls(pass.Files) {
+		checkLostCancel(pass, fn.Body)
+	}
+	return nil
+}
+
+func checkLostCancel(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 || len(assign.Lhs) != 2 {
+			return true
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isWithCancelCall(pass, call) {
+			return true
+		}
+		cancel, ok := ast.Unparen(assign.Lhs[1]).(*ast.Ident)
+		if !ok {
+			return true // stored into a field: obligation transferred
+		}
+		if cancel.Name == "_" {
+			pass.Reportf(cancel.Pos(), "the cancel function returned by context.%s is discarded: the context leaks until its parent is cancelled", calleeName(call))
+			return true
+		}
+		obj := pass.ObjectOf(cancel)
+		if obj == nil || cancelEscapes(pass, body, assign, obj) {
+			return true
+		}
+		checker := &releaseChecker{
+			isRelease: func(e ast.Expr) bool {
+				c, ok := ast.Unparen(e).(*ast.CallExpr)
+				if !ok {
+					return false
+				}
+				id, ok := ast.Unparen(c.Fun).(*ast.Ident)
+				return ok && pass.ObjectOf(id) == obj
+			},
+			report: func(n ast.Node) {
+				pass.Reportf(n.Pos(), "return path does not call the cancel function %s (declared at line %d): the context leaks",
+					cancel.Name, pass.Fset.Position(cancel.Pos()).Line)
+			},
+		}
+		checker.check(body, assign)
+		return true
+	})
+}
+
+func isWithCancelCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := calleeSelector(call)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return false
+	}
+	switch fn.Name() {
+	case "WithCancel", "WithTimeout", "WithDeadline", "WithCancelCause", "WithTimeoutCause", "WithDeadlineCause":
+		return true
+	}
+	return false
+}
+
+// cancelEscapes reports whether the cancel func outlives the assignment in
+// a way that transfers the call obligation: returned, stored beyond a
+// local, passed to a call, or captured by a closure (closures typically
+// hold the deferred cancel in goroutine patterns).
+func cancelEscapes(pass *Pass, body *ast.BlockStmt, origin *ast.AssignStmt, obj types.Object) bool {
+	escapes := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if escapes {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if id, ok := ast.Unparen(r).(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+					escapes = true
+				}
+			}
+		case *ast.AssignStmt:
+			if n == origin {
+				return true
+			}
+			for _, r := range n.Rhs {
+				if id, ok := ast.Unparen(r).(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+					escapes = true
+				}
+			}
+		case *ast.CallExpr:
+			// A direct call cancel() is the release, not an escape.
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+				return true
+			}
+			for _, a := range n.Args {
+				if id, ok := ast.Unparen(a).(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+					escapes = true
+				}
+			}
+		case *ast.FuncLit:
+			if usesIdent(pass.TypesInfo, n, obj) {
+				escapes = true
+			}
+			return false
+		}
+		return !escapes
+	})
+	return escapes
+}

@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Nilness is a precision-first subset of the x/tools nilness pass built on
+// syntax rather than SSA: inside the body of `if x == nil { ... }` (with x
+// a pointer, func, map, chan or interface) any dereference of x — field
+// access, call, indexing, explicit * — panics, unless x was reassigned
+// first. The mirrored form `if x != nil { return } ... use x` is flagged
+// the same way. Only provably-nil uses are reported, so the analyzer stays
+// silent on code it cannot decide.
+var Nilness = &Analyzer{
+	Name: "nilness",
+	Doc:  "no dereference of a variable on a path where it is provably nil",
+	Run:  runNilness,
+}
+
+func runNilness(pass *Pass) error {
+	for _, fn := range funcDecls(pass.Files) {
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok || ifs.Init != nil {
+				return true
+			}
+			obj, eq := nilComparison(pass, ifs.Cond)
+			if obj == nil {
+				return true
+			}
+			if eq {
+				// if x == nil { <x is nil here> }
+				checkNilUses(pass, ifs.Body.List, obj)
+			} else if ifs.Else == nil && branchAlwaysExits(ifs.Body.List) {
+				// if x != nil { return } <x is nil from here on>
+				if rest := stmtsAfter(fn.Body, ifs); rest != nil {
+					checkNilUses(pass, rest, obj)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// nilComparison matches `x == nil` (eq=true) and `x != nil` (eq=false) for
+// an identifier x of nilable type.
+func nilComparison(pass *Pass, cond ast.Expr) (types.Object, bool) {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return nil, false
+	}
+	x, y := ast.Unparen(bin.X), ast.Unparen(bin.Y)
+	if isNilIdent(pass, x) {
+		x, y = y, x
+	}
+	if !isNilIdent(pass, y) {
+		return nil, false
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	obj := pass.ObjectOf(id)
+	if obj == nil || !nilableType(obj.Type()) {
+		return nil, false
+	}
+	return obj, bin.Op == token.EQL
+}
+
+func isNilIdent(pass *Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := pass.ObjectOf(id).(*types.Nil)
+	return isNil
+}
+
+func nilableType(t types.Type) bool {
+	switch types.Unalias(t).Underlying().(type) {
+	case *types.Pointer, *types.Signature, *types.Map, *types.Chan, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// checkNilUses flags dereferences of obj in stmts, stopping at the first
+// reassignment of obj (including `x := ...` shadowing is handled by object
+// identity).
+func checkNilUses(pass *Pass, stmts []ast.Stmt, obj types.Object) {
+	reassigned := token.NoPos
+	for _, s := range stmts {
+		ast.Inspect(s, func(n ast.Node) bool {
+			if assign, ok := n.(*ast.AssignStmt); ok {
+				for _, lhs := range assign.Lhs {
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+						if reassigned == token.NoPos || assign.Pos() < reassigned {
+							reassigned = assign.Pos()
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, s := range stmts {
+		ast.Inspect(s, func(n ast.Node) bool {
+			if reassigned != token.NoPos && n != nil && n.Pos() >= reassigned {
+				return false
+			}
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				if identObjIs(pass, e.X, obj) && derefsViaSelector(pass, e) {
+					pass.Reportf(e.Pos(), "%s is nil on this path (guarded above): this field access panics", exprIdentName(e.X))
+				}
+			case *ast.StarExpr:
+				if identObjIs(pass, e.X, obj) {
+					pass.Reportf(e.Pos(), "%s is nil on this path (guarded above): this dereference panics", exprIdentName(e.X))
+				}
+			case *ast.CallExpr:
+				if identObjIs(pass, e.Fun, obj) {
+					pass.Reportf(e.Pos(), "%s is nil on this path (guarded above): calling it panics", exprIdentName(e.Fun))
+				}
+			case *ast.IndexExpr:
+				// Indexing a nil map reads the zero value; indexing a nil
+				// slice or array pointer panics.
+				if identObjIs(pass, e.X, obj) {
+					if _, isMap := types.Unalias(pass.TypeOf(e.X)).Underlying().(*types.Map); !isMap {
+						pass.Reportf(e.Pos(), "%s is nil on this path (guarded above): this index expression panics", exprIdentName(e.X))
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// derefsViaSelector reports whether sel.X.sel implies dereferencing a nil
+// pointer: true for field selection through a pointer; method values with
+// pointer receivers do not dereference at selection time, so only field
+// selections are flagged.
+func derefsViaSelector(pass *Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return false
+	}
+	return s.Kind() == types.FieldVal
+}
+
+func identObjIs(pass *Pass, e ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && pass.ObjectOf(id) == obj
+}
+
+func exprIdentName(e ast.Expr) string {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return id.Name
+	}
+	return "value"
+}
+
+// branchAlwaysExits reports whether every path through stmts returns,
+// panics, or branches away.
+func branchAlwaysExits(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch s := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		return isPanicCall(s.X)
+	}
+	return false
+}
+
+// stmtsAfter returns the statements that lexically follow target in its
+// enclosing statement list inside body, or nil.
+func stmtsAfter(body *ast.BlockStmt, target ast.Stmt) []ast.Stmt {
+	chain, ok := findStmtChain(body, target)
+	if !ok {
+		return nil
+	}
+	last := chain[len(chain)-1]
+	return last.list[last.index+1:]
+}

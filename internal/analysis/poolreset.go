@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// PoolReset enforces the sync.Pool hygiene the pooled traversal/collector
+// state depends on (PR 5/6): before an object goes back into a pool, every
+// field that can retain other heap objects (pointers, interfaces, funcs,
+// maps, channels, and slices/structs of such) must be cleared on the same
+// path — either field by field, via a whole-object Reset/Clear, or by
+// zeroing the object. Scalar scratch buffers ([]float64, []byte) are
+// deliberately exempt: keeping their capacity across Put is the point of
+// pooling. The analyzer also flags any use of the object after the Put —
+// the pool owns it from that moment.
+var PoolReset = &Analyzer{
+	Name: "poolreset",
+	Doc:  "sync.Pool.Put must be preceded by clearing every reference-retaining field, and the object must not be used after Put",
+	Run:  runPoolReset,
+}
+
+func runPoolReset(pass *Pass) error {
+	for _, fn := range funcDecls(pass.Files) {
+		checkPoolResetFunc(pass, fn.Body)
+	}
+	return nil
+}
+
+func checkPoolResetFunc(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isPoolPut(pass, call) || len(call.Args) != 1 {
+			return true
+		}
+		arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.ObjectOf(arg)
+		if obj == nil {
+			return true
+		}
+		checkResetBeforePut(pass, body, call, arg, obj)
+		checkUseAfterPut(pass, body, call, arg, obj)
+		return true
+	})
+}
+
+func isPoolPut(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := calleeSelector(call)
+	if !ok || sel.Sel.Name != "Put" {
+		return false
+	}
+	return isNamed(pass.TypeOf(sel.X), "sync", "Pool")
+}
+
+func checkResetBeforePut(pass *Pass, body *ast.BlockStmt, put *ast.CallExpr, arg *ast.Ident, obj types.Object) {
+	// Only pointer-to-struct pool objects carry per-field obligations.
+	ptr, ok := types.Unalias(obj.Type()).(*types.Pointer)
+	if !ok {
+		return
+	}
+	st, ok := ptr.Elem().Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	required := map[string]bool{}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if retainsReferences(f.Type()) {
+			required[f.Name()] = false
+		}
+	}
+	if len(required) == 0 {
+		return
+	}
+
+	wholeCleared := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if wholeCleared || n == nil || n.Pos() >= put.Pos() {
+			return !wholeCleared
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// x.Reset(...) / x.Clear(...) clears the whole object;
+			// x.f.Reset(...) / x.f.Clear(...) clears field f.
+			sel, ok := calleeSelector(n)
+			if !ok || (sel.Sel.Name != "Reset" && sel.Sel.Name != "Clear") {
+				return true
+			}
+			switch recv := ast.Unparen(sel.X).(type) {
+			case *ast.Ident:
+				if pass.ObjectOf(recv) == obj {
+					wholeCleared = true
+				}
+			case *ast.SelectorExpr:
+				if base, ok := ast.Unparen(recv.X).(*ast.Ident); ok && pass.ObjectOf(base) == obj {
+					required[recv.Sel.Name] = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				switch lhs := ast.Unparen(lhs).(type) {
+				case *ast.StarExpr: // *x = T{}
+					if id, ok := ast.Unparen(lhs.X).(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+						wholeCleared = true
+					}
+				case *ast.SelectorExpr: // x.f = ...
+					if base, ok := ast.Unparen(lhs.X).(*ast.Ident); ok && pass.ObjectOf(base) == obj {
+						required[lhs.Sel.Name] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	if wholeCleared {
+		return
+	}
+	var missing []string
+	for f, cleared := range required {
+		if !cleared {
+			missing = append(missing, f)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		pass.Reportf(put.Pos(), "sync.Pool.Put(%s) without clearing reference-retaining field(s) %s: pooled objects must not keep queries or trees alive",
+			arg.Name, strings.Join(missing, ", "))
+	}
+}
+
+func checkUseAfterPut(pass *Pass, body *ast.BlockStmt, put *ast.CallExpr, arg *ast.Ident, obj types.Object) {
+	var after token.Pos = put.End()
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Pos() <= after {
+			return true
+		}
+		if pass.TypesInfo.Uses[id] == obj {
+			pass.Reportf(id.Pos(), "use of %s after sync.Pool.Put: the pool owns the object once it is returned", id.Name)
+		}
+		return true
+	})
+}

@@ -1,0 +1,42 @@
+// Fixture for the copylock pass.
+package copylock
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// good: lock-bearing values travel by pointer.
+func byPointer(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// good: composite literals construct fresh values.
+func fresh() *guarded {
+	g := guarded{}
+	return &g
+}
+
+// bad: a by-value parameter copies the mutex.
+func byValue(g guarded) int { // want "parameter passes guarded by value, copying its lock"
+	return g.n
+}
+
+// bad: dereferencing copies the lock.
+func assignCopy(g *guarded) {
+	cp := *g // want "assignment copies a value containing a lock"
+	_ = cp
+}
+
+// bad: ranging by value copies each element's lock.
+func rangeCopy(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want "range clause copies a value containing a lock"
+		total += g.n
+	}
+	return total
+}

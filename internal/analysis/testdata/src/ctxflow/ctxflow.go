@@ -1,0 +1,26 @@
+// Fixture for ctxflow rule 2 (any package): a function that already
+// receives a context must not manufacture a root context. This package is
+// NOT in the request-serving set, so context-free helpers may still use
+// context.Background().
+package ctxflow
+
+import "context"
+
+func probe(ctx context.Context) error {
+	_ = ctx
+	return nil
+}
+
+// bad: a ctx is right there in the signature.
+func hasCtx(ctx context.Context) error {
+	if err := probe(context.Background()); err != nil { // want "context.Background.. inside a function that already receives a ctx"
+		return err
+	}
+	return probe(ctx)
+}
+
+// good: outside the serving packages, a context-free entry point may start
+// a root context.
+func noCtx() error {
+	return probe(context.Background())
+}

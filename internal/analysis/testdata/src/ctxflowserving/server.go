@@ -1,0 +1,21 @@
+// Fixture for ctxflow rule 1: the package is named "server", one of the
+// request-serving packages, where every root context detaches work from the
+// caller's deadline. Distilled from the real pre-fix merge-ingest probe
+// (ingest.go calling KMLIQRanked with context.Background before PR 8).
+package server
+
+import "context"
+
+func work(ctx context.Context) { _ = ctx }
+
+// bad: a serving-path function with no ctx parameter still may not start a
+// root context — it must accept one.
+func handle() {
+	work(context.Background()) // want "context.Background.. on a request-serving path"
+}
+
+// bad: TODO is no better than Background.
+func handleCtx(ctx context.Context) {
+	work(context.TODO()) // want "context.TODO.. inside a function that already receives a ctx"
+	work(ctx)
+}

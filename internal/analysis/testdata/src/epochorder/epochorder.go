@@ -1,0 +1,67 @@
+// Fixture for the epochorder analyzer: a miniature of the core tree's
+// snapshot/epoch protocol. Bad cases mirror real ordering mistakes the
+// analyzer must catch; good cases are the disciplined shapes from
+// internal/core/snapshot.go.
+package epochorder
+
+import "sync/atomic"
+
+type snapData struct{ root int }
+
+type mgr struct{}
+
+func (m *mgr) PinEpoch() uint64    { return 1 }
+func (m *mgr) UnpinEpoch(e uint64) {}
+
+type tree struct {
+	mgr  *mgr
+	snap atomic.Pointer[snapData]
+}
+
+// snapshot is the one permitted bare load: a trivial single-return accessor.
+func (t *tree) snapshot() *snapData { return t.snap.Load() }
+
+// pinSnap pins first, loads second, and hands the epoch to the caller — the
+// canonical good shape.
+func (t *tree) pinSnap() (*snapData, uint64) {
+	e := t.mgr.PinEpoch()
+	return t.snap.Load(), e
+}
+
+// good: pin, deferred unpin, then load.
+func (t *tree) count() int {
+	e := t.mgr.PinEpoch()
+	defer t.mgr.UnpinEpoch(e)
+	s := t.snap.Load()
+	return s.root
+}
+
+// bad: the load races with AdvanceEpoch because the pin comes after it.
+func (t *tree) loadFirst() *snapData {
+	s := t.snap.Load() // want "snapshot pointer loaded before the epoch pin"
+	e := t.mgr.PinEpoch()
+	defer t.mgr.UnpinEpoch(e)
+	return s
+}
+
+// bad: no pin anywhere in the function.
+func (t *tree) noPin() int {
+	s := t.snap.Load() // want "snapshot pointer load is not dominated by an epoch pin"
+	return s.root
+}
+
+// bad: the pinned epoch is thrown away, so nobody can ever release it.
+func (t *tree) discard() {
+	t.mgr.PinEpoch() // want "epoch pin discarded"
+}
+
+// bad: the early return path never unpins.
+func (t *tree) leaky(cond bool) int {
+	e := t.mgr.PinEpoch()
+	s := t.snap.Load()
+	if cond {
+		return 0 // want "return path leaks the epoch pinned at line"
+	}
+	t.mgr.UnpinEpoch(e)
+	return s.root
+}

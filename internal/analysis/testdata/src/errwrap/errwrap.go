@@ -1,0 +1,54 @@
+// Fixture for the errwrap analyzer. The bad cases are distilled from real
+// pre-fix violations in this repository: checkQuery's raw "k must be
+// positive" error (internal/core/mliq.go before PR 8) and the TIQ threshold
+// message, which broke errors.Is matching for remote clients.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalidQuery is the package sentinel; defining it with errors.New at
+// package level is of course allowed.
+var ErrInvalidQuery = errors.New("errwrap: invalid query")
+
+// good: the repo's canonical wrap shape.
+func checkQueryFixed(k int) error {
+	if k <= 0 {
+		return fmt.Errorf("%w: k must be positive, got %d", ErrInvalidQuery, k)
+	}
+	return nil
+}
+
+// bad: the pre-fix checkQuery — a validation error that wraps nothing.
+func checkQueryRaw(k int) error {
+	if k <= 0 {
+		return errors.New("errwrap: k must be positive") // want "validation/closed error built with errors.New"
+	}
+	return nil
+}
+
+// bad: the pre-fix TIQ threshold message via fmt.Errorf without a sentinel.
+func checkThreshold(p float64) error {
+	if p < 0 || p > 1 {
+		return fmt.Errorf("errwrap: threshold %v outside .0,1.", p) // want "validation/closed error does not wrap a sentinel"
+	}
+	return nil
+}
+
+// bad: the sentinel is mentioned but formatted with %v, so errors.Is no
+// longer matches it.
+func lostSentinel(q string) error {
+	return fmt.Errorf("identification failed for %q: %v", q, ErrInvalidQuery) // want "ErrInvalidQuery passed to fmt.Errorf without %w"
+}
+
+// Suppressed: constructor misconfiguration that never crosses the wire; the
+// directive must silence the rule-2 finding.
+func pageSizeCheck(pageSize int) error {
+	if pageSize <= 0 {
+		//lint:ignore errwrap process-local constructor validation; no fitting sentinel and never serialized
+		return fmt.Errorf("invalid page size %d", pageSize)
+	}
+	return nil
+}

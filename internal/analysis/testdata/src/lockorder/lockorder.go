@@ -1,0 +1,61 @@
+// Fixture for the lockorder analyzer's client-side checks: lock-order
+// violations, shard-lock nesting, and pagefile I/O under a terminal shard
+// lock, resolved through the cross-package Manager summary table.
+package lockorder
+
+import (
+	"sync"
+
+	"pagefile"
+)
+
+type nodeCacheShard struct{ mu sync.Mutex }
+
+type Tree struct {
+	mu sync.Mutex
+}
+
+type engine struct {
+	mgr    *pagefile.Manager
+	shards [4]nodeCacheShard
+}
+
+// good: outermost facade lock, then Manager I/O, then a shard lock — ranks
+// strictly increase.
+func (e *engine) goodOrder(t *Tree) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, err := e.mgr.Read(1); err != nil {
+		return err
+	}
+	e.shards[0].mu.Lock()
+	e.shards[0].mu.Unlock()
+	return nil
+}
+
+// bad: shard locks are terminal — no pagefile I/O may run under one. The
+// summarized Read also acquires ioMu and a cache shard, both rank
+// violations of their own.
+func (e *engine) readUnderShard(id int) ([]byte, error) {
+	s := &e.shards[0]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return e.mgr.Read(id) // want "performs pagefile I/O while shard lock nodeCacheShard.mu is held" "call acquires Manager.ioMu" "call acquires cacheShard.mu"
+}
+
+// bad: shard locks never nest, not even two shards of the same cache.
+func (e *engine) nestedShards() {
+	e.shards[0].mu.Lock()
+	e.shards[1].mu.Lock() // want "nodeCacheShard.mu acquired while already held"
+	e.shards[1].mu.Unlock()
+	e.shards[0].mu.Unlock()
+}
+
+// bad: the facade writer lock is outermost and may not be taken under a
+// shard lock.
+func (e *engine) badNesting(t *Tree) {
+	e.shards[0].mu.Lock()
+	t.mu.Lock() // want "acquiring Tree.mu"
+	t.mu.Unlock()
+	e.shards[0].mu.Unlock()
+}

@@ -1,0 +1,39 @@
+// Fixture for the lostcancel pass.
+package lostcancel
+
+import (
+	"context"
+	"time"
+)
+
+func use(ctx context.Context) { _ = ctx }
+
+// good: deferred cancel covers every return path.
+func deferred(ctx context.Context) {
+	c, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	use(c)
+}
+
+// good: returning the cancel func transfers the obligation to the caller.
+func handedOff(ctx context.Context) (context.Context, context.CancelFunc) {
+	c, cancel := context.WithCancel(ctx)
+	return c, cancel
+}
+
+// bad: discarding the cancel func leaks the context and its timer.
+func discarded(ctx context.Context) {
+	c, _ := context.WithTimeout(ctx, time.Second) // want "the cancel function returned by context.WithTimeout is discarded"
+	use(c)
+}
+
+// bad: the early return path never cancels.
+func leaky(ctx context.Context, cond bool) error {
+	c, cancel := context.WithCancel(ctx)
+	use(c)
+	if cond {
+		return nil // want "return path does not call the cancel function cancel"
+	}
+	cancel()
+	return nil
+}

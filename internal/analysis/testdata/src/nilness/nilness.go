@@ -1,0 +1,32 @@
+// Fixture for the nilness pass.
+package nilness
+
+type node struct {
+	next *node
+	val  int
+}
+
+// good: the nil branch returns a constant.
+func guarded(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return n.val
+}
+
+// bad: the guard proves n is nil, then the branch dereferences it.
+func inNilBranch(n *node) int {
+	if n == nil {
+		return n.val // want "n is nil on this path .guarded above.: this field access panics"
+	}
+	return n.val
+}
+
+// bad: the non-nil branch always returns, so the continuation runs only
+// when p is nil.
+func afterExit(p *int) int {
+	if p != nil {
+		return *p
+	}
+	return *p // want "p is nil on this path .guarded above.: this dereference panics"
+}

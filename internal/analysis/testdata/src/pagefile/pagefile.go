@@ -1,0 +1,60 @@
+// Fixture mirror of internal/pagefile sized for the lockorder analyzer: a
+// Manager whose exported methods acquire exactly what the analyzer's
+// built-in managerLockUse table says they do — except Stats, which is
+// deliberately absent from the table to exercise the drift check.
+package pagefile
+
+import "sync"
+
+// Backend is the page I/O boundary; calls on it count as pagefile I/O.
+type Backend interface {
+	ReadAt(p []byte, off int64) (int, error)
+}
+
+type cacheShard struct{ mu sync.Mutex }
+
+type Manager struct {
+	ioMu    sync.Mutex
+	epochMu sync.Mutex
+	allocMu sync.Mutex
+	backend Backend
+	shard   cacheShard
+}
+
+// Read matches the table: acquires ioMu and a cache shard, performs I/O.
+func (m *Manager) Read(id int) ([]byte, error) {
+	m.ioMu.Lock()
+	defer m.ioMu.Unlock()
+	buf := make([]byte, 8)
+	if _, err := m.backend.ReadAt(buf, int64(id)); err != nil {
+		return nil, err
+	}
+	m.shard.mu.Lock()
+	m.shard.mu.Unlock()
+	return buf, nil
+}
+
+// PinEpoch matches the table: epochMu only.
+func (m *Manager) PinEpoch() uint64 {
+	m.epochMu.Lock()
+	defer m.epochMu.Unlock()
+	return 1
+}
+
+// UnpinEpoch matches the table: epochMu, then allocMu, then a cache shard.
+func (m *Manager) UnpinEpoch(e uint64) {
+	m.epochMu.Lock()
+	defer m.epochMu.Unlock()
+	m.allocMu.Lock()
+	defer m.allocMu.Unlock()
+	m.shard.mu.Lock()
+	m.shard.mu.Unlock()
+}
+
+// Stats is missing from managerLockUse yet acquires a tracked lock, so the
+// drift check must demand a table update.
+func (m *Manager) Stats() int { // want "drifted from the analyzer's built-in table"
+	m.ioMu.Lock()
+	defer m.ioMu.Unlock()
+	return 0
+}

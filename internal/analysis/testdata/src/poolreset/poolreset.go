@@ -1,0 +1,51 @@
+// Fixture for the poolreset analyzer: pooled traversal state in the shape
+// of the core engine's pooled collectors. tree and heap retain references
+// and must be cleared before Put; dist is a scalar scratch slice whose
+// capacity is the point of pooling, so it is exempt.
+package poolreset
+
+import "sync"
+
+type node struct{ id int }
+
+type traversal struct {
+	tree *node
+	heap []*node
+	dist []float64
+}
+
+// Reset clears the reference-retaining state (the good whole-object path).
+func (t *traversal) Reset() {
+	t.tree = nil
+	t.heap = nil
+}
+
+var pool sync.Pool
+
+// good: every reference-retaining field cleared field by field.
+func putFieldwise(t *traversal) {
+	t.tree = nil
+	t.heap = nil
+	pool.Put(t)
+}
+
+// good: whole-object Reset before Put.
+func putReset(t *traversal) {
+	t.Reset()
+	pool.Put(t)
+}
+
+// bad: heap still points at live nodes when the pool takes the object.
+func putDirty(t *traversal) {
+	t.tree = nil
+	pool.Put(t) // want "without clearing reference-retaining field.s. heap"
+}
+
+// bad: the pool owns the object after Put; this write races with the next
+// Get.
+func useAfterPut(t *traversal) {
+	t.tree = nil
+	t.heap = nil
+	pool.Put(t)
+	t.dist = nil // want "use of t after sync.Pool.Put"
+}

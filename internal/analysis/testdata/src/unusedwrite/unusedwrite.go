@@ -1,0 +1,26 @@
+// Fixture for the unusedwrite pass.
+package unusedwrite
+
+type stats struct {
+	reads int
+	hits  int
+}
+
+// good: the written field is read afterwards.
+func counted() int {
+	s := stats{}
+	s.hits = 1
+	return s.hits
+}
+
+// good: writes through a pointer mutate the caller's value.
+func throughPointer(s *stats) {
+	s.hits = 1
+}
+
+// bad: s is a local copy and nothing reads the write back.
+func dropped() int {
+	s := stats{}
+	s.hits = 1 // want "write to s.hits is never read"
+	return 0
+}

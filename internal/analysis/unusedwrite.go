@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// UnusedWrite is a syntax-level subset of the x/tools unusedwrite pass: a
+// write to a field or element of a LOCAL, non-pointer, non-escaping
+// variable that is never read afterwards had no effect — usually a struct
+// copied by value where the author meant to mutate the original. The
+// analyzer only flags writes it can prove dead: the variable is declared in
+// the function, its address is never taken, it is not captured by a
+// closure, not a named result, and the flagged write is the lexically last
+// reference to it.
+var UnusedWrite = &Analyzer{
+	Name: "unusedwrite",
+	Doc:  "a field write to a local copy that is never read afterwards has no effect",
+	Run:  runUnusedWrite,
+}
+
+func runUnusedWrite(pass *Pass) error {
+	for _, fn := range funcDecls(pass.Files) {
+		checkUnusedWrites(pass, fn)
+	}
+	return nil
+}
+
+func checkUnusedWrites(pass *Pass, fn *ast.FuncDecl) {
+	// Named results are read by the return machinery.
+	namedResults := map[types.Object]bool{}
+	if fn.Type.Results != nil {
+		for _, f := range fn.Type.Results.List {
+			for _, name := range f.Names {
+				if obj := pass.ObjectOf(name); obj != nil {
+					namedResults[obj] = true
+				}
+			}
+		}
+	}
+
+	// Disqualify variables whose address is taken or that closures capture.
+	disqualified := map[types.Object]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if id := baseIdent(n.X); id != nil {
+					if obj := pass.ObjectOf(id); obj != nil {
+						disqualified[obj] = true
+					}
+				}
+			}
+		case *ast.FuncLit:
+			ast.Inspect(n, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Uses[id]; obj != nil {
+						disqualified[obj] = true
+					}
+				}
+				return true
+			})
+			return false
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			id, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj, isLocal := localVar(pass, fn, id)
+			if !isLocal || disqualified[obj] || namedResults[obj] {
+				continue
+			}
+			// Writes through pointers mutate the pointee: always effective.
+			if _, isPtr := types.Unalias(obj.Type()).Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if !referencedAfter(pass, fn.Body, sel.End(), obj) {
+				pass.Reportf(sel.Pos(), "write to %s.%s is never read: %s is a local copy and this is its last use",
+					id.Name, sel.Sel.Name, id.Name)
+			}
+		}
+		return true
+	})
+}
+
+// localVar resolves id to a variable declared inside fn (parameters and
+// receivers excluded — writing a field of a by-value param is covered by
+// the same rule, but x/tools treats it identically, so we include them only
+// when declared in the body; being conservative avoids flagging
+// builder-style parameter mutation).
+func localVar(pass *Pass, fn *ast.FuncDecl, id *ast.Ident) (types.Object, bool) {
+	obj := pass.ObjectOf(id)
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return nil, false
+	}
+	if v.Pos() < fn.Body.Pos() || v.Pos() > fn.Body.End() {
+		return nil, false
+	}
+	return obj, true
+}
+
+// referencedAfter reports whether obj is referenced anywhere after pos.
+func referencedAfter(pass *Pass, body *ast.BlockStmt, pos token.Pos, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pass.TypesInfo.Uses[id] == obj && id.Pos() > pos {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

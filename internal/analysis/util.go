@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Shared AST/type helpers used by several analyzers. Matching is mostly
+// nominal (type names, field names, method names) rather than by object
+// identity against the real tree packages: that keeps every analyzer
+// testable on small self-contained fixtures that merely mirror the shapes,
+// exactly like the upstream vet passes match e.g. any type named
+// "testing.T" lookalike they are configured with.
+
+// funcDecls yields every function declaration with a body in the package.
+func funcDecls(files []*ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// calleeSelector decomposes a call of the form recv.Name(...) and returns
+// the selector; ok is false for plain function calls and conversions.
+func calleeSelector(call *ast.CallExpr) (*ast.SelectorExpr, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return sel, ok
+}
+
+// calleeName returns the bare name a call invokes: "Lock" for m.mu.Lock(),
+// "pinSnap" for t.pinSnap(), "f" for f(). Empty for indirect calls.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// namedType unwraps pointers and aliases and returns the named type of t,
+// or nil (e.g. for unnamed structs and basic types).
+func namedType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// typeName returns the bare name of the (possibly pointed-to) named type of
+// t, e.g. "Manager" for *pagefile.Manager. Empty when t is unnamed.
+func typeName(t types.Type) string {
+	if n := namedType(t); n != nil {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// isNamed reports whether t (possibly behind a pointer) is the named type
+// pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	n := namedType(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// containsLockType reports whether a value of type t directly embeds
+// synchronization state that must not be copied (sync.Mutex, RWMutex,
+// WaitGroup, Once, Cond, Pool, Map — or any array/struct containing one).
+func containsLockType(t types.Type) bool {
+	return containsLock(t, 0)
+}
+
+func containsLock(t types.Type, depth int) bool {
+	if t == nil || depth > 10 {
+		return false
+	}
+	t = types.Unalias(t)
+	if n, ok := t.(*types.Named); ok {
+		obj := n.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Pool", "Map":
+				return true
+			}
+		}
+		return containsLock(n.Underlying(), depth+1)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), depth+1)
+	}
+	return false
+}
+
+// retainsReferences reports whether a value of type t can keep other heap
+// objects alive: pointers, interfaces, funcs, maps, channels, and slices or
+// structs containing such. Slices of pure scalars ([]float64, []byte) are
+// deliberately NOT counted — the pool discipline keeps scalar scratch
+// buffers across Put to retain capacity.
+func retainsReferences(t types.Type) bool {
+	return retains(t, 0)
+}
+
+func retains(t types.Type, depth int) bool {
+	if t == nil || depth > 10 {
+		return false
+	}
+	t = types.Unalias(t)
+	if n, ok := t.(*types.Named); ok {
+		return retains(n.Underlying(), depth+1)
+	}
+	switch u := t.(type) {
+	case *types.Pointer, *types.Interface, *types.Signature, *types.Map, *types.Chan:
+		return true
+	case *types.Slice:
+		return retains(u.Elem(), depth+1)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if retains(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	case *types.Array:
+		return retains(u.Elem(), depth+1)
+	}
+	return false
+}
+
+// usesIdent reports whether the object obj is referenced anywhere inside n.
+func usesIdent(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

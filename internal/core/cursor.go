@@ -213,7 +213,7 @@ func (t *Tree) NewTIQCursor(ctx context.Context, q pfv.Vector, pTheta float64) (
 		return nil, fmt.Errorf("%w: query dimension %d, tree dimension %d", ErrDimension, q.Dim(), t.dim)
 	}
 	if pTheta < 0 || pTheta > 1 {
-		return nil, fmt.Errorf("core: threshold %v outside [0,1]", pTheta)
+		return nil, fmt.Errorf("%w: threshold %v outside [0,1]", ErrInvalidArg, pTheta)
 	}
 	candidates := acquireCandidates()
 	tr := t.newTraversal(ctx, q, true, func(v pfv.Vector, ld float64) {

@@ -199,7 +199,7 @@ func (t *Tree) checkQuery(q pfv.Vector, k int) error {
 		return fmt.Errorf("%w: query dimension %d, tree dimension %d", ErrDimension, q.Dim(), t.dim)
 	}
 	if k <= 0 {
-		return fmt.Errorf("core: k must be positive, got %d", k)
+		return fmt.Errorf("%w: k must be positive, got %d", ErrInvalidArg, k)
 	}
 	return nil
 }

@@ -24,7 +24,7 @@ func (t *Tree) TIQ(ctx context.Context, q pfv.Vector, pTheta float64, accuracy f
 		return nil, query.Stats{}, fmt.Errorf("%w: query dimension %d, tree dimension %d", ErrDimension, q.Dim(), t.dim)
 	}
 	if pTheta < 0 || pTheta > 1 {
-		return nil, query.Stats{}, fmt.Errorf("core: threshold %v outside [0,1]", pTheta)
+		return nil, query.Stats{}, fmt.Errorf("%w: threshold %v outside [0,1]", ErrInvalidArg, pTheta)
 	}
 	candidates := acquireCandidates() // ordered by log density: cheap removal of the weakest
 	maxLd := math.Inf(-1)             // densest candidate seen; prune never outlives it (min-pop)

@@ -156,6 +156,12 @@ type Tree struct {
 // the tree's.
 var ErrDimension = errors.New("core: dimension mismatch")
 
+// ErrInvalidArg is wrapped by every argument-validation failure of the
+// query and construction APIs (non-positive k, thresholds outside [0,1],
+// non-positive dimensions). The public facade maps it onto its own
+// sentinels; test with errors.Is.
+var ErrInvalidArg = errors.New("core: invalid argument")
+
 // New creates an empty Gauss-tree for vectors of the given dimension and
 // commits it, so an empty index is already recoverable by Open. A page
 // store that already holds a committed index is rejected: New never
@@ -206,13 +212,14 @@ func Open(mgr *pagefile.Manager) (*Tree, error) {
 	t.count = meta.Count
 	t.appliedLSN = meta.AppliedLSN
 	t.lastLSN.Store(meta.AppliedLSN)
+	//lint:ignore waldurable Open republishes the state read from the committed meta record; it is already durable.
 	t.publish()
 	return t, nil
 }
 
 func prepare(mgr *pagefile.Manager, dim int, cfg Config) (*Tree, error) {
 	if dim <= 0 {
-		return nil, fmt.Errorf("core: invalid dimension %d", dim)
+		return nil, fmt.Errorf("%w: invalid dimension %d", ErrInvalidArg, dim)
 	}
 	if cfg.ProbeFanout <= 0 {
 		cfg.ProbeFanout = defaultProbeFanout

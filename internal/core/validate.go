@@ -1,12 +1,19 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"github.com/gauss-tree/gausstree/internal/pagefile"
 	"github.com/gauss-tree/gausstree/internal/pfv"
 )
+
+// ErrCorrupt is wrapped by every structural-invariant violation that
+// CheckInvariants (and the quantization cross-checks) report, so recovery
+// and fuzz harnesses can distinguish "the tree is damaged" from I/O and
+// argument errors with errors.Is.
+var ErrCorrupt = errors.New("core: invariant violation")
 
 // CheckInvariants walks the whole tree and verifies the structural
 // guarantees of Definition 4 plus the bookkeeping the query algorithms rely
@@ -39,27 +46,27 @@ func (t *Tree) CheckInvariants() error {
 			if leafDepth == -1 {
 				leafDepth = depth
 			} else if depth != leafDepth {
-				return 0, ParamBox{}, fmt.Errorf("core: leaf %d at depth %d, expected %d", n.id, depth, leafDepth)
+				return 0, ParamBox{}, fmt.Errorf("%w: leaf %d at depth %d, expected %d", ErrCorrupt, n.id, depth, leafDepth)
 			}
 			if depth+1 != snap.height {
-				return 0, ParamBox{}, fmt.Errorf("core: leaf depth %d inconsistent with height %d", depth, snap.height)
+				return 0, ParamBox{}, fmt.Errorf("%w: leaf depth %d inconsistent with height %d", ErrCorrupt, depth, snap.height)
 			}
 			vs, err := t.leafExactVectors(n)
 			if err != nil {
 				return 0, ParamBox{}, err
 			}
 			if !isRoot && (len(vs) < t.minLeaf || len(vs) > t.capLeaf) {
-				return 0, ParamBox{}, fmt.Errorf("core: leaf %d fill %d outside [%d,%d]", n.id, len(vs), t.minLeaf, t.capLeaf)
+				return 0, ParamBox{}, fmt.Errorf("%w: leaf %d fill %d outside [%d,%d]", ErrCorrupt, n.id, len(vs), t.minLeaf, t.capLeaf)
 			}
 			if isRoot && len(vs) > t.capLeaf {
-				return 0, ParamBox{}, fmt.Errorf("core: root leaf overfull: %d > %d", len(vs), t.capLeaf)
+				return 0, ParamBox{}, fmt.Errorf("%w: root leaf overfull: %d > %d", ErrCorrupt, len(vs), t.capLeaf)
 			}
 			for _, v := range vs {
 				if v.Dim() != t.dim {
-					return 0, ParamBox{}, fmt.Errorf("core: vector %d has dimension %d, tree %d", v.ID, v.Dim(), t.dim)
+					return 0, ParamBox{}, fmt.Errorf("%w: vector %d has dimension %d, tree %d", ErrCorrupt, v.ID, v.Dim(), t.dim)
 				}
 				if _, err := pfv.New(v.ID, v.Mean, v.Sigma); err != nil {
-					return 0, ParamBox{}, fmt.Errorf("core: vector %d invalid: %w", v.ID, err)
+					return 0, ParamBox{}, fmt.Errorf("%w: vector %d invalid: %w", ErrCorrupt, v.ID, err)
 				}
 			}
 			if err := checkQuantLeaf(n, vs, t.dim); err != nil {
@@ -72,10 +79,10 @@ func (t *Tree) CheckInvariants() error {
 			return len(vs), box, nil
 		}
 		if !isRoot && (len(n.children) < t.minInner || len(n.children) > t.capInner) {
-			return 0, ParamBox{}, fmt.Errorf("core: inner %d fill %d outside [%d,%d]", n.id, len(n.children), t.minInner, t.capInner)
+			return 0, ParamBox{}, fmt.Errorf("%w: inner %d fill %d outside [%d,%d]", ErrCorrupt, n.id, len(n.children), t.minInner, t.capInner)
 		}
 		if isRoot && (len(n.children) < 2 || len(n.children) > t.capInner) {
-			return 0, ParamBox{}, fmt.Errorf("core: inner root fill %d outside [2,%d]", len(n.children), t.capInner)
+			return 0, ParamBox{}, fmt.Errorf("%w: inner root fill %d outside [2,%d]", ErrCorrupt, len(n.children), t.capInner)
 		}
 		total := 0
 		var box ParamBox
@@ -89,13 +96,13 @@ func (t *Tree) CheckInvariants() error {
 				return 0, ParamBox{}, err
 			}
 			if cnt != c.count {
-				return 0, ParamBox{}, fmt.Errorf("core: inner %d entry %d count %d, subtree has %d", n.id, i, c.count, cnt)
+				return 0, ParamBox{}, fmt.Errorf("%w: inner %d entry %d count %d, subtree has %d", ErrCorrupt, n.id, i, c.count, cnt)
 			}
 			if c.logCount != math.Log(float64(c.count)) {
-				return 0, ParamBox{}, fmt.Errorf("core: inner %d entry %d stale derived logCount %v for count %d", n.id, i, c.logCount, c.count)
+				return 0, ParamBox{}, fmt.Errorf("%w: inner %d entry %d stale derived logCount %v for count %d", ErrCorrupt, n.id, i, c.logCount, c.count)
 			}
 			if !cbox.Equal(c.box) {
-				return 0, ParamBox{}, fmt.Errorf("core: inner %d entry %d box not tight", n.id, i)
+				return 0, ParamBox{}, fmt.Errorf("%w: inner %d entry %d box not tight", ErrCorrupt, n.id, i)
 			}
 			total += cnt
 			if i == 0 {
@@ -111,7 +118,7 @@ func (t *Tree) CheckInvariants() error {
 		return err
 	}
 	if total != snap.count {
-		return fmt.Errorf("core: tree Len %d, but subtrees hold %d vectors", snap.count, total)
+		return fmt.Errorf("%w: tree Len %d, but subtrees hold %d vectors", ErrCorrupt, snap.count, total)
 	}
 	return nil
 }
@@ -127,19 +134,19 @@ func checkQuantLeaf(n *node, vs []pfv.Vector, dim int) error {
 		return nil
 	}
 	if q.len() != len(vs) {
-		return fmt.Errorf("core: quantized leaf %d holds %d entries, sidecar %d has %d", n.id, q.len(), q.sidecar, len(vs))
+		return fmt.Errorf("%w: quantized leaf %d holds %d entries, sidecar %d has %d", ErrCorrupt, n.id, q.len(), q.sidecar, len(vs))
 	}
 	for j, v := range vs {
 		if q.ids[j] != v.ID {
-			return fmt.Errorf("core: quantized leaf %d entry %d id %d, sidecar id %d", n.id, j, q.ids[j], v.ID)
+			return fmt.Errorf("%w: quantized leaf %d entry %d id %d, sidecar id %d", ErrCorrupt, n.id, j, q.ids[j], v.ID)
 		}
 		for i := 0; i < dim; i++ {
 			if !(q.muLo[i][j] <= v.Mean[i] && v.Mean[i] <= q.muHi[i][j]) {
-				return fmt.Errorf("core: quantized leaf %d entry %d dim %d: μ=%v outside widened [%v,%v]",
+				return fmt.Errorf("%w: quantized leaf %d entry %d dim %d: μ=%v outside widened [%v,%v]", ErrCorrupt,
 					n.id, j, i, v.Mean[i], q.muLo[i][j], q.muHi[i][j])
 			}
 			if !(q.sgLo[i][j] > 0 && q.sgLo[i][j] <= v.Sigma[i] && v.Sigma[i] <= q.sgHi[i][j]) {
-				return fmt.Errorf("core: quantized leaf %d entry %d dim %d: σ=%v outside widened (0,∞)∩[%v,%v]",
+				return fmt.Errorf("%w: quantized leaf %d entry %d dim %d: σ=%v outside widened (0,∞)∩[%v,%v]", ErrCorrupt,
 					n.id, j, i, v.Sigma[i], q.sgLo[i][j], q.sgHi[i][j])
 			}
 		}

@@ -266,6 +266,7 @@ func WithCostModel(cm CostModel) Option {
 // are treated as never allocated.
 func NewManager(backend Backend, pageSize int, opts ...Option) (*Manager, error) {
 	if pageSize <= 0 {
+		//lint:ignore errwrap constructor misconfiguration, not a runtime query error: no caller branches on it, so it wraps no sentinel.
 		return nil, fmt.Errorf("pagefile: invalid page size %d", pageSize)
 	}
 	m := &Manager{

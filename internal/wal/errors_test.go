@@ -1,0 +1,35 @@
+package wal
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestClosedSentinel pins the ErrClosed contract: operations on a closed
+// log must satisfy errors.Is(err, ErrClosed) so callers can distinguish
+// orderly shutdown from I/O failure.
+func TestClosedSentinel(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	l, err := Create(path, 3, Options{Interval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := l.Append(RecInsert, testVec(1, 3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WaitDurable(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(RecInsert, testVec(2, 3, 2)); !errors.Is(err, ErrClosed) {
+		t.Errorf("Append after Close = %v; want errors.Is ErrClosed", err)
+	}
+	if err := l.WaitDurable(lsn + 1); !errors.Is(err, ErrClosed) {
+		t.Errorf("WaitDurable after Close = %v; want errors.Is ErrClosed", err)
+	}
+}

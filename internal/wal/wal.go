@@ -97,6 +97,10 @@ const (
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// ErrClosed is returned (wrapped) by operations on a closed log; test
+// with errors.Is.
+var ErrClosed = errors.New("wal: closed")
+
 // ErrCorrupt reports a structurally invalid WAL file (bad header). Torn or
 // corrupt record tails are NOT errors — they are truncated silently, which
 // is exactly the crash-recovery contract.
@@ -326,7 +330,7 @@ func (l *Log) Append(typ RecordType, vectors ...pfv.Vector) (uint64, error) {
 	}
 	if l.closed {
 		l.mu.Unlock()
-		return 0, errors.New("wal: closed")
+		return 0, ErrClosed
 	}
 	lsn := l.next
 	l.next++
@@ -348,7 +352,7 @@ func (l *Log) WaitDurable(lsn uint64) error {
 	defer l.mu.Unlock()
 	for l.durable < lsn && l.err == nil {
 		if l.closed {
-			return errors.New("wal: closed before record became durable")
+			return fmt.Errorf("%w before record became durable", ErrClosed)
 		}
 		l.cond.Wait()
 	}

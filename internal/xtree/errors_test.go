@@ -1,0 +1,32 @@
+package xtree
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/gauss-tree/gausstree/internal/pagefile"
+	"github.com/gauss-tree/gausstree/internal/pfv"
+)
+
+// TestSentinelWrapping pins the ErrInvalidArg contract on the comparison
+// baseline: argument-validation failures must be matchable with errors.Is.
+func TestSentinelWrapping(t *testing.T) {
+	mgr, err := pagefile.NewManager(pagefile.NewMemBackend(4096), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(mgr, 0, Config{}); !errors.Is(err, ErrInvalidArg) {
+		t.Errorf("New(dim=0) = %v; want errors.Is ErrInvalidArg", err)
+	}
+
+	tr := newXTree(t, 2, 4096, Config{})
+	q := pfv.MustNew(0, []float64{1, 1}, []float64{1, 1})
+	ctx := context.Background()
+	if _, _, err := tr.KMLIQ(ctx, q, 0, 0); !errors.Is(err, ErrInvalidArg) {
+		t.Errorf("KMLIQ(k=0) = %v; want errors.Is ErrInvalidArg", err)
+	}
+	if _, _, err := tr.TIQ(ctx, q, 1.5, 0); !errors.Is(err, ErrInvalidArg) {
+		t.Errorf("TIQ(1.5) = %v; want errors.Is ErrInvalidArg", err)
+	}
+}

@@ -91,7 +91,7 @@ func (t *Tree) kmliq(ctx context.Context, q pfv.Vector, k int, withProbs bool) (
 		return nil, query.Stats{}, err
 	}
 	if k <= 0 {
-		return nil, query.Stats{}, fmt.Errorf("xtree: k must be positive, got %d", k)
+		return nil, query.Stats{}, fmt.Errorf("%w: k must be positive, got %d", ErrInvalidArg, k)
 	}
 	var counter pagefile.Counter
 	var stats query.Stats
@@ -134,7 +134,7 @@ func (t *Tree) TIQ(ctx context.Context, q pfv.Vector, pTheta float64, _ float64)
 		return nil, query.Stats{}, err
 	}
 	if pTheta < 0 || pTheta > 1 {
-		return nil, query.Stats{}, fmt.Errorf("xtree: threshold %v outside [0,1]", pTheta)
+		return nil, query.Stats{}, fmt.Errorf("%w: threshold %v outside [0,1]", ErrInvalidArg, pTheta)
 	}
 	var counter pagefile.Counter
 	var stats query.Stats

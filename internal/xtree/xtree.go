@@ -81,10 +81,14 @@ type Tree struct {
 // ErrDimension is returned on query/vector dimensionality mismatches.
 var ErrDimension = errors.New("xtree: dimension mismatch")
 
+// ErrInvalidArg is wrapped by argument-validation failures (non-positive
+// k or dimension, thresholds outside [0,1]); test with errors.Is.
+var ErrInvalidArg = errors.New("xtree: invalid argument")
+
 // New creates an empty X-tree for vectors of the given dimension.
 func New(mgr *pagefile.Manager, dim int, cfg Config) (*Tree, error) {
 	if dim <= 0 {
-		return nil, fmt.Errorf("xtree: invalid dimension %d", dim)
+		return nil, fmt.Errorf("%w: invalid dimension %d", ErrInvalidArg, dim)
 	}
 	cfg.fillDefaults()
 	perLeaf := (mgr.PageSize() - nodeHeaderSize) / leafEntrySize(dim)

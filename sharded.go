@@ -97,7 +97,7 @@ func NewSharded(dim, n int, opts ...Options) (*Sharded, error) {
 	}
 	o.fillDefaults()
 	if n <= 0 {
-		return nil, fmt.Errorf("gausstree: shard count must be positive, got %d", n)
+		return nil, fmt.Errorf("%w: shard count must be positive, got %d", ErrInvalidOptions, n)
 	}
 
 	var dir string
@@ -476,6 +476,7 @@ func (s *Sharded) Delete(v Vector) (bool, error) {
 // merged cross-shard denominator interval. Results are ordered by
 // descending probability.
 func (s *Sharded) KMostLikely(q Vector, k int) ([]Match, error) {
+	//lint:ignore ctxflow KMostLikely is the documented context-free compat API; the Context form is the bounded one.
 	ms, _, err := s.KMLIQContext(context.Background(), q, k)
 	return ms, err
 }
@@ -499,6 +500,7 @@ func (s *Sharded) KMLIQContext(ctx context.Context, q Vector, k int) ([]Match, S
 // cheapest ranking query; no denominator merge is needed because the global
 // density order is the merge of the per-shard orders).
 func (s *Sharded) KMostLikelyRanked(q Vector, k int) ([]Match, error) {
+	//lint:ignore ctxflow KMostLikelyRanked is the documented context-free compat API; the Context form is the bounded one.
 	ms, _, err := s.KMLIQRankedContext(context.Background(), q, k)
 	return ms, err
 }
@@ -521,6 +523,7 @@ func (s *Sharded) KMLIQRankedContext(ctx context.Context, q Vector, k int) ([]Ma
 // every object whose global identification probability reaches pTheta,
 // decided exactly via iterative cross-shard denominator refinement.
 func (s *Sharded) Threshold(q Vector, pTheta float64) ([]Match, error) {
+	//lint:ignore ctxflow Threshold is the documented context-free compat API; the Context form is the bounded one.
 	ms, _, err := s.TIQContext(context.Background(), q, pTheta)
 	return ms, err
 }

@@ -12,6 +12,12 @@ import (
 // whose dimensionality differs from the tree's. Test with errors.Is.
 var ErrInvalidQuery = errors.New("gausstree: invalid query")
 
+// ErrInvalidOptions is returned (wrapped) by the constructors when an
+// Options/IngestOptions field is out of range — a non-positive shard
+// count, a non-positive or infinite MergeDistance, a negative TTL. Test
+// with errors.Is.
+var ErrInvalidOptions = errors.New("gausstree: invalid options")
+
 // checkQueryVector rejects query vectors of the wrong dimensionality. A zero
 // Vector (dimension 0) is caught here too.
 func checkQueryVector(q Vector, dim int) error {
