@@ -155,6 +155,7 @@ func (c *Client) TIQ(ctx context.Context, q gausstree.Vector, pTheta float64) ([
 }
 
 func (c *Client) query(ctx context.Context, path string, req wire.QueryRequest) ([]gausstree.Match, gausstree.QueryStats, error) {
+	req.TraceID = traceIDFrom(ctx)
 	var resp wire.QueryResponse
 	err := c.do(ctx, path, func() any {
 		// Recomputed per attempt: after a 429 backoff the remaining budget
@@ -165,6 +166,7 @@ func (c *Client) query(ctx context.Context, path string, req wire.QueryRequest) 
 	if err != nil {
 		return nil, gausstree.QueryStats{}, err
 	}
+	captureTraceID(ctx, resp.TraceID)
 	return resp.Matches, resp.Stats.ToQueryStats(), nil
 }
 
@@ -204,7 +206,7 @@ func (c *Client) Batch(ctx context.Context, queries []Query) ([]Result, error) {
 	}
 	var resp wire.BatchResponse
 	err := c.do(ctx, "/v1/batch", func() any {
-		return wire.BatchRequest{Queries: items, TimeoutMS: timeoutMS(ctx)}
+		return wire.BatchRequest{Queries: items, TimeoutMS: timeoutMS(ctx), TraceID: traceIDFrom(ctx)}
 	}, &resp)
 	if err != nil {
 		return nil, err
@@ -212,6 +214,7 @@ func (c *Client) Batch(ctx context.Context, queries []Query) ([]Result, error) {
 	if len(resp.Responses) != len(queries) {
 		return nil, fmt.Errorf("client: batch returned %d results for %d queries", len(resp.Responses), len(queries))
 	}
+	captureTraceID(ctx, resp.TraceID)
 	out := make([]Result, len(resp.Responses))
 	for i, r := range resp.Responses {
 		out[i] = Result{Matches: r.Matches, Stats: r.Stats.ToQueryStats()}

@@ -1,0 +1,49 @@
+package client
+
+import "context"
+
+// Trace correlation. gaussd samples a fraction of requests for end-to-end
+// tracing (-trace-sample) and logs any request over its slow-query
+// threshold; both emit single-line JSON keyed by a trace id. WithTraceID
+// lets a caller choose that id up front (to tie a daemon-side trace to its
+// own request log); WithTraceIDCapture recovers the id the server used —
+// client-chosen or server-assigned — after the call returns.
+
+type traceIDKey struct{}
+
+type traceCaptureKey struct{}
+
+// WithTraceID attaches a correlation id to ctx; query and batch requests
+// issued with the returned context carry it as their wire trace_id, and a
+// daemon-side trace of the request adopts it. An empty id is a no-op.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceIDKey{}, id)
+}
+
+// WithTraceIDCapture arranges for *dst to receive the trace id echoed by
+// the server once a query or batch call on the returned context completes
+// successfully. *dst is left empty when the request was not traced. A nil
+// dst is a no-op.
+func WithTraceIDCapture(ctx context.Context, dst *string) context.Context {
+	if dst == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCaptureKey{}, dst)
+}
+
+// traceIDFrom reads the id attached by WithTraceID ("" when absent).
+func traceIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(traceIDKey{}).(string)
+	return id
+}
+
+// captureTraceID delivers the server-echoed id to a WithTraceIDCapture
+// destination, if one is attached.
+func captureTraceID(ctx context.Context, id string) {
+	if dst, _ := ctx.Value(traceCaptureKey{}).(*string); dst != nil {
+		*dst = id
+	}
+}

@@ -13,7 +13,7 @@
 //	gaussbench -exp fig7ds1 -json out.json  # machine-readable results
 //
 // Experiments: fig1, fig6a, fig6b, fig7ds1, fig7ds2, headline, ablations,
-// reopen, shards, serve, hot, ingest.
+// reopen, shards, serve, hot, ingest, obs.
 // With -json the collected per-backend measurements (page accesses, wall
 // times, recall, and heap allocations per query — the -benchmem equivalents)
 // are additionally written as JSON ("-" for stdout), so perf trajectories
@@ -25,6 +25,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"os"
@@ -37,10 +38,12 @@ import (
 
 	gausstree "github.com/gauss-tree/gausstree"
 	"github.com/gauss-tree/gausstree/client"
+	"github.com/gauss-tree/gausstree/internal/buildinfo"
 	"github.com/gauss-tree/gausstree/internal/core"
 	"github.com/gauss-tree/gausstree/internal/dataset"
 	"github.com/gauss-tree/gausstree/internal/eval"
 	"github.com/gauss-tree/gausstree/internal/gaussian"
+	"github.com/gauss-tree/gausstree/internal/obs"
 	"github.com/gauss-tree/gausstree/internal/pagefile"
 	"github.com/gauss-tree/gausstree/internal/pfv"
 	"github.com/gauss-tree/gausstree/internal/server"
@@ -49,7 +52,7 @@ import (
 
 func main() {
 	var (
-		exps     = flag.String("exp", "all", "comma-separated experiments: fig1,fig6a,fig6b,fig7ds1,fig7ds2,headline,ablations,reopen,shards,serve,hot,ingest,all")
+		exps     = flag.String("exp", "all", "comma-separated experiments: fig1,fig6a,fig6b,fig7ds1,fig7ds2,headline,ablations,reopen,shards,serve,hot,ingest,obs,all")
 		quick    = flag.Bool("quick", false, "reduced data sizes (for smoke testing)")
 		n1       = flag.Int("n1", 10987, "data set 1 size (paper: 10987)")
 		n2       = flag.Int("n2", 100000, "data set 2 size (paper: 100000)")
@@ -89,6 +92,7 @@ func main() {
 		N1: *n1, N2: *n2, Q1: *q1, Q2: *q2, PageSize: *pageSz, Quick: *quick,
 		LeafFormat: leafFormat.String(),
 	}
+	b.out.Build = buildinfo.Get()
 
 	if run("fig1") {
 		b.figure1()
@@ -131,6 +135,9 @@ func main() {
 	}
 	if run("ingest") {
 		b.ingest()
+	}
+	if run("obs") {
+		b.obsExp()
 	}
 	if *jsonPath != "" {
 		b.writeJSON(*jsonPath)
@@ -249,9 +256,23 @@ func measureAllocs(f func()) (allocs, bytes uint64) {
 	return m1.Mallocs - m0.Mallocs, m1.TotalAlloc - m0.TotalAlloc
 }
 
-// benchOutput is the machine-readable result set emitted by -json.
+// obsRow is one variant of the observability-overhead experiment: the hot
+// k-MLIQ path with metrics/tracing progressively enabled. OverheadPct is
+// ns/query relative to the baseline variant; the unsampled budget is <=2%.
+type obsRow struct {
+	Variant     string
+	NsPerQ      float64
+	PagesPerQ   float64
+	AllocsPerQ  float64
+	BytesPerQ   float64
+	OverheadPct float64
+}
+
+// benchOutput is the machine-readable result set emitted by -json. Build
+// records what produced the numbers, so BENCH snapshots are attributable.
 type benchOutput struct {
 	Params       benchParams
+	Build        buildinfo.Info
 	Fig6         []*eval.Fig6Report `json:",omitempty"`
 	Fig7         []*eval.Fig7Report `json:",omitempty"`
 	Ablations    []ablationRow      `json:",omitempty"`
@@ -260,6 +281,7 @@ type benchOutput struct {
 	Serve        []serveRow         `json:",omitempty"`
 	Hot          []hotRow           `json:",omitempty"`
 	Ingest       *ingestReport      `json:",omitempty"`
+	Obs          []obsRow           `json:",omitempty"`
 }
 
 type bench struct {
@@ -767,6 +789,130 @@ func (b *bench) hot() {
 		fmt.Printf("%-14s %12.0f %14.1f %10.1f %10.0f\n", row.Query, row.NsPerQ, row.PagesPerQ, row.AllocsPerQ, row.BytesPerQ)
 		b.out.Hot = append(b.out.Hot, row)
 	}
+	fmt.Println()
+}
+
+// obsExp measures what the observability layer costs the hot k-MLIQ path,
+// in four variants over the same fully cached index:
+//
+//   - baseline: no registry, no trace in the context — the production
+//     fast path, whose only instrumentation residue is one nil check per
+//     traversal (this is what the <=2% budget is judged against);
+//   - metrics: a registry exporting the pagefile counters through Func
+//     collectors while a scraper renders it every few milliseconds — the
+//     collectors run at scrape time, so per-query cost should not move;
+//   - trace_1pct: 1% of queries carry a pooled trace (gaussd's suggested
+//     -trace-sample for production);
+//   - trace_all: every query traced, the worst case.
+func (b *bench) obsExp() {
+	ds, qs := b.subset(min(b.n2, 20000), 200)
+	e, err := eval.Build(ds, eval.Setup{PageSize: b.pageSize, LeafFormat: b.leafFormat})
+	check(err)
+	ctx := context.Background()
+	fmt.Println("=== Obs: metrics and tracing overhead on the hot k-MLIQ path ===")
+	fmt.Printf("%-12s %12s %14s %10s %10s %10s\n", "variant", "ns/query", "pages/query", "allocs/q", "bytes/q", "overhead")
+
+	kmliq := func(c context.Context, q pfv.Vector) (uint64, error) {
+		_, st, err := e.Tree.KMLIQ(c, q, 3, 1e-4)
+		return st.PageAccesses, err
+	}
+	const passes = 3
+	measure := func(perQ func(q pfv.Vector) (uint64, error)) obsRow {
+		for _, q := range qs { // warm both cache layers
+			_, err := perQ(q.Vector)
+			check(err)
+		}
+		runtime.GC()
+		var pages uint64
+		var wall time.Duration
+		allocs, bytes := measureAllocs(func() {
+			start := time.Now()
+			for p := 0; p < passes; p++ {
+				for _, q := range qs {
+					pg, err := perQ(q.Vector)
+					check(err)
+					pages += pg
+				}
+			}
+			wall = time.Since(start)
+		})
+		n := float64(passes * len(qs))
+		return obsRow{
+			NsPerQ:     float64(wall.Nanoseconds()) / n,
+			PagesPerQ:  float64(pages) / n,
+			AllocsPerQ: float64(allocs) / n,
+			BytesPerQ:  float64(bytes) / n,
+		}
+	}
+
+	// metrics variant: the index counters exported exactly like gaussd's
+	// /metrics, with a concurrent scraper applying realistic scrape load.
+	mgr := e.Tree.Manager()
+	reg := obs.NewRegistry()
+	reg.CounterFunc("gausstree_pagefile_logical_reads_total", "Page reads requested of the page manager.",
+		func() float64 { return float64(mgr.Stats().LogicalReads) })
+	reg.CounterFunc("gausstree_pagefile_cache_hits_total", "Page reads served from the page cache.",
+		func() float64 { return float64(mgr.Stats().CacheHits) })
+	reg.CounterFunc("gausstree_pagefile_physical_reads_total", "Page reads that went to the backing file.",
+		func() float64 { return float64(mgr.Stats().PhysicalReads) })
+	reg.GaugeFunc("gausstree_snapshot_epoch", "Published snapshot epoch.",
+		func() float64 { return float64(mgr.Epoch()) })
+	traced := func(smp *obs.Sampler) func(q pfv.Vector) (uint64, error) {
+		return func(q pfv.Vector) (uint64, error) {
+			c := ctx
+			var tr *obs.Trace
+			if smp.Sample() {
+				tr = obs.NewTrace("")
+				c = obs.WithTrace(ctx, tr)
+			}
+			pg, err := kmliq(c, q)
+			tr.Release()
+			return pg, err
+		}
+	}
+
+	variants := []struct {
+		name    string
+		scraped bool
+		perQ    func(q pfv.Vector) (uint64, error)
+	}{
+		{"baseline", false, func(q pfv.Vector) (uint64, error) { return kmliq(ctx, q) }},
+		{"metrics", true, func(q pfv.Vector) (uint64, error) { return kmliq(ctx, q) }},
+		{"trace_1pct", true, traced(obs.NewSampler(0.01))},
+		{"trace_all", true, traced(obs.NewSampler(1))},
+	}
+	var baseNs float64
+	for _, v := range variants {
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		if v.scraped {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					case <-time.After(5 * time.Millisecond):
+						check(reg.WritePrometheus(io.Discard))
+					}
+				}
+			}()
+		}
+		row := measure(v.perQ)
+		close(stop)
+		wg.Wait()
+		row.Variant = v.name
+		if v.name == "baseline" {
+			baseNs = row.NsPerQ
+		} else {
+			row.OverheadPct = (row.NsPerQ - baseNs) / baseNs * 100
+		}
+		fmt.Printf("%-12s %12.0f %14.1f %10.1f %10.0f %9.1f%%\n",
+			row.Variant, row.NsPerQ, row.PagesPerQ, row.AllocsPerQ, row.BytesPerQ, row.OverheadPct)
+		b.out.Obs = append(b.out.Obs, row)
+	}
+	fmt.Println("budget: metrics-on, tracing unsampled must stay within +2% ns/query of baseline")
 	fmt.Println()
 }
 

@@ -22,7 +22,15 @@
 //	-commit-latency  group-commit window for the write-ahead log (default 2ms)
 //	-cache-mb      buffer cache budget in MB (default 50)
 //	-cache-shards  buffer-cache shard count (0 = automatic)
-//	-pprof         loopback-only net/http/pprof listener (e.g. 127.0.0.1:6060)
+//	-ops-addr      loopback-only operations listener serving GET /metrics
+//	               (Prometheus text exposition) and /debug/pprof/
+//	               (e.g. 127.0.0.1:6060)
+//	-trace-sample  fraction of requests traced end to end, in [0,1]
+//	-slow-query-ms log any request at least this slow as a completed trace,
+//	               regardless of sampling
+//	-slow-query-log file receiving trace/slow-query JSON lines (default stderr)
+//	-pprof         deprecated alias for -ops-addr (the profiling listener
+//	               grew /metrics and became the operations listener)
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -40,6 +49,7 @@ import (
 	"time"
 
 	gausstree "github.com/gauss-tree/gausstree"
+	"github.com/gauss-tree/gausstree/internal/obs"
 	"github.com/gauss-tree/gausstree/internal/server"
 )
 
@@ -54,7 +64,11 @@ func main() {
 		commitLt = flag.Duration("commit-latency", 0, "group-commit window: inserts wait at most this long to share one WAL fsync (0 = default 2ms; longer = fewer fsyncs, higher ack latency)")
 		cacheMB  = flag.Int("cache-mb", 50, "buffer cache budget in MB")
 		shards   = flag.Int("cache-shards", 0, "buffer-cache shard count, rounded up to a power of two (0 = automatic)")
-		pprofAt  = flag.String("pprof", "", "expose net/http/pprof on this loopback-only address (e.g. 127.0.0.1:6060 or :6060); empty = disabled")
+		opsAddr  = flag.String("ops-addr", "", "expose GET /metrics and /debug/pprof/ on this loopback-only address (e.g. 127.0.0.1:6060 or :6060); empty = disabled")
+		pprofAt  = flag.String("pprof", "", "deprecated alias for -ops-addr")
+		traceSmp = flag.Float64("trace-sample", 0, "fraction of requests traced end to end, in [0,1] (0 = off); sampled traces go to -slow-query-log")
+		slowMS   = flag.Int64("slow-query-ms", 0, "log any request at least this slow as a completed trace, regardless of -trace-sample (0 = off)")
+		slowLog  = flag.String("slow-query-log", "", "file receiving trace and slow-query JSON lines, appended (empty = stderr)")
 		leafFmt  = flag.String("leaf-format", "", "require the index's persisted leaf format (exact, float32, grid8, legacy-row); the format itself is fixed at build time, so a mismatch refuses to serve (empty = accept any)")
 	)
 	flag.Parse()
@@ -88,6 +102,20 @@ func main() {
 		wantLeaf = f.String()
 	}
 
+	if *traceSmp < 0 || *traceSmp > 1 {
+		fmt.Fprintln(os.Stderr, "gaussd: -trace-sample must be in [0,1]")
+		os.Exit(2)
+	}
+	if *slowMS < 0 {
+		fmt.Fprintln(os.Stderr, "gaussd: -slow-query-ms must not be negative")
+		os.Exit(2)
+	}
+	ops := *opsAddr
+	if ops == "" && *pprofAt != "" {
+		fmt.Fprintln(os.Stderr, "gaussd: -pprof is deprecated, use -ops-addr (same address, now also serving /metrics)")
+		ops = *pprofAt
+	}
+
 	idx, err := openIndex(*index, gausstree.Options{CacheBytes: *cacheMB << 20, CacheShards: *shards, CommitLatency: *commitLt})
 	fail(err)
 	if got := idx.LeafFormat(); wantLeaf != "" && got != wantLeaf {
@@ -96,22 +124,40 @@ func main() {
 	}
 	fmt.Printf("gaussd: serving %s index %s: %d vectors, %d-d, %s leaves\n", idx.Kind(), *index, idx.Len(), idx.Dim(), idx.LeafFormat())
 
-	if *pprofAt != "" {
-		l, err := listenPprof(*pprofAt)
+	// The metric registry only exists when something can scrape it: with no
+	// ops listener the request path skips metric updates entirely.
+	var reg *obs.Registry
+	if ops != "" {
+		reg = obs.NewRegistry()
+		l, err := listenOps(ops)
 		fail(err)
-		fmt.Printf("gaussd: pprof on http://%s/debug/pprof/\n", l.Addr())
+		fmt.Printf("gaussd: metrics on http://%s/metrics, pprof on http://%s/debug/pprof/\n", l.Addr(), l.Addr())
 		go func() {
-			if err := servePprof(l); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				fmt.Fprintln(os.Stderr, "gaussd: pprof:", err)
+			if err := serveOps(l, reg); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "gaussd: ops listener:", err)
 			}
 		}()
 	}
 
+	var traceLog *os.File
+	if *traceSmp > 0 || *slowMS > 0 {
+		traceLog = os.Stderr
+		if *slowLog != "" {
+			traceLog, err = os.OpenFile(*slowLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			fail(err)
+			defer traceLog.Close()
+		}
+	}
+
 	srv := server.New(idx, server.Config{
-		MaxInflight: *inflight,
-		MaxQueue:    maxQueue,
-		Timeout:     *timeout,
-		ReadOnly:    *readonly,
+		MaxInflight:        *inflight,
+		MaxQueue:           maxQueue,
+		Timeout:            *timeout,
+		ReadOnly:           *readonly,
+		Metrics:            reg,
+		TraceSample:        *traceSmp,
+		SlowQueryThreshold: time.Duration(*slowMS) * time.Millisecond,
+		TraceLog:           traceLogWriter(traceLog),
 	})
 
 	// Serve until SIGINT/SIGTERM, then drain in-flight queries (bounded by
@@ -137,15 +183,25 @@ func main() {
 	}
 }
 
-// listenPprof binds the profiling listener, restricted to loopback: the
-// pprof endpoints expose heap contents and symbol tables, so serving hot
-// spots are profiled in place without ever putting the surface on the query
-// network. A bare ":port" binds 127.0.0.1; any explicit non-loopback host is
-// refused.
-func listenPprof(addr string) (net.Listener, error) {
+// traceLogWriter converts the optional log file into the server's trace
+// sink; the explicit nil keeps a nil *os.File from arriving as a non-nil
+// io.Writer interface.
+func traceLogWriter(f *os.File) io.Writer {
+	if f == nil {
+		return nil
+	}
+	return f
+}
+
+// listenOps binds the operations listener, restricted to loopback: the
+// pprof endpoints expose heap contents and symbol tables and /metrics
+// leaks workload shape, so both are scraped in place without ever putting
+// the surface on the query network. A bare ":port" binds 127.0.0.1; any
+// explicit non-loopback host is refused.
+func listenOps(addr string) (net.Listener, error) {
 	host, port, err := net.SplitHostPort(addr)
 	if err != nil {
-		return nil, fmt.Errorf("gaussd: invalid -pprof address %q: %w", addr, err)
+		return nil, fmt.Errorf("gaussd: invalid -ops-addr %q: %w", addr, err)
 	}
 	if host == "" {
 		host = "127.0.0.1"
@@ -153,17 +209,18 @@ func listenPprof(addr string) (net.Listener, error) {
 	if host != "localhost" {
 		ip := net.ParseIP(host)
 		if ip == nil || !ip.IsLoopback() {
-			return nil, fmt.Errorf("gaussd: -pprof address %q is not loopback-only (use 127.0.0.1, ::1 or localhost)", addr)
+			return nil, fmt.Errorf("gaussd: -ops-addr %q is not loopback-only (use 127.0.0.1, ::1 or localhost)", addr)
 		}
 	}
 	return net.Listen("tcp", net.JoinHostPort(host, port))
 }
 
-// servePprof serves the pprof handlers on a dedicated mux (never the query
-// mux, and never http.DefaultServeMux) so the profiling surface stays
-// isolated from the /v1 API.
-func servePprof(l net.Listener) error {
+// serveOps serves /metrics and the pprof handlers on a dedicated mux
+// (never the query mux, and never http.DefaultServeMux) so the operations
+// surface stays isolated from the /v1 API.
+func serveOps(l net.Listener, reg *obs.Registry) error {
 	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", reg.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

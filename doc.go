@@ -170,6 +170,29 @@
 // match nothing return empty (never nil) match slices, so the JSON layer
 // serializes [] rather than null.
 //
+// # Observability
+//
+// The internal/obs package is a dependency-free observability kernel
+// shared by every layer: Prometheus text-exposition metrics and pooled
+// per-query traces. gaussd -ops-addr exposes GET /metrics alongside
+// /debug/pprof/ on a loopback-only operations listener — request rates,
+// latency histograms and admission pressure per endpoint, plus
+// callback-backed engine series (buffer-cache effectiveness, WAL
+// group-commit efficiency and durable-LSN lag, snapshot-epoch and
+// pinned-reader health, merge-ingest activity) that read the engine's
+// existing atomic counters at scrape time and cost the hot path nothing.
+// With -trace-sample a fraction of requests carry a trace through
+// executor, cursors and shard coordinator, recording spans (wall time
+// plus page/node/scored-vector work, attributed to shards and merge
+// rounds); -slow-query-ms logs any slower request the same way regardless
+// of sampling, as single-line JSON to -slow-query-log. The wire format
+// carries trace_id both ways: client.WithTraceID ties a daemon-side trace
+// to the caller's own log, client.WithTraceIDCapture recovers the
+// server-assigned id. Unsampled requests carry a nil trace whose every
+// instrumentation point is a nil check, and the instruments themselves
+// are pure atomics — a gausslint check (obsregister) keeps them
+// lock-free, so they are safe even under the engine's shard locks.
+//
 // # Performance
 //
 // The hot read path — a query against a fully cached index — is lock-light,
@@ -189,9 +212,10 @@
 //
 // Tuning: Options.CacheBytes sets the buffer cache budget (default 50 MB,
 // the paper's setup; gaussd -cache-mb) and Options.CacheShards the shard
-// count (default automatic; gaussd -cache-shards). gaussd -pprof exposes
-// net/http/pprof on a separate loopback-only listener for profiling the
-// serving hot path in place. BENCH_PR5.json records the measured
+// count (default automatic; gaussd -cache-shards). gaussd -ops-addr
+// exposes net/http/pprof (with /metrics; -pprof remains as a deprecated
+// alias) on a separate loopback-only listener for profiling the serving
+// hot path in place. BENCH_PR5.json records the measured
 // before/after of the caching design (≈ 3× fewer allocations and ≈ 35% less
 // CPU per cached query) and BENCH_PR6.json the columnar-leaf overhaul on
 // top of it (≈ 2.5× less CPU per cached k-MLIQ at bit-identical ranked page

@@ -358,10 +358,44 @@ func (t *Tree) SnapshotEpoch() uint64 {
 	return st.tree.SnapshotEpoch()
 }
 
+// PinnedReaders returns the number of outstanding snapshot-reader epoch
+// pins — queries (and unclosed cursors) currently blocking page
+// reclamation. Exposed by gaussd as the gausstree_pinned_readers gauge.
+func (t *Tree) PinnedReaders() int {
+	st := t.st.Load()
+	if st == nil {
+		return 0
+	}
+	return st.mgr.PinnedReaders()
+}
+
+// OldestPinnedEpoch returns the reclamation epoch of the longest-running
+// pinned reader, or the current epoch when no reader is pinned. The gap to
+// SnapshotEpoch measures how far page reclamation lags behind publishing —
+// a stuck or leaked cursor shows up as a growing gap.
+func (t *Tree) OldestPinnedEpoch() uint64 {
+	st := t.st.Load()
+	if st == nil {
+		return 0
+	}
+	return st.mgr.OldestPin()
+}
+
+// LimboPages returns the number of freed pages awaiting epoch-safe
+// reclamation.
+func (t *Tree) LimboPages() int {
+	st := t.st.Load()
+	if st == nil {
+		return 0
+	}
+	return st.mgr.LimboPages()
+}
+
 // WALStats reports write-ahead-log counters of a file-backed tree: total
 // fsyncs, total appended records, their ratio (the mean group-commit batch
 // size — the central metric of the group-commit write path), and the
-// highest durable LSN. ok is false for memory-backed or closed trees.
+// highest appended and durable LSNs (their gap is the group-commit window
+// still awaiting fsync). ok is false for memory-backed or closed trees.
 func (t *Tree) WALStats() (ws WALStats, ok bool) {
 	st := t.st.Load()
 	if st == nil || st.wal == nil {
@@ -372,6 +406,7 @@ func (t *Tree) WALStats() (ws WALStats, ok bool) {
 		Fsyncs:        s.Fsyncs,
 		Records:       s.Records,
 		MeanGroupSize: s.MeanGroupSize(),
+		AppendedLSN:   s.AppendedLSN,
 		DurableLSN:    s.DurableLSN,
 	}, true
 }
@@ -385,6 +420,10 @@ type WALStats struct {
 	// MeanGroupSize is Records per fsync: how many mutations each
 	// group commit amortized (0 before the first fsync).
 	MeanGroupSize float64
+	// AppendedLSN is the log sequence number of the last appended record;
+	// AppendedLSN − DurableLSN is the durability lag of the group-commit
+	// window.
+	AppendedLSN uint64
 	// DurableLSN is the highest log sequence number known fsynced.
 	DurableLSN uint64
 }

@@ -53,6 +53,10 @@ func TestUnusedWrite(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.UnusedWrite, "unusedwrite")
 }
 
+func TestObsRegister(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.ObsRegister, "obs")
+}
+
 func TestByName(t *testing.T) {
 	as, err := analysis.ByName("epochorder,lockorder")
 	if err != nil {
@@ -64,7 +68,7 @@ func TestByName(t *testing.T) {
 	if _, err := analysis.ByName("nosuch"); err == nil {
 		t.Fatal("ByName accepted an unknown analyzer name")
 	}
-	if all, err := analysis.ByName(""); err != nil || len(all) != 10 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want the full suite of 10", len(all), err)
+	if all, err := analysis.ByName(""); err != nil || len(all) != 11 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want the full suite of 11", len(all), err)
 	}
 }

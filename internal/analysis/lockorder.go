@@ -66,6 +66,7 @@ var managerLockUse = map[string]funcEffects{
 	"AdvanceEpoch":  {acquires: []string{"Manager.epochMu", "Manager.allocMu", "cacheShard.mu"}},
 	"Epoch":         {acquires: []string{"Manager.epochMu"}},
 	"PinnedReaders": {acquires: []string{"Manager.epochMu"}},
+	"OldestPin":     {acquires: []string{"Manager.epochMu"}},
 	"LimboPages":    {acquires: []string{"Manager.epochMu"}},
 }
 

@@ -7,15 +7,16 @@ import (
 	"strings"
 )
 
-// All returns the full gausslint suite: the six project-specific analyzers
-// followed by the stock vet-style passes folded into the same run, sorted
-// by name.
+// All returns the full gausslint suite: the seven project-specific
+// analyzers followed by the stock vet-style passes folded into the same
+// run, sorted by name.
 func All() []*Analyzer {
 	as := []*Analyzer{
 		CtxFlow,
 		EpochOrder,
 		ErrWrap,
 		LockOrder,
+		ObsRegister,
 		PoolReset,
 		WALDurable,
 		// Stock x/tools passes reimplemented on the stdlib (the module is

@@ -119,6 +119,10 @@ type KMLIQCursor struct {
 	tr  *traversal
 	top *pqueue.TopK[pfv.Vector]
 	err error
+	// shard labels this cursor's trace spans (-1 when standalone); refines
+	// numbers Refine calls from 1 so spans line up with merge rounds.
+	shard   int
+	refines int
 }
 
 // NewKMLIQCursor starts a resumable k-MLIQ traversal. No pages are read
@@ -131,8 +135,13 @@ func (t *Tree) NewKMLIQCursor(ctx context.Context, q pfv.Vector, k int) (*KMLIQC
 	tr := t.newTraversal(ctx, q, true, func(v pfv.Vector, ld float64) {
 		top.Offer(v, ld)
 	})
-	return &KMLIQCursor{tr: tr, top: top}, nil
+	return &KMLIQCursor{tr: tr, top: top, shard: -1}, nil
 }
+
+// TraceShard labels the cursor's trace spans with the shard index it
+// serves, so a sharded query's slow-query log attributes pages and time per
+// shard. No-op on untraced queries.
+func (c *KMLIQCursor) TraceShard(i int) { c.shard = i }
 
 // Close returns the cursor's pooled traversal and collector state to the
 // query pools and releases the cursor's snapshot pin. The cursor is
@@ -164,12 +173,15 @@ func (c *KMLIQCursor) Refine(accuracy, maxLogUnexplored float64) error {
 	if c.err != nil {
 		return c.err
 	}
+	c.refines++
+	sp := c.tr.traceBegin()
 	c.err = c.tr.run(func() bool {
 		if !mliqDone(c.top, c.tr, accuracy) {
 			return false
 		}
 		return c.tr.denom.parts().LogHull <= maxLogUnexplored
 	})
+	c.tr.traceEnd(sp, "kmliq_refine", c.shard, c.refines)
 	return c.err
 }
 
@@ -204,6 +216,9 @@ type TIQCursor struct {
 	candidates *pqueue.Queue[pfv.Vector]
 	logTheta   float64 // ln pTheta; −Inf for pTheta = 0
 	err        error
+	// shard / refines: trace span attribution, as on KMLIQCursor.
+	shard   int
+	refines int
 }
 
 // NewTIQCursor starts a resumable TIQ traversal. No pages are read until the
@@ -219,8 +234,12 @@ func (t *Tree) NewTIQCursor(ctx context.Context, q pfv.Vector, pTheta float64) (
 	tr := t.newTraversal(ctx, q, true, func(v pfv.Vector, ld float64) {
 		candidates.Push(v, ld)
 	})
-	return &TIQCursor{tr: tr, candidates: candidates, logTheta: math.Log(pTheta)}, nil
+	return &TIQCursor{tr: tr, candidates: candidates, logTheta: math.Log(pTheta), shard: -1}, nil
 }
+
+// TraceShard labels the cursor's trace spans with the shard index it
+// serves; see KMLIQCursor.TraceShard.
+func (c *TIQCursor) TraceShard(i int) { c.shard = i }
 
 // Close returns the cursor's pooled traversal and candidate state to the
 // query pools. The cursor is unusable afterwards; see KMLIQCursor.Close.
@@ -263,6 +282,9 @@ func (c *TIQCursor) Refine(maxLogUnexplored, logExternalLow float64) error {
 	if c.err != nil {
 		return c.err
 	}
+	c.refines++
+	sp := c.tr.traceBegin()
+	defer func() { c.tr.traceEnd(sp, "tiq_refine", c.shard, c.refines) }()
 	c.err = c.tr.run(func() bool {
 		low := logAddExp(c.tr.denom.parts().LogLow(), logExternalLow)
 		c.prune(low)

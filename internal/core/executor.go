@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"github.com/gauss-tree/gausstree/internal/gaussian"
+	"github.com/gauss-tree/gausstree/internal/obs"
 	"github.com/gauss-tree/gausstree/internal/pagefile"
 	"github.com/gauss-tree/gausstree/internal/pfv"
 	"github.com/gauss-tree/gausstree/internal/pqueue"
@@ -45,6 +46,9 @@ type traversal struct {
 	counter    pagefile.Counter
 	stats      query.Stats
 	started    bool // root expanded; run() may be called again to resume
+	// trace is the query's obs trace, captured from the context at
+	// construction; nil (the common case) makes every span call a no-op.
+	trace *obs.Trace
 	// onVector receives every exactly scored leaf object.
 	onVector func(v pfv.Vector, ld float64)
 
@@ -90,6 +94,7 @@ func (t *Tree) newTraversal(ctx context.Context, q pfv.Vector, trackDenom bool, 
 	tr.eval.Reset(t.cfg.Combiner, q)
 	tr.trackDenom = trackDenom
 	tr.onVector = onVector
+	tr.trace = obs.TraceFrom(ctx)
 	prodQS := 1.0
 	for _, s := range q.Sigma {
 		prodQS *= s
@@ -128,6 +133,7 @@ func (tr *traversal) release() {
 	tr.onVector = nil
 	tr.screenBound = nil
 	tr.leafThreshold = nil
+	tr.trace = nil
 	traversalPool.Put(tr)
 }
 
@@ -384,4 +390,23 @@ func (tr *traversal) finish(retained int) query.Stats {
 	tr.stats.PageAccesses = tr.counter.LogicalReads()
 	tr.stats.CandidatesRetained = retained
 	return tr.stats
+}
+
+// traceBegin opens a trace span bookmarking the traversal's cumulative work
+// counters; on an untraced query (the common case) it is an inert no-op.
+func (tr *traversal) traceBegin() obs.SpanStart {
+	if tr.trace == nil {
+		return obs.SpanStart{}
+	}
+	return tr.trace.Begin(int64(tr.counter.LogicalReads()), int64(tr.stats.NodesVisited), int64(tr.stats.VectorsScored))
+}
+
+// traceEnd closes a span opened by traceBegin, recording the pages read,
+// nodes expanded and vectors scored since then under name, attributed to
+// shard/round (-1 when not applicable).
+func (tr *traversal) traceEnd(sp obs.SpanStart, name string, shard, round int) {
+	if tr.trace == nil {
+		return
+	}
+	tr.trace.End(sp, name, shard, round, int64(tr.counter.LogicalReads()), int64(tr.stats.NodesVisited), int64(tr.stats.VectorsScored))
 }

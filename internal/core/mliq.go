@@ -84,7 +84,10 @@ func (t *Tree) KMLIQRanked(ctx context.Context, q pfv.Vector, k int) ([]query.Re
 		_, topPrio, _ := tr.active.Peek()
 		return bound >= topPrio
 	}
-	if err := tr.run(done); err != nil {
+	sp := tr.traceBegin()
+	err := tr.run(done)
+	tr.traceEnd(sp, "kmliq_ranked", -1, -1)
+	if err != nil {
 		st := tr.finish(top.Len())
 		tr.release()
 		releaseTopK(top)
@@ -134,7 +137,10 @@ func (t *Tree) KMLIQ(ctx context.Context, q pfv.Vector, k int, accuracy float64)
 	// screenBound here: the denominator needs every explored leaf's exact
 	// densities.
 	tr.leafThreshold = top.Bound
-	if err := tr.run(func() bool { return mliqDone(top, tr, accuracy) }); err != nil {
+	sp := tr.traceBegin()
+	err := tr.run(func() bool { return mliqDone(top, tr, accuracy) })
+	tr.traceEnd(sp, "kmliq", -1, -1)
+	if err != nil {
 		st := tr.finish(top.Len())
 		tr.release()
 		releaseTopK(top)

@@ -79,7 +79,10 @@ func (t *Tree) TIQ(ctx context.Context, q pfv.Vector, pTheta float64, accuracy f
 		return true
 	}
 
-	if err := tr.run(done); err != nil {
+	sp := tr.traceBegin()
+	err := tr.run(done)
+	tr.traceEnd(sp, "tiq", -1, -1)
+	if err != nil {
 		st := tr.finish(candidates.Len())
 		tr.release()
 		releaseCandidates(candidates)

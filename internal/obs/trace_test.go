@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilTraceIsFree asserts the unsampled path — a nil *Trace — allocates
+// nothing across every instrumentation point.
+func TestNilTraceIsFree(t *testing.T) {
+	var tr *Trace
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := tr.Begin(1, 2, 3)
+		tr.End(sp, "phase", -1, -1, 4, 5, 6)
+		_ = tr.ID()
+		tr.SetID("x")
+		_ = tr.Spans()
+		tr.Release()
+	})
+	if allocs != 0 {
+		t.Errorf("nil trace allocated %v times per run", allocs)
+	}
+	if got := TraceFrom(context.Background()); got != nil {
+		t.Errorf("TraceFrom(bare ctx) = %v, want nil", got)
+	}
+	if ctx := WithTrace(context.Background(), nil); ctx != context.Background() {
+		t.Error("WithTrace(nil) should return ctx unchanged")
+	}
+}
+
+func TestTraceSpans(t *testing.T) {
+	tr := NewTrace("abc123")
+	if tr.ID() != "abc123" {
+		t.Fatalf("ID = %q", tr.ID())
+	}
+	sp := tr.Begin(10, 100, 1000)
+	time.Sleep(time.Millisecond)
+	tr.End(sp, "kmliq", -1, -1, 15, 130, 1700)
+	sp2 := tr.Begin(0, 0, 0)
+	tr.End(sp2, "shard_refine", 2, 1, 7, 3, 9)
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	first := spans[0]
+	if first.Name != "kmliq" || first.Pages != 5 || first.Nodes != 30 || first.Scored != 700 {
+		t.Errorf("bad deltas: %+v", first)
+	}
+	if first.DurUS < 900 {
+		t.Errorf("DurUS = %d, want >= ~1000", first.DurUS)
+	}
+	if first.Shard != -1 || first.Round != -1 {
+		t.Errorf("unattributed span carries shard/round: %+v", first)
+	}
+	second := spans[1]
+	if second.Shard != 2 || second.Round != 1 || second.Pages != 7 {
+		t.Errorf("bad attribution: %+v", second)
+	}
+	if second.StartUS < first.StartUS {
+		t.Errorf("span starts out of order: %d < %d", second.StartUS, first.StartUS)
+	}
+	// Spans must round-trip as single-line JSON for the slow-query log.
+	raw, err := json.Marshal(spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []Span
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back[1] != second {
+		t.Errorf("JSON round-trip changed span: %+v != %+v", back[1], second)
+	}
+	tr.Release()
+}
+
+// TestTracePoolReuse verifies Release/NewTrace recycle state: a reused
+// trace starts with zero spans and a fresh id.
+func TestTracePoolReuse(t *testing.T) {
+	tr := NewTrace("")
+	id1 := tr.ID()
+	if len(id1) != 16 {
+		t.Fatalf("generated id %q, want 16 hex chars", id1)
+	}
+	sp := tr.Begin(0, 0, 0)
+	tr.End(sp, "x", -1, -1, 0, 0, 0)
+	tr.Release()
+	tr2 := NewTrace("")
+	if n := len(tr2.Spans()); n != 0 {
+		t.Errorf("pooled trace kept %d spans", n)
+	}
+	if tr2.ID() == "" || tr2.ID() == id1 {
+		t.Errorf("reused trace id %q (previous %q)", tr2.ID(), id1)
+	}
+	tr2.Release()
+}
+
+// TestConcurrentSpanAppend mimics a shard fan-out: goroutines End spans on
+// one trace concurrently.
+func TestConcurrentSpanAppend(t *testing.T) {
+	tr := NewTrace("")
+	var wg sync.WaitGroup
+	const n = 8
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			for r := 0; r < 50; r++ {
+				sp := tr.Begin(0, 0, 0)
+				tr.End(sp, "shard_refine", shard, r, 1, 1, 1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != n*50 {
+		t.Errorf("got %d spans, want %d", got, n*50)
+	}
+	tr.Release()
+}
+
+func TestTraceContext(t *testing.T) {
+	tr := NewTrace("ctx-id")
+	ctx := WithTrace(context.Background(), tr)
+	if got := TraceFrom(ctx); got != tr {
+		t.Fatal("TraceFrom did not round-trip")
+	}
+	tr.Release()
+}
+
+func TestSamplerRates(t *testing.T) {
+	if (*Sampler)(nil).Sample() {
+		t.Error("nil sampler sampled")
+	}
+	never := NewSampler(0)
+	always := NewSampler(1)
+	for i := 0; i < 1000; i++ {
+		if never.Sample() {
+			t.Fatal("rate-0 sampler sampled")
+		}
+		if !always.Sample() {
+			t.Fatal("rate-1 sampler skipped")
+		}
+	}
+	const n = 200000
+	s := NewSampler(0.01)
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Sample() {
+			hits++
+		}
+	}
+	// 1% of 200k = 2000; allow a generous ±50% band — the stream is
+	// deterministic splitmix64, so this is stable, not flaky.
+	if hits < 1000 || hits > 3000 {
+		t.Errorf("1%% sampler kept %d of %d", hits, n)
+	}
+}
+
+func TestNewIDUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 10000; i++ {
+		id := NewID()
+		if len(id) != 16 {
+			t.Fatalf("id %q not 16 chars", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+}

@@ -109,6 +109,19 @@ func (m *Manager) PinnedReaders() int {
 	return n
 }
 
+// OldestPin returns the smallest pinned reader epoch — the publish epoch
+// the longest-running snapshot reader still observes — or the current
+// epoch when no reader is pinned. The gap Epoch()−OldestPin() is how far
+// page reclamation lags behind publishing.
+func (m *Manager) OldestPin() uint64 {
+	m.epochMu.Lock()
+	defer m.epochMu.Unlock()
+	if min := m.minPinLocked(); min != ^uint64(0) {
+		return min
+	}
+	return m.curEpoch
+}
+
 // LimboPages returns the number of freed pages awaiting reclamation
 // (staged and epoch-stamped).
 func (m *Manager) LimboPages() int {

@@ -49,6 +49,18 @@ type Index interface {
 	// SnapshotEpoch is the monotone count of committed mutations (the
 	// published snapshot's reclamation epoch; summed across shards).
 	SnapshotEpoch() uint64
+	// PinnedReaders is the number of snapshot readers currently pinning a
+	// reclamation epoch (summed across shards).
+	PinnedReaders() int
+	// OldestPinnedEpoch is the oldest epoch a pinned reader still observes
+	// (summed across shards, matching SnapshotEpoch's convention); the gap
+	// SnapshotEpoch−OldestPinnedEpoch is the total reclamation lag.
+	OldestPinnedEpoch() uint64
+	// LimboPages is the number of freed pages awaiting epoch reclamation.
+	LimboPages() int
+	// IngestStats reports the online merge-ingest counters; ok is false
+	// when the backend has no ingest accelerator (sharded indexes).
+	IngestStats() (is gausstree.IngestStats, ok bool)
 	// Sync flushes written pages to stable storage.
 	Sync() error
 	// Close releases the index.
@@ -79,6 +91,10 @@ func (i treeIndex) Delete(v gausstree.Vector) (bool, error)      { return i.t.De
 func (i treeIndex) IOStats() (pagefile.Stats, error)             { return i.t.Stats() }
 func (i treeIndex) WALStats() (gausstree.WALStats, bool)         { return i.t.WALStats() }
 func (i treeIndex) SnapshotEpoch() uint64                        { return i.t.SnapshotEpoch() }
+func (i treeIndex) PinnedReaders() int                           { return i.t.PinnedReaders() }
+func (i treeIndex) OldestPinnedEpoch() uint64                    { return i.t.OldestPinnedEpoch() }
+func (i treeIndex) LimboPages() int                              { return i.t.LimboPages() }
+func (i treeIndex) IngestStats() (gausstree.IngestStats, bool)   { return i.t.IngestStats() }
 func (i treeIndex) Sync() error                                  { return i.t.Sync() }
 func (i treeIndex) Close() error                                 { return i.t.Close() }
 
@@ -111,8 +127,14 @@ func (i shardedIndex) Delete(v gausstree.Vector) (bool, error)      { return i.s
 func (i shardedIndex) IOStats() (pagefile.Stats, error)             { return i.s.Stats() }
 func (i shardedIndex) WALStats() (gausstree.WALStats, bool)         { return i.s.WALStats() }
 func (i shardedIndex) SnapshotEpoch() uint64                        { return i.s.SnapshotEpoch() }
-func (i shardedIndex) Sync() error                                  { return i.s.Sync() }
-func (i shardedIndex) Close() error                                 { return i.s.Close() }
+func (i shardedIndex) PinnedReaders() int                           { return i.s.PinnedReaders() }
+func (i shardedIndex) OldestPinnedEpoch() uint64                    { return i.s.OldestPinnedEpoch() }
+func (i shardedIndex) LimboPages() int                              { return i.s.LimboPages() }
+func (i shardedIndex) IngestStats() (gausstree.IngestStats, bool) {
+	return gausstree.IngestStats{}, false
+}
+func (i shardedIndex) Sync() error  { return i.s.Sync() }
+func (i shardedIndex) Close() error { return i.s.Close() }
 
 // indexEngine adapts the serving surface back onto query.Engine, which lets
 // the batch endpoint reuse query.BatchExecutor's worker pool unchanged. The

@@ -1,0 +1,225 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	gausstree "github.com/gauss-tree/gausstree"
+	"github.com/gauss-tree/gausstree/internal/buildinfo"
+	"github.com/gauss-tree/gausstree/internal/obs"
+	"github.com/gauss-tree/gausstree/internal/pagefile"
+)
+
+// registerMetrics exports the daemon's and the served index's series into
+// reg. The per-request series (gaussd_http_requests_total,
+// gaussd_request_seconds) are atomic instruments bumped by instrument();
+// everything the index already counts is exported through Func collectors,
+// so the scrape pays the collection cost and the hot path pays nothing.
+func (s *Server) registerMetrics(reg *obs.Registry) {
+	bi := buildinfo.Get()
+	reg.Gauge("gaussd_build_info",
+		"Build identity of the running gaussd; the value is always 1.",
+		obs.L("version", bi.Version), obs.L("revision", bi.Revision),
+		obs.L("goversion", bi.GoVersion)).Set(1)
+
+	reg.GaugeFunc("gaussd_inflight_requests",
+		"Requests currently holding an execution slot.",
+		func() float64 { return float64(s.lim.inFlight()) })
+	reg.GaugeFunc("gaussd_queued_requests",
+		"Requests waiting for an execution slot.",
+		func() float64 { return float64(s.lim.waiting()) })
+	reg.CounterFunc("gaussd_rejected_total",
+		"Requests refused with 429 by admission control.",
+		func() float64 { return float64(s.rejected.Load()) })
+
+	idx := s.idx
+	ioc := func(name, help string, get func(pagefile.Stats) uint64) {
+		reg.CounterFunc(name, help, func() float64 {
+			st, err := idx.IOStats()
+			if err != nil {
+				return 0
+			}
+			return float64(get(st))
+		})
+	}
+	ioc("gausstree_pagefile_logical_reads_total",
+		"Page reads requested of the page manager.",
+		func(st pagefile.Stats) uint64 { return st.LogicalReads })
+	ioc("gausstree_pagefile_cache_hits_total",
+		"Page reads served from the page cache.",
+		func(st pagefile.Stats) uint64 { return st.CacheHits })
+	ioc("gausstree_pagefile_physical_reads_total",
+		"Page reads that went to the backing file.",
+		func(st pagefile.Stats) uint64 { return st.PhysicalReads })
+	ioc("gausstree_pagefile_writes_total",
+		"Pages written to the backing file.",
+		func(st pagefile.Stats) uint64 { return st.Writes })
+	ioc("gausstree_pagefile_seeks_total",
+		"Non-sequential page accesses.",
+		func(st pagefile.Stats) uint64 { return st.Seeks })
+
+	reg.GaugeFunc("gausstree_vectors",
+		"Vectors stored in the served index.",
+		func() float64 { return float64(idx.Len()) })
+	reg.GaugeFunc("gausstree_snapshot_epoch",
+		"Published snapshot epoch — committed mutations, summed across shards.",
+		func() float64 { return float64(idx.SnapshotEpoch()) })
+	reg.GaugeFunc("gausstree_oldest_pinned_epoch",
+		"Oldest epoch a pinned snapshot reader still observes (summed across shards); gausstree_snapshot_epoch minus this is the reclamation lag.",
+		func() float64 { return float64(idx.OldestPinnedEpoch()) })
+	reg.GaugeFunc("gausstree_pinned_readers",
+		"Snapshot readers currently pinning a reclamation epoch.",
+		func() float64 { return float64(idx.PinnedReaders()) })
+	reg.GaugeFunc("gausstree_limbo_pages",
+		"Freed pages awaiting epoch-safe reclamation.",
+		func() float64 { return float64(idx.LimboPages()) })
+
+	if _, ok := idx.WALStats(); ok {
+		wal := func() gausstree.WALStats { ws, _ := idx.WALStats(); return ws }
+		reg.CounterFunc("gausstree_wal_fsyncs_total",
+			"WAL fsyncs issued.",
+			func() float64 { return float64(wal().Fsyncs) })
+		reg.CounterFunc("gausstree_wal_records_total",
+			"WAL records appended.",
+			func() float64 { return float64(wal().Records) })
+		reg.GaugeFunc("gausstree_wal_group_size_mean",
+			"Mean records per WAL fsync (group-commit amortization).",
+			func() float64 { return wal().MeanGroupSize })
+		reg.GaugeFunc("gausstree_wal_durable_lsn",
+			"Highest fsynced WAL sequence number.",
+			func() float64 { return float64(wal().DurableLSN) })
+		reg.GaugeFunc("gausstree_wal_durable_lag",
+			"Appended-but-not-yet-durable WAL records (appended LSN minus durable LSN).",
+			func() float64 { ws := wal(); return float64(ws.AppendedLSN - ws.DurableLSN) })
+	}
+	if _, ok := idx.IngestStats(); ok {
+		ing := func() gausstree.IngestStats { is, _ := idx.IngestStats(); return is }
+		reg.CounterFunc("gausstree_ingest_inserted_total",
+			"Merge-ingest observations stored as new objects.",
+			func() float64 { return float64(ing().Inserted) })
+		reg.CounterFunc("gausstree_ingest_merged_total",
+			"Merge-ingest observations folded into an existing object.",
+			func() float64 { return float64(ing().Merged) })
+		reg.CounterFunc("gausstree_ingest_swept_total",
+			"Merge-ingest objects removed by TTL sweeps.",
+			func() float64 { return float64(ing().Swept) })
+	}
+}
+
+// statusWriter records the response status so instrument can label the
+// outcome after the handler returns. Handlers that never call WriteHeader
+// implicitly wrote 200.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// outcomeFor maps a response status onto the bounded outcome label set of
+// gaussd_http_requests_total (the inverse of statusForError).
+func outcomeFor(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "invalid"
+	case http.StatusForbidden:
+		return "read_only"
+	case http.StatusTooManyRequests:
+		return "saturated"
+	case http.StatusServiceUnavailable:
+		return "closed"
+	case http.StatusGatewayTimeout:
+		return "deadline"
+	}
+	if status < 400 {
+		return "ok"
+	}
+	return "internal"
+}
+
+// instrument wraps one endpoint handler with the observability shell:
+// request/latency/outcome metrics, and — when the request is sampled or a
+// slow-query threshold is armed — a pooled obs.Trace attached to the
+// request context so every layer below records spans into it. With metrics
+// off and tracing unarmed the wrapper is a time.Since and two nil checks.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sampled := s.sampler.Sample()
+		var tr *obs.Trace
+		if sampled || s.cfg.SlowQueryThreshold > 0 {
+			tr = obs.NewTrace("")
+			r = r.WithContext(obs.WithTrace(r.Context(), tr))
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		elapsed := time.Since(start)
+		if reg := s.cfg.Metrics; reg != nil {
+			reg.Counter("gaussd_http_requests_total",
+				"HTTP requests by endpoint and outcome.",
+				obs.L("endpoint", endpoint), obs.L("outcome", outcomeFor(sw.status()))).Inc()
+			reg.Histogram("gaussd_request_seconds",
+				"End-to-end request latency in seconds by endpoint.", nil,
+				obs.L("endpoint", endpoint)).Observe(elapsed.Seconds())
+		}
+		if tr != nil {
+			s.emitTrace(endpoint, tr, sw.status(), elapsed, sampled)
+			// Safe to pool: the engine layers join all their goroutines
+			// before the handler returns, so nothing still holds tr.
+			tr.Release()
+		}
+	}
+}
+
+// traceRecord is one line of the slow-query / trace log.
+type traceRecord struct {
+	TraceID   string     `json:"trace_id"`
+	Endpoint  string     `json:"endpoint"`
+	Status    int        `json:"status"`
+	ElapsedMS float64    `json:"elapsed_ms"`
+	Slow      bool       `json:"slow"`
+	Spans     []obs.Span `json:"spans"`
+}
+
+// emitTrace writes the completed trace as single-line JSON to the trace
+// log when it was sampled, or — regardless of sampling — when it crossed
+// the slow-query threshold. Lines are serialized by traceMu so concurrent
+// requests never interleave mid-line.
+func (s *Server) emitTrace(endpoint string, tr *obs.Trace, status int, elapsed time.Duration, sampled bool) {
+	slow := s.cfg.SlowQueryThreshold > 0 && elapsed >= s.cfg.SlowQueryThreshold
+	if (!sampled && !slow) || s.cfg.TraceLog == nil {
+		return
+	}
+	spans := tr.Spans()
+	if spans == nil {
+		spans = []obs.Span{}
+	}
+	line, err := json.Marshal(traceRecord{
+		TraceID:   tr.ID(),
+		Endpoint:  endpoint,
+		Status:    status,
+		ElapsedMS: float64(elapsed.Microseconds()) / 1e3,
+		Slow:      slow,
+		Spans:     spans,
+	})
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	s.traceMu.Lock()
+	s.cfg.TraceLog.Write(line)
+	s.traceMu.Unlock()
+}

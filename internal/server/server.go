@@ -15,11 +15,14 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	gausstree "github.com/gauss-tree/gausstree"
+	"github.com/gauss-tree/gausstree/internal/buildinfo"
+	"github.com/gauss-tree/gausstree/internal/obs"
 	"github.com/gauss-tree/gausstree/internal/query"
 	"github.com/gauss-tree/gausstree/internal/wire"
 )
@@ -39,6 +42,19 @@ type Config struct {
 	// BatchWorkers sizes the batch executor's worker pool (default
 	// GOMAXPROCS, the query.BatchExecutor default).
 	BatchWorkers int
+	// Metrics, when non-nil, receives the daemon's and the index's metric
+	// families; gaussd serves it at /metrics on the ops listener. Nil
+	// disables metrics entirely.
+	Metrics *obs.Registry
+	// TraceSample is the fraction of requests traced end to end, in [0, 1].
+	// 0 (the default) traces nothing.
+	TraceSample float64
+	// SlowQueryThreshold, when positive, emits any request at least this
+	// slow to TraceLog as a completed trace, regardless of TraceSample.
+	SlowQueryThreshold time.Duration
+	// TraceLog receives sampled and slow traces as single-line JSON; nil
+	// drops them (trace ids still flow to responses).
+	TraceLog io.Writer
 }
 
 func (c *Config) fillDefaults() {
@@ -60,6 +76,16 @@ func (c *Config) fillDefaults() {
 // largest legitimate ones.
 const maxBodyBytes = 64 << 20
 
+// endpointCounters is the per-endpoint served/rejected breakdown of one
+// admission-controlled endpoint.
+type endpointCounters struct {
+	served, rejected atomic.Uint64
+}
+
+// admissionEndpoints are the endpoints that hold an execution slot; stats
+// and healthz bypass admission control and are not broken down.
+var admissionEndpoints = []string{"kmliq", "kmliq_ranked", "tiq", "batch", "insert", "delete"}
+
 // Server serves one Index over HTTP. Create with New, start with Serve or
 // ListenAndServe, stop with Shutdown.
 type Server struct {
@@ -68,8 +94,11 @@ type Server struct {
 	lim          *limiter
 	batch        *query.BatchExecutor
 	hs           *http.Server
+	sampler      *obs.Sampler
+	eps          map[string]*endpointCounters
 	served       atomic.Uint64
 	rejected     atomic.Uint64
+	traceMu      sync.Mutex
 	shutdownOnce sync.Once
 	shutdownErr  error
 }
@@ -79,10 +108,18 @@ type Server struct {
 func New(idx Index, cfg Config) *Server {
 	cfg.fillDefaults()
 	s := &Server{
-		idx:   idx,
-		cfg:   cfg,
-		lim:   newLimiter(cfg.MaxInflight, cfg.MaxQueue),
-		batch: query.NewBatchExecutor(indexEngine{idx}, cfg.BatchWorkers),
+		idx:     idx,
+		cfg:     cfg,
+		lim:     newLimiter(cfg.MaxInflight, cfg.MaxQueue),
+		batch:   query.NewBatchExecutor(indexEngine{idx}, cfg.BatchWorkers),
+		sampler: obs.NewSampler(cfg.TraceSample),
+		eps:     make(map[string]*endpointCounters, len(admissionEndpoints)),
+	}
+	for _, ep := range admissionEndpoints {
+		s.eps[ep] = new(endpointCounters)
+	}
+	if cfg.Metrics != nil {
+		s.registerMetrics(cfg.Metrics)
 	}
 	// ReadTimeout bounds the whole request read: a client that sends
 	// headers and then stalls the body would otherwise hold its execution
@@ -100,17 +137,17 @@ func New(idx Index, cfg Config) *Server {
 // tests (the package is internal — external deployments run cmd/gaussd).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/kmliq", s.handleKMLIQ)
-	mux.HandleFunc("POST /v1/kmliq-ranked", s.handleKMLIQRanked)
-	mux.HandleFunc("POST /v1/tiq", s.handleTIQ)
-	mux.HandleFunc("POST /v1/batch", s.handleBatch)
-	mux.HandleFunc("POST /v1/insert", s.handleInsert)
-	mux.HandleFunc("POST /v1/delete", s.handleDelete)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/kmliq", s.instrument("kmliq", s.handleKMLIQ))
+	mux.HandleFunc("POST /v1/kmliq-ranked", s.instrument("kmliq_ranked", s.handleKMLIQRanked))
+	mux.HandleFunc("POST /v1/tiq", s.instrument("tiq", s.handleTIQ))
+	mux.HandleFunc("POST /v1/batch", s.instrument("batch", s.handleBatch))
+	mux.HandleFunc("POST /v1/insert", s.instrument("insert", s.handleInsert))
+	mux.HandleFunc("POST /v1/delete", s.instrument("delete", s.handleDelete))
+	mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")
-	})
+	}))
 	return mux
 }
 
@@ -144,11 +181,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // ctx already carries the request's deadline, so a queued request gives up
 // (504) when its time is spent rather than waiting on indefinitely; a full
 // system rejects immediately with 429 and Retry-After so well-behaved
-// clients back off. On true the caller holds a slot and must release().
-func (s *Server) admit(w http.ResponseWriter, ctx context.Context) bool {
+// clients back off. On true the caller holds a slot and must
+// release(endpoint); endpoint names the per-endpoint breakdown bucket.
+func (s *Server) admit(w http.ResponseWriter, ctx context.Context, endpoint string) bool {
 	if err := s.lim.acquire(ctx); err != nil {
 		if errors.Is(err, errSaturated) {
 			s.rejected.Add(1)
+			if ep := s.eps[endpoint]; ep != nil {
+				ep.rejected.Add(1)
+			}
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests, wire.ErrCodeSaturated,
 				"server saturated: all execution slots and queue positions are taken")
@@ -162,9 +203,12 @@ func (s *Server) admit(w http.ResponseWriter, ctx context.Context) bool {
 }
 
 // release returns the execution slot and counts the request as served.
-func (s *Server) release() {
+func (s *Server) release(endpoint string) {
 	s.lim.release()
 	s.served.Add(1)
+	if ep := s.eps[endpoint]; ep != nil {
+		ep.served.Add(1)
+	}
 }
 
 // deadline derives the request context: the server ceiling bounds every
@@ -180,41 +224,49 @@ func (s *Server) deadline(r *http.Request, timeoutMS int64) (context.Context, co
 }
 
 func (s *Server) handleKMLIQ(w http.ResponseWriter, r *http.Request) {
-	s.handleQuery(w, r, func(ctx context.Context, req wire.QueryRequest) ([]gausstree.Match, gausstree.QueryStats, error) {
+	s.handleQuery(w, r, "kmliq", func(ctx context.Context, req wire.QueryRequest) ([]gausstree.Match, gausstree.QueryStats, error) {
 		return s.idx.KMLIQ(ctx, req.Query, req.K)
 	})
 }
 
 func (s *Server) handleKMLIQRanked(w http.ResponseWriter, r *http.Request) {
-	s.handleQuery(w, r, func(ctx context.Context, req wire.QueryRequest) ([]gausstree.Match, gausstree.QueryStats, error) {
+	s.handleQuery(w, r, "kmliq_ranked", func(ctx context.Context, req wire.QueryRequest) ([]gausstree.Match, gausstree.QueryStats, error) {
 		return s.idx.KMLIQRanked(ctx, req.Query, req.K)
 	})
 }
 
 func (s *Server) handleTIQ(w http.ResponseWriter, r *http.Request) {
-	s.handleQuery(w, r, func(ctx context.Context, req wire.QueryRequest) ([]gausstree.Match, gausstree.QueryStats, error) {
+	s.handleQuery(w, r, "tiq", func(ctx context.Context, req wire.QueryRequest) ([]gausstree.Match, gausstree.QueryStats, error) {
 		return s.idx.TIQ(ctx, req.Query, req.PTheta)
 	})
 }
 
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request,
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, endpoint string,
 	run func(context.Context, wire.QueryRequest) ([]gausstree.Match, gausstree.QueryStats, error)) {
 	var req wire.QueryRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
+	// A traced request adopts the client's correlation id; untraced
+	// requests have a nil trace here and both calls no-op.
+	tr := obs.TraceFrom(r.Context())
+	tr.SetID(req.TraceID)
 	ctx, cancel := s.deadline(r, req.TimeoutMS)
 	defer cancel()
-	if !s.admit(w, ctx) {
+	if !s.admit(w, ctx, endpoint) {
 		return
 	}
-	defer s.release()
+	defer s.release(endpoint)
 	ms, st, err := run(ctx, req)
 	if err != nil {
 		writeError(w, statusForError(err), codeForError(err), err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, wire.QueryResponse{Matches: ms, Stats: wire.FromQueryStats(st)})
+	writeJSON(w, http.StatusOK, wire.QueryResponse{
+		Matches: ms,
+		Stats:   wire.FromQueryStats(st),
+		TraceID: tr.ID(),
+	})
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -239,13 +291,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		reqs[i] = qr
 	}
+	tr := obs.TraceFrom(r.Context())
+	tr.SetID(req.TraceID)
 	ctx, cancel := s.deadline(r, req.TimeoutMS)
 	defer cancel()
-	if !s.admit(w, ctx) {
+	if !s.admit(w, ctx, "batch") {
 		return
 	}
-	defer s.release()
-	resp := wire.BatchResponse{Responses: make([]wire.BatchItemResponse, len(reqs))}
+	defer s.release("batch")
+	resp := wire.BatchResponse{Responses: make([]wire.BatchItemResponse, len(reqs)), TraceID: tr.ID()}
 	for i, br := range s.batch.Execute(ctx, reqs) {
 		item := wire.BatchItemResponse{
 			Matches: toMatches(br.Results),
@@ -279,10 +333,10 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	// would poison the tree against further mutations by design).
 	ctx, cancel := s.deadline(r, 0)
 	defer cancel()
-	if !s.admit(w, ctx) {
+	if !s.admit(w, ctx, "insert") {
 		return
 	}
-	defer s.release()
+	defer s.release("insert")
 	n, err := s.idx.InsertAll(req.Vectors)
 	if err != nil {
 		// Report the durably applied count alongside the error so the
@@ -309,10 +363,10 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	// As with insert, the deadline bounds only the admission wait.
 	ctx, cancel := s.deadline(r, 0)
 	defer cancel()
-	if !s.admit(w, ctx) {
+	if !s.admit(w, ctx, "delete") {
 		return
 	}
-	defer s.release()
+	defer s.release("delete")
 	found, err := s.idx.Delete(req.Vector)
 	if err != nil {
 		writeError(w, statusForError(err), codeForError(err), err.Error())
@@ -322,6 +376,21 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	// GET carries no body, so the deadline rides in as ?timeout_ms=; stats
+	// collection takes index-internal locks and deserves the same bound as
+	// every other handler.
+	var timeoutMS int64
+	if v := r.URL.Query().Get("timeout_ms"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, wire.ErrCodeInvalid,
+				"invalid timeout_ms query parameter "+strconv.Quote(v))
+			return
+		}
+		timeoutMS = n
+	}
+	ctx, cancel := s.deadline(r, timeoutMS)
+	defer cancel()
 	ios, err := s.idx.IOStats()
 	if err != nil {
 		writeError(w, statusForError(err), codeForError(err), err.Error())
@@ -334,8 +403,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Records:       w2.Records,
 			MeanGroupSize: w2.MeanGroupSize,
 			DurableLSN:    w2.DurableLSN,
+			AppendedLSN:   w2.AppendedLSN,
 		}
 	}
+	eps := make(map[string]wire.EndpointStats, len(s.eps))
+	for name, ep := range s.eps {
+		eps[name] = wire.EndpointStats{
+			Served:   ep.served.Load(),
+			Rejected: ep.rejected.Load(),
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		writeError(w, statusForError(err), codeForError(err), err.Error())
+		return
+	}
+	bi := buildinfo.Get()
 	writeJSON(w, http.StatusOK, wire.StatsResponse{
 		Backend:       s.idx.Kind(),
 		Dim:           s.idx.Dim(),
@@ -352,10 +434,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Seeks:         ios.Seeks,
 		},
 		Server: wire.ServerStats{
-			InFlight: s.lim.inFlight(),
-			Queued:   s.lim.waiting(),
-			Served:   s.served.Load(),
-			Rejected: s.rejected.Load(),
+			InFlight:  s.lim.inFlight(),
+			Queued:    s.lim.waiting(),
+			Served:    s.served.Load(),
+			Rejected:  s.rejected.Load(),
+			Endpoints: eps,
+		},
+		Build: wire.BuildInfo{
+			Version:   bi.Version,
+			Revision:  bi.Revision,
+			Modified:  bi.Modified,
+			GoVersion: bi.GoVersion,
 		},
 	})
 }

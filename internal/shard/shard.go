@@ -42,6 +42,7 @@ import (
 
 	"github.com/gauss-tree/gausstree/internal/core"
 	"github.com/gauss-tree/gausstree/internal/gaussian"
+	"github.com/gauss-tree/gausstree/internal/obs"
 	"github.com/gauss-tree/gausstree/internal/pfv"
 	"github.com/gauss-tree/gausstree/internal/query"
 )
@@ -331,7 +332,21 @@ func (e *Engine) KMLIQDetail(ctx context.Context, q pfv.Vector, k int, accuracy 
 		if err != nil {
 			return nil, Stats{}, err
 		}
+		c.TraceShard(i)
 		cursors[i] = c
+	}
+	// Traced queries get one merge_round span per coordinator round (the
+	// aggregated fan-out + merge work); the per-shard kmliq_refine spans come
+	// from the cursors themselves.
+	tr := obs.TraceFrom(ctx)
+	cursorWork := func() (pages, nodes, scored int64) {
+		for _, c := range cursors {
+			st := c.Stats()
+			pages += int64(st.PageAccesses)
+			nodes += int64(st.NodesVisited)
+			scored += int64(st.VectorsScored)
+		}
+		return
 	}
 
 	// First round: every shard runs to its natural stand-alone stop (local
@@ -344,6 +359,11 @@ func (e *Engine) KMLIQDetail(ctx context.Context, q pfv.Vector, k int, accuracy 
 	var out []query.Result
 	for {
 		rounds++
+		var roundSp obs.SpanStart
+		if tr != nil {
+			p, nd, sc := cursorWork()
+			roundSp = tr.Begin(p, nd, sc)
+		}
 		if err := fanOut(n, cancel, func(i int) error { return cursors[i].Refine(accuracy, maxLogUnexplored) }); err != nil {
 			return nil, e.cursorStats(rounds, func(i int) query.Stats { return cursors[i].Stats() }), err
 		}
@@ -375,6 +395,10 @@ func (e *Engine) KMLIQDetail(ctx context.Context, q pfv.Vector, k int, accuracy 
 				ProbLow:     lo,
 				ProbHigh:    hi,
 			})
+		}
+		if tr != nil {
+			p, nd, sc := cursorWork()
+			tr.End(roundSp, "merge_round", -1, rounds, p, nd, sc)
 		}
 		if tight || exhausted || !e.progressed(&visited, func(i int) query.Stats { return cursors[i].Stats() }) {
 			break
@@ -441,7 +465,20 @@ func (e *Engine) TIQDetail(ctx context.Context, q pfv.Vector, pTheta float64, ac
 		if err != nil {
 			return nil, Stats{}, err
 		}
+		c.TraceShard(i)
 		cursors[i] = c
+	}
+	// Round spans as in KMLIQDetail; per-shard tiq_refine spans come from
+	// the cursors.
+	tr := obs.TraceFrom(ctx)
+	cursorWork := func() (pages, nodes, scored int64) {
+		for _, c := range cursors {
+			st := c.Stats()
+			pages += int64(st.PageAccesses)
+			nodes += int64(st.NodesVisited)
+			scored += int64(st.VectorsScored)
+		}
+		return
 	}
 
 	// First round: every shard runs its natural stand-alone TIQ exploration
@@ -459,6 +496,11 @@ func (e *Engine) TIQDetail(ctx context.Context, q pfv.Vector, pTheta float64, ac
 	var out []query.Result
 	for {
 		rounds++
+		var roundSp obs.SpanStart
+		if tr != nil {
+			p, nd, sc := cursorWork()
+			roundSp = tr.Begin(p, nd, sc)
+		}
 		if err := fanOut(n, cancel, func(i int) error { return cursors[i].Refine(maxLogUnexplored, externalLow[i]) }); err != nil {
 			return nil, e.cursorStats(rounds, func(i int) query.Stats { return cursors[i].Stats() }), err
 		}
@@ -501,6 +543,10 @@ func (e *Engine) TIQDetail(ctx context.Context, q pfv.Vector, pTheta float64, ac
 					ProbHigh:    hi,
 				})
 			}
+		}
+		if tr != nil {
+			p, nd, sc := cursorWork()
+			tr.End(roundSp, "merge_round", -1, rounds, p, nd, sc)
 		}
 		if decided || exhausted || !e.progressed(&visited, func(i int) query.Stats { return cursors[i].Stats() }) {
 			break

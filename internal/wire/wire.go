@@ -100,6 +100,9 @@ type QueryRequest struct {
 	K         int              `json:"k,omitempty"`
 	PTheta    float64          `json:"p_theta,omitempty"`
 	TimeoutMS int64            `json:"timeout_ms,omitempty"`
+	// TraceID, when set, names the server-side trace of this query so a
+	// slow-query log line can be correlated with the caller that sent it.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // QueryResponse carries one query's certified matches and statistics.
@@ -107,6 +110,10 @@ type QueryRequest struct {
 type QueryResponse struct {
 	Matches []gausstree.Match `json:"matches"`
 	Stats   Stats             `json:"stats"`
+	// TraceID echoes the request's trace id — or the server-assigned one
+	// when the request left it empty and the query was sampled for tracing.
+	// Empty when the request was not traced at all.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // BatchItem is one query of a batch: Kind selects the endpoint semantics.
@@ -122,6 +129,8 @@ type BatchItem struct {
 type BatchRequest struct {
 	Queries   []BatchItem `json:"queries"`
 	TimeoutMS int64       `json:"timeout_ms,omitempty"`
+	// TraceID correlates the whole batch, like QueryRequest.TraceID.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // BatchItemResponse is one query's outcome within a batch: either Matches
@@ -136,6 +145,8 @@ type BatchItemResponse struct {
 // BatchResponse carries the per-item outcomes in request order.
 type BatchResponse struct {
 	Responses []BatchItemResponse `json:"responses"`
+	// TraceID echoes the batch trace id; see QueryResponse.TraceID.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // InsertRequest is the body of /v1/insert.
@@ -181,6 +192,18 @@ type WALStats struct {
 	MeanGroupSize float64 `json:"mean_group_size"`
 	// DurableLSN is the highest fsynced log sequence number.
 	DurableLSN uint64 `json:"durable_lsn"`
+	// AppendedLSN is the highest appended log sequence number; the gap
+	// AppendedLSN−DurableLSN is how many records await their group commit.
+	AppendedLSN uint64 `json:"appended_lsn"`
+}
+
+// EndpointStats is the lifetime request breakdown of one admission-
+// controlled endpoint.
+type EndpointStats struct {
+	// Served counts requests that completed (successfully or not).
+	Served uint64 `json:"served"`
+	// Rejected counts requests refused with 429 by admission control.
+	Rejected uint64 `json:"rejected"`
 }
 
 // ServerStats describes the daemon's admission-control state and lifetime
@@ -194,6 +217,23 @@ type ServerStats struct {
 	Served uint64 `json:"served"`
 	// Rejected counts requests refused with 429 by admission control.
 	Rejected uint64 `json:"rejected"`
+	// Endpoints breaks Served/Rejected down per admission-controlled
+	// endpoint (kmliq, kmliq_ranked, tiq, batch, insert, delete); the
+	// uncontrolled stats and healthz endpoints are not listed.
+	Endpoints map[string]EndpointStats `json:"endpoints,omitempty"`
+}
+
+// BuildInfo identifies the build that produced a response; see
+// internal/buildinfo.
+type BuildInfo struct {
+	// Version is the main module version ("(devel)" for a source build).
+	Version string `json:"version"`
+	// Revision is the VCS revision the binary was built from.
+	Revision string `json:"revision"`
+	// Modified reports whether the working tree had local modifications.
+	Modified bool `json:"modified"`
+	// GoVersion is the Go toolchain that built the binary.
+	GoVersion string `json:"go_version"`
 }
 
 // StatsResponse is the body of /v1/stats.
@@ -217,4 +257,6 @@ type StatsResponse struct {
 	// published snapshot's page-reclamation epoch; summed across shards).
 	SnapshotEpoch uint64      `json:"snapshot_epoch"`
 	Server        ServerStats `json:"server"`
+	// Build identifies the daemon binary serving the response.
+	Build BuildInfo `json:"build"`
 }

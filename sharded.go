@@ -380,8 +380,9 @@ func (s *Sharded) SnapshotEpoch() uint64 {
 }
 
 // WALStats reports the summed write-ahead-log counters of all shards
-// (DurableLSN is the highest per-shard durable LSN — LSN sequences are per
-// shard). ok is false for memory-backed or closed indexes.
+// (AppendedLSN and DurableLSN are the highest per-shard values — LSN
+// sequences are per shard). ok is false for memory-backed or closed
+// indexes.
 func (s *Sharded) WALStats() (ws WALStats, ok bool) {
 	st := s.st.Load()
 	if st == nil {
@@ -395,6 +396,9 @@ func (s *Sharded) WALStats() (ws WALStats, ok bool) {
 		w := l.Stats()
 		ws.Fsyncs += w.Fsyncs
 		ws.Records += w.Records
+		if w.AppendedLSN > ws.AppendedLSN {
+			ws.AppendedLSN = w.AppendedLSN
+		}
 		if w.DurableLSN > ws.DurableLSN {
 			ws.DurableLSN = w.DurableLSN
 		}
@@ -403,6 +407,50 @@ func (s *Sharded) WALStats() (ws WALStats, ok bool) {
 		ws.MeanGroupSize = float64(ws.Records) / float64(ws.Fsyncs)
 	}
 	return ws, ok
+}
+
+// PinnedReaders returns the number of outstanding snapshot-reader epoch
+// pins summed over all shards.
+func (s *Sharded) PinnedReaders() int {
+	st := s.st.Load()
+	if st == nil {
+		return 0
+	}
+	n := 0
+	for i := 0; i < st.eng.NumShards(); i++ {
+		n += st.eng.Tree(i).Manager().PinnedReaders()
+	}
+	return n
+}
+
+// OldestPinnedEpoch returns the summed oldest pinned reader epochs of all
+// shards, mirroring SnapshotEpoch's summed convention: the difference
+// SnapshotEpoch()−OldestPinnedEpoch() is the total reclamation lag across
+// shards (0 when no reader lags anywhere).
+func (s *Sharded) OldestPinnedEpoch() uint64 {
+	st := s.st.Load()
+	if st == nil {
+		return 0
+	}
+	var sum uint64
+	for i := 0; i < st.eng.NumShards(); i++ {
+		sum += st.eng.Tree(i).Manager().OldestPin()
+	}
+	return sum
+}
+
+// LimboPages returns the number of freed pages awaiting reclamation summed
+// over all shards.
+func (s *Sharded) LimboPages() int {
+	st := s.st.Load()
+	if st == nil {
+		return 0
+	}
+	n := 0
+	for i := 0; i < st.eng.NumShards(); i++ {
+		n += st.eng.Tree(i).Manager().LimboPages()
+	}
+	return n
 }
 
 // Insert adds a vector to the shard its partition policy selects. Like
