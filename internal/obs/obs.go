@@ -222,6 +222,9 @@ func (r *Registry) register(name, help, kind string, buckets []float64, fn func(
 	if f.kind != kind {
 		panic("obs: metric " + name + " re-registered as " + kind + ", was " + f.kind)
 	}
+	if kind == "histogram" && !equalBuckets(f.buckets, buckets) {
+		panic("obs: histogram " + name + " re-registered with different buckets")
+	}
 	key := labelKey(labels)
 	if s := f.byKey[key]; s != nil {
 		if (s.fn == nil) != (fn == nil) {
@@ -266,12 +269,24 @@ func (r *Registry) Unregister(name string) {
 // exposition format, families in registration order, series in
 // registration order within a family.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	// Snapshot the family list AND each family's series slice under the
+	// mutex: register() appends to f.series while holding r.mu, so reading
+	// it unlocked would race with a registration happening mid-scrape (a
+	// torn slice header could pair the new length with the old array). The
+	// series themselves are atomics and safe to read concurrently.
 	r.mu.Lock()
-	fams := make([]*family, len(r.fams))
-	copy(fams, r.fams)
+	type famView struct {
+		f      *family // name/help/kind are immutable after creation
+		series []*series
+	}
+	fams := make([]famView, len(r.fams))
+	for i, f := range r.fams {
+		fams[i] = famView{f: f, series: append([]*series(nil), f.series...)}
+	}
 	r.mu.Unlock()
 	var b strings.Builder
-	for _, f := range fams {
+	for _, fv := range fams {
+		f := fv.f
 		b.Reset()
 		b.WriteString("# HELP ")
 		b.WriteString(f.name)
@@ -282,7 +297,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		b.WriteByte(' ')
 		b.WriteString(f.kind)
 		b.WriteByte('\n')
-		for _, s := range f.series {
+		for _, s := range fv.series {
 			writeSeries(&b, f, s)
 		}
 		if _, err := io.WriteString(w, b.String()); err != nil {
@@ -373,6 +388,21 @@ func labelKey(labels []Label) string {
 		fmt.Fprintf(&b, "%s=%q;", l.Name, l.Value)
 	}
 	return b.String()
+}
+
+// equalBuckets reports whether two bucket layouts are identical; all series
+// of one histogram family must share one layout or their le bounds would
+// disagree within a single family.
+func equalBuckets(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func validName(s string) bool {

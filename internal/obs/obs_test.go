@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -73,11 +74,13 @@ func TestRegistrationIdempotent(t *testing.T) {
 func TestRegistrationPanics(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("kind_total", "k")
+	r.Histogram("hb_seconds", "k", []float64{1, 2})
 	for name, fn := range map[string]func(){
 		"kind mismatch":     func() { r.Gauge("kind_total", "k") },
 		"invalid name":      func() { r.Counter("bad-name", "k") },
 		"reserved le label": func() { r.Counter("ok_total", "k", L("le", "1")) },
 		"unsorted buckets":  func() { r.Histogram("h_total", "k", []float64{2, 1}) },
+		"bucket mismatch":   func() { r.Histogram("hb_seconds", "k", []float64{1, 3}, L("x", "1")) },
 		"collector clash":   func() { r.CounterFunc("kind_total", "k", func() float64 { return 0 }) },
 	} {
 		func() {
@@ -132,6 +135,36 @@ func TestConcurrentScrape(t *testing.T) {
 			// Same increment cadence: the two can differ only by in-flight
 			// goroutines.
 			t.Fatalf("histogram count %d ran far ahead of counter %d", h.Count(), c.Value())
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestConcurrentRegisterScrape races registrations against renders; under
+// -race this proves WritePrometheus snapshots every family's series list
+// under the registry mutex instead of iterating it while register() appends
+// (a scrape concurrent with a new label pair must never see a torn slice).
+func TestConcurrentRegisterScrape(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				r.Counter("reg_race_total", "r", L("i", strconv.Itoa(i))).Inc()
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
 		}
 	}
 	close(stop)

@@ -11,12 +11,41 @@ import (
 	"github.com/gauss-tree/gausstree/internal/pagefile"
 )
 
+// outcomes is the full bounded label set outcomeFor can produce; every
+// endpoint×outcome series is pre-registered at startup so the request path
+// never touches the registry (and the registry never grows while serving,
+// so a scrape cannot race a registration).
+var outcomes = []string{"ok", "invalid", "read_only", "saturated", "closed", "deadline", "internal"}
+
+// endpointInstruments holds one endpoint's pre-resolved request-path
+// instruments: instrument() only does atomic Inc/Observe on them, never a
+// registry lookup (which locks and allocates a sorted label key).
+type endpointInstruments struct {
+	requests map[string]*obs.Counter // by outcome; read-only after startup
+	latency  *obs.Histogram
+}
+
 // registerMetrics exports the daemon's and the served index's series into
 // reg. The per-request series (gaussd_http_requests_total,
-// gaussd_request_seconds) are atomic instruments bumped by instrument();
-// everything the index already counts is exported through Func collectors,
-// so the scrape pays the collection cost and the hot path pays nothing.
+// gaussd_request_seconds) are atomic instruments resolved here once per
+// endpoint and bumped by instrument(); everything the index already counts
+// is exported through Func collectors, so the scrape pays the collection
+// cost and the hot path pays nothing beyond two atomic updates.
 func (s *Server) registerMetrics(reg *obs.Registry) {
+	s.httpMetrics = make(map[string]*endpointInstruments, len(instrumentedEndpoints))
+	for _, ep := range instrumentedEndpoints {
+		ins := &endpointInstruments{requests: make(map[string]*obs.Counter, len(outcomes))}
+		for _, oc := range outcomes {
+			ins.requests[oc] = reg.Counter("gaussd_http_requests_total",
+				"HTTP requests by endpoint and outcome.",
+				obs.L("endpoint", ep), obs.L("outcome", oc))
+		}
+		ins.latency = reg.Histogram("gaussd_request_seconds",
+			"End-to-end request latency in seconds by endpoint.", nil,
+			obs.L("endpoint", ep))
+		s.httpMetrics[ep] = ins
+	}
+
 	bi := buildinfo.Get()
 	reg.Gauge("gaussd_build_info",
 		"Build identity of the running gaussd; the value is always 1.",
@@ -167,13 +196,11 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		sw := &statusWriter{ResponseWriter: w}
 		h(sw, r)
 		elapsed := time.Since(start)
-		if reg := s.cfg.Metrics; reg != nil {
-			reg.Counter("gaussd_http_requests_total",
-				"HTTP requests by endpoint and outcome.",
-				obs.L("endpoint", endpoint), obs.L("outcome", outcomeFor(sw.status()))).Inc()
-			reg.Histogram("gaussd_request_seconds",
-				"End-to-end request latency in seconds by endpoint.", nil,
-				obs.L("endpoint", endpoint)).Observe(elapsed.Seconds())
+		// httpMetrics is built once in registerMetrics and read-only after,
+		// so this is two atomic updates — no registry lock, no allocation.
+		if m := s.httpMetrics[endpoint]; m != nil {
+			m.requests[outcomeFor(sw.status())].Inc()
+			m.latency.Observe(elapsed.Seconds())
 		}
 		if tr != nil {
 			s.emitTrace(endpoint, tr, sw.status(), elapsed, sampled)

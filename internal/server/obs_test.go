@@ -16,6 +16,7 @@ import (
 	gausstree "github.com/gauss-tree/gausstree"
 	"github.com/gauss-tree/gausstree/client"
 	"github.com/gauss-tree/gausstree/internal/obs"
+	"github.com/gauss-tree/gausstree/internal/pagefile"
 	"github.com/gauss-tree/gausstree/internal/server"
 )
 
@@ -341,6 +342,38 @@ func TestEndpointBreakdown(t *testing.T) {
 	}
 	if st.Build.Revision == "" || st.Build.Version == "" {
 		t.Errorf("stats response carries no build identity: %+v", st.Build)
+	}
+}
+
+// slowStatsIndex delays IOStats to simulate stats collection stuck behind
+// an index-internal lock.
+type slowStatsIndex struct {
+	server.Index
+	delay time.Duration
+}
+
+func (i slowStatsIndex) IOStats() (pagefile.Stats, error) {
+	time.Sleep(i.delay)
+	return i.Index.IOStats()
+}
+
+// TestStatsDeadlineBounds proves timeout_ms actually bounds /v1/stats: a
+// collection stuck inside the index yields a 504 when the deadline fires
+// rather than holding the response until collection returns.
+func TestStatsDeadlineBounds(t *testing.T) {
+	s, _ := newShardedIndex(t, 100, 3)
+	_, base := startServerMux(t, slowStatsIndex{server.ShardedIndex(s), 2 * time.Second}, server.Config{})
+	start := time.Now()
+	resp, err := http.Get(base + "/v1/stats?timeout_ms=50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("stuck stats collection: got status %d, want 504", resp.StatusCode)
+	}
+	if waited := time.Since(start); waited >= 2*time.Second {
+		t.Errorf("handler waited %v for collection instead of honoring the 50ms deadline", waited)
 	}
 }
 

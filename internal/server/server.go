@@ -86,6 +86,11 @@ type endpointCounters struct {
 // and healthz bypass admission control and are not broken down.
 var admissionEndpoints = []string{"kmliq", "kmliq_ranked", "tiq", "batch", "insert", "delete"}
 
+// instrumentedEndpoints are all endpoints wrapped by instrument(); their
+// request/latency series are pre-registered at startup (registerMetrics) so
+// the request path never registers anything.
+var instrumentedEndpoints = append(append([]string(nil), admissionEndpoints...), "stats", "healthz")
+
 // Server serves one Index over HTTP. Create with New, start with Serve or
 // ListenAndServe, stop with Shutdown.
 type Server struct {
@@ -96,6 +101,7 @@ type Server struct {
 	hs           *http.Server
 	sampler      *obs.Sampler
 	eps          map[string]*endpointCounters
+	httpMetrics  map[string]*endpointInstruments // nil when metrics are off; read-only after New
 	served       atomic.Uint64
 	rejected     atomic.Uint64
 	traceMu      sync.Mutex
@@ -376,9 +382,12 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	// GET carries no body, so the deadline rides in as ?timeout_ms=; stats
-	// collection takes index-internal locks and deserves the same bound as
-	// every other handler.
+	// GET carries no body, so the deadline rides in as ?timeout_ms=. The
+	// collection calls take index-internal locks and have no context
+	// parameter to interrupt them, so the bound is enforced here instead:
+	// collection runs in a goroutine and an overrun returns 504 while the
+	// straggler finishes in the background (the buffered channel lets it
+	// exit either way).
 	var timeoutMS int64
 	if v := r.URL.Query().Get("timeout_ms"); v != "" {
 		n, err := strconv.ParseInt(v, 10, 64)
@@ -391,10 +400,35 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.deadline(r, timeoutMS)
 	defer cancel()
+	type statsResult struct {
+		resp wire.StatsResponse
+		err  error
+	}
+	done := make(chan statsResult, 1)
+	go func() {
+		resp, err := s.collectStats()
+		done <- statsResult{resp: resp, err: err}
+	}()
+	select {
+	case <-ctx.Done():
+		err := ctx.Err()
+		writeError(w, statusForError(err), codeForError(err), err.Error())
+	case res := <-done:
+		if res.err != nil {
+			writeError(w, statusForError(res.err), codeForError(res.err), res.err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, res.resp)
+	}
+}
+
+// collectStats assembles the /v1/stats snapshot; it may block on
+// index-internal locks, so handleStats runs it off the response path and
+// bounds the wait with the request deadline.
+func (s *Server) collectStats() (wire.StatsResponse, error) {
 	ios, err := s.idx.IOStats()
 	if err != nil {
-		writeError(w, statusForError(err), codeForError(err), err.Error())
-		return
+		return wire.StatsResponse{}, err
 	}
 	var ws *wire.WALStats
 	if w2, ok := s.idx.WALStats(); ok {
@@ -413,12 +447,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Rejected: ep.rejected.Load(),
 		}
 	}
-	if err := ctx.Err(); err != nil {
-		writeError(w, statusForError(err), codeForError(err), err.Error())
-		return
-	}
 	bi := buildinfo.Get()
-	writeJSON(w, http.StatusOK, wire.StatsResponse{
+	return wire.StatsResponse{
 		Backend:       s.idx.Kind(),
 		Dim:           s.idx.Dim(),
 		Len:           s.idx.Len(),
@@ -446,7 +476,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Modified:  bi.Modified,
 			GoVersion: bi.GoVersion,
 		},
-	})
+	}, nil
 }
 
 // decodeBody parses the JSON request body into dst, writing a 400 and
