@@ -2,8 +2,16 @@
 // It speaks the HTTP/JSON wire format of the daemon's /v1 API, pools
 // connections through a shared http.Transport, propagates context deadlines
 // to the server (so a query cancelled client-side is also abandoned
-// server-side), and retries admission-control rejections (429) with jittered
-// exponential backoff, honoring the server's Retry-After hint.
+// server-side), and retries rejected-before-execution responses — admission
+// control 429s and degraded-daemon 503s — with jittered exponential backoff,
+// honoring the server's Retry-After hint and bounded by a per-client retry
+// budget so a client fleet cannot amplify an outage into a retry storm.
+//
+// Only those two rejections are ever retried automatically: both are issued
+// before the daemon touches its index, so a retry can never duplicate work,
+// mutations included. A transport-level failure (connection reset, EOF
+// mid-response) is ambiguous — the mutation may or may not have committed —
+// and is therefore always surfaced to the caller instead of retried.
 //
 // The client exposes the same vocabulary as the in-process index: queries
 // take gausstree.Vector and return []gausstree.Match plus
@@ -24,6 +32,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	gausstree "github.com/gauss-tree/gausstree"
@@ -35,6 +44,13 @@ import (
 // back off before trying again.
 var ErrSaturated = errors.New("client: server saturated")
 
+// ErrDegraded is reported (wrapped in an *APIError) when the daemon refused
+// a mutation because it is degraded after a storage fault and every retry
+// found it still degraded. The rejection happens before the index is
+// touched, so the mutation did not execute; the daemon's supervisor is
+// healing it and the request can be retried later.
+var ErrDegraded = errors.New("client: daemon degraded")
+
 // APIError is a non-2xx response from the daemon.
 type APIError struct {
 	// StatusCode is the HTTP status.
@@ -43,6 +59,9 @@ type APIError struct {
 	Code string
 	// Message is the server's human-readable error text.
 	Message string
+	// Inserted is the durably applied prefix of a partially failed
+	// /v1/insert (0 for every other endpoint).
+	Inserted int
 }
 
 func (e *APIError) Error() string {
@@ -62,6 +81,10 @@ func (e *APIError) Unwrap() error {
 		return context.DeadlineExceeded
 	case wire.ErrCodeClosed:
 		return gausstree.ErrClosed
+	case wire.ErrCodeDegraded:
+		return ErrDegraded
+	case wire.ErrCodePoisoned:
+		return gausstree.ErrPoisoned
 	default:
 		return nil
 	}
@@ -73,15 +96,25 @@ type Options struct {
 	// instrumentation). The default client keeps up to 128 idle connections
 	// per daemon so concurrent query streams reuse TCP sessions.
 	HTTPClient *http.Client
-	// MaxRetries bounds retries of admission-control rejections (default 4;
-	// negative disables retrying). Only 429 responses are retried — they
-	// are guaranteed not to have executed, so retrying never duplicates
-	// work, mutations included.
+	// MaxRetries bounds retries per request (default 4; negative disables
+	// retrying). Only rejected-before-execution responses are retried —
+	// admission-control 429s and degraded-daemon 503s — which are
+	// guaranteed not to have executed, so retrying never duplicates work,
+	// mutations included.
 	MaxRetries int
 	// RetryBase is the first backoff step (default 50ms); each retry
 	// doubles it, a ±50% jitter decorrelates competing clients, and the
 	// server's Retry-After is respected as a floor when present.
 	RetryBase time.Duration
+	// RetryBudget caps retries across all of the client's concurrent
+	// requests: a token bucket holding this many tokens, refilled at one
+	// token per second, where each individual retry spends one. When the
+	// bucket is empty the rejection is returned immediately instead of
+	// retried, so a saturated or degraded daemon sees the client fleet's
+	// retry pressure decay to its refill rate rather than multiply.
+	// Default 32; negative disables the budget (retries bounded only by
+	// MaxRetries).
+	RetryBudget int
 }
 
 // Client is a gaussd client. It is safe for concurrent use; its zero value
@@ -91,6 +124,7 @@ type Client struct {
 	hc      *http.Client
 	retries int
 	base0   time.Duration
+	budget  *retryBudget // nil when the budget is disabled
 }
 
 // New builds a client for the daemon at baseURL (e.g. "http://10.0.0.7:8442"
@@ -128,7 +162,14 @@ func New(baseURL string, opts ...Options) (*Client, error) {
 	if base0 <= 0 {
 		base0 = 50 * time.Millisecond
 	}
-	return &Client{base: u, hc: hc, retries: retries, base0: base0}, nil
+	var budget *retryBudget
+	switch {
+	case o.RetryBudget == 0:
+		budget = newRetryBudget(32)
+	case o.RetryBudget > 0:
+		budget = newRetryBudget(float64(o.RetryBudget))
+	}
+	return &Client{base: u, hc: hc, retries: retries, base0: base0, budget: budget}, nil
 }
 
 // Close releases idle pooled connections. In-flight requests are unaffected.
@@ -225,10 +266,16 @@ func (c *Client) Batch(ctx context.Context, queries []Query) ([]Result, error) {
 	return out, nil
 }
 
-// Insert durably adds vectors to the remote index.
+// Insert durably adds vectors to the remote index. On a partial failure the
+// returned count is the durably applied prefix reported by the daemon, so
+// the caller knows exactly which suffix to retry.
 func (c *Client) Insert(ctx context.Context, vs []gausstree.Vector) (int, error) {
 	var resp wire.InsertResponse
 	if err := c.do(ctx, "/v1/insert", func() any { return wire.InsertRequest{Vectors: vs} }, &resp); err != nil {
+		var apiErr *APIError
+		if errors.As(err, &apiErr) {
+			return apiErr.Inserted, err
+		}
 		return 0, err
 	}
 	return resp.Inserted, nil
@@ -254,6 +301,35 @@ func (c *Client) Stats(ctx context.Context) (Stats, error) {
 		return Stats{}, err
 	}
 	return resp, nil
+}
+
+// Ready probes /readyz; nil means the daemon is healthy and accepting
+// mutations. A degraded or recovering daemon returns an error matching
+// errors.Is(err, ErrDegraded) that carries the serving state and the
+// degrade reason; /healthz (Health) stays green throughout, so Ready is the
+// probe for load-balancer membership and Health for liveness.
+func (c *Client) Ready(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base.JoinPath("/readyz").String(), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer drain(resp.Body)
+	var rr wire.ReadyResponse
+	derr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&rr)
+	if resp.StatusCode == http.StatusOK {
+		return nil
+	}
+	if derr == nil && rr.State != "" {
+		if rr.Reason != "" {
+			return fmt.Errorf("client: daemon not ready (%s: %s): %w", rr.State, rr.Reason, ErrDegraded)
+		}
+		return fmt.Errorf("client: daemon not ready (%s): %w", rr.State, ErrDegraded)
+	}
+	return fmt.Errorf("client: readiness check returned %s", resp.Status)
 }
 
 // Health probes /healthz; nil means the daemon is up and serving.
@@ -285,9 +361,13 @@ func timeoutMS(ctx context.Context) int64 {
 	return 0
 }
 
-// do POSTs a JSON body and decodes the JSON response, retrying 429s.
-// makeBody is invoked per attempt so deadline-derived fields (timeout_ms)
-// reflect the budget actually remaining after any backoff sleeps.
+// do POSTs a JSON body and decodes the JSON response, retrying
+// rejected-before-execution responses (429 saturated, 503 degraded) within
+// the per-request MaxRetries and the per-client retry budget. makeBody is
+// invoked per attempt so deadline-derived fields (timeout_ms) reflect the
+// budget actually remaining after any backoff sleeps. Transport failures
+// return immediately: whether the request executed is unknowable, so
+// retrying could duplicate a mutation.
 func (c *Client) do(ctx context.Context, path string, makeBody func() any, dst any) error {
 	u := c.base.JoinPath(path).String()
 	for attempt := 0; ; attempt++ {
@@ -305,13 +385,29 @@ func (c *Client) do(ctx context.Context, path string, makeBody func() any, dst a
 			return nil
 		}
 		var apiErr *APIError
-		if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusTooManyRequests || attempt >= c.retries {
+		if !errors.As(err, &apiErr) || !retryableRejection(apiErr) || attempt >= c.retries {
 			return err
+		}
+		if c.budget != nil && !c.budget.allow() {
+			return fmt.Errorf("client: retry budget exhausted after attempt %d: %w", attempt+1, err)
 		}
 		if werr := c.backoff(ctx, attempt, retryAfter); werr != nil {
 			return fmt.Errorf("client: giving up after %d attempts: %w (last: %w)", attempt+1, werr, err)
 		}
 	}
+}
+
+// retryableRejection reports whether the response is one of the two
+// rejected-before-execution refusals that are safe to retry for any
+// endpoint: admission-control saturation, and a degraded daemon refusing
+// mutations while its supervisor heals it. Everything else — including a
+// poisoned-index 503, which promises nothing about re-execution — is
+// surfaced to the caller.
+func retryableRejection(e *APIError) bool {
+	if e.StatusCode == http.StatusTooManyRequests {
+		return true
+	}
+	return e.StatusCode == http.StatusServiceUnavailable && e.Code == wire.ErrCodeDegraded
 }
 
 // get GETs a JSON resource (no retry loop: reads are cheap to re-issue and
@@ -343,6 +439,7 @@ func (c *Client) roundTrip(req *http.Request, dst any) (int, error) {
 		var werr wire.Error
 		if jerr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&werr); jerr == nil && werr.Error != "" {
 			apiErr.Code, apiErr.Message = werr.Code, werr.Error
+			apiErr.Inserted = werr.Inserted
 		} else {
 			apiErr.Message = resp.Status
 		}
@@ -392,4 +489,38 @@ func (c *Client) backoff(ctx context.Context, attempt int, retryAfterSec int) er
 func drain(rc io.ReadCloser) {
 	io.Copy(io.Discard, io.LimitReader(rc, 1<<20))
 	rc.Close()
+}
+
+// retryBudget is the client-wide token bucket bounding total retry volume.
+// Individual requests still back off exponentially; the budget is the
+// second line of defense that keeps many concurrent requests (or many
+// sequential failures) from together hammering a struggling daemon — once
+// drained, retries are limited to the refill rate of one per second.
+type retryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	max    float64
+	last   time.Time
+}
+
+func newRetryBudget(max float64) *retryBudget {
+	return &retryBudget{tokens: max, max: max, last: time.Now()}
+}
+
+// allow spends one token if available, refilling at one token per second up
+// to the bucket's capacity.
+func (b *retryBudget) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := time.Now()
+	b.tokens += now.Sub(b.last).Seconds()
+	if b.tokens > b.max {
+		b.tokens = b.max
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
 }

@@ -1,0 +1,204 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	gausstree "github.com/gauss-tree/gausstree"
+	"github.com/gauss-tree/gausstree/internal/wire"
+)
+
+func testVec() gausstree.Vector {
+	return gausstree.Vector{ID: 1, Mean: []float64{0}, Sigma: []float64{1}}
+}
+
+func newTestClient(t *testing.T, h http.Handler, opts ...Options) *Client {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	o := Options{RetryBase: time.Millisecond}
+	if len(opts) > 0 {
+		o = opts[0]
+		if o.RetryBase == 0 {
+			o.RetryBase = time.Millisecond
+		}
+	}
+	c, err := New(srv.URL, o)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func writeWireError(w http.ResponseWriter, status int, code string) {
+	w.Header().Set("Retry-After", "0")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write([]byte(`{"error":"nope","code":"` + code + `"}`))
+}
+
+// A 503 with the degraded code is rejected before execution and must be
+// retried like a 429 — including for mutations.
+func TestRetriesDegradedMutation(t *testing.T) {
+	var calls atomic.Int32
+	c := newTestClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			writeWireError(w, http.StatusServiceUnavailable, wire.ErrCodeDegraded)
+			return
+		}
+		w.Write([]byte(`{"inserted":1}`))
+	}))
+	n, err := c.Insert(context.Background(), []gausstree.Vector{testVec()})
+	if err != nil || n != 1 {
+		t.Fatalf("Insert = (%d, %v), want (1, nil)", n, err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (two degraded rejections, one success)", got)
+	}
+}
+
+// A poisoned 503 promises nothing about safe re-execution and must surface
+// immediately, mapped onto gausstree.ErrPoisoned.
+func TestPoisonedNotRetried(t *testing.T) {
+	var calls atomic.Int32
+	c := newTestClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeWireError(w, http.StatusServiceUnavailable, wire.ErrCodePoisoned)
+	}))
+	_, err := c.Insert(context.Background(), []gausstree.Vector{testVec()})
+	if !errors.Is(err, gausstree.ErrPoisoned) {
+		t.Fatalf("Insert error = %v, want errors.Is(ErrPoisoned)", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (no retries)", got)
+	}
+}
+
+// A transport-level failure is ambiguous — the mutation may have committed —
+// so the client must not retry it.
+func TestTransportFailureNotRetried(t *testing.T) {
+	var calls atomic.Int32
+	c := newTestClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			t.Fatal("response writer is not a hijacker")
+		}
+		conn, _, err := hj.Hijack()
+		if err != nil {
+			t.Fatalf("hijack: %v", err)
+		}
+		conn.Close() // connection dies with no HTTP response
+	}))
+	_, err := c.Insert(context.Background(), []gausstree.Vector{testVec()})
+	if err == nil {
+		t.Fatal("Insert succeeded over a dead connection")
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		t.Fatalf("transport failure surfaced as APIError %v", apiErr)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (ambiguous failures are never retried)", got)
+	}
+}
+
+// The client-wide budget bounds total retry volume below MaxRetries' product
+// with the number of failing requests.
+func TestRetryBudgetExhaustion(t *testing.T) {
+	var calls atomic.Int32
+	c := newTestClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeWireError(w, http.StatusTooManyRequests, wire.ErrCodeSaturated)
+	}), Options{MaxRetries: 10, RetryBudget: 2})
+	_, err := c.Insert(context.Background(), []gausstree.Vector{testVec()})
+	if !errors.Is(err, ErrSaturated) {
+		t.Fatalf("Insert error = %v, want errors.Is(ErrSaturated)", err)
+	}
+	// Initial attempt + 2 budgeted retries; the 4th attempt is refused by
+	// the empty bucket before it reaches the wire.
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (budget of 2 retries)", got)
+	}
+}
+
+// A partial insert failure carries the durably applied prefix through the
+// APIError so the caller can retry exactly the missing suffix.
+func TestPartialInsertReportsPrefix(t *testing.T) {
+	c := newTestClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		w.Write([]byte(`{"error":"disk died","code":"internal","inserted":7}`))
+	}))
+	n, err := c.Insert(context.Background(), []gausstree.Vector{testVec()})
+	if err == nil {
+		t.Fatal("Insert succeeded against a failing server")
+	}
+	if n != 7 {
+		t.Fatalf("Insert reported %d durable, want 7", n)
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Inserted != 7 {
+		t.Fatalf("APIError = %+v, want Inserted 7", apiErr)
+	}
+}
+
+// Unwrap maps every wire rejection code onto its typed sentinel.
+func TestAPIErrorUnwrap(t *testing.T) {
+	cases := []struct {
+		code string
+		want error
+	}{
+		{wire.ErrCodeInvalid, gausstree.ErrInvalidQuery},
+		{wire.ErrCodeSaturated, ErrSaturated},
+		{wire.ErrCodeDeadline, context.DeadlineExceeded},
+		{wire.ErrCodeClosed, gausstree.ErrClosed},
+		{wire.ErrCodeDegraded, ErrDegraded},
+		{wire.ErrCodePoisoned, gausstree.ErrPoisoned},
+	}
+	for _, tc := range cases {
+		err := &APIError{StatusCode: 500, Code: tc.code, Message: "x"}
+		if !errors.Is(err, tc.want) {
+			t.Errorf("code %q does not unwrap to %v", tc.code, tc.want)
+		}
+	}
+}
+
+// Ready distinguishes a healthy daemon from a degraded one (and carries the
+// state and reason), while Health stays green for both.
+func TestReadyAgainstDegradedDaemon(t *testing.T) {
+	degraded := atomic.Bool{}
+	degraded.Store(true)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if degraded.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"state":"degraded","reason":"injected fault"}`))
+			return
+		}
+		w.Write([]byte(`{"state":"healthy"}`))
+	})
+	c := newTestClient(t, mux)
+	ctx := context.Background()
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("Health on a degraded daemon = %v, want nil (liveness stays green)", err)
+	}
+	err := c.Ready(ctx)
+	if !errors.Is(err, ErrDegraded) {
+		t.Fatalf("Ready on a degraded daemon = %v, want errors.Is(ErrDegraded)", err)
+	}
+	degraded.Store(false)
+	if err := c.Ready(ctx); err != nil {
+		t.Fatalf("Ready on a healthy daemon = %v, want nil", err)
+	}
+}

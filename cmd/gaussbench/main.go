@@ -13,7 +13,7 @@
 //	gaussbench -exp fig7ds1 -json out.json  # machine-readable results
 //
 // Experiments: fig1, fig6a, fig6b, fig7ds1, fig7ds2, headline, ablations,
-// reopen, shards, serve, hot, ingest, obs.
+// reopen, shards, serve, hot, ingest, obs, chaos.
 // With -json the collected per-backend measurements (page accesses, wall
 // times, recall, and heap allocations per query — the -benchmem equivalents)
 // are additionally written as JSON ("-" for stdout), so perf trajectories
@@ -26,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net"
 	"os"
@@ -52,7 +53,7 @@ import (
 
 func main() {
 	var (
-		exps     = flag.String("exp", "all", "comma-separated experiments: fig1,fig6a,fig6b,fig7ds1,fig7ds2,headline,ablations,reopen,shards,serve,hot,ingest,obs,all")
+		exps     = flag.String("exp", "all", "comma-separated experiments: fig1,fig6a,fig6b,fig7ds1,fig7ds2,headline,ablations,reopen,shards,serve,hot,ingest,obs,chaos,all")
 		quick    = flag.Bool("quick", false, "reduced data sizes (for smoke testing)")
 		n1       = flag.Int("n1", 10987, "data set 1 size (paper: 10987)")
 		n2       = flag.Int("n2", 100000, "data set 2 size (paper: 100000)")
@@ -138,6 +139,9 @@ func main() {
 	}
 	if run("obs") {
 		b.obsExp()
+	}
+	if run("chaos") {
+		b.chaosExp()
 	}
 	if *jsonPath != "" {
 		b.writeJSON(*jsonPath)
@@ -268,6 +272,27 @@ type obsRow struct {
 	OverheadPct float64
 }
 
+// chaosReport summarizes the fault-storm experiment: a loopback gaussd with
+// the supervisor and scrubber armed serves concurrent traffic while bounded
+// fault schedules repeatedly break its storage. The headline figures are the
+// heal latency (disarm -> /readyz healthy), the acknowledged-write loss count
+// (must be zero), and what the disarmed fault layer costs the hot read path.
+type chaosReport struct {
+	Rounds              int     // fault schedules armed, one at a time
+	FaultsInjected      uint64  // I/O faults the injector actually fired
+	Degradations        uint64  // healthy -> degraded transitions observed
+	MeanHealMillis      float64 // disarm -> readyz-healthy, mean over rounds
+	MaxHealMillis       float64
+	QueriesOK           int
+	QueriesRejected     int // typed rejections during the storm
+	InsertsAcked        int
+	InsertsRejected     int
+	AckedLost           int // acknowledged inserts missing after cold reopen; must be 0
+	ScrubRuns           uint64
+	ScrubPages          uint64
+	DisarmedOverheadPct float64 // hot k-MLIQ ns/q: disarmed injector vs no injector
+}
+
 // benchOutput is the machine-readable result set emitted by -json. Build
 // records what produced the numbers, so BENCH snapshots are attributable.
 type benchOutput struct {
@@ -282,6 +307,7 @@ type benchOutput struct {
 	Hot          []hotRow           `json:",omitempty"`
 	Ingest       *ingestReport      `json:",omitempty"`
 	Obs          []obsRow           `json:",omitempty"`
+	Chaos        *chaosReport       `json:",omitempty"`
 }
 
 type bench struct {
@@ -914,6 +940,256 @@ func (b *bench) obsExp() {
 	}
 	fmt.Println("budget: metrics-on, tracing unsampled must stay within +2% ns/query of baseline")
 	fmt.Println()
+}
+
+// chaosExp drives the self-healing serving stack through a deterministic
+// fault storm and reports what fault tolerance costs and delivers. Phase one
+// quantifies the standing tax: the hot k-MLIQ path on the same file-backed
+// index with and without a (disarmed) fault injector wrapping its backend —
+// the production configuration of a chaos-capable gaussd. Phase two arms
+// bounded fault schedules one at a time against a loopback daemon running
+// the recovery supervisor and the background scrubber while query and insert
+// workers hammer it, measuring heal latency (disarm -> /readyz healthy) per
+// round. The run ends with a cold reopen proving that every acknowledged
+// insert survived the storm: AckedLost must print 0.
+func (b *bench) chaosExp() {
+	ds, qs := b.subset(min(b.n2, 10000), 100)
+	fmt.Println("=== Chaos: fault storm against a self-healing loopback gaussd ===")
+
+	dir, err := os.MkdirTemp("", "gaussbench-chaos-*")
+	check(err)
+	defer os.RemoveAll(dir)
+	rep := &chaosReport{}
+
+	// Phase one: the disarmed fault layer's overhead on the hot read path.
+	// Both variants are warmed file-backed indexes over the same data; the
+	// rounds alternate between them and the best round counts, so scheduler
+	// and GC noise cannot masquerade as fault-layer cost.
+	build := func(path string, inj *gausstree.FaultInjector) *gausstree.Tree {
+		tr, err := gausstree.New(ds.Dim, gausstree.Options{Path: path, PageSize: b.pageSize, Fault: inj})
+		check(err)
+		check(tr.BulkLoad(ds.Vectors))
+		for _, q := range qs { // warm both cache layers
+			_, _, err := tr.KMLIQContext(context.Background(), q.Vector, 3)
+			check(err)
+		}
+		return tr
+	}
+	plain := build(dir+"/plain.gtree", nil)
+	wrapped := build(dir+"/wrapped.gtree", gausstree.NewFaultInjector())
+	hotNs := func(tr *gausstree.Tree) float64 {
+		ctx := context.Background()
+		const passes = 3
+		start := time.Now()
+		for p := 0; p < passes; p++ {
+			for _, q := range qs {
+				_, _, err := tr.KMLIQContext(ctx, q.Vector, 3)
+				check(err)
+			}
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(passes*len(qs))
+	}
+	baseNs, disarmedNs := math.Inf(1), math.Inf(1)
+	for round := 0; round < 5; round++ {
+		runtime.GC()
+		baseNs = math.Min(baseNs, hotNs(plain))
+		disarmedNs = math.Min(disarmedNs, hotNs(wrapped))
+	}
+	check(plain.Close())
+	check(wrapped.Close())
+	rep.DisarmedOverheadPct = (disarmedNs - baseNs) / baseNs * 100
+
+	// Phase two: the storm. A file-backed daemon with supervisor + scrubber.
+	path := dir + "/storm.gtree"
+	inj := gausstree.NewFaultInjector()
+	opts := gausstree.Options{Path: path, PageSize: b.pageSize, Fault: inj, CommitLatency: 200 * time.Microsecond}
+	tr, err := gausstree.New(ds.Dim, opts)
+	check(err)
+	check(tr.BulkLoad(ds.Vectors))
+	srv := server.New(server.TreeIndex(tr), server.Config{
+		RecoveryBase:  2 * time.Millisecond,
+		RecoveryMax:   50 * time.Millisecond,
+		ScrubInterval: 25 * time.Millisecond,
+		ScrubRate:     -1,
+		Reopen: func() (server.Index, error) {
+			t2, err := gausstree.Open(path, opts)
+			if err != nil {
+				return nil, err
+			}
+			return server.TreeIndex(t2), nil
+		},
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	go srv.Serve(l)
+	cl, err := client.New(l.Addr().String(), client.Options{RetryBase: 2 * time.Millisecond, MaxRetries: 8, RetryBudget: -1})
+	check(err)
+	defer cl.Close()
+	// The insert worker never retries: a degraded rejection is counted and
+	// the next insert follows immediately, keeping write pressure on the
+	// daemon through every fault window instead of sleeping out Retry-After.
+	mcl, err := client.New(l.Addr().String(), client.Options{MaxRetries: -1})
+	check(err)
+	defer mcl.Close()
+	ctx := context.Background()
+
+	var (
+		stop      = make(chan struct{})
+		wg        sync.WaitGroup
+		qOK, qRej atomic.Int64
+		ackedMu   sync.Mutex
+		acked     []uint64
+		insRej    atomic.Int64
+	)
+	for w := 0; w < 2; w++ { // query workers
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := qs[rng.Intn(len(qs))]
+				if _, _, err := cl.KMLIQ(ctx, q.Vector, 3); err != nil {
+					qRej.Add(1)
+				} else {
+					qOK.Add(1)
+				}
+			}
+		}(int64(1 + w))
+	}
+	wg.Add(1)
+	go func() { // insert worker: acknowledged means durable forever
+		defer wg.Done()
+		fresh := freshVectors(ds, 4096, 99)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v := fresh[i%len(fresh)]
+			v.ID = uint64(2_000_000 + i)
+			id := v.ID
+			n, err := mcl.Insert(ctx, []gausstree.Vector{v})
+			if n == 1 {
+				ackedMu.Lock()
+				acked = append(acked, id)
+				ackedMu.Unlock()
+			}
+			if err != nil {
+				insRej.Add(1)
+			}
+		}
+	}()
+
+	schedules := []gausstree.FaultSchedule{
+		{Seed: 201, Ops: map[gausstree.FaultOp]gausstree.FaultRule{gausstree.FaultOpWALWrite: {Prob: 0.5, MaxFaults: 2}}},
+		{Seed: 202, Ops: map[gausstree.FaultOp]gausstree.FaultRule{gausstree.FaultOpPageWrite: {Prob: 0.5, MaxFaults: 1, Torn: true}}},
+		{Seed: 203, Ops: map[gausstree.FaultOp]gausstree.FaultRule{gausstree.FaultOpWALSync: {Prob: 0.5, MaxFaults: 2}}},
+		{Seed: 204, Ops: map[gausstree.FaultOp]gausstree.FaultRule{gausstree.FaultOpMetaWrite: {Prob: 0.5, MaxFaults: 1}}},
+		{Seed: 205, Ops: map[gausstree.FaultOp]gausstree.FaultRule{
+			gausstree.FaultOpWALWrite:  {Prob: 0.3, MaxFaults: 1},
+			gausstree.FaultOpPageWrite: {Prob: 0.3, MaxFaults: 1, Torn: true},
+		}},
+	}
+	// A readiness monitor observes every degraded window: it polls /readyz
+	// continuously and records how long each unhealthy stretch lasted —
+	// the client-visible heal latency, including windows that open and close
+	// while a schedule is still armed.
+	rep.Rounds = len(schedules)
+	var (
+		monStop   = make(chan struct{})
+		monDone   = make(chan struct{})
+		healTotal time.Duration
+		healMax   time.Duration
+	)
+	go func() {
+		defer close(monDone)
+		var downSince time.Time
+		for {
+			select {
+			case <-monStop:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			if cl.Ready(ctx) != nil {
+				if downSince.IsZero() {
+					downSince = time.Now()
+				}
+				continue
+			}
+			if !downSince.IsZero() {
+				rep.Degradations++
+				window := time.Since(downSince)
+				healTotal += window
+				if window > healMax {
+					healMax = window
+				}
+				downSince = time.Time{}
+			}
+		}
+	}()
+
+	for _, sched := range schedules {
+		check(inj.Arm(sched))
+		time.Sleep(60 * time.Millisecond)
+		for _, n := range inj.Status().Injected { // counters reset on Arm
+			rep.FaultsInjected += n
+		}
+		inj.Disarm()
+		for cl.Ready(ctx) != nil { // settle before the next round
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(monStop)
+	<-monDone
+	if rep.Degradations > 0 {
+		rep.MeanHealMillis = float64(healTotal.Microseconds()) / 1e3 / float64(rep.Degradations)
+		rep.MaxHealMillis = float64(healMax.Microseconds()) / 1e3
+	}
+	rep.QueriesOK, rep.QueriesRejected = int(qOK.Load()), int(qRej.Load())
+	rep.InsertsAcked, rep.InsertsRejected = len(acked), int(insRej.Load())
+	if st, err := cl.Stats(ctx); err == nil && st.Scrub != nil {
+		rep.ScrubRuns, rep.ScrubPages = st.Scrub.Runs, st.Scrub.Pages
+	}
+
+	// Cold reopen: every acknowledged insert must have survived the storm.
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	check(srv.Shutdown(sctx))
+	re, err := gausstree.Open(path)
+	check(err)
+	defer re.Close()
+	ids := make(map[uint64]bool, len(acked))
+	check(re.ForEach(func(v gausstree.Vector) error {
+		ids[v.ID] = true
+		return nil
+	}))
+	for _, id := range acked {
+		if !ids[id] {
+			rep.AckedLost++
+		}
+	}
+
+	fmt.Printf("disarmed fault-layer overhead on hot k-MLIQ: %+.1f%% (budget <=2%%)\n", rep.DisarmedOverheadPct)
+	fmt.Printf("%-10s %8s %8s %10s %10s %9s %9s %8s %8s %6s\n",
+		"rounds", "faults", "degr", "heal ms", "max ms", "q ok", "q rej", "ins ok", "ins rej", "lost")
+	fmt.Printf("%-10d %8d %8d %10.1f %10.1f %9d %9d %8d %8d %6d\n",
+		rep.Rounds, rep.FaultsInjected, rep.Degradations, rep.MeanHealMillis, rep.MaxHealMillis,
+		rep.QueriesOK, rep.QueriesRejected, rep.InsertsAcked, rep.InsertsRejected, rep.AckedLost)
+	fmt.Printf("scrubber: %d passes, %d pages verified during the storm\n", rep.ScrubRuns, rep.ScrubPages)
+	if rep.AckedLost > 0 {
+		fmt.Fprintf(os.Stderr, "gaussbench: CHAOS FAILURE: %d acknowledged inserts lost\n", rep.AckedLost)
+		os.Exit(1)
+	}
+	fmt.Println()
+	b.out.Chaos = rep
 }
 
 // freshVectors derives n insertable vectors not present in ds: existing

@@ -29,12 +29,26 @@
 //	-slow-query-ms log any request at least this slow as a completed trace,
 //	               regardless of sampling
 //	-slow-query-log file receiving trace/slow-query JSON lines (default stderr)
+//	-scrub-interval run the background integrity scrubber this often
+//	               (verifies page checksums, node structure and the WAL tail;
+//	               0 = disabled)
+//	-scrub-rate    scrubber page reads per second (default 256, -1 = unthrottled)
+//	-chaos         enable runtime fault injection, armed via POST /debug/fault
+//	               on the ops listener (requires -ops-addr; off by default and
+//	               completely absent from the hot path until armed)
 //	-pprof         deprecated alias for -ops-addr (the profiling listener
 //	               grew /metrics and became the operations listener)
+//
+// A storage fault — injected or real — degrades the daemon instead of
+// killing it: reads keep serving the last committed snapshot, mutations
+// answer 503 with code "degraded", /readyz flips to 503, and a supervisor
+// reopens the index from its files (replaying the write-ahead log) until the
+// daemon is healthy again. No restart, no lost acknowledged write.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -70,6 +84,9 @@ func main() {
 		slowMS   = flag.Int64("slow-query-ms", 0, "log any request at least this slow as a completed trace, regardless of -trace-sample (0 = off)")
 		slowLog  = flag.String("slow-query-log", "", "file receiving trace and slow-query JSON lines, appended (empty = stderr)")
 		leafFmt  = flag.String("leaf-format", "", "require the index's persisted leaf format (exact, float32, grid8, legacy-row); the format itself is fixed at build time, so a mismatch refuses to serve (empty = accept any)")
+		scrubInt = flag.Duration("scrub-interval", 0, "run the background integrity scrubber this often while healthy (0 = disabled)")
+		scrubPPS = flag.Int("scrub-rate", 256, "scrubber page reads per second (-1 = unthrottled)")
+		chaos    = flag.Bool("chaos", false, "enable runtime fault injection, armed via POST /debug/fault on the ops listener (requires -ops-addr)")
 	)
 	flag.Parse()
 	if *index == "" {
@@ -115,8 +132,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gaussd: -pprof is deprecated, use -ops-addr (same address, now also serving /metrics)")
 		ops = *pprofAt
 	}
+	// Chaos without an ops listener would be unarmable dead weight, and the
+	// ops listener is what keeps the fault surface loopback-only.
+	var injector *gausstree.FaultInjector
+	if *chaos {
+		if ops == "" {
+			fmt.Fprintln(os.Stderr, "gaussd: -chaos requires -ops-addr (faults are armed via POST /debug/fault on the ops listener)")
+			os.Exit(2)
+		}
+		injector = gausstree.NewFaultInjector()
+	}
 
-	idx, err := openIndex(*index, gausstree.Options{CacheBytes: *cacheMB << 20, CacheShards: *shards, CommitLatency: *commitLt})
+	// opts is shared with the supervisor's reopen closure below, so a healed
+	// index comes back with the same cache, commit and fault-layer shape.
+	opts := gausstree.Options{CacheBytes: *cacheMB << 20, CacheShards: *shards, CommitLatency: *commitLt, Fault: injector}
+	idx, err := openIndex(*index, opts)
 	fail(err)
 	if got := idx.LeafFormat(); wantLeaf != "" && got != wantLeaf {
 		idx.Close()
@@ -132,8 +162,11 @@ func main() {
 		l, err := listenOps(ops)
 		fail(err)
 		fmt.Printf("gaussd: metrics on http://%s/metrics, pprof on http://%s/debug/pprof/\n", l.Addr(), l.Addr())
+		if injector != nil {
+			fmt.Printf("gaussd: CHAOS enabled — arm faults via POST http://%s/debug/fault\n", l.Addr())
+		}
 		go func() {
-			if err := serveOps(l, reg); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			if err := serveOps(l, reg, injector); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintln(os.Stderr, "gaussd: ops listener:", err)
 			}
 		}()
@@ -158,6 +191,11 @@ func main() {
 		TraceSample:        *traceSmp,
 		SlowQueryThreshold: time.Duration(*slowMS) * time.Millisecond,
 		TraceLog:           traceLogWriter(traceLog),
+		ScrubInterval:      *scrubInt,
+		ScrubRate:          *scrubPPS,
+		// The self-healing supervisor: reopen the same index path with the
+		// same options (WAL replay restores every acknowledged write).
+		Reopen: func() (server.Index, error) { return openIndex(*index, opts) },
 	})
 
 	// Serve until SIGINT/SIGTERM, then drain in-flight queries (bounded by
@@ -217,8 +255,10 @@ func listenOps(addr string) (net.Listener, error) {
 
 // serveOps serves /metrics and the pprof handlers on a dedicated mux
 // (never the query mux, and never http.DefaultServeMux) so the operations
-// surface stays isolated from the /v1 API.
-func serveOps(l net.Listener, reg *obs.Registry) error {
+// surface stays isolated from the /v1 API. With -chaos it additionally
+// serves the fault-injection controls — on the same loopback-only listener,
+// so faults can only ever be armed from the daemon's own host.
+func serveOps(l net.Listener, reg *obs.Registry, inj *gausstree.FaultInjector) error {
 	mux := http.NewServeMux()
 	mux.Handle("GET /metrics", reg.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -226,7 +266,42 @@ func serveOps(l net.Listener, reg *obs.Registry) error {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if inj != nil {
+		registerFaultHandlers(mux, inj)
+	}
 	return http.Serve(l, mux)
+}
+
+// registerFaultHandlers exposes the chaos controls: POST a
+// gausstree.FaultSchedule to arm, GET the live status (armed flag, injected
+// counts by operation, time remaining), DELETE to disarm. Arming replaces
+// any previous schedule atomically.
+func registerFaultHandlers(mux *http.ServeMux, inj *gausstree.FaultInjector) {
+	writeStatus := func(w http.ResponseWriter) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(inj.Status())
+	}
+	mux.HandleFunc("POST /debug/fault", func(w http.ResponseWriter, r *http.Request) {
+		var sched gausstree.FaultSchedule
+		dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&sched); err != nil {
+			http.Error(w, "gaussd: decoding fault schedule: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := inj.Arm(sched); err != nil {
+			http.Error(w, "gaussd: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeStatus(w)
+	})
+	mux.HandleFunc("GET /debug/fault", func(w http.ResponseWriter, r *http.Request) {
+		writeStatus(w)
+	})
+	mux.HandleFunc("DELETE /debug/fault", func(w http.ResponseWriter, r *http.Request) {
+		inj.Disarm()
+		writeStatus(w)
+	})
 }
 
 // openIndex auto-detects the index layout: a directory holding a shards.json

@@ -193,6 +193,38 @@
 // are pure atomics — a gausslint check (obsregister) keeps them
 // lock-free, so they are safe even under the engine's shard locks.
 //
+// # Fault tolerance & degraded mode
+//
+// A storage fault during a mutation — a failed WAL append or fsync, a torn
+// page, a bad meta write — poisons the index against further writes
+// instead of leaving it half-applied: mutations return errors wrapping
+// ErrPoisoned, while reads keep serving the last committed snapshot
+// (shadow paging keeps committed pages immutable, so nothing partial is
+// ever visible). Checkpoint refuses on a poisoned tree; the WAL's fsynced
+// prefix still holds every acknowledged mutation, so closing and reopening
+// the file replays it — recovery from a poisoned index is the same replay
+// path as recovery from a crash, and lands on the same state.
+//
+// gaussd automates that loop in place. A storage fault flips the daemon to
+// degraded (mutations 503 + Retry-After, reads unaffected, /readyz 503
+// with the cause while /healthz stays 200); a recovery supervisor
+// quarantines the failed index, reopens the file with WAL replay, and
+// atomically swaps the healed index under the serving layer, backing off
+// exponentially on failed attempts. An optional background scrubber
+// (-scrub-interval, rate-limited by -scrub-rate) walks every reachable
+// page bypassing the cache, re-verifies CRC trailers and node decoding,
+// re-checksums the durable WAL prefix, and degrades the daemon the moment
+// it finds rot; corruption findings wrap ErrCorrupt, and Tree.Scrub /
+// Sharded.Scrub run the same pass programmatically. For rehearsing all of
+// this against a live daemon, -chaos arms a runtime fault-injection layer
+// driven over POST /debug/fault on the loopback ops listener (per-op
+// probabilities, fault caps, torn writes, added latency, auto-expiry);
+// injected errors wrap ErrInjected so harnesses can tell them from real
+// faults, and the disarmed layer costs one atomic load per I/O. The
+// client retries only rejected-before-execution responses (429 and
+// 503-degraded, never poisoned or transport failures, bounded by a retry
+// budget) and surfaces the window as ErrDegraded from Client.Ready.
+//
 // # Performance
 //
 // The hot read path — a query against a fully cached index — is lock-light,
@@ -242,9 +274,12 @@
 //	shard     the sharded engine: partitioners, concurrent fan-out,
 //	          cross-shard Bayes-denominator merging over N core trees
 //	eval      the experiment harness driving engines uniformly
+//	fault     runtime fault injection: armable per-op schedules wrapping
+//	          the pagefile backend and the WAL
 //	wire      the HTTP/JSON wire format shared by daemon and client
 //	server    the gaussd serving layer: endpoints, admission control,
-//	          deadlines, batch execution, graceful drain
+//	          deadlines, batch execution, graceful drain, the degraded-
+//	          mode supervisor and the background scrubber
 //
 // This package is the public façade over core (Tree) and shard (Sharded);
 // the client package is the public façade over the wire format. It is safe

@@ -1,0 +1,75 @@
+package gausstree
+
+import (
+	"github.com/gauss-tree/gausstree/internal/core"
+	"github.com/gauss-tree/gausstree/internal/fault"
+	"github.com/gauss-tree/gausstree/internal/wal"
+)
+
+// FaultInjector is the runtime fault-injection layer an index can be opened
+// with (Options.Fault): it sits between the tree and its storage and, while
+// armed with a FaultSchedule, turns page and write-ahead-log I/O into
+// probabilistic or scheduled failures — clean errors, failed fsyncs, torn
+// page writes, added latency. Disarmed it costs one atomic load per I/O.
+// One injector may serve a whole sharded index; its counters aggregate
+// across shards. See the internal fault package for the full semantics.
+type FaultInjector = fault.Injector
+
+// FaultSchedule is one armed fault configuration: per-operation rules plus
+// an optional RNG seed (reproducible chaos) and duration (auto-disarm).
+type FaultSchedule = fault.Schedule
+
+// FaultRule says how one operation class misbehaves while armed.
+type FaultRule = fault.Rule
+
+// FaultOp classifies one injectable I/O operation.
+type FaultOp = fault.Op
+
+// FaultStatus is a point-in-time snapshot of an injector's armed schedule
+// and per-operation counters, as served by gaussd's GET /debug/fault.
+type FaultStatus = fault.Status
+
+// The injectable operation classes a FaultSchedule may target.
+const (
+	FaultOpPageRead  = fault.OpPageRead
+	FaultOpPageWrite = fault.OpPageWrite
+	FaultOpPageSync  = fault.OpPageSync
+	FaultOpMetaWrite = fault.OpMetaWrite
+	FaultOpWALWrite  = fault.OpWALWrite
+	FaultOpWALSync   = fault.OpWALSync
+)
+
+// FaultOps lists every injectable operation class.
+func FaultOps() []FaultOp { return fault.Ops() }
+
+// NewFaultInjector returns a disarmed injector, ready to be passed as
+// Options.Fault and armed later on the live index.
+func NewFaultInjector() *FaultInjector { return fault.New() }
+
+// ErrInjected is the root of every error an armed FaultInjector produces;
+// chaos harnesses use errors.Is to separate injected faults from real I/O
+// errors.
+var ErrInjected = fault.ErrInjected
+
+// ErrInvalidSchedule is wrapped by every FaultInjector.Arm rejection of a
+// malformed schedule (unknown op, probability outside [0,1], negative
+// bounds). Test with errors.Is.
+var ErrInvalidSchedule = fault.ErrInvalidSchedule
+
+// ErrPoisoned is wrapped by every mutation refused because an earlier
+// mutation failed mid-flight (an I/O error, not input validation) and
+// poisoned the tree to protect its committed state. Reads keep serving the
+// last committed snapshot; recovery is Close + Open (replaying the
+// write-ahead log), which gaussd's supervisor performs automatically in
+// degraded mode. Test with errors.Is.
+var ErrPoisoned = core.ErrPoisoned
+
+// walFault adapts the optional injector to the write-ahead log's fault
+// hook. A nil *FaultInjector must become a nil interface value — a typed
+// nil would make the log call hooks on a nil receiver.
+func walFault(inj *FaultInjector) wal.FaultHook {
+	if inj == nil {
+		return nil
+	}
+	return inj
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/gauss-tree/gausstree/internal/core"
+	"github.com/gauss-tree/gausstree/internal/fault"
 	"github.com/gauss-tree/gausstree/internal/gaussian"
 	"github.com/gauss-tree/gausstree/internal/pagefile"
 	"github.com/gauss-tree/gausstree/internal/pfv"
@@ -135,6 +136,14 @@ type Options struct {
 	// instead of growing the tree. See IngestOptions. Unsharded trees
 	// only; Sharded ignores it.
 	Ingest *IngestOptions
+	// Fault, when non-nil, interposes the runtime fault-injection layer
+	// between the index and its storage: every page read/write/sync, meta
+	// write and write-ahead-log write/fsync consults the injector, which
+	// stays inert (one atomic load per I/O) until armed with a
+	// FaultSchedule. A sharded tree shares one injector across all shards.
+	// Intended for chaos testing a live daemon (gaussd -chaos); see
+	// NewFaultInjector. When nil the storage stack is not wrapped at all.
+	Fault *FaultInjector
 }
 
 func (o *Options) fillDefaults() {
@@ -196,6 +205,7 @@ func New(dim int, opts ...Options) (*Tree, error) {
 	} else {
 		backend = pagefile.NewMemBackend(o.PageSize)
 	}
+	backend = fault.WrapBackend(backend, o.Fault)
 	mgr, err := pagefile.NewManager(backend, o.PageSize, pagefile.WithCacheBytes(o.CacheBytes), pagefile.WithCacheShards(o.CacheShards))
 	if err != nil {
 		backend.Close()
@@ -208,7 +218,7 @@ func New(dim int, opts ...Options) (*Tree, error) {
 	}
 	var l *wal.Log
 	if o.Path != "" {
-		l, err = wal.Create(o.Path+".wal", dim, wal.Options{Interval: o.CommitLatency})
+		l, err = wal.Create(o.Path+".wal", dim, wal.Options{Interval: o.CommitLatency, Fault: walFault(o.Fault)})
 		if err == nil {
 			err = tr.SetWAL(l)
 		}
@@ -259,7 +269,7 @@ func Open(path string, opts ...Options) (*Tree, error) {
 		return nil, err
 	}
 	o.PageSize = fb.PageSize()
-	mgr, err := pagefile.NewManager(fb, fb.PageSize(), pagefile.WithCacheBytes(o.CacheBytes), pagefile.WithCacheShards(o.CacheShards))
+	mgr, err := pagefile.NewManager(fault.WrapBackend(fb, o.Fault), fb.PageSize(), pagefile.WithCacheBytes(o.CacheBytes), pagefile.WithCacheShards(o.CacheShards))
 	if err != nil {
 		fb.Close()
 		return nil, err
@@ -269,7 +279,7 @@ func Open(path string, opts ...Options) (*Tree, error) {
 		mgr.Close()
 		return nil, err
 	}
-	l, tail, err := wal.Open(path+".wal", tr.Dim(), tr.AppliedLSN(), wal.Options{Interval: o.CommitLatency})
+	l, tail, err := wal.Open(path+".wal", tr.Dim(), tr.AppliedLSN(), wal.Options{Interval: o.CommitLatency, Fault: walFault(o.Fault)})
 	if err == nil {
 		if err = tr.ApplyWALTail(tail); err == nil {
 			// SetWAL truncates the log: the replayed tail is now folded into
@@ -462,6 +472,10 @@ func (t *Tree) InsertContext(ctx context.Context, v Vector) error {
 		t.mu.Unlock()
 		return ErrClosed
 	}
+	if err := checkMutationVector(v, st.tree.Dim()); err != nil {
+		t.mu.Unlock()
+		return err
+	}
 	var err error
 	if t.ing != nil {
 		err = t.ing.insert(ctx, st.tree, v)
@@ -472,7 +486,24 @@ func (t *Tree) InsertContext(ctx context.Context, v Vector) error {
 	if err != nil {
 		return err
 	}
-	return st.tree.WaitDurable()
+	return t.waitDurable(st)
+}
+
+// waitDurable awaits the group-commit fsync of st's last mutation and, when
+// the wait reveals a dead write-ahead log, poisons the tree right away
+// under the writer lock. The core would poison it anyway on the next
+// mutation (whose log append sees the sticky failure), but poisoning here
+// makes the public contract uniform: every mutation after the first one
+// that hits a storage fault fails wrapping ErrPoisoned, whether the fault
+// surfaced at append time or only at the group fsync.
+func (t *Tree) waitDurable(st *treeState) error {
+	err := st.tree.WaitDurable()
+	if err != nil && errors.Is(err, wal.ErrFailed) {
+		t.mu.Lock()
+		st.tree.Poison(err)
+		t.mu.Unlock()
+	}
+	return err
 }
 
 // InsertAll adds a batch of vectors and returns how many of them are
@@ -492,6 +523,10 @@ func (t *Tree) InsertAll(vs []Vector) (int, error) {
 		t.mu.Unlock()
 		return 0, ErrClosed
 	}
+	if err := checkMutationVectors(vs, st.tree.Dim()); err != nil {
+		t.mu.Unlock()
+		return 0, err
+	}
 	n, err := st.tree.InsertAll(vs)
 	t.mu.Unlock()
 	return n, err
@@ -507,6 +542,9 @@ func (t *Tree) BulkLoad(vs []Vector) error {
 	st := t.st.Load()
 	if st == nil {
 		return ErrClosed
+	}
+	if err := checkMutationVectors(vs, st.tree.Dim()); err != nil {
+		return err
 	}
 	if err := st.tree.BulkLoad(vs); err != nil {
 		return err
@@ -527,6 +565,10 @@ func (t *Tree) Delete(v Vector) (bool, error) {
 		t.mu.Unlock()
 		return false, ErrClosed
 	}
+	if err := checkMutationVector(v, st.tree.Dim()); err != nil {
+		t.mu.Unlock()
+		return false, err
+	}
 	found, err := st.tree.Delete(v)
 	if found && err == nil && t.ing != nil {
 		t.ing.forget(v.ID)
@@ -535,7 +577,7 @@ func (t *Tree) Delete(v Vector) (bool, error) {
 	if !found || err != nil {
 		return found, err
 	}
-	return true, st.tree.WaitDurable()
+	return true, t.waitDurable(st)
 }
 
 // KMostLikely answers a k-most-likely identification query (the paper's
@@ -669,6 +711,29 @@ func (t *Tree) Sync() error {
 		return err
 	}
 	return st.mgr.Sync()
+}
+
+// Quarantine makes the tree permanently write-inert without closing it:
+// the engine is poisoned (mutations and checkpoints refuse wrapping
+// ErrPoisoned, keeping any earlier poisoning cause) and the write-ahead
+// log is failed, so neither can ever again write to or truncate the
+// underlying files. Reads keep serving the last published snapshot.
+//
+// It exists for live recovery: before reopening the same files under a
+// fresh index (Open replays the WAL), the serving layer quarantines the
+// old instance so the two can safely coexist until the old one is Closed.
+// Quarantining a closed tree is a no-op.
+func (t *Tree) Quarantine(cause error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.st.Load()
+	if st == nil {
+		return
+	}
+	st.tree.Poison(cause)
+	if st.wal != nil {
+		st.wal.Fail(cause)
+	}
 }
 
 // Close checkpoints the write-ahead log, flushes the underlying storage to

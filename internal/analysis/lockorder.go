@@ -54,6 +54,7 @@ var managerLockUse = map[string]funcEffects{
 	"Read":          {acquires: []string{"Manager.ioMu", "cacheShard.mu"}, doesIO: true},
 	"ReadCounted":   {acquires: []string{"Manager.ioMu", "cacheShard.mu"}, doesIO: true},
 	"ReadInto":      {acquires: []string{"Manager.ioMu", "cacheShard.mu"}, doesIO: true},
+	"VerifyPage":    {acquires: []string{"Manager.ioMu"}, doesIO: true},
 	"Write":         {acquires: []string{"Manager.ioMu", "cacheShard.mu"}, doesIO: true},
 	"CommitMeta":    {acquires: []string{"Manager.ioMu", "Manager.epochMu", "Manager.allocMu", "cacheShard.mu"}, doesIO: true},
 	"Sync":          {acquires: []string{"Manager.ioMu"}, doesIO: true},

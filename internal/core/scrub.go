@@ -1,0 +1,107 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/gauss-tree/gausstree/internal/pagefile"
+)
+
+// ScrubReport summarizes one integrity pass over the tree.
+type ScrubReport struct {
+	// Pages is the number of pages read and verified (nodes plus the exact
+	// sidecar pages of quantized leaves).
+	Pages int
+}
+
+// Scrub walks every page reachable from the published snapshot and verifies
+// it end to end: the raw page is re-read from the backend past the buffer
+// cache (file backends re-verify the CRC trailer on the physical read) and
+// then decoded as a node, so both bit rot and structural damage surface.
+// Detected corruption is reported wrapping ErrCorrupt (the same sentinel
+// CheckInvariants uses — Scrub checks the physical layer, CheckInvariants
+// the logical one); the scan aborts on the first damaged page.
+//
+// The walk pins the snapshot's reclamation epoch exactly like a query, so
+// it is safe concurrently with mutations — it sees one consistent tree and
+// none of its pages can be reclaimed mid-scan. It takes no tree lock and
+// charges nothing to the I/O counters. throttle, when non-nil, runs before
+// each page read and may return an error (typically ctx.Err()) to abort;
+// it is the rate-limiting hook of the serving layer's background scrubber.
+func (t *Tree) Scrub(ctx context.Context, throttle func() error) (ScrubReport, error) {
+	snap, epoch := t.pinSnap()
+	defer t.mgr.UnpinEpoch(epoch)
+	var rep ScrubReport
+	buf := make([]byte, t.mgr.PageSize())
+	err := t.scrubPage(ctx, snap.root, buf, &rep, throttle)
+	return rep, err
+}
+
+// scrubPage verifies one page and recurses into its children. buf is reused
+// across the whole walk, so everything needed after the recursive calls is
+// copied out of the decoded node first.
+func (t *Tree) scrubPage(ctx context.Context, id pagefile.PageID, buf []byte, rep *ScrubReport, throttle func() error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if throttle != nil {
+		if err := throttle(); err != nil {
+			return err
+		}
+	}
+	n, err := t.verifyDecode(id, buf)
+	if err != nil {
+		return err
+	}
+	rep.Pages++
+	if n.leaf {
+		if n.quant == nil || n.quant.sidecar == pagefile.NilPage {
+			return nil
+		}
+		// A quantized leaf owns the exact sidecar page its certification
+		// falls back to; verify it like any other page.
+		sidecar := n.quant.sidecar
+		if throttle != nil {
+			if err := throttle(); err != nil {
+				return err
+			}
+		}
+		if _, err := t.verifyDecode(sidecar, buf); err != nil {
+			return err
+		}
+		rep.Pages++
+		return nil
+	}
+	// Copy the child ids out before the recursion reuses buf (the decoded
+	// node may alias the page buffer).
+	kids := make([]pagefile.PageID, len(n.children))
+	for i, c := range n.children {
+		kids[i] = c.page
+	}
+	for _, kid := range kids {
+		if err := t.scrubPage(ctx, kid, buf, rep, throttle); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// verifyDecode reads page id from the backend (bypassing the cache) and
+// decodes it, wrapping any damage as ErrCorrupt. A closed page store is not
+// corruption: the tree was closed under the scan and the error passes
+// through unwrapped.
+func (t *Tree) verifyDecode(id pagefile.PageID, buf []byte) (*node, error) {
+	page, err := t.mgr.VerifyPage(id, buf)
+	if err != nil {
+		if errors.Is(err, pagefile.ErrClosed) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: page %d: %w", ErrCorrupt, id, err)
+	}
+	n, err := decodeNode(id, page, t.dim)
+	if err != nil {
+		return nil, fmt.Errorf("%w: page %d: decoding node: %w", ErrCorrupt, id, err)
+	}
+	return n, nil
+}

@@ -162,6 +162,13 @@ var ErrDimension = errors.New("core: dimension mismatch")
 // sentinels; test with errors.Is.
 var ErrInvalidArg = errors.New("core: invalid argument")
 
+// ErrPoisoned is wrapped by every mutation refused because an earlier
+// mutation failed mid-flight and disabled the tree (see Tree.fail). The
+// committed snapshot is intact — queries keep answering from it — and no
+// acknowledged write is lost: reopening the page store (replaying the WAL)
+// recovers the last committed state. Test with errors.Is.
+var ErrPoisoned = errors.New("core: tree poisoned")
+
 // New creates an empty Gauss-tree for vectors of the given dimension and
 // commits it, so an empty index is already recoverable by Open. A page
 // store that already holds a committed index is rejected: New never
@@ -251,11 +258,13 @@ func prepare(mgr *pagefile.Manager, dim int, cfg Config) (*Tree, error) {
 // mutable returns nil when the tree may be mutated, or the poisoning error
 // from an earlier failed mutation. Public mutations check it after their
 // input validation (validation failures touch no pages and do not poison).
+// The returned error wraps both ErrPoisoned and the original cause, so
+// errors.Is answers "is this tree poisoned?" and "what killed it?" alike.
 func (t *Tree) mutable() error {
 	if t.failed == nil {
 		return nil
 	}
-	return fmt.Errorf("core: tree disabled by an earlier failed mutation (reopen the page store to recover the last committed state): %w", t.failed)
+	return fmt.Errorf("%w by an earlier failed mutation (reopen the page store to recover the last committed state): %w", ErrPoisoned, t.failed)
 }
 
 // fail poisons the tree with the first mid-mutation error and returns err.
@@ -272,6 +281,17 @@ func (t *Tree) fail(err error) error {
 		t.nodes.invalidateAll()
 	}
 	return err
+}
+
+// Poison marks the tree failed from outside, exactly as if a mutation had
+// died mid-flight: every further mutation (and checkpoint) refuses with an
+// error wrapping ErrPoisoned and cause, while reads keep serving the last
+// published snapshot. The serving layer's recovery swap uses it to make a
+// to-be-replaced tree permanently write-inert before a fresh Open takes
+// over its files. The caller must hold the writer lock (no mutation may be
+// in flight); poisoning an already poisoned tree keeps the first cause.
+func (t *Tree) Poison(cause error) {
+	t.fail(cause)
 }
 
 // Meta returns the tree's persistent metadata (writer-side state; callers

@@ -513,6 +513,33 @@ func (m *Manager) ReadInto(id PageID, dst []byte, c *Counter) ([]byte, error) {
 	return m.readMiss(id, c, dst)
 }
 
+// VerifyPage reads one page directly from the backend into dst (at least
+// one page long), bypassing the buffer cache so the page's on-disk image —
+// not a cached copy — is what gets checked; file backends re-verify the CRC
+// trailer on every physical read. It is the integrity scrubber's read
+// primitive: the access is deliberately not charged to the I/O counters or
+// the modeled disk arm, so a background scrub does not skew the paper's
+// page-access metrics, and the cache is not polluted (nor repaired — a
+// later Read of the same page still serves the cached copy).
+func (m *Manager) VerifyPage(id PageID, dst []byte) ([]byte, error) {
+	if len(dst) < m.pageSize {
+		return nil, fmt.Errorf("pagefile: VerifyPage buffer of %d bytes smaller than page size %d", len(dst), m.pageSize)
+	}
+	dst = dst[:m.pageSize]
+	if err := m.checkRead(id); err != nil {
+		return nil, err
+	}
+	m.ioMu.Lock()
+	defer m.ioMu.Unlock()
+	if m.closed.Load() {
+		return nil, ErrClosed
+	}
+	if err := m.backend.ReadPage(id, dst); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
 // readMiss resolves a cache miss against the backend under ioMu. When dst is
 // non-nil the page is read into it and the cache (if enabled) receives its
 // own copy; otherwise a fresh cache-owned buffer is allocated.

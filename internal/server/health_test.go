@@ -1,0 +1,406 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	gausstree "github.com/gauss-tree/gausstree"
+	"github.com/gauss-tree/gausstree/client"
+	"github.com/gauss-tree/gausstree/internal/server"
+)
+
+// newFaultedTree builds a file-backed tree wrapped by a fault injector and
+// seeded with n vectors, plus a Reopen closure for the supervisor that
+// records every index it opens (so tests can inspect the healed tree).
+type healedTrees struct {
+	mu    sync.Mutex
+	trees []*gausstree.Tree
+}
+
+func (h *healedTrees) last() *gausstree.Tree {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.trees) == 0 {
+		return nil
+	}
+	return h.trees[len(h.trees)-1]
+}
+
+func newFaultedTree(t *testing.T, n int) (*gausstree.Tree, *gausstree.FaultInjector, func() (server.Index, error), *healedTrees) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "healing.gtree")
+	inj := gausstree.NewFaultInjector()
+	opts := gausstree.Options{Path: path, PageSize: 1024, Fault: inj, CommitLatency: 200 * time.Microsecond}
+	tree, err := gausstree.New(2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := tree.Insert(seqVector(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	healed := &healedTrees{}
+	reopen := func() (server.Index, error) {
+		tr, err := gausstree.Open(path, opts)
+		if err != nil {
+			return nil, err
+		}
+		healed.mu.Lock()
+		healed.trees = append(healed.trees, tr)
+		healed.mu.Unlock()
+		return server.TreeIndex(tr), nil
+	}
+	return tree, inj, reopen, healed
+}
+
+// seqVector mirrors the root package's crash-test vector: deterministic,
+// well-separated means so every id stays a distinct stored object.
+func seqVector(i int) gausstree.Vector {
+	return gausstree.MustVector(uint64(i+1),
+		[]float64{float64(i%100) * 10, float64(i/100) * 10},
+		[]float64{0.2, 0.2})
+}
+
+// oneFault arms a single guaranteed fault of the given op class.
+func oneFault(t *testing.T, inj *gausstree.FaultInjector, op gausstree.FaultOp) {
+	t.Helper()
+	err := inj.Arm(gausstree.FaultSchedule{
+		Seed: 1,
+		Ops:  map[gausstree.FaultOp]gausstree.FaultRule{op: {Prob: 1, MaxFaults: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func waitReady(t *testing.T, cl *client.Client, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		err := cl.Ready(context.Background())
+		if err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon did not return to healthy within %v: %v", within, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRecoverySwapHealsWALFault poisons the daemon with an injected WAL
+// write fault and requires the supervisor to heal it in place: reads never
+// stop, no acknowledged write is lost, mutations work again after recovery,
+// and neither goroutines nor snapshot epoch pins leak across the swap.
+func TestRecoverySwapHealsWALFault(t *testing.T) {
+	goroutinesBefore := runtime.NumGoroutine()
+	const seeded = 100
+	tree, inj, reopen, healed := newFaultedTree(t, seeded)
+
+	srv := server.New(server.TreeIndex(tree), server.Config{
+		Reopen:       reopen,
+		RecoveryBase: 2 * time.Millisecond,
+		RecoveryMax:  50 * time.Millisecond,
+	})
+	hs := httptest.NewServer(srv.Handler())
+	cl, err := client.New(hs.URL, client.Options{RetryBase: 2 * time.Millisecond, MaxRetries: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	oneFault(t, inj, gausstree.FaultOpWALWrite)
+	if _, err := cl.Insert(ctx, []gausstree.Vector{seqVector(seeded)}); err == nil {
+		t.Fatal("insert with a failing WAL succeeded")
+	}
+
+	// The supervisor heals the daemon; the client's degraded-retry loop
+	// means this next mutation succeeds as soon as recovery lands.
+	waitReady(t, cl, 10*time.Second)
+	if n, err := cl.Insert(ctx, []gausstree.Vector{seqVector(seeded + 1)}); err != nil || n != 1 {
+		t.Fatalf("insert after recovery = (%d, %v), want (1, nil)", n, err)
+	}
+
+	// Every pre-fault acknowledged write survived the swap.
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ServingState != "healthy" {
+		t.Fatalf("serving_state = %q after recovery, want healthy", st.ServingState)
+	}
+	if st.Len < seeded {
+		t.Fatalf("healed index holds %d vectors, want at least the %d acknowledged before the fault", st.Len, seeded)
+	}
+	for _, i := range []int{0, seeded / 2, seeded - 1, seeded + 1} {
+		v := seqVector(i)
+		ms, _, err := cl.KMLIQ(ctx, v, 1)
+		if err != nil {
+			t.Fatalf("query after recovery: %v", err)
+		}
+		if len(ms) != 1 || ms[0].Vector.ID != v.ID {
+			t.Fatalf("query for id %d found %v", v.ID, ms)
+		}
+	}
+
+	// Exactly one heal, on a fresh index.
+	if ht := healed.last(); ht == nil {
+		t.Fatal("supervisor never reopened the index")
+	}
+
+	// Shut everything down and verify nothing leaked.
+	hs.Close()
+	cl.Close()
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatalf("shutdown after recovery: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= goroutinesBefore+2 || time.Now().After(deadline) {
+			if n > goroutinesBefore+2 {
+				t.Fatalf("goroutine leak across recovery swap: %d before, %d after", goroutinesBefore, n)
+			}
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRecoveryReleasesEpochPins verifies the healed index carries no stale
+// snapshot pins once in-flight reads drain: the swap hands reads over to the
+// new tree and the old tree's readers finish and unpin before Close.
+func TestRecoveryReleasesEpochPins(t *testing.T) {
+	tree, inj, reopen, healed := newFaultedTree(t, 50)
+	srv := server.New(server.TreeIndex(tree), server.Config{
+		Reopen:       reopen,
+		RecoveryBase: 2 * time.Millisecond,
+		RecoveryMax:  50 * time.Millisecond,
+	})
+	hs := httptest.NewServer(srv.Handler())
+	defer func() {
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	cl, err := client.New(hs.URL, client.Options{RetryBase: 2 * time.Millisecond, MaxRetries: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	ctx := context.Background()
+	oneFault(t, inj, gausstree.FaultOpWALWrite)
+	cl.Insert(ctx, []gausstree.Vector{seqVector(50)}) // expected to fail and degrade
+	waitReady(t, cl, 10*time.Second)
+
+	// Run reads against the healed index, then require the pin count to
+	// drain to zero — a stuck pin would block page reclamation forever.
+	for i := 0; i < 10; i++ {
+		if _, _, err := cl.KMLIQ(ctx, seqVector(i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ht := healed.last()
+	if ht == nil {
+		t.Fatal("supervisor never reopened the index")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := ht.PinnedReaders(); n == 0 || time.Now().After(deadline) {
+			if n != 0 {
+				t.Fatalf("healed index still holds %d epoch pins with no reads in flight", n)
+			}
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDegradedWithoutReopenServesReads pins the floor of the contract when
+// no supervisor is configured: the daemon stays degraded, keeps answering
+// queries from the last committed snapshot, refuses mutations with the
+// typed degraded rejection, and splits /healthz (alive) from /readyz (out).
+func TestDegradedWithoutReopenServesReads(t *testing.T) {
+	tree, inj, _, _ := newFaultedTree(t, 50)
+	srv := server.New(server.TreeIndex(tree), server.Config{})
+	hs := httptest.NewServer(srv.Handler())
+	defer func() {
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	// MaxRetries -1: the test wants to see the raw rejection, not retries.
+	cl, err := client.New(hs.URL, client.Options{MaxRetries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	ctx := context.Background()
+	oneFault(t, inj, gausstree.FaultOpWALWrite)
+	if _, err := cl.Insert(ctx, []gausstree.Vector{seqVector(50)}); err == nil {
+		t.Fatal("insert with a failing WAL succeeded")
+	}
+
+	// Mutations now answer the typed degraded rejection...
+	_, err = cl.Insert(ctx, []gausstree.Vector{seqVector(51)})
+	if !errors.Is(err, client.ErrDegraded) {
+		t.Fatalf("insert on a degraded daemon = %v, want errors.Is(ErrDegraded)", err)
+	}
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != 503 {
+		t.Fatalf("degraded rejection = %+v, want HTTP 503", apiErr)
+	}
+
+	// ...while reads keep serving the last committed snapshot,
+	for i := 0; i < 50; i += 7 {
+		v := seqVector(i)
+		ms, _, err := cl.KMLIQ(ctx, v, 1)
+		if err != nil {
+			t.Fatalf("degraded read: %v", err)
+		}
+		if len(ms) != 1 || ms[0].Vector.ID != v.ID {
+			t.Fatalf("degraded read for id %d found %v", v.ID, ms)
+		}
+	}
+
+	// ...liveness stays green, readiness goes red, and stats say why.
+	if err := cl.Health(ctx); err != nil {
+		t.Fatalf("/healthz on a degraded daemon: %v", err)
+	}
+	if err := cl.Ready(ctx); !errors.Is(err, client.ErrDegraded) {
+		t.Fatalf("/readyz on a degraded daemon = %v, want errors.Is(ErrDegraded)", err)
+	}
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ServingState != "degraded" {
+		t.Fatalf("serving_state = %q, want degraded", st.ServingState)
+	}
+}
+
+// TestRecoveryCrashParity requires the supervisor's in-place heal to land on
+// exactly the state the PR 7 crash path recovers: a byte-level copy of the
+// files frozen before the fault, reopened cold, must hold the same vector
+// set as the index the supervisor healed from those same files.
+func TestRecoveryCrashParity(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "parity.gtree")
+	inj := gausstree.NewFaultInjector()
+	opts := gausstree.Options{Path: path, PageSize: 1024, Fault: inj, CommitLatency: 200 * time.Microsecond}
+	tree, err := gausstree.New(2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 120
+	for i := 0; i < n; i++ {
+		if err := tree.Insert(seqVector(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Freeze the disk as a crash would see it: live files, no clean close.
+	crash := filepath.Join(dir, "crash.gtree")
+	copyFile(t, path, crash)
+	copyFile(t, path+".wal", crash+".wal")
+
+	healed := &healedTrees{}
+	srv := server.New(server.TreeIndex(tree), server.Config{
+		RecoveryBase: 2 * time.Millisecond,
+		RecoveryMax:  50 * time.Millisecond,
+		Reopen: func() (server.Index, error) {
+			tr, err := gausstree.Open(path, opts)
+			if err != nil {
+				return nil, err
+			}
+			healed.mu.Lock()
+			healed.trees = append(healed.trees, tr)
+			healed.mu.Unlock()
+			return server.TreeIndex(tr), nil
+		},
+	})
+	hs := httptest.NewServer(srv.Handler())
+	defer func() {
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	cl, err := client.New(hs.URL, client.Options{RetryBase: 2 * time.Millisecond, MaxRetries: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	ctx := context.Background()
+	oneFault(t, inj, gausstree.FaultOpWALWrite)
+	cl.Insert(ctx, []gausstree.Vector{seqVector(n)}) // fails, nothing durable appended
+	waitReady(t, cl, 10*time.Second)
+
+	healedTree := healed.last()
+	if healedTree == nil {
+		t.Fatal("supervisor never reopened the index")
+	}
+	healedIDs := dumpIDs(t, healedTree)
+
+	crashTree, err := gausstree.Open(crash)
+	if err != nil {
+		t.Fatalf("crash-path reopen: %v", err)
+	}
+	defer crashTree.Close()
+	if err := crashTree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	crashIDs := dumpIDs(t, crashTree)
+
+	if len(healedIDs) != len(crashIDs) {
+		t.Fatalf("healed index holds %d vectors, crash copy %d — recovery and crash paths diverged", len(healedIDs), len(crashIDs))
+	}
+	for id := range crashIDs {
+		if !healedIDs[id] {
+			t.Fatalf("id %d recovered by the crash path but missing from the healed index", id)
+		}
+	}
+}
+
+func copyFile(t *testing.T, src, dst string) {
+	t.Helper()
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dst, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func dumpIDs(t *testing.T, tr *gausstree.Tree) map[uint64]bool {
+	t.Helper()
+	ids := make(map[uint64]bool)
+	if err := tr.ForEach(func(v gausstree.Vector) error {
+		ids[v.ID] = true
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return ids
+}

@@ -61,6 +61,14 @@ type Index interface {
 	// IngestStats reports the online merge-ingest counters; ok is false
 	// when the backend has no ingest accelerator (sharded indexes).
 	IngestStats() (is gausstree.IngestStats, ok bool)
+	// Scrub verifies every reachable page and the write-ahead log's durable
+	// prefix against bit rot and structural damage, rate-limited to
+	// pagesPerSecond (0 = unthrottled); see gausstree.Tree.Scrub.
+	Scrub(ctx context.Context, pagesPerSecond int) (gausstree.ScrubReport, error)
+	// Quarantine makes the index permanently write-inert without closing it
+	// (reads keep serving the last committed snapshot), so a fresh index can
+	// be opened over the same files; see gausstree.Tree.Quarantine.
+	Quarantine(cause error)
 	// Sync flushes written pages to stable storage.
 	Sync() error
 	// Close releases the index.
@@ -95,8 +103,12 @@ func (i treeIndex) PinnedReaders() int                           { return i.t.Pi
 func (i treeIndex) OldestPinnedEpoch() uint64                    { return i.t.OldestPinnedEpoch() }
 func (i treeIndex) LimboPages() int                              { return i.t.LimboPages() }
 func (i treeIndex) IngestStats() (gausstree.IngestStats, bool)   { return i.t.IngestStats() }
-func (i treeIndex) Sync() error                                  { return i.t.Sync() }
-func (i treeIndex) Close() error                                 { return i.t.Close() }
+func (i treeIndex) Scrub(ctx context.Context, pps int) (gausstree.ScrubReport, error) {
+	return i.t.Scrub(ctx, gausstree.ScrubOptions{PagesPerSecond: pps})
+}
+func (i treeIndex) Quarantine(cause error) { i.t.Quarantine(cause) }
+func (i treeIndex) Sync() error            { return i.t.Sync() }
+func (i treeIndex) Close() error           { return i.t.Close() }
 
 // ShardedIndex adapts a sharded Gauss-tree to the serving surface; the
 // per-shard statistic breakdown is collapsed into the aggregate QueryStats
@@ -133,31 +145,37 @@ func (i shardedIndex) LimboPages() int                              { return i.s
 func (i shardedIndex) IngestStats() (gausstree.IngestStats, bool) {
 	return gausstree.IngestStats{}, false
 }
-func (i shardedIndex) Sync() error  { return i.s.Sync() }
-func (i shardedIndex) Close() error { return i.s.Close() }
+func (i shardedIndex) Scrub(ctx context.Context, pps int) (gausstree.ScrubReport, error) {
+	return i.s.Scrub(ctx, gausstree.ScrubOptions{PagesPerSecond: pps})
+}
+func (i shardedIndex) Quarantine(cause error) { i.s.Quarantine(cause) }
+func (i shardedIndex) Sync() error            { return i.s.Sync() }
+func (i shardedIndex) Close() error           { return i.s.Close() }
 
 // indexEngine adapts the serving surface back onto query.Engine, which lets
 // the batch endpoint reuse query.BatchExecutor's worker pool unchanged. The
 // accuracy parameter is ignored: the served index certifies to its own
-// configured accuracy, uniformly for single and batched queries.
-type indexEngine struct{ idx Index }
+// configured accuracy, uniformly for single and batched queries. It holds
+// the server, not an Index, so batch queries follow a recovery swap like
+// every other endpoint.
+type indexEngine struct{ s *Server }
 
 var _ query.Engine = indexEngine{}
 
-func (e indexEngine) Name() string { return "served-" + e.idx.Kind() }
+func (e indexEngine) Name() string { return "served-" + e.s.index().Kind() }
 
 func (e indexEngine) KMLIQ(ctx context.Context, q gausstree.Vector, k int, _ float64) ([]query.Result, query.Stats, error) {
-	ms, st, err := e.idx.KMLIQ(ctx, q, k)
+	ms, st, err := e.s.index().KMLIQ(ctx, q, k)
 	return toResults(ms), st, err
 }
 
 func (e indexEngine) KMLIQRanked(ctx context.Context, q gausstree.Vector, k int) ([]query.Result, query.Stats, error) {
-	ms, st, err := e.idx.KMLIQRanked(ctx, q, k)
+	ms, st, err := e.s.index().KMLIQRanked(ctx, q, k)
 	return toResults(ms), st, err
 }
 
 func (e indexEngine) TIQ(ctx context.Context, q gausstree.Vector, pTheta float64, _ float64) ([]query.Result, query.Stats, error) {
-	ms, st, err := e.idx.TIQ(ctx, q, pTheta)
+	ms, st, err := e.s.index().TIQ(ctx, q, pTheta)
 	return toResults(ms), st, err
 }
 

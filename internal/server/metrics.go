@@ -9,13 +9,14 @@ import (
 	"github.com/gauss-tree/gausstree/internal/buildinfo"
 	"github.com/gauss-tree/gausstree/internal/obs"
 	"github.com/gauss-tree/gausstree/internal/pagefile"
+	"github.com/gauss-tree/gausstree/internal/wire"
 )
 
 // outcomes is the full bounded label set outcomeFor can produce; every
 // endpoint×outcome series is pre-registered at startup so the request path
 // never touches the registry (and the registry never grows while serving,
 // so a scrape cannot race a registration).
-var outcomes = []string{"ok", "invalid", "read_only", "saturated", "closed", "deadline", "internal"}
+var outcomes = []string{"ok", "invalid", "read_only", "saturated", "closed", "deadline", "internal", "degraded", "poisoned"}
 
 // endpointInstruments holds one endpoint's pre-resolved request-path
 // instruments: instrument() only does atomic Inc/Observe on them, never a
@@ -62,10 +63,11 @@ func (s *Server) registerMetrics(reg *obs.Registry) {
 		"Requests refused with 429 by admission control.",
 		func() float64 { return float64(s.rejected.Load()) })
 
-	idx := s.idx
+	// Every index closure resolves s.index() per scrape, so after a recovery
+	// swap the metrics follow the healed index like the request path does.
 	ioc := func(name, help string, get func(pagefile.Stats) uint64) {
 		reg.CounterFunc(name, help, func() float64 {
-			st, err := idx.IOStats()
+			st, err := s.index().IOStats()
 			if err != nil {
 				return 0
 			}
@@ -90,22 +92,49 @@ func (s *Server) registerMetrics(reg *obs.Registry) {
 
 	reg.GaugeFunc("gausstree_vectors",
 		"Vectors stored in the served index.",
-		func() float64 { return float64(idx.Len()) })
+		func() float64 { return float64(s.index().Len()) })
 	reg.GaugeFunc("gausstree_snapshot_epoch",
 		"Published snapshot epoch — committed mutations, summed across shards.",
-		func() float64 { return float64(idx.SnapshotEpoch()) })
+		func() float64 { return float64(s.index().SnapshotEpoch()) })
 	reg.GaugeFunc("gausstree_oldest_pinned_epoch",
 		"Oldest epoch a pinned snapshot reader still observes (summed across shards); gausstree_snapshot_epoch minus this is the reclamation lag.",
-		func() float64 { return float64(idx.OldestPinnedEpoch()) })
+		func() float64 { return float64(s.index().OldestPinnedEpoch()) })
 	reg.GaugeFunc("gausstree_pinned_readers",
 		"Snapshot readers currently pinning a reclamation epoch.",
-		func() float64 { return float64(idx.PinnedReaders()) })
+		func() float64 { return float64(s.index().PinnedReaders()) })
 	reg.GaugeFunc("gausstree_limbo_pages",
 		"Freed pages awaiting epoch-safe reclamation.",
-		func() float64 { return float64(idx.LimboPages()) })
+		func() float64 { return float64(s.index().LimboPages()) })
 
-	if _, ok := idx.WALStats(); ok {
-		wal := func() gausstree.WALStats { ws, _ := idx.WALStats(); return ws }
+	reg.GaugeFunc("gaussd_serving_state",
+		"Serving state of the daemon: 0 healthy, 1 degraded, 2 recovering.",
+		func() float64 { return float64(s.servingState()) })
+	reg.CounterFunc("gaussd_degraded_total",
+		"Healthy-to-degraded transitions (storage faults that interrupted serving).",
+		func() float64 { return float64(s.degradedTotal.Load()) })
+	reg.CounterFunc("gaussd_recovery_attempts_total",
+		"Self-healing reopen attempts by the supervisor.",
+		func() float64 { return float64(s.recoveryAttempts.Load()) })
+	reg.CounterFunc("gaussd_recoveries_total",
+		"Successful self-healing recoveries (healed index swapped in).",
+		func() float64 { return float64(s.recoveries.Load()) })
+	if s.cfg.ScrubInterval > 0 {
+		reg.CounterFunc("gausstree_scrub_runs_total",
+			"Completed background integrity scrub passes.",
+			func() float64 { return float64(s.scrubRuns.Load()) })
+		reg.CounterFunc("gausstree_scrub_pages_total",
+			"Pages verified by the background integrity scrubber.",
+			func() float64 { return float64(s.scrubPages.Load()) })
+		reg.CounterFunc("gausstree_scrub_errors_total",
+			"Scrub passes that found corruption (each also degrades the daemon).",
+			func() float64 { return float64(s.scrubErrors.Load()) })
+		reg.GaugeFunc("gausstree_scrub_last_duration_seconds",
+			"Wall-clock duration of the most recent scrub pass.",
+			func() float64 { return s.scrubLastSeconds() })
+	}
+
+	if _, ok := s.index().WALStats(); ok {
+		wal := func() gausstree.WALStats { ws, _ := s.index().WALStats(); return ws }
 		reg.CounterFunc("gausstree_wal_fsyncs_total",
 			"WAL fsyncs issued.",
 			func() float64 { return float64(wal().Fsyncs) })
@@ -122,8 +151,8 @@ func (s *Server) registerMetrics(reg *obs.Registry) {
 			"Appended-but-not-yet-durable WAL records (appended LSN minus durable LSN).",
 			func() float64 { ws := wal(); return float64(ws.AppendedLSN - ws.DurableLSN) })
 	}
-	if _, ok := idx.IngestStats(); ok {
-		ing := func() gausstree.IngestStats { is, _ := idx.IngestStats(); return is }
+	if _, ok := s.index().IngestStats(); ok {
+		ing := func() gausstree.IngestStats { is, _ := s.index().IngestStats(); return is }
 		reg.CounterFunc("gausstree_ingest_inserted_total",
 			"Merge-ingest observations stored as new objects.",
 			func() float64 { return float64(ing().Inserted) })
@@ -138,10 +167,13 @@ func (s *Server) registerMetrics(reg *obs.Registry) {
 
 // statusWriter records the response status so instrument can label the
 // outcome after the handler returns. Handlers that never call WriteHeader
-// implicitly wrote 200.
+// implicitly wrote 200. An explicit outcome (setOutcome) overrides the
+// status-derived label, which lets two different 503 rejections — degraded
+// and closed — land in distinct outcome buckets.
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code    int
+	outcome string
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -156,6 +188,51 @@ func (w *statusWriter) status() int {
 		return http.StatusOK
 	}
 	return w.code
+}
+
+func (w *statusWriter) setOutcome(oc string) {
+	if w.outcome == "" {
+		w.outcome = oc
+	}
+}
+
+func (w *statusWriter) outcomeLabel() string {
+	if w.outcome != "" {
+		return w.outcome
+	}
+	return outcomeFor(w.status())
+}
+
+// noteOutcome pins the request's outcome label from its wire error code,
+// where the code is more precise than the HTTP status (degraded and
+// poisoned both answer 503). It no-ops on writers that are not wrapped by
+// instrument.
+func noteOutcome(w http.ResponseWriter, code string) {
+	if ow, ok := w.(interface{ setOutcome(string) }); ok {
+		ow.setOutcome(outcomeForCode(code))
+	}
+}
+
+// outcomeForCode maps a wire error code onto the bounded outcome label set.
+func outcomeForCode(code string) string {
+	switch code {
+	case wire.ErrCodeInvalid:
+		return "invalid"
+	case wire.ErrCodeReadOnly:
+		return "read_only"
+	case wire.ErrCodeSaturated:
+		return "saturated"
+	case wire.ErrCodeClosed:
+		return "closed"
+	case wire.ErrCodeDeadline:
+		return "deadline"
+	case wire.ErrCodeDegraded:
+		return "degraded"
+	case wire.ErrCodePoisoned:
+		return "poisoned"
+	default:
+		return "internal"
+	}
 }
 
 // outcomeFor maps a response status onto the bounded outcome label set of
@@ -199,7 +276,7 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		// httpMetrics is built once in registerMetrics and read-only after,
 		// so this is two atomic updates — no registry lock, no allocation.
 		if m := s.httpMetrics[endpoint]; m != nil {
-			m.requests[outcomeFor(sw.status())].Inc()
+			m.requests[sw.outcomeLabel()].Inc()
 			m.latency.Observe(elapsed.Seconds())
 		}
 		if tr != nil {

@@ -5,6 +5,24 @@
 // bounded in-flight set plus a bounded wait queue (429 + Retry-After beyond
 // that), a batch endpoint reusing query.BatchExecutor's worker pool, and
 // graceful shutdown that drains in-flight queries before Sync/Close.
+//
+// # Degraded mode and self-healing
+//
+// The server runs a three-state serving machine: healthy → degraded →
+// recovering → healthy. A storage fault — a mutation that poisons the tree,
+// a failed WAL group commit, or corruption found by the background
+// integrity scrubber — degrades the daemon instead of killing it: reads
+// keep serving the last committed snapshot, mutations are refused with 503
+// and the "degraded" wire code (rejected before touching the index, so
+// always safe to retry), and /readyz flips to 503 so load balancers drain
+// the node. When Config.Reopen is set, a supervisor goroutine then heals
+// the daemon in place: it quiesces in-flight mutations, quarantines the
+// broken index so it can never write again, reopens the files (replaying
+// the write-ahead log, which preserves every acknowledged write), and
+// atomically swaps the healed index behind the serving seam — retrying with
+// capped exponential backoff until it succeeds. The swap is invisible to
+// concurrent queries: in-flight reads finish on the old (still readable)
+// snapshot and every later request sees the healed index.
 package server
 
 import (
@@ -55,6 +73,27 @@ type Config struct {
 	// TraceLog receives sampled and slow traces as single-line JSON; nil
 	// drops them (trace ids still flow to responses).
 	TraceLog io.Writer
+	// Reopen, when non-nil, arms the self-healing supervisor: after a
+	// storage fault degrades the daemon it is called (with mutations
+	// quiesced and the old index quarantined) to reopen the index from its
+	// files, replaying the write-ahead log. It must return a fresh Index
+	// over the same data or an error (the supervisor retries with backoff).
+	// Nil leaves a degraded daemon degraded until the process restarts.
+	Reopen func() (Index, error)
+	// ScrubInterval, when positive, runs the background integrity scrubber
+	// this often while healthy; detected corruption degrades the daemon. 0
+	// disables scrubbing.
+	ScrubInterval time.Duration
+	// ScrubRate bounds the scrubber to this many page reads per second so a
+	// pass never competes with foreground queries (default 256; negative
+	// means unthrottled).
+	ScrubRate int
+	// RecoveryBase is the supervisor's initial retry backoff after a failed
+	// reopen (default 100ms).
+	RecoveryBase time.Duration
+	// RecoveryMax caps the supervisor's exponential retry backoff (default
+	// 5s).
+	RecoveryMax time.Duration
 }
 
 func (c *Config) fillDefaults() {
@@ -69,6 +108,18 @@ func (c *Config) fillDefaults() {
 	}
 	if c.Timeout <= 0 {
 		c.Timeout = 30 * time.Second
+	}
+	switch {
+	case c.ScrubRate == 0:
+		c.ScrubRate = 256
+	case c.ScrubRate < 0:
+		c.ScrubRate = 0
+	}
+	if c.RecoveryBase <= 0 {
+		c.RecoveryBase = 100 * time.Millisecond
+	}
+	if c.RecoveryMax <= 0 {
+		c.RecoveryMax = 5 * time.Second
 	}
 }
 
@@ -89,12 +140,17 @@ var admissionEndpoints = []string{"kmliq", "kmliq_ranked", "tiq", "batch", "inse
 // instrumentedEndpoints are all endpoints wrapped by instrument(); their
 // request/latency series are pre-registered at startup (registerMetrics) so
 // the request path never registers anything.
-var instrumentedEndpoints = append(append([]string(nil), admissionEndpoints...), "stats", "healthz")
+var instrumentedEndpoints = append(append([]string(nil), admissionEndpoints...), "stats", "healthz", "readyz")
+
+// idxBox wraps the served Index for the atomic swap seam: the supervisor
+// publishes a healed index by storing a new box, and every request resolves
+// the current one with a single atomic load (s.index()).
+type idxBox struct{ idx Index }
 
 // Server serves one Index over HTTP. Create with New, start with Serve or
 // ListenAndServe, stop with Shutdown.
 type Server struct {
-	idx          Index
+	idx          atomic.Pointer[idxBox]
 	cfg          Config
 	lim          *limiter
 	batch        *query.BatchExecutor
@@ -107,25 +163,55 @@ type Server struct {
 	traceMu      sync.Mutex
 	shutdownOnce sync.Once
 	shutdownErr  error
+
+	// Serving-state machine (see health.go). mutGate is held shared by every
+	// mutation for its full execution and exclusively by the supervisor
+	// across quiesce-quarantine-reopen-swap, so a recovery can never run
+	// concurrently with a mutation on the old index.
+	health        atomic.Int32 // servingState
+	mutGate       sync.RWMutex
+	degradeReason atomic.Pointer[string]
+	kick          chan struct{} // wakes the supervisor; capacity 1
+	stop          chan struct{} // closed by Shutdown
+	bg            sync.WaitGroup
+
+	degradedTotal    atomic.Uint64
+	recoveryAttempts atomic.Uint64
+	recoveries       atomic.Uint64
+	scrubRuns        atomic.Uint64
+	scrubPages       atomic.Uint64
+	scrubErrors      atomic.Uint64
+	scrubLastSecBits atomic.Uint64 // math.Float64bits of the last pass duration
 }
 
 // New builds a server over the given index. The server owns the index from
-// here on: Shutdown syncs and closes it.
+// here on: Shutdown syncs and closes it (and after a recovery swap, owns
+// the replacement).
 func New(idx Index, cfg Config) *Server {
 	cfg.fillDefaults()
 	s := &Server{
-		idx:     idx,
 		cfg:     cfg,
 		lim:     newLimiter(cfg.MaxInflight, cfg.MaxQueue),
-		batch:   query.NewBatchExecutor(indexEngine{idx}, cfg.BatchWorkers),
 		sampler: obs.NewSampler(cfg.TraceSample),
 		eps:     make(map[string]*endpointCounters, len(admissionEndpoints)),
+		kick:    make(chan struct{}, 1),
+		stop:    make(chan struct{}),
 	}
+	s.idx.Store(&idxBox{idx: idx})
+	s.batch = query.NewBatchExecutor(indexEngine{s}, cfg.BatchWorkers)
 	for _, ep := range admissionEndpoints {
 		s.eps[ep] = new(endpointCounters)
 	}
 	if cfg.Metrics != nil {
 		s.registerMetrics(cfg.Metrics)
+	}
+	if cfg.Reopen != nil {
+		s.bg.Add(1)
+		go s.supervise()
+	}
+	if cfg.ScrubInterval > 0 {
+		s.bg.Add(1)
+		go s.scrubLoop()
 	}
 	// ReadTimeout bounds the whole request read: a client that sends
 	// headers and then stalls the body would otherwise hold its execution
@@ -139,6 +225,10 @@ func New(idx Index, cfg Config) *Server {
 	return s
 }
 
+// index resolves the currently served index: one atomic load, following any
+// recovery swap the supervisor has published.
+func (s *Server) index() Index { return s.idx.Load().idx }
+
 // Handler returns the daemon's route table; used by Serve and directly by
 // tests (the package is internal — external deployments run cmd/gaussd).
 func (s *Server) Handler() http.Handler {
@@ -150,10 +240,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/insert", s.instrument("insert", s.handleInsert))
 	mux.HandleFunc("POST /v1/delete", s.instrument("delete", s.handleDelete))
 	mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
+	// /healthz is pure liveness — the process answers HTTP — and stays 200
+	// even degraded, so orchestrators do not restart a daemon that is busy
+	// healing itself. Readiness (load-balancer membership) is /readyz.
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")
 	}))
+	mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReady))
 	return mux
 }
 
@@ -171,14 +265,34 @@ func (s *Server) ListenAndServe(addr string) error {
 }
 
 // Shutdown gracefully stops the daemon: it stops accepting new work, waits
-// (bounded by ctx) for in-flight requests to finish, then syncs and closes
-// the index. In-flight queries complete with valid answers; requests that
-// arrive after shutdown began are refused at the connection level. Shutdown
-// is idempotent: repeated calls return the first call's result.
+// (bounded by ctx) for in-flight requests to finish, stops the supervisor
+// and scrubber, then syncs and closes the index. In-flight queries complete
+// with valid answers; requests that arrive after shutdown began are refused
+// at the connection level. Shutdown is idempotent: repeated calls return
+// the first call's result.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.shutdownOnce.Do(func() {
+		close(s.stop)
 		hErr := s.hs.Shutdown(ctx)
-		s.shutdownErr = errors.Join(hErr, s.idx.Sync(), s.idx.Close())
+		// After bg.Wait no goroutine can swap the index anymore, so the
+		// loaded index is the one to release.
+		s.bg.Wait()
+		idx := s.index()
+		healthy := s.servingState() == stateHealthy
+		var syncErr error
+		if healthy {
+			syncErr = idx.Sync()
+		}
+		closeErr := idx.Close()
+		if !healthy {
+			// A degraded index refuses checkpoints (poisoned tree, failed
+			// WAL) by design, and its Close restates the sticky fault that
+			// already degraded the daemon. Skipping Sync and swallowing the
+			// restated fault loses nothing: every acknowledged mutation is
+			// fsynced in the log and replays on the next Open.
+			closeErr = nil
+		}
+		s.shutdownErr = errors.Join(hErr, syncErr, closeErr)
 	})
 	return s.shutdownErr
 }
@@ -231,19 +345,19 @@ func (s *Server) deadline(r *http.Request, timeoutMS int64) (context.Context, co
 
 func (s *Server) handleKMLIQ(w http.ResponseWriter, r *http.Request) {
 	s.handleQuery(w, r, "kmliq", func(ctx context.Context, req wire.QueryRequest) ([]gausstree.Match, gausstree.QueryStats, error) {
-		return s.idx.KMLIQ(ctx, req.Query, req.K)
+		return s.index().KMLIQ(ctx, req.Query, req.K)
 	})
 }
 
 func (s *Server) handleKMLIQRanked(w http.ResponseWriter, r *http.Request) {
 	s.handleQuery(w, r, "kmliq_ranked", func(ctx context.Context, req wire.QueryRequest) ([]gausstree.Match, gausstree.QueryStats, error) {
-		return s.idx.KMLIQRanked(ctx, req.Query, req.K)
+		return s.index().KMLIQRanked(ctx, req.Query, req.K)
 	})
 }
 
 func (s *Server) handleTIQ(w http.ResponseWriter, r *http.Request) {
 	s.handleQuery(w, r, "tiq", func(ctx context.Context, req wire.QueryRequest) ([]gausstree.Match, gausstree.QueryStats, error) {
-		return s.idx.TIQ(ctx, req.Query, req.PTheta)
+		return s.index().TIQ(ctx, req.Query, req.PTheta)
 	})
 }
 
@@ -334,6 +448,17 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, wire.ErrCodeInvalid, "insert needs at least one vector")
 		return
 	}
+	// Fast rejection outside the gate (a degraded daemon answers mutations
+	// immediately), then the authoritative check under the shared gate: a
+	// mutation holding the gate can never interleave with a recovery swap.
+	if !s.admitMutation(w) {
+		return
+	}
+	s.mutGate.RLock()
+	defer s.mutGate.RUnlock()
+	if !s.admitMutation(w) {
+		return
+	}
 	// The deadline bounds only the admission wait: a mutation that has
 	// begun must run to its durable commit (interrupting it mid-flight
 	// would poison the tree against further mutations by design).
@@ -343,10 +468,12 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.release("insert")
-	n, err := s.idx.InsertAll(req.Vectors)
+	n, err := s.index().InsertAll(req.Vectors)
 	if err != nil {
+		s.noteMutationError(err)
 		// Report the durably applied count alongside the error so the
 		// client knows which prefix survives a crash and what to retry.
+		noteOutcome(w, codeForError(err))
 		writeJSON(w, statusForError(err), wire.Error{
 			Error:    err.Error(),
 			Code:     codeForError(err),
@@ -366,6 +493,14 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
+	if !s.admitMutation(w) {
+		return
+	}
+	s.mutGate.RLock()
+	defer s.mutGate.RUnlock()
+	if !s.admitMutation(w) {
+		return
+	}
 	// As with insert, the deadline bounds only the admission wait.
 	ctx, cancel := s.deadline(r, 0)
 	defer cancel()
@@ -373,8 +508,9 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.release("delete")
-	found, err := s.idx.Delete(req.Vector)
+	found, err := s.index().Delete(req.Vector)
 	if err != nil {
+		s.noteMutationError(err)
 		writeError(w, statusForError(err), codeForError(err), err.Error())
 		return
 	}
@@ -426,12 +562,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // index-internal locks, so handleStats runs it off the response path and
 // bounds the wait with the request deadline.
 func (s *Server) collectStats() (wire.StatsResponse, error) {
-	ios, err := s.idx.IOStats()
+	idx := s.index()
+	ios, err := idx.IOStats()
 	if err != nil {
 		return wire.StatsResponse{}, err
 	}
 	var ws *wire.WALStats
-	if w2, ok := s.idx.WALStats(); ok {
+	if w2, ok := idx.WALStats(); ok {
 		ws = &wire.WALStats{
 			Fsyncs:        w2.Fsyncs,
 			Records:       w2.Records,
@@ -447,15 +584,26 @@ func (s *Server) collectStats() (wire.StatsResponse, error) {
 			Rejected: ep.rejected.Load(),
 		}
 	}
+	var scrub *wire.ScrubStats
+	if s.cfg.ScrubInterval > 0 {
+		scrub = &wire.ScrubStats{
+			Runs:        s.scrubRuns.Load(),
+			Pages:       s.scrubPages.Load(),
+			Errors:      s.scrubErrors.Load(),
+			LastSeconds: s.scrubLastSeconds(),
+		}
+	}
 	bi := buildinfo.Get()
 	return wire.StatsResponse{
-		Backend:       s.idx.Kind(),
-		Dim:           s.idx.Dim(),
-		Len:           s.idx.Len(),
-		LeafFormat:    s.idx.LeafFormat(),
+		Backend:       idx.Kind(),
+		Dim:           idx.Dim(),
+		Len:           idx.Len(),
+		LeafFormat:    idx.LeafFormat(),
 		ReadOnly:      s.cfg.ReadOnly,
 		WAL:           ws,
-		SnapshotEpoch: s.idx.SnapshotEpoch(),
+		SnapshotEpoch: idx.SnapshotEpoch(),
+		ServingState:  s.servingState().String(),
+		Scrub:         scrub,
 		IO: wire.IOStats{
 			LogicalReads:  ios.LogicalReads,
 			CacheHits:     ios.CacheHits,
@@ -500,6 +648,8 @@ func statusForError(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
+	case errors.Is(err, gausstree.ErrPoisoned):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, gausstree.ErrClosed):
 		return http.StatusServiceUnavailable
 	default:
@@ -507,13 +657,17 @@ func statusForError(err error) int {
 	}
 }
 
-// codeForError maps engine errors onto wire error codes.
+// codeForError maps engine errors onto wire error codes. ErrPoisoned is
+// checked before ErrClosed so a poisoned-tree rejection keeps its specific
+// code even when both sentinels appear in one error chain.
 func codeForError(err error) string {
 	switch {
 	case errors.Is(err, gausstree.ErrInvalidQuery):
 		return wire.ErrCodeInvalid
 	case errors.Is(err, context.DeadlineExceeded):
 		return wire.ErrCodeDeadline
+	case errors.Is(err, gausstree.ErrPoisoned):
+		return wire.ErrCodePoisoned
 	case errors.Is(err, gausstree.ErrClosed):
 		return wire.ErrCodeClosed
 	default:
@@ -528,5 +682,6 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 }
 
 func writeError(w http.ResponseWriter, status int, code, msg string) {
+	noteOutcome(w, code)
 	writeJSON(w, status, wire.Error{Error: msg, Code: code})
 }

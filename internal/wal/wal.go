@@ -103,8 +103,27 @@ var ErrClosed = errors.New("wal: closed")
 
 // ErrCorrupt reports a structurally invalid WAL file (bad header). Torn or
 // corrupt record tails are NOT errors — they are truncated silently, which
-// is exactly the crash-recovery contract.
+// is exactly the crash-recovery contract. CheckIntegrity is the exception:
+// it wraps ErrCorrupt for damage BELOW the durable horizon, where a torn
+// frame can only mean bit rot, never a crash.
 var ErrCorrupt = errors.New("wal: corrupt log file")
+
+// ErrFailed marks a log killed by an I/O failure: every error the log
+// returns after its first failed write or fsync wraps both ErrFailed and
+// the original cause, so callers can distinguish "this log is dead"
+// (recover by reopening) from a bad argument with errors.Is.
+var ErrFailed = errors.New("wal: log failed")
+
+// FaultHook lets a chaos layer inject failures into the committer's write
+// path (see internal/fault): a non-nil error from either method is treated
+// exactly like the corresponding file operation failing. Both methods are
+// called only from the single committer goroutine.
+type FaultHook interface {
+	// BeforeWALWrite runs before the committer writes a batch.
+	BeforeWALWrite() error
+	// BeforeWALSync runs before the committer fsyncs a batch.
+	BeforeWALSync() error
+}
 
 // Log is a group-commit write-ahead log backed by one file. Append may be
 // called from any goroutine; one background committer performs all file
@@ -114,16 +133,19 @@ var ErrCorrupt = errors.New("wal: corrupt log file")
 type Log struct {
 	dim      int
 	interval time.Duration
+	fault    FaultHook // nil = no fault injection
 
-	mu      sync.Mutex
-	cond    *sync.Cond // broadcast when durable advances or err is set
-	f       *os.File
-	buf     []byte // encoded frames not yet handed to the committer
-	next    uint64 // next LSN to assign
-	pending uint64 // last LSN sitting in buf (0 = buf empty)
-	durable uint64 // highest LSN covered by fsync or checkpoint
-	err     error  // sticky first I/O failure
-	closed  bool
+	mu           sync.Mutex
+	cond         *sync.Cond // broadcast when durable advances or err is set
+	f            *os.File
+	buf          []byte // encoded frames not yet handed to the committer
+	next         uint64 // next LSN to assign
+	pending      uint64 // last LSN sitting in buf (0 = buf empty)
+	durable      uint64 // highest LSN covered by fsync or checkpoint
+	durableBytes int64  // fsynced frame bytes past the header (CheckIntegrity's horizon)
+	resetGen     uint64 // bumped by Reset so a racing flush never re-counts truncated bytes
+	err          error  // sticky first I/O failure
+	closed       bool
 
 	fsyncs  uint64
 	records uint64
@@ -138,6 +160,10 @@ type Options struct {
 	// Shorter windows reduce single-insert latency; longer windows batch
 	// more records per fsync under load.
 	Interval time.Duration
+	// Fault, when non-nil, is consulted before every committer write and
+	// fsync so a chaos layer can fail them at will; nil (the default) adds
+	// no overhead to the commit path.
+	Fault FaultHook
 }
 
 // Create creates a new empty log file for vectors of the given dimension,
@@ -159,7 +185,7 @@ func Create(path string, dim int, opts Options) (*Log, error) {
 		f.Close()
 		return nil, err
 	}
-	return newLog(f, dim, opts, 1), nil
+	return newLog(f, dim, opts, 1, 0), nil
 }
 
 // Open opens an existing log (or creates it when missing), scans every
@@ -189,7 +215,7 @@ func Open(path string, dim int, appliedLSN uint64, opts Options) (*Log, []Record
 			f.Close()
 			return nil, nil, err
 		}
-		return newLog(f, dim, opts, appliedLSN+1), nil, nil
+		return newLog(f, dim, opts, appliedLSN+1, 0), nil, nil
 	}
 	raw, err := io.ReadAll(f)
 	if err != nil {
@@ -219,22 +245,24 @@ func Open(path string, dim int, appliedLSN uint64, opts Options) (*Log, []Record
 			next = r.LSN + 1
 		}
 	}
-	return newLog(f, dim, opts, next), records, nil
+	return newLog(f, dim, opts, next, int64(intact)), records, nil
 }
 
-func newLog(f *os.File, dim int, opts Options, next uint64) *Log {
+func newLog(f *os.File, dim int, opts Options, next uint64, durableBytes int64) *Log {
 	interval := opts.Interval
 	if interval <= 0 {
 		interval = DefaultInterval
 	}
 	l := &Log{
-		dim:      dim,
-		interval: interval,
-		f:        f,
-		next:     next,
-		durable:  next - 1,
-		kick:     make(chan struct{}, 1),
-		done:     make(chan struct{}),
+		dim:          dim,
+		interval:     interval,
+		fault:        opts.Fault,
+		f:            f,
+		next:         next,
+		durable:      next - 1,
+		durableBytes: durableBytes,
+		kick:         make(chan struct{}, 1),
+		done:         make(chan struct{}),
 	}
 	l.cond = sync.NewCond(&l.mu)
 	go l.committer()
@@ -382,6 +410,8 @@ func (l *Log) Reset(appliedLSN uint64) error {
 	}
 	l.buf = l.buf[:0]
 	l.pending = 0
+	l.durableBytes = 0
+	l.resetGen++
 	if appliedLSN > l.durable {
 		l.durable = appliedLSN
 		l.cond.Broadcast()
@@ -435,10 +465,26 @@ func (l *Log) Close() error {
 	return err
 }
 
+// Fail poisons the log from outside with a sticky error, as if an I/O
+// operation had failed: pending and future appends, Reset truncations and
+// durability waits all refuse with an error wrapping ErrFailed (and cause).
+// It exists for the serving layer's recovery swap — before reopening the
+// log file under a fresh Log, the old instance is failed so its committer
+// can never again write to (or truncate) the file both now share. Failing
+// an already failed log keeps the first error; Close remains the only way
+// to release the file handle.
+func (l *Log) Fail(cause error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.fail(cause)
+}
+
 // fail records the first I/O error and wakes every waiter. Caller holds mu.
+// The sticky error wraps ErrFailed plus the cause, so both
+// errors.Is(err, ErrFailed) and errors.Is(err, <cause>) hold.
 func (l *Log) fail(err error) error {
 	if l.err == nil {
-		l.err = err
+		l.err = fmt.Errorf("%w: %w", ErrFailed, err)
 		l.cond.Broadcast()
 	}
 	return l.err
@@ -480,11 +526,21 @@ func (l *Log) flush() {
 	}
 	batch := l.buf
 	upto := l.pending
+	gen := l.resetGen
 	l.buf = nil
 	l.pending = 0
 	l.mu.Unlock()
 
-	_, werr := l.f.Write(batch)
+	var werr error
+	if l.fault != nil {
+		werr = l.fault.BeforeWALWrite()
+	}
+	if werr == nil {
+		_, werr = l.f.Write(batch)
+	}
+	if werr == nil && l.fault != nil {
+		werr = l.fault.BeforeWALSync()
+	}
 	if werr == nil {
 		werr = l.f.Sync()
 	}
@@ -494,10 +550,58 @@ func (l *Log) flush() {
 		l.fail(werr)
 	} else {
 		l.fsyncs++
+		// A Reset that raced this flush truncated the batch's bytes away
+		// (they were checkpoint-covered); counting them would point
+		// CheckIntegrity's horizon past the truncated end of the file.
+		if gen == l.resetGen {
+			l.durableBytes += int64(len(batch))
+		}
 		if upto > l.durable {
 			l.durable = upto
 		}
 		l.cond.Broadcast()
 	}
 	l.mu.Unlock()
+}
+
+// CheckIntegrity re-reads the log's durable prefix from disk and verifies
+// every frame's structure and CRC, returning the number of intact records.
+// Bytes past the durable horizon (appended but not yet fsynced) are not
+// inspected: a tear there is the normal crash contract, a tear below it is
+// bit rot and reported wrapping ErrCorrupt. The read uses positioned I/O on
+// a stable prefix (appends go strictly past it; only Reset shrinks it, and
+// Reset holds the same lock), so the committer is never blocked by more
+// than this one scan.
+func (l *Log) CheckIntegrity() (records int, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.err != nil {
+		return 0, l.err
+	}
+	hdr := make([]byte, headerLen)
+	if _, err := l.f.ReadAt(hdr, 0); err != nil {
+		return 0, fmt.Errorf("%w: reading header: %w", ErrCorrupt, err)
+	}
+	if string(hdr[:5]) != magic || hdr[5] != walVersion {
+		return 0, fmt.Errorf("%w: bad header", ErrCorrupt)
+	}
+	if got := int(binary.LittleEndian.Uint32(hdr[6:])); got != l.dim {
+		return 0, fmt.Errorf("%w: log dimension %d, tree dimension %d", ErrCorrupt, got, l.dim)
+	}
+	if l.durableBytes == 0 {
+		return 0, nil
+	}
+	buf := make([]byte, l.durableBytes)
+	if _, err := l.f.ReadAt(buf, headerLen); err != nil {
+		return 0, fmt.Errorf("%w: reading durable prefix: %w", ErrCorrupt, err)
+	}
+	recs, intact := scanRecords(buf, l.dim)
+	if int64(intact) < l.durableBytes {
+		return len(recs), fmt.Errorf("%w: frame at byte %d is corrupt below the durable horizon (%d bytes)",
+			ErrCorrupt, headerLen+intact, l.durableBytes)
+	}
+	return len(recs), nil
 }

@@ -15,6 +15,11 @@
 //	POST /v1/delete        DeleteRequest                -> DeleteResponse
 //	GET  /v1/stats                                      -> StatsResponse
 //	GET  /healthz                                       -> "ok"
+//	GET  /readyz                                        -> ReadyResponse
+//
+// /healthz is liveness (the process serves HTTP; always 200) and /readyz is
+// readiness (200 only while the serving state is healthy; 503 with the
+// state in the body while degraded or recovering).
 //
 // Errors are reported with a non-2xx status and an Error body whose Code is
 // one of the ErrCode* constants, so clients can map them back to the typed
@@ -46,6 +51,17 @@ const (
 	ErrCodeDeadline = "deadline_exceeded"
 	// ErrCodeClosed marks a daemon whose index is shutting down (HTTP 503).
 	ErrCodeClosed = "closed"
+	// ErrCodeDegraded marks a mutation refused because the daemon is in
+	// degraded mode, serving reads while it recovers the index (HTTP 503
+	// with a Retry-After header). The mutation was rejected before touching
+	// the index, so retrying it is always safe — even for inserts.
+	ErrCodeDegraded = "degraded"
+	// ErrCodePoisoned marks a mutation refused because an earlier mutation
+	// failed mid-flight and poisoned the index against further writes
+	// (HTTP 503); clients surface it as gausstree.ErrPoisoned. Unlike
+	// ErrCodeDegraded it reports the fault that triggers recovery, not the
+	// recovery window itself, and carries no retry promise.
+	ErrCodePoisoned = "poisoned"
 	// ErrCodeInternal marks any other server-side failure (HTTP 500).
 	ErrCodeInternal = "internal"
 )
@@ -171,6 +187,14 @@ type DeleteResponse struct {
 	Found bool `json:"found"`
 }
 
+// ReadyResponse is the body of /readyz.
+type ReadyResponse struct {
+	// State is the serving state: "healthy", "degraded" or "recovering".
+	State string `json:"state"`
+	// Reason describes what degraded the daemon; empty while healthy.
+	Reason string `json:"reason,omitempty"`
+}
+
 // IOStats is the wire form of the page manager's I/O counters.
 type IOStats struct {
 	LogicalReads  uint64 `json:"logical_reads"`
@@ -236,6 +260,20 @@ type BuildInfo struct {
 	GoVersion string `json:"go_version"`
 }
 
+// ScrubStats are the background integrity scrubber's lifetime counters;
+// omitted from /v1/stats when the scrubber is disabled.
+type ScrubStats struct {
+	// Runs counts completed scrub passes (including failed ones).
+	Runs uint64 `json:"runs"`
+	// Pages counts pages verified across all passes.
+	Pages uint64 `json:"pages"`
+	// Errors counts passes that detected corruption (each degrades the
+	// daemon).
+	Errors uint64 `json:"errors"`
+	// LastSeconds is the wall-clock duration of the most recent pass.
+	LastSeconds float64 `json:"last_seconds"`
+}
+
 // StatsResponse is the body of /v1/stats.
 type StatsResponse struct {
 	// Backend names the served index type: "tree" or "sharded".
@@ -257,6 +295,13 @@ type StatsResponse struct {
 	// published snapshot's page-reclamation epoch; summed across shards).
 	SnapshotEpoch uint64      `json:"snapshot_epoch"`
 	Server        ServerStats `json:"server"`
+	// ServingState is the daemon's fault-tolerance state: "healthy",
+	// "degraded" (mutations refused, reads serve the last committed
+	// snapshot) or "recovering" (a reopen is in progress).
+	ServingState string `json:"serving_state"`
+	// Scrub carries the background integrity scrubber's counters; null when
+	// the scrubber is disabled.
+	Scrub *ScrubStats `json:"scrub,omitempty"`
 	// Build identifies the daemon binary serving the response.
 	Build BuildInfo `json:"build"`
 }

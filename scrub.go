@@ -1,0 +1,154 @@
+package gausstree
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/gauss-tree/gausstree/internal/core"
+	"github.com/gauss-tree/gausstree/internal/pagefile"
+	"github.com/gauss-tree/gausstree/internal/wal"
+)
+
+// ErrCorrupt is wrapped by Scrub and CheckInvariants when the index's
+// persisted state is damaged: a page whose CRC trailer no longer matches
+// (bit rot, torn write), a page that no longer decodes as a node, a
+// write-ahead-log frame corrupted below its durable horizon, or a violated
+// structural invariant. Test with errors.Is.
+var ErrCorrupt = core.ErrCorrupt
+
+// ScrubOptions tune one integrity pass.
+type ScrubOptions struct {
+	// PagesPerSecond rate-limits the scan so a background scrubber never
+	// competes with foreground queries for I/O; 0 scans at full speed.
+	PagesPerSecond int
+}
+
+// ScrubReport summarizes one integrity pass.
+type ScrubReport struct {
+	// Pages is the number of index pages read from the backend and verified
+	// (CRC trailer plus node decode), summed across shards for Sharded.
+	Pages int
+	// WALRecords is the number of durable write-ahead-log records whose
+	// checksums were verified (0 for memory-backed indexes).
+	WALRecords int
+	// Elapsed is the wall-clock duration of the pass.
+	Elapsed time.Duration
+}
+
+// Scrub verifies the index's persisted state end to end: every page
+// reachable from the current published snapshot is re-read from the storage
+// backend — bypassing the buffer cache, so file backends re-verify the CRC
+// trailer on a physical read — and decoded as a node, and the durable
+// prefix of the write-ahead log is re-checksummed. Damage is reported
+// wrapping ErrCorrupt and the pass aborts on the first damaged page.
+//
+// The walk pins a snapshot exactly like a query: it runs concurrently with
+// mutations, takes no tree lock and charges nothing to the I/O counters.
+// gaussd runs Scrub periodically in the background (-scrub-interval) and
+// enters degraded mode when it fails.
+func (t *Tree) Scrub(ctx context.Context, opts ScrubOptions) (ScrubReport, error) {
+	st, err := t.state()
+	if err != nil {
+		return ScrubReport{}, err
+	}
+	start := time.Now()
+	rep, err := st.tree.Scrub(ctx, newScrubThrottle(ctx, opts.PagesPerSecond))
+	out := ScrubReport{Pages: rep.Pages, Elapsed: time.Since(start)}
+	if err != nil {
+		return out, scrubErr(err)
+	}
+	if st.wal != nil {
+		n, werr := st.wal.CheckIntegrity()
+		out.WALRecords = n
+		out.Elapsed = time.Since(start)
+		if werr != nil {
+			return out, scrubWALErr(werr)
+		}
+	}
+	return out, nil
+}
+
+// Scrub verifies every shard in turn (one snapshot per shard) under one
+// shared rate limit; see Tree.Scrub.
+func (s *Sharded) Scrub(ctx context.Context, opts ScrubOptions) (ScrubReport, error) {
+	st, err := s.state()
+	if err != nil {
+		return ScrubReport{}, err
+	}
+	start := time.Now()
+	throttle := newScrubThrottle(ctx, opts.PagesPerSecond)
+	var out ScrubReport
+	for i := 0; i < st.eng.NumShards(); i++ {
+		rep, err := st.eng.Tree(i).Scrub(ctx, throttle)
+		out.Pages += rep.Pages
+		if err != nil {
+			out.Elapsed = time.Since(start)
+			return out, fmt.Errorf("shard %d: %w", i, scrubErr(err))
+		}
+		if st.wals[i] != nil {
+			n, werr := st.wals[i].CheckIntegrity()
+			out.WALRecords += n
+			if werr != nil {
+				out.Elapsed = time.Since(start)
+				return out, fmt.Errorf("shard %d: %w", i, scrubWALErr(werr))
+			}
+		}
+	}
+	out.Elapsed = time.Since(start)
+	return out, nil
+}
+
+// scrubErr maps a core scrub error onto the public error surface: a page
+// store closed under the scan is ErrClosed (the tree went away, nothing is
+// damaged); everything else already wraps ErrCorrupt or is a context error.
+func scrubErr(err error) error {
+	if errors.Is(err, pagefile.ErrClosed) {
+		return ErrClosed
+	}
+	return err
+}
+
+// scrubWALErr maps a write-ahead-log integrity error likewise: a closed log
+// is ErrClosed, checksum damage below the durable horizon wraps ErrCorrupt,
+// and a failed log (sticky injected or real I/O error) passes through — the
+// log is broken, not provably corrupt on disk.
+func scrubWALErr(err error) error {
+	switch {
+	case errors.Is(err, wal.ErrClosed):
+		return ErrClosed
+	case errors.Is(err, wal.ErrCorrupt):
+		return fmt.Errorf("%w: write-ahead log: %w", ErrCorrupt, err)
+	default:
+		return err
+	}
+}
+
+// newScrubThrottle builds the per-page pacing hook: strict interval pacing
+// (no burst credit accrues while the scan is stalled) with a context-
+// interruptible sleep.
+func newScrubThrottle(ctx context.Context, pagesPerSecond int) func() error {
+	if pagesPerSecond <= 0 {
+		return ctx.Err
+	}
+	interval := time.Second / time.Duration(pagesPerSecond)
+	var next time.Time
+	return func() error {
+		now := time.Now()
+		if next.Before(now) {
+			next = now
+		}
+		if wait := next.Sub(now); wait > 0 {
+			timer := time.NewTimer(wait)
+			defer timer.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-timer.C:
+			}
+		}
+		next = next.Add(interval)
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,204 @@
+package gausstree_test
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/gauss-tree/gausstree"
+)
+
+// flipBytes corrupts one byte per stride across the back half of a file —
+// where copy-on-write places the most recently written (and therefore
+// reachable) page versions — simulating bit rot under a live index.
+func flipBytes(t *testing.T, path string, stride int64) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	for off := fi.Size() / 2; off < fi.Size(); off += stride {
+		if _, err := f.ReadAt(buf, off); err != nil {
+			t.Fatal(err)
+		}
+		buf[0] ^= 0xFF
+		if _, err := f.WriteAt(buf, off); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestScrubCleanTree pins the happy path: a healthy index scrubs clean,
+// reporting the pages and durable WAL records it verified.
+func TestScrubCleanTree(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "clean.gtree")
+	tree, err := gausstree.New(2, gausstree.Options{Path: path, PageSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tree.Close()
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := tree.Insert(seqVector(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := tree.Scrub(context.Background(), gausstree.ScrubOptions{})
+	if err != nil {
+		t.Fatalf("scrub of a clean tree: %v", err)
+	}
+	if rep.Pages == 0 {
+		t.Error("scrub verified no pages")
+	}
+	if rep.WALRecords == 0 {
+		t.Error("scrub verified no WAL records despite un-checkpointed inserts")
+	}
+	if rep.Elapsed <= 0 {
+		t.Errorf("scrub reported non-positive elapsed %v", rep.Elapsed)
+	}
+}
+
+// TestScrubDetectsPageRot flips bits in the page file under a live tree and
+// requires the next scrub to report ErrCorrupt — the CRC trailers make
+// silent on-disk damage loud before a query ever trips over it.
+func TestScrubDetectsPageRot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rot.gtree")
+	tree, err := gausstree.New(2, gausstree.Options{Path: path, PageSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tree.Close()
+	const n = 300
+	for i := 0; i < n; i++ {
+		if err := tree.Insert(seqVector(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tree.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.Scrub(context.Background(), gausstree.ScrubOptions{}); err != nil {
+		t.Fatalf("baseline scrub: %v", err)
+	}
+
+	flipBytes(t, path, 1024)
+
+	_, err = tree.Scrub(context.Background(), gausstree.ScrubOptions{})
+	if !errors.Is(err, gausstree.ErrCorrupt) {
+		t.Fatalf("scrub of a rotted page file = %v, want errors.Is(ErrCorrupt)", err)
+	}
+}
+
+// TestScrubDetectsWALRot corrupts the durable WAL prefix on disk and
+// requires the scrub's log re-checksum to catch it.
+func TestScrubDetectsWALRot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "walrot.gtree")
+	tree, err := gausstree.New(2, gausstree.Options{Path: path, PageSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tree.Close()
+	for i := 0; i < 50; i++ {
+		if err := tree.Insert(seqVector(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := tree.Scrub(context.Background(), gausstree.ScrubOptions{})
+	if err != nil {
+		t.Fatalf("baseline scrub: %v", err)
+	}
+	if rep.WALRecords == 0 {
+		t.Fatal("baseline scrub verified no WAL records; the corruption below would be vacuous")
+	}
+
+	flipBytes(t, path+".wal", 64)
+
+	_, err = tree.Scrub(context.Background(), gausstree.ScrubOptions{})
+	if !errors.Is(err, gausstree.ErrCorrupt) {
+		t.Fatalf("scrub of a rotted WAL = %v, want errors.Is(ErrCorrupt)", err)
+	}
+}
+
+// TestScrubSharded verifies the sharded walk: a clean multi-shard index
+// scrubs clean, and rot in any single shard surfaces with its shard index.
+func TestScrubSharded(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "shards")
+	s, err := gausstree.NewSharded(2, 3, gausstree.Options{Path: dir, PageSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 150; i++ {
+		if err := s.Insert(seqVector(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Scrub(context.Background(), gausstree.ScrubOptions{})
+	if err != nil {
+		t.Fatalf("scrub of a clean sharded index: %v", err)
+	}
+	if rep.Pages == 0 {
+		t.Error("sharded scrub verified no pages")
+	}
+
+	// Rot exactly one shard's page file.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := false
+	for _, e := range entries {
+		name := e.Name()
+		if filepath.Ext(name) == ".gtree" {
+			flipBytes(t, filepath.Join(dir, name), 1024)
+			corrupted = true
+			break
+		}
+	}
+	if !corrupted {
+		t.Fatalf("no shard page file found in %s", dir)
+	}
+	_, err = s.Scrub(context.Background(), gausstree.ScrubOptions{})
+	if !errors.Is(err, gausstree.ErrCorrupt) {
+		t.Fatalf("scrub of a rotted shard = %v, want errors.Is(ErrCorrupt)", err)
+	}
+}
+
+// TestScrubThrottleHonorsContext pins the rate limiter's interruptibility:
+// a pass throttled to one page per second gives up promptly when its
+// context expires instead of sleeping out the schedule.
+func TestScrubThrottleHonorsContext(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "slow.gtree")
+	tree, err := gausstree.New(2, gausstree.Options{Path: path, PageSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tree.Close()
+	for i := 0; i < 100; i++ {
+		if err := tree.Insert(seqVector(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = tree.Scrub(ctx, gausstree.ScrubOptions{PagesPerSecond: 1})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("throttled scrub with an expired context = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("throttled scrub took %v to notice its expired context", elapsed)
+	}
+}

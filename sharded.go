@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"github.com/gauss-tree/gausstree/internal/core"
+	"github.com/gauss-tree/gausstree/internal/fault"
 	"github.com/gauss-tree/gausstree/internal/pagefile"
 	"github.com/gauss-tree/gausstree/internal/shard"
 	"github.com/gauss-tree/gausstree/internal/wal"
@@ -165,6 +166,9 @@ func NewSharded(dim, n int, opts ...Options) (*Sharded, error) {
 		} else {
 			backend = pagefile.NewMemBackend(o.PageSize)
 		}
+		// All shards share the one injector, so a schedule's counters and
+		// fault caps aggregate across the whole index.
+		backend = fault.WrapBackend(backend, o.Fault)
 		mgr, err := pagefile.NewManager(backend, o.PageSize, pagefile.WithCacheBytes(o.CacheBytes/n), pagefile.WithCacheShards(o.CacheShards))
 		if err != nil {
 			backend.Close()
@@ -175,7 +179,7 @@ func NewSharded(dim, n int, opts ...Options) (*Sharded, error) {
 			return fail(err)
 		}
 		if dir != "" {
-			l, err := wal.Create(filepath.Join(dir, shardWALName(i)), dim, wal.Options{Interval: o.CommitLatency})
+			l, err := wal.Create(filepath.Join(dir, shardWALName(i)), dim, wal.Options{Interval: o.CommitLatency, Fault: walFault(o.Fault)})
 			if err != nil {
 				return fail(err)
 			}
@@ -267,7 +271,7 @@ func OpenSharded(dir string, opts ...Options) (*Sharded, error) {
 		if err != nil {
 			return fail(err)
 		}
-		mgr, err := pagefile.NewManager(fb, fb.PageSize(), pagefile.WithCacheBytes(o.CacheBytes/m.Shards), pagefile.WithCacheShards(o.CacheShards))
+		mgr, err := pagefile.NewManager(fault.WrapBackend(fb, o.Fault), fb.PageSize(), pagefile.WithCacheBytes(o.CacheBytes/m.Shards), pagefile.WithCacheShards(o.CacheShards))
 		if err != nil {
 			fb.Close()
 			return fail(err)
@@ -276,7 +280,7 @@ func OpenSharded(dir string, opts ...Options) (*Sharded, error) {
 		if trees[i], err = core.Open(mgr); err != nil {
 			return fail(err)
 		}
-		l, tail, err := wal.Open(filepath.Join(dir, shardWALName(i)), trees[i].Dim(), trees[i].AppliedLSN(), wal.Options{Interval: o.CommitLatency})
+		l, tail, err := wal.Open(filepath.Join(dir, shardWALName(i)), trees[i].Dim(), trees[i].AppliedLSN(), wal.Options{Interval: o.CommitLatency, Fault: walFault(o.Fault)})
 		if err != nil {
 			return fail(err)
 		}
@@ -316,13 +320,29 @@ func (s *Sharded) state() (*shardedState, error) {
 // waitDurable awaits WAL durability of the last mutation on every shard
 // (instant for shards whose log is already flushed, and for memory-backed
 // shards). Called after releasing the writer lock so concurrent mutations
-// can join the same group commits.
-func (st *shardedState) waitDurable() error {
+// can join the same group commits. A shard whose log died during the wait
+// is poisoned right away — under the writer lock, matching Tree.waitDurable
+// — so every later mutation uniformly fails wrapping ErrPoisoned.
+func (s *Sharded) waitDurable(st *shardedState) error {
 	var errs []error
+	var dead map[int]error
 	for i := 0; i < st.eng.NumShards(); i++ {
 		if err := st.eng.Tree(i).WaitDurable(); err != nil {
 			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+			if errors.Is(err, wal.ErrFailed) {
+				if dead == nil {
+					dead = make(map[int]error)
+				}
+				dead[i] = err
+			}
 		}
+	}
+	if dead != nil {
+		s.mu.Lock()
+		for i, err := range dead {
+			st.eng.Tree(i).Poison(err)
+		}
+		s.mu.Unlock()
 	}
 	return errors.Join(errs...)
 }
@@ -463,12 +483,16 @@ func (s *Sharded) Insert(v Vector) error {
 		s.mu.Unlock()
 		return ErrClosed
 	}
+	if err := checkMutationVector(v, st.eng.Dim()); err != nil {
+		s.mu.Unlock()
+		return err
+	}
 	err := st.eng.Insert(v)
 	s.mu.Unlock()
 	if err != nil {
 		return err
 	}
-	return st.waitDurable()
+	return s.waitDurable(st)
 }
 
 // InsertAll adds a batch, loading the per-shard groups concurrently, and
@@ -483,6 +507,10 @@ func (s *Sharded) InsertAll(vs []Vector) (int, error) {
 	if st == nil {
 		s.mu.Unlock()
 		return 0, ErrClosed
+	}
+	if err := checkMutationVectors(vs, st.eng.Dim()); err != nil {
+		s.mu.Unlock()
+		return 0, err
 	}
 	n, err := st.eng.InsertAll(vs)
 	s.mu.Unlock()
@@ -499,6 +527,9 @@ func (s *Sharded) BulkLoad(vs []Vector) error {
 	if st == nil {
 		return ErrClosed
 	}
+	if err := checkMutationVectors(vs, st.eng.Dim()); err != nil {
+		return err
+	}
 	return st.eng.BulkLoad(vs)
 }
 
@@ -511,12 +542,16 @@ func (s *Sharded) Delete(v Vector) (bool, error) {
 		s.mu.Unlock()
 		return false, ErrClosed
 	}
+	if err := checkMutationVector(v, st.eng.Dim()); err != nil {
+		s.mu.Unlock()
+		return false, err
+	}
 	found, err := st.eng.Delete(v)
 	s.mu.Unlock()
 	if !found || err != nil {
 		return found, err
 	}
-	return true, st.waitDurable()
+	return true, s.waitDurable(st)
 }
 
 // KMostLikely answers a k-most-likely identification query across all
@@ -659,6 +694,24 @@ func (s *Sharded) Sync() error {
 		}
 	}
 	return errors.Join(errs...)
+}
+
+// Quarantine makes every shard permanently write-inert without closing it;
+// see Tree.Quarantine. Reads keep serving the last published per-shard
+// snapshots until Close.
+func (s *Sharded) Quarantine(cause error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.st.Load()
+	if st == nil {
+		return
+	}
+	for i := 0; i < st.eng.NumShards(); i++ {
+		st.eng.Tree(i).Poison(cause)
+		if st.wals[i] != nil {
+			st.wals[i].Fail(cause)
+		}
+	}
 }
 
 // Close checkpoints every shard's write-ahead log, flushes and releases

@@ -6,10 +6,13 @@ import (
 	"math"
 )
 
-// ErrInvalidQuery is returned (wrapped) by every query method of Tree and
-// Sharded when the query arguments are invalid: k < 1 for the k-MLIQ
-// variants, pTheta outside (0, 1] for the TIQ variants, or a query vector
-// whose dimensionality differs from the tree's. Test with errors.Is.
+// ErrInvalidQuery is returned (wrapped) by every query and mutation method
+// of Tree and Sharded when the arguments are invalid: k < 1 for the k-MLIQ
+// variants, pTheta outside (0, 1] for the TIQ variants, or a query or
+// mutation vector whose dimensionality differs from the tree's. Rejections
+// happen before the storage engine is touched, so invalid input can never
+// be mistaken for a storage fault (and never poisons the tree). Test with
+// errors.Is.
 var ErrInvalidQuery = errors.New("gausstree: invalid query")
 
 // ErrInvalidOptions is returned (wrapped) by the constructors when an
@@ -23,6 +26,27 @@ var ErrInvalidOptions = errors.New("gausstree: invalid options")
 func checkQueryVector(q Vector, dim int) error {
 	if q.Dim() != dim {
 		return fmt.Errorf("%w: query dimension %d, tree dimension %d", ErrInvalidQuery, q.Dim(), dim)
+	}
+	return nil
+}
+
+// checkMutationVector rejects mutation vectors of the wrong dimensionality
+// before they reach the storage engine, so bad input surfaces as
+// ErrInvalidQuery instead of looking like a mid-mutation storage fault to
+// the serving layer's degrade detection.
+func checkMutationVector(v Vector, dim int) error {
+	if v.Dim() != dim {
+		return fmt.Errorf("%w: vector id %d has dimension %d, tree dimension %d", ErrInvalidQuery, v.ID, v.Dim(), dim)
+	}
+	return nil
+}
+
+// checkMutationVectors is checkMutationVector over a batch.
+func checkMutationVectors(vs []Vector, dim int) error {
+	for i := range vs {
+		if vs[i].Dim() != dim {
+			return fmt.Errorf("%w: vector %d (id %d) has dimension %d, tree dimension %d", ErrInvalidQuery, i, vs[i].ID, vs[i].Dim(), dim)
+		}
 	}
 	return nil
 }
